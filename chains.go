@@ -1,0 +1,80 @@
+package hammer
+
+import (
+	"time"
+
+	"hammer/internal/chains/ethereum"
+	"hammer/internal/chains/fabric"
+	"hammer/internal/chains/meepo"
+	"hammer/internal/chains/neuchain"
+	"hammer/internal/deploy"
+	"hammer/internal/smallbank"
+)
+
+// Duration re-exports time.Duration for signatures in this package.
+type Duration = time.Duration
+
+// Per-chain simulator configurations.
+type (
+	// EthereumConfig parameterises the PoW Ethereum simulator.
+	EthereumConfig = ethereum.Config
+	// FabricConfig parameterises the execute-order-validate Fabric
+	// simulator.
+	FabricConfig = fabric.Config
+	// NeuchainConfig parameterises the deterministic-ordering Neuchain
+	// simulator.
+	NeuchainConfig = neuchain.Config
+	// MeepoConfig parameterises the sharded Meepo simulator.
+	MeepoConfig = meepo.Config
+	// Playbook is a declarative JSON deployment description.
+	Playbook = deploy.Playbook
+)
+
+// DefaultEthereumConfig matches the paper's 5-node private PoW deployment.
+func DefaultEthereumConfig() EthereumConfig { return ethereum.DefaultConfig() }
+
+// NewEthereum builds the simulated Ethereum network on the scheduler.
+func NewEthereum(s *Scheduler, cfg EthereumConfig) Blockchain { return ethereum.New(s, cfg) }
+
+// DefaultFabricConfig matches the paper's 1-orderer/4-peer deployment.
+func DefaultFabricConfig() FabricConfig { return fabric.DefaultConfig() }
+
+// NewFabric builds the simulated Fabric network on the scheduler.
+func NewFabric(s *Scheduler, cfg FabricConfig) Blockchain { return fabric.New(s, cfg) }
+
+// DefaultNeuchainConfig matches the paper's epoch-server deployment.
+func DefaultNeuchainConfig() NeuchainConfig { return neuchain.DefaultConfig() }
+
+// NewNeuchain builds the simulated Neuchain deployment on the scheduler.
+func NewNeuchain(s *Scheduler, cfg NeuchainConfig) Blockchain { return neuchain.New(s, cfg) }
+
+// DefaultMeepoConfig matches the paper's two-shard deployment.
+func DefaultMeepoConfig() MeepoConfig { return meepo.DefaultConfig() }
+
+// NewMeepo builds the simulated sharded Meepo deployment on the scheduler.
+func NewMeepo(s *Scheduler, cfg MeepoConfig) Blockchain { return meepo.New(s, cfg) }
+
+// SmallBank is the benchmark contract the paper evaluates with; deploy it
+// on custom chains that should serve the standard workload.
+func SmallBank() Contract { return smallbank.Contract{} }
+
+// SmallBank operation names, for custom workload mixes.
+const (
+	OpDeposit    = smallbank.OpDeposit
+	OpWithdraw   = smallbank.OpWithdraw
+	OpTransfer   = smallbank.OpTransfer
+	OpAmalgamate = smallbank.OpAmalgamate
+	OpQuery      = smallbank.OpQuery
+)
+
+// LoadPlaybook reads a JSON deployment playbook.
+func LoadPlaybook(path string) (*Playbook, error) { return deploy.Load(path) }
+
+// ParsePlaybook decodes a JSON deployment playbook.
+func ParsePlaybook(raw []byte) (*Playbook, error) { return deploy.Parse(raw) }
+
+// DeployPlaybook builds the SUT a playbook declares.
+func DeployPlaybook(pb *Playbook, s *Scheduler) (Blockchain, error) { return pb.Run(s) }
+
+// ChainKinds lists the chain kinds playbooks may declare.
+func ChainKinds() []string { return deploy.Kinds() }

@@ -1,0 +1,237 @@
+// Command hammer-bench regenerates the paper's system experiments: Fig 1
+// (workload temporal distributions), Fig 6 (chain comparison), Fig 7
+// (framework comparison), Fig 8 (signing strategies), Fig 9 (task
+// processing vs batch testing), Fig 10 (concurrency sweeps) and the §V-C
+// correctness validation. Each experiment prints its rows, renders a
+// terminal chart, and exports a CSV under -out.
+//
+// Usage:
+//
+//	hammer-bench -exp all
+//	hammer-bench -exp fig9 -out results/
+//	hammer-bench -exp fig6 -quick
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"strings"
+
+	"hammer/internal/experiments"
+	"hammer/internal/viz"
+)
+
+func main() {
+	if err := run(); err != nil {
+		fmt.Fprintln(os.Stderr, "hammer-bench:", err)
+		os.Exit(1)
+	}
+}
+
+func run() error {
+	var (
+		exp    = flag.String("exp", "all", "experiment: fig1|fig6|fig7|fig8|fig9|fig10|correctness|distributed|all")
+		quick  = flag.Bool("quick", false, "shrink workloads for a fast smoke run")
+		outDir = flag.String("out", "results", "directory for CSV export")
+		seed   = flag.Int64("seed", 7, "random seed")
+	)
+	flag.Parse()
+
+	opts := experiments.Default()
+	if *quick {
+		opts = experiments.Quick()
+	}
+	opts.Seed = *seed
+
+	selected := strings.Split(*exp, ",")
+	want := func(name string) bool {
+		for _, s := range selected {
+			if s == "all" || s == name {
+				return true
+			}
+		}
+		return false
+	}
+
+	ran := 0
+	type step struct {
+		name string
+		fn   func() error
+	}
+	steps := []step{
+		{"fig1", func() error { return runFig1(opts, *outDir) }},
+		{"fig6", func() error { return runFig6(opts, *outDir) }},
+		{"fig7", func() error { return runFig7(opts, *outDir) }},
+		{"fig8", func() error { return runFig8(opts, *outDir) }},
+		{"fig9", func() error { return runFig9(opts, *outDir) }},
+		{"fig10", func() error { return runFig10(opts, *outDir) }},
+		{"correctness", func() error { return runCorrectness(opts) }},
+		{"distributed", func() error { return runDistributed(opts, *outDir) }},
+	}
+	for _, s := range steps {
+		if !want(s.name) {
+			continue
+		}
+		fmt.Printf("=== %s ===\n", s.name)
+		if err := s.fn(); err != nil {
+			return fmt.Errorf("%s: %w", s.name, err)
+		}
+		fmt.Println()
+		ran++
+	}
+	if ran == 0 {
+		return fmt.Errorf("unknown experiment %q", *exp)
+	}
+	return nil
+}
+
+func export(outDir, name string, header []string, rows [][]string) error {
+	if outDir == "" {
+		return nil
+	}
+	path, err := viz.WriteCSVFile(outDir, name, header, rows)
+	if err != nil {
+		return err
+	}
+	fmt.Println("wrote", path)
+	return nil
+}
+
+func runFig1(opts experiments.Options, outDir string) error {
+	r, err := experiments.Fig1(opts)
+	if err != nil {
+		return err
+	}
+	for _, name := range []string{"defi", "sandbox", "nfts"} {
+		fmt.Printf("%-8s %7d transactions over 300 h\n", name, r.Totals[name])
+	}
+	viz.LineChart(os.Stdout, "hourly transactions (normalised overlay)", fig1Overlay(r), 72, 14)
+	header, rows := experiments.Fig1CSV(r)
+	return export(outDir, "fig1_temporal_distribution.csv", header, rows)
+}
+
+// fig1Overlay rescales each series to [0,1] so the three applications
+// overlay on one chart despite their 100× volume differences.
+func fig1Overlay(r *experiments.Fig1Result) []viz.Series {
+	var out []viz.Series
+	for _, name := range []string{"defi", "sandbox", "nfts"} {
+		src := r.Series[name]
+		var max float64
+		for _, v := range src {
+			if v > max {
+				max = v
+			}
+		}
+		scaled := make([]float64, len(src))
+		for i, v := range src {
+			if max > 0 {
+				scaled[i] = v / max
+			}
+		}
+		out = append(out, viz.Series{Name: name, Y: scaled})
+	}
+	return out
+}
+
+func runFig6(opts experiments.Options, outDir string) error {
+	rows, err := experiments.Fig6(opts)
+	if err != nil {
+		return err
+	}
+	var groups []viz.BarGroup
+	for _, r := range rows {
+		fmt.Println(r)
+		groups = append(groups, viz.BarGroup{Label: r.Chain, Values: []float64{r.Throughput}})
+	}
+	viz.BarChart(os.Stdout, "peak throughput (TPS)", []string{""}, groups, 48)
+	header, csvRows := experiments.Fig6CSV(rows)
+	return export(outDir, "fig6_chain_comparison.csv", header, csvRows)
+}
+
+func runFig7(opts experiments.Options, outDir string) error {
+	rows, err := experiments.Fig7(opts)
+	if err != nil {
+		return err
+	}
+	for _, r := range rows {
+		fmt.Println(r)
+	}
+	header, csvRows := experiments.Fig7CSV(rows)
+	return export(outDir, "fig7_framework_comparison.csv", header, csvRows)
+}
+
+func runFig8(opts experiments.Options, outDir string) error {
+	fmt.Println("measured on this machine:")
+	rows, err := experiments.Fig8(opts)
+	if err != nil {
+		return err
+	}
+	for _, r := range rows {
+		fmt.Println(" ", r)
+	}
+	header, csvRows := experiments.Fig8CSV(rows)
+	if err := export(outDir, "fig8_signing_measured.csv", header, csvRows); err != nil {
+		return err
+	}
+
+	fmt.Println("simulated 8-worker testbed (per-signature cost calibrated on this machine):")
+	simRows, err := experiments.Fig8Simulated(opts, 8, 0)
+	if err != nil {
+		return err
+	}
+	for _, r := range simRows {
+		fmt.Println(" ", r)
+	}
+	simHeader, simCSV := experiments.Fig8SimCSV(simRows)
+	return export(outDir, "fig8_signing_simulated.csv", simHeader, simCSV)
+}
+
+func runFig9(opts experiments.Options, outDir string) error {
+	rows, err := experiments.Fig9(opts)
+	if err != nil {
+		return err
+	}
+	for _, r := range rows {
+		fmt.Println(r)
+	}
+	header, csvRows := experiments.Fig9CSV(rows)
+	return export(outDir, "fig9_task_processing.csv", header, csvRows)
+}
+
+func runFig10(opts experiments.Options, outDir string) error {
+	rows, err := experiments.Fig10(opts)
+	if err != nil {
+		return err
+	}
+	for _, r := range rows {
+		fmt.Println(r)
+	}
+	header, csvRows := experiments.Fig10CSV(rows)
+	return export(outDir, "fig10_concurrency.csv", header, csvRows)
+}
+
+func runDistributed(opts experiments.Options, outDir string) error {
+	rows, err := experiments.Distributed(opts, []int{1, 2, 4, 8}, 10000)
+	if err != nil {
+		return err
+	}
+	for _, r := range rows {
+		fmt.Println(r)
+	}
+	header, csvRows := experiments.DistributedCSV(rows)
+	return export(outDir, "distributed_matching.csv", header, csvRows)
+}
+
+func runCorrectness(opts experiments.Options) error {
+	res, err := experiments.Correctness(opts)
+	if err != nil {
+		return err
+	}
+	fmt.Println(res)
+	if !res.Audit.Consistent() {
+		return fmt.Errorf("framework statistics do not match the node audit log")
+	}
+	fmt.Println("framework statistics match the node-side commit log exactly")
+	return nil
+}

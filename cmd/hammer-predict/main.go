@@ -1,0 +1,164 @@
+// Command hammer-predict trains and evaluates the workload-prediction
+// models of §IV: Table III (five methods × three datasets), Fig 11
+// (real-vs-generated sequences) and the attention ablation.
+//
+// Usage:
+//
+//	hammer-predict -exp table3
+//	hammer-predict -exp fig11 -out results/
+//	hammer-predict -exp ablation -quick
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"strings"
+
+	"hammer/internal/experiments"
+	"hammer/internal/models"
+	"hammer/internal/timeseries"
+	"hammer/internal/timeseries/datasets"
+	"hammer/internal/viz"
+)
+
+func main() {
+	if err := run(); err != nil {
+		fmt.Fprintln(os.Stderr, "hammer-predict:", err)
+		os.Exit(1)
+	}
+}
+
+func run() error {
+	var (
+		exp    = flag.String("exp", "table3", "experiment: table3|fig11|ablation|all")
+		quick  = flag.Bool("quick", false, "shrink training budgets for a fast smoke run")
+		outDir = flag.String("out", "results", "directory for CSV export")
+		seed   = flag.Int64("seed", 7, "random seed")
+	)
+	flag.Parse()
+
+	opts := experiments.Default()
+	if *quick {
+		opts = experiments.Quick()
+	}
+	opts.Seed = *seed
+
+	selected := strings.Split(*exp, ",")
+	want := func(name string) bool {
+		for _, s := range selected {
+			if s == "all" || s == name {
+				return true
+			}
+		}
+		return false
+	}
+
+	ran := 0
+	if want("table3") {
+		fmt.Println("=== Table III: model comparison ===")
+		if err := runTable3(opts, *outDir); err != nil {
+			return err
+		}
+		ran++
+	}
+	if want("fig11") {
+		fmt.Println("=== Fig 11: real vs generated sequences ===")
+		if err := runFig11(opts, *outDir); err != nil {
+			return err
+		}
+		ran++
+	}
+	if want("ablation") {
+		fmt.Println("=== Ablation: multi-head attention ===")
+		if err := runAblation(opts); err != nil {
+			return err
+		}
+		ran++
+	}
+	if ran == 0 {
+		return fmt.Errorf("unknown experiment %q", *exp)
+	}
+	return nil
+}
+
+func runTable3(opts experiments.Options, outDir string) error {
+	rows, err := experiments.Table3(opts)
+	if err != nil {
+		return err
+	}
+	header := []string{"Dataset", "Method", "MAE", "MSE", "RMSE", "R2"}
+	var tbl [][]string
+	for _, r := range rows {
+		tbl = append(tbl, []string{
+			r.Dataset, r.Method,
+			fmt.Sprintf("%.3f", r.Metrics.MAE), fmt.Sprintf("%.3f", r.Metrics.MSE),
+			fmt.Sprintf("%.3f", r.Metrics.RMSE), fmt.Sprintf("%.4f", r.Metrics.R2),
+		})
+	}
+	viz.Table(os.Stdout, header, tbl)
+	csvHeader, csvRows := experiments.Table3CSV(rows)
+	return export(outDir, "table3_model_comparison.csv", csvHeader, csvRows)
+}
+
+func runFig11(opts experiments.Options, outDir string) error {
+	rows, err := experiments.Fig11(opts)
+	if err != nil {
+		return err
+	}
+	for _, r := range rows {
+		fmt.Printf("%s: one-step MAE %.2f over %d held-out hours\n", r.Dataset, r.OneStepMAE, len(r.Real))
+		viz.LineChart(os.Stdout, fmt.Sprintf("%s: real vs generated", r.Dataset), []viz.Series{
+			{Name: "real", Y: r.Real},
+			{Name: "generated", Y: r.Generated},
+			{Name: "one-step", Y: r.OneStep},
+		}, 72, 12)
+		header, csvRows := experiments.Fig11CSV(r)
+		if err := export(outDir, fmt.Sprintf("fig11_%s.csv", r.Dataset), header, csvRows); err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+func runAblation(opts experiments.Options) error {
+	cfg := models.DefaultConfig()
+	cfg.Epochs = opts.ModelEpochs
+	cfg.Lookback = opts.ModelLookback
+	cfg.Hidden = opts.ModelHidden
+	cfg.Seed = opts.Seed
+	for _, log := range datasets.All(opts.Seed) {
+		series := log.HourlySeries()
+		train, _ := timeseries.Split(series, 0.8)
+		for _, mb := range []struct {
+			name  string
+			build func(models.Config) models.Predictor
+		}{
+			{"with-attention", models.NewHammer},
+			{"no-attention", models.NewHammerNoAttention},
+		} {
+			p := mb.build(cfg)
+			if err := p.Fit(train); err != nil {
+				return err
+			}
+			m, err := models.EvaluateNormalized(p, series, len(train))
+			if err != nil {
+				return err
+			}
+			fmt.Printf("%-8s %-15s %s\n", log.Name, mb.name, m)
+		}
+	}
+	return nil
+}
+
+func export(outDir, name string, header []string, rows [][]string) error {
+	if outDir == "" {
+		return nil
+	}
+	path, err := viz.WriteCSVFile(outDir, name, header, rows)
+	if err != nil {
+		return err
+	}
+	fmt.Println("wrote", path)
+	return nil
+}

@@ -1,0 +1,96 @@
+// Command hammer-workload generates workload artifacts: SmallBank
+// transaction files (the client's preparation-phase output, §III-B1),
+// control sequences shaped after the synthetic application datasets, and
+// the Fig 1 temporal-distribution series.
+//
+// Usage:
+//
+//	hammer-workload -count 10000 -out workload.jsonl
+//	hammer-workload -control nfts -total 50000 -out control.json
+//	hammer-workload -fig1
+package main
+
+import (
+	"encoding/json"
+	"flag"
+	"fmt"
+	"os"
+	"time"
+
+	"hammer"
+	"hammer/internal/experiments"
+	"hammer/internal/viz"
+	"hammer/internal/workload"
+)
+
+func main() {
+	if err := run(); err != nil {
+		fmt.Fprintln(os.Stderr, "hammer-workload:", err)
+		os.Exit(1)
+	}
+}
+
+func run() error {
+	var (
+		count    = flag.Int("count", 10000, "transactions to generate")
+		accounts = flag.Int("accounts", 5000, "SmallBank account population")
+		seed     = flag.Int64("seed", 7, "random seed")
+		out      = flag.String("out", "workload.jsonl", "output file")
+		control  = flag.String("control", "", "emit a control sequence shaped after a dataset: defi|sandbox|nfts")
+		total    = flag.Int("total", 10000, "total transactions for -control")
+		fig1     = flag.Bool("fig1", false, "print the Fig 1 temporal distributions and exit")
+	)
+	flag.Parse()
+
+	if *fig1 {
+		r, err := experiments.Fig1(experiments.Options{Seed: *seed})
+		if err != nil {
+			return err
+		}
+		for _, name := range []string{"defi", "sandbox", "nfts"} {
+			fmt.Printf("%-8s %7d transactions over 300 h\n", name, r.Totals[name])
+			viz.LineChart(os.Stdout, name+" hourly transactions", []viz.Series{{Name: name, Y: r.Series[name]}}, 72, 10)
+		}
+		return nil
+	}
+
+	if *control != "" {
+		var series []float64
+		switch *control {
+		case "defi":
+			series = hammer.DeFiLog(*seed).HourlySeries()
+		case "sandbox":
+			series = hammer.SandboxLog(*seed).HourlySeries()
+		case "nfts":
+			series = hammer.NFTsLog(*seed).HourlySeries()
+		default:
+			return fmt.Errorf("unknown dataset %q", *control)
+		}
+		// One dataset hour maps to one evaluation second, preserving shape.
+		cs := hammer.LoadFromSeries(series, time.Second, *total)
+		raw, err := json.MarshalIndent(cs, "", "  ")
+		if err != nil {
+			return err
+		}
+		if err := os.WriteFile(*out, raw, 0o644); err != nil {
+			return err
+		}
+		fmt.Printf("wrote %s: %d slices, %d transactions, peak %.0f tx/s\n",
+			*out, len(cs.Counts), cs.Total(), cs.PeakRate())
+		return nil
+	}
+
+	profile := hammer.DefaultProfile()
+	profile.Accounts = *accounts
+	profile.Seed = *seed
+	gen, err := workload.NewGenerator(profile)
+	if err != nil {
+		return err
+	}
+	txs := gen.Batch(*count, "client-0", "server-0")
+	if err := workload.WriteFile(*out, txs); err != nil {
+		return err
+	}
+	fmt.Printf("wrote %s: %d SmallBank transactions over %d accounts\n", *out, len(txs), *accounts)
+	return nil
+}

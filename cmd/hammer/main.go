@@ -1,0 +1,168 @@
+// Command hammer runs one blockchain evaluation end to end: deploy a
+// (simulated) system under test, generate and sign a SmallBank workload,
+// execute it under a control sequence, and report throughput and latency —
+// the paper's Fig 3 execution flow in one invocation.
+//
+// Usage:
+//
+//	hammer -chain fabric -rate 300 -duration 30s
+//	hammer -playbook deploy.json -rate 2000 -clients 4 -driver hammer
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"strings"
+	"time"
+
+	"hammer"
+	"hammer/internal/viz"
+)
+
+func main() {
+	if err := run(); err != nil {
+		fmt.Fprintln(os.Stderr, "hammer:", err)
+		os.Exit(1)
+	}
+}
+
+func run() error {
+	var (
+		chainKind    = flag.String("chain", "fabric", "SUT to deploy: ethereum|fabric|neuchain|meepo")
+		workloadKind = flag.String("workload", "smallbank", "workload: smallbank | ycsb-a..ycsb-f")
+		playbook     = flag.String("playbook", "", "JSON deployment playbook (overrides -chain)")
+		rate         = flag.Float64("rate", 200, "offered load in tx/s")
+		duration     = flag.Duration("duration", 30*time.Second, "measurement window (virtual time)")
+		accounts     = flag.Int("accounts", 5000, "SmallBank account population")
+		clients      = flag.Int("clients", 2, "client machines")
+		threads      = flag.Int("threads", 2, "worker threads per client")
+		driver       = flag.String("driver", "hammer", "measurement driver: hammer|batch|interactive")
+		signMode     = flag.String("sign", "async", "signing strategy: serial|async|pipelined|off")
+		seed         = flag.Int64("seed", 7, "random seed")
+		outDir       = flag.String("out", "", "directory for CSV export (optional)")
+		showViz      = flag.Bool("viz", true, "run the SQL visualization phase")
+	)
+	flag.Parse()
+
+	sched := hammer.NewScheduler()
+	bc, err := buildChain(sched, *playbook, *chainKind)
+	if err != nil {
+		return err
+	}
+
+	cfg := hammer.DefaultEvalConfig()
+	cfg.Workload.Accounts = *accounts
+	cfg.Workload.Seed = *seed
+	cfg.Seed = *seed
+	if strings.HasPrefix(*workloadKind, "ycsb-") {
+		p := hammer.DefaultYCSBProfile()
+		p.Records = *accounts
+		p.Workload = strings.TrimPrefix(*workloadKind, "ycsb-")
+		p.Seed = *seed
+		gen, err := hammer.NewYCSBGenerator(p)
+		if err != nil {
+			return err
+		}
+		cfg.Source = gen
+		cfg.Contract = hammer.YCSB()
+	} else if *workloadKind != "smallbank" {
+		return fmt.Errorf("unknown workload %q", *workloadKind)
+	}
+	cfg.Clients = *clients
+	cfg.Threads = *threads
+	cfg.Control = hammer.ConstantLoad(*rate, *duration, time.Second)
+	switch *driver {
+	case "hammer":
+		cfg.Driver = hammer.DriverHammer
+	case "batch":
+		cfg.Driver = hammer.DriverBatch
+	case "interactive":
+		cfg.Driver = hammer.DriverInteractive
+	default:
+		return fmt.Errorf("unknown driver %q", *driver)
+	}
+	switch *signMode {
+	case "serial":
+		cfg.SignMode = hammer.SignSerial
+	case "async":
+		cfg.SignMode = hammer.SignAsync
+	case "pipelined":
+		cfg.SignMode = hammer.SignPipelined
+	case "off":
+		cfg.SignMode = hammer.SignOff
+	default:
+		return fmt.Errorf("unknown sign mode %q", *signMode)
+	}
+
+	fmt.Printf("evaluating %s under %s: %d tx at %.0f tx/s over %v (%d clients × %d threads, %s driver)\n",
+		bc.Name(), *workloadKind, cfg.Control.Total(), *rate, *duration, *clients, *threads, *driver)
+
+	res, err := hammer.Evaluate(sched, bc, cfg)
+	if err != nil {
+		return err
+	}
+	rep := res.Report
+	fmt.Println()
+	fmt.Println(rep)
+	fmt.Printf("preparation (real): %v; run covered %v of virtual time\n",
+		res.PrepDuration.Round(time.Millisecond), res.VirtualDuration.Round(time.Millisecond))
+
+	viz.LineChart(os.Stdout, fmt.Sprintf("committed TPS per second (%s)", bc.Name()),
+		[]viz.Series{{Name: "tps", Y: rep.TPSSeries}}, 72, 12)
+
+	if bc.Shards() > 1 {
+		fmt.Println("per-shard breakdown:")
+		for shard := 0; shard < bc.Shards(); shard++ {
+			if ss, ok := rep.PerShard[shard]; ok {
+				fmt.Printf("  shard %d: %d committed (%.1f TPS), %d aborted, avg latency %v\n",
+					shard, ss.Committed, ss.Throughput, ss.Aborted, ss.AvgLatency.Round(time.Millisecond))
+			}
+		}
+	}
+
+	if *showViz {
+		vr, err := hammer.Visualize(res.Records)
+		if err != nil {
+			return err
+		}
+		fmt.Printf("visualization: %d rows staged; Table II TPS query → %d sub-second commits; avg latency %.1f ms over %d rows\n",
+			vr.RowsStaged, vr.SubSecondCommits, vr.AvgLatencyMs, vr.LatencyRows)
+	}
+
+	if *outDir != "" {
+		header := []string{"second", "tps"}
+		rows := make([][]string, len(rep.TPSSeries))
+		for i, v := range rep.TPSSeries {
+			rows[i] = []string{fmt.Sprint(i), fmt.Sprintf("%.0f", v)}
+		}
+		path, err := viz.WriteCSVFile(*outDir, "run_tps.csv", header, rows)
+		if err != nil {
+			return err
+		}
+		fmt.Println("wrote", path)
+	}
+	return nil
+}
+
+func buildChain(sched *hammer.Scheduler, playbookPath, kind string) (hammer.Blockchain, error) {
+	if playbookPath != "" {
+		pb, err := hammer.LoadPlaybook(playbookPath)
+		if err != nil {
+			return nil, err
+		}
+		return hammer.DeployPlaybook(pb, sched)
+	}
+	switch kind {
+	case "ethereum":
+		return hammer.NewEthereum(sched, hammer.DefaultEthereumConfig()), nil
+	case "fabric":
+		return hammer.NewFabric(sched, hammer.DefaultFabricConfig()), nil
+	case "neuchain":
+		return hammer.NewNeuchain(sched, hammer.DefaultNeuchainConfig()), nil
+	case "meepo":
+		return hammer.NewMeepo(sched, hammer.DefaultMeepoConfig()), nil
+	default:
+		return nil, fmt.Errorf("unknown chain %q (want one of %v)", kind, hammer.ChainKinds())
+	}
+}

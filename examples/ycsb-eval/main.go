@@ -1,0 +1,54 @@
+// YCSB evaluation: drive the classic key-value workload mixes (A, B, C, F)
+// through the same evaluation pipeline the SmallBank experiments use,
+// demonstrating the engine's pluggable workload sources. Update-heavy mixes
+// conflict under Fabric's MVCC; read-mostly mixes sail through — the kind of
+// contract-level insight the framework exists to surface.
+package main
+
+import (
+	"fmt"
+	"log"
+	"os"
+	"time"
+
+	"hammer"
+	"hammer/internal/viz"
+)
+
+func main() {
+	var rows [][]string
+	for _, mix := range []string{"a", "b", "c", "f"} {
+		sched := hammer.NewScheduler()
+		bc := hammer.NewFabric(sched, hammer.DefaultFabricConfig())
+
+		profile := hammer.DefaultYCSBProfile()
+		profile.Records = 5000
+		profile.Workload = mix
+		gen, err := hammer.NewYCSBGenerator(profile)
+		if err != nil {
+			log.Fatal(err)
+		}
+
+		cfg := hammer.DefaultEvalConfig()
+		cfg.Source = gen
+		cfg.Contract = hammer.YCSB()
+		cfg.Control = hammer.ConstantLoad(200, 20*time.Second, time.Second)
+
+		res, err := hammer.Evaluate(sched, bc, cfg)
+		if err != nil {
+			log.Fatalf("workload %s: %v", mix, err)
+		}
+		rep := res.Report
+		fmt.Printf("workload %s: %s\n", mix, rep)
+		rows = append(rows, []string{
+			"YCSB-" + mix,
+			fmt.Sprintf("%.1f", rep.Throughput),
+			rep.AvgLatency.Round(time.Millisecond).String(),
+			fmt.Sprintf("%.1f%%", 100*float64(rep.Aborted)/float64(rep.Submitted)),
+		})
+	}
+	fmt.Println()
+	viz.Table(os.Stdout, []string{"workload", "TPS", "avg latency", "conflict aborts"}, rows)
+	fmt.Println("\nupdate-heavy mixes (A, F) abort on MVCC conflicts over the zipfian hot keys;")
+	fmt.Println("read-mostly mixes (B, C) commit nearly everything.")
+}

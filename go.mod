@@ -1,0 +1,3 @@
+module hammer
+
+go 1.22

@@ -1,0 +1,130 @@
+package hammer_test
+
+import (
+	"testing"
+	"time"
+
+	"hammer"
+)
+
+// TestPublicAPIEvaluation drives a full evaluation exclusively through the
+// public façade, the way a downstream user would.
+func TestPublicAPIEvaluation(t *testing.T) {
+	sched := hammer.NewScheduler()
+	bc := hammer.NewFabric(sched, hammer.DefaultFabricConfig())
+
+	cfg := hammer.DefaultEvalConfig()
+	cfg.Workload.Accounts = 500
+	cfg.Control = hammer.ConstantLoad(50, 10*time.Second, time.Second)
+	cfg.SignMode = hammer.SignOff
+
+	res, err := hammer.Evaluate(sched, bc, cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Report.Committed == 0 {
+		t.Fatal("nothing committed")
+	}
+	if res.Report.Chain != "fabric" {
+		t.Fatalf("chain %q", res.Report.Chain)
+	}
+
+	viz, err := hammer.Visualize(res.Records)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if viz.RowsStaged != len(res.Records) {
+		t.Fatalf("visualization staged %d of %d", viz.RowsStaged, len(res.Records))
+	}
+
+	audit, err := hammer.VerifyAgainstAuditLog(res.Records, bc)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !audit.Consistent() {
+		t.Fatalf("audit inconsistent: %+v", audit)
+	}
+}
+
+func TestPublicAPIPlaybook(t *testing.T) {
+	pb, err := hammer.ParsePlaybook([]byte(`{"name":"x","kind":"neuchain"}`))
+	if err != nil {
+		t.Fatal(err)
+	}
+	sched := hammer.NewScheduler()
+	bc, err := hammer.DeployPlaybook(pb, sched)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if bc.Name() != "neuchain" {
+		t.Fatalf("deployed %q", bc.Name())
+	}
+	if len(hammer.ChainKinds()) != 4 {
+		t.Fatalf("kinds %v", hammer.ChainKinds())
+	}
+}
+
+func TestPublicAPIPrediction(t *testing.T) {
+	series := hammer.SandboxLog(3).HourlySeries()
+	train, _ := hammer.SplitSeries(series, 0.8)
+
+	cfg := hammer.DefaultPredictorConfig()
+	cfg.Epochs = 10
+	cfg.Lookback = 12
+	cfg.Hidden = 8
+	p := hammer.NewWorkloadPredictor(cfg)
+	if err := p.Fit(train); err != nil {
+		t.Fatal(err)
+	}
+	m, err := hammer.EvaluatePredictor(p, series, len(train))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if m.MAE <= 0 {
+		t.Fatalf("metrics %v", m)
+	}
+	ext, err := hammer.ExtendSeries(p, series, 24)
+	if err != nil {
+		t.Fatal(err)
+	}
+	cs := hammer.LoadFromSeries(ext, time.Second, 1000)
+	if cs.Total() != 1000 {
+		t.Fatalf("control total %d", cs.Total())
+	}
+}
+
+func TestPublicAPIRPCBridge(t *testing.T) {
+	sched := hammer.NewScheduler()
+	cfg := hammer.DefaultNeuchainConfig()
+	cfg.EpochInterval = 20 * time.Millisecond
+	bc := hammer.NewNeuchain(sched, cfg)
+	if err := bc.Deploy(hammer.SmallBank()); err != nil {
+		t.Fatal(err)
+	}
+	rt := hammer.NewRealtime(sched, 10)
+	rt.Start()
+	defer rt.Stop()
+	rt.Do(func() { bc.Start() })
+
+	srv, addr, err := hammer.ServeRPC(bc, "127.0.0.1:0", rt.Do)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer srv.Close()
+
+	client, err := hammer.DialRPC("http://"+addr, 5*time.Second)
+	if err != nil {
+		t.Fatal(err)
+	}
+	tx := &hammer.Transaction{Contract: "smallbank", Op: "create", Args: []string{"a", "1", "1"}}
+	if _, err := client.Submit(tx); err != nil {
+		t.Fatal(err)
+	}
+	deadline := time.Now().Add(5 * time.Second)
+	for client.Height(0) == 0 && time.Now().Before(deadline) {
+		time.Sleep(20 * time.Millisecond)
+	}
+	if client.Height(0) == 0 {
+		t.Fatal("no block over the public RPC bridge")
+	}
+}

@@ -1,0 +1,124 @@
+// Package bloom implements the Bloom filter used by Hammer's task-processing
+// algorithm (paper Algorithm 1) to reject, in O(1) and without touching the
+// hash index, transactions that were never submitted by this driver — the
+// common case in distributed testing where several drivers share one chain.
+package bloom
+
+import (
+	"encoding/binary"
+	"fmt"
+	"hash/fnv"
+	"math"
+)
+
+// Filter is a standard Bloom filter with double hashing (Kirsch-Mitzenmacher)
+// over two FNV-1a digests. The zero value is unusable; construct with New.
+type Filter struct {
+	bits   []uint64
+	m      uint64 // number of bits
+	k      int    // number of hash functions
+	n      uint64 // elements added
+	hashBu [8]byte
+}
+
+// New sizes a filter for the expected number of elements n at the target
+// false-positive rate fp (0 < fp < 1). It panics on invalid arguments, as a
+// misconfigured filter is a programming error.
+func New(n int, fp float64) *Filter {
+	if n <= 0 {
+		panic(fmt.Sprintf("bloom: non-positive capacity %d", n))
+	}
+	if fp <= 0 || fp >= 1 {
+		panic(fmt.Sprintf("bloom: false-positive rate %v out of (0,1)", fp))
+	}
+	m := uint64(math.Ceil(-float64(n) * math.Log(fp) / (math.Ln2 * math.Ln2)))
+	if m < 64 {
+		m = 64
+	}
+	k := int(math.Round(float64(m) / float64(n) * math.Ln2))
+	if k < 1 {
+		k = 1
+	}
+	return &Filter{
+		bits: make([]uint64, (m+63)/64),
+		m:    m,
+		k:    k,
+	}
+}
+
+// hashPair computes two independent 64-bit digests of data.
+func hashPair(data []byte) (uint64, uint64) {
+	h1 := fnv.New64a()
+	h1.Write(data)
+	a := h1.Sum64()
+	h2 := fnv.New64a()
+	var salt [1]byte
+	salt[0] = 0x5c
+	h2.Write(salt[:])
+	h2.Write(data)
+	b := h2.Sum64()
+	if b == 0 {
+		b = 0x9e3779b97f4a7c15
+	}
+	return a, b
+}
+
+// Add inserts data into the filter.
+func (f *Filter) Add(data []byte) {
+	a, b := hashPair(data)
+	for i := 0; i < f.k; i++ {
+		idx := (a + uint64(i)*b) % f.m
+		f.bits[idx/64] |= 1 << (idx % 64)
+	}
+	f.n++
+}
+
+// AddUint64 inserts a 64-bit key.
+func (f *Filter) AddUint64(v uint64) {
+	binary.BigEndian.PutUint64(f.hashBu[:], v)
+	f.Add(f.hashBu[:])
+}
+
+// Contains reports whether data may have been added. False means definitely
+// absent; true may be a false positive at the configured rate.
+func (f *Filter) Contains(data []byte) bool {
+	a, b := hashPair(data)
+	for i := 0; i < f.k; i++ {
+		idx := (a + uint64(i)*b) % f.m
+		if f.bits[idx/64]&(1<<(idx%64)) == 0 {
+			return false
+		}
+	}
+	return true
+}
+
+// ContainsUint64 tests a 64-bit key.
+func (f *Filter) ContainsUint64(v uint64) bool {
+	var buf [8]byte
+	binary.BigEndian.PutUint64(buf[:], v)
+	return f.Contains(buf[:])
+}
+
+// Count reports the number of Add calls.
+func (f *Filter) Count() uint64 { return f.n }
+
+// Bits reports the filter width in bits.
+func (f *Filter) Bits() uint64 { return f.m }
+
+// Hashes reports the number of hash functions.
+func (f *Filter) Hashes() int { return f.k }
+
+// EstimatedFalsePositiveRate computes the expected false-positive rate given
+// the current fill.
+func (f *Filter) EstimatedFalsePositiveRate() float64 {
+	exp := -float64(f.k) * float64(f.n) / float64(f.m)
+	return math.Pow(1-math.Exp(exp), float64(f.k))
+}
+
+// Reset clears the filter for reuse.
+func (f *Filter) Reset() {
+	for i := range f.bits {
+		f.bits[i] = 0
+	}
+	f.n = 0
+}

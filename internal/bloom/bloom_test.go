@@ -1,0 +1,104 @@
+package bloom
+
+import (
+	"encoding/binary"
+	"testing"
+	"testing/quick"
+)
+
+func TestNoFalseNegatives(t *testing.T) {
+	f := New(10000, 0.01)
+	for i := 0; i < 10000; i++ {
+		f.AddUint64(uint64(i))
+	}
+	for i := 0; i < 10000; i++ {
+		if !f.ContainsUint64(uint64(i)) {
+			t.Fatalf("false negative for %d", i)
+		}
+	}
+}
+
+func TestFalsePositiveRateNearTarget(t *testing.T) {
+	const n = 20000
+	f := New(n, 0.01)
+	for i := 0; i < n; i++ {
+		f.AddUint64(uint64(i))
+	}
+	fp := 0
+	const probes = 50000
+	for i := 0; i < probes; i++ {
+		if f.ContainsUint64(uint64(n + i)) {
+			fp++
+		}
+	}
+	rate := float64(fp) / probes
+	if rate > 0.03 {
+		t.Fatalf("false positive rate %.4f, want ≈0.01", rate)
+	}
+	if est := f.EstimatedFalsePositiveRate(); est > 0.03 {
+		t.Fatalf("estimated fp rate %.4f too high", est)
+	}
+}
+
+func TestSizing(t *testing.T) {
+	f := New(1000, 0.01)
+	if f.Bits() < 1000 {
+		t.Fatalf("filter too small: %d bits", f.Bits())
+	}
+	if f.Hashes() < 2 {
+		t.Fatalf("too few hash functions: %d", f.Hashes())
+	}
+}
+
+func TestReset(t *testing.T) {
+	f := New(100, 0.01)
+	f.Add([]byte("x"))
+	if !f.Contains([]byte("x")) {
+		t.Fatal("added element missing")
+	}
+	f.Reset()
+	if f.Contains([]byte("x")) {
+		t.Fatal("reset filter should be empty")
+	}
+	if f.Count() != 0 {
+		t.Fatalf("count %d after reset", f.Count())
+	}
+}
+
+func TestPanicsOnBadArgs(t *testing.T) {
+	for _, tc := range []struct {
+		n  int
+		fp float64
+	}{{0, 0.01}, {10, 0}, {10, 1}} {
+		func() {
+			defer func() {
+				if recover() == nil {
+					t.Errorf("New(%d, %v) should panic", tc.n, tc.fp)
+				}
+			}()
+			New(tc.n, tc.fp)
+		}()
+	}
+}
+
+// TestQuickNoFalseNegatives property-tests membership after insertion.
+func TestQuickNoFalseNegatives(t *testing.T) {
+	f := New(4096, 0.01)
+	inserted := make(map[uint64]bool)
+	prop := func(v uint64) bool {
+		var buf [8]byte
+		binary.BigEndian.PutUint64(buf[:], v)
+		f.Add(buf[:])
+		inserted[v] = true
+		for k := range inserted {
+			binary.BigEndian.PutUint64(buf[:], k)
+			if !f.Contains(buf[:]) {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(prop, &quick.Config{MaxCount: 200}); err != nil {
+		t.Fatal(err)
+	}
+}

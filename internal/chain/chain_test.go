@@ -1,0 +1,252 @@
+package chain
+
+import (
+	"encoding/json"
+	"testing"
+	"testing/quick"
+	"time"
+)
+
+func sampleTx() *Transaction {
+	return &Transaction{
+		ClientID: "client-1",
+		ServerID: "server-0",
+		Chain:    "fabric",
+		Contract: "smallbank",
+		Op:       "transfer",
+		Args:     []string{"a", "b", "10"},
+		From:     "a",
+		Nonce:    7,
+		Gas:      40000,
+	}
+}
+
+func TestTxIDDeterministic(t *testing.T) {
+	a, b := sampleTx(), sampleTx()
+	if a.ComputeID() != b.ComputeID() {
+		t.Fatal("identical transactions should hash identically")
+	}
+	b.Args[2] = "11"
+	if a.ComputeID() == b.ComputeID() {
+		t.Fatal("different args should change the ID")
+	}
+}
+
+func TestTxEncodeInjective(t *testing.T) {
+	// Field-boundary confusion check: moving a byte between adjacent
+	// fields must change the encoding.
+	a := &Transaction{ClientID: "ab", ServerID: "c"}
+	b := &Transaction{ClientID: "a", ServerID: "bc"}
+	if a.ComputeID() == b.ComputeID() {
+		t.Fatal("length-prefixed encoding should distinguish field boundaries")
+	}
+}
+
+func TestTxIDJSONRoundTrip(t *testing.T) {
+	tx := sampleTx()
+	tx.ComputeID()
+	raw, err := json.Marshal(tx)
+	if err != nil {
+		t.Fatal(err)
+	}
+	decoded := &Transaction{}
+	if err := json.Unmarshal(raw, decoded); err != nil {
+		t.Fatal(err)
+	}
+	if decoded.ID != tx.ID || decoded.Op != tx.Op || decoded.Args[2] != "10" {
+		t.Fatalf("roundtrip mismatch: %+v", decoded)
+	}
+}
+
+func TestParseTxIDErrors(t *testing.T) {
+	if _, err := ParseTxID("zz"); err == nil {
+		t.Fatal("bad hex should error")
+	}
+	if _, err := ParseTxID("abcd"); err == nil {
+		t.Fatal("short id should error")
+	}
+	tx := sampleTx()
+	id := tx.ComputeID()
+	parsed, err := ParseTxID(id.String())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if parsed != id {
+		t.Fatal("ParseTxID(String()) should round-trip")
+	}
+}
+
+func TestBlockSealChainsHashes(t *testing.T) {
+	tx := sampleTx()
+	tx.ComputeID()
+	b1 := &Block{Txs: []*Transaction{tx}, Timestamp: time.Second}
+	b1.Seal()
+	if b1.BlockHash == (Hash{}) {
+		t.Fatal("seal should produce a non-zero hash")
+	}
+	b2 := &Block{PrevHash: b1.BlockHash, Height: 2}
+	b2.Seal()
+	if b2.BlockHash == b1.BlockHash {
+		t.Fatal("different blocks should hash differently")
+	}
+}
+
+func TestMerkleRootProperties(t *testing.T) {
+	empty := MerkleRoot(nil)
+	if empty == (Hash{}) {
+		t.Fatal("empty root should still be defined")
+	}
+	a := MerkleRoot([][]byte{[]byte("x"), []byte("y")})
+	b := MerkleRoot([][]byte{[]byte("y"), []byte("x")})
+	if a == b {
+		t.Fatal("merkle root should depend on leaf order")
+	}
+	odd := MerkleRoot([][]byte{[]byte("x"), []byte("y"), []byte("z")})
+	if odd == a {
+		t.Fatal("extra leaf should change the root")
+	}
+	// Determinism.
+	if MerkleRoot([][]byte{[]byte("x"), []byte("y")}) != a {
+		t.Fatal("merkle root should be deterministic")
+	}
+}
+
+func TestStateVersioning(t *testing.T) {
+	s := NewState()
+	if _, _, ok := s.Get("k"); ok {
+		t.Fatal("empty state should miss")
+	}
+	s.Set("k", []byte("v1"), 1)
+	v, ver, ok := s.Get("k")
+	if !ok || string(v) != "v1" || ver != 1 {
+		t.Fatalf("got %q v%d ok=%v", v, ver, ok)
+	}
+	s.Set("k", []byte("v2"), 5)
+	_, ver, _ = s.Get("k")
+	if ver != 5 {
+		t.Fatalf("version %d, want 5", ver)
+	}
+	s.Delete("k")
+	if _, _, ok := s.Get("k"); ok {
+		t.Fatal("deleted key should miss")
+	}
+}
+
+func TestExecutorReadYourWrites(t *testing.T) {
+	s := NewState()
+	s.Set("a", []byte("1"), 1)
+	ex := NewExecutor(s)
+	ex.Put("a", []byte("2"))
+	if v, ok := ex.Get("a"); !ok || string(v) != "2" {
+		t.Fatalf("read-your-writes broken: %q ok=%v", v, ok)
+	}
+	// The read of our own write must not appear in the read set.
+	if len(ex.RWSet().Reads) != 0 {
+		t.Fatalf("own-write read leaked into read set: %+v", ex.RWSet().Reads)
+	}
+	ex.Del("a")
+	if _, ok := ex.Get("a"); ok {
+		t.Fatal("deleted-in-tx key should read as absent")
+	}
+}
+
+func TestRWSetValidateDetectsConflicts(t *testing.T) {
+	s := NewState()
+	s.Set("a", []byte("1"), 1)
+
+	ex := NewExecutor(s)
+	ex.Get("a")
+	ex.Put("a", []byte("2"))
+	rw := ex.RWSet()
+	if err := rw.Validate(s); err != nil {
+		t.Fatalf("unchanged state should validate: %v", err)
+	}
+	// Another writer commits in between.
+	s.Set("a", []byte("9"), 2)
+	if err := rw.Validate(s); err == nil {
+		t.Fatal("version bump should invalidate the read set")
+	}
+}
+
+func TestRWSetValidateAbsentKey(t *testing.T) {
+	s := NewState()
+	ex := NewExecutor(s)
+	ex.Get("ghost")
+	rw := ex.RWSet()
+	if err := rw.Validate(s); err != nil {
+		t.Fatalf("absent key unchanged should validate: %v", err)
+	}
+	s.Set("ghost", []byte("now"), 1)
+	if err := rw.Validate(s); err == nil {
+		t.Fatal("key appearing should invalidate a read-of-absent")
+	}
+}
+
+func TestRWSetApplyAndKeys(t *testing.T) {
+	s := NewState()
+	ex := NewExecutor(s)
+	ex.Put("b", []byte("2"))
+	ex.Put("a", []byte("1"))
+	ex.Get("c")
+	rw := ex.RWSet()
+	keys := rw.Keys()
+	if len(keys) != 3 || keys[0] != "a" || keys[1] != "b" || keys[2] != "c" {
+		t.Fatalf("keys %v, want [a b c]", keys)
+	}
+	rw.Apply(s, 9)
+	if _, ver, ok := s.Get("a"); !ok || ver != 9 {
+		t.Fatal("apply should install writes at the commit version")
+	}
+}
+
+func TestTxStatusStrings(t *testing.T) {
+	cases := map[TxStatus]string{
+		StatusPending:   "pending",
+		StatusCommitted: "committed",
+		StatusAborted:   "aborted",
+		StatusRejected:  "rejected",
+		StatusTimedOut:  "timed_out",
+		TxStatus(99):    "TxStatus(99)",
+	}
+	for st, want := range cases {
+		if st.String() != want {
+			t.Errorf("%d → %q, want %q", int(st), st.String(), want)
+		}
+	}
+}
+
+// TestTxIDQuickInjective property-tests that distinct argument lists yield
+// distinct IDs.
+func TestTxIDQuickInjective(t *testing.T) {
+	f := func(a, b string, n1, n2 uint64) bool {
+		t1 := &Transaction{Op: a, Nonce: n1}
+		t2 := &Transaction{Op: b, Nonce: n2}
+		same := a == b && n1 == n2
+		return (t1.ComputeID() == t2.ComputeID()) == same
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestHashJSONRoundTrip(t *testing.T) {
+	var h Hash
+	h[0] = 0xab
+	raw, err := json.Marshal(h)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var back Hash
+	if err := json.Unmarshal(raw, &back); err != nil {
+		t.Fatal(err)
+	}
+	if back != h {
+		t.Fatal("hash JSON roundtrip mismatch")
+	}
+	if err := json.Unmarshal([]byte(`"zz"`), &back); err == nil {
+		t.Fatal("bad hex should error")
+	}
+	if err := json.Unmarshal([]byte(`"abcd"`), &back); err == nil {
+		t.Fatal("short hash should error")
+	}
+}

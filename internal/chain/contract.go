@@ -1,0 +1,104 @@
+package chain
+
+import (
+	"errors"
+	"fmt"
+	"time"
+)
+
+// TxContext is the world-state view a contract sees while executing one
+// transaction. Reads observe earlier writes of the same transaction.
+type TxContext interface {
+	// Get returns the current value of key; ok is false for absent keys.
+	Get(key string) (val []byte, ok bool)
+	// Put writes key.
+	Put(key string, val []byte)
+	// Del removes key.
+	Del(key string)
+}
+
+// Contract is a deployable smart contract. Invoke must be deterministic:
+// given the same state and arguments it must perform the same reads and
+// writes on every node.
+type Contract interface {
+	// Name is the contract's registered name.
+	Name() string
+	// Invoke executes op with args against ctx. A returned error aborts the
+	// transaction (its writes are discarded) without failing the block.
+	Invoke(ctx TxContext, op string, args []string) error
+	// Gas estimates the execution cost of op, charged against block gas
+	// caps on chains that meter gas.
+	Gas(op string) uint64
+}
+
+// ErrUnknownOp is returned by contracts for unsupported operations.
+var ErrUnknownOp = errors.New("chain: unknown contract operation")
+
+// ErrUnknownContract is returned when a transaction names a contract that
+// is not deployed on the chain.
+var ErrUnknownContract = errors.New("chain: unknown contract")
+
+// ErrAlreadyDeployed is returned by Deploy for a duplicate contract name.
+var ErrAlreadyDeployed = errors.New("chain: contract already deployed")
+
+// Blockchain is the generic system-under-test interface (paper §III-A2).
+// Every simulated chain implements it, and the Hammer framework drives SUTs
+// exclusively through it (in-process or via the JSON-RPC bridge), which is
+// what makes the framework architecture- and language-agnostic.
+type Blockchain interface {
+	// Name identifies the chain implementation (e.g. "ethereum").
+	Name() string
+	// Deploy registers a contract. It must be called before Start.
+	Deploy(c Contract) error
+	// Submit enqueues a signed transaction and returns its ID, or an error
+	// when the chain rejects it at admission (e.g. overload, bad
+	// signature). Admission errors model node-side request rejection under
+	// overload (paper §V-D).
+	Submit(tx *Transaction) (TxID, error)
+	// Shards reports the number of shards (1 for non-sharded chains).
+	Shards() int
+	// Height returns the height of the newest sealed block on shard.
+	Height(shard int) uint64
+	// BlockAt returns the sealed block at height on shard.
+	BlockAt(shard int, height uint64) (*Block, bool)
+	// PendingTxs reports transactions admitted but not yet committed, for
+	// monitoring.
+	PendingTxs() int
+	// Start begins block production; Stop halts it.
+	Start()
+	Stop()
+}
+
+// AuditLogger is implemented by chains that keep a node-side commit log.
+// The correctness experiment (paper §V-C) compares the framework's measured
+// statistics against this ground truth, standing in for parsing Fabric peer
+// logs.
+type AuditLogger interface {
+	// AuditLog returns every commit event the node observed.
+	AuditLog() []AuditEntry
+}
+
+// AuditEntry is one node-side commit record.
+type AuditEntry struct {
+	TxID   TxID
+	Status TxStatus
+	Shard  int
+	Height uint64
+	Time   time.Duration
+}
+
+// ErrOverloaded is returned by Submit when a node sheds load; the paper
+// observes Fabric nodes rejecting requests beyond their processing capacity
+// (§V-D).
+var ErrOverloaded = errors.New("chain: node overloaded, transaction rejected")
+
+// ErrStopped is returned by Submit after Stop.
+var ErrStopped = errors.New("chain: chain is stopped")
+
+// ValidateShard normalises and checks a shard index against a chain.
+func ValidateShard(bc Blockchain, shard int) error {
+	if shard < 0 || shard >= bc.Shards() {
+		return fmt.Errorf("chain: shard %d out of range [0,%d)", shard, bc.Shards())
+	}
+	return nil
+}

@@ -1,0 +1,192 @@
+package chain
+
+import (
+	"fmt"
+	"sort"
+	"sync"
+)
+
+// VersionedValue is a world-state entry with the version (commit sequence)
+// of its last write, as used by MVCC validation in Fabric-style chains.
+type VersionedValue struct {
+	Value   []byte
+	Version uint64
+}
+
+// State is a versioned key-value world state. The zero value is empty and
+// ready to use. State is safe for concurrent readers and writers; the
+// simulated chains additionally serialise commits through their event loop.
+type State struct {
+	mu   sync.RWMutex
+	data map[string]VersionedValue
+}
+
+// NewState returns an empty world state.
+func NewState() *State {
+	return &State{data: make(map[string]VersionedValue)}
+}
+
+// Get returns the value and version for key. ok is false when the key has
+// never been written.
+func (s *State) Get(key string) (val []byte, version uint64, ok bool) {
+	s.mu.RLock()
+	defer s.mu.RUnlock()
+	vv, ok := s.data[key]
+	if !ok {
+		return nil, 0, false
+	}
+	return vv.Value, vv.Version, true
+}
+
+// Set writes key at the given version.
+func (s *State) Set(key string, val []byte, version uint64) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	if s.data == nil {
+		s.data = make(map[string]VersionedValue)
+	}
+	s.data[key] = VersionedValue{Value: val, Version: version}
+}
+
+// Delete removes key.
+func (s *State) Delete(key string) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	delete(s.data, key)
+}
+
+// Len reports the number of live keys.
+func (s *State) Len() int {
+	s.mu.RLock()
+	defer s.mu.RUnlock()
+	return len(s.data)
+}
+
+// Keys returns all keys in sorted order (used by audits and tests).
+func (s *State) Keys() []string {
+	s.mu.RLock()
+	defer s.mu.RUnlock()
+	keys := make([]string, 0, len(s.data))
+	for k := range s.data {
+		keys = append(keys, k)
+	}
+	sort.Strings(keys)
+	return keys
+}
+
+// ReadEntry records a key read during simulated execution together with the
+// version observed, for MVCC validation.
+type ReadEntry struct {
+	Key     string
+	Version uint64
+	// Exists distinguishes a read of an absent key (version 0) from a read
+	// of a key genuinely written at version 0.
+	Exists bool
+}
+
+// WriteEntry records a key written during simulated execution.
+type WriteEntry struct {
+	Key   string
+	Value []byte
+}
+
+// RWSet is the read-write set produced by endorsing (executing) a
+// transaction against a state snapshot.
+type RWSet struct {
+	Reads  []ReadEntry
+	Writes []WriteEntry
+}
+
+// Keys returns the union of read and written keys, deduplicated and sorted.
+func (rw *RWSet) Keys() []string {
+	set := make(map[string]struct{}, len(rw.Reads)+len(rw.Writes))
+	for _, r := range rw.Reads {
+		set[r.Key] = struct{}{}
+	}
+	for _, w := range rw.Writes {
+		set[w.Key] = struct{}{}
+	}
+	keys := make([]string, 0, len(set))
+	for k := range set {
+		keys = append(keys, k)
+	}
+	sort.Strings(keys)
+	return keys
+}
+
+// Validate checks the read set against the current state: every read must
+// still observe the version it saw at execution time. It returns nil when
+// the set is still valid, or a descriptive conflict error.
+func (rw *RWSet) Validate(s *State) error {
+	for _, r := range rw.Reads {
+		_, ver, ok := s.Get(r.Key)
+		if ok != r.Exists || (ok && ver != r.Version) {
+			return fmt.Errorf("chain: mvcc conflict on %q: read version %d (exists=%v), now %d (exists=%v)",
+				r.Key, r.Version, r.Exists, ver, ok)
+		}
+	}
+	return nil
+}
+
+// Apply installs the write set at the given commit version.
+func (rw *RWSet) Apply(s *State, version uint64) {
+	for _, w := range rw.Writes {
+		if w.Value == nil {
+			s.Delete(w.Key)
+			continue
+		}
+		s.Set(w.Key, w.Value, version)
+	}
+}
+
+// Executor runs a transaction against a state snapshot and records its
+// read-write set. It implements the TxContext seen by contracts.
+type Executor struct {
+	state   *State
+	rwset   RWSet
+	pending map[string][]byte
+}
+
+// NewExecutor builds an executor over the given state.
+func NewExecutor(state *State) *Executor {
+	return &Executor{state: state, pending: make(map[string][]byte)}
+}
+
+// Get reads key, preferring this transaction's own uncommitted writes
+// (read-your-writes), and records the read in the RW set otherwise.
+func (e *Executor) Get(key string) ([]byte, bool) {
+	if v, ok := e.pending[key]; ok {
+		return v, v != nil
+	}
+	val, ver, ok := e.state.Get(key)
+	e.rwset.Reads = append(e.rwset.Reads, ReadEntry{Key: key, Version: ver, Exists: ok})
+	return val, ok
+}
+
+// Put stages a write to key.
+func (e *Executor) Put(key string, val []byte) {
+	if val == nil {
+		val = []byte{}
+	}
+	e.pending[key] = val
+	e.stageWrite(key, val)
+}
+
+// Del stages a deletion of key.
+func (e *Executor) Del(key string) {
+	e.pending[key] = nil
+	e.stageWrite(key, nil)
+}
+
+func (e *Executor) stageWrite(key string, val []byte) {
+	for i := range e.rwset.Writes {
+		if e.rwset.Writes[i].Key == key {
+			e.rwset.Writes[i].Value = val
+			return
+		}
+	}
+	e.rwset.Writes = append(e.rwset.Writes, WriteEntry{Key: key, Value: val})
+}
+
+// RWSet returns the recorded read-write set.
+func (e *Executor) RWSet() *RWSet { return &e.rwset }

@@ -1,0 +1,125 @@
+package basechain
+
+import (
+	"errors"
+	"testing"
+	"time"
+
+	"hammer/internal/chain"
+	"hammer/internal/eventsim"
+	"hammer/internal/smallbank"
+)
+
+func TestComputePacksLanes(t *testing.T) {
+	sched := eventsim.New()
+	c := NewCompute(sched, 2)
+	var done []time.Duration
+	record := func() { done = append(done, sched.Now()) }
+	// Three 10ms jobs on two lanes: finish at 10, 10, 20.
+	c.Run(10*time.Millisecond, record)
+	c.Run(10*time.Millisecond, record)
+	c.Run(10*time.Millisecond, record)
+	sched.Run()
+	if len(done) != 3 {
+		t.Fatalf("%d jobs ran", len(done))
+	}
+	if done[0] != 10*time.Millisecond || done[1] != 10*time.Millisecond || done[2] != 20*time.Millisecond {
+		t.Fatalf("completions %v", done)
+	}
+}
+
+func TestComputeBacklog(t *testing.T) {
+	sched := eventsim.New()
+	c := NewCompute(sched, 1)
+	c.Run(100*time.Millisecond, nil)
+	if c.Backlog() != 100*time.Millisecond {
+		t.Fatalf("backlog %v", c.Backlog())
+	}
+	sched.RunUntil(60 * time.Millisecond)
+	if c.Backlog() != 40*time.Millisecond {
+		t.Fatalf("backlog after progress %v", c.Backlog())
+	}
+}
+
+func TestBaseLifecycleAndBlocks(t *testing.T) {
+	sched := eventsim.New()
+	b := &Base{}
+	b.Init("test", sched, 2)
+	if b.Name() != "test" || b.Shards() != 2 {
+		t.Fatal("init fields")
+	}
+	if err := b.Deploy(smallbank.Contract{}); err != nil {
+		t.Fatal(err)
+	}
+	if err := b.Deploy(smallbank.Contract{}); !errors.Is(err, chain.ErrAlreadyDeployed) {
+		t.Fatalf("duplicate deploy: %v", err)
+	}
+	if !b.MarkStarted() {
+		t.Fatal("first start should win")
+	}
+	if b.MarkStarted() {
+		t.Fatal("second start should lose")
+	}
+	if err := b.Deploy(smallbank.Contract{}); err == nil {
+		t.Fatal("deploy after start should fail")
+	}
+
+	tx := &chain.Transaction{Contract: "smallbank", Op: "create", Args: []string{"a", "1", "1"}}
+	tx.ComputeID()
+	blk := &chain.Block{
+		Txs:      []*chain.Transaction{tx},
+		Receipts: []*chain.Receipt{{TxID: tx.ID, Status: chain.StatusCommitted}},
+	}
+	b.AppendBlock(1, blk)
+	if b.Height(1) != 1 || b.Height(0) != 0 {
+		t.Fatalf("heights %d %d", b.Height(0), b.Height(1))
+	}
+	got, ok := b.BlockAt(1, 1)
+	if !ok || got.BlockHash == (chain.Hash{}) {
+		t.Fatal("block should be sealed and retrievable")
+	}
+	if _, ok := b.BlockAt(1, 0); ok {
+		t.Fatal("height 0 should miss (heights are 1-based)")
+	}
+	if _, ok := b.BlockAt(5, 1); ok {
+		t.Fatal("bad shard should miss")
+	}
+	audit := b.AuditLog()
+	if len(audit) != 1 || audit[0].Status != chain.StatusCommitted || audit[0].Shard != 1 {
+		t.Fatalf("audit %+v", audit)
+	}
+	b.MarkStopped()
+	if b.Running() {
+		t.Fatal("stopped chain should not be running")
+	}
+}
+
+func TestExecuteOrdered(t *testing.T) {
+	sched := eventsim.New()
+	b := &Base{}
+	b.Init("test", sched, 1)
+	if err := b.Deploy(smallbank.Contract{}); err != nil {
+		t.Fatal(err)
+	}
+	state := chain.NewState()
+	txs := []*chain.Transaction{
+		{Contract: "smallbank", Op: "create", Args: []string{"a", "100", "0"}},
+		{Contract: "smallbank", Op: "deposit", Args: []string{"a", "50"}},
+		{Contract: "smallbank", Op: "deposit", Args: []string{"ghost", "1"}}, // aborts
+		{Contract: "nope", Op: "x"}, // unknown contract
+	}
+	for _, tx := range txs {
+		tx.ComputeID()
+	}
+	receipts := b.ExecuteOrdered(state, txs, 1)
+	want := []chain.TxStatus{chain.StatusCommitted, chain.StatusCommitted, chain.StatusAborted, chain.StatusAborted}
+	for i, r := range receipts {
+		if r.Status != want[i] {
+			t.Fatalf("receipt %d: %v want %v (%s)", i, r.Status, want[i], r.Err)
+		}
+	}
+	v, _, _ := state.Get("c:a")
+	if string(v) != "150" {
+		t.Fatalf("balance %q", v)
+	}
+}

@@ -1,0 +1,154 @@
+package ethereum
+
+import (
+	"errors"
+	"strconv"
+	"testing"
+	"time"
+
+	"hammer/internal/chain"
+	"hammer/internal/eventsim"
+	"hammer/internal/smallbank"
+)
+
+func newChain(t *testing.T, cfg Config) (*eventsim.Scheduler, *Chain) {
+	t.Helper()
+	sched := eventsim.New()
+	c := New(sched, cfg)
+	if err := c.Deploy(smallbank.Contract{}); err != nil {
+		t.Fatal(err)
+	}
+	return sched, c
+}
+
+func depositTx(i int) *chain.Transaction {
+	tx := &chain.Transaction{
+		Contract: smallbank.ContractName,
+		Op:       smallbank.OpCreate,
+		Args:     []string{"acct" + strconv.Itoa(i), "100", "100"},
+		Nonce:    uint64(i),
+	}
+	tx.ComputeID()
+	return tx
+}
+
+func TestSubmitBeforeStartRejected(t *testing.T) {
+	_, c := newChain(t, DefaultConfig())
+	if _, err := c.Submit(depositTx(1)); err == nil {
+		t.Fatal("submit before start should fail")
+	}
+}
+
+func TestBlockProductionRespectsGasLimit(t *testing.T) {
+	cfg := DefaultConfig()
+	cfg.BlockInterval = time.Second
+	cfg.GasLimit = 21000 * 10 // exactly 10 creates
+	sched, c := newChain(t, cfg)
+	c.Start()
+	for i := 0; i < 25; i++ {
+		if _, err := c.Submit(depositTx(i)); err != nil {
+			t.Fatal(err)
+		}
+	}
+	sched.RunUntil(time.Minute)
+	if c.Height(0) < 3 {
+		t.Fatalf("only %d blocks in a minute", c.Height(0))
+	}
+	blk, _ := c.BlockAt(0, 1)
+	if len(blk.Txs) != 10 {
+		t.Fatalf("first block carries %d txs, want 10 (gas cap)", len(blk.Txs))
+	}
+	total := 0
+	for h := uint64(1); h <= c.Height(0); h++ {
+		b, _ := c.BlockAt(0, h)
+		total += len(b.Txs)
+	}
+	if total != 25 {
+		t.Fatalf("%d transactions mined, want 25", total)
+	}
+	if c.PendingTxs() != 0 {
+		t.Fatalf("%d still pending", c.PendingTxs())
+	}
+}
+
+func TestMempoolCapSheds(t *testing.T) {
+	cfg := DefaultConfig()
+	cfg.MempoolCap = 5
+	_, c := newChain(t, cfg)
+	c.Start()
+	var rejected int
+	for i := 0; i < 10; i++ {
+		if _, err := c.Submit(depositTx(i)); err != nil {
+			if !errors.Is(err, chain.ErrOverloaded) {
+				t.Fatalf("unexpected error kind: %v", err)
+			}
+			rejected++
+		}
+	}
+	if rejected != 5 {
+		t.Fatalf("rejected %d, want 5", rejected)
+	}
+}
+
+func TestStopHaltsMining(t *testing.T) {
+	cfg := DefaultConfig()
+	cfg.BlockInterval = time.Second
+	sched, c := newChain(t, cfg)
+	c.Start()
+	if _, err := c.Submit(depositTx(1)); err != nil {
+		t.Fatal(err)
+	}
+	c.Stop()
+	sched.RunUntil(time.Minute)
+	if c.Height(0) != 0 {
+		t.Fatal("stopped chain should not mine")
+	}
+	if _, err := c.Submit(depositTx(2)); !errors.Is(err, chain.ErrStopped) {
+		t.Fatalf("submit after stop: %v", err)
+	}
+}
+
+func TestDeterministicBlocks(t *testing.T) {
+	run := func() []uint64 {
+		cfg := DefaultConfig()
+		cfg.BlockInterval = time.Second
+		sched, c := newChain(t, cfg)
+		c.Start()
+		for i := 0; i < 50; i++ {
+			if _, err := c.Submit(depositTx(i)); err != nil {
+				t.Fatal(err)
+			}
+		}
+		sched.RunUntil(30 * time.Second)
+		var sizes []uint64
+		for h := uint64(1); h <= c.Height(0); h++ {
+			b, _ := c.BlockAt(0, h)
+			sizes = append(sizes, uint64(len(b.Txs)))
+		}
+		return sizes
+	}
+	a, b := run(), run()
+	if len(a) != len(b) {
+		t.Fatalf("non-deterministic block counts %d vs %d", len(a), len(b))
+	}
+	for i := range a {
+		if a[i] != b[i] {
+			t.Fatal("non-deterministic block contents")
+		}
+	}
+}
+
+func TestStateUpdatedByExecution(t *testing.T) {
+	cfg := DefaultConfig()
+	cfg.BlockInterval = time.Second
+	sched, c := newChain(t, cfg)
+	c.Start()
+	if _, err := c.Submit(depositTx(1)); err != nil {
+		t.Fatal(err)
+	}
+	sched.RunUntil(30 * time.Second)
+	v, _, ok := c.State().Get("c:acct1")
+	if !ok || string(v) != "100" {
+		t.Fatalf("state %q ok=%v", v, ok)
+	}
+}

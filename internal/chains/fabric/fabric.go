@@ -1,0 +1,291 @@
+// Package fabric simulates a Hyperledger Fabric network with the
+// execute-order-validate pipeline: transactions are endorsed (executed
+// speculatively against current state to produce a read-write set), batched
+// into blocks by an ordering service that cuts on message count or timeout,
+// then validated with MVCC version checks and committed by the peers. MVCC
+// conflicts between endorsement and commit abort transactions — the
+// mechanism behind the client-count latency cliff of Fig 10 — and the serial
+// validate-commit path bounds throughput near the ~239 TPS of Fig 7.
+package fabric
+
+import (
+	"fmt"
+	"time"
+
+	"hammer/internal/chain"
+	"hammer/internal/chains/basechain"
+	"hammer/internal/eventsim"
+	"hammer/internal/netsim"
+)
+
+// Config parameterises the simulated Fabric network.
+type Config struct {
+	// Peers is the number of endorsing/committing peers; the paper's
+	// cluster uses 1 orderer + 4 peers.
+	Peers int
+	// CoresPerNode models the testbed's 2-vCPU instances.
+	CoresPerNode int
+	// EndorseCost is the CPU time one endorsement consumes on a peer.
+	EndorseCost time.Duration
+	// OrderCostPerTx is the orderer CPU time per transaction.
+	OrderCostPerTx time.Duration
+	// ValidateCostPerTx is the serial VSCC+MVCC validation time per
+	// transaction on the committing peer; it is Fabric's throughput
+	// ceiling.
+	ValidateCostPerTx time.Duration
+	// CommitCostPerBlock is the ledger-write time per block.
+	CommitCostPerBlock time.Duration
+	// MaxMessages cuts a block when this many transactions are queued.
+	MaxMessages int
+	// BatchTimeout cuts a partially-filled block after this long.
+	BatchTimeout time.Duration
+	// PendingCap bounds in-flight (admitted, uncommitted) transactions;
+	// beyond it the peers shed load, as the paper observes in §V-D.
+	PendingCap int
+	// TxBytes approximates the wire size of an endorsed transaction.
+	TxBytes int
+	// Net configures the cluster network.
+	Net netsim.Config
+}
+
+// DefaultConfig matches the paper's 5-node deployment.
+func DefaultConfig() Config {
+	return Config{
+		Peers:              4,
+		CoresPerNode:       2,
+		EndorseCost:        2 * time.Millisecond,
+		OrderCostPerTx:     300 * time.Microsecond,
+		ValidateCostPerTx:  3800 * time.Microsecond,
+		CommitCostPerBlock: 5 * time.Millisecond,
+		MaxMessages:        100,
+		BatchTimeout:       500 * time.Millisecond,
+		PendingCap:         3000,
+		TxBytes:            1100,
+		Net:                netsim.DefaultConfig(),
+	}
+}
+
+// Chain is the simulated Fabric network.
+type Chain struct {
+	basechain.Base
+	cfg   Config
+	net   *netsim.Network
+	state *chain.State
+
+	peers   []*basechain.Compute
+	orderer *basechain.Compute
+	// validator models the committing peer's single-threaded
+	// validate-and-commit path — Fabric's throughput ceiling.
+	validator *basechain.Compute
+
+	nextPeer int
+	pending  int
+
+	batch      []*endorsed
+	batchTimer *eventsim.Timer
+
+	version uint64
+}
+
+type endorsed struct {
+	tx    *chain.Transaction
+	rwset *chain.RWSet
+	// err records an endorsement-time failure (e.g. insufficient funds);
+	// the tx still flows through ordering and is aborted at validation,
+	// matching Fabric's behaviour.
+	err error
+}
+
+var (
+	_ chain.Blockchain  = (*Chain)(nil)
+	_ chain.AuditLogger = (*Chain)(nil)
+)
+
+// New builds the simulated network on the shared scheduler.
+func New(sched *eventsim.Scheduler, cfg Config) *Chain {
+	def := DefaultConfig()
+	if cfg.Peers <= 0 {
+		cfg.Peers = def.Peers
+	}
+	if cfg.CoresPerNode <= 0 {
+		cfg.CoresPerNode = def.CoresPerNode
+	}
+	if cfg.EndorseCost <= 0 {
+		cfg.EndorseCost = def.EndorseCost
+	}
+	if cfg.OrderCostPerTx <= 0 {
+		cfg.OrderCostPerTx = def.OrderCostPerTx
+	}
+	if cfg.ValidateCostPerTx <= 0 {
+		cfg.ValidateCostPerTx = def.ValidateCostPerTx
+	}
+	if cfg.CommitCostPerBlock <= 0 {
+		cfg.CommitCostPerBlock = def.CommitCostPerBlock
+	}
+	if cfg.MaxMessages <= 0 {
+		cfg.MaxMessages = def.MaxMessages
+	}
+	if cfg.BatchTimeout <= 0 {
+		cfg.BatchTimeout = def.BatchTimeout
+	}
+	if cfg.PendingCap <= 0 {
+		cfg.PendingCap = def.PendingCap
+	}
+	if cfg.TxBytes <= 0 {
+		cfg.TxBytes = def.TxBytes
+	}
+	c := &Chain{
+		cfg:       cfg,
+		state:     chain.NewState(),
+		orderer:   basechain.NewCompute(sched, cfg.CoresPerNode),
+		validator: basechain.NewCompute(sched, 1),
+	}
+	c.Init("fabric", sched, 1)
+	c.net = netsim.New(sched, cfg.Net)
+	for i := 0; i < cfg.Peers; i++ {
+		c.peers = append(c.peers, basechain.NewCompute(sched, cfg.CoresPerNode))
+	}
+	return c
+}
+
+// Submit implements chain.Blockchain: the transaction is endorsed by the
+// next peer round-robin, then forwarded to the orderer.
+func (c *Chain) Submit(tx *chain.Transaction) (chain.TxID, error) {
+	if c.Stopped() {
+		return chain.TxID{}, chain.ErrStopped
+	}
+	if !c.Running() {
+		return chain.TxID{}, fmt.Errorf("fabric: %w", chain.ErrStopped)
+	}
+	if c.pending >= c.cfg.PendingCap {
+		return chain.TxID{}, fmt.Errorf("fabric: %d transactions in flight: %w", c.pending, chain.ErrOverloaded)
+	}
+	if tx.ID == (chain.TxID{}) {
+		tx.ComputeID()
+	}
+	c.pending++
+	peerIdx := c.nextPeer
+	c.nextPeer = (c.nextPeer + 1) % len(c.peers)
+	peer := c.peers[peerIdx]
+	peerName := fmt.Sprintf("peer-%d", peerIdx)
+
+	// Client -> peer proposal, endorsement execution, peer -> orderer.
+	c.net.Send("client", peerName, c.cfg.TxBytes, func() {
+		peer.Run(c.cfg.EndorseCost, func() {
+			e := c.endorse(tx)
+			c.net.Send(peerName, "orderer", c.cfg.TxBytes, func() {
+				c.enqueue(e)
+			})
+		})
+	})
+	return tx.ID, nil
+}
+
+// endorse executes the transaction against current state, capturing its
+// read-write set without applying it.
+func (c *Chain) endorse(tx *chain.Transaction) *endorsed {
+	e := &endorsed{tx: tx}
+	ct, err := c.Contract(tx.Contract)
+	if err != nil {
+		e.err = err
+		return e
+	}
+	ex := chain.NewExecutor(c.state)
+	if err := ct.Invoke(ex, tx.Op, tx.Args); err != nil {
+		e.err = err
+		return e
+	}
+	e.rwset = ex.RWSet()
+	return e
+}
+
+// enqueue adds an endorsed transaction to the orderer's batch, cutting a
+// block on count or arming the batch timeout.
+func (c *Chain) enqueue(e *endorsed) {
+	if c.Stopped() {
+		return
+	}
+	c.batch = append(c.batch, e)
+	if len(c.batch) >= c.cfg.MaxMessages {
+		c.cutBlock()
+		return
+	}
+	if c.batchTimer == nil {
+		c.batchTimer = c.Sched.After(c.cfg.BatchTimeout, func() {
+			c.batchTimer = nil
+			if len(c.batch) > 0 {
+				c.cutBlock()
+			}
+		})
+	}
+}
+
+func (c *Chain) cutBlock() {
+	if c.batchTimer != nil {
+		c.batchTimer.Stop()
+		c.batchTimer = nil
+	}
+	batch := c.batch
+	c.batch = nil
+
+	orderCost := time.Duration(len(batch)) * c.cfg.OrderCostPerTx
+	c.orderer.Run(orderCost, func() {
+		blockBytes := len(batch) * c.cfg.TxBytes
+		// The orderer delivers the block to the leading committing peer;
+		// the other peers commit in parallel and do not bound latency.
+		c.net.Send("orderer", "peer-0", blockBytes, func() {
+			c.validateAndCommit(batch)
+		})
+	})
+}
+
+// validateAndCommit runs MVCC validation serially on the committing peer,
+// then applies surviving write sets.
+func (c *Chain) validateAndCommit(batch []*endorsed) {
+	if c.Stopped() {
+		return
+	}
+	cost := time.Duration(len(batch))*c.cfg.ValidateCostPerTx + c.cfg.CommitCostPerBlock
+	c.validator.Run(cost, func() {
+		c.version++
+		blk := &chain.Block{Proposer: "peer-0"}
+		for _, e := range batch {
+			r := &chain.Receipt{TxID: e.tx.ID}
+			switch {
+			case e.err != nil:
+				r.Status = chain.StatusAborted
+				r.Err = e.err.Error()
+			default:
+				if err := e.rwset.Validate(c.state); err != nil {
+					r.Status = chain.StatusAborted
+					r.Err = err.Error()
+				} else {
+					e.rwset.Apply(c.state, c.version)
+					r.Status = chain.StatusCommitted
+				}
+			}
+			blk.Txs = append(blk.Txs, e.tx)
+			blk.Receipts = append(blk.Receipts, r)
+		}
+		c.pending -= len(batch)
+		c.AppendBlock(0, blk)
+	})
+}
+
+// PendingTxs implements chain.Blockchain.
+func (c *Chain) PendingTxs() int { return c.pending }
+
+// Start implements chain.Blockchain.
+func (c *Chain) Start() { c.MarkStarted() }
+
+// Stop implements chain.Blockchain.
+func (c *Chain) Stop() {
+	c.MarkStopped()
+	if c.batchTimer != nil {
+		c.batchTimer.Stop()
+		c.batchTimer = nil
+	}
+}
+
+// State exposes the world state for audits and invariant checks.
+func (c *Chain) State() *chain.State { return c.state }

@@ -1,0 +1,133 @@
+package meepo
+
+import (
+	"strings"
+
+	"hammer/internal/chain"
+	"hammer/internal/chains/basechain"
+)
+
+// Dynamic shard formation (paper §II-A2: "the network dynamically forms new
+// shards to optimize performance"). When every shard's admission queue has
+// sat above SplitBacklogFrac of its cap for SplitPatience consecutive
+// epochs, the shard count doubles during a quiesced reconfiguration epoch:
+// queued transactions, cross-epoch inboxes and world-state keys are
+// re-homed by the new hash partition. A split only proceeds when no epoch
+// batch is in flight, so no in-flight write can land on a stale shard.
+
+// maybeSplit is called from the epoch ticker. Once sustained pressure is
+// detected, the chain enters a reconfiguration barrier: epoch cutting
+// pauses, in-flight batches drain, and the split executes on a quiesced
+// network — so no in-flight write can land on a stale shard.
+func (c *Chain) maybeSplit() {
+	if !c.cfg.DynamicSharding {
+		return
+	}
+	if c.reconfiguring {
+		for _, ss := range c.shards {
+			if ss.inflight > 0 {
+				return // still draining
+			}
+		}
+		c.split()
+		c.reconfiguring = false
+		return
+	}
+	if len(c.shards) >= c.cfg.MaxShards {
+		return
+	}
+	// Pressure check: all shards persistently loaded.
+	threshold := int(c.cfg.SplitBacklogFrac * float64(c.cfg.PendingCapPerShard))
+	if threshold < 1 {
+		threshold = 1
+	}
+	for _, ss := range c.shards {
+		if len(ss.queue)+ss.inflight < threshold {
+			c.splitPressure = 0
+			return
+		}
+	}
+	c.splitPressure++
+	if c.splitPressure >= c.cfg.SplitPatience {
+		c.splitPressure = 0
+		c.reconfiguring = true
+	}
+}
+
+// split doubles the shard count and re-homes queues, inboxes and state.
+func (c *Chain) split() {
+	old := len(c.shards)
+	for i := 0; i < old; i++ {
+		c.AddShard()
+		c.shards = append(c.shards, &shardState{
+			state: chainNewState(),
+			exec:  newShardExec(c),
+		})
+	}
+	c.resharded++
+
+	for j := 0; j < old; j++ {
+		src := c.shards[j]
+
+		// Re-home queued transactions by their routing account.
+		keep := src.queue[:0]
+		for _, tx := range src.queue {
+			owner := tx.From
+			if owner == "" && len(tx.Args) > 0 {
+				owner = tx.Args[0]
+			}
+			if dst := c.ShardOf(owner); dst != j {
+				c.shards[dst].queue = append(c.shards[dst].queue, tx)
+			} else {
+				keep = append(keep, tx)
+			}
+		}
+		src.queue = keep
+
+		// Re-home pending cross-epoch credits by their destination account.
+		keepInbox := src.inbox[:0]
+		for _, cw := range src.inbox {
+			if dst := c.ShardOf(accountOfKey(cw.toKey)); dst != j {
+				c.shards[dst].inbox = append(c.shards[dst].inbox, cw)
+			} else {
+				keepInbox = append(keepInbox, cw)
+			}
+		}
+		src.inbox = keepInbox
+
+		// Migrate world-state keys whose owning account re-homed.
+		for _, key := range src.state.Keys() {
+			account := accountOfKey(key)
+			dst := c.ShardOf(account)
+			if dst == j {
+				continue
+			}
+			val, ver, ok := src.state.Get(key)
+			if !ok {
+				continue
+			}
+			c.shards[dst].state.Set(key, val, ver)
+			src.state.Delete(key)
+		}
+	}
+}
+
+// accountOfKey strips the balance prefix ("c:", "s:", "y:") from a state
+// key, recovering the owning account for routing.
+func accountOfKey(key string) string {
+	if i := strings.IndexByte(key, ':'); i >= 0 {
+		return key[i+1:]
+	}
+	return key
+}
+
+// Resharded reports how many reconfiguration splits have occurred.
+func (c *Chain) Resharded() int { return c.resharded }
+
+// chainNewState and newShardExec keep split() readable; they mirror the
+// constructor's per-shard wiring.
+func chainNewState() *chain.State { return chain.NewState() }
+
+func newShardExec(c *Chain) *basechain.Compute {
+	return basechain.NewCompute(c.Sched, 1)
+}

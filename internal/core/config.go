@@ -1,0 +1,256 @@
+// Package core implements the Hammer evaluation engine: the client/server
+// pipeline of the paper's architecture (Fig 2-3). A run moves through the
+// three phases of §III-B — preparation (account setup, workload generation,
+// signing), execution (control-sequence-driven injection, block monitoring,
+// task processing), and visualization (KV staging → SQL table → Table II
+// queries) — entirely on the virtual clock shared with the simulated SUT.
+package core
+
+import (
+	"fmt"
+	"time"
+
+	"hammer/internal/chain"
+	"hammer/internal/monitor"
+	"hammer/internal/workload"
+)
+
+// DriverKind selects the measurement strategy the engine uses — Hammer's
+// task-processing algorithm or one of the two baselines it is compared
+// against in Fig 7.
+type DriverKind int
+
+// Driver kinds.
+const (
+	// DriverHammer is Algorithm 1: vector list + hash index + bloom
+	// filter, completion stamped with the block production time.
+	DriverHammer DriverKind = iota + 1
+	// DriverBatch is the Blockbench-style baseline: queue matching in
+	// O(n·m), completion stamped when the poll that found the block
+	// finishes — which inflates latency by the polling delay (ξ1).
+	DriverBatch
+	// DriverInteractive is the Caliper-style baseline: per-transaction
+	// response listening that costs driver CPU per event and drops
+	// responses when the listener backlog saturates.
+	DriverInteractive
+)
+
+// String implements fmt.Stringer.
+func (d DriverKind) String() string {
+	switch d {
+	case DriverHammer:
+		return "hammer"
+	case DriverBatch:
+		return "batch"
+	case DriverInteractive:
+		return "interactive"
+	default:
+		return fmt.Sprintf("DriverKind(%d)", int(d))
+	}
+}
+
+// SignMode selects the preparation-phase signing strategy (Fig 8).
+type SignMode int
+
+// Sign modes.
+const (
+	// SignSerial signs every transaction on one goroutine before
+	// execution starts.
+	SignSerial SignMode = iota + 1
+	// SignAsync signs with a parallel worker pool, still completing before
+	// execution starts.
+	SignAsync
+	// SignPipelined streams signed transactions into execution while later
+	// ones are still being signed (§III-D2).
+	SignPipelined
+	// SignOff skips signing (for tests that exercise other paths).
+	SignOff
+)
+
+// String implements fmt.Stringer.
+func (m SignMode) String() string {
+	switch m {
+	case SignSerial:
+		return "serial"
+	case SignAsync:
+		return "async"
+	case SignPipelined:
+		return "pipelined"
+	case SignOff:
+		return "off"
+	default:
+		return fmt.Sprintf("SignMode(%d)", int(m))
+	}
+}
+
+// TxSource supplies the transactions an evaluation injects. The default
+// source is the SmallBank generator built from Config.Workload; any other
+// contract's generator (e.g. YCSB) can be plugged in instead.
+type TxSource interface {
+	// SetupTxs returns the population-initialisation transactions, run and
+	// awaited before measurement.
+	SetupTxs() []*chain.Transaction
+	// Next draws one benchmark transaction attributed to a client/server.
+	Next(clientID, serverID string) *chain.Transaction
+}
+
+// Config parameterises one evaluation run.
+type Config struct {
+	// Workload describes the SmallBank transaction population; ignored
+	// when Source is set.
+	Workload workload.Profile
+	// Source overrides the workload generator (e.g. a YCSB generator);
+	// Contract must then name the chain.Contract to deploy alongside it.
+	Source   TxSource
+	Contract chain.Contract
+	// Control dictates per-slice injection counts. Required.
+	Control workload.ControlSequence
+	// Clients is the number of workload-generating client machines;
+	// Threads is the worker-thread count per client (Fig 10's two knobs).
+	Clients int
+	Threads int
+	// ClientCores models each client machine's vCPUs (paper: 2).
+	ClientCores int
+	// SubmitCost is the client CPU consumed to send one transaction
+	// (serialisation, SDK, network syscalls).
+	SubmitCost time.Duration
+	// ThreadOverhead is the extra per-operation cost fraction for each
+	// thread beyond ClientCores — the context-switching penalty the paper
+	// measures in Fig 10.
+	ThreadOverhead float64
+	// PollInterval is the block-monitoring cadence (ξ1).
+	PollInterval time.Duration
+	// TxTimeout expires driver records still pending after this long;
+	// zero disables timeouts.
+	TxTimeout time.Duration
+	// Driver selects the measurement strategy.
+	Driver DriverKind
+	// MatchCostPerOp is the driver CPU per elementary match operation:
+	// the batch baseline spends queue×block of these per block, Hammer
+	// spends one per block transaction.
+	MatchCostPerOp time.Duration
+	// EventCost is the per-response listener cost of the interactive
+	// driver; EventBacklogLimit is the listener backlog beyond which
+	// responses are lost.
+	EventCost         time.Duration
+	EventBacklogLimit time.Duration
+	// DriverCores models the evaluation server's CPU lanes.
+	DriverCores int
+	// TrackRejected makes the driver keep records for submissions the SUT
+	// refused. Blockbench-style batch testing submits fire-and-forget and
+	// only learns outcomes from blocks, so shed transactions linger in its
+	// matching queue forever — the queue-growth pathology of §II-C1 (ξ2).
+	// The engine enables it automatically for DriverBatch.
+	TrackRejected bool
+	// SignMode selects the preparation strategy; SignWorkers sizes the
+	// async pool (0 = GOMAXPROCS).
+	SignMode    SignMode
+	SignWorkers int
+	// SkipSetup starts measuring without creating accounts (the caller
+	// seeded state some other way).
+	SkipSetup bool
+	// SetupRate throttles account-creation submissions (tx/s); zero uses
+	// a default tuned to the SUT's admission caps.
+	SetupRate float64
+	// DrainTimeout bounds how long after the last injection the engine
+	// waits for stragglers.
+	DrainTimeout time.Duration
+	// Metrics, when set, receives the engine's live counters and gauges
+	// (submitted/committed/rejected counts, SUT pending depth, confirmation
+	// latency histogram) — the paper's Prometheus monitoring step (§III-B3).
+	Metrics *monitor.Registry
+	// Seed drives workload generation and signing keys.
+	Seed int64
+}
+
+// DefaultConfig returns the engine defaults used across the experiments.
+func DefaultConfig() Config {
+	return Config{
+		Workload:       workload.DefaultProfile(),
+		Clients:        2,
+		Threads:        2,
+		ClientCores:    2,
+		SubmitCost:     2 * time.Millisecond,
+		ThreadOverhead: 0.35,
+		PollInterval:   100 * time.Millisecond,
+		Driver:         DriverHammer,
+		MatchCostPerOp: 150 * time.Nanosecond,
+		EventCost:      1200 * time.Microsecond,
+
+		EventBacklogLimit: 500 * time.Millisecond,
+		DriverCores:       2,
+		SignMode:          SignAsync,
+		DrainTimeout:      2 * time.Minute,
+		Seed:              11,
+	}
+}
+
+func (c *Config) fillDefaults() {
+	def := DefaultConfig()
+	if c.Clients <= 0 {
+		c.Clients = def.Clients
+	}
+	if c.Threads <= 0 {
+		c.Threads = def.Threads
+	}
+	if c.ClientCores <= 0 {
+		c.ClientCores = def.ClientCores
+	}
+	if c.SubmitCost <= 0 {
+		c.SubmitCost = def.SubmitCost
+	}
+	if c.ThreadOverhead < 0 {
+		c.ThreadOverhead = def.ThreadOverhead
+	}
+	if c.PollInterval <= 0 {
+		c.PollInterval = def.PollInterval
+	}
+	if c.Driver == 0 {
+		c.Driver = def.Driver
+	}
+	if c.MatchCostPerOp <= 0 {
+		c.MatchCostPerOp = def.MatchCostPerOp
+	}
+	if c.EventCost <= 0 {
+		c.EventCost = def.EventCost
+	}
+	if c.EventBacklogLimit <= 0 {
+		c.EventBacklogLimit = def.EventBacklogLimit
+	}
+	if c.DriverCores <= 0 {
+		c.DriverCores = def.DriverCores
+	}
+	if c.SignMode == 0 {
+		c.SignMode = def.SignMode
+	}
+	if c.DrainTimeout <= 0 {
+		c.DrainTimeout = def.DrainTimeout
+	}
+	if c.Workload.Accounts == 0 {
+		c.Workload = def.Workload
+	}
+	if c.Seed == 0 {
+		c.Seed = def.Seed
+	}
+}
+
+// Validate rejects impossible configurations.
+func (c *Config) Validate() error {
+	if len(c.Control.Counts) == 0 {
+		return fmt.Errorf("core: control sequence is empty")
+	}
+	if c.Control.Interval <= 0 {
+		return fmt.Errorf("core: control sequence interval %v must be positive", c.Control.Interval)
+	}
+	switch c.Driver {
+	case DriverHammer, DriverBatch, DriverInteractive:
+	default:
+		return fmt.Errorf("core: unknown driver kind %d", int(c.Driver))
+	}
+	switch c.SignMode {
+	case SignSerial, SignAsync, SignPipelined, SignOff:
+	default:
+		return fmt.Errorf("core: unknown sign mode %d", int(c.SignMode))
+	}
+	return nil
+}

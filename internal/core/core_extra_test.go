@@ -1,0 +1,356 @@
+package core
+
+import (
+	"testing"
+	"time"
+
+	"hammer/internal/chain"
+	"hammer/internal/chains/fabric"
+	"hammer/internal/chains/meepo"
+	"hammer/internal/eventsim"
+	"hammer/internal/monitor"
+	"hammer/internal/smallbank"
+	"hammer/internal/taskproc"
+	"hammer/internal/workload"
+	"hammer/internal/ycsb"
+)
+
+func TestConfigValidation(t *testing.T) {
+	sched := eventsim.New()
+	bc := fabric.New(sched, fabric.DefaultConfig())
+
+	cfg := DefaultConfig()
+	if _, err := New(sched, bc, cfg); err == nil {
+		t.Fatal("empty control sequence should be rejected")
+	}
+	cfg.Control = workload.Constant(10, 5*time.Second, time.Second)
+	cfg.Driver = DriverKind(99)
+	if _, err := New(sched, bc, cfg); err == nil {
+		t.Fatal("bad driver should be rejected")
+	}
+	cfg = DefaultConfig()
+	cfg.Control = workload.Constant(10, 5*time.Second, time.Second)
+	cfg.SignMode = SignMode(99)
+	if _, err := New(sched, bc, cfg); err == nil {
+		t.Fatal("bad sign mode should be rejected")
+	}
+}
+
+func TestStringers(t *testing.T) {
+	if DriverHammer.String() != "hammer" || DriverBatch.String() != "batch" || DriverInteractive.String() != "interactive" {
+		t.Fatal("driver strings")
+	}
+	if SignSerial.String() != "serial" || SignPipelined.String() != "pipelined" || SignOff.String() != "off" || SignAsync.String() != "async" {
+		t.Fatal("sign mode strings")
+	}
+}
+
+func TestEngineMeepoSharded(t *testing.T) {
+	sched := eventsim.New()
+	bc := meepo.New(sched, meepo.DefaultConfig())
+	cfg := DefaultConfig()
+	cfg.Workload = testProfile(1000)
+	cfg.Workload.OpMix = map[string]float64{smallbank.OpTransfer: 1}
+	cfg.Control = workload.Constant(1000, 10*time.Second, time.Second)
+	cfg.Clients = 4
+	cfg.SubmitCost = 200 * time.Microsecond
+	cfg.SignMode = SignOff
+	eng, err := New(sched, bc, cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	res, err := eng.Run()
+	if err != nil {
+		t.Fatal(err)
+	}
+	rep := res.Report
+	t.Logf("meepo: %s", rep)
+	if rep.Committed < 9000 {
+		t.Fatalf("committed %d of 10000 on the sharded chain", rep.Committed)
+	}
+	// Both shards must have produced blocks the driver consumed.
+	if bc.Height(0) == 0 || bc.Height(1) == 0 {
+		t.Fatal("expected blocks on both shards")
+	}
+	audit, err := VerifyAgainstAuditLog(res.Records, bc)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !audit.Consistent() {
+		t.Fatalf("sharded audit inconsistent: %+v", audit)
+	}
+}
+
+func TestEngineWithSigning(t *testing.T) {
+	for _, mode := range []SignMode{SignSerial, SignAsync, SignPipelined} {
+		sched := eventsim.New()
+		bc := fabric.New(sched, fabric.DefaultConfig())
+		cfg := DefaultConfig()
+		cfg.Workload = testProfile(200)
+		cfg.Control = workload.Constant(30, 5*time.Second, time.Second)
+		cfg.SignMode = mode
+		eng, err := New(sched, bc, cfg)
+		if err != nil {
+			t.Fatal(err)
+		}
+		res, err := eng.Run()
+		if err != nil {
+			t.Fatalf("%v: %v", mode, err)
+		}
+		if res.Report.Committed == 0 {
+			t.Fatalf("%v: nothing committed", mode)
+		}
+		if res.PrepDuration <= 0 {
+			t.Fatalf("%v: preparation duration not measured", mode)
+		}
+	}
+}
+
+func TestEngineTxTimeout(t *testing.T) {
+	sched := eventsim.New()
+	// A fabric so slow that nothing commits within the timeout.
+	fcfg := fabric.DefaultConfig()
+	fcfg.ValidateCostPerTx = 2 * time.Second
+	bc := fabric.New(sched, fcfg)
+	cfg := DefaultConfig()
+	cfg.Workload = testProfile(100)
+	cfg.Control = workload.Constant(20, 5*time.Second, time.Second)
+	cfg.SignMode = SignOff
+	cfg.SkipSetup = true // setup would never finish on this crippled chain
+	cfg.TxTimeout = 3 * time.Second
+	cfg.DrainTimeout = 30 * time.Second
+	eng, err := New(sched, bc, cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	res, err := eng.Run()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Report.TimedOut == 0 {
+		t.Fatalf("expected driver timeouts, got %+v", res.Report)
+	}
+}
+
+func TestEngineBatchDriverStampsPollTime(t *testing.T) {
+	run := func(driver DriverKind) *Result {
+		sched := eventsim.New()
+		bc := fabric.New(sched, fabric.DefaultConfig())
+		cfg := DefaultConfig()
+		cfg.Workload = testProfile(500)
+		cfg.Control = workload.Constant(50, 10*time.Second, time.Second)
+		cfg.SignMode = SignOff
+		cfg.Driver = driver
+		if driver == DriverBatch {
+			cfg.PollInterval = time.Second
+		}
+		eng, err := New(sched, bc, cfg)
+		if err != nil {
+			t.Fatal(err)
+		}
+		res, err := eng.Run()
+		if err != nil {
+			t.Fatal(err)
+		}
+		return res
+	}
+	hammerRes := run(DriverHammer)
+	batchRes := run(DriverBatch)
+	if batchRes.Report.Committed == 0 || hammerRes.Report.Committed == 0 {
+		t.Fatal("both drivers should commit")
+	}
+	// ξ1: the batch driver's poll-time stamping must inflate latency.
+	if batchRes.Report.AvgLatency <= hammerRes.Report.AvgLatency {
+		t.Fatalf("batch latency %v should exceed hammer's %v",
+			batchRes.Report.AvgLatency, hammerRes.Report.AvgLatency)
+	}
+}
+
+func TestEngineInteractiveDriverDropsUnderLoad(t *testing.T) {
+	sched := eventsim.New()
+	bc := fabric.New(sched, fabric.DefaultConfig())
+	cfg := DefaultConfig()
+	cfg.Workload = testProfile(1000)
+	cfg.Control = workload.Constant(200, 10*time.Second, time.Second)
+	cfg.SignMode = SignOff
+	cfg.Driver = DriverInteractive
+	cfg.EventCost = 20 * time.Millisecond // listener far slower than the chain
+	cfg.EventBacklogLimit = 200 * time.Millisecond
+	eng, err := New(sched, bc, cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	res, err := eng.Run()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.DroppedResponses == 0 {
+		t.Fatal("interactive listener should lose responses under this load")
+	}
+	if res.Report.Unmatched != res.DroppedResponses {
+		t.Fatalf("dropped %d responses but %d unmatched records",
+			res.DroppedResponses, res.Report.Unmatched)
+	}
+}
+
+func TestVisualizeMatchesRecords(t *testing.T) {
+	records := []taskproc.TxRecord{
+		{ID: chain.TxID{1}, ClientID: "c0", StartTime: 0, EndTime: 500 * time.Millisecond, Status: chain.StatusCommitted},
+		{ID: chain.TxID{2}, ClientID: "c0", StartTime: time.Second, EndTime: 3 * time.Second, Status: chain.StatusCommitted},
+		{ID: chain.TxID{3}, ClientID: "c1", StartTime: time.Second, EndTime: 2 * time.Second, Status: chain.StatusAborted},
+	}
+	rep, err := Visualize(records)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if rep.RowsStaged != 3 {
+		t.Fatalf("staged %d", rep.RowsStaged)
+	}
+	// Table II TPS query: committed AND confirmed within a second → only tx 1.
+	if rep.SubSecondCommits != 1 {
+		t.Fatalf("sub-second commits %d, want 1", rep.SubSecondCommits)
+	}
+	if rep.LatencyRows != 3 {
+		t.Fatalf("latency rows %d", rep.LatencyRows)
+	}
+	// Avg latency over all rows: (500 + 2000 + 1000)/3 ms.
+	want := (500.0 + 2000 + 1000) / 3
+	if rep.AvgLatencyMs < want-1 || rep.AvgLatencyMs > want+1 {
+		t.Fatalf("avg latency %v, want ≈%v", rep.AvgLatencyMs, want)
+	}
+}
+
+func TestVerifyAgainstAuditLogDetectsMismatch(t *testing.T) {
+	sched := eventsim.New()
+	bc := fabric.New(sched, fabric.DefaultConfig())
+	// A record claiming commitment that the chain never saw.
+	records := []taskproc.TxRecord{
+		{ID: chain.TxID{9}, Status: chain.StatusCommitted, EndTime: time.Second},
+	}
+	rep, err := VerifyAgainstAuditLog(records, bc)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if rep.Consistent() {
+		t.Fatal("phantom commit should be flagged")
+	}
+	if rep.MissingFromNode != 1 {
+		t.Fatalf("missing %d, want 1", rep.MissingFromNode)
+	}
+}
+
+func TestEngineCustomSourceYCSB(t *testing.T) {
+	sched := eventsim.New()
+	bc := fabric.New(sched, fabric.DefaultConfig())
+
+	p := ycsb.DefaultProfile()
+	p.Records = 2000
+	p.Skew = 0 // uniform keys keep Fabric MVCC conflicts rare in this smoke test
+	p.Workload = "a"
+	gen, err := ycsb.NewGenerator(p)
+	if err != nil {
+		t.Fatal(err)
+	}
+	cfg := DefaultConfig()
+	cfg.Source = gen
+	cfg.Contract = ycsb.Contract{}
+	cfg.Control = workload.Constant(80, 10*time.Second, time.Second)
+	cfg.SignMode = SignOff
+	eng, err := New(sched, bc, cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	res, err := eng.Run()
+	if err != nil {
+		t.Fatal(err)
+	}
+	rep := res.Report
+	t.Logf("ycsb-a on fabric: %s", rep)
+	if rep.Committed < 600 {
+		t.Fatalf("committed %d of 800 YCSB ops", rep.Committed)
+	}
+	if res.SetupCommitted != 2000 {
+		t.Fatalf("setup committed %d, want 2000 records loaded", res.SetupCommitted)
+	}
+}
+
+func TestEngineCustomSourceRequiresContract(t *testing.T) {
+	sched := eventsim.New()
+	bc := fabric.New(sched, fabric.DefaultConfig())
+	gen, err := ycsb.NewGenerator(ycsb.DefaultProfile())
+	if err != nil {
+		t.Fatal(err)
+	}
+	cfg := DefaultConfig()
+	cfg.Source = gen
+	cfg.Control = workload.Constant(10, time.Second, time.Second)
+	if _, err := New(sched, bc, cfg); err == nil {
+		t.Fatal("Source without Contract should be rejected")
+	}
+}
+
+func TestEngineMetricsRegistry(t *testing.T) {
+	sched := eventsim.New()
+	bc := fabric.New(sched, fabric.DefaultConfig())
+	reg := monitor.NewRegistry()
+	cfg := DefaultConfig()
+	cfg.Workload = testProfile(300)
+	cfg.Control = workload.Constant(50, 5*time.Second, time.Second)
+	cfg.SignMode = SignOff
+	cfg.Metrics = reg
+	eng, err := New(sched, bc, cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	res, err := eng.Run()
+	if err != nil {
+		t.Fatal(err)
+	}
+	byName := map[string]float64{}
+	for _, s := range reg.Scrape() {
+		byName[s.Name] = s.Value
+	}
+	if int(byName["driver/submitted"]) != res.Submitted {
+		t.Fatalf("submitted counter %v vs %d", byName["driver/submitted"], res.Submitted)
+	}
+	if int(byName["driver/completed"]) != res.Report.Committed+res.Report.Aborted {
+		t.Fatalf("completed counter %v vs %d", byName["driver/completed"], res.Report.Committed+res.Report.Aborted)
+	}
+	if byName["driver/confirm_latency_ms_count"] == 0 {
+		t.Fatal("latency histogram never observed")
+	}
+}
+
+// TestEngineSurvivesLossyNetwork injects 20% message loss into the Fabric
+// cluster network: endorsements and blocks vanish, transactions strand, and
+// the driver's timeout path must reclaim them instead of hanging the run.
+func TestEngineSurvivesLossyNetwork(t *testing.T) {
+	sched := eventsim.New()
+	fcfg := fabric.DefaultConfig()
+	fcfg.Net.LossFrac = 0.2
+	fcfg.Net.Seed = 5
+	bc := fabric.New(sched, fcfg)
+	cfg := DefaultConfig()
+	cfg.Workload = testProfile(300)
+	cfg.Control = workload.Constant(50, 10*time.Second, time.Second)
+	cfg.SignMode = SignOff
+	cfg.SkipSetup = true // account creation itself would strand on the lossy net
+	cfg.TxTimeout = 5 * time.Second
+	cfg.DrainTimeout = 30 * time.Second
+	eng, err := New(sched, bc, cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	res, err := eng.Run()
+	if err != nil {
+		t.Fatal(err)
+	}
+	rep := res.Report
+	t.Logf("lossy fabric: %s (timed out %d)", rep, rep.TimedOut)
+	if rep.TimedOut == 0 {
+		t.Fatal("20% message loss should strand transactions into driver timeouts")
+	}
+	if rep.Unmatched != 0 {
+		t.Fatalf("%d records left unmatched — the timeout path failed to reclaim them", rep.Unmatched)
+	}
+}

@@ -1,0 +1,485 @@
+package core
+
+import (
+	"errors"
+	"fmt"
+	"time"
+
+	"hammer/internal/chain"
+	"hammer/internal/chains/basechain"
+	"hammer/internal/eventsim"
+	"hammer/internal/metrics"
+	"hammer/internal/monitor"
+	"hammer/internal/sign"
+	"hammer/internal/smallbank"
+	"hammer/internal/taskproc"
+	"hammer/internal/workload"
+)
+
+// Engine drives one evaluation of one system under test.
+type Engine struct {
+	cfg   Config
+	sched *eventsim.Scheduler
+	bc    chain.Blockchain
+
+	gen     TxSource
+	signer  *sign.Signer
+	matcher taskproc.Matcher
+
+	clients []*basechain.Compute
+	driver  *basechain.Compute
+
+	lastHeights []uint64
+	pollTicker  *eventsim.Ticker
+
+	submitted      int
+	rejected       int
+	dropped        int // interactive responses lost to listener backlog
+	mon            *engineMetrics
+	injectionEnd   time.Duration
+	perOpCost      time.Duration
+	prepDuration   time.Duration
+	setupCommitted int
+}
+
+// New validates the configuration and builds an engine over the chain,
+// which must share the scheduler.
+func New(sched *eventsim.Scheduler, bc chain.Blockchain, cfg Config) (*Engine, error) {
+	cfg.fillDefaults()
+	if err := cfg.Validate(); err != nil {
+		return nil, err
+	}
+	var gen TxSource
+	if cfg.Source != nil {
+		if cfg.Contract == nil {
+			return nil, fmt.Errorf("core: custom Source requires Contract")
+		}
+		gen = cfg.Source
+	} else {
+		g, err := workload.NewGenerator(cfg.Workload)
+		if err != nil {
+			return nil, err
+		}
+		gen = g
+	}
+	signer, err := sign.NewSigner(cfg.Seed)
+	if err != nil {
+		return nil, err
+	}
+	e := &Engine{
+		cfg:         cfg,
+		sched:       sched,
+		bc:          bc,
+		gen:         gen,
+		signer:      signer,
+		lastHeights: make([]uint64, bc.Shards()),
+		driver:      basechain.NewCompute(sched, cfg.DriverCores),
+	}
+	lanes := cfg.Threads
+	if lanes > cfg.ClientCores {
+		lanes = cfg.ClientCores
+	}
+	for i := 0; i < cfg.Clients; i++ {
+		e.clients = append(e.clients, basechain.NewCompute(sched, lanes))
+	}
+	// Context-switch penalty beyond the core count (Fig 10).
+	over := 0
+	if cfg.Threads > cfg.ClientCores {
+		over = cfg.Threads - cfg.ClientCores
+	}
+	e.perOpCost = time.Duration(float64(cfg.SubmitCost) * (1 + cfg.ThreadOverhead*float64(over)))
+	if cfg.Threads == 1 && cfg.ClientCores > 1 {
+		// A single thread cannot overlap submissions at all.
+		e.perOpCost = cfg.SubmitCost
+	}
+
+	e.mon = newEngineMetrics(cfg.Metrics, bc)
+
+	capacity := cfg.Control.Total()
+	switch cfg.Driver {
+	case DriverBatch:
+		e.matcher = taskproc.NewBatchQueue(capacity)
+	default:
+		e.matcher = taskproc.NewProcessor(capacity)
+	}
+	return e, nil
+}
+
+// Result is the outcome of one evaluation run.
+type Result struct {
+	// Report is the digested performance measurement.
+	Report *metrics.Report
+	// Records are the driver's raw per-transaction records.
+	Records []taskproc.TxRecord
+	// Submitted counts injected transactions; Rejected counts SUT
+	// admission refusals; DroppedResponses counts interactive-listener
+	// losses.
+	Submitted        int
+	Rejected         int
+	DroppedResponses int
+	// SetupCommitted is the number of account-creation transactions that
+	// committed during preparation.
+	SetupCommitted int
+	// PrepDuration is the real (wall-clock) time spent generating and
+	// signing the workload.
+	PrepDuration time.Duration
+	// VirtualDuration is how much simulated time the run covered.
+	VirtualDuration time.Duration
+}
+
+// Run executes the three phases and returns the measurement.
+func (e *Engine) Run() (*Result, error) {
+	if err := e.deploy(); err != nil {
+		return nil, err
+	}
+	e.bc.Start()
+	if !e.cfg.SkipSetup {
+		if err := e.setupAccounts(); err != nil {
+			return nil, err
+		}
+	}
+	txs, err := e.prepare()
+	if err != nil {
+		return nil, err
+	}
+	e.execute(txs)
+	e.bc.Stop()
+
+	records := e.matcher.Results()
+	// With TrackRejected the shed submissions are already in the records
+	// (as never-matched entries), so they must not be double-counted.
+	rejectedForReport := e.rejected
+	if e.cfg.TrackRejected {
+		rejectedForReport = 0
+	}
+	report := metrics.Analyze(e.bc.Name(), records, rejectedForReport)
+	e.mon.observeRun(records)
+	return &Result{
+		Report:           report,
+		Records:          records,
+		Submitted:        e.submitted,
+		Rejected:         e.rejected,
+		DroppedResponses: e.dropped,
+		SetupCommitted:   e.setupCommitted,
+		PrepDuration:     e.prepDuration,
+		VirtualDuration:  e.sched.Now(),
+	}, nil
+}
+
+func (e *Engine) deploy() error {
+	var ct chain.Contract = smallbank.Contract{}
+	if e.cfg.Contract != nil {
+		ct = e.cfg.Contract
+	}
+	err := e.bc.Deploy(ct)
+	if err != nil && !errors.Is(err, chain.ErrAlreadyDeployed) {
+		return fmt.Errorf("core: deploy contract: %w", err)
+	}
+	return nil
+}
+
+// setupAccounts creates the account population through ordinary
+// transactions, throttled to the SUT's admission capacity, and waits (in
+// virtual time) until every creation commits.
+func (e *Engine) setupAccounts() error {
+	setup := e.gen.SetupTxs()
+	for _, tx := range setup {
+		tx.ComputeID()
+	}
+	tracker := taskproc.NewProcessor(len(setup))
+	rate := e.cfg.SetupRate
+	if rate <= 0 {
+		rate = 2000
+	}
+	const tick = 50 * time.Millisecond
+	perTick := int(rate * tick.Seconds())
+	if perTick < 1 {
+		perTick = 1
+	}
+
+	next := 0
+	pump := e.sched.Every(tick, func() {
+		for sent := 0; sent < perTick && next < len(setup); sent++ {
+			tx := setup[next]
+			if _, err := e.bc.Submit(tx); err != nil {
+				return // back off until the next tick
+			}
+			tracker.Track(taskproc.TxRecord{ID: tx.ID, StartTime: e.sched.Now(), Status: chain.StatusPending})
+			next++
+		}
+		e.collectBlocks(func(blk *chain.Block) { tracker.OnBlock(blk) })
+	})
+	defer pump.Stop()
+
+	// A generous virtual ceiling: even Ethereum at ~19 TPS creates 10k
+	// accounts within a couple of virtual hours.
+	deadline := e.sched.Now() + 4*time.Hour
+	for e.sched.Now() < deadline {
+		e.sched.RunUntil(e.sched.Now() + time.Second)
+		if next == len(setup) && tracker.Pending() == 0 {
+			e.setupCommitted = len(setup)
+			// Consume any remaining setup blocks so measurement starts
+			// with a clean height cursor.
+			e.collectBlocks(func(blk *chain.Block) { tracker.OnBlock(blk) })
+			return nil
+		}
+	}
+	return fmt.Errorf("core: account setup incomplete after %v: %d/%d submitted, %d pending",
+		e.sched.Now(), next, len(setup), tracker.Pending())
+}
+
+// prepare generates and signs the measurement workload (phase ① of Fig 3),
+// timing the real CPU cost of preparation (Fig 8's subject).
+func (e *Engine) prepare() ([]*chain.Transaction, error) {
+	total := e.cfg.Control.Total()
+	txs := make([]*chain.Transaction, 0, total)
+	for i := 0; i < total; i++ {
+		client := fmt.Sprintf("client-%d", i%e.cfg.Clients)
+		txs = append(txs, e.gen.Next(client, "server-0"))
+	}
+	start := time.Now()
+	switch e.cfg.SignMode {
+	case SignSerial:
+		if err := sign.SignSerial(txs, e.signer); err != nil {
+			return nil, fmt.Errorf("core: serial signing: %w", err)
+		}
+	case SignAsync:
+		if err := sign.SignAsync(txs, e.signer, e.cfg.SignWorkers); err != nil {
+			return nil, fmt.Errorf("core: async signing: %w", err)
+		}
+	case SignPipelined:
+		p := sign.NewPipeline(e.signer, e.cfg.SignWorkers)
+		go func() {
+			for _, tx := range txs {
+				p.Submit(tx)
+			}
+			p.Close()
+		}()
+		n := 0
+		for range p.Out() {
+			n++
+		}
+		if err := p.Err(); err != nil {
+			return nil, fmt.Errorf("core: pipelined signing: %w", err)
+		}
+		if n != len(txs) {
+			return nil, fmt.Errorf("core: pipelined signing lost transactions: %d/%d", n, len(txs))
+		}
+	case SignOff:
+		for _, tx := range txs {
+			tx.ComputeID()
+		}
+	}
+	e.prepDuration = time.Since(start)
+	return txs, nil
+}
+
+// execute runs the measurement phase on the virtual clock: injections
+// follow the control sequence, the block monitor polls on PollInterval, and
+// the run drains for up to DrainTimeout after the last injection.
+func (e *Engine) execute(txs []*chain.Transaction) {
+	startAt := e.sched.Now()
+	e.scheduleInjections(txs, startAt)
+	e.startPolling()
+
+	deadline := e.injectionEnd + e.cfg.DrainTimeout
+	for e.sched.Now() < deadline {
+		step := e.sched.Now() + time.Second
+		if step > deadline {
+			step = deadline
+		}
+		e.sched.RunUntil(step)
+		if e.sched.Now() >= e.injectionEnd && e.matcher.Pending() == 0 {
+			break
+		}
+	}
+	if e.pollTicker != nil {
+		e.pollTicker.Stop()
+	}
+}
+
+// scheduleInjections spreads each control-sequence slice's transactions
+// uniformly within the slice, round-robin across clients.
+func (e *Engine) scheduleInjections(txs []*chain.Transaction, startAt time.Duration) {
+	cs := e.cfg.Control
+	idx := 0
+	for slice, count := range cs.Counts {
+		if count <= 0 {
+			continue
+		}
+		sliceStart := startAt + time.Duration(slice)*cs.Interval
+		gap := cs.Interval / time.Duration(count)
+		for j := 0; j < count && idx < len(txs); j++ {
+			tx := txs[idx]
+			clientIdx := idx % len(e.clients)
+			at := sliceStart + time.Duration(j)*gap
+			e.sched.At(at, func() { e.dispatch(tx, clientIdx) })
+			idx++
+		}
+	}
+	e.injectionEnd = startAt + cs.Duration()
+}
+
+// dispatch models one client thread sending a transaction: the record is
+// stamped at dispatch (Algorithm 1 line 4), the client CPU is charged, and
+// the SUT admits or rejects on completion.
+func (e *Engine) dispatch(tx *chain.Transaction, clientIdx int) {
+	rec := taskproc.TxRecord{
+		ID:        tx.ID,
+		ClientID:  tx.ClientID,
+		ServerID:  tx.ServerID,
+		Chain:     e.bc.Name(),
+		Contract:  tx.Contract,
+		StartTime: e.sched.Now(),
+		Status:    chain.StatusPending,
+	}
+	e.submitted++
+	e.mon.submitted.Inc()
+	e.clients[clientIdx].Run(e.perOpCost, func() {
+		tx.SubmittedAt = e.sched.Now()
+		if _, err := e.bc.Submit(tx); err != nil {
+			e.rejected++
+			e.mon.rejected.Inc()
+			if e.cfg.TrackRejected {
+				// Fire-and-forget drivers never learn the submission was
+				// shed; the record lingers in their matching queue.
+				e.matcher.Track(rec)
+			}
+			return
+		}
+		e.matcher.Track(rec)
+	})
+}
+
+func (e *Engine) startPolling() {
+	e.pollTicker = e.sched.Every(e.cfg.PollInterval, func() {
+		e.collectBlocks(e.processBlock)
+		if e.cfg.TxTimeout > 0 {
+			if exp, ok := e.matcher.(taskproc.Expirer); ok {
+				now := e.sched.Now()
+				exp.ExpireStartedBefore(now-e.cfg.TxTimeout, now)
+			}
+		}
+	})
+}
+
+// collectBlocks advances the per-shard height cursors, handing every newly
+// sealed block to fn. Dynamically formed shards grow the cursor set.
+func (e *Engine) collectBlocks(fn func(*chain.Block)) {
+	for len(e.lastHeights) < e.bc.Shards() {
+		e.lastHeights = append(e.lastHeights, 0)
+	}
+	for shard := 0; shard < e.bc.Shards(); shard++ {
+		for e.lastHeights[shard] < e.bc.Height(shard) {
+			blk, ok := e.bc.BlockAt(shard, e.lastHeights[shard]+1)
+			if !ok {
+				break
+			}
+			e.lastHeights[shard]++
+			fn(blk)
+		}
+	}
+}
+
+// processBlock charges the measurement cost model for the configured driver
+// and completes matching records.
+func (e *Engine) processBlock(blk *chain.Block) {
+	m := len(blk.Txs)
+	if m == 0 {
+		return
+	}
+	switch e.cfg.Driver {
+	case DriverHammer:
+		// Algorithm 1: O(m) — bloom screen plus hash-index lookup per
+		// block transaction; completion time is the block timestamp.
+		cost := time.Duration(m) * e.cfg.MatchCostPerOp
+		e.driver.Run(cost, func() {
+			e.mon.completed.Add(float64(e.matcher.OnBlock(blk)))
+		})
+
+	case DriverBatch:
+		// Blockbench: O(n·m) queue scan, and the completion time is when
+		// the poll finishes processing — inflating latency by polling and
+		// matching delay (ξ1, ξ2).
+		n := e.matcher.Pending()
+		if n < 1 {
+			n = 1
+		}
+		cost := time.Duration(n) * time.Duration(m) * e.cfg.MatchCostPerOp
+		e.driver.Run(cost, func() {
+			stamped := *blk
+			stamped.Timestamp = e.sched.Now()
+			e.matcher.OnBlock(&stamped)
+		})
+
+	case DriverInteractive:
+		// Caliper: one listener event per transaction response; events
+		// beyond the listener's backlog capacity are lost, so their
+		// transactions never complete.
+		for _, r := range blk.Receipts {
+			if e.driver.Backlog() > e.cfg.EventBacklogLimit {
+				e.dropped++
+				continue
+			}
+			receipt := r
+			e.driver.Run(e.cfg.EventCost, func() {
+				single := &chain.Block{
+					Shard:     blk.Shard,
+					Height:    blk.Height,
+					Timestamp: e.sched.Now(),
+					Receipts:  []*chain.Receipt{receipt},
+				}
+				e.matcher.OnBlock(single)
+			})
+		}
+	}
+}
+
+// engineMetrics binds the engine's live state to a monitor.Registry; a nil
+// registry turns every update into a no-op so the hot path stays clean.
+type engineMetrics struct {
+	enabled   bool
+	submitted *monitor.Counter
+	completed *monitor.Counter
+	rejected  *monitor.Counter
+	latency   *monitor.Histogram
+}
+
+// noop metric sinks used when monitoring is off.
+var (
+	noopCounter   = &monitor.Counter{}
+	noopHistogram = monitor.NewHistogram([]float64{1})
+)
+
+func newEngineMetrics(reg *monitor.Registry, bc chain.Blockchain) *engineMetrics {
+	if reg == nil {
+		return &engineMetrics{
+			submitted: noopCounter,
+			completed: noopCounter,
+			rejected:  noopCounter,
+			latency:   noopHistogram,
+		}
+	}
+	reg.Gauge("sut/pending").Bind(func() float64 { return float64(bc.PendingTxs()) })
+	return &engineMetrics{
+		enabled:   true,
+		submitted: reg.Counter("driver/submitted"),
+		completed: reg.Counter("driver/completed"),
+		rejected:  reg.Counter("driver/rejected"),
+		latency: reg.Histogram("driver/confirm_latency_ms",
+			[]float64{10, 50, 100, 250, 500, 1000, 2500, 5000, 10000}),
+	}
+}
+
+// observeRun feeds the finished run's per-transaction confirmation
+// latencies into the histogram.
+func (m *engineMetrics) observeRun(records []taskproc.TxRecord) {
+	if !m.enabled {
+		return
+	}
+	for i := range records {
+		if records[i].Status == chain.StatusCommitted {
+			m.latency.Observe(records[i].Latency().Seconds() * 1000)
+		}
+	}
+}

@@ -1,0 +1,110 @@
+package core
+
+import (
+	"testing"
+	"time"
+
+	"hammer/internal/chains/ethereum"
+	"hammer/internal/chains/fabric"
+	"hammer/internal/chains/neuchain"
+	"hammer/internal/eventsim"
+	"hammer/internal/workload"
+)
+
+func testProfile(accounts int) workload.Profile {
+	p := workload.DefaultProfile()
+	p.Accounts = accounts
+	return p
+}
+
+func TestEngineFabricSmoke(t *testing.T) {
+	sched := eventsim.New()
+	bc := fabric.New(sched, fabric.DefaultConfig())
+	cfg := DefaultConfig()
+	// MVCC conflict probability scales with in-flight txs over account
+	// count; 2000 accounts keeps aborts to the few-percent regime the
+	// paper's 5000-per-shard population would see.
+	cfg.Workload = testProfile(2000)
+	cfg.Control = workload.Constant(100, 20*time.Second, time.Second)
+	cfg.SignMode = SignOff
+	eng, err := New(sched, bc, cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	res, err := eng.Run()
+	if err != nil {
+		t.Fatal(err)
+	}
+	rep := res.Report
+	t.Logf("fabric: %s (peak %.1f), unmatched=%d, dur=%v", rep, rep.PeakTPS(), rep.Unmatched, res.VirtualDuration)
+	if rep.Committed < 1500 {
+		t.Fatalf("fabric committed %d of %d, expected most of the 2000", rep.Committed, rep.Submitted)
+	}
+	if rep.Unmatched > 0 {
+		t.Fatalf("fabric left %d records unmatched after drain", rep.Unmatched)
+	}
+	if rep.Throughput < 80 || rep.Throughput > 120 {
+		t.Errorf("fabric throughput %.1f TPS, want ≈100 under a 100 TPS offered load", rep.Throughput)
+	}
+	if rep.AvgLatency <= 0 || rep.AvgLatency > 5*time.Second {
+		t.Errorf("fabric avg latency %v out of plausible range", rep.AvgLatency)
+	}
+}
+
+func TestEngineEthereumPeak(t *testing.T) {
+	sched := eventsim.New()
+	bc := ethereum.New(sched, ethereum.DefaultConfig())
+	cfg := DefaultConfig()
+	cfg.Workload = testProfile(200)
+	cfg.Control = workload.Constant(40, 60*time.Second, time.Second)
+	cfg.SignMode = SignOff
+	cfg.DrainTimeout = 5 * time.Minute
+	eng, err := New(sched, bc, cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	res, err := eng.Run()
+	if err != nil {
+		t.Fatal(err)
+	}
+	rep := res.Report
+	t.Logf("ethereum: %s, dur=%v", rep, res.VirtualDuration)
+	// Offered 40 TPS against a ~19 TPS PoW ceiling: committed throughput
+	// must sit well below the offered rate and latency in whole seconds.
+	if rep.Throughput > 25 {
+		t.Errorf("ethereum throughput %.1f TPS, expected PoW ceiling near 19", rep.Throughput)
+	}
+	if rep.Throughput < 12 {
+		t.Errorf("ethereum throughput %.1f TPS, implausibly low", rep.Throughput)
+	}
+	if rep.AvgLatency < time.Second {
+		t.Errorf("ethereum avg latency %v, expected seconds under overload", rep.AvgLatency)
+	}
+}
+
+func TestEngineNeuchainFast(t *testing.T) {
+	sched := eventsim.New()
+	bc := neuchain.New(sched, neuchain.DefaultConfig())
+	cfg := DefaultConfig()
+	cfg.Workload = testProfile(500)
+	cfg.Control = workload.Constant(2000, 10*time.Second, time.Second)
+	cfg.SignMode = SignOff
+	cfg.SubmitCost = 200 * time.Microsecond // fast client for a fast chain
+	cfg.Clients = 4
+	eng, err := New(sched, bc, cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	res, err := eng.Run()
+	if err != nil {
+		t.Fatal(err)
+	}
+	rep := res.Report
+	t.Logf("neuchain: %s, dur=%v", rep, res.VirtualDuration)
+	if rep.Throughput < 1500 {
+		t.Errorf("neuchain throughput %.1f TPS under a 2000 TPS load, want ≈2000", rep.Throughput)
+	}
+	if rep.AvgLatency > 500*time.Millisecond {
+		t.Errorf("neuchain avg latency %v, want well under .5s", rep.AvgLatency)
+	}
+}

@@ -1,0 +1,213 @@
+package core
+
+import (
+	"fmt"
+	"strconv"
+
+	"hammer/internal/chain"
+	"hammer/internal/store/kvstore"
+	"hammer/internal/store/minisql"
+	"hammer/internal/store/tablestore"
+	"hammer/internal/taskproc"
+)
+
+// TPSQuery and LatencyQuery are the paper's Table II statements, run
+// verbatim against the Performance table by the visualization phase.
+const (
+	TPSQuery = `SELECT COUNT(*) AS TPS FROM Performance WHERE STATUS = '1' AND TIMESTAMPDIFF(SECOND, start_time, end_time) <= 1`
+
+	LatencyQuery = `SELECT tx_id, start_time, end_time, TIMESTAMPDIFF(MILLISECOND, start_time, end_time) AS Latency FROM Performance`
+)
+
+// VizReport is the output of the visualization phase.
+type VizReport struct {
+	// RowsStaged is how many records passed through the KV store.
+	RowsStaged int
+	// SubSecondCommits is the Table II TPS query result: committed
+	// transactions confirmed within one second.
+	SubSecondCommits int64
+	// AvgLatencyMs averages the Table II latency query output.
+	AvgLatencyMs float64
+	// LatencyRows is the latency query's row count.
+	LatencyRows int
+}
+
+// Visualize replays the paper's §III-B3 data path: records are staged into
+// the Redis-equivalent KV store, periodically drained into the
+// MySQL-equivalent Performance table, and the Table II SQL statements are
+// evaluated over it.
+func Visualize(records []taskproc.TxRecord) (*VizReport, error) {
+	kv := kvstore.New()
+	// Stage: the server pushes vector-list state into the KV store.
+	for i := range records {
+		rec := &records[i]
+		key := fmt.Sprintf("txstat:%s", rec.ID.String())
+		status := "0"
+		if rec.Status == chain.StatusCommitted {
+			status = "1"
+		}
+		val := fmt.Sprintf("%s|%s|%d|%d", status, rec.ClientID, int64(rec.StartTime), int64(rec.EndTime))
+		kv.Set(key, []byte(val))
+	}
+
+	// Drain: the KV store's contents are committed to the SQL store.
+	ts := tablestore.New()
+	table, err := ts.CreateTable("Performance", []tablestore.Column{
+		{Name: "tx_id", Kind: tablestore.KindString},
+		{Name: "client_id", Kind: tablestore.KindString},
+		{Name: "status", Kind: tablestore.KindString},
+		{Name: "start_time", Kind: tablestore.KindInt64},
+		{Name: "end_time", Kind: tablestore.KindInt64},
+	})
+	if err != nil {
+		return nil, fmt.Errorf("core: visualization: %w", err)
+	}
+	staged := 0
+	for _, key := range kv.Keys("txstat:") {
+		raw, ok := kv.Get(key)
+		if !ok {
+			continue
+		}
+		var status, clientID string
+		var startNs, endNs int64
+		if err := parseStaged(string(raw), &status, &clientID, &startNs, &endNs); err != nil {
+			return nil, fmt.Errorf("core: visualization: %w", err)
+		}
+		err := table.Insert(tablestore.Row{
+			tablestore.Str(key[len("txstat:"):]),
+			tablestore.Str(clientID),
+			tablestore.Str(status),
+			tablestore.Int(startNs),
+			tablestore.Int(endNs),
+		})
+		if err != nil {
+			return nil, fmt.Errorf("core: visualization: %w", err)
+		}
+		staged++
+	}
+
+	out := &VizReport{RowsStaged: staged}
+
+	res, err := minisql.Query(ts, TPSQuery)
+	if err != nil {
+		return nil, fmt.Errorf("core: TPS query: %w", err)
+	}
+	if len(res.Rows) == 1 && len(res.Rows[0]) == 1 {
+		out.SubSecondCommits = res.Rows[0][0].I
+	}
+
+	res, err = minisql.Query(ts, LatencyQuery)
+	if err != nil {
+		return nil, fmt.Errorf("core: latency query: %w", err)
+	}
+	var sum float64
+	count := 0
+	for _, row := range res.Rows {
+		lat, ok := row[3].AsFloat()
+		if !ok || lat < 0 {
+			continue
+		}
+		sum += lat
+		count++
+	}
+	out.LatencyRows = len(res.Rows)
+	if count > 0 {
+		out.AvgLatencyMs = sum / float64(count)
+	}
+	return out, nil
+}
+
+func parseStaged(raw string, status, clientID *string, startNs, endNs *int64) error {
+	var s, c, a, b string
+	if n := splitN(raw, '|', &s, &c, &a, &b); n != 4 {
+		return fmt.Errorf("malformed staged value %q", raw)
+	}
+	var err error
+	*status, *clientID = s, c
+	if *startNs, err = strconv.ParseInt(a, 10, 64); err != nil {
+		return fmt.Errorf("bad start_time in %q: %w", raw, err)
+	}
+	if *endNs, err = strconv.ParseInt(b, 10, 64); err != nil {
+		return fmt.Errorf("bad end_time in %q: %w", raw, err)
+	}
+	return nil
+}
+
+// splitN splits raw on sep into at most len(dst) pieces, returning how many
+// pieces were produced.
+func splitN(raw string, sep byte, dst ...*string) int {
+	n := 0
+	start := 0
+	for i := 0; i < len(raw) && n < len(dst)-1; i++ {
+		if raw[i] == sep {
+			*dst[n] = raw[start:i]
+			n++
+			start = i + 1
+		}
+	}
+	if n < len(dst) {
+		*dst[n] = raw[start:]
+		n++
+	}
+	return n
+}
+
+// CorrectnessReport compares the framework's measurements against the SUT's
+// node-side audit log (the paper's §V-C validation, which compares Hammer's
+// statistics against Fabric peer logs).
+type CorrectnessReport struct {
+	// FrameworkCommitted / NodeCommitted are committed counts from each
+	// side; Matched counts committed records whose ID, block and commit
+	// time agree with the audit log.
+	FrameworkCommitted int
+	NodeCommitted      int
+	Matched            int
+	// TimeMismatches counts records whose commit time differs from the
+	// audit entry (expected 0 for the Hammer driver, which stamps block
+	// production time).
+	TimeMismatches int
+	// MissingFromNode counts records the framework reports committed but
+	// the node never logged.
+	MissingFromNode int
+}
+
+// Consistent reports whether every framework-committed record is backed by
+// the node log with matching commit times.
+func (c *CorrectnessReport) Consistent() bool {
+	return c.MissingFromNode == 0 && c.TimeMismatches == 0 &&
+		c.Matched == c.FrameworkCommitted
+}
+
+// VerifyAgainstAuditLog cross-checks records against the chain's audit log.
+func VerifyAgainstAuditLog(records []taskproc.TxRecord, bc chain.Blockchain) (*CorrectnessReport, error) {
+	auditor, ok := bc.(chain.AuditLogger)
+	if !ok {
+		return nil, fmt.Errorf("core: chain %q does not expose an audit log", bc.Name())
+	}
+	byID := make(map[chain.TxID]chain.AuditEntry)
+	rep := &CorrectnessReport{}
+	for _, entry := range auditor.AuditLog() {
+		if entry.Status == chain.StatusCommitted {
+			rep.NodeCommitted++
+			byID[entry.TxID] = entry
+		}
+	}
+	for i := range records {
+		rec := &records[i]
+		if rec.Status != chain.StatusCommitted {
+			continue
+		}
+		rep.FrameworkCommitted++
+		entry, ok := byID[rec.ID]
+		if !ok {
+			rep.MissingFromNode++
+			continue
+		}
+		if entry.Time != rec.EndTime {
+			rep.TimeMismatches++
+			continue
+		}
+		rep.Matched++
+	}
+	return rep, nil
+}

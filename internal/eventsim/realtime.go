@@ -1,0 +1,85 @@
+package eventsim
+
+import (
+	"sync"
+	"time"
+)
+
+// Realtime plays a Scheduler forward in wall-clock time, optionally
+// accelerated, so simulated chains can serve live traffic (e.g. through the
+// JSON-RPC bridge). External callers interact with the simulation through
+// Do, which serialises access with the event loop.
+type Realtime struct {
+	mu    sync.Mutex
+	sched *Scheduler
+	speed float64
+
+	epochReal time.Time
+	epochVirt time.Duration
+
+	stop chan struct{}
+	done chan struct{}
+	once sync.Once
+}
+
+// NewRealtime wraps sched; speed is virtual seconds advanced per real
+// second (1 = real time, 100 = 100× accelerated).
+func NewRealtime(sched *Scheduler, speed float64) *Realtime {
+	if speed <= 0 {
+		speed = 1
+	}
+	return &Realtime{
+		sched: sched,
+		speed: speed,
+		stop:  make(chan struct{}),
+		done:  make(chan struct{}),
+	}
+}
+
+// Start begins advancing the simulation. Call Stop to halt.
+func (r *Realtime) Start() {
+	r.mu.Lock()
+	r.epochReal = time.Now()
+	r.epochVirt = r.sched.Now()
+	r.mu.Unlock()
+	go r.loop()
+}
+
+func (r *Realtime) loop() {
+	defer close(r.done)
+	const quantum = time.Millisecond
+	ticker := time.NewTicker(quantum)
+	defer ticker.Stop()
+	for {
+		select {
+		case <-ticker.C:
+			r.mu.Lock()
+			r.sched.RunUntil(r.virtualNow())
+			r.mu.Unlock()
+		case <-r.stop:
+			return
+		}
+	}
+}
+
+// virtualNow maps wall time to the virtual clock. Callers hold r.mu.
+func (r *Realtime) virtualNow() time.Duration {
+	elapsed := time.Since(r.epochReal)
+	return r.epochVirt + time.Duration(float64(elapsed)*r.speed)
+}
+
+// Do runs fn inside the simulation's critical section with the clock
+// caught up to wall time — the safe way for RPC handlers to call into a
+// chain while Realtime is running.
+func (r *Realtime) Do(fn func()) {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	r.sched.RunUntil(r.virtualNow())
+	fn()
+}
+
+// Stop halts the loop and waits for it to exit.
+func (r *Realtime) Stop() {
+	r.once.Do(func() { close(r.stop) })
+	<-r.done
+}

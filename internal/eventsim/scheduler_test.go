@@ -1,0 +1,178 @@
+package eventsim
+
+import (
+	"testing"
+	"time"
+)
+
+func TestSchedulerOrdering(t *testing.T) {
+	s := New()
+	var got []int
+	s.At(3*time.Second, func() { got = append(got, 3) })
+	s.At(time.Second, func() { got = append(got, 1) })
+	s.At(2*time.Second, func() { got = append(got, 2) })
+	s.Run()
+	want := []int{1, 2, 3}
+	for i, v := range want {
+		if got[i] != v {
+			t.Fatalf("order %v, want %v", got, want)
+		}
+	}
+	if s.Now() != 3*time.Second {
+		t.Fatalf("clock %v, want 3s", s.Now())
+	}
+}
+
+func TestSchedulerSameInstantFIFO(t *testing.T) {
+	s := New()
+	var got []int
+	for i := 0; i < 10; i++ {
+		i := i
+		s.At(time.Second, func() { got = append(got, i) })
+	}
+	s.Run()
+	for i, v := range got {
+		if v != i {
+			t.Fatalf("same-instant events fired out of order: %v", got)
+		}
+	}
+}
+
+func TestSchedulerAfterAndNesting(t *testing.T) {
+	s := New()
+	var fired []time.Duration
+	s.After(time.Second, func() {
+		fired = append(fired, s.Now())
+		s.After(2*time.Second, func() {
+			fired = append(fired, s.Now())
+		})
+	})
+	s.Run()
+	if len(fired) != 2 || fired[0] != time.Second || fired[1] != 3*time.Second {
+		t.Fatalf("fired at %v, want [1s 3s]", fired)
+	}
+}
+
+func TestSchedulerPastPanics(t *testing.T) {
+	s := New()
+	s.At(time.Second, func() {})
+	s.Run()
+	defer func() {
+		if recover() == nil {
+			t.Fatal("scheduling in the past should panic")
+		}
+	}()
+	s.At(500*time.Millisecond, func() {})
+}
+
+func TestTimerStop(t *testing.T) {
+	s := New()
+	fired := false
+	timer := s.After(time.Second, func() { fired = true })
+	if !timer.Stop() {
+		t.Fatal("Stop should report cancellation")
+	}
+	if timer.Stop() {
+		t.Fatal("second Stop should report false")
+	}
+	s.Run()
+	if fired {
+		t.Fatal("cancelled timer fired")
+	}
+}
+
+func TestTickerFiresAndStops(t *testing.T) {
+	s := New()
+	count := 0
+	var tk *Ticker
+	tk = s.Every(time.Second, func() {
+		count++
+		if count == 3 {
+			tk.Stop()
+		}
+	})
+	s.RunUntil(10 * time.Second)
+	if count != 3 {
+		t.Fatalf("ticker fired %d times, want 3", count)
+	}
+	if s.Now() != 10*time.Second {
+		t.Fatalf("RunUntil left clock at %v", s.Now())
+	}
+}
+
+func TestRunUntilLeavesFutureEvents(t *testing.T) {
+	s := New()
+	fired := false
+	s.At(5*time.Second, func() { fired = true })
+	s.RunUntil(3 * time.Second)
+	if fired {
+		t.Fatal("future event fired early")
+	}
+	if s.Len() != 1 {
+		t.Fatalf("pending events %d, want 1", s.Len())
+	}
+	s.RunUntil(6 * time.Second)
+	if !fired {
+		t.Fatal("event at 5s never fired")
+	}
+}
+
+func TestSchedulerStop(t *testing.T) {
+	s := New()
+	count := 0
+	s.Every(time.Second, func() {
+		count++
+		if count == 2 {
+			s.Stop()
+		}
+	})
+	s.Run()
+	if count != 2 {
+		t.Fatalf("Stop did not halt Run: %d events", count)
+	}
+}
+
+func TestSchedulerDeterminism(t *testing.T) {
+	run := func() []time.Duration {
+		s := New()
+		var out []time.Duration
+		s.Every(300*time.Millisecond, func() {
+			out = append(out, s.Now())
+			if len(out) > 20 {
+				s.Stop()
+			}
+		})
+		s.Every(700*time.Millisecond, func() { out = append(out, s.Now()) })
+		s.RunUntil(5 * time.Second)
+		return out
+	}
+	a, b := run(), run()
+	if len(a) != len(b) {
+		t.Fatalf("non-deterministic event counts: %d vs %d", len(a), len(b))
+	}
+	for i := range a {
+		if a[i] != b[i] {
+			t.Fatalf("non-deterministic event times at %d: %v vs %v", i, a[i], b[i])
+		}
+	}
+}
+
+func TestRealtimeAdvancesAndSerializes(t *testing.T) {
+	s := New()
+	count := 0
+	s.Every(10*time.Millisecond, func() { count++ })
+	rt := NewRealtime(s, 100) // 100x: 10ms virtual ticks every 0.1ms real
+	rt.Start()
+	defer rt.Stop()
+
+	deadline := time.Now().Add(2 * time.Second)
+	for time.Now().Before(deadline) {
+		var n int
+		rt.Do(func() { n = count })
+		if n >= 20 {
+			return
+		}
+		time.Sleep(5 * time.Millisecond)
+	}
+	t.Fatalf("realtime driver advanced only %d ticks in 2s at 100x", count)
+}

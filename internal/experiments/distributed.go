@@ -1,0 +1,128 @@
+package experiments
+
+import (
+	"fmt"
+	"time"
+
+	"hammer/internal/chain"
+	"hammer/internal/randx"
+	"hammer/internal/taskproc"
+)
+
+// DistributedResult is one data point of the distributed-testing scenario
+// Algorithm 1 calls out: several Hammer drivers share one SUT, so most of
+// every block's transactions are foreign to any given driver. The Bloom
+// pre-screen rejects them in O(1); the batch baseline pays a full queue scan
+// for every foreign transaction, which is why its cost explodes with the
+// driver count.
+type DistributedResult struct {
+	Algorithm string
+	Drivers   int
+	// TrackedPerDriver is each driver's own population; ForeignFraction is
+	// the share of block content owned by other drivers.
+	TrackedPerDriver int
+	ForeignFraction  float64
+	// Duration is one driver's total matching time over the block stream.
+	Duration time.Duration
+	Matched  int
+}
+
+// String renders the row.
+func (r DistributedResult) String() string {
+	return fmt.Sprintf("%-8s drivers=%d foreign=%.0f%%  %12v  (%d matched)",
+		r.Algorithm, r.Drivers, 100*r.ForeignFraction, r.Duration, r.Matched)
+}
+
+// Distributed measures per-driver matching cost as the number of co-located
+// drivers grows. Every driver tracks `perDriver` transactions; blocks carry
+// an even mix from all drivers, and we time driver 0's matcher over the
+// full stream.
+func Distributed(opts Options, driverCounts []int, perDriver int) ([]DistributedResult, error) {
+	opts.fillDefaults()
+	if perDriver <= 0 {
+		perDriver = 5000
+	}
+	if len(driverCounts) == 0 {
+		driverCounts = []int{1, 2, 4, 8}
+	}
+	var out []DistributedResult
+	for _, drivers := range driverCounts {
+		tracked, blocks := buildDistributedWorkload(opts.Seed, drivers, perDriver)
+		foreign := float64(drivers-1) / float64(drivers)
+
+		for _, algo := range []string{"taskproc", "batch"} {
+			var m taskproc.Matcher
+			if algo == "taskproc" {
+				m = taskproc.NewProcessor(perDriver)
+			} else {
+				m = taskproc.NewBatchQueue(perDriver)
+			}
+			start := time.Now()
+			for _, rec := range tracked {
+				m.Track(rec)
+			}
+			matched := 0
+			for _, blk := range blocks {
+				matched += m.OnBlock(blk)
+			}
+			dur := time.Since(start)
+			if matched != perDriver {
+				return nil, fmt.Errorf("experiments: distributed %s drivers=%d matched %d of %d",
+					algo, drivers, matched, perDriver)
+			}
+			out = append(out, DistributedResult{
+				Algorithm:        algo,
+				Drivers:          drivers,
+				TrackedPerDriver: perDriver,
+				ForeignFraction:  foreign,
+				Duration:         dur,
+				Matched:          matched,
+			})
+		}
+	}
+	return out, nil
+}
+
+// buildDistributedWorkload returns driver 0's tracked records and the block
+// stream carrying all drivers' transactions interleaved.
+func buildDistributedWorkload(seed int64, drivers, perDriver int) ([]taskproc.TxRecord, []*chain.Block) {
+	rng := randx.New(seed)
+	total := drivers * perDriver
+	ids := make([]chain.TxID, total)
+	for i := range ids {
+		rng.Read(ids[i][:])
+	}
+	// Driver 0 owns every drivers-th transaction.
+	tracked := make([]taskproc.TxRecord, 0, perDriver)
+	for i := 0; i < total; i += drivers {
+		tracked = append(tracked, taskproc.TxRecord{
+			ID: ids[i], StartTime: time.Duration(i), Status: chain.StatusPending,
+		})
+	}
+	const perBlock = 500
+	var blocks []*chain.Block
+	for start := 0; start < total; start += perBlock {
+		end := start + perBlock
+		if end > total {
+			end = total
+		}
+		blk := &chain.Block{Timestamp: time.Duration(start)}
+		for _, id := range ids[start:end] {
+			blk.Receipts = append(blk.Receipts, &chain.Receipt{TxID: id, Status: chain.StatusCommitted})
+		}
+		blocks = append(blocks, blk)
+	}
+	return tracked, blocks
+}
+
+// DistributedCSV renders the rows for the CSV exporter.
+func DistributedCSV(rows []DistributedResult) (header []string, records [][]string) {
+	header = []string{"algorithm", "drivers", "tracked_per_driver", "foreign_fraction", "duration_s", "matched"}
+	for _, r := range rows {
+		records = append(records, []string{
+			r.Algorithm, fmt.Sprint(r.Drivers), fmt.Sprint(r.TrackedPerDriver),
+			fmtF(r.ForeignFraction), fmtSeconds(r.Duration), fmt.Sprint(r.Matched),
+		})
+	}
+	return header, records
+}

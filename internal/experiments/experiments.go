@@ -1,0 +1,102 @@
+// Package experiments contains one runner per table and figure in the
+// paper's evaluation (§V). Each runner builds the systems involved, executes
+// the measurement, and returns structured rows that the hammer-bench CLI and
+// the repository benchmarks render as charts and CSV. DESIGN.md §3 maps each
+// experiment to the modules it exercises.
+package experiments
+
+import (
+	"fmt"
+	"time"
+)
+
+// Options tunes how heavy the runners are. The defaults reproduce the
+// paper-scale configuration; Quick() shrinks everything so the full suite
+// runs in seconds (used by tests).
+type Options struct {
+	// Seed drives every stochastic component.
+	Seed int64
+	// Accounts is the SmallBank population per run.
+	Accounts int
+	// MeasureSeconds is the injection window for SUT experiments.
+	MeasureSeconds int
+	// SignCount is the workload size for the Fig 8 signing comparison.
+	SignCount int
+	// QueueLens and BlockSizes parameterise Fig 9.
+	QueueLens  []int
+	BlockSizes []int
+	// ModelEpochs bounds predictor training; ModelLookback the window.
+	ModelEpochs   int
+	ModelLookback int
+	// ModelHidden is the neural width for Table III.
+	ModelHidden int
+}
+
+// Default returns paper-scale options.
+func Default() Options {
+	return Options{
+		Seed:           7,
+		Accounts:       5000,
+		MeasureSeconds: 60,
+		SignCount:      20000,
+		QueueLens:      []int{10000, 25000, 50000, 100000},
+		BlockSizes:     []int{1000, 5000, 10000},
+		ModelEpochs:    150,
+		ModelLookback:  24,
+		ModelHidden:    16,
+	}
+}
+
+// Quick returns options small enough for unit tests.
+func Quick() Options {
+	return Options{
+		Seed:           7,
+		Accounts:       500,
+		MeasureSeconds: 15,
+		SignCount:      600,
+		QueueLens:      []int{500, 1000},
+		BlockSizes:     []int{100, 200},
+		ModelEpochs:    8,
+		ModelLookback:  12,
+		ModelHidden:    8,
+	}
+}
+
+func (o *Options) fillDefaults() {
+	def := Default()
+	if o.Seed == 0 {
+		o.Seed = def.Seed
+	}
+	if o.Accounts <= 0 {
+		o.Accounts = def.Accounts
+	}
+	if o.MeasureSeconds <= 0 {
+		o.MeasureSeconds = def.MeasureSeconds
+	}
+	if o.SignCount <= 0 {
+		o.SignCount = def.SignCount
+	}
+	if len(o.QueueLens) == 0 {
+		o.QueueLens = def.QueueLens
+	}
+	if len(o.BlockSizes) == 0 {
+		o.BlockSizes = def.BlockSizes
+	}
+	if o.ModelEpochs <= 0 {
+		o.ModelEpochs = def.ModelEpochs
+	}
+	if o.ModelLookback <= 0 {
+		o.ModelLookback = def.ModelLookback
+	}
+	if o.ModelHidden <= 0 {
+		o.ModelHidden = def.ModelHidden
+	}
+}
+
+// fmtSeconds renders a duration in seconds with 3 decimals for CSV rows.
+func fmtSeconds(d time.Duration) string {
+	return fmt.Sprintf("%.3f", d.Seconds())
+}
+
+// fmtF renders a float for CSV rows.
+func fmtF(v float64) string { return fmt.Sprintf("%.3f", v) }

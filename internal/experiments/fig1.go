@@ -1,0 +1,41 @@
+package experiments
+
+import (
+	"fmt"
+
+	"hammer/internal/timeseries/datasets"
+)
+
+// Fig1Result is the temporal distribution of the three application
+// workloads over 300 hours (the paper's motivating figure).
+type Fig1Result struct {
+	// Series maps application name to its hourly transaction counts.
+	Series map[string][]float64
+	// Totals maps application name to its corpus size.
+	Totals map[string]int
+}
+
+// Fig1 synthesises the three application logs and buckets them hourly.
+func Fig1(opts Options) (*Fig1Result, error) {
+	opts.fillDefaults()
+	out := &Fig1Result{Series: map[string][]float64{}, Totals: map[string]int{}}
+	for _, log := range datasets.All(opts.Seed) {
+		out.Series[log.Name] = log.HourlySeries()
+		out.Totals[log.Name] = len(log.Times)
+	}
+	return out, nil
+}
+
+// Fig1CSV renders the three series side by side.
+func Fig1CSV(r *Fig1Result) (header []string, records [][]string) {
+	header = []string{"hour", "defi", "sandbox", "nfts"}
+	for h := 0; h < datasets.Hours; h++ {
+		records = append(records, []string{
+			fmt.Sprint(h),
+			fmtF(r.Series["defi"][h]),
+			fmtF(r.Series["sandbox"][h]),
+			fmtF(r.Series["nfts"][h]),
+		})
+	}
+	return header, records
+}

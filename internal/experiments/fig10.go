@@ -1,0 +1,119 @@
+package experiments
+
+import (
+	"fmt"
+	"time"
+
+	"hammer/internal/chains/fabric"
+	"hammer/internal/core"
+	"hammer/internal/eventsim"
+	"hammer/internal/workload"
+)
+
+// Fig10Result is one Fig 10 data point: Fabric throughput and latency at a
+// given client/thread configuration.
+type Fig10Result struct {
+	Sweep      string // "threads" or "clients"
+	Clients    int
+	Threads    int
+	Throughput float64
+	AvgLatency time.Duration
+	Committed  int
+	Aborted    int
+	Rejected   int
+}
+
+// String renders the row.
+func (r Fig10Result) String() string {
+	return fmt.Sprintf("%-7s clients=%d threads=%d  %7.1f TPS  latency %9v  (%d committed, %d aborted, %d rejected)",
+		r.Sweep, r.Clients, r.Threads, r.Throughput, r.AvgLatency.Round(time.Millisecond),
+		r.Committed, r.Aborted, r.Rejected)
+}
+
+// Fig10Run executes one Fabric evaluation at the given concurrency.
+func Fig10Run(sweep string, clients, threads int, offeredPerClient float64, opts Options) (Fig10Result, error) {
+	sched := eventsim.New()
+	fcfg := fabric.DefaultConfig()
+	// A deep admission queue lets backlog (and with it MVCC conflict
+	// windows) grow with offered load, which is what produces the
+	// client-count behaviour of Fig 10.
+	fcfg.PendingCap = 2000
+	bc := fabric.New(sched, fcfg)
+
+	cfg := core.DefaultConfig()
+	cfg.Seed = opts.Seed
+	cfg.Workload.Accounts = opts.Accounts
+	cfg.Workload.Seed = opts.Seed
+	cfg.Clients = clients
+	cfg.Threads = threads
+	cfg.SignMode = core.SignOff
+	// 7 ms of client CPU per submission makes two threads on a 2-vCPU
+	// client machine the sweet spot: one thread cannot keep Fabric fed,
+	// and beyond two the context-switch overhead shrinks capacity again.
+	cfg.SubmitCost = 7 * time.Millisecond
+	cfg.ThreadOverhead = 0.35
+	cfg.Control = workload.Constant(offeredPerClient*float64(clients),
+		time.Duration(opts.MeasureSeconds)*time.Second, time.Second)
+	cfg.DrainTimeout = 3 * time.Minute
+
+	eng, err := core.New(sched, bc, cfg)
+	if err != nil {
+		return Fig10Result{}, err
+	}
+	res, err := eng.Run()
+	if err != nil {
+		return Fig10Result{}, err
+	}
+	rep := res.Report
+	return Fig10Result{
+		Sweep:      sweep,
+		Clients:    clients,
+		Threads:    threads,
+		Throughput: rep.Throughput,
+		AvgLatency: rep.AvgLatency,
+		Committed:  rep.Committed,
+		Aborted:    rep.Aborted,
+		Rejected:   rep.Rejected,
+	}, nil
+}
+
+// Fig10 sweeps worker threads (at one client) and client machines (at two
+// threads each) against Fabric. Expected shape (paper): throughput peaks
+// and latency bottoms at 2 threads (matching the client's 2 vCPUs);
+// throughput peaks at 2 clients, latency rises significantly at 3-4 clients
+// as conflicts grow with the backlog, and at 5 clients the nodes shed load
+// — committed throughput drops while surviving-transaction latency stops
+// rising.
+func Fig10(opts Options) ([]Fig10Result, error) {
+	opts.fillDefaults()
+	var out []Fig10Result
+	for _, threads := range []int{1, 2, 3, 4, 6, 8} {
+		// 260 tx/s sits just under the 2-thread client capacity, so the
+		// sweep isolates client-side scheduling rather than chain backlog.
+		r, err := Fig10Run("threads", 1, threads, 260, opts)
+		if err != nil {
+			return nil, fmt.Errorf("experiments: fig10 threads=%d: %w", threads, err)
+		}
+		out = append(out, r)
+	}
+	for _, clients := range []int{1, 2, 3, 4, 5} {
+		r, err := Fig10Run("clients", clients, 2, 150, opts)
+		if err != nil {
+			return nil, fmt.Errorf("experiments: fig10 clients=%d: %w", clients, err)
+		}
+		out = append(out, r)
+	}
+	return out, nil
+}
+
+// Fig10CSV renders the rows for the CSV exporter.
+func Fig10CSV(rows []Fig10Result) (header []string, records [][]string) {
+	header = []string{"sweep", "clients", "threads", "throughput_tps", "avg_latency_s", "committed", "aborted", "rejected"}
+	for _, r := range rows {
+		records = append(records, []string{
+			r.Sweep, fmt.Sprint(r.Clients), fmt.Sprint(r.Threads), fmtF(r.Throughput),
+			fmtSeconds(r.AvgLatency), fmt.Sprint(r.Committed), fmt.Sprint(r.Aborted), fmt.Sprint(r.Rejected),
+		})
+	}
+	return header, records
+}

@@ -1,0 +1,84 @@
+package experiments
+
+import (
+	"fmt"
+
+	"hammer/internal/models"
+	"hammer/internal/timeseries"
+	"hammer/internal/timeseries/datasets"
+)
+
+// Fig11Result holds one real-vs-generated sequence comparison: the model is
+// trained on the first 80% of a dataset's hourly series, then extends the
+// seed autoregressively over the test span, as the paper does to
+// demonstrate burst and dependency tracking (and to manufacture arbitrarily
+// long control sequences, §IV).
+type Fig11Result struct {
+	Dataset string
+	// Real is the held-out tail; Generated the model's autoregressive
+	// extension over the same span; OneStep the rolling one-step forecast.
+	Real      []float64
+	Generated []float64
+	OneStep   []float64
+	// OneStepMAE scores the rolling forecast against the real tail.
+	OneStepMAE float64
+}
+
+// Fig11 produces the real-vs-generated comparison for every dataset.
+func Fig11(opts Options) ([]Fig11Result, error) {
+	opts.fillDefaults()
+	cfg := table3Config(opts)
+
+	var out []Fig11Result
+	for _, log := range datasets.All(opts.Seed) {
+		series := log.HourlySeries()
+		train, test := timeseries.Split(series, 0.8)
+		p := models.NewHammer(cfg)
+		if err := p.Fit(train); err != nil {
+			return nil, fmt.Errorf("experiments: fig11 %s: %w", log.Name, err)
+		}
+
+		generated, err := models.Generate(p, train, len(test))
+		if err != nil {
+			return nil, fmt.Errorf("experiments: fig11 generate %s: %w", log.Name, err)
+		}
+
+		oneStep := make([]float64, 0, len(test))
+		for target := len(train); target < len(series); target++ {
+			start := target - cfg.Lookback
+			if start < 0 {
+				continue
+			}
+			v, err := p.Predict(series[start : start+cfg.Lookback])
+			if err != nil {
+				return nil, fmt.Errorf("experiments: fig11 predict %s: %w", log.Name, err)
+			}
+			oneStep = append(oneStep, v)
+		}
+
+		out = append(out, Fig11Result{
+			Dataset:    log.Name,
+			Real:       append([]float64(nil), test...),
+			Generated:  generated,
+			OneStep:    oneStep,
+			OneStepMAE: timeseries.MAE(test, oneStep),
+		})
+	}
+	return out, nil
+}
+
+// Fig11CSV renders one dataset's comparison for the CSV exporter.
+func Fig11CSV(r Fig11Result) (header []string, records [][]string) {
+	header = []string{"hour", "real", "generated", "one_step"}
+	for i := range r.Real {
+		gen, step := "", ""
+		if i < len(r.Generated) {
+			gen = fmtF(r.Generated[i])
+		}
+		if i < len(r.OneStep) {
+			step = fmtF(r.OneStep[i])
+		}
+		records = append(records, []string{fmt.Sprint(i), fmtF(r.Real[i]), gen, step})
+	}
+	return header, records
+}

@@ -1,0 +1,49 @@
+package experiments
+
+import (
+	"testing"
+	"time"
+)
+
+// TestFig6PaperScale runs the full paper-scale Fig 6 configuration and
+// checks the quantitative targets: Ethereum ≈ 18.6 TPS with ≈ 4.8 s
+// latency, Fabric in the ≈ 239 TPS regime, Neuchain ≈ 8.7k TPS with low
+// latency, and Meepo between Fabric and Neuchain. Skipped in -short runs.
+func TestFig6PaperScale(t *testing.T) {
+	if testing.Short() {
+		t.Skip("paper-scale run skipped in -short mode")
+	}
+	rows, err := Fig6(Default())
+	if err != nil {
+		t.Fatal(err)
+	}
+	byName := map[string]ChainResult{}
+	for _, r := range rows {
+		t.Log(r)
+		byName[r.Chain] = r
+	}
+	eth, fab, mee, neu := byName["ethereum"], byName["fabric"], byName["meepo"], byName["neuchain"]
+
+	if eth.Throughput < 15 || eth.Throughput > 22 {
+		t.Errorf("ethereum %.1f TPS, paper reports 18.6", eth.Throughput)
+	}
+	if eth.AvgLatency < 3500*time.Millisecond || eth.AvgLatency > 7*time.Second {
+		t.Errorf("ethereum latency %v, paper reports ≈4.8s", eth.AvgLatency)
+	}
+	if fab.Throughput < 200 || fab.Throughput > 280 {
+		t.Errorf("fabric %.1f TPS, paper-regime is ≈239", fab.Throughput)
+	}
+	if neu.Throughput < 7000 || neu.Throughput > 10500 {
+		t.Errorf("neuchain %.0f TPS, paper reports 8688", neu.Throughput)
+	}
+	if neu.AvgLatency > 400*time.Millisecond {
+		t.Errorf("neuchain latency %v, want low", neu.AvgLatency)
+	}
+	if !(mee.Throughput > fab.Throughput && mee.Throughput < neu.Throughput) {
+		t.Errorf("meepo %.0f TPS should sit between fabric %.0f and neuchain %.0f",
+			mee.Throughput, fab.Throughput, neu.Throughput)
+	}
+	if mee.AvgLatency < time.Second {
+		t.Errorf("meepo latency %v, paper calls it high", mee.AvgLatency)
+	}
+}

@@ -1,0 +1,39 @@
+package experiments
+
+import (
+	"testing"
+	"time"
+)
+
+// TestFig6Shape checks the qualitative result of Fig 6: Neuchain fastest,
+// Ethereum slowest and with multi-second latency, Meepo between them thanks
+// to sharding, Fabric in the hundreds of TPS.
+func TestFig6Shape(t *testing.T) {
+	rows, err := Fig6(Quick())
+	if err != nil {
+		t.Fatal(err)
+	}
+	byName := map[string]ChainResult{}
+	for _, r := range rows {
+		t.Log(r)
+		byName[r.Chain] = r
+	}
+	eth, fab, mee, neu := byName["ethereum"], byName["fabric"], byName["meepo"], byName["neuchain"]
+
+	if !(neu.Throughput > mee.Throughput && mee.Throughput > fab.Throughput && fab.Throughput > eth.Throughput) {
+		t.Errorf("throughput ordering broken: neuchain %.0f, meepo %.0f, fabric %.0f, ethereum %.0f",
+			neu.Throughput, mee.Throughput, fab.Throughput, eth.Throughput)
+	}
+	if eth.Throughput > 25 || eth.Throughput < 12 {
+		t.Errorf("ethereum throughput %.1f TPS, want ≈19 (paper: 18.6)", eth.Throughput)
+	}
+	if eth.AvgLatency < 2*time.Second {
+		t.Errorf("ethereum latency %v, want multi-second (paper: 4.8s)", eth.AvgLatency)
+	}
+	if neu.AvgLatency > 300*time.Millisecond {
+		t.Errorf("neuchain latency %v, want well under meepo/ethereum", neu.AvgLatency)
+	}
+	if neu.Throughput < 4000 {
+		t.Errorf("neuchain throughput %.0f TPS, want thousands (paper: 8688)", neu.Throughput)
+	}
+}

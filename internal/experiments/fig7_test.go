@@ -1,0 +1,51 @@
+package experiments
+
+import "testing"
+
+// TestFig7Shape checks the framework-comparison artifacts: on Fabric,
+// Hammer reports the highest throughput, Caliper loses responses, and
+// Blockbench's queue matching inflates latency; on Ethereum the three
+// frameworks roughly agree.
+func TestFig7Shape(t *testing.T) {
+	rows, err := Fig7(Quick())
+	if err != nil {
+		t.Fatal(err)
+	}
+	get := func(chain, fw string) FrameworkResult {
+		for _, r := range rows {
+			t.Log(r)
+			if r.Chain == chain && r.Framework == fw {
+				return r
+			}
+		}
+		t.Fatalf("missing row %s/%s", chain, fw)
+		return FrameworkResult{}
+	}
+	fabHammer := get("fabric", "hammer")
+	fabBB := get("fabric", "blockbench")
+	fabCaliper := get("fabric", "caliper")
+
+	if !(fabHammer.Throughput > fabCaliper.Throughput) {
+		t.Errorf("hammer %.1f TPS should exceed caliper %.1f on fabric", fabHammer.Throughput, fabCaliper.Throughput)
+	}
+	if !(fabHammer.Throughput > fabBB.Throughput) {
+		t.Errorf("hammer %.1f TPS should exceed blockbench %.1f on fabric", fabHammer.Throughput, fabBB.Throughput)
+	}
+	if fabCaliper.Dropped == 0 {
+		t.Error("caliper on fabric should lose responses under load")
+	}
+	if fabBB.AvgLatency <= fabHammer.AvgLatency {
+		t.Errorf("blockbench latency %v should exceed hammer's %v (poll-time stamping)", fabBB.AvgLatency, fabHammer.AvgLatency)
+	}
+
+	ethHammer := get("ethereum", "hammer")
+	ethBB := get("ethereum", "blockbench")
+	ethCaliper := get("ethereum", "caliper")
+	for _, r := range []FrameworkResult{ethBB, ethCaliper} {
+		ratio := r.Throughput / ethHammer.Throughput
+		if ratio < 0.8 || ratio > 1.25 {
+			t.Errorf("%s reports %.1f TPS on ethereum, hammer %.1f — frameworks should roughly agree at low load",
+				r.Framework, r.Throughput, ethHammer.Throughput)
+		}
+	}
+}

@@ -1,0 +1,120 @@
+package experiments
+
+import (
+	"fmt"
+	"time"
+
+	"hammer/internal/chain"
+	"hammer/internal/randx"
+	"hammer/internal/taskproc"
+)
+
+// Fig9Result is one Fig 9 data point: how long one algorithm takes to match
+// a stream of confirmed blocks against a tracked-transaction population.
+type Fig9Result struct {
+	Algorithm string // "taskproc" (Hammer, Algorithm 1) or "batch"
+	QueueLen  int    // tracked transactions (n)
+	BlockTxs  int    // transactions parsed from blocks (m total)
+	Duration  time.Duration
+	Matched   int
+}
+
+// String renders the row.
+func (r Fig9Result) String() string {
+	return fmt.Sprintf("%-8s n=%6d m=%5d  %12v  (%d matched)",
+		r.Algorithm, r.QueueLen, r.BlockTxs, r.Duration, r.Matched)
+}
+
+// buildFig9Workload tracks n transactions in the matcher and returns blocks
+// carrying m of their IDs (interleaved with foreign transactions the driver
+// never sent, which the Bloom filter should reject cheaply).
+func buildFig9Workload(n, m int, seed int64) (tracked []taskproc.TxRecord, blocks []*chain.Block) {
+	rng := randx.New(seed)
+	tracked = make([]taskproc.TxRecord, n)
+	ids := make([]chain.TxID, n)
+	for i := range tracked {
+		var id chain.TxID
+		rng.Read(id[:])
+		ids[i] = id
+		tracked[i] = taskproc.TxRecord{ID: id, StartTime: time.Duration(i), Status: chain.StatusPending}
+	}
+	// m matched transactions spread over blocks of 500, each block padded
+	// with 10% foreign transactions.
+	perBlock := 500
+	picked := rng.Perm(n)[:min(m, n)]
+	for start := 0; start < len(picked); start += perBlock {
+		end := start + perBlock
+		if end > len(picked) {
+			end = len(picked)
+		}
+		blk := &chain.Block{Timestamp: time.Duration(start)}
+		for _, idx := range picked[start:end] {
+			blk.Txs = append(blk.Txs, &chain.Transaction{ID: ids[idx]})
+			blk.Receipts = append(blk.Receipts, &chain.Receipt{TxID: ids[idx], Status: chain.StatusCommitted})
+		}
+		foreign := (end - start) / 10
+		for i := 0; i < foreign; i++ {
+			var id chain.TxID
+			rng.Read(id[:])
+			blk.Txs = append(blk.Txs, &chain.Transaction{ID: id})
+			blk.Receipts = append(blk.Receipts, &chain.Receipt{TxID: id, Status: chain.StatusCommitted})
+		}
+		blocks = append(blocks, blk)
+	}
+	return tracked, blocks
+}
+
+// runFig9Once times one matcher over one workload.
+func runFig9Once(m taskproc.Matcher, tracked []taskproc.TxRecord, blocks []*chain.Block) (time.Duration, int) {
+	start := time.Now()
+	for _, rec := range tracked {
+		m.Track(rec)
+	}
+	matched := 0
+	for _, blk := range blocks {
+		matched += m.OnBlock(blk)
+	}
+	return time.Since(start), matched
+}
+
+// Fig9 compares Hammer's task-processing algorithm against the batch-testing
+// baseline across queue lengths and block volumes, in real time with the
+// real data structures. Expected shape (paper): the baseline's time grows
+// linearly with queue length (O(n·m)) while Hammer's stays flat, ≈4× faster
+// at a 100k queue.
+func Fig9(opts Options) ([]Fig9Result, error) {
+	opts.fillDefaults()
+	var out []Fig9Result
+	for _, n := range opts.QueueLens {
+		for _, m := range opts.BlockSizes {
+			if m > n {
+				continue
+			}
+			tracked, blocks := buildFig9Workload(n, m, opts.Seed)
+
+			dur, matched := runFig9Once(taskproc.NewProcessor(n), tracked, blocks)
+			if matched != m {
+				return nil, fmt.Errorf("experiments: fig9 taskproc matched %d of %d", matched, m)
+			}
+			out = append(out, Fig9Result{Algorithm: "taskproc", QueueLen: n, BlockTxs: m, Duration: dur, Matched: matched})
+
+			dur, matched = runFig9Once(taskproc.NewBatchQueue(n), tracked, blocks)
+			if matched != m {
+				return nil, fmt.Errorf("experiments: fig9 batch matched %d of %d", matched, m)
+			}
+			out = append(out, Fig9Result{Algorithm: "batch", QueueLen: n, BlockTxs: m, Duration: dur, Matched: matched})
+		}
+	}
+	return out, nil
+}
+
+// Fig9CSV renders the rows for the CSV exporter.
+func Fig9CSV(rows []Fig9Result) (header []string, records [][]string) {
+	header = []string{"algorithm", "queue_len", "block_txs", "duration_s", "matched"}
+	for _, r := range rows {
+		records = append(records, []string{
+			r.Algorithm, fmt.Sprint(r.QueueLen), fmt.Sprint(r.BlockTxs), fmtSeconds(r.Duration), fmt.Sprint(r.Matched),
+		})
+	}
+	return header, records
+}

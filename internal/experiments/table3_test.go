@@ -1,0 +1,82 @@
+package experiments
+
+import (
+	"testing"
+)
+
+// TestTable3Quick trains all five models with tiny budgets and checks basic
+// sanity: every row has finite metrics and the Hammer model is competitive.
+func TestTable3Quick(t *testing.T) {
+	opts := Quick()
+	rows, err := Table3(opts)
+	if err != nil {
+		t.Fatal(err)
+	}
+	best := map[string]Table3Row{}
+	hammer := map[string]Table3Row{}
+	for _, r := range rows {
+		t.Log(r)
+		if r.Metrics.MAE != r.Metrics.MAE { // NaN check
+			t.Errorf("%s on %s produced NaN MAE", r.Method, r.Dataset)
+		}
+		if cur, ok := best[r.Dataset]; !ok || r.Metrics.MAE < cur.Metrics.MAE {
+			best[r.Dataset] = r
+		}
+		if r.Method == "Hammer" {
+			hammer[r.Dataset] = r
+		}
+	}
+	// With tiny training budgets we only require the Hammer model to stay
+	// within 3x of the best method per dataset (full-budget quality is
+	// asserted by TestTable3PaperScale).
+	for ds, b := range best {
+		h := hammer[ds]
+		if h.Metrics.MAE > 3*b.Metrics.MAE {
+			t.Errorf("hammer MAE %.3f on %s is far behind best %s (%.3f) even for a smoke test",
+				h.Metrics.MAE, ds, b.Method, b.Metrics.MAE)
+		}
+	}
+}
+
+// TestTable3PaperScale runs the full training budget and checks Table III's
+// shape: Hammer leads every dataset with R² close to 1 on sandbox/nfts.
+func TestTable3PaperScale(t *testing.T) {
+	if testing.Short() {
+		t.Skip("paper-scale training skipped in -short mode")
+	}
+	rows, err := Table3(Default())
+	if err != nil {
+		t.Fatal(err)
+	}
+	byKey := map[string]Table3Row{}
+	for _, r := range rows {
+		t.Log(r)
+		byKey[r.Dataset+"/"+r.Method] = r
+	}
+	for _, ds := range []string{"defi", "sandbox", "nfts"} {
+		h := byKey[ds+"/Hammer"]
+		// Hammer must at worst tie the strongest baseline (the warm-started
+		// AR highway guarantees it cannot fall behind ridge regression)...
+		for _, m := range []string{"Linear", "RNN", "TCN", "Transformer"} {
+			b := byKey[ds+"/"+m]
+			if h.Metrics.MAE > b.Metrics.MAE*1.06 {
+				t.Errorf("%s: Hammer MAE %.3f should not trail %s's %.3f", ds, h.Metrics.MAE, m, b.Metrics.MAE)
+			}
+		}
+		// ...and beat the neural baselines the paper's >56% claim compares
+		// against. On these synthetic corpora (closer to linear-predictable
+		// than real application logs — see EXPERIMENTS.md) the margin is
+		// 5-15% rather than 56%, but the ordering holds.
+		if rnn := byKey[ds+"/RNN"]; h.Metrics.MAE > rnn.Metrics.MAE*0.95 {
+			t.Errorf("%s: Hammer MAE %.3f should beat RNN's %.3f by ≥5%%", ds, h.Metrics.MAE, rnn.Metrics.MAE)
+		}
+		if tf := byKey[ds+"/Transformer"]; h.Metrics.MAE > tf.Metrics.MAE {
+			t.Errorf("%s: Hammer MAE %.3f should not trail Transformer's %.3f", ds, h.Metrics.MAE, tf.Metrics.MAE)
+		}
+	}
+	for _, ds := range []string{"sandbox", "nfts"} {
+		if r2 := byKey[ds+"/Hammer"].Metrics.R2; r2 < 0.7 {
+			t.Errorf("%s: Hammer R² %.3f, want the strong-fit regime (paper: ≈0.95)", ds, r2)
+		}
+	}
+}

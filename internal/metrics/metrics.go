@@ -1,0 +1,193 @@
+// Package metrics turns the task-processing records of one evaluation run
+// into the performance measures the paper reports: committed-transaction
+// throughput (TPS), confirmation-latency statistics and per-second time
+// series for the visualization layer.
+package metrics
+
+import (
+	"fmt"
+	"math"
+	"sort"
+	"time"
+
+	"hammer/internal/chain"
+	"hammer/internal/taskproc"
+)
+
+// Report is the digest of one evaluation run.
+type Report struct {
+	// Chain names the SUT.
+	Chain string
+	// Submitted counts transactions the framework sent; Rejected counts
+	// admission failures (node overload), which never enter the ledger.
+	Submitted int
+	Committed int
+	Aborted   int
+	TimedOut  int
+	Unmatched int
+	Rejected  int
+	// Duration is the measurement window (first submission to last
+	// completion).
+	Duration time.Duration
+	// Throughput is committed transactions per second over Duration.
+	Throughput float64
+	// Latency statistics over committed transactions.
+	AvgLatency time.Duration
+	P50Latency time.Duration
+	P95Latency time.Duration
+	P99Latency time.Duration
+	MaxLatency time.Duration
+	// TPSSeries is committed transactions per one-second bucket, indexed
+	// from the start of the window; the Grafana-equivalent renders it.
+	TPSSeries []float64
+	// PerShard breaks committed counts and throughput down by shard —
+	// the sharding-aware view no prior framework offers (paper Table I).
+	// Nil for runs against non-sharded chains (single entry keyed 0).
+	PerShard map[int]*ShardStats
+}
+
+// ShardStats is the per-shard slice of a report.
+type ShardStats struct {
+	Committed  int
+	Aborted    int
+	Throughput float64
+	AvgLatency time.Duration
+}
+
+// Analyze digests a run's records. rejected is the count of submissions the
+// SUT refused at admission.
+func Analyze(chainName string, records []taskproc.TxRecord, rejected int) *Report {
+	r := &Report{Chain: chainName, Rejected: rejected, Submitted: len(records) + rejected}
+	if len(records) == 0 {
+		return r
+	}
+
+	start := records[0].StartTime
+	var end time.Duration
+	latencies := make([]time.Duration, 0, len(records))
+	for i := range records {
+		rec := &records[i]
+		if rec.StartTime < start {
+			start = rec.StartTime
+		}
+		switch rec.Status {
+		case chain.StatusCommitted:
+			r.Committed++
+			latencies = append(latencies, rec.Latency())
+			if rec.EndTime > end {
+				end = rec.EndTime
+			}
+		case chain.StatusAborted:
+			r.Aborted++
+			if rec.EndTime > end {
+				end = rec.EndTime
+			}
+		case chain.StatusTimedOut:
+			r.TimedOut++
+			if rec.EndTime > end {
+				end = rec.EndTime
+			}
+		default:
+			r.Unmatched++
+		}
+	}
+	if end <= start {
+		end = start
+	}
+	r.Duration = end - start
+	if r.Duration > 0 {
+		r.Throughput = float64(r.Committed) / r.Duration.Seconds()
+	}
+
+	if len(latencies) > 0 {
+		sort.Slice(latencies, func(i, j int) bool { return latencies[i] < latencies[j] })
+		var sum time.Duration
+		for _, l := range latencies {
+			sum += l
+		}
+		r.AvgLatency = sum / time.Duration(len(latencies))
+		r.P50Latency = percentile(latencies, 0.50)
+		r.P95Latency = percentile(latencies, 0.95)
+		r.P99Latency = percentile(latencies, 0.99)
+		r.MaxLatency = latencies[len(latencies)-1]
+	}
+
+	// Per-shard breakdown.
+	r.PerShard = make(map[int]*ShardStats)
+	shardLat := make(map[int]time.Duration)
+	for i := range records {
+		rec := &records[i]
+		if rec.Status != chain.StatusCommitted && rec.Status != chain.StatusAborted {
+			continue
+		}
+		ss := r.PerShard[rec.Shard]
+		if ss == nil {
+			ss = &ShardStats{}
+			r.PerShard[rec.Shard] = ss
+		}
+		if rec.Status == chain.StatusCommitted {
+			ss.Committed++
+			shardLat[rec.Shard] += rec.Latency()
+		} else {
+			ss.Aborted++
+		}
+	}
+	for shard, ss := range r.PerShard {
+		if r.Duration > 0 {
+			ss.Throughput = float64(ss.Committed) / r.Duration.Seconds()
+		}
+		if ss.Committed > 0 {
+			ss.AvgLatency = shardLat[shard] / time.Duration(ss.Committed)
+		}
+	}
+
+	// Per-second committed series.
+	buckets := int(math.Ceil(r.Duration.Seconds())) + 1
+	if buckets > 0 && buckets <= 1<<20 {
+		r.TPSSeries = make([]float64, buckets)
+		for i := range records {
+			rec := &records[i]
+			if rec.Status != chain.StatusCommitted {
+				continue
+			}
+			b := int((rec.EndTime - start) / time.Second)
+			if b >= 0 && b < buckets {
+				r.TPSSeries[b]++
+			}
+		}
+	}
+	return r
+}
+
+func percentile(sorted []time.Duration, p float64) time.Duration {
+	if len(sorted) == 0 {
+		return 0
+	}
+	idx := int(p * float64(len(sorted)-1))
+	return sorted[idx]
+}
+
+// PeakTPS reports the largest single-second throughput in the series.
+func (r *Report) PeakTPS() float64 {
+	var peak float64
+	for _, v := range r.TPSSeries {
+		if v > peak {
+			peak = v
+		}
+	}
+	return peak
+}
+
+// SuccessRate is committed / submitted.
+func (r *Report) SuccessRate() float64 {
+	if r.Submitted == 0 {
+		return 0
+	}
+	return float64(r.Committed) / float64(r.Submitted)
+}
+
+// String renders a one-line summary.
+func (r *Report) String() string {
+	return fmt.Sprintf("%s: %d submitted, %d committed (%.1f TPS), %d aborted, %d rejected, avg latency %v (p95 %v)",
+		r.Chain, r.Submitted, r.Committed, r.Throughput, r.Aborted, r.Rejected, r.AvgLatency, r.P95Latency)
+}

@@ -1,0 +1,131 @@
+package metrics
+
+import (
+	"strings"
+	"testing"
+	"time"
+
+	"hammer/internal/chain"
+	"hammer/internal/taskproc"
+)
+
+func rec(start, end time.Duration, status chain.TxStatus) taskproc.TxRecord {
+	return taskproc.TxRecord{StartTime: start, EndTime: end, Status: status}
+}
+
+func TestAnalyzeCounts(t *testing.T) {
+	records := []taskproc.TxRecord{
+		rec(0, time.Second, chain.StatusCommitted),
+		rec(time.Second, 3*time.Second, chain.StatusCommitted),
+		rec(2*time.Second, 4*time.Second, chain.StatusAborted),
+		rec(3*time.Second, 9*time.Second, chain.StatusTimedOut),
+		rec(4*time.Second, 0, chain.StatusPending),
+	}
+	r := Analyze("fabric", records, 2)
+	if r.Submitted != 7 {
+		t.Fatalf("submitted %d, want 5 records + 2 rejected", r.Submitted)
+	}
+	if r.Committed != 2 || r.Aborted != 1 || r.TimedOut != 1 || r.Unmatched != 1 || r.Rejected != 2 {
+		t.Fatalf("counts: %+v", r)
+	}
+	// Duration spans first start (0) to last completion (9s).
+	if r.Duration != 9*time.Second {
+		t.Fatalf("duration %v", r.Duration)
+	}
+	if want := 2.0 / 9.0; r.Throughput < want-0.001 || r.Throughput > want+0.001 {
+		t.Fatalf("throughput %v", r.Throughput)
+	}
+}
+
+func TestAnalyzeLatencies(t *testing.T) {
+	var records []taskproc.TxRecord
+	for i := 1; i <= 100; i++ {
+		records = append(records, rec(0, time.Duration(i)*time.Millisecond, chain.StatusCommitted))
+	}
+	r := Analyze("x", records, 0)
+	if r.AvgLatency != 50500*time.Microsecond {
+		t.Fatalf("avg %v", r.AvgLatency)
+	}
+	if r.P50Latency != 50*time.Millisecond {
+		t.Fatalf("p50 %v", r.P50Latency)
+	}
+	if r.P95Latency != 95*time.Millisecond {
+		t.Fatalf("p95 %v", r.P95Latency)
+	}
+	if r.P99Latency != 99*time.Millisecond {
+		t.Fatalf("p99 %v", r.P99Latency)
+	}
+	if r.MaxLatency != 100*time.Millisecond {
+		t.Fatalf("max %v", r.MaxLatency)
+	}
+}
+
+func TestAnalyzeTPSSeries(t *testing.T) {
+	records := []taskproc.TxRecord{
+		rec(0, 500*time.Millisecond, chain.StatusCommitted),
+		rec(0, 700*time.Millisecond, chain.StatusCommitted),
+		rec(0, 2500*time.Millisecond, chain.StatusCommitted),
+	}
+	r := Analyze("x", records, 0)
+	if len(r.TPSSeries) < 3 {
+		t.Fatalf("series %v", r.TPSSeries)
+	}
+	if r.TPSSeries[0] != 2 || r.TPSSeries[2] != 1 {
+		t.Fatalf("series %v", r.TPSSeries)
+	}
+	if r.PeakTPS() != 2 {
+		t.Fatalf("peak %v", r.PeakTPS())
+	}
+}
+
+func TestAnalyzeEmpty(t *testing.T) {
+	r := Analyze("x", nil, 0)
+	if r.Submitted != 0 || r.Throughput != 0 {
+		t.Fatalf("%+v", r)
+	}
+	if r.SuccessRate() != 0 {
+		t.Fatal("empty success rate should be 0")
+	}
+}
+
+func TestSuccessRateAndString(t *testing.T) {
+	records := []taskproc.TxRecord{
+		rec(0, time.Second, chain.StatusCommitted),
+		rec(0, time.Second, chain.StatusAborted),
+	}
+	r := Analyze("fabric", records, 2)
+	if r.SuccessRate() != 0.25 {
+		t.Fatalf("success rate %v", r.SuccessRate())
+	}
+	s := r.String()
+	if !strings.Contains(s, "fabric") || !strings.Contains(s, "committed") {
+		t.Fatalf("string %q", s)
+	}
+}
+
+func TestAnalyzePerShard(t *testing.T) {
+	records := []taskproc.TxRecord{
+		{StartTime: 0, EndTime: time.Second, Status: chain.StatusCommitted, Shard: 0},
+		{StartTime: 0, EndTime: 2 * time.Second, Status: chain.StatusCommitted, Shard: 0},
+		{StartTime: 0, EndTime: 3 * time.Second, Status: chain.StatusCommitted, Shard: 1},
+		{StartTime: 0, EndTime: time.Second, Status: chain.StatusAborted, Shard: 1},
+		{StartTime: 0, Status: chain.StatusPending, Shard: 1}, // excluded
+	}
+	r := Analyze("meepo", records, 0)
+	if len(r.PerShard) != 2 {
+		t.Fatalf("shards %d", len(r.PerShard))
+	}
+	s0, s1 := r.PerShard[0], r.PerShard[1]
+	if s0.Committed != 2 || s0.Aborted != 0 {
+		t.Fatalf("shard 0 %+v", s0)
+	}
+	if s1.Committed != 1 || s1.Aborted != 1 {
+		t.Fatalf("shard 1 %+v", s1)
+	}
+	if s0.AvgLatency != 1500*time.Millisecond {
+		t.Fatalf("shard 0 latency %v", s0.AvgLatency)
+	}
+	if s0.Throughput <= s1.Throughput {
+		t.Fatal("shard 0 should show higher throughput")
+	}
+}

@@ -1,0 +1,113 @@
+package models
+
+import (
+	"hammer/internal/nn"
+	"hammer/internal/randx"
+)
+
+// NewRNN builds the Elman-RNN baseline of Table III: a single recurrent
+// layer whose final hidden state feeds a dense head.
+func NewRNN(cfg Config) Predictor {
+	cfg.fillDefaults()
+	rng := randx.New(cfg.Seed)
+	cell := nn.NewRNNCell(1, cfg.Hidden, rng)
+	head := nn.NewDense(cfg.Hidden, 1, rng)
+	m := &neural{name: "RNN", cfg: cfg}
+	m.params = append(cell.Params(), head.Params()...)
+	m.forward = func(seq nn.Sequence) *nn.Tensor {
+		return head.Forward(cell.Run(seq).Last())
+	}
+	return m
+}
+
+// NewTCN builds the TCN baseline of Table III: stacked dilated causal
+// convolutions (eq. 3) with a dense head on the last step.
+func NewTCN(cfg Config) Predictor {
+	cfg.fillDefaults()
+	rng := randx.New(cfg.Seed)
+	tcn := nn.NewTCN(1, cfg.Hidden, cfg.KernelSize, cfg.Levels, rng)
+	head := nn.NewDense(cfg.Hidden, 1, rng)
+	m := &neural{name: "TCN", cfg: cfg}
+	m.params = append(tcn.Params(), head.Params()...)
+	m.forward = func(seq nn.Sequence) *nn.Tensor {
+		return head.Forward(tcn.Forward(seq).Last())
+	}
+	return m
+}
+
+// transformerBlock is one pre-norm encoder block: x + MHA(LN(x)), then
+// x + FFN(LN(x)).
+type transformerBlock struct {
+	attn       *nn.MultiHeadAttention
+	ffn1, ffn2 *nn.Dense
+	g1, b1     *nn.Tensor
+	g2, b2     *nn.Tensor
+}
+
+func newTransformerBlock(model, heads int, rng *randx.Rand) *transformerBlock {
+	return &transformerBlock{
+		attn: nn.NewMultiHeadAttention(model, heads, rng),
+		ffn1: nn.NewDense(model, 2*model, rng),
+		ffn2: nn.NewDense(2*model, model, rng),
+		g1:   nn.Full(1, model, 1).RequireGrad(),
+		b1:   nn.Zeros(1, model).RequireGrad(),
+		g2:   nn.Full(1, model, 1).RequireGrad(),
+		b2:   nn.Zeros(1, model).RequireGrad(),
+	}
+}
+
+func (b *transformerBlock) forward(seq nn.Sequence) nn.Sequence {
+	normed := nn.MapSequence(seq, func(x *nn.Tensor) *nn.Tensor {
+		return nn.LayerNorm(x, b.g1, b.b1, 1e-5)
+	})
+	att := b.attn.Forward(normed)
+	h := make(nn.Sequence, len(seq))
+	for t := range seq {
+		h[t] = nn.Add(seq[t], att[t])
+	}
+	out := make(nn.Sequence, len(seq))
+	for t := range h {
+		ff := b.ffn2.Forward(nn.ReLU(b.ffn1.Forward(nn.LayerNorm(h[t], b.g2, b.b2, 1e-5))))
+		out[t] = nn.Add(h[t], ff)
+	}
+	return out
+}
+
+func (b *transformerBlock) params() []*nn.Tensor {
+	out := b.attn.Params()
+	out = append(out, b.ffn1.Params()...)
+	out = append(out, b.ffn2.Params()...)
+	out = append(out, b.g1, b.b1, b.g2, b.b2)
+	return out
+}
+
+// NewTransformer builds the Transformer baseline of Table III: input
+// projection, sinusoidal positional encoding, encoder blocks, dense head on
+// the last step. The paper finds it overfits these small workload corpora
+// (negative R² on DeFi and Sandbox).
+func NewTransformer(cfg Config) Predictor {
+	cfg.fillDefaults()
+	rng := randx.New(cfg.Seed)
+	embed := nn.NewDense(1, cfg.Hidden, rng)
+	pe := nn.PositionalEncoding(cfg.Lookback, cfg.Hidden)
+	blocks := []*transformerBlock{
+		newTransformerBlock(cfg.Hidden, cfg.Heads, rng),
+		newTransformerBlock(cfg.Hidden, cfg.Heads, rng),
+	}
+	head := nn.NewDense(cfg.Hidden, 1, rng)
+
+	m := &neural{name: "Transformer", cfg: cfg}
+	m.params = append(embed.Params(), head.Params()...)
+	for _, b := range blocks {
+		m.params = append(m.params, b.params()...)
+	}
+	m.forward = func(seq nn.Sequence) *nn.Tensor {
+		h := nn.MapSequence(seq, embed.Forward)
+		h = nn.AddPositional(h, pe)
+		for _, b := range blocks {
+			h = b.forward(h)
+		}
+		return head.Forward(h.Last())
+	}
+	return m
+}

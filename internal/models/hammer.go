@@ -1,0 +1,119 @@
+package models
+
+import (
+	"hammer/internal/nn"
+	"hammer/internal/randx"
+)
+
+// NewHammer builds the paper's workload predictor (§IV, Fig 5): an embedding
+// projection feeds a TCN that captures long-distance dependencies
+// (periodicity), its output feeds a BiGRU that captures short-distance
+// dependencies in both directions, and a multi-head attention stage catches
+// sudden bursts; a dense head reads the last step.
+func NewHammer(cfg Config) Predictor {
+	cfg.fillDefaults()
+	rng := randx.New(cfg.Seed)
+
+	embed := nn.NewDense(1, cfg.Hidden, rng)
+	tcn := nn.NewTCN(cfg.Hidden, cfg.Hidden, cfg.KernelSize, cfg.Levels, rng)
+	gruHidden := cfg.Hidden / 2
+	if gruHidden == 0 {
+		gruHidden = 1
+	}
+	bigru := nn.NewBiGRU(cfg.Hidden, gruHidden, rng)
+	attn := nn.NewMultiHeadAttention(2*gruHidden, cfg.Heads, rng)
+	head := nn.NewDense(2*gruHidden, 1, rng)
+	// Autoregressive highway: a linear bypass over the raw window that the
+	// nonlinear TCN→BiGRU→attention stack corrects — the outermost
+	// residual of the Fig 5 stack. It is warm-started at the closed-form
+	// ridge solution and the head is zero-initialised, so training begins
+	// exactly at the linear baseline and gradient descent only adds the
+	// nonlinear corrections (burst tracking) on top.
+	arW := nn.Zeros(cfg.Lookback, 1).RequireGrad()
+	arB := nn.Zeros(1, 1).RequireGrad()
+	arW.Data[cfg.Lookback-1] = 1
+	for i := range head.W.Data {
+		head.W.Data[i] = 0
+	}
+
+	m := &neural{name: "Hammer", cfg: cfg}
+	m.params = append(m.params, embed.Params()...)
+	m.params = append(m.params, tcn.Params()...)
+	m.params = append(m.params, bigru.Params()...)
+	m.params = append(m.params, attn.Params()...)
+	m.params = append(m.params, head.Params()...)
+	m.params = append(m.params, arW, arB)
+	m.warmStart = warmStartAR(arW, arB, cfg)
+	m.forward = func(seq nn.Sequence) *nn.Tensor {
+		h := nn.MapSequence(seq, embed.Forward)
+		h = tcn.Forward(h)
+		h = bigru.Run(h)
+		a := attn.Forward(h)
+		// Residual around attention keeps the recurrent signal when no
+		// burst is present.
+		out := make(nn.Sequence, len(h))
+		for t := range h {
+			out[t] = nn.Add(h[t], a[t])
+		}
+		pred := head.Forward(out.Last())
+		window := nn.ConcatCols([]*nn.Tensor(seq)...)
+		pred = nn.Add(pred, nn.MatMul(window, arW))
+		return nn.AddBias(pred, arB)
+	}
+	return m
+}
+
+// warmStartAR fills the AR highway with the ridge solution over the
+// training windows.
+func warmStartAR(arW, arB *nn.Tensor, cfg Config) func(X [][]float64, Y []float64) error {
+	return func(X [][]float64, Y []float64) error {
+		sol, err := ridgeFit(X, Y, cfg.Lookback, cfg.Ridge)
+		if err != nil {
+			return err
+		}
+		copy(arW.Data, sol[:cfg.Lookback])
+		arB.Data[0] = sol[cfg.Lookback]
+		return nil
+	}
+}
+
+// NewHammerNoAttention is the ablation variant without the multi-head
+// attention stage, used to quantify attention's contribution to burst
+// tracking.
+func NewHammerNoAttention(cfg Config) Predictor {
+	cfg.fillDefaults()
+	rng := randx.New(cfg.Seed)
+
+	embed := nn.NewDense(1, cfg.Hidden, rng)
+	tcn := nn.NewTCN(cfg.Hidden, cfg.Hidden, cfg.KernelSize, cfg.Levels, rng)
+	gruHidden := cfg.Hidden / 2
+	if gruHidden == 0 {
+		gruHidden = 1
+	}
+	bigru := nn.NewBiGRU(cfg.Hidden, gruHidden, rng)
+	head := nn.NewDense(2*gruHidden, 1, rng)
+	arW := nn.Zeros(cfg.Lookback, 1).RequireGrad()
+	arB := nn.Zeros(1, 1).RequireGrad()
+	arW.Data[cfg.Lookback-1] = 1
+	for i := range head.W.Data {
+		head.W.Data[i] = 0
+	}
+
+	m := &neural{name: "Hammer-NoAttn", cfg: cfg}
+	m.params = append(m.params, embed.Params()...)
+	m.params = append(m.params, tcn.Params()...)
+	m.params = append(m.params, bigru.Params()...)
+	m.params = append(m.params, head.Params()...)
+	m.params = append(m.params, arW, arB)
+	m.warmStart = warmStartAR(arW, arB, cfg)
+	m.forward = func(seq nn.Sequence) *nn.Tensor {
+		h := nn.MapSequence(seq, embed.Forward)
+		h = tcn.Forward(h)
+		h = bigru.Run(h)
+		pred := head.Forward(h.Last())
+		window := nn.ConcatCols([]*nn.Tensor(seq)...)
+		pred = nn.Add(pred, nn.MatMul(window, arW))
+		return nn.AddBias(pred, arB)
+	}
+	return m
+}

@@ -1,0 +1,139 @@
+package models
+
+import (
+	"fmt"
+
+	"hammer/internal/timeseries"
+)
+
+// Linear is the ridge-regression baseline: ŷ = w·window + b, solved in
+// closed form from the normal equations (XᵀX + λI)w = Xᵀy.
+type Linear struct {
+	cfg    Config
+	scaler timeseries.Scaler
+	w      []float64
+	b      float64
+	fitted bool
+}
+
+var _ Predictor = (*Linear)(nil)
+
+// NewLinear builds the baseline.
+func NewLinear(cfg Config) *Linear {
+	cfg.fillDefaults()
+	return &Linear{cfg: cfg}
+}
+
+// Name implements Predictor.
+func (l *Linear) Name() string { return "Linear" }
+
+// Lookback implements Predictor.
+func (l *Linear) Lookback() int { return l.cfg.Lookback }
+
+// Fit implements Predictor.
+func (l *Linear) Fit(series []float64) error {
+	l.scaler = timeseries.FitScaler(series)
+	norm := l.scaler.Transform(series)
+	X, Y, err := timeseries.Windows(norm, l.cfg.Lookback, l.cfg.Horizon)
+	if err != nil {
+		return fmt.Errorf("models: linear fit: %w", err)
+	}
+	sol, err := ridgeFit(X, Y, l.cfg.Lookback, l.cfg.Ridge)
+	if err != nil {
+		return fmt.Errorf("models: linear fit: %w", err)
+	}
+	l.w = sol[:l.cfg.Lookback]
+	l.b = sol[l.cfg.Lookback]
+	l.fitted = true
+	return nil
+}
+
+// Predict implements Predictor.
+func (l *Linear) Predict(window []float64) (float64, error) {
+	if !l.fitted {
+		return 0, fmt.Errorf("models: linear predict before fit")
+	}
+	if len(window) != l.cfg.Lookback {
+		return 0, fmt.Errorf("models: linear window of %d, want %d", len(window), l.cfg.Lookback)
+	}
+	v := l.b
+	for i, x := range window {
+		v += l.w[i] * (x - l.scaler.Mean) / l.scaler.Std
+	}
+	return l.scaler.Invert(v), nil
+}
+
+// ridgeFit solves the normal equations (XᵀX + λI)w = Xᵀy over windows with
+// an appended bias column, returning the weight vector (last entry bias).
+func ridgeFit(X [][]float64, Y []float64, lookback int, ridge float64) ([]float64, error) {
+	d := lookback + 1
+	a := make([][]float64, d)
+	for i := range a {
+		a[i] = make([]float64, d)
+	}
+	rhs := make([]float64, d)
+	row := make([]float64, d)
+	for s := range X {
+		copy(row, X[s])
+		row[d-1] = 1
+		for i := 0; i < d; i++ {
+			for j := 0; j < d; j++ {
+				a[i][j] += row[i] * row[j]
+			}
+			rhs[i] += row[i] * Y[s]
+		}
+	}
+	for i := 0; i < d-1; i++ { // do not regularise the bias
+		a[i][i] += ridge
+	}
+	return solveLinear(a, rhs)
+}
+
+// solveLinear solves a dense system with Gaussian elimination and partial
+// pivoting. It mutates its arguments.
+func solveLinear(a [][]float64, b []float64) ([]float64, error) {
+	n := len(a)
+	for col := 0; col < n; col++ {
+		// Pivot.
+		pivot := col
+		for r := col + 1; r < n; r++ {
+			if abs(a[r][col]) > abs(a[pivot][col]) {
+				pivot = r
+			}
+		}
+		if abs(a[pivot][col]) < 1e-12 {
+			return nil, fmt.Errorf("models: singular normal matrix at column %d", col)
+		}
+		a[col], a[pivot] = a[pivot], a[col]
+		b[col], b[pivot] = b[pivot], b[col]
+		// Eliminate below.
+		inv := 1 / a[col][col]
+		for r := col + 1; r < n; r++ {
+			f := a[r][col] * inv
+			if f == 0 {
+				continue
+			}
+			for c := col; c < n; c++ {
+				a[r][c] -= f * a[col][c]
+			}
+			b[r] -= f * b[col]
+		}
+	}
+	// Back substitution.
+	x := make([]float64, n)
+	for r := n - 1; r >= 0; r-- {
+		v := b[r]
+		for c := r + 1; c < n; c++ {
+			v -= a[r][c] * x[c]
+		}
+		x[r] = v / a[r][r]
+	}
+	return x, nil
+}
+
+func abs(v float64) float64 {
+	if v < 0 {
+		return -v
+	}
+	return v
+}

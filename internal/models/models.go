@@ -1,0 +1,205 @@
+// Package models implements the five workload predictors compared in the
+// paper's Table III: a linear (ridge) regressor, an Elman RNN, a TCN, a
+// Transformer encoder, and Hammer's own TCN → BiGRU → multi-head-attention
+// model (§IV). All neural models train full-batch with Adam on the MAE loss
+// (eq. 8) over z-score-normalised hourly series.
+package models
+
+import (
+	"fmt"
+	"math"
+
+	"hammer/internal/timeseries"
+)
+
+// Config hyper-parameterises a predictor.
+type Config struct {
+	// Lookback is the input window length in hours.
+	Lookback int
+	// Horizon is how many steps ahead the target lies (paper: 1).
+	Horizon int
+	// Hidden is the hidden width of neural models.
+	Hidden int
+	// Levels is the TCN block count.
+	Levels int
+	// KernelSize is the TCN tap count.
+	KernelSize int
+	// Heads is the attention head count.
+	Heads int
+	// Epochs bounds training; training also stops when the loss converges.
+	Epochs int
+	// LR is the Adam learning rate.
+	LR float64
+	// ClipNorm bounds the global gradient norm (0 disables clipping).
+	ClipNorm float64
+	// Ridge is the L2 regulariser of the linear model.
+	Ridge float64
+	// Seed fixes initialisation.
+	Seed int64
+}
+
+// DefaultConfig is the configuration used for Table III.
+func DefaultConfig() Config {
+	return Config{
+		Lookback:   24,
+		Horizon:    1,
+		Hidden:     16,
+		Levels:     3,
+		KernelSize: 3,
+		Heads:      4,
+		Epochs:     400,
+		LR:         0.004,
+		ClipNorm:   5,
+		Ridge:      1e-3,
+		Seed:       1,
+	}
+}
+
+func (c *Config) fillDefaults() {
+	def := DefaultConfig()
+	if c.Lookback <= 0 {
+		c.Lookback = def.Lookback
+	}
+	if c.Horizon <= 0 {
+		c.Horizon = def.Horizon
+	}
+	if c.Hidden <= 0 {
+		c.Hidden = def.Hidden
+	}
+	if c.Levels <= 0 {
+		c.Levels = def.Levels
+	}
+	if c.KernelSize <= 0 {
+		c.KernelSize = def.KernelSize
+	}
+	if c.Heads <= 0 {
+		c.Heads = def.Heads
+	}
+	if c.Epochs <= 0 {
+		c.Epochs = def.Epochs
+	}
+	if c.LR <= 0 {
+		c.LR = def.LR
+	}
+	if c.ClipNorm < 0 {
+		c.ClipNorm = def.ClipNorm
+	}
+	if c.Ridge <= 0 {
+		c.Ridge = def.Ridge
+	}
+}
+
+// Predictor is a trained one-step-ahead forecaster over raw (unnormalised)
+// series values.
+type Predictor interface {
+	// Name labels the model in reports ("Linear", "RNN", ...).
+	Name() string
+	// Fit trains on the series (internally normalising).
+	Fit(series []float64) error
+	// Predict forecasts the value Horizon steps after the window, which
+	// must be exactly Lookback long.
+	Predict(window []float64) (float64, error)
+	// Lookback reports the required window length.
+	Lookback() int
+}
+
+// Metrics is one Table III row.
+type Metrics struct {
+	MAE  float64
+	MSE  float64
+	RMSE float64
+	R2   float64
+}
+
+// String renders the row.
+func (m Metrics) String() string {
+	return fmt.Sprintf("MAE=%.3f MSE=%.3f RMSE=%.3f R2=%.4f", m.MAE, m.MSE, m.RMSE, m.R2)
+}
+
+// EvaluateNormalized scores like Evaluate but on the z-score scale of a
+// scaler fit on the training region, which is how Table III's
+// cross-dataset-comparable MAE/MSE/RMSE values arise (raw transaction
+// counts differ by two orders of magnitude between DeFi and NFTs).
+func EvaluateNormalized(p Predictor, series []float64, trainLen int) (Metrics, error) {
+	scaler := timeseries.FitScaler(series[:trainLen])
+	m, y, yhat, err := evaluate(p, series, trainLen)
+	if err != nil {
+		return m, err
+	}
+	ny := make([]float64, len(y))
+	nyhat := make([]float64, len(yhat))
+	for i := range y {
+		ny[i] = (y[i] - scaler.Mean) / scaler.Std
+		nyhat[i] = (yhat[i] - scaler.Mean) / scaler.Std
+	}
+	return Metrics{
+		MAE:  timeseries.MAE(ny, nyhat),
+		MSE:  timeseries.MSE(ny, nyhat),
+		RMSE: timeseries.RMSE(ny, nyhat),
+		R2:   timeseries.R2(ny, nyhat),
+	}, nil
+}
+
+// Evaluate scores one-step-ahead predictions whose targets lie in
+// series[trainLen:]. Windows may reach back into the training region, which
+// matches standard rolling evaluation.
+func Evaluate(p Predictor, series []float64, trainLen int) (Metrics, error) {
+	m, _, _, err := evaluate(p, series, trainLen)
+	return m, err
+}
+
+func evaluate(p Predictor, series []float64, trainLen int) (Metrics, []float64, []float64, error) {
+	lb := p.Lookback()
+	var y, yhat []float64
+	for target := trainLen; target < len(series); target++ {
+		start := target - lb // horizon 1: window ends right before target
+		if start < 0 {
+			continue
+		}
+		pred, err := p.Predict(series[start : start+lb])
+		if err != nil {
+			return Metrics{}, nil, nil, err
+		}
+		y = append(y, series[target])
+		yhat = append(yhat, pred)
+	}
+	if len(y) == 0 {
+		return Metrics{}, nil, nil, fmt.Errorf("models: no test windows (series %d, trainLen %d, lookback %d)", len(series), trainLen, lb)
+	}
+	m := Metrics{
+		MAE:  timeseries.MAE(y, yhat),
+		MSE:  timeseries.MSE(y, yhat),
+		RMSE: timeseries.RMSE(y, yhat),
+		R2:   timeseries.R2(y, yhat),
+	}
+	return m, y, yhat, nil
+}
+
+// Generate autoregressively extends a series: each prediction is appended
+// and fed back, producing the arbitrarily long control sequences the paper
+// needs for large-scale testing (§IV). Negative forecasts clamp to zero
+// since the series are transaction counts.
+func Generate(p Predictor, seed []float64, steps int) ([]float64, error) {
+	lb := p.Lookback()
+	if len(seed) < lb {
+		return nil, fmt.Errorf("models: seed of %d shorter than lookback %d", len(seed), lb)
+	}
+	buf := append([]float64(nil), seed...)
+	out := make([]float64, 0, steps)
+	for i := 0; i < steps; i++ {
+		window := buf[len(buf)-lb:]
+		v, err := p.Predict(window)
+		if err != nil {
+			return nil, err
+		}
+		if v < 0 {
+			v = 0
+		}
+		if math.IsNaN(v) || math.IsInf(v, 0) {
+			return nil, fmt.Errorf("models: %s produced non-finite forecast at step %d", p.Name(), i)
+		}
+		buf = append(buf, v)
+		out = append(out, v)
+	}
+	return out, nil
+}

@@ -1,0 +1,173 @@
+package models
+
+import (
+	"fmt"
+	"math"
+
+	"hammer/internal/nn"
+	"hammer/internal/timeseries"
+)
+
+// neural holds what every gradient-trained model shares: the scaler, the
+// parameter list, a forward pass over a batched sequence, and the full-batch
+// Adam training loop on MAE loss with validation-based checkpointing.
+type neural struct {
+	name    string
+	cfg     Config
+	scaler  timeseries.Scaler
+	params  []*nn.Tensor
+	forward func(seq nn.Sequence) *nn.Tensor // returns [B, 1] predictions
+	// warmStart, when set, initialises parameters from the supervised
+	// windows before gradient training (e.g. the AR highway's ridge
+	// solution).
+	warmStart func(X [][]float64, Y []float64) error
+	fitted    bool
+
+	// FinalLoss is the training loss at the last executed epoch.
+	FinalLoss float64
+	// BestValLoss is the validation loss of the restored checkpoint.
+	BestValLoss float64
+	// EpochsRun counts epochs actually executed.
+	EpochsRun int
+}
+
+// Name implements Predictor.
+func (n *neural) Name() string { return n.name }
+
+// Lookback implements Predictor.
+func (n *neural) Lookback() int { return n.cfg.Lookback }
+
+// valFrac is the time-ordered tail of the training windows held out for
+// checkpoint selection.
+const valFrac = 0.15
+
+// Fit implements Predictor: full-batch Adam on the MAE loss (eq. 8), with
+// the last 15% of training windows held out for validation; the parameters
+// of the best validation epoch are restored at the end ("the training
+// process concludes when the model's loss converges").
+func (n *neural) Fit(series []float64) error {
+	n.scaler = timeseries.FitScaler(series)
+	norm := n.scaler.Transform(series)
+	X, Y, err := timeseries.Windows(norm, n.cfg.Lookback, n.cfg.Horizon)
+	if err != nil {
+		return fmt.Errorf("models: %s fit: %w", n.name, err)
+	}
+	if n.warmStart != nil {
+		if err := n.warmStart(X, Y); err != nil {
+			return fmt.Errorf("models: %s warm start: %w", n.name, err)
+		}
+	}
+
+	nVal := int(valFrac * float64(len(X)))
+	if nVal < 1 && len(X) > 4 {
+		nVal = 1
+	}
+	cut := len(X) - nVal
+	trainSeq := nn.SequenceFromWindows(X[:cut])
+	trainY := nn.Zeros(cut, 1)
+	copy(trainY.Data, Y[:cut])
+
+	var valSeq nn.Sequence
+	var valY *nn.Tensor
+	if nVal > 0 {
+		valSeq = nn.SequenceFromWindows(X[cut:])
+		valY = nn.Zeros(nVal, 1)
+		copy(valY.Data, Y[cut:])
+	}
+
+	opt := nn.NewAdam(n.params, n.cfg.LR)
+	// Halve the learning rate twice over the budget; Adam on full-batch
+	// MAE benefits from the tail refinement.
+	decayAt := map[int]bool{n.cfg.Epochs / 2: true, n.cfg.Epochs * 3 / 4: true}
+	const patience = 60
+
+	best := math.Inf(1)
+	stall := 0
+	var checkpoint [][]float64
+
+	snapshot := func() {
+		if checkpoint == nil {
+			checkpoint = make([][]float64, len(n.params))
+			for i, p := range n.params {
+				checkpoint[i] = make([]float64, len(p.Data))
+			}
+		}
+		for i, p := range n.params {
+			copy(checkpoint[i], p.Data)
+		}
+	}
+	restore := func() {
+		if checkpoint == nil {
+			return
+		}
+		for i, p := range n.params {
+			copy(p.Data, checkpoint[i])
+		}
+	}
+
+	score := func() float64 {
+		if valSeq == nil {
+			return n.FinalLoss
+		}
+		return nn.MAELoss(n.forward(valSeq), valY).Item()
+	}
+
+	// Score the warm-started parameters before any gradient step, so a
+	// model that only gets worse keeps its initialisation.
+	if v := score(); !math.IsNaN(v) {
+		best = v
+		snapshot()
+	}
+
+	for epoch := 0; epoch < n.cfg.Epochs; epoch++ {
+		if decayAt[epoch] {
+			opt.ScaleLR(0.5)
+		}
+		pred := n.forward(trainSeq)
+		loss := nn.MAELoss(pred, trainY)
+		loss.Backward()
+		if n.cfg.ClipNorm > 0 {
+			nn.ClipGradNorm(n.params, n.cfg.ClipNorm)
+		}
+		opt.Step()
+		n.FinalLoss = loss.Item()
+		n.EpochsRun = epoch + 1
+		if math.IsNaN(n.FinalLoss) || math.IsInf(n.FinalLoss, 0) {
+			restore()
+			return fmt.Errorf("models: %s diverged at epoch %d", n.name, epoch)
+		}
+		v := score()
+		if v < best {
+			best = v
+			snapshot()
+			stall = 0
+		} else {
+			stall++
+			if stall >= patience {
+				break
+			}
+		}
+	}
+	restore()
+	n.BestValLoss = best
+	n.fitted = true
+	return nil
+}
+
+// Predict implements Predictor.
+func (n *neural) Predict(window []float64) (float64, error) {
+	if !n.fitted {
+		return 0, fmt.Errorf("models: %s predict before fit", n.name)
+	}
+	if len(window) != n.cfg.Lookback {
+		return 0, fmt.Errorf("models: %s window of %d, want %d", n.name, len(window), n.cfg.Lookback)
+	}
+	seq := make(nn.Sequence, len(window))
+	for t, v := range window {
+		step := nn.Zeros(1, 1)
+		step.Data[0] = (v - n.scaler.Mean) / n.scaler.Std
+		seq[t] = step
+	}
+	out := n.forward(seq)
+	return n.scaler.Invert(out.Data[0]), nil
+}

@@ -1,0 +1,297 @@
+// Package monitor is the Prometheus-equivalent of the paper's visualization
+// phase (§III-B3): a metric registry of counters, gauges and histograms that
+// a scraper pulls on an interval — CPU, memory and per-chain internals stand
+// in for node-exporter — and whose samples land in the tablestore for SQL
+// analysis and charting.
+package monitor
+
+import (
+	"fmt"
+	"math"
+	"runtime"
+	"sort"
+	"sync"
+	"time"
+)
+
+// MetricKind distinguishes registry entries.
+type MetricKind int
+
+// Metric kinds.
+const (
+	KindCounter MetricKind = iota + 1
+	KindGauge
+	KindHistogram
+)
+
+// Counter is a monotonically increasing metric.
+type Counter struct {
+	mu sync.Mutex
+	v  float64
+}
+
+// Add increases the counter; negative deltas are ignored.
+func (c *Counter) Add(delta float64) {
+	if delta < 0 {
+		return
+	}
+	c.mu.Lock()
+	c.v += delta
+	c.mu.Unlock()
+}
+
+// Inc adds one.
+func (c *Counter) Inc() { c.Add(1) }
+
+// Value reads the counter.
+func (c *Counter) Value() float64 {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	return c.v
+}
+
+// Gauge is a metric that can move in both directions; it can also be bound
+// to a sampling function evaluated at scrape time.
+type Gauge struct {
+	mu sync.Mutex
+	v  float64
+	fn func() float64
+}
+
+// Set stores an absolute value.
+func (g *Gauge) Set(v float64) {
+	g.mu.Lock()
+	g.v = v
+	g.mu.Unlock()
+}
+
+// Bind makes the gauge compute its value at scrape time.
+func (g *Gauge) Bind(fn func() float64) {
+	g.mu.Lock()
+	g.fn = fn
+	g.mu.Unlock()
+}
+
+// Value reads the gauge.
+func (g *Gauge) Value() float64 {
+	g.mu.Lock()
+	defer g.mu.Unlock()
+	if g.fn != nil {
+		return g.fn()
+	}
+	return g.v
+}
+
+// Histogram accumulates observations into fixed buckets.
+type Histogram struct {
+	mu      sync.Mutex
+	bounds  []float64 // upper bounds, ascending
+	counts  []uint64  // len(bounds)+1, last is +Inf
+	sum     float64
+	samples uint64
+}
+
+// NewHistogram builds a histogram with the given ascending upper bounds.
+func NewHistogram(bounds []float64) *Histogram {
+	b := append([]float64(nil), bounds...)
+	sort.Float64s(b)
+	return &Histogram{bounds: b, counts: make([]uint64, len(b)+1)}
+}
+
+// Observe records one sample.
+func (h *Histogram) Observe(v float64) {
+	h.mu.Lock()
+	defer h.mu.Unlock()
+	idx := sort.SearchFloat64s(h.bounds, v)
+	h.counts[idx]++
+	h.sum += v
+	h.samples++
+}
+
+// Quantile estimates the q-quantile (0..1) by linear interpolation within
+// the owning bucket.
+func (h *Histogram) Quantile(q float64) float64 {
+	h.mu.Lock()
+	defer h.mu.Unlock()
+	if h.samples == 0 {
+		return math.NaN()
+	}
+	target := q * float64(h.samples)
+	var cum float64
+	lower := 0.0
+	for i, c := range h.counts {
+		upper := math.Inf(1)
+		if i < len(h.bounds) {
+			upper = h.bounds[i]
+		}
+		if cum+float64(c) >= target {
+			if c == 0 || math.IsInf(upper, 1) {
+				return lower
+			}
+			frac := (target - cum) / float64(c)
+			return lower + frac*(upper-lower)
+		}
+		cum += float64(c)
+		lower = upper
+	}
+	return lower
+}
+
+// Snapshot reports (samples, sum).
+func (h *Histogram) Snapshot() (uint64, float64) {
+	h.mu.Lock()
+	defer h.mu.Unlock()
+	return h.samples, h.sum
+}
+
+// Registry names metrics, node-exporter style ("node/cpu", "chain/pending").
+type Registry struct {
+	mu         sync.Mutex
+	counters   map[string]*Counter
+	gauges     map[string]*Gauge
+	histograms map[string]*Histogram
+}
+
+// NewRegistry returns an empty registry.
+func NewRegistry() *Registry {
+	return &Registry{
+		counters:   make(map[string]*Counter),
+		gauges:     make(map[string]*Gauge),
+		histograms: make(map[string]*Histogram),
+	}
+}
+
+// Counter returns (creating if needed) the named counter.
+func (r *Registry) Counter(name string) *Counter {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	c, ok := r.counters[name]
+	if !ok {
+		c = &Counter{}
+		r.counters[name] = c
+	}
+	return c
+}
+
+// Gauge returns (creating if needed) the named gauge.
+func (r *Registry) Gauge(name string) *Gauge {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	g, ok := r.gauges[name]
+	if !ok {
+		g = &Gauge{}
+		r.gauges[name] = g
+	}
+	return g
+}
+
+// Histogram returns (creating if needed) the named histogram.
+func (r *Registry) Histogram(name string, bounds []float64) *Histogram {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	h, ok := r.histograms[name]
+	if !ok {
+		h = NewHistogram(bounds)
+		r.histograms[name] = h
+	}
+	return h
+}
+
+// Sample is one scraped data point.
+type Sample struct {
+	Name  string
+	Kind  MetricKind
+	Value float64
+	At    time.Time
+}
+
+// Scrape reads every metric once. Histograms contribute their sample count
+// and sum as two samples.
+func (r *Registry) Scrape() []Sample {
+	now := time.Now()
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	var out []Sample
+	for name, c := range r.counters {
+		out = append(out, Sample{Name: name, Kind: KindCounter, Value: c.Value(), At: now})
+	}
+	for name, g := range r.gauges {
+		out = append(out, Sample{Name: name, Kind: KindGauge, Value: g.Value(), At: now})
+	}
+	for name, h := range r.histograms {
+		n, sum := h.Snapshot()
+		out = append(out, Sample{Name: name + "_count", Kind: KindHistogram, Value: float64(n), At: now})
+		out = append(out, Sample{Name: name + "_sum", Kind: KindHistogram, Value: sum, At: now})
+	}
+	sort.Slice(out, func(i, j int) bool { return out[i].Name < out[j].Name })
+	return out
+}
+
+// RegisterRuntimeMetrics binds the standard node-exporter-style gauges for
+// the current process: heap bytes, goroutines, GC cycles.
+func (r *Registry) RegisterRuntimeMetrics() {
+	r.Gauge("node/heap_bytes").Bind(func() float64 {
+		var ms runtime.MemStats
+		runtime.ReadMemStats(&ms)
+		return float64(ms.HeapAlloc)
+	})
+	r.Gauge("node/goroutines").Bind(func() float64 {
+		return float64(runtime.NumGoroutine())
+	})
+	r.Gauge("node/gc_cycles").Bind(func() float64 {
+		var ms runtime.MemStats
+		runtime.ReadMemStats(&ms)
+		return float64(ms.NumGC)
+	})
+}
+
+// Collector periodically scrapes a registry and hands samples to a sink.
+// Stop it with Close; it does not outlive its owner (no fire-and-forget).
+type Collector struct {
+	reg      *Registry
+	interval time.Duration
+	sink     func([]Sample)
+
+	stop chan struct{}
+	done chan struct{}
+	once sync.Once
+}
+
+// NewCollector starts scraping reg every interval into sink.
+func NewCollector(reg *Registry, interval time.Duration, sink func([]Sample)) (*Collector, error) {
+	if interval <= 0 {
+		return nil, fmt.Errorf("monitor: non-positive scrape interval %v", interval)
+	}
+	if sink == nil {
+		return nil, fmt.Errorf("monitor: nil sink")
+	}
+	c := &Collector{
+		reg:      reg,
+		interval: interval,
+		sink:     sink,
+		stop:     make(chan struct{}),
+		done:     make(chan struct{}),
+	}
+	go c.loop()
+	return c, nil
+}
+
+func (c *Collector) loop() {
+	defer close(c.done)
+	t := time.NewTicker(c.interval)
+	defer t.Stop()
+	for {
+		select {
+		case <-t.C:
+			c.sink(c.reg.Scrape())
+		case <-c.stop:
+			return
+		}
+	}
+}
+
+// Close stops the collector and waits for the loop to exit.
+func (c *Collector) Close() {
+	c.once.Do(func() { close(c.stop) })
+	<-c.done
+}

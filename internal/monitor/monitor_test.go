@@ -1,0 +1,141 @@
+package monitor
+
+import (
+	"math"
+	"sync"
+	"testing"
+	"time"
+)
+
+func TestCounter(t *testing.T) {
+	var c Counter
+	c.Inc()
+	c.Add(2.5)
+	c.Add(-1) // ignored: counters are monotonic
+	if c.Value() != 3.5 {
+		t.Fatalf("counter %v", c.Value())
+	}
+}
+
+func TestGaugeSetAndBind(t *testing.T) {
+	var g Gauge
+	g.Set(7)
+	if g.Value() != 7 {
+		t.Fatalf("gauge %v", g.Value())
+	}
+	g.Bind(func() float64 { return 42 })
+	if g.Value() != 42 {
+		t.Fatal("bound gauge should compute at read time")
+	}
+}
+
+func TestHistogramQuantiles(t *testing.T) {
+	h := NewHistogram([]float64{10, 100, 1000})
+	for i := 1; i <= 100; i++ {
+		h.Observe(float64(i)) // uniform over (0, 100]
+	}
+	n, sum := h.Snapshot()
+	if n != 100 || sum != 5050 {
+		t.Fatalf("snapshot %d %v", n, sum)
+	}
+	q50 := h.Quantile(0.5)
+	// Half the mass sits in (10, 100]; interpolation should land mid-bucket.
+	if q50 < 10 || q50 > 100 {
+		t.Fatalf("p50 %v", q50)
+	}
+	if q := h.Quantile(0.05); q > 10 {
+		t.Fatalf("p5 %v should fall in the first bucket", q)
+	}
+	empty := NewHistogram([]float64{1})
+	if !math.IsNaN(empty.Quantile(0.5)) {
+		t.Fatal("empty histogram quantile should be NaN")
+	}
+}
+
+func TestRegistryScrape(t *testing.T) {
+	r := NewRegistry()
+	r.Counter("txs").Add(5)
+	r.Gauge("pending").Set(3)
+	r.Histogram("latency", []float64{1, 10}).Observe(4)
+	// Same name returns the same metric.
+	r.Counter("txs").Add(1)
+	samples := r.Scrape()
+	byName := map[string]float64{}
+	for _, s := range samples {
+		byName[s.Name] = s.Value
+	}
+	if byName["txs"] != 6 {
+		t.Fatalf("txs %v", byName["txs"])
+	}
+	if byName["pending"] != 3 {
+		t.Fatalf("pending %v", byName["pending"])
+	}
+	if byName["latency_count"] != 1 || byName["latency_sum"] != 4 {
+		t.Fatalf("histogram samples %v", byName)
+	}
+	// Sorted output.
+	for i := 1; i < len(samples); i++ {
+		if samples[i-1].Name > samples[i].Name {
+			t.Fatal("scrape output not sorted")
+		}
+	}
+}
+
+func TestRuntimeMetrics(t *testing.T) {
+	r := NewRegistry()
+	r.RegisterRuntimeMetrics()
+	byName := map[string]float64{}
+	for _, s := range r.Scrape() {
+		byName[s.Name] = s.Value
+	}
+	if byName["node/heap_bytes"] <= 0 {
+		t.Fatal("heap gauge should be positive")
+	}
+	if byName["node/goroutines"] < 1 {
+		t.Fatal("goroutine gauge should be positive")
+	}
+}
+
+func TestCollector(t *testing.T) {
+	r := NewRegistry()
+	r.Counter("ticks").Add(1)
+	var mu sync.Mutex
+	scrapes := 0
+	c, err := NewCollector(r, 5*time.Millisecond, func(samples []Sample) {
+		mu.Lock()
+		scrapes++
+		mu.Unlock()
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	deadline := time.Now().Add(2 * time.Second)
+	for time.Now().Before(deadline) {
+		mu.Lock()
+		n := scrapes
+		mu.Unlock()
+		if n >= 3 {
+			break
+		}
+		time.Sleep(5 * time.Millisecond)
+	}
+	c.Close()
+	mu.Lock()
+	final := scrapes
+	mu.Unlock()
+	if final < 3 {
+		t.Fatalf("collector scraped %d times", final)
+	}
+	// Close must be idempotent.
+	c.Close()
+}
+
+func TestCollectorValidation(t *testing.T) {
+	r := NewRegistry()
+	if _, err := NewCollector(r, 0, func([]Sample) {}); err == nil {
+		t.Fatal("zero interval should error")
+	}
+	if _, err := NewCollector(r, time.Second, nil); err == nil {
+		t.Fatal("nil sink should error")
+	}
+}

@@ -1,0 +1,134 @@
+// Package netsim models the cluster network between simulated blockchain
+// nodes: point-to-point links with propagation latency and finite bandwidth,
+// matching the paper's testbed of 5 nodes joined by ~100 Mbps links. Message
+// delivery is scheduled on the shared discrete-event scheduler, so network
+// delay enters every consensus round trip.
+package netsim
+
+import (
+	"fmt"
+	"time"
+
+	"hammer/internal/eventsim"
+	"hammer/internal/randx"
+)
+
+// Config describes the homogeneous cluster network.
+type Config struct {
+	// Latency is the one-way propagation delay between two distinct nodes.
+	Latency time.Duration
+	// BandwidthBps is the per-link bandwidth in bytes per second; zero
+	// means unlimited.
+	BandwidthBps float64
+	// JitterFrac randomises each delivery by ±frac.
+	JitterFrac float64
+	// LossFrac silently drops this fraction of messages — failure
+	// injection for testing the framework's timeout and drain paths.
+	LossFrac float64
+	// Seed seeds the jitter and loss streams.
+	Seed int64
+}
+
+// DefaultConfig approximates the paper's Aliyun cluster: 100 Mbps links with
+// ~1 ms intra-datacenter latency.
+func DefaultConfig() Config {
+	return Config{
+		Latency:      1 * time.Millisecond,
+		BandwidthBps: 100e6 / 8, // 100 Mbps
+		JitterFrac:   0.1,
+		Seed:         1,
+	}
+}
+
+// Network delivers messages between named nodes over the virtual clock.
+type Network struct {
+	cfg   Config
+	sched *eventsim.Scheduler
+	rng   *randx.Rand
+	// busyUntil tracks per-link serialisation: a link transmits one message
+	// at a time, so bandwidth limits queue large payloads.
+	busyUntil map[string]time.Duration
+	// stats
+	sent      int
+	dropped   int
+	bytesSent int64
+}
+
+// New builds a network on the given scheduler.
+func New(sched *eventsim.Scheduler, cfg Config) *Network {
+	if cfg.Latency < 0 {
+		cfg.Latency = 0
+	}
+	return &Network{
+		cfg:       cfg,
+		sched:     sched,
+		rng:       randx.New(cfg.Seed),
+		busyUntil: make(map[string]time.Duration),
+	}
+}
+
+// Send schedules deliver to run on the virtual timeline after the link
+// latency plus transmission time for size bytes. Messages between the same
+// (from, to) pair are serialised, modeling a single TCP stream.
+func (n *Network) Send(from, to string, size int, deliver func()) {
+	if deliver == nil {
+		panic("netsim: Send with nil deliver")
+	}
+	if n.cfg.LossFrac > 0 && n.rng.Float64() < n.cfg.LossFrac {
+		n.dropped++
+		return
+	}
+	now := n.sched.Now()
+	link := from + "->" + to
+	start := now
+	if busy := n.busyUntil[link]; busy > start {
+		start = busy
+	}
+	var xmit time.Duration
+	if n.cfg.BandwidthBps > 0 && size > 0 {
+		xmit = time.Duration(float64(size) / n.cfg.BandwidthBps * float64(time.Second))
+	}
+	n.busyUntil[link] = start + xmit
+	delay := n.cfg.Latency
+	if from == to {
+		delay = 0
+	}
+	arrival := start + xmit + n.rng.Jitter(delay, n.cfg.JitterFrac)
+	n.sent++
+	n.bytesSent += int64(size)
+	n.sched.At(arrival, deliver)
+}
+
+// Broadcast sends size bytes from one node to every other named node.
+func (n *Network) Broadcast(from string, peers []string, size int, deliver func(peer string)) {
+	for _, p := range peers {
+		if p == from {
+			continue
+		}
+		peer := p
+		n.Send(from, peer, size, func() { deliver(peer) })
+	}
+}
+
+// RoundTrip estimates one request/response exchange of the given sizes,
+// without scheduling anything. Chains use it for admission-time estimates.
+func (n *Network) RoundTrip(reqSize, respSize int) time.Duration {
+	var xmit time.Duration
+	if n.cfg.BandwidthBps > 0 {
+		xmit = time.Duration(float64(reqSize+respSize) / n.cfg.BandwidthBps * float64(time.Second))
+	}
+	return 2*n.cfg.Latency + xmit
+}
+
+// Stats reports messages and bytes sent so far.
+func (n *Network) Stats() (messages int, bytes int64) {
+	return n.sent, n.bytesSent
+}
+
+// Dropped reports messages lost to injected failures.
+func (n *Network) Dropped() int { return n.dropped }
+
+// String summarises the configuration.
+func (n *Network) String() string {
+	return fmt.Sprintf("netsim(latency=%v, bw=%.0fB/s)", n.cfg.Latency, n.cfg.BandwidthBps)
+}

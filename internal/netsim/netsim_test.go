@@ -1,0 +1,107 @@
+package netsim
+
+import (
+	"testing"
+	"time"
+
+	"hammer/internal/eventsim"
+)
+
+func TestSendDelaysByLatency(t *testing.T) {
+	sched := eventsim.New()
+	cfg := Config{Latency: 10 * time.Millisecond, Seed: 1}
+	n := New(sched, cfg)
+	var arrived time.Duration
+	n.Send("a", "b", 100, func() { arrived = sched.Now() })
+	sched.Run()
+	if arrived != 10*time.Millisecond {
+		t.Fatalf("arrival at %v, want 10ms (no jitter configured)", arrived)
+	}
+}
+
+func TestBandwidthSerialisesLink(t *testing.T) {
+	sched := eventsim.New()
+	cfg := Config{Latency: time.Millisecond, BandwidthBps: 1000, Seed: 1} // 1 KB/s
+	n := New(sched, cfg)
+	var first, second time.Duration
+	n.Send("a", "b", 500, func() { first = sched.Now() })  // 500 ms transmission
+	n.Send("a", "b", 500, func() { second = sched.Now() }) // queued behind the first
+	sched.Run()
+	if first < 500*time.Millisecond {
+		t.Fatalf("first arrival %v ignores transmission time", first)
+	}
+	if second < first+400*time.Millisecond {
+		t.Fatalf("second arrival %v not serialised behind first %v", second, first)
+	}
+}
+
+func TestSelfSendIsImmediate(t *testing.T) {
+	sched := eventsim.New()
+	n := New(sched, Config{Latency: 50 * time.Millisecond, Seed: 1})
+	var arrived time.Duration
+	n.Send("a", "a", 0, func() { arrived = sched.Now() })
+	sched.Run()
+	if arrived != 0 {
+		t.Fatalf("self-send arrived at %v, want immediate", arrived)
+	}
+}
+
+func TestBroadcastSkipsSelf(t *testing.T) {
+	sched := eventsim.New()
+	n := New(sched, Config{Latency: time.Millisecond, Seed: 1})
+	var got []string
+	n.Broadcast("a", []string{"a", "b", "c"}, 10, func(peer string) {
+		got = append(got, peer)
+	})
+	sched.Run()
+	if len(got) != 2 {
+		t.Fatalf("broadcast reached %v, want b and c only", got)
+	}
+}
+
+func TestStatsAndRoundTrip(t *testing.T) {
+	sched := eventsim.New()
+	n := New(sched, Config{Latency: time.Millisecond, BandwidthBps: 1e6, Seed: 1})
+	n.Send("a", "b", 1000, func() {})
+	sched.Run()
+	msgs, bytes := n.Stats()
+	if msgs != 1 || bytes != 1000 {
+		t.Fatalf("stats %d msgs %d bytes", msgs, bytes)
+	}
+	rt := n.RoundTrip(1000, 1000)
+	if rt < 2*time.Millisecond {
+		t.Fatalf("round trip %v ignores latency", rt)
+	}
+}
+
+func TestSendNilPanics(t *testing.T) {
+	sched := eventsim.New()
+	n := New(sched, DefaultConfig())
+	defer func() {
+		if recover() == nil {
+			t.Fatal("nil deliver should panic")
+		}
+	}()
+	n.Send("a", "b", 1, nil)
+}
+
+func TestLossInjection(t *testing.T) {
+	sched := eventsim.New()
+	n := New(sched, Config{Latency: time.Millisecond, LossFrac: 0.5, Seed: 1})
+	delivered := 0
+	const sent = 2000
+	for i := 0; i < sent; i++ {
+		n.Send("a", "b", 1, func() { delivered++ })
+	}
+	sched.Run()
+	if n.Dropped() == 0 {
+		t.Fatal("no messages dropped at 50% loss")
+	}
+	if delivered+n.Dropped() != sent {
+		t.Fatalf("delivered %d + dropped %d != sent %d", delivered, n.Dropped(), sent)
+	}
+	frac := float64(n.Dropped()) / sent
+	if frac < 0.4 || frac > 0.6 {
+		t.Fatalf("drop fraction %.2f, want ≈0.5", frac)
+	}
+}

@@ -1,0 +1,133 @@
+package nn
+
+import (
+	"math"
+
+	"hammer/internal/randx"
+)
+
+// MultiHeadAttention applies self-attention over a Sequence (eqs. 6-7):
+// each head projects the steps into query/key/value spaces, scores every
+// (t₁, t₂) pair with scaled dot products, softmax-normalises per query step
+// and mixes the values; head outputs are concatenated and projected by Wo.
+// The paper adds it after the BiGRU to catch sudden workload bursts.
+type MultiHeadAttention struct {
+	Heads   int
+	HeadDim int
+	Wq      []*Tensor // per head [model, headDim]
+	Wk      []*Tensor
+	Wv      []*Tensor
+	Wo      *Tensor // [heads*headDim, model]
+	Bo      *Tensor // [1, model]
+}
+
+// NewMultiHeadAttention builds attention over `model`-wide steps. model must
+// be divisible by heads.
+func NewMultiHeadAttention(model, heads int, rng *randx.Rand) *MultiHeadAttention {
+	if heads <= 0 {
+		heads = 1
+	}
+	headDim := model / heads
+	if headDim == 0 {
+		headDim = 1
+	}
+	scale := math.Sqrt(1.0 / float64(model))
+	m := &MultiHeadAttention{
+		Heads:   heads,
+		HeadDim: headDim,
+		Wo:      Param(heads*headDim, model, scale, rng),
+		Bo:      Zeros(1, model).RequireGrad(),
+	}
+	for h := 0; h < heads; h++ {
+		m.Wq = append(m.Wq, Param(model, headDim, scale, rng))
+		m.Wk = append(m.Wk, Param(model, headDim, scale, rng))
+		m.Wv = append(m.Wv, Param(model, headDim, scale, rng))
+	}
+	return m
+}
+
+// Forward attends over the sequence, returning a same-length sequence.
+func (m *MultiHeadAttention) Forward(seq Sequence) Sequence {
+	T := len(seq)
+	invSqrt := 1 / math.Sqrt(float64(m.HeadDim))
+
+	// headOut[h][t] is the mixed value for head h at step t.
+	headOut := make([][]*Tensor, m.Heads)
+	for h := 0; h < m.Heads; h++ {
+		q := make([]*Tensor, T)
+		k := make([]*Tensor, T)
+		v := make([]*Tensor, T)
+		for t := 0; t < T; t++ {
+			q[t] = MatMul(seq[t], m.Wq[h])
+			k[t] = MatMul(seq[t], m.Wk[h])
+			v[t] = MatMul(seq[t], m.Wv[h])
+		}
+		headOut[h] = make([]*Tensor, T)
+		for t1 := 0; t1 < T; t1++ {
+			// Scores against every step: [B, T].
+			scores := make([]*Tensor, T)
+			for t2 := 0; t2 < T; t2++ {
+				scores[t2] = Scale(SumCols(Mul(q[t1], k[t2])), invSqrt)
+			}
+			attn := Softmax(ConcatCols(scores...))
+			var mixed *Tensor
+			for t2 := 0; t2 < T; t2++ {
+				w := SliceCols(attn, t2, t2+1)
+				term := ColMul(v[t2], w)
+				if mixed == nil {
+					mixed = term
+				} else {
+					mixed = Add(mixed, term)
+				}
+			}
+			headOut[h][t1] = mixed
+		}
+	}
+
+	out := make(Sequence, T)
+	for t := 0; t < T; t++ {
+		parts := make([]*Tensor, m.Heads)
+		for h := 0; h < m.Heads; h++ {
+			parts[h] = headOut[h][t]
+		}
+		out[t] = AddBias(MatMul(ConcatCols(parts...), m.Wo), m.Bo)
+	}
+	return out
+}
+
+// Params implements Module.
+func (m *MultiHeadAttention) Params() []*Tensor {
+	out := []*Tensor{m.Wo, m.Bo}
+	out = append(out, m.Wq...)
+	out = append(out, m.Wk...)
+	out = append(out, m.Wv...)
+	return out
+}
+
+// PositionalEncoding returns the fixed sinusoidal table [T, model] used by
+// the Transformer baseline; it carries no gradient.
+func PositionalEncoding(T, model int) []*Tensor {
+	out := make([]*Tensor, T)
+	for t := 0; t < T; t++ {
+		row := Zeros(1, model)
+		for i := 0; i < model; i++ {
+			angle := float64(t) / math.Pow(10000, float64(2*(i/2))/float64(model))
+			if i%2 == 0 {
+				row.Data[i] = math.Sin(angle)
+			} else {
+				row.Data[i] = math.Cos(angle)
+			}
+		}
+		out[t] = row
+	}
+	return out
+}
+
+// AddPositional adds the encoding row pe[t] to every batch row of seq[t].
+func AddPositional(seq Sequence, pe []*Tensor) Sequence {
+	out := make(Sequence, len(seq))
+	for t := range seq {
+		out[t] = AddBias(seq[t], pe[t])
+	}
+	return out
+}

@@ -1,0 +1,159 @@
+package nn
+
+import (
+	"math"
+
+	"hammer/internal/randx"
+)
+
+// CausalConv1D is a dilated causal 1-D convolution over a Sequence (eq. 3):
+// out[t] = b + Σ_{j=0..k-1} in[t - j·d] @ W_j, with missing (t-j·d < 0)
+// terms treated as zero padding. Causality means out[t] never reads the
+// future; dilation d widens the receptive field to (k-1)·d + 1.
+type CausalConv1D struct {
+	W        []*Tensor // k taps, each [in, out]
+	B        *Tensor   // [1, out]
+	Dilation int
+}
+
+// NewCausalConv1D builds a convolution with k taps and the given dilation.
+func NewCausalConv1D(in, out, k, dilation int, rng *randx.Rand) *CausalConv1D {
+	if k <= 0 {
+		k = 1
+	}
+	if dilation <= 0 {
+		dilation = 1
+	}
+	scale := math.Sqrt(2.0 / float64(in*k))
+	c := &CausalConv1D{B: Zeros(1, out).RequireGrad(), Dilation: dilation}
+	for j := 0; j < k; j++ {
+		c.W = append(c.W, Param(in, out, scale, rng))
+	}
+	return c
+}
+
+// Forward convolves the sequence, preserving its length.
+func (c *CausalConv1D) Forward(seq Sequence) Sequence {
+	out := make(Sequence, len(seq))
+	for t := range seq {
+		var acc *Tensor
+		for j, w := range c.W {
+			src := t - j*c.Dilation
+			if src < 0 {
+				continue
+			}
+			term := MatMul(seq[src], w)
+			if acc == nil {
+				acc = term
+			} else {
+				acc = Add(acc, term)
+			}
+		}
+		if acc == nil {
+			acc = MatMul(seq[t], c.W[0]) // unreachable for j=0; defensive
+		}
+		out[t] = AddBias(acc, c.B)
+	}
+	return out
+}
+
+// Params implements Module.
+func (c *CausalConv1D) Params() []*Tensor {
+	out := append([]*Tensor(nil), c.W...)
+	return append(out, c.B)
+}
+
+// TCNBlock is one temporal block: two dilated causal convolutions with ReLU
+// activations plus a residual connection (1×1-projected when widths differ).
+type TCNBlock struct {
+	Conv1, Conv2 *CausalConv1D
+	Residual     *Dense // nil when in == out
+}
+
+// NewTCNBlock builds a block at the given dilation.
+func NewTCNBlock(in, out, k, dilation int, rng *randx.Rand) *TCNBlock {
+	b := &TCNBlock{
+		Conv1: NewCausalConv1D(in, out, k, dilation, rng),
+		Conv2: NewCausalConv1D(out, out, k, dilation, rng),
+	}
+	if in != out {
+		b.Residual = NewDense(in, out, rng)
+	}
+	return b
+}
+
+// Forward applies the block.
+func (b *TCNBlock) Forward(seq Sequence) Sequence {
+	h := MapSequence(b.Conv1.Forward(seq), ReLU)
+	h = MapSequence(b.Conv2.Forward(h), ReLU)
+	out := make(Sequence, len(seq))
+	for t := range seq {
+		res := seq[t]
+		if b.Residual != nil {
+			res = b.Residual.Forward(res)
+		}
+		out[t] = Add(h[t], res)
+	}
+	return out
+}
+
+// Params implements Module.
+func (b *TCNBlock) Params() []*Tensor {
+	out := append(b.Conv1.Params(), b.Conv2.Params()...)
+	if b.Residual != nil {
+		out = append(out, b.Residual.Params()...)
+	}
+	return out
+}
+
+// TCN stacks temporal blocks with exponentially growing dilation
+// (1, 2, 4, …), the standard construction from Bai et al. the paper adopts.
+type TCN struct {
+	Blocks []*TCNBlock
+}
+
+// NewTCN builds `levels` blocks from `in` channels to `hidden` channels.
+func NewTCN(in, hidden, k, levels int, rng *randx.Rand) *TCN {
+	t := &TCN{}
+	width := in
+	dilation := 1
+	for l := 0; l < levels; l++ {
+		t.Blocks = append(t.Blocks, NewTCNBlock(width, hidden, k, dilation, rng))
+		width = hidden
+		dilation *= 2
+	}
+	return t
+}
+
+// Forward applies every block in order.
+func (t *TCN) Forward(seq Sequence) Sequence {
+	for _, b := range t.Blocks {
+		seq = b.Forward(seq)
+	}
+	return seq
+}
+
+// Params implements Module.
+func (t *TCN) Params() []*Tensor {
+	var out []*Tensor
+	for _, b := range t.Blocks {
+		out = append(out, b.Params()...)
+	}
+	return out
+}
+
+// ReceptiveField reports how many past steps influence the last output.
+func (t *TCN) ReceptiveField() int {
+	rf := 1
+	dilation := 1
+	for range t.Blocks {
+		// Two k-tap convolutions per block.
+		k := 0
+		if len(t.Blocks) > 0 {
+			k = len(t.Blocks[0].Conv1.W)
+		}
+		rf += 2 * (k - 1) * dilation
+		dilation *= 2
+	}
+	return rf
+}

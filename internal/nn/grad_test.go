@@ -1,0 +1,280 @@
+package nn
+
+import (
+	"math"
+	"testing"
+
+	"hammer/internal/randx"
+)
+
+// numericalGrad estimates dLoss/dParam[i] by central differences.
+func numericalGrad(t *testing.T, param *Tensor, i int, loss func() float64) float64 {
+	t.Helper()
+	const h = 1e-6
+	orig := param.Data[i]
+	param.Data[i] = orig + h
+	up := loss()
+	param.Data[i] = orig - h
+	down := loss()
+	param.Data[i] = orig
+	return (up - down) / (2 * h)
+}
+
+// checkGrads compares analytic and numerical gradients of loss w.r.t. every
+// element of every param.
+func checkGrads(t *testing.T, params []*Tensor, forward func() *Tensor) {
+	t.Helper()
+	for _, p := range params {
+		p.ZeroGrad()
+	}
+	out := forward()
+	out.Backward()
+	lossFn := func() float64 { return forward().Item() }
+	for pi, p := range params {
+		for i := range p.Data {
+			want := numericalGrad(t, p, i, lossFn)
+			got := p.Grad[i]
+			diff := math.Abs(want - got)
+			scale := math.Max(1, math.Max(math.Abs(want), math.Abs(got)))
+			if diff/scale > 1e-4 {
+				t.Errorf("param %d element %d: analytic grad %.8f, numerical %.8f", pi, i, got, want)
+			}
+		}
+	}
+}
+
+func testRand() *randx.Rand { return randx.New(99) }
+
+func randParam(rows, cols int, rng *randx.Rand) *Tensor {
+	return Param(rows, cols, 0.5, rng)
+}
+
+func TestGradAddSubMul(t *testing.T) {
+	rng := testRand()
+	a := randParam(3, 4, rng)
+	b := randParam(3, 4, rng)
+	checkGrads(t, []*Tensor{a, b}, func() *Tensor {
+		return Mean(Mul(Add(a, b), Sub(a, b)))
+	})
+}
+
+func TestGradMatMul(t *testing.T) {
+	rng := testRand()
+	a := randParam(3, 5, rng)
+	b := randParam(5, 2, rng)
+	checkGrads(t, []*Tensor{a, b}, func() *Tensor {
+		return Mean(MatMul(a, b))
+	})
+}
+
+func TestGradActivations(t *testing.T) {
+	rng := testRand()
+	tests := []struct {
+		name string
+		fn   func(*Tensor) *Tensor
+	}{
+		{"sigmoid", Sigmoid},
+		{"tanh", Tanh},
+		{"relu", ReLU},
+		{"abs", Abs},
+		{"softmax", Softmax},
+	}
+	for _, tc := range tests {
+		t.Run(tc.name, func(t *testing.T) {
+			x := randParam(4, 6, rng)
+			w := randParam(6, 1, rng)
+			checkGrads(t, []*Tensor{x, w}, func() *Tensor {
+				return Mean(MatMul(tc.fn(x), w))
+			})
+		})
+	}
+}
+
+func TestGradBiasAndScale(t *testing.T) {
+	rng := testRand()
+	x := randParam(4, 3, rng)
+	b := randParam(1, 3, rng)
+	checkGrads(t, []*Tensor{x, b}, func() *Tensor {
+		return Mean(Scale(AddBias(x, b), 1.7))
+	})
+}
+
+func TestGradColMul(t *testing.T) {
+	rng := testRand()
+	x := randParam(4, 3, rng)
+	c := randParam(4, 1, rng)
+	checkGrads(t, []*Tensor{x, c}, func() *Tensor {
+		return Mean(ColMul(x, c))
+	})
+}
+
+func TestGradConcatAndSlice(t *testing.T) {
+	rng := testRand()
+	a := randParam(3, 2, rng)
+	b := randParam(3, 4, rng)
+	checkGrads(t, []*Tensor{a, b}, func() *Tensor {
+		cat := ConcatCols(a, b)
+		left := SliceCols(cat, 0, 3)
+		return Mean(Mul(left, left))
+	})
+}
+
+func TestGradSliceRows(t *testing.T) {
+	rng := testRand()
+	a := randParam(5, 3, rng)
+	checkGrads(t, []*Tensor{a}, func() *Tensor {
+		top := SliceRows(a, 1, 4)
+		return Mean(Mul(top, top))
+	})
+}
+
+func TestGradSumColsTranspose(t *testing.T) {
+	rng := testRand()
+	a := randParam(3, 4, rng)
+	checkGrads(t, []*Tensor{a}, func() *Tensor {
+		return Mean(Mul(SumCols(a), SumCols(a)))
+	})
+	checkGrads(t, []*Tensor{a}, func() *Tensor {
+		tr := Transpose(a)
+		return Mean(Mul(tr, tr))
+	})
+}
+
+func TestGradLayerNorm(t *testing.T) {
+	rng := testRand()
+	x := randParam(4, 6, rng)
+	g := randParam(1, 6, rng)
+	b := randParam(1, 6, rng)
+	checkGrads(t, []*Tensor{x, g, b}, func() *Tensor {
+		y := LayerNorm(x, g, b, 1e-5)
+		return Mean(Mul(y, y))
+	})
+}
+
+func TestGradGRUCell(t *testing.T) {
+	rng := testRand()
+	cell := NewGRUCell(2, 3, rng)
+	x1 := randParam(2, 2, rng)
+	x2 := randParam(2, 2, rng)
+	params := append(cell.Params(), x1, x2)
+	checkGrads(t, params, func() *Tensor {
+		h := cell.Step(x1, Zeros(2, 3))
+		h = cell.Step(x2, h)
+		return Mean(Mul(h, h))
+	})
+}
+
+func TestGradCausalConv(t *testing.T) {
+	rng := testRand()
+	conv := NewCausalConv1D(2, 3, 3, 2, rng)
+	seq := Sequence{randParam(2, 2, rng), randParam(2, 2, rng), randParam(2, 2, rng), randParam(2, 2, rng)}
+	params := append(conv.Params(), seq...)
+	checkGrads(t, params, func() *Tensor {
+		out := conv.Forward(seq)
+		var loss *Tensor
+		for _, o := range out {
+			m := Mean(Mul(o, o))
+			if loss == nil {
+				loss = m
+			} else {
+				loss = Add(loss, m)
+			}
+		}
+		return loss
+	})
+}
+
+func TestGradAttention(t *testing.T) {
+	rng := testRand()
+	attn := NewMultiHeadAttention(4, 2, rng)
+	seq := Sequence{randParam(2, 4, rng), randParam(2, 4, rng), randParam(2, 4, rng)}
+	params := append(attn.Params(), seq...)
+	checkGrads(t, params, func() *Tensor {
+		out := attn.Forward(seq)
+		var loss *Tensor
+		for _, o := range out {
+			m := Mean(Mul(o, o))
+			if loss == nil {
+				loss = m
+			} else {
+				loss = Add(loss, m)
+			}
+		}
+		return loss
+	})
+}
+
+func TestGradMAEMSE(t *testing.T) {
+	rng := testRand()
+	pred := randParam(5, 1, rng)
+	target := Zeros(5, 1)
+	for i := range target.Data {
+		target.Data[i] = rng.NormFloat64()
+	}
+	checkGrads(t, []*Tensor{pred}, func() *Tensor {
+		return MSELoss(pred, target)
+	})
+	checkGrads(t, []*Tensor{pred}, func() *Tensor {
+		return MAELoss(pred, target)
+	})
+}
+
+func TestBackwardPanicsOnNonScalar(t *testing.T) {
+	rng := testRand()
+	a := randParam(2, 2, rng)
+	defer func() {
+		if recover() == nil {
+			t.Fatal("Backward on non-scalar should panic")
+		}
+	}()
+	Mul(a, a).Backward()
+}
+
+func TestAdamReducesLoss(t *testing.T) {
+	rng := testRand()
+	// Learn y = 2x + 1 with a dense layer.
+	d := NewDense(1, 1, rng)
+	x := Zeros(16, 1)
+	y := Zeros(16, 1)
+	for i := 0; i < 16; i++ {
+		v := rng.NormFloat64()
+		x.Data[i] = v
+		y.Data[i] = 2*v + 1
+	}
+	opt := NewAdam(d.Params(), 0.05)
+	var first, last float64
+	for epoch := 0; epoch < 300; epoch++ {
+		loss := MSELoss(d.Forward(x), y)
+		loss.Backward()
+		opt.Step()
+		if epoch == 0 {
+			first = loss.Item()
+		}
+		last = loss.Item()
+	}
+	if last > first/100 {
+		t.Fatalf("Adam failed to fit linear map: first loss %.4f, last %.4f", first, last)
+	}
+	if math.Abs(d.W.Data[0]-2) > 0.1 || math.Abs(d.B.Data[0]-1) > 0.1 {
+		t.Fatalf("learned w=%.3f b=%.3f, want w≈2 b≈1", d.W.Data[0], d.B.Data[0])
+	}
+}
+
+func TestClipGradNorm(t *testing.T) {
+	rng := testRand()
+	p := randParam(2, 2, rng)
+	for i := range p.Grad {
+		p.Grad[i] = 10
+	}
+	norm := ClipGradNorm([]*Tensor{p}, 1)
+	if math.Abs(norm-20) > 1e-9 {
+		t.Fatalf("pre-clip norm = %v, want 20", norm)
+	}
+	var after float64
+	for _, g := range p.Grad {
+		after += g * g
+	}
+	if math.Abs(math.Sqrt(after)-1) > 1e-9 {
+		t.Fatalf("post-clip norm = %v, want 1", math.Sqrt(after))
+	}
+}

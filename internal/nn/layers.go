@@ -1,0 +1,88 @@
+package nn
+
+import (
+	"math"
+
+	"hammer/internal/randx"
+)
+
+// Module is anything with trainable parameters.
+type Module interface {
+	// Params returns the trainable tensors for the optimizer.
+	Params() []*Tensor
+}
+
+// Dense is a fully-connected layer y = x@W + b.
+type Dense struct {
+	W *Tensor // [in, out]
+	B *Tensor // [1, out]
+}
+
+// NewDense builds a dense layer with Xavier initialisation.
+func NewDense(in, out int, rng *randx.Rand) *Dense {
+	scale := math.Sqrt(2.0 / float64(in+out))
+	return &Dense{
+		W: Param(in, out, scale, rng),
+		B: Zeros(1, out).RequireGrad(),
+	}
+}
+
+// Forward applies the layer to x [B, in].
+func (d *Dense) Forward(x *Tensor) *Tensor {
+	return AddBias(MatMul(x, d.W), d.B)
+}
+
+// Params implements Module.
+func (d *Dense) Params() []*Tensor { return []*Tensor{d.W, d.B} }
+
+// Sequence is a time series represented as one tensor per step, each
+// [batch, channels].
+type Sequence []*Tensor
+
+// Channels reports the per-step width.
+func (s Sequence) Channels() int {
+	if len(s) == 0 {
+		return 0
+	}
+	return s[0].Cols
+}
+
+// Batch reports the batch size.
+func (s Sequence) Batch() int {
+	if len(s) == 0 {
+		return 0
+	}
+	return s[0].Rows
+}
+
+// Last returns the final step.
+func (s Sequence) Last() *Tensor { return s[len(s)-1] }
+
+// MapSequence applies a step-wise transformation.
+func MapSequence(s Sequence, fn func(*Tensor) *Tensor) Sequence {
+	out := make(Sequence, len(s))
+	for i, t := range s {
+		out[i] = fn(t)
+	}
+	return out
+}
+
+// SequenceFromWindows packs supervised windows (each of length T) into a
+// Sequence of T [len(windows), 1] tensors — the batched input layout the
+// recurrent and convolutional layers consume.
+func SequenceFromWindows(windows [][]float64) Sequence {
+	if len(windows) == 0 {
+		return nil
+	}
+	T := len(windows[0])
+	b := len(windows)
+	seq := make(Sequence, T)
+	for t := 0; t < T; t++ {
+		step := Zeros(b, 1)
+		for i, w := range windows {
+			step.Data[i] = w[t]
+		}
+		seq[t] = step
+	}
+	return seq
+}

@@ -1,0 +1,209 @@
+package nn
+
+import (
+	"math"
+	"testing"
+
+	"hammer/internal/randx"
+)
+
+func TestDenseShapesAndForward(t *testing.T) {
+	rng := randx.New(1)
+	d := NewDense(3, 2, rng)
+	x := Zeros(4, 3)
+	y := d.Forward(x)
+	if y.Rows != 4 || y.Cols != 2 {
+		t.Fatalf("forward shape %dx%d", y.Rows, y.Cols)
+	}
+	// Zero input → bias only (zero-initialised) → zero output.
+	for _, v := range y.Data {
+		if v != 0 {
+			t.Fatal("zero input through zero bias should be zero")
+		}
+	}
+	if len(d.Params()) != 2 {
+		t.Fatal("dense should expose W and B")
+	}
+}
+
+func TestSequenceFromWindows(t *testing.T) {
+	seq := SequenceFromWindows([][]float64{
+		{1, 2, 3},
+		{4, 5, 6},
+	})
+	if len(seq) != 3 {
+		t.Fatalf("sequence length %d", len(seq))
+	}
+	if seq.Batch() != 2 || seq.Channels() != 1 {
+		t.Fatalf("batch %d channels %d", seq.Batch(), seq.Channels())
+	}
+	if seq[0].At(0, 0) != 1 || seq[0].At(1, 0) != 4 {
+		t.Fatal("step 0 values wrong")
+	}
+	if seq.Last().At(0, 0) != 3 || seq.Last().At(1, 0) != 6 {
+		t.Fatal("last step values wrong")
+	}
+	if SequenceFromWindows(nil) != nil {
+		t.Fatal("empty windows should give nil sequence")
+	}
+}
+
+func TestGRURunShapes(t *testing.T) {
+	rng := randx.New(2)
+	cell := NewGRUCell(1, 5, rng)
+	if cell.Hidden() != 5 {
+		t.Fatalf("hidden %d", cell.Hidden())
+	}
+	seq := SequenceFromWindows([][]float64{{1, 2, 3, 4}})
+	out := cell.Run(seq)
+	if len(out) != 4 || out[0].Rows != 1 || out[0].Cols != 5 {
+		t.Fatal("GRU output shapes wrong")
+	}
+	rev := cell.RunReverse(seq)
+	if len(rev) != 4 {
+		t.Fatal("reverse run length")
+	}
+	// The reverse pass at step 0 has seen the whole sequence; the forward
+	// pass at step 0 has seen one value — they must differ.
+	same := true
+	for i := range out[0].Data {
+		if math.Abs(out[0].Data[i]-rev[0].Data[i]) > 1e-12 {
+			same = false
+		}
+	}
+	if same {
+		t.Fatal("forward and reverse states should differ")
+	}
+}
+
+func TestBiGRUConcatWidth(t *testing.T) {
+	rng := randx.New(3)
+	b := NewBiGRU(1, 4, rng)
+	seq := SequenceFromWindows([][]float64{{1, 2, 3}})
+	out := b.Run(seq)
+	if out[0].Cols != 8 {
+		t.Fatalf("BiGRU width %d, want 2×hidden", out[0].Cols)
+	}
+	if len(b.Params()) != 18 {
+		t.Fatalf("BiGRU params %d, want 2×9", len(b.Params()))
+	}
+}
+
+func TestTCNPreservesLengthAndReceptiveField(t *testing.T) {
+	rng := randx.New(4)
+	tcn := NewTCN(1, 8, 3, 3, rng)
+	seq := SequenceFromWindows([][]float64{{1, 2, 3, 4, 5, 6}})
+	out := tcn.Forward(seq)
+	if len(out) != len(seq) {
+		t.Fatalf("TCN changed sequence length: %d", len(out))
+	}
+	if out[0].Cols != 8 {
+		t.Fatalf("TCN width %d", out[0].Cols)
+	}
+	// Three blocks at dilations 1,2,4 with k=3: rf = 1+2·2·(1+2+4) = 29.
+	if rf := tcn.ReceptiveField(); rf != 29 {
+		t.Fatalf("receptive field %d, want 29", rf)
+	}
+}
+
+func TestCausalityOfConv(t *testing.T) {
+	rng := randx.New(5)
+	conv := NewCausalConv1D(1, 1, 3, 1, rng)
+	// Two sequences identical up to t=2, differing afterwards: outputs at
+	// t ≤ 2 must match (no future leakage).
+	a := SequenceFromWindows([][]float64{{1, 2, 3, 9, 9}})
+	b := SequenceFromWindows([][]float64{{1, 2, 3, -5, 0}})
+	oa := conv.Forward(a)
+	ob := conv.Forward(b)
+	for tt := 0; tt <= 2; tt++ {
+		if math.Abs(oa[tt].Data[0]-ob[tt].Data[0]) > 1e-12 {
+			t.Fatalf("causal conv leaked future at t=%d", tt)
+		}
+	}
+}
+
+func TestPositionalEncodingProperties(t *testing.T) {
+	pe := PositionalEncoding(10, 8)
+	if len(pe) != 10 || pe[0].Cols != 8 {
+		t.Fatal("positional encoding shape")
+	}
+	// First row: sin(0)=0, cos(0)=1 alternating.
+	if pe[0].Data[0] != 0 || pe[0].Data[1] != 1 {
+		t.Fatalf("t=0 row %v", pe[0].Data[:2])
+	}
+	// Distinct positions must encode differently.
+	same := true
+	for i := range pe[1].Data {
+		if pe[1].Data[i] != pe[2].Data[i] {
+			same = false
+		}
+	}
+	if same {
+		t.Fatal("positions 1 and 2 encode identically")
+	}
+}
+
+func TestAttentionShapes(t *testing.T) {
+	rng := randx.New(6)
+	attn := NewMultiHeadAttention(8, 4, rng)
+	seq := Sequence{Zeros(3, 8), Zeros(3, 8), Zeros(3, 8)}
+	out := attn.Forward(seq)
+	if len(out) != 3 || out[0].Rows != 3 || out[0].Cols != 8 {
+		t.Fatal("attention output shapes wrong")
+	}
+	if len(attn.Params()) != 2+3*4 {
+		t.Fatalf("attention params %d", len(attn.Params()))
+	}
+}
+
+func TestSGDMomentum(t *testing.T) {
+	rng := randx.New(7)
+	d := NewDense(1, 1, rng)
+	x := Zeros(8, 1)
+	y := Zeros(8, 1)
+	for i := 0; i < 8; i++ {
+		v := rng.NormFloat64()
+		x.Data[i] = v
+		y.Data[i] = 3 * v
+	}
+	opt := NewSGD(d.Params(), 0.05, 0.9)
+	var last float64
+	for epoch := 0; epoch < 200; epoch++ {
+		loss := MSELoss(d.Forward(x), y)
+		loss.Backward()
+		opt.Step()
+		last = loss.Item()
+	}
+	if last > 0.01 {
+		t.Fatalf("SGD+momentum failed to fit: loss %v", last)
+	}
+}
+
+func TestTensorHelpers(t *testing.T) {
+	v := FromVector([]float64{1, 2, 3})
+	if v.Rows != 1 || v.Cols != 3 || v.At(0, 2) != 3 {
+		t.Fatal("FromVector")
+	}
+	f := Full(2, 2, 7)
+	if f.Data[3] != 7 {
+		t.Fatal("Full")
+	}
+	c := f.Clone()
+	c.Set(0, 0, 9)
+	if f.At(0, 0) == 9 {
+		t.Fatal("Clone should copy")
+	}
+	one := Full(1, 1, 5)
+	if one.Item() != 5 {
+		t.Fatal("Item")
+	}
+	if one.String() == "" {
+		t.Fatal("String")
+	}
+	defer func() {
+		if recover() == nil {
+			t.Fatal("Item on non-scalar should panic")
+		}
+	}()
+	f.Item()
+}

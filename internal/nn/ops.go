@@ -1,0 +1,601 @@
+package nn
+
+import (
+	"fmt"
+	"math"
+)
+
+// Add returns a + b (same shape).
+func Add(a, b *Tensor) *Tensor {
+	sameShape(a, b)
+	out := newResult(a.Rows, a.Cols, a, b)
+	for i := range out.Data {
+		out.Data[i] = a.Data[i] + b.Data[i]
+	}
+	if out.requiresGrad {
+		out.backFn = func() {
+			if a.requiresGrad {
+				ensureGrad(a)
+				for i, g := range out.Grad {
+					a.Grad[i] += g
+				}
+			}
+			if b.requiresGrad {
+				ensureGrad(b)
+				for i, g := range out.Grad {
+					b.Grad[i] += g
+				}
+			}
+		}
+	}
+	return out
+}
+
+// Sub returns a - b (same shape).
+func Sub(a, b *Tensor) *Tensor {
+	sameShape(a, b)
+	out := newResult(a.Rows, a.Cols, a, b)
+	for i := range out.Data {
+		out.Data[i] = a.Data[i] - b.Data[i]
+	}
+	if out.requiresGrad {
+		out.backFn = func() {
+			if a.requiresGrad {
+				ensureGrad(a)
+				for i, g := range out.Grad {
+					a.Grad[i] += g
+				}
+			}
+			if b.requiresGrad {
+				ensureGrad(b)
+				for i, g := range out.Grad {
+					b.Grad[i] -= g
+				}
+			}
+		}
+	}
+	return out
+}
+
+// Mul returns the elementwise product a ⊙ b (same shape).
+func Mul(a, b *Tensor) *Tensor {
+	sameShape(a, b)
+	out := newResult(a.Rows, a.Cols, a, b)
+	for i := range out.Data {
+		out.Data[i] = a.Data[i] * b.Data[i]
+	}
+	if out.requiresGrad {
+		out.backFn = func() {
+			if a.requiresGrad {
+				ensureGrad(a)
+				for i, g := range out.Grad {
+					a.Grad[i] += g * b.Data[i]
+				}
+			}
+			if b.requiresGrad {
+				ensureGrad(b)
+				for i, g := range out.Grad {
+					b.Grad[i] += g * a.Data[i]
+				}
+			}
+		}
+	}
+	return out
+}
+
+// Scale returns s·x.
+func Scale(x *Tensor, s float64) *Tensor {
+	out := newResult(x.Rows, x.Cols, x)
+	for i := range out.Data {
+		out.Data[i] = x.Data[i] * s
+	}
+	if out.requiresGrad {
+		out.backFn = func() {
+			ensureGrad(x)
+			for i, g := range out.Grad {
+				x.Grad[i] += g * s
+			}
+		}
+	}
+	return out
+}
+
+// AddScalar returns x + s.
+func AddScalar(x *Tensor, s float64) *Tensor {
+	out := newResult(x.Rows, x.Cols, x)
+	for i := range out.Data {
+		out.Data[i] = x.Data[i] + s
+	}
+	if out.requiresGrad {
+		out.backFn = func() {
+			ensureGrad(x)
+			for i, g := range out.Grad {
+				x.Grad[i] += g
+			}
+		}
+	}
+	return out
+}
+
+// AddBias broadcasts a [1, C] bias over the rows of x [B, C].
+func AddBias(x, bias *Tensor) *Tensor {
+	if bias.Rows != 1 || bias.Cols != x.Cols {
+		panic(fmt.Sprintf("nn: AddBias %dx%d onto %dx%d", bias.Rows, bias.Cols, x.Rows, x.Cols))
+	}
+	out := newResult(x.Rows, x.Cols, x, bias)
+	for r := 0; r < x.Rows; r++ {
+		base := r * x.Cols
+		for c := 0; c < x.Cols; c++ {
+			out.Data[base+c] = x.Data[base+c] + bias.Data[c]
+		}
+	}
+	if out.requiresGrad {
+		out.backFn = func() {
+			if x.requiresGrad {
+				ensureGrad(x)
+				for i, g := range out.Grad {
+					x.Grad[i] += g
+				}
+			}
+			if bias.requiresGrad {
+				ensureGrad(bias)
+				for r := 0; r < out.Rows; r++ {
+					base := r * out.Cols
+					for c := 0; c < out.Cols; c++ {
+						bias.Grad[c] += out.Grad[base+c]
+					}
+				}
+			}
+		}
+	}
+	return out
+}
+
+// ColMul broadcasts a [B, 1] column over the columns of x [B, C],
+// multiplying elementwise (used by attention to weight value vectors).
+func ColMul(x, col *Tensor) *Tensor {
+	if col.Cols != 1 || col.Rows != x.Rows {
+		panic(fmt.Sprintf("nn: ColMul %dx%d with %dx%d", x.Rows, x.Cols, col.Rows, col.Cols))
+	}
+	out := newResult(x.Rows, x.Cols, x, col)
+	for r := 0; r < x.Rows; r++ {
+		w := col.Data[r]
+		base := r * x.Cols
+		for c := 0; c < x.Cols; c++ {
+			out.Data[base+c] = x.Data[base+c] * w
+		}
+	}
+	if out.requiresGrad {
+		out.backFn = func() {
+			if x.requiresGrad {
+				ensureGrad(x)
+				for r := 0; r < out.Rows; r++ {
+					w := col.Data[r]
+					base := r * out.Cols
+					for c := 0; c < out.Cols; c++ {
+						x.Grad[base+c] += out.Grad[base+c] * w
+					}
+				}
+			}
+			if col.requiresGrad {
+				ensureGrad(col)
+				for r := 0; r < out.Rows; r++ {
+					base := r * out.Cols
+					var s float64
+					for c := 0; c < out.Cols; c++ {
+						s += out.Grad[base+c] * x.Data[base+c]
+					}
+					col.Grad[r] += s
+				}
+			}
+		}
+	}
+	return out
+}
+
+// MatMul returns a @ b for a [m, k] and b [k, n].
+func MatMul(a, b *Tensor) *Tensor {
+	if a.Cols != b.Rows {
+		panic(fmt.Sprintf("nn: MatMul %dx%d @ %dx%d", a.Rows, a.Cols, b.Rows, b.Cols))
+	}
+	m, k, n := a.Rows, a.Cols, b.Cols
+	out := newResult(m, n, a, b)
+	for i := 0; i < m; i++ {
+		ai := a.Data[i*k : (i+1)*k]
+		oi := out.Data[i*n : (i+1)*n]
+		for p := 0; p < k; p++ {
+			av := ai[p]
+			if av == 0 {
+				continue
+			}
+			bp := b.Data[p*n : (p+1)*n]
+			for j := 0; j < n; j++ {
+				oi[j] += av * bp[j]
+			}
+		}
+	}
+	if out.requiresGrad {
+		out.backFn = func() {
+			if a.requiresGrad {
+				ensureGrad(a)
+				// dA = dC @ B^T
+				for i := 0; i < m; i++ {
+					gi := out.Grad[i*n : (i+1)*n]
+					for p := 0; p < k; p++ {
+						bp := b.Data[p*n : (p+1)*n]
+						var s float64
+						for j := 0; j < n; j++ {
+							s += gi[j] * bp[j]
+						}
+						a.Grad[i*k+p] += s
+					}
+				}
+			}
+			if b.requiresGrad {
+				ensureGrad(b)
+				// dB = A^T @ dC
+				for p := 0; p < k; p++ {
+					for i := 0; i < m; i++ {
+						av := a.Data[i*k+p]
+						if av == 0 {
+							continue
+						}
+						gi := out.Grad[i*n : (i+1)*n]
+						bg := b.Grad[p*n : (p+1)*n]
+						for j := 0; j < n; j++ {
+							bg[j] += av * gi[j]
+						}
+					}
+				}
+			}
+		}
+	}
+	return out
+}
+
+// Sigmoid applies 1/(1+e^-x) elementwise.
+func Sigmoid(x *Tensor) *Tensor {
+	out := newResult(x.Rows, x.Cols, x)
+	for i, v := range x.Data {
+		out.Data[i] = 1 / (1 + math.Exp(-v))
+	}
+	if out.requiresGrad {
+		out.backFn = func() {
+			ensureGrad(x)
+			for i, g := range out.Grad {
+				y := out.Data[i]
+				x.Grad[i] += g * y * (1 - y)
+			}
+		}
+	}
+	return out
+}
+
+// Tanh applies tanh elementwise.
+func Tanh(x *Tensor) *Tensor {
+	out := newResult(x.Rows, x.Cols, x)
+	for i, v := range x.Data {
+		out.Data[i] = math.Tanh(v)
+	}
+	if out.requiresGrad {
+		out.backFn = func() {
+			ensureGrad(x)
+			for i, g := range out.Grad {
+				y := out.Data[i]
+				x.Grad[i] += g * (1 - y*y)
+			}
+		}
+	}
+	return out
+}
+
+// ReLU applies max(0, x) elementwise.
+func ReLU(x *Tensor) *Tensor {
+	out := newResult(x.Rows, x.Cols, x)
+	for i, v := range x.Data {
+		if v > 0 {
+			out.Data[i] = v
+		}
+	}
+	if out.requiresGrad {
+		out.backFn = func() {
+			ensureGrad(x)
+			for i, g := range out.Grad {
+				if x.Data[i] > 0 {
+					x.Grad[i] += g
+				}
+			}
+		}
+	}
+	return out
+}
+
+// Abs applies |x| elementwise (subgradient 0 at 0).
+func Abs(x *Tensor) *Tensor {
+	out := newResult(x.Rows, x.Cols, x)
+	for i, v := range x.Data {
+		out.Data[i] = math.Abs(v)
+	}
+	if out.requiresGrad {
+		out.backFn = func() {
+			ensureGrad(x)
+			for i, g := range out.Grad {
+				switch {
+				case x.Data[i] > 0:
+					x.Grad[i] += g
+				case x.Data[i] < 0:
+					x.Grad[i] -= g
+				}
+			}
+		}
+	}
+	return out
+}
+
+// Softmax normalises each row into a probability distribution (eq. 6's
+// softmax over attention scores).
+func Softmax(x *Tensor) *Tensor {
+	out := newResult(x.Rows, x.Cols, x)
+	for r := 0; r < x.Rows; r++ {
+		row := x.Data[r*x.Cols : (r+1)*x.Cols]
+		orow := out.Data[r*x.Cols : (r+1)*x.Cols]
+		max := row[0]
+		for _, v := range row[1:] {
+			if v > max {
+				max = v
+			}
+		}
+		var sum float64
+		for i, v := range row {
+			e := math.Exp(v - max)
+			orow[i] = e
+			sum += e
+		}
+		for i := range orow {
+			orow[i] /= sum
+		}
+	}
+	if out.requiresGrad {
+		out.backFn = func() {
+			ensureGrad(x)
+			for r := 0; r < out.Rows; r++ {
+				y := out.Data[r*out.Cols : (r+1)*out.Cols]
+				gy := out.Grad[r*out.Cols : (r+1)*out.Cols]
+				gx := x.Grad[r*out.Cols : (r+1)*out.Cols]
+				var dot float64
+				for i := range y {
+					dot += gy[i] * y[i]
+				}
+				for i := range y {
+					gx[i] += y[i] * (gy[i] - dot)
+				}
+			}
+		}
+	}
+	return out
+}
+
+// ConcatCols concatenates tensors with equal row counts along columns.
+func ConcatCols(ts ...*Tensor) *Tensor {
+	if len(ts) == 0 {
+		panic("nn: ConcatCols of nothing")
+	}
+	rows := ts[0].Rows
+	cols := 0
+	for _, t := range ts {
+		if t.Rows != rows {
+			panic(fmt.Sprintf("nn: ConcatCols row mismatch %d vs %d", t.Rows, rows))
+		}
+		cols += t.Cols
+	}
+	out := newResult(rows, cols, ts...)
+	off := 0
+	for _, t := range ts {
+		for r := 0; r < rows; r++ {
+			copy(out.Data[r*cols+off:r*cols+off+t.Cols], t.Data[r*t.Cols:(r+1)*t.Cols])
+		}
+		off += t.Cols
+	}
+	if out.requiresGrad {
+		out.backFn = func() {
+			off := 0
+			for _, t := range ts {
+				if t.requiresGrad {
+					ensureGrad(t)
+					for r := 0; r < rows; r++ {
+						src := out.Grad[r*cols+off : r*cols+off+t.Cols]
+						dst := t.Grad[r*t.Cols : (r+1)*t.Cols]
+						for i, g := range src {
+							dst[i] += g
+						}
+					}
+				}
+				off += t.Cols
+			}
+		}
+	}
+	return out
+}
+
+// SliceCols returns columns [from, to) as a new tensor.
+func SliceCols(x *Tensor, from, to int) *Tensor {
+	if from < 0 || to > x.Cols || from >= to {
+		panic(fmt.Sprintf("nn: SliceCols[%d:%d] of %d columns", from, to, x.Cols))
+	}
+	w := to - from
+	out := newResult(x.Rows, w, x)
+	for r := 0; r < x.Rows; r++ {
+		copy(out.Data[r*w:(r+1)*w], x.Data[r*x.Cols+from:r*x.Cols+to])
+	}
+	if out.requiresGrad {
+		out.backFn = func() {
+			ensureGrad(x)
+			for r := 0; r < out.Rows; r++ {
+				for c := 0; c < w; c++ {
+					x.Grad[r*x.Cols+from+c] += out.Grad[r*w+c]
+				}
+			}
+		}
+	}
+	return out
+}
+
+// SliceRows returns rows [from, to) as a new tensor.
+func SliceRows(x *Tensor, from, to int) *Tensor {
+	if from < 0 || to > x.Rows || from >= to {
+		panic(fmt.Sprintf("nn: SliceRows[%d:%d] of %d rows", from, to, x.Rows))
+	}
+	h := to - from
+	out := newResult(h, x.Cols, x)
+	copy(out.Data, x.Data[from*x.Cols:to*x.Cols])
+	if out.requiresGrad {
+		out.backFn = func() {
+			ensureGrad(x)
+			for i, g := range out.Grad {
+				x.Grad[from*x.Cols+i] += g
+			}
+		}
+	}
+	return out
+}
+
+// SumCols reduces each row to its sum, producing [B, 1].
+func SumCols(x *Tensor) *Tensor {
+	out := newResult(x.Rows, 1, x)
+	for r := 0; r < x.Rows; r++ {
+		var s float64
+		for c := 0; c < x.Cols; c++ {
+			s += x.Data[r*x.Cols+c]
+		}
+		out.Data[r] = s
+	}
+	if out.requiresGrad {
+		out.backFn = func() {
+			ensureGrad(x)
+			for r := 0; r < x.Rows; r++ {
+				g := out.Grad[r]
+				for c := 0; c < x.Cols; c++ {
+					x.Grad[r*x.Cols+c] += g
+				}
+			}
+		}
+	}
+	return out
+}
+
+// Mean reduces the whole tensor to its scalar mean.
+func Mean(x *Tensor) *Tensor {
+	out := newResult(1, 1, x)
+	var s float64
+	for _, v := range x.Data {
+		s += v
+	}
+	n := float64(len(x.Data))
+	out.Data[0] = s / n
+	if out.requiresGrad {
+		out.backFn = func() {
+			ensureGrad(x)
+			g := out.Grad[0] / n
+			for i := range x.Grad {
+				x.Grad[i] += g
+			}
+		}
+	}
+	return out
+}
+
+// Transpose returns xᵀ.
+func Transpose(x *Tensor) *Tensor {
+	out := newResult(x.Cols, x.Rows, x)
+	for r := 0; r < x.Rows; r++ {
+		for c := 0; c < x.Cols; c++ {
+			out.Data[c*x.Rows+r] = x.Data[r*x.Cols+c]
+		}
+	}
+	if out.requiresGrad {
+		out.backFn = func() {
+			ensureGrad(x)
+			for r := 0; r < x.Rows; r++ {
+				for c := 0; c < x.Cols; c++ {
+					x.Grad[r*x.Cols+c] += out.Grad[c*x.Rows+r]
+				}
+			}
+		}
+	}
+	return out
+}
+
+// LayerNorm normalises each row to zero mean and unit variance, then applies
+// the learned affine (gamma, beta), both [1, C].
+func LayerNorm(x, gamma, beta *Tensor, eps float64) *Tensor {
+	if gamma.Cols != x.Cols || beta.Cols != x.Cols || gamma.Rows != 1 || beta.Rows != 1 {
+		panic("nn: LayerNorm affine shape mismatch")
+	}
+	if eps <= 0 {
+		eps = 1e-5
+	}
+	out := newResult(x.Rows, x.Cols, x, gamma, beta)
+	n := float64(x.Cols)
+	xhat := make([]float64, len(x.Data))
+	invStd := make([]float64, x.Rows)
+	for r := 0; r < x.Rows; r++ {
+		row := x.Data[r*x.Cols : (r+1)*x.Cols]
+		var mu float64
+		for _, v := range row {
+			mu += v
+		}
+		mu /= n
+		var va float64
+		for _, v := range row {
+			d := v - mu
+			va += d * d
+		}
+		va /= n
+		is := 1 / math.Sqrt(va+eps)
+		invStd[r] = is
+		for c, v := range row {
+			xh := (v - mu) * is
+			xhat[r*x.Cols+c] = xh
+			out.Data[r*x.Cols+c] = xh*gamma.Data[c] + beta.Data[c]
+		}
+	}
+	if out.requiresGrad {
+		out.backFn = func() {
+			for r := 0; r < out.Rows; r++ {
+				gy := out.Grad[r*out.Cols : (r+1)*out.Cols]
+				xh := xhat[r*out.Cols : (r+1)*out.Cols]
+				if gamma.requiresGrad {
+					ensureGrad(gamma)
+					for c := range gy {
+						gamma.Grad[c] += gy[c] * xh[c]
+					}
+				}
+				if beta.requiresGrad {
+					ensureGrad(beta)
+					for c := range gy {
+						beta.Grad[c] += gy[c]
+					}
+				}
+				if x.requiresGrad {
+					ensureGrad(x)
+					// dxhat = gy * gamma; dx = invStd*(dxhat - mean(dxhat)
+					//        - xhat * mean(dxhat ⊙ xhat))
+					var m1, m2 float64
+					for c := range gy {
+						d := gy[c] * gamma.Data[c]
+						m1 += d
+						m2 += d * xh[c]
+					}
+					m1 /= n
+					m2 /= n
+					is := invStd[r]
+					for c := range gy {
+						d := gy[c] * gamma.Data[c]
+						x.Grad[r*out.Cols+c] += is * (d - m1 - xh[c]*m2)
+					}
+				}
+			}
+		}
+	}
+	return out
+}

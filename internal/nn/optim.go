@@ -1,0 +1,141 @@
+package nn
+
+import "math"
+
+// Optimizer updates parameters from their accumulated gradients.
+type Optimizer interface {
+	// Step applies one update and clears the gradients.
+	Step()
+	// ZeroGrad clears gradients without updating.
+	ZeroGrad()
+}
+
+// SGD is plain stochastic gradient descent with optional momentum.
+type SGD struct {
+	params   []*Tensor
+	lr       float64
+	momentum float64
+	velocity [][]float64
+}
+
+// NewSGD builds an optimizer over params.
+func NewSGD(params []*Tensor, lr, momentum float64) *SGD {
+	s := &SGD{params: params, lr: lr, momentum: momentum}
+	if momentum > 0 {
+		s.velocity = make([][]float64, len(params))
+		for i, p := range params {
+			s.velocity[i] = make([]float64, len(p.Data))
+		}
+	}
+	return s
+}
+
+// Step implements Optimizer.
+func (s *SGD) Step() {
+	for i, p := range s.params {
+		for j := range p.Data {
+			g := p.Grad[j]
+			if s.momentum > 0 {
+				s.velocity[i][j] = s.momentum*s.velocity[i][j] + g
+				g = s.velocity[i][j]
+			}
+			p.Data[j] -= s.lr * g
+		}
+	}
+	s.ZeroGrad()
+}
+
+// ZeroGrad implements Optimizer.
+func (s *SGD) ZeroGrad() {
+	for _, p := range s.params {
+		p.ZeroGrad()
+	}
+}
+
+// Adam is the Adam optimizer (Kingma & Ba) with bias correction.
+type Adam struct {
+	params []*Tensor
+	lr     float64
+	beta1  float64
+	beta2  float64
+	eps    float64
+	t      int
+	m, v   [][]float64
+}
+
+// NewAdam builds Adam with the standard betas.
+func NewAdam(params []*Tensor, lr float64) *Adam {
+	a := &Adam{params: params, lr: lr, beta1: 0.9, beta2: 0.999, eps: 1e-8}
+	a.m = make([][]float64, len(params))
+	a.v = make([][]float64, len(params))
+	for i, p := range params {
+		a.m[i] = make([]float64, len(p.Data))
+		a.v[i] = make([]float64, len(p.Data))
+	}
+	return a
+}
+
+// Step implements Optimizer.
+func (a *Adam) Step() {
+	a.t++
+	c1 := 1 - math.Pow(a.beta1, float64(a.t))
+	c2 := 1 - math.Pow(a.beta2, float64(a.t))
+	for i, p := range a.params {
+		for j := range p.Data {
+			g := p.Grad[j]
+			a.m[i][j] = a.beta1*a.m[i][j] + (1-a.beta1)*g
+			a.v[i][j] = a.beta2*a.v[i][j] + (1-a.beta2)*g*g
+			mHat := a.m[i][j] / c1
+			vHat := a.v[i][j] / c2
+			p.Data[j] -= a.lr * mHat / (math.Sqrt(vHat) + a.eps)
+		}
+	}
+	a.ZeroGrad()
+}
+
+// ScaleLR multiplies the learning rate (simple step decay schedules).
+func (a *Adam) ScaleLR(f float64) {
+	if f > 0 {
+		a.lr *= f
+	}
+}
+
+// ZeroGrad implements Optimizer.
+func (a *Adam) ZeroGrad() {
+	for _, p := range a.params {
+		p.ZeroGrad()
+	}
+}
+
+// ClipGradNorm rescales all gradients so their global L2 norm is at most
+// maxNorm; it returns the pre-clip norm. Recurrent unrolls need this to
+// survive burst-heavy series.
+func ClipGradNorm(params []*Tensor, maxNorm float64) float64 {
+	var total float64
+	for _, p := range params {
+		for _, g := range p.Grad {
+			total += g * g
+		}
+	}
+	norm := math.Sqrt(total)
+	if norm > maxNorm && norm > 0 {
+		scale := maxNorm / norm
+		for _, p := range params {
+			for j := range p.Grad {
+				p.Grad[j] *= scale
+			}
+		}
+	}
+	return norm
+}
+
+// MAELoss is the paper's training loss (eq. 8): mean |y - ŷ|.
+func MAELoss(pred, target *Tensor) *Tensor {
+	return Mean(Abs(Sub(pred, target)))
+}
+
+// MSELoss is mean squared error.
+func MSELoss(pred, target *Tensor) *Tensor {
+	d := Sub(pred, target)
+	return Mean(Mul(d, d))
+}

@@ -1,0 +1,141 @@
+package nn
+
+import (
+	"math"
+
+	"hammer/internal/randx"
+)
+
+// RNNCell is an Elman recurrent cell: h' = tanh(x@Wx + h@Wh + b).
+type RNNCell struct {
+	Wx *Tensor // [in, hidden]
+	Wh *Tensor // [hidden, hidden]
+	B  *Tensor // [1, hidden]
+}
+
+// NewRNNCell builds an Elman cell.
+func NewRNNCell(in, hidden int, rng *randx.Rand) *RNNCell {
+	return &RNNCell{
+		Wx: Param(in, hidden, math.Sqrt(1.0/float64(in)), rng),
+		Wh: Param(hidden, hidden, math.Sqrt(1.0/float64(hidden)), rng),
+		B:  Zeros(1, hidden).RequireGrad(),
+	}
+}
+
+// Step advances one timestep.
+func (c *RNNCell) Step(x, h *Tensor) *Tensor {
+	return Tanh(AddBias(Add(MatMul(x, c.Wx), MatMul(h, c.Wh)), c.B))
+}
+
+// Params implements Module.
+func (c *RNNCell) Params() []*Tensor { return []*Tensor{c.Wx, c.Wh, c.B} }
+
+// Hidden reports the cell width.
+func (c *RNNCell) Hidden() int { return c.Wh.Rows }
+
+// Run unrolls the cell over a sequence, returning the hidden state at every
+// step.
+func (c *RNNCell) Run(seq Sequence) Sequence {
+	h := Zeros(seq.Batch(), c.Hidden())
+	out := make(Sequence, len(seq))
+	for t, x := range seq {
+		h = c.Step(x, h)
+		out[t] = h
+	}
+	return out
+}
+
+// GRUCell implements the gated recurrent unit of eq. (4): update gate z,
+// reset gate r, candidate h̃, blended state h.
+type GRUCell struct {
+	Wxz, Whz, Bz *Tensor
+	Wxr, Whr, Br *Tensor
+	Wxh, Whh, Bh *Tensor
+}
+
+// NewGRUCell builds a GRU cell.
+func NewGRUCell(in, hidden int, rng *randx.Rand) *GRUCell {
+	sx := math.Sqrt(1.0 / float64(in))
+	sh := math.Sqrt(1.0 / float64(hidden))
+	return &GRUCell{
+		Wxz: Param(in, hidden, sx, rng), Whz: Param(hidden, hidden, sh, rng), Bz: Zeros(1, hidden).RequireGrad(),
+		Wxr: Param(in, hidden, sx, rng), Whr: Param(hidden, hidden, sh, rng), Br: Zeros(1, hidden).RequireGrad(),
+		Wxh: Param(in, hidden, sx, rng), Whh: Param(hidden, hidden, sh, rng), Bh: Zeros(1, hidden).RequireGrad(),
+	}
+}
+
+// Hidden reports the cell width.
+func (c *GRUCell) Hidden() int { return c.Whz.Rows }
+
+// Step advances one timestep (eq. 4):
+//
+//	r = σ(x@Wxr + h@Whr + br)
+//	z = σ(x@Wxz + h@Whz + bz)
+//	h̃ = tanh(x@Wxh + (r⊙h)@Whh + bh)
+//	h' = (1-z)⊙h + z⊙h̃
+func (c *GRUCell) Step(x, h *Tensor) *Tensor {
+	r := Sigmoid(AddBias(Add(MatMul(x, c.Wxr), MatMul(h, c.Whr)), c.Br))
+	z := Sigmoid(AddBias(Add(MatMul(x, c.Wxz), MatMul(h, c.Whz)), c.Bz))
+	hTilde := Tanh(AddBias(Add(MatMul(x, c.Wxh), MatMul(Mul(r, h), c.Whh)), c.Bh))
+	oneMinusZ := AddScalar(Scale(z, -1), 1)
+	return Add(Mul(oneMinusZ, h), Mul(z, hTilde))
+}
+
+// Params implements Module.
+func (c *GRUCell) Params() []*Tensor {
+	return []*Tensor{c.Wxz, c.Whz, c.Bz, c.Wxr, c.Whr, c.Br, c.Wxh, c.Whh, c.Bh}
+}
+
+// Run unrolls the cell forward over a sequence.
+func (c *GRUCell) Run(seq Sequence) Sequence {
+	h := Zeros(seq.Batch(), c.Hidden())
+	out := make(Sequence, len(seq))
+	for t, x := range seq {
+		h = c.Step(x, h)
+		out[t] = h
+	}
+	return out
+}
+
+// RunReverse unrolls the cell backward in time (the ← direction of eq. 5).
+func (c *GRUCell) RunReverse(seq Sequence) Sequence {
+	h := Zeros(seq.Batch(), c.Hidden())
+	out := make(Sequence, len(seq))
+	for t := len(seq) - 1; t >= 0; t-- {
+		h = c.Step(seq[t], h)
+		out[t] = h
+	}
+	return out
+}
+
+// BiGRU runs a forward and a backward GRU and concatenates their states per
+// step (eq. 5: h_t = h→_t ⊕ h←_t).
+type BiGRU struct {
+	Fwd *GRUCell
+	Bwd *GRUCell
+}
+
+// NewBiGRU builds the bidirectional pair; the concatenated output width is
+// 2·hidden.
+func NewBiGRU(in, hidden int, rng *randx.Rand) *BiGRU {
+	return &BiGRU{
+		Fwd: NewGRUCell(in, hidden, rng),
+		Bwd: NewGRUCell(in, hidden, rng),
+	}
+}
+
+// Run produces the concatenated hidden sequence.
+func (b *BiGRU) Run(seq Sequence) Sequence {
+	fwd := b.Fwd.Run(seq)
+	bwd := b.Bwd.RunReverse(seq)
+	out := make(Sequence, len(seq))
+	for t := range seq {
+		out[t] = ConcatCols(fwd[t], bwd[t])
+	}
+	return out
+}
+
+// Params implements Module.
+func (b *BiGRU) Params() []*Tensor {
+	return append(b.Fwd.Params(), b.Bwd.Params()...)
+}

@@ -1,0 +1,198 @@
+// Package nn is a small reverse-mode automatic-differentiation engine and
+// layer library, sufficient to train the paper's workload-prediction model
+// (TCN → BiGRU → multi-head attention, §IV) and its baselines (RNN, TCN,
+// Transformer) from scratch on CPU. Tensors are dense 2-D float64 matrices;
+// sequences are represented as slices of [batch, channels] tensors.
+package nn
+
+import (
+	"fmt"
+	"math"
+
+	"hammer/internal/randx"
+)
+
+// Tensor is a 2-D matrix participating in the autodiff graph. Gradients are
+// accumulated into Grad during Backward.
+type Tensor struct {
+	Rows, Cols int
+	Data       []float64
+	Grad       []float64
+
+	requiresGrad bool
+	parents      []*Tensor
+	backFn       func()
+}
+
+// New wraps data (len rows*cols, row-major) without copying.
+func New(rows, cols int, data []float64) *Tensor {
+	if len(data) != rows*cols {
+		panic(fmt.Sprintf("nn: New(%d,%d) with %d values", rows, cols, len(data)))
+	}
+	return &Tensor{Rows: rows, Cols: cols, Data: data}
+}
+
+// Zeros allocates a zero matrix.
+func Zeros(rows, cols int) *Tensor {
+	return &Tensor{Rows: rows, Cols: cols, Data: make([]float64, rows*cols)}
+}
+
+// Full allocates a matrix filled with v.
+func Full(rows, cols int, v float64) *Tensor {
+	t := Zeros(rows, cols)
+	for i := range t.Data {
+		t.Data[i] = v
+	}
+	return t
+}
+
+// FromVector wraps a slice as a [1, n] row vector (copying).
+func FromVector(v []float64) *Tensor {
+	d := make([]float64, len(v))
+	copy(d, v)
+	return New(1, len(v), d)
+}
+
+// Param allocates a trainable matrix with scaled Gaussian init
+// (He/Xavier-style: scale ~ sqrt(1/fanIn) chosen by the caller).
+func Param(rows, cols int, scale float64, rng *randx.Rand) *Tensor {
+	t := Zeros(rows, cols)
+	for i := range t.Data {
+		t.Data[i] = rng.NormFloat64() * scale
+	}
+	t.requiresGrad = true
+	t.Grad = make([]float64, rows*cols)
+	return t
+}
+
+// RequireGrad marks the tensor trainable and returns it.
+func (t *Tensor) RequireGrad() *Tensor {
+	t.requiresGrad = true
+	if t.Grad == nil {
+		t.Grad = make([]float64, len(t.Data))
+	}
+	return t
+}
+
+// RequiresGrad reports whether the tensor is trainable or derived from a
+// trainable tensor.
+func (t *Tensor) RequiresGrad() bool { return t.requiresGrad }
+
+// At reads element (r, c).
+func (t *Tensor) At(r, c int) float64 { return t.Data[r*t.Cols+c] }
+
+// Set writes element (r, c).
+func (t *Tensor) Set(r, c int, v float64) { t.Data[r*t.Cols+c] = v }
+
+// Item returns the single element of a 1×1 tensor.
+func (t *Tensor) Item() float64 {
+	if t.Rows != 1 || t.Cols != 1 {
+		panic(fmt.Sprintf("nn: Item on %dx%d tensor", t.Rows, t.Cols))
+	}
+	return t.Data[0]
+}
+
+// Clone copies the values (detached from the graph).
+func (t *Tensor) Clone() *Tensor {
+	d := make([]float64, len(t.Data))
+	copy(d, t.Data)
+	return New(t.Rows, t.Cols, d)
+}
+
+// newResult builds a graph node derived from parents.
+func newResult(rows, cols int, parents ...*Tensor) *Tensor {
+	out := Zeros(rows, cols)
+	for _, p := range parents {
+		if p.requiresGrad {
+			out.requiresGrad = true
+			break
+		}
+	}
+	if out.requiresGrad {
+		out.Grad = make([]float64, rows*cols)
+		out.parents = parents
+	}
+	return out
+}
+
+// ensureGrad lazily allocates a parent's gradient buffer during backward.
+func ensureGrad(t *Tensor) {
+	if t.Grad == nil {
+		t.Grad = make([]float64, len(t.Data))
+	}
+}
+
+// Backward runs reverse-mode differentiation from a scalar output: the
+// output's gradient is seeded with 1 and every reachable node's backFn runs
+// in reverse topological order.
+func (t *Tensor) Backward() {
+	if t.Rows != 1 || t.Cols != 1 {
+		panic(fmt.Sprintf("nn: Backward from non-scalar %dx%d tensor", t.Rows, t.Cols))
+	}
+	if !t.requiresGrad {
+		return
+	}
+	order := topoSort(t)
+	ensureGrad(t)
+	t.Grad[0] = 1
+	for i := len(order) - 1; i >= 0; i-- {
+		n := order[i]
+		if n.backFn != nil {
+			n.backFn()
+		}
+	}
+}
+
+func topoSort(root *Tensor) []*Tensor {
+	var order []*Tensor
+	visited := make(map[*Tensor]bool)
+	// Iterative DFS to avoid deep recursion on long unrolled sequences.
+	type frame struct {
+		node *Tensor
+		next int
+	}
+	stack := []frame{{node: root}}
+	visited[root] = true
+	for len(stack) > 0 {
+		f := &stack[len(stack)-1]
+		if f.next < len(f.node.parents) {
+			p := f.node.parents[f.next]
+			f.next++
+			if !visited[p] && p.requiresGrad {
+				visited[p] = true
+				stack = append(stack, frame{node: p})
+			}
+			continue
+		}
+		order = append(order, f.node)
+		stack = stack[:len(stack)-1]
+	}
+	return order
+}
+
+// ZeroGrad clears the gradient buffer.
+func (t *Tensor) ZeroGrad() {
+	for i := range t.Grad {
+		t.Grad[i] = 0
+	}
+}
+
+// GradNorm is the L2 norm of the gradient (for clipping and diagnostics).
+func (t *Tensor) GradNorm() float64 {
+	var s float64
+	for _, g := range t.Grad {
+		s += g * g
+	}
+	return math.Sqrt(s)
+}
+
+// String renders shape and a preview.
+func (t *Tensor) String() string {
+	return fmt.Sprintf("Tensor(%dx%d)", t.Rows, t.Cols)
+}
+
+func sameShape(a, b *Tensor) {
+	if a.Rows != b.Rows || a.Cols != b.Cols {
+		panic(fmt.Sprintf("nn: shape mismatch %dx%d vs %dx%d", a.Rows, a.Cols, b.Rows, b.Cols))
+	}
+}

@@ -1,0 +1,100 @@
+// Package randx provides seeded random-variate generators used by the
+// simulated blockchains and the synthetic workload datasets. Every generator
+// is explicitly seeded so that simulations and datasets are reproducible.
+package randx
+
+import (
+	"math"
+	"math/rand"
+	"time"
+)
+
+// Rand wraps math/rand.Rand with distribution helpers.
+type Rand struct {
+	*rand.Rand
+}
+
+// New returns a generator seeded with seed.
+func New(seed int64) *Rand {
+	return &Rand{Rand: rand.New(rand.NewSource(seed))}
+}
+
+// Exponential draws from an exponential distribution with the given mean.
+// It is used for PoW block intervals and Poisson-process arrivals.
+func (r *Rand) Exponential(mean time.Duration) time.Duration {
+	if mean <= 0 {
+		return 0
+	}
+	return time.Duration(r.ExpFloat64() * float64(mean))
+}
+
+// Poisson draws from a Poisson distribution with parameter lambda using
+// Knuth's method for small lambda and a normal approximation otherwise.
+func (r *Rand) Poisson(lambda float64) int {
+	if lambda <= 0 {
+		return 0
+	}
+	if lambda > 30 {
+		// Normal approximation with continuity correction.
+		n := int(math.Round(r.NormFloat64()*math.Sqrt(lambda) + lambda))
+		if n < 0 {
+			n = 0
+		}
+		return n
+	}
+	l := math.Exp(-lambda)
+	k := 0
+	p := 1.0
+	for {
+		k++
+		p *= r.Float64()
+		if p <= l {
+			return k - 1
+		}
+	}
+}
+
+// Normal draws from a normal distribution with the given mean and standard
+// deviation.
+func (r *Rand) Normal(mean, stddev float64) float64 {
+	return r.NormFloat64()*stddev + mean
+}
+
+// LogNormal draws from a log-normal distribution parameterised by the mean
+// and standard deviation of the underlying normal.
+func (r *Rand) LogNormal(mu, sigma float64) float64 {
+	return math.Exp(r.NormFloat64()*sigma + mu)
+}
+
+// Pareto draws from a Pareto distribution with scale xm and shape alpha.
+// Heavy-tailed draws model workload bursts.
+func (r *Rand) Pareto(xm, alpha float64) float64 {
+	u := r.Float64()
+	for u == 0 {
+		u = r.Float64()
+	}
+	return xm / math.Pow(u, 1/alpha)
+}
+
+// Zipf draws integers in [0, n) with a Zipfian skew s ≥ 1. It is used for
+// hot-account access patterns.
+type Zipf struct {
+	z *rand.Zipf
+}
+
+// NewZipf builds a Zipf sampler over [0, n) with skew s (s > 1) and v = 1.
+func NewZipf(r *Rand, s float64, n uint64) *Zipf {
+	return &Zipf{z: rand.NewZipf(r.Rand, s, 1, n-1)}
+}
+
+// Next draws the next Zipf-distributed value.
+func (z *Zipf) Next() uint64 { return z.z.Uint64() }
+
+// Jitter returns d scaled by a uniform factor in [1-frac, 1+frac].
+func (r *Rand) Jitter(d time.Duration, frac float64) time.Duration {
+	if frac <= 0 {
+		return d
+	}
+	f := 1 + (r.Float64()*2-1)*frac
+	return time.Duration(float64(d) * f)
+}

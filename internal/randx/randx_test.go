@@ -1,0 +1,129 @@
+package randx
+
+import (
+	"math"
+	"testing"
+	"time"
+)
+
+func TestExponentialMean(t *testing.T) {
+	r := New(1)
+	const n = 20000
+	mean := 100 * time.Millisecond
+	var sum time.Duration
+	for i := 0; i < n; i++ {
+		sum += r.Exponential(mean)
+	}
+	got := float64(sum) / n
+	if math.Abs(got-float64(mean))/float64(mean) > 0.05 {
+		t.Fatalf("exponential mean %v, want ≈%v", time.Duration(got), mean)
+	}
+	if r.Exponential(0) != 0 {
+		t.Fatal("non-positive mean should yield 0")
+	}
+}
+
+func TestPoissonMoments(t *testing.T) {
+	r := New(2)
+	for _, lambda := range []float64{0.5, 4, 50, 200} {
+		const n = 20000
+		var sum, sumSq float64
+		for i := 0; i < n; i++ {
+			v := float64(r.Poisson(lambda))
+			sum += v
+			sumSq += v * v
+		}
+		mean := sum / n
+		variance := sumSq/n - mean*mean
+		if math.Abs(mean-lambda)/lambda > 0.08 {
+			t.Errorf("poisson(%v) mean %v", lambda, mean)
+		}
+		if math.Abs(variance-lambda)/lambda > 0.15 {
+			t.Errorf("poisson(%v) variance %v", lambda, variance)
+		}
+	}
+	if r.Poisson(0) != 0 || r.Poisson(-1) != 0 {
+		t.Fatal("non-positive lambda should yield 0")
+	}
+}
+
+func TestNormalAndLogNormal(t *testing.T) {
+	r := New(3)
+	const n = 20000
+	var sum float64
+	for i := 0; i < n; i++ {
+		sum += r.Normal(10, 2)
+	}
+	if mean := sum / n; math.Abs(mean-10) > 0.1 {
+		t.Fatalf("normal mean %v, want ≈10", mean)
+	}
+	// LogNormal(0, σ) has median 1.
+	var above int
+	for i := 0; i < n; i++ {
+		if r.LogNormal(0, 0.5) > 1 {
+			above++
+		}
+	}
+	if frac := float64(above) / n; math.Abs(frac-0.5) > 0.03 {
+		t.Fatalf("lognormal median fraction %v, want ≈0.5", frac)
+	}
+}
+
+func TestParetoTail(t *testing.T) {
+	r := New(4)
+	const n = 20000
+	below := 0
+	for i := 0; i < n; i++ {
+		v := r.Pareto(1, 2)
+		if v < 1 {
+			t.Fatalf("pareto draw %v below scale", v)
+		}
+		if v < 2 {
+			below++
+		}
+	}
+	// P(X < 2) = 1 - (1/2)^2 = 0.75.
+	if frac := float64(below) / n; math.Abs(frac-0.75) > 0.03 {
+		t.Fatalf("pareto CDF(2) ≈ %v, want 0.75", frac)
+	}
+}
+
+func TestZipfSkew(t *testing.T) {
+	r := New(5)
+	z := NewZipf(r, 1.2, 1000)
+	counts := make(map[uint64]int)
+	const n = 30000
+	for i := 0; i < n; i++ {
+		v := z.Next()
+		if v >= 1000 {
+			t.Fatalf("zipf draw %d out of range", v)
+		}
+		counts[v]++
+	}
+	if counts[0] < counts[500]*5 {
+		t.Fatalf("zipf not skewed: rank0=%d rank500=%d", counts[0], counts[500])
+	}
+}
+
+func TestJitter(t *testing.T) {
+	r := New(6)
+	d := time.Second
+	for i := 0; i < 1000; i++ {
+		j := r.Jitter(d, 0.2)
+		if j < 800*time.Millisecond || j > 1200*time.Millisecond {
+			t.Fatalf("jitter %v outside ±20%%", j)
+		}
+	}
+	if r.Jitter(d, 0) != d {
+		t.Fatal("zero jitter should return the input")
+	}
+}
+
+func TestDeterminism(t *testing.T) {
+	a, b := New(42), New(42)
+	for i := 0; i < 100; i++ {
+		if a.Float64() != b.Float64() {
+			t.Fatal("same seed should give identical streams")
+		}
+	}
+}

@@ -1,0 +1,145 @@
+package rpc
+
+import (
+	"bytes"
+	"encoding/json"
+	"fmt"
+	"net/http"
+	"sync/atomic"
+	"time"
+
+	"hammer/internal/chain"
+)
+
+// Client implements chain.Blockchain against a remote JSON-RPC bridge, so
+// the evaluation framework can drive a SUT in another process (or another
+// language) exactly as it drives an in-process simulator.
+type Client struct {
+	url    string
+	http   *http.Client
+	nextID atomic.Int64
+
+	// cached immutable facts
+	name   string
+	shards int
+}
+
+var _ chain.Blockchain = (*Client)(nil)
+
+// Dial connects to a bridge at url (e.g. "http://127.0.0.1:8545") and
+// caches the chain's name and shard count.
+func Dial(url string, timeout time.Duration) (*Client, error) {
+	if timeout <= 0 {
+		timeout = 10 * time.Second
+	}
+	c := &Client{url: url, http: &http.Client{Timeout: timeout}}
+	var nameRes NameResult
+	if err := c.call(MethodName, nil, &nameRes); err != nil {
+		return nil, fmt.Errorf("rpc: dial %s: %w", url, err)
+	}
+	var shardsRes ShardsResult
+	if err := c.call(MethodShards, nil, &shardsRes); err != nil {
+		return nil, fmt.Errorf("rpc: dial %s: %w", url, err)
+	}
+	c.name = nameRes.Name
+	c.shards = shardsRes.Shards
+	return c, nil
+}
+
+func (c *Client) call(method string, params any, result any) error {
+	req := Request{JSONRPC: Version, ID: c.nextID.Add(1), Method: method}
+	if params != nil {
+		raw, err := json.Marshal(params)
+		if err != nil {
+			return fmt.Errorf("rpc: marshal params: %w", err)
+		}
+		req.Params = raw
+	}
+	body, err := json.Marshal(&req)
+	if err != nil {
+		return fmt.Errorf("rpc: marshal request: %w", err)
+	}
+	httpResp, err := c.http.Post(c.url, "application/json", bytes.NewReader(body))
+	if err != nil {
+		return fmt.Errorf("rpc: post %s: %w", method, err)
+	}
+	defer httpResp.Body.Close()
+	var resp Response
+	if err := json.NewDecoder(httpResp.Body).Decode(&resp); err != nil {
+		return fmt.Errorf("rpc: decode response for %s: %w", method, err)
+	}
+	if resp.Error != nil {
+		switch resp.Error.Code {
+		case CodeOverloaded:
+			return fmt.Errorf("%s: %w", resp.Error.Message, chain.ErrOverloaded)
+		case CodeStopped:
+			return fmt.Errorf("%s: %w", resp.Error.Message, chain.ErrStopped)
+		}
+		return resp.Error
+	}
+	if result != nil {
+		if err := json.Unmarshal(resp.Result, result); err != nil {
+			return fmt.Errorf("rpc: decode result for %s: %w", method, err)
+		}
+	}
+	return nil
+}
+
+// Name implements chain.Blockchain.
+func (c *Client) Name() string { return c.name }
+
+// Shards implements chain.Blockchain.
+func (c *Client) Shards() int { return c.shards }
+
+// Deploy implements chain.Blockchain. Contracts are deployed on the serving
+// side; the bridge cannot ship Go code across the wire.
+func (c *Client) Deploy(ct chain.Contract) error {
+	return fmt.Errorf("rpc: deploy %q: %w", ct.Name(), chain.ErrAlreadyDeployed)
+}
+
+// Submit implements chain.Blockchain.
+func (c *Client) Submit(tx *chain.Transaction) (chain.TxID, error) {
+	raw, err := json.Marshal(tx)
+	if err != nil {
+		return chain.TxID{}, fmt.Errorf("rpc: marshal transaction: %w", err)
+	}
+	var res SubmitResult
+	if err := c.call(MethodSubmit, SubmitParams{Tx: raw}, &res); err != nil {
+		return chain.TxID{}, err
+	}
+	return chain.ParseTxID(res.TxID)
+}
+
+// Height implements chain.Blockchain.
+func (c *Client) Height(shard int) uint64 {
+	var res HeightResult
+	if err := c.call(MethodHeight, HeightParams{Shard: shard}, &res); err != nil {
+		return 0
+	}
+	return res.Height
+}
+
+// BlockAt implements chain.Blockchain.
+func (c *Client) BlockAt(shard int, height uint64) (*chain.Block, bool) {
+	blk := &chain.Block{}
+	if err := c.call(MethodBlockAt, BlockAtParams{Shard: shard, Height: height}, blk); err != nil {
+		return nil, false
+	}
+	return blk, true
+}
+
+// PendingTxs implements chain.Blockchain.
+func (c *Client) PendingTxs() int {
+	var res PendingResult
+	if err := c.call(MethodPending, nil, &res); err != nil {
+		return 0
+	}
+	return res.Pending
+}
+
+// Start implements chain.Blockchain: lifecycle is owned by the serving
+// side, so Start is a no-op on the client.
+func (c *Client) Start() {}
+
+// Stop implements chain.Blockchain: a no-op, as with Start.
+func (c *Client) Stop() {}

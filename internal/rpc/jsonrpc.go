@@ -1,0 +1,106 @@
+// Package rpc is the paper's generic SUT interface (§III-A2): a JSON-RPC
+// 2.0 bridge that exposes any chain.Blockchain over HTTP and a client that
+// implements chain.Blockchain over the wire. Because both sides speak plain
+// JSON-RPC, a system under test written in any language — the paper lists
+// Go, C++, Rust, Java and Python — can plug into the framework by serving
+// these five methods.
+package rpc
+
+import (
+	"encoding/json"
+	"fmt"
+)
+
+// Version is the JSON-RPC protocol version.
+const Version = "2.0"
+
+// Method names served by the bridge.
+const (
+	MethodName    = "hammer.name"
+	MethodShards  = "hammer.shards"
+	MethodSubmit  = "hammer.submit"
+	MethodHeight  = "hammer.height"
+	MethodBlockAt = "hammer.blockAt"
+	MethodPending = "hammer.pending"
+)
+
+// Request is a JSON-RPC 2.0 request.
+type Request struct {
+	JSONRPC string          `json:"jsonrpc"`
+	ID      int64           `json:"id"`
+	Method  string          `json:"method"`
+	Params  json.RawMessage `json:"params,omitempty"`
+}
+
+// Response is a JSON-RPC 2.0 response.
+type Response struct {
+	JSONRPC string          `json:"jsonrpc"`
+	ID      int64           `json:"id"`
+	Result  json.RawMessage `json:"result,omitempty"`
+	Error   *Error          `json:"error,omitempty"`
+}
+
+// Error is a JSON-RPC 2.0 error object.
+type Error struct {
+	Code    int    `json:"code"`
+	Message string `json:"message"`
+}
+
+// Error implements the error interface.
+func (e *Error) Error() string {
+	return fmt.Sprintf("rpc: %d %s", e.Code, e.Message)
+}
+
+// Standard JSON-RPC error codes, plus bridge-specific ones.
+const (
+	CodeParse          = -32700
+	CodeInvalidRequest = -32600
+	CodeMethodNotFound = -32601
+	CodeInvalidParams  = -32602
+	CodeInternal       = -32603
+	// CodeOverloaded signals the SUT shed the submission.
+	CodeOverloaded = -32000
+	// CodeStopped signals the SUT is not accepting transactions.
+	CodeStopped = -32001
+)
+
+// SubmitParams carries a transaction submission.
+type SubmitParams struct {
+	Tx json.RawMessage `json:"tx"`
+}
+
+// SubmitResult returns the assigned transaction ID.
+type SubmitResult struct {
+	TxID string `json:"tx_id"`
+}
+
+// HeightParams selects a shard.
+type HeightParams struct {
+	Shard int `json:"shard"`
+}
+
+// HeightResult reports the newest height.
+type HeightResult struct {
+	Height uint64 `json:"height"`
+}
+
+// BlockAtParams addresses one block.
+type BlockAtParams struct {
+	Shard  int    `json:"shard"`
+	Height uint64 `json:"height"`
+}
+
+// NameResult reports the chain name.
+type NameResult struct {
+	Name string `json:"name"`
+}
+
+// ShardsResult reports the shard count.
+type ShardsResult struct {
+	Shards int `json:"shards"`
+}
+
+// PendingResult reports admitted-but-uncommitted transactions.
+type PendingResult struct {
+	Pending int `json:"pending"`
+}

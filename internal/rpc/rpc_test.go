@@ -1,0 +1,208 @@
+package rpc
+
+import (
+	"bytes"
+	"encoding/json"
+	"errors"
+	"net/http"
+	"net/http/httptest"
+	"testing"
+	"time"
+
+	"hammer/internal/chain"
+	"hammer/internal/chains/fabric"
+	"hammer/internal/chains/neuchain"
+	"hammer/internal/eventsim"
+	"hammer/internal/smallbank"
+)
+
+// startBridge serves a neuchain simulator over a realtime-driven bridge.
+func startBridge(t *testing.T) (*Client, func()) {
+	t.Helper()
+	sched := eventsim.New()
+	cfg := neuchain.DefaultConfig()
+	cfg.EpochInterval = 20 * time.Millisecond
+	bc := neuchain.New(sched, cfg)
+	if err := bc.Deploy(smallbank.Contract{}); err != nil {
+		t.Fatal(err)
+	}
+	rt := eventsim.NewRealtime(sched, 10)
+	rt.Start()
+	rt.Do(func() { bc.Start() })
+
+	srv := NewServer(bc, WithSerializer(rt.Do))
+	addr, err := srv.Listen("127.0.0.1:0")
+	if err != nil {
+		rt.Stop()
+		t.Fatal(err)
+	}
+	client, err := Dial("http://"+addr, 5*time.Second)
+	if err != nil {
+		srv.Close()
+		rt.Stop()
+		t.Fatal(err)
+	}
+	return client, func() {
+		srv.Close()
+		rt.Stop()
+	}
+}
+
+func TestEndToEndSubmitAndPoll(t *testing.T) {
+	client, shutdown := startBridge(t)
+	defer shutdown()
+
+	if client.Name() != "neuchain" {
+		t.Fatalf("name %q", client.Name())
+	}
+	if client.Shards() != 1 {
+		t.Fatalf("shards %d", client.Shards())
+	}
+
+	tx := &chain.Transaction{
+		Contract: smallbank.ContractName,
+		Op:       smallbank.OpCreate,
+		Args:     []string{"alice", "100", "100"},
+	}
+	id, err := client.Submit(tx)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if id == (chain.TxID{}) {
+		t.Fatal("zero tx id")
+	}
+
+	deadline := time.Now().Add(5 * time.Second)
+	for client.Height(0) == 0 && time.Now().Before(deadline) {
+		time.Sleep(20 * time.Millisecond)
+	}
+	if client.Height(0) == 0 {
+		t.Fatal("no block over RPC before deadline")
+	}
+	blk, ok := client.BlockAt(0, 1)
+	if !ok {
+		t.Fatal("block 1 unreachable over RPC")
+	}
+	if len(blk.Receipts) != 1 || blk.Receipts[0].TxID != id {
+		t.Fatalf("block receipts %+v", blk.Receipts)
+	}
+	if blk.Receipts[0].Status != chain.StatusCommitted {
+		t.Fatalf("status %v", blk.Receipts[0].Status)
+	}
+}
+
+func TestOverloadedMapsToSentinel(t *testing.T) {
+	sched := eventsim.New()
+	fcfg := fabric.DefaultConfig()
+	fcfg.PendingCap = 1
+	bc := fabric.New(sched, fcfg)
+	if err := bc.Deploy(smallbank.Contract{}); err != nil {
+		t.Fatal(err)
+	}
+	bc.Start()
+	srv := NewServer(bc)
+	addr, err := srv.Listen("127.0.0.1:0")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer srv.Close()
+	client, err := Dial("http://"+addr, time.Second)
+	if err != nil {
+		t.Fatal(err)
+	}
+	mkTx := func(n uint64) *chain.Transaction {
+		return &chain.Transaction{Contract: smallbank.ContractName, Op: smallbank.OpCreate,
+			Args: []string{"a", "1", "1"}, Nonce: n}
+	}
+	if _, err := client.Submit(mkTx(1)); err != nil {
+		t.Fatal(err)
+	}
+	_, err = client.Submit(mkTx(2))
+	if !errors.Is(err, chain.ErrOverloaded) {
+		t.Fatalf("overload should map to chain.ErrOverloaded: %v", err)
+	}
+	bc.Stop()
+	_, err = client.Submit(mkTx(3))
+	if !errors.Is(err, chain.ErrStopped) {
+		t.Fatalf("stopped should map to chain.ErrStopped: %v", err)
+	}
+}
+
+func TestServerRejectsBadRequests(t *testing.T) {
+	sched := eventsim.New()
+	bc := neuchain.New(sched, neuchain.DefaultConfig())
+	srv := NewServer(bc)
+	ts := httptest.NewServer(srv)
+	defer ts.Close()
+
+	post := func(body string) *Response {
+		t.Helper()
+		resp, err := http.Post(ts.URL, "application/json", bytes.NewReader([]byte(body)))
+		if err != nil {
+			t.Fatal(err)
+		}
+		defer resp.Body.Close()
+		out := &Response{}
+		if err := json.NewDecoder(resp.Body).Decode(out); err != nil {
+			t.Fatal(err)
+		}
+		return out
+	}
+
+	if r := post(`{`); r.Error == nil || r.Error.Code != CodeParse {
+		t.Fatalf("parse error expected: %+v", r.Error)
+	}
+	if r := post(`{"jsonrpc":"2.0","id":1,"method":"no.such"}`); r.Error == nil || r.Error.Code != CodeMethodNotFound {
+		t.Fatalf("method not found expected: %+v", r.Error)
+	}
+	if r := post(`{"jsonrpc":"1.0","id":1,"method":"hammer.name"}`); r.Error == nil || r.Error.Code != CodeInvalidRequest {
+		t.Fatalf("bad version expected: %+v", r.Error)
+	}
+	if r := post(`{"jsonrpc":"2.0","id":1,"method":"hammer.submit","params":{"tx":"notjson"}}`); r.Error == nil || r.Error.Code != CodeInvalidParams {
+		t.Fatalf("bad params expected: %+v", r.Error)
+	}
+	if r := post(`{"jsonrpc":"2.0","id":1,"method":"hammer.blockAt","params":{"shard":0,"height":99}}`); r.Error == nil {
+		t.Fatal("missing block should error")
+	}
+	// GET is rejected.
+	resp, err := http.Get(ts.URL)
+	if err != nil {
+		t.Fatal(err)
+	}
+	resp.Body.Close()
+	if resp.StatusCode != http.StatusMethodNotAllowed {
+		t.Fatalf("GET status %d", resp.StatusCode)
+	}
+}
+
+func TestDialFailsOnDeadEndpoint(t *testing.T) {
+	if _, err := Dial("http://127.0.0.1:1", 200*time.Millisecond); err == nil {
+		t.Fatal("dial to a dead endpoint should fail")
+	}
+}
+
+func TestClientDeployRefuses(t *testing.T) {
+	client := &Client{}
+	if err := client.Deploy(smallbank.Contract{}); err == nil {
+		t.Fatal("client-side deploy should refuse")
+	}
+}
+
+func TestServerDoubleListenAndClose(t *testing.T) {
+	sched := eventsim.New()
+	bc := neuchain.New(sched, neuchain.DefaultConfig())
+	srv := NewServer(bc)
+	if _, err := srv.Listen("127.0.0.1:0"); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := srv.Listen("127.0.0.1:0"); err == nil {
+		t.Fatal("second listen should error")
+	}
+	if err := srv.Close(); err != nil {
+		t.Fatal(err)
+	}
+	// Closing an unstarted server is a no-op.
+	if err := NewServer(bc).Close(); err != nil {
+		t.Fatal(err)
+	}
+}

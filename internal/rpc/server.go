@@ -1,0 +1,197 @@
+package rpc
+
+import (
+	"encoding/json"
+	"errors"
+	"fmt"
+	"io"
+	"net"
+	"net/http"
+	"sync"
+
+	"hammer/internal/chain"
+)
+
+// Server bridges a chain.Blockchain onto JSON-RPC over HTTP.
+type Server struct {
+	bc chain.Blockchain
+	// do serialises access to the chain with whatever is advancing its
+	// scheduler (eventsim.Realtime.Do). Defaults to direct invocation.
+	do func(func())
+
+	httpServer *http.Server
+	listener   net.Listener
+	mu         sync.Mutex
+	wg         sync.WaitGroup
+}
+
+// ServerOption customises a Server.
+type ServerOption func(*Server)
+
+// WithSerializer routes every chain call through do — required when an
+// eventsim.Realtime is concurrently advancing the chain.
+func WithSerializer(do func(func())) ServerOption {
+	return func(s *Server) { s.do = do }
+}
+
+// NewServer builds a bridge for bc.
+func NewServer(bc chain.Blockchain, opts ...ServerOption) *Server {
+	s := &Server{bc: bc, do: func(fn func()) { fn() }}
+	for _, o := range opts {
+		o(s)
+	}
+	return s
+}
+
+// ServeHTTP implements http.Handler: one JSON-RPC request per POST body.
+func (s *Server) ServeHTTP(w http.ResponseWriter, r *http.Request) {
+	if r.Method != http.MethodPost {
+		http.Error(w, "POST only", http.StatusMethodNotAllowed)
+		return
+	}
+	body, err := io.ReadAll(io.LimitReader(r.Body, 8<<20))
+	if err != nil {
+		http.Error(w, "read error", http.StatusBadRequest)
+		return
+	}
+	var req Request
+	resp := Response{JSONRPC: Version}
+	if err := json.Unmarshal(body, &req); err != nil {
+		resp.Error = &Error{Code: CodeParse, Message: err.Error()}
+	} else {
+		resp.ID = req.ID
+		result, rpcErr := s.dispatch(&req)
+		if rpcErr != nil {
+			resp.Error = rpcErr
+		} else {
+			raw, err := json.Marshal(result)
+			if err != nil {
+				resp.Error = &Error{Code: CodeInternal, Message: err.Error()}
+			} else {
+				resp.Result = raw
+			}
+		}
+	}
+	w.Header().Set("Content-Type", "application/json")
+	if err := json.NewEncoder(w).Encode(&resp); err != nil {
+		// The connection is gone; nothing useful to do.
+		return
+	}
+}
+
+func (s *Server) dispatch(req *Request) (any, *Error) {
+	if req.JSONRPC != "" && req.JSONRPC != Version {
+		return nil, &Error{Code: CodeInvalidRequest, Message: "unsupported jsonrpc version " + req.JSONRPC}
+	}
+	switch req.Method {
+	case MethodName:
+		var name string
+		s.do(func() { name = s.bc.Name() })
+		return NameResult{Name: name}, nil
+
+	case MethodShards:
+		var n int
+		s.do(func() { n = s.bc.Shards() })
+		return ShardsResult{Shards: n}, nil
+
+	case MethodPending:
+		var n int
+		s.do(func() { n = s.bc.PendingTxs() })
+		return PendingResult{Pending: n}, nil
+
+	case MethodSubmit:
+		var p SubmitParams
+		if err := json.Unmarshal(req.Params, &p); err != nil {
+			return nil, &Error{Code: CodeInvalidParams, Message: err.Error()}
+		}
+		tx := &chain.Transaction{}
+		if err := json.Unmarshal(p.Tx, tx); err != nil {
+			return nil, &Error{Code: CodeInvalidParams, Message: "bad transaction: " + err.Error()}
+		}
+		var (
+			id  chain.TxID
+			err error
+		)
+		s.do(func() { id, err = s.bc.Submit(tx) })
+		if err != nil {
+			code := CodeInternal
+			switch {
+			case errors.Is(err, chain.ErrOverloaded):
+				code = CodeOverloaded
+			case errors.Is(err, chain.ErrStopped):
+				code = CodeStopped
+			}
+			return nil, &Error{Code: code, Message: err.Error()}
+		}
+		return SubmitResult{TxID: id.String()}, nil
+
+	case MethodHeight:
+		var p HeightParams
+		if len(req.Params) > 0 {
+			if err := json.Unmarshal(req.Params, &p); err != nil {
+				return nil, &Error{Code: CodeInvalidParams, Message: err.Error()}
+			}
+		}
+		var h uint64
+		s.do(func() { h = s.bc.Height(p.Shard) })
+		return HeightResult{Height: h}, nil
+
+	case MethodBlockAt:
+		var p BlockAtParams
+		if err := json.Unmarshal(req.Params, &p); err != nil {
+			return nil, &Error{Code: CodeInvalidParams, Message: err.Error()}
+		}
+		var (
+			blk *chain.Block
+			ok  bool
+		)
+		s.do(func() { blk, ok = s.bc.BlockAt(p.Shard, p.Height) })
+		if !ok {
+			return nil, &Error{Code: CodeInvalidParams,
+				Message: fmt.Sprintf("no block at shard %d height %d", p.Shard, p.Height)}
+		}
+		return blk, nil
+
+	default:
+		return nil, &Error{Code: CodeMethodNotFound, Message: "unknown method " + req.Method}
+	}
+}
+
+// Listen starts serving on addr (e.g. "127.0.0.1:0") and returns the bound
+// address. Close shuts the server down.
+func (s *Server) Listen(addr string) (string, error) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	if s.listener != nil {
+		return "", errors.New("rpc: server already listening")
+	}
+	ln, err := net.Listen("tcp", addr)
+	if err != nil {
+		return "", fmt.Errorf("rpc: listen %s: %w", addr, err)
+	}
+	s.listener = ln
+	s.httpServer = &http.Server{Handler: s}
+	s.wg.Add(1)
+	go func() {
+		defer s.wg.Done()
+		// ErrServerClosed is the normal shutdown signal.
+		if err := s.httpServer.Serve(ln); err != nil && !errors.Is(err, http.ErrServerClosed) {
+			// The listener failed; Close will surface the state.
+			return
+		}
+	}()
+	return ln.Addr().String(), nil
+}
+
+// Close stops the HTTP server and waits for the serve loop to exit.
+func (s *Server) Close() error {
+	s.mu.Lock()
+	srv := s.httpServer
+	s.mu.Unlock()
+	if srv == nil {
+		return nil
+	}
+	err := srv.Close()
+	s.wg.Wait()
+	return err
+}

@@ -1,0 +1,144 @@
+// Package sign implements transaction signing for workload preparation.
+// Unlike database benchmarks, every blockchain workload item carries a client
+// signature (paper §III-D1); preparing a large workload is therefore
+// CPU-bound. This package provides the three preparation strategies the
+// paper compares in Fig 8: serial signing, asynchronous (parallel) signing,
+// and a streaming pipeline that overlaps signing with execution.
+package sign
+
+import (
+	"crypto/ecdsa"
+	"crypto/elliptic"
+	"crypto/sha256"
+	"encoding/binary"
+	"errors"
+	"fmt"
+	"io"
+	"math/big"
+
+	"hammer/internal/chain"
+)
+
+// Signer holds an ECDSA P-256 keypair and signs transaction IDs.
+type Signer struct {
+	key *ecdsa.PrivateKey
+	pub []byte
+}
+
+// deterministicReader yields a reproducible byte stream from a seed, so
+// tests and benchmarks generate identical keys and signatures run-to-run.
+type deterministicReader struct {
+	counter uint64
+	seed    [32]byte
+	buf     []byte
+}
+
+func (r *deterministicReader) Read(p []byte) (int, error) {
+	n := 0
+	for n < len(p) {
+		if len(r.buf) == 0 {
+			h := sha256.New()
+			h.Write(r.seed[:])
+			var c [8]byte
+			binary.BigEndian.PutUint64(c[:], r.counter)
+			r.counter++
+			h.Write(c[:])
+			r.buf = h.Sum(nil)
+		}
+		c := copy(p[n:], r.buf)
+		r.buf = r.buf[c:]
+		n += c
+	}
+	return n, nil
+}
+
+// NewSigner generates a keypair from the seed. The same seed always yields
+// the same key. The scalar is derived directly from the seed stream rather
+// than through ecdsa.GenerateKey, whose internal randutil.MaybeReadByte
+// makes it non-deterministic even over a deterministic reader.
+func NewSigner(seed int64) (*Signer, error) {
+	rd := &deterministicReader{}
+	binary.BigEndian.PutUint64(rd.seed[:8], uint64(seed))
+	curve := elliptic.P256()
+	n := curve.Params().N
+	one := big.NewInt(1)
+	// Rejection-sample a scalar in [1, N-1].
+	var d *big.Int
+	buf := make([]byte, (n.BitLen()+7)/8)
+	for {
+		if _, err := io.ReadFull(rd, buf); err != nil {
+			return nil, fmt.Errorf("sign: derive key: %w", err)
+		}
+		d = new(big.Int).SetBytes(buf)
+		d.Mod(d, new(big.Int).Sub(n, one))
+		d.Add(d, one)
+		if d.Sign() > 0 {
+			break
+		}
+	}
+	key := &ecdsa.PrivateKey{D: d}
+	key.PublicKey.Curve = curve
+	key.PublicKey.X, key.PublicKey.Y = curve.ScalarBaseMult(d.Bytes())
+	s := &Signer{key: key}
+	s.pub = marshalPub(&key.PublicKey)
+	return s, nil
+}
+
+// marshalPub encodes a P-256 public key as X||Y, 32 bytes each.
+func marshalPub(pub *ecdsa.PublicKey) []byte {
+	out := make([]byte, 64)
+	pub.X.FillBytes(out[:32])
+	pub.Y.FillBytes(out[32:])
+	return out
+}
+
+// unmarshalPub decodes an X||Y public key.
+func unmarshalPub(b []byte) (*ecdsa.PublicKey, error) {
+	if len(b) != 64 {
+		return nil, fmt.Errorf("sign: public key must be 64 bytes, got %d", len(b))
+	}
+	pub := &ecdsa.PublicKey{
+		Curve: elliptic.P256(),
+		X:     new(big.Int).SetBytes(b[:32]),
+		Y:     new(big.Int).SetBytes(b[32:]),
+	}
+	if !pub.Curve.IsOnCurve(pub.X, pub.Y) {
+		return nil, errors.New("sign: public key not on curve")
+	}
+	return pub, nil
+}
+
+// PublicKey returns the encoded public key.
+func (s *Signer) PublicKey() []byte { return s.pub }
+
+// Sign computes the transaction ID and attaches an ECDSA signature over it.
+func (s *Signer) Sign(tx *chain.Transaction) error {
+	id := tx.ComputeID()
+	sig, err := ecdsa.SignASN1(&deterministicReader{seed: id}, s.key, id[:])
+	if err != nil {
+		return fmt.Errorf("sign: %w", err)
+	}
+	tx.Signature = sig
+	tx.PubKey = s.pub
+	return nil
+}
+
+// Verify checks a transaction's signature against its recomputed ID.
+func Verify(tx *chain.Transaction) error {
+	if len(tx.Signature) == 0 {
+		return errors.New("sign: missing signature")
+	}
+	pub, err := unmarshalPub(tx.PubKey)
+	if err != nil {
+		return err
+	}
+	cp := *tx
+	id := cp.ComputeID()
+	if id != tx.ID {
+		return fmt.Errorf("sign: transaction id mismatch: claimed %s, computed %s", tx.ID.Short(), id.Short())
+	}
+	if !ecdsa.VerifyASN1(pub, id[:], tx.Signature) {
+		return errors.New("sign: invalid signature")
+	}
+	return nil
+}

@@ -1,0 +1,146 @@
+package sign
+
+import (
+	"testing"
+
+	"hammer/internal/chain"
+)
+
+func sampleTx(i int) *chain.Transaction {
+	return &chain.Transaction{
+		ClientID: "c",
+		Contract: "smallbank",
+		Op:       "deposit",
+		Args:     []string{"acct1", "10"},
+		Nonce:    uint64(i),
+	}
+}
+
+func TestSignVerifyRoundTrip(t *testing.T) {
+	s, err := NewSigner(1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	tx := sampleTx(1)
+	if err := s.Sign(tx); err != nil {
+		t.Fatal(err)
+	}
+	if tx.ID == (chain.TxID{}) {
+		t.Fatal("sign should compute the ID")
+	}
+	if err := Verify(tx); err != nil {
+		t.Fatalf("verify: %v", err)
+	}
+}
+
+func TestVerifyRejectsTampering(t *testing.T) {
+	s, err := NewSigner(1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	tx := sampleTx(1)
+	if err := s.Sign(tx); err != nil {
+		t.Fatal(err)
+	}
+	tx.Args[1] = "100000"
+	if err := Verify(tx); err == nil {
+		t.Fatal("tampered args should fail verification")
+	}
+}
+
+func TestVerifyRejectsWrongKeyAndMissingSig(t *testing.T) {
+	s1, _ := NewSigner(1)
+	s2, _ := NewSigner(2)
+	tx := sampleTx(1)
+	if err := s1.Sign(tx); err != nil {
+		t.Fatal(err)
+	}
+	tx.PubKey = s2.PublicKey()
+	if err := Verify(tx); err == nil {
+		t.Fatal("wrong public key should fail verification")
+	}
+	bare := sampleTx(2)
+	if err := Verify(bare); err == nil {
+		t.Fatal("missing signature should fail verification")
+	}
+	bad := sampleTx(3)
+	bad.Signature = []byte{1}
+	bad.PubKey = []byte{1, 2}
+	if err := Verify(bad); err == nil {
+		t.Fatal("garbage public key should fail verification")
+	}
+}
+
+func TestDeterministicKeys(t *testing.T) {
+	a, _ := NewSigner(7)
+	b, _ := NewSigner(7)
+	c, _ := NewSigner(8)
+	if string(a.PublicKey()) != string(b.PublicKey()) {
+		t.Fatal("same seed should give the same keypair")
+	}
+	if string(a.PublicKey()) == string(c.PublicKey()) {
+		t.Fatal("different seeds should give different keypairs")
+	}
+}
+
+func TestSignSerialAndAsyncAgree(t *testing.T) {
+	s, _ := NewSigner(3)
+	mk := func() []*chain.Transaction {
+		txs := make([]*chain.Transaction, 50)
+		for i := range txs {
+			txs[i] = sampleTx(i)
+		}
+		return txs
+	}
+	serial := mk()
+	if err := SignSerial(serial, s); err != nil {
+		t.Fatal(err)
+	}
+	async := mk()
+	if err := SignAsync(async, s, 4); err != nil {
+		t.Fatal(err)
+	}
+	for i := range serial {
+		if serial[i].ID != async[i].ID {
+			t.Fatalf("tx %d: serial and async IDs differ", i)
+		}
+		if err := Verify(async[i]); err != nil {
+			t.Fatalf("async-signed tx %d fails verification: %v", i, err)
+		}
+	}
+}
+
+func TestPipelineDeliversAll(t *testing.T) {
+	s, _ := NewSigner(4)
+	p := NewPipeline(s, 3)
+	const n = 200
+	go func() {
+		for i := 0; i < n; i++ {
+			p.Submit(sampleTx(i))
+		}
+		p.Close()
+	}()
+	seen := make(map[chain.TxID]bool)
+	for tx := range p.Out() {
+		if err := Verify(tx); err != nil {
+			t.Errorf("pipeline output fails verification: %v", err)
+		}
+		seen[tx.ID] = true
+	}
+	if err := p.Err(); err != nil {
+		t.Fatal(err)
+	}
+	if len(seen) != n {
+		t.Fatalf("pipeline delivered %d unique transactions, want %d", len(seen), n)
+	}
+}
+
+func TestPipelineCloseIdempotent(t *testing.T) {
+	s, _ := NewSigner(5)
+	p := NewPipeline(s, 1)
+	p.Close()
+	p.Close() // must not panic
+	for range p.Out() {
+		t.Fatal("no output expected")
+	}
+}

@@ -1,0 +1,167 @@
+package smallbank
+
+import (
+	"strconv"
+	"testing"
+	"testing/quick"
+)
+
+// mapCtx is a trivial TxContext over a map.
+type mapCtx map[string][]byte
+
+func (m mapCtx) Get(k string) ([]byte, bool) { v, ok := m[k]; return v, ok }
+func (m mapCtx) Put(k string, v []byte)      { m[k] = v }
+func (m mapCtx) Del(k string)                { delete(m, k) }
+
+func newBank(t *testing.T, accounts int, balance int64) mapCtx {
+	t.Helper()
+	ctx := mapCtx{}
+	c := Contract{}
+	for i := 0; i < accounts; i++ {
+		err := c.Invoke(ctx, OpCreate, []string{AccountName(i), strconv.FormatInt(balance, 10), strconv.FormatInt(balance, 10)})
+		if err != nil {
+			t.Fatal(err)
+		}
+	}
+	return ctx
+}
+
+func balance(t *testing.T, ctx mapCtx, key string) int64 {
+	t.Helper()
+	raw, ok := ctx[key]
+	if !ok {
+		t.Fatalf("missing key %s", key)
+	}
+	v, err := strconv.ParseInt(string(raw), 10, 64)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return v
+}
+
+func TestDepositWithdraw(t *testing.T) {
+	ctx := newBank(t, 2, 100)
+	c := Contract{}
+	if err := c.Invoke(ctx, OpDeposit, []string{"acct0", "50"}); err != nil {
+		t.Fatal(err)
+	}
+	if got := balance(t, ctx, "c:acct0"); got != 150 {
+		t.Fatalf("checking %d, want 150", got)
+	}
+	if err := c.Invoke(ctx, OpWithdraw, []string{"acct0", "200"}); err != nil {
+		t.Fatalf("overdraft should be permitted (WriteCheck semantics): %v", err)
+	}
+	if got := balance(t, ctx, "c:acct0"); got != -50 {
+		t.Fatalf("checking %d, want -50 after overdraft", got)
+	}
+}
+
+func TestTransferMovesFunds(t *testing.T) {
+	ctx := newBank(t, 2, 100)
+	c := Contract{}
+	if err := c.Invoke(ctx, OpTransfer, []string{"acct0", "acct1", "30"}); err != nil {
+		t.Fatal(err)
+	}
+	if balance(t, ctx, "c:acct0") != 70 || balance(t, ctx, "c:acct1") != 130 {
+		t.Fatal("transfer amounts wrong")
+	}
+	if err := c.Invoke(ctx, OpTransfer, []string{"acct0", "acct0", "1"}); err == nil {
+		t.Fatal("self-transfer should fail")
+	}
+}
+
+func TestAmalgamateDrainsSource(t *testing.T) {
+	ctx := newBank(t, 2, 100)
+	c := Contract{}
+	if err := c.Invoke(ctx, OpAmalgamate, []string{"acct0", "acct1"}); err != nil {
+		t.Fatal(err)
+	}
+	if balance(t, ctx, "c:acct0") != 0 || balance(t, ctx, "s:acct0") != 0 {
+		t.Fatal("amalgamate should zero the source")
+	}
+	if balance(t, ctx, "c:acct1") != 300 {
+		t.Fatalf("destination checking %d, want 300", balance(t, ctx, "c:acct1"))
+	}
+}
+
+func TestQueryAndErrors(t *testing.T) {
+	ctx := newBank(t, 1, 100)
+	c := Contract{}
+	if err := c.Invoke(ctx, OpQuery, []string{"acct0"}); err != nil {
+		t.Fatal(err)
+	}
+	if err := c.Invoke(ctx, OpQuery, []string{"ghost"}); err == nil {
+		t.Fatal("query of unknown account should fail")
+	}
+	if err := c.Invoke(ctx, OpDeposit, []string{"ghost", "1"}); err == nil {
+		t.Fatal("deposit to unknown account should fail")
+	}
+	if err := c.Invoke(ctx, OpDeposit, []string{"acct0", "-5"}); err == nil {
+		t.Fatal("negative deposit should fail")
+	}
+	if err := c.Invoke(ctx, OpDeposit, []string{"acct0"}); err == nil {
+		t.Fatal("wrong arity should fail")
+	}
+	if err := c.Invoke(ctx, "melt", nil); err == nil {
+		t.Fatal("unknown op should fail")
+	}
+}
+
+func TestGasWeights(t *testing.T) {
+	c := Contract{}
+	if c.Gas(OpTransfer) <= c.Gas(OpDeposit) {
+		t.Fatal("two-account ops should cost more gas")
+	}
+	if c.Gas("unknown") == 0 {
+		t.Fatal("unknown op gas should default non-zero")
+	}
+}
+
+// TestConservationQuick property-tests that any sequence of deposits,
+// withdrawals, transfers and amalgamations changes total funds only by the
+// net deposit/withdraw flow.
+func TestConservationQuick(t *testing.T) {
+	const accounts = 5
+	type op struct {
+		Kind uint8
+		A, B uint8
+		Amt  uint16
+	}
+	prop := func(ops []op) bool {
+		ctx := mapCtx{}
+		c := Contract{}
+		for i := 0; i < accounts; i++ {
+			if err := c.Invoke(ctx, OpCreate, []string{AccountName(i), "1000", "1000"}); err != nil {
+				return false
+			}
+		}
+		var net int64
+		for _, o := range ops {
+			a := AccountName(int(o.A) % accounts)
+			b := AccountName(int(o.B) % accounts)
+			amt := strconv.Itoa(int(o.Amt))
+			switch o.Kind % 4 {
+			case 0:
+				if c.Invoke(ctx, OpDeposit, []string{a, amt}) == nil {
+					net += int64(o.Amt)
+				}
+			case 1:
+				if c.Invoke(ctx, OpWithdraw, []string{a, amt}) == nil {
+					net -= int64(o.Amt)
+				}
+			case 2:
+				_ = c.Invoke(ctx, OpTransfer, []string{a, b, amt}) // conserves
+			case 3:
+				_ = c.Invoke(ctx, OpAmalgamate, []string{a, b}) // conserves
+			}
+		}
+		total, err := TotalBalance(ctx.Get, accounts)
+		if err != nil {
+			return false
+		}
+		return total == int64(accounts)*2000+net
+	}
+	if err := quick.Check(prop, &quick.Config{MaxCount: 300}); err != nil {
+		t.Fatal(err)
+	}
+}

@@ -1,0 +1,211 @@
+// Package kvstore is the in-memory key-value store standing in for the Redis
+// cluster of the paper's architecture (§III-A): the Hammer server pushes
+// vector-list state into it during execution, and the visualization phase
+// periodically drains it into the SQL table store. It supports TTLs,
+// pipelined multi-key operations and atomic counters, and shards its keyspace
+// across independently locked segments for concurrent access.
+package kvstore
+
+import (
+	"sort"
+	"strconv"
+	"strings"
+	"sync"
+	"time"
+)
+
+// shardCount is the number of lock-independent keyspace segments.
+const shardCount = 16
+
+type entry struct {
+	value []byte
+	// expiresAt is the wall-clock deadline; zero means no TTL.
+	expiresAt time.Time
+}
+
+type shard struct {
+	mu   sync.RWMutex
+	data map[string]entry
+}
+
+// Store is a sharded, TTL-aware key-value store. Construct with New.
+type Store struct {
+	shards [shardCount]*shard
+	clock  func() time.Time
+}
+
+// New returns an empty store.
+func New() *Store {
+	s := &Store{clock: time.Now}
+	for i := range s.shards {
+		s.shards[i] = &shard{data: make(map[string]entry)}
+	}
+	return s
+}
+
+// WithClock overrides the time source (tests).
+func (s *Store) WithClock(clock func() time.Time) *Store {
+	s.clock = clock
+	return s
+}
+
+func (s *Store) shardFor(key string) *shard {
+	var h uint32 = 2166136261
+	for i := 0; i < len(key); i++ {
+		h ^= uint32(key[i])
+		h *= 16777619
+	}
+	return s.shards[h%shardCount]
+}
+
+// Set stores key with no TTL.
+func (s *Store) Set(key string, value []byte) {
+	s.SetTTL(key, value, 0)
+}
+
+// SetTTL stores key, expiring after ttl (0 keeps it forever).
+func (s *Store) SetTTL(key string, value []byte, ttl time.Duration) {
+	sh := s.shardFor(key)
+	v := make([]byte, len(value))
+	copy(v, value)
+	e := entry{value: v}
+	if ttl > 0 {
+		e.expiresAt = s.clock().Add(ttl)
+	}
+	sh.mu.Lock()
+	sh.data[key] = e
+	sh.mu.Unlock()
+}
+
+// Get returns a copy of key's value; ok is false for absent or expired keys.
+func (s *Store) Get(key string) ([]byte, bool) {
+	sh := s.shardFor(key)
+	sh.mu.RLock()
+	e, ok := sh.data[key]
+	sh.mu.RUnlock()
+	if !ok {
+		return nil, false
+	}
+	if !e.expiresAt.IsZero() && s.clock().After(e.expiresAt) {
+		s.Del(key)
+		return nil, false
+	}
+	v := make([]byte, len(e.value))
+	copy(v, e.value)
+	return v, true
+}
+
+// Del removes key, reporting whether it existed.
+func (s *Store) Del(key string) bool {
+	sh := s.shardFor(key)
+	sh.mu.Lock()
+	_, ok := sh.data[key]
+	delete(sh.data, key)
+	sh.mu.Unlock()
+	return ok
+}
+
+// Incr atomically adds delta to the integer at key (absent keys start at 0)
+// and returns the new value.
+func (s *Store) Incr(key string, delta int64) int64 {
+	sh := s.shardFor(key)
+	sh.mu.Lock()
+	defer sh.mu.Unlock()
+	var cur int64
+	if e, ok := sh.data[key]; ok {
+		if !e.expiresAt.IsZero() && s.clock().After(e.expiresAt) {
+			delete(sh.data, key)
+		} else if v, err := strconv.ParseInt(string(e.value), 10, 64); err == nil {
+			cur = v
+		}
+	}
+	cur += delta
+	sh.data[key] = entry{value: []byte(strconv.FormatInt(cur, 10))}
+	return cur
+}
+
+// MSet stores every pair in one call (pipelined write).
+func (s *Store) MSet(pairs map[string][]byte) {
+	for k, v := range pairs {
+		s.Set(k, v)
+	}
+}
+
+// MGet fetches every key in one call; missing keys map to nil.
+func (s *Store) MGet(keys ...string) map[string][]byte {
+	out := make(map[string][]byte, len(keys))
+	for _, k := range keys {
+		if v, ok := s.Get(k); ok {
+			out[k] = v
+		} else {
+			out[k] = nil
+		}
+	}
+	return out
+}
+
+// Keys returns all live keys with the given prefix, sorted.
+func (s *Store) Keys(prefix string) []string {
+	now := s.clock()
+	var keys []string
+	for _, sh := range s.shards {
+		sh.mu.RLock()
+		for k, e := range sh.data {
+			if !strings.HasPrefix(k, prefix) {
+				continue
+			}
+			if !e.expiresAt.IsZero() && now.After(e.expiresAt) {
+				continue
+			}
+			keys = append(keys, k)
+		}
+		sh.mu.RUnlock()
+	}
+	sort.Strings(keys)
+	return keys
+}
+
+// Expire sets a TTL on an existing key, reporting whether the key exists.
+func (s *Store) Expire(key string, ttl time.Duration) bool {
+	sh := s.shardFor(key)
+	sh.mu.Lock()
+	defer sh.mu.Unlock()
+	e, ok := sh.data[key]
+	if !ok {
+		return false
+	}
+	if ttl > 0 {
+		e.expiresAt = s.clock().Add(ttl)
+	} else {
+		e.expiresAt = time.Time{}
+	}
+	sh.data[key] = e
+	return true
+}
+
+// Len reports the number of live keys (expired keys are swept on the way).
+func (s *Store) Len() int {
+	now := s.clock()
+	n := 0
+	for _, sh := range s.shards {
+		sh.mu.Lock()
+		for k, e := range sh.data {
+			if !e.expiresAt.IsZero() && now.After(e.expiresAt) {
+				delete(sh.data, k)
+				continue
+			}
+			n++
+		}
+		sh.mu.Unlock()
+	}
+	return n
+}
+
+// Flush removes everything.
+func (s *Store) Flush() {
+	for _, sh := range s.shards {
+		sh.mu.Lock()
+		sh.data = make(map[string]entry)
+		sh.mu.Unlock()
+	}
+}

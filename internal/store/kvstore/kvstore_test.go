@@ -1,0 +1,128 @@
+package kvstore
+
+import (
+	"fmt"
+	"sync"
+	"testing"
+	"time"
+)
+
+func TestSetGetDel(t *testing.T) {
+	s := New()
+	if _, ok := s.Get("k"); ok {
+		t.Fatal("empty store should miss")
+	}
+	s.Set("k", []byte("v"))
+	v, ok := s.Get("k")
+	if !ok || string(v) != "v" {
+		t.Fatalf("got %q ok=%v", v, ok)
+	}
+	if !s.Del("k") {
+		t.Fatal("delete should report existence")
+	}
+	if s.Del("k") {
+		t.Fatal("double delete should report false")
+	}
+}
+
+func TestValueIsolation(t *testing.T) {
+	s := New()
+	buf := []byte("abc")
+	s.Set("k", buf)
+	buf[0] = 'z'
+	v, _ := s.Get("k")
+	if string(v) != "abc" {
+		t.Fatal("stored value must be isolated from the caller's buffer")
+	}
+	v[0] = 'q'
+	again, _ := s.Get("k")
+	if string(again) != "abc" {
+		t.Fatal("returned value must be a copy")
+	}
+}
+
+func TestTTLExpiry(t *testing.T) {
+	now := time.Unix(0, 0)
+	s := New().WithClock(func() time.Time { return now })
+	s.SetTTL("k", []byte("v"), time.Second)
+	if _, ok := s.Get("k"); !ok {
+		t.Fatal("fresh key should be readable")
+	}
+	now = now.Add(2 * time.Second)
+	if _, ok := s.Get("k"); ok {
+		t.Fatal("expired key should miss")
+	}
+}
+
+func TestExpire(t *testing.T) {
+	now := time.Unix(0, 0)
+	s := New().WithClock(func() time.Time { return now })
+	s.Set("k", []byte("v"))
+	if !s.Expire("k", time.Second) {
+		t.Fatal("expire should find the key")
+	}
+	if s.Expire("ghost", time.Second) {
+		t.Fatal("expire on absent key should report false")
+	}
+	now = now.Add(2 * time.Second)
+	if _, ok := s.Get("k"); ok {
+		t.Fatal("key should have expired")
+	}
+}
+
+func TestIncr(t *testing.T) {
+	s := New()
+	if got := s.Incr("n", 5); got != 5 {
+		t.Fatalf("incr from empty = %d", got)
+	}
+	if got := s.Incr("n", -2); got != 3 {
+		t.Fatalf("incr by -2 = %d", got)
+	}
+	v, _ := s.Get("n")
+	if string(v) != "3" {
+		t.Fatalf("stored %q", v)
+	}
+}
+
+func TestMSetMGetKeys(t *testing.T) {
+	s := New()
+	s.MSet(map[string][]byte{"a:1": []byte("x"), "a:2": []byte("y"), "b:1": []byte("z")})
+	got := s.MGet("a:1", "a:2", "ghost")
+	if string(got["a:1"]) != "x" || string(got["a:2"]) != "y" || got["ghost"] != nil {
+		t.Fatalf("mget %v", got)
+	}
+	keys := s.Keys("a:")
+	if len(keys) != 2 || keys[0] != "a:1" || keys[1] != "a:2" {
+		t.Fatalf("keys %v", keys)
+	}
+	if s.Len() != 3 {
+		t.Fatalf("len %d", s.Len())
+	}
+	s.Flush()
+	if s.Len() != 0 {
+		t.Fatal("flush should empty the store")
+	}
+}
+
+func TestConcurrentAccess(t *testing.T) {
+	s := New()
+	var wg sync.WaitGroup
+	for w := 0; w < 8; w++ {
+		w := w
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for i := 0; i < 500; i++ {
+				key := fmt.Sprintf("w%d:%d", w, i%50)
+				s.Set(key, []byte{byte(i)})
+				s.Get(key)
+				s.Incr("counter", 1)
+			}
+		}()
+	}
+	wg.Wait()
+	v, _ := s.Get("counter")
+	if string(v) != "4000" {
+		t.Fatalf("counter %q, want 4000", v)
+	}
+}

@@ -1,0 +1,692 @@
+package minisql
+
+import (
+	"fmt"
+	"math"
+	"sort"
+	"strings"
+	"time"
+
+	"hammer/internal/store/tablestore"
+)
+
+// Result is the rowset a query produces.
+type Result struct {
+	Cols []string
+	Rows []tablestore.Row
+}
+
+// Query parses and evaluates sql against the store.
+func Query(store *tablestore.Store, sql string) (*Result, error) {
+	sel, err := Parse(sql)
+	if err != nil {
+		return nil, err
+	}
+	return Eval(store, sel)
+}
+
+// Eval evaluates a parsed SELECT.
+func Eval(store *tablestore.Store, sel *Select) (*Result, error) {
+	table, err := store.Table(sel.From)
+	if err != nil {
+		return nil, err
+	}
+	env := &env{table: table}
+
+	var res *Result
+	switch {
+	case len(sel.GroupBy) > 0:
+		res, err = evalGroupBy(env, sel)
+	case hasAggregate(sel):
+		res, err = evalAggregate(env, sel)
+	default:
+		res, err = evalScan(env, sel)
+	}
+	if err != nil {
+		return nil, err
+	}
+	if err := orderRows(res, sel.OrderBy); err != nil {
+		return nil, err
+	}
+	if sel.Limit >= 0 && len(res.Rows) > sel.Limit {
+		res.Rows = res.Rows[:sel.Limit]
+	}
+	return res, nil
+}
+
+// orderRows sorts the result by the named output columns.
+func orderRows(res *Result, keys []OrderKey) error {
+	if len(keys) == 0 {
+		return nil
+	}
+	idx := make([]int, len(keys))
+	for i, k := range keys {
+		found := -1
+		for c, name := range res.Cols {
+			if strings.EqualFold(name, k.Column) {
+				found = c
+				break
+			}
+		}
+		if found < 0 {
+			return fmt.Errorf("minisql: ORDER BY column %q not in output", k.Column)
+		}
+		idx[i] = found
+	}
+	sort.SliceStable(res.Rows, func(a, b int) bool {
+		for i, k := range keys {
+			va, vb := res.Rows[a][idx[i]], res.Rows[b][idx[i]]
+			c := compareValues(va, vb)
+			if c == 0 {
+				continue
+			}
+			if k.Desc {
+				return c > 0
+			}
+			return c < 0
+		}
+		return false
+	})
+	return nil
+}
+
+// compareValues orders two cells: numerics numerically, strings
+// lexicographically; mixed kinds order numbers before strings.
+func compareValues(a, b tablestore.Value) int {
+	fa, oka := a.AsFloat()
+	fb, okb := b.AsFloat()
+	switch {
+	case oka && okb:
+		switch {
+		case fa < fb:
+			return -1
+		case fa > fb:
+			return 1
+		}
+		return 0
+	case oka:
+		return -1
+	case okb:
+		return 1
+	default:
+		return strings.Compare(a.S, b.S)
+	}
+}
+
+// evalGroupBy aggregates per group of the GROUP BY columns. Select items
+// must be either grouped columns or aggregate calls.
+func evalGroupBy(e *env, sel *Select) (*Result, error) {
+	groupIdx := make([]int, len(sel.GroupBy))
+	for i, name := range sel.GroupBy {
+		gi, err := e.columnIndex(name)
+		if err != nil {
+			return nil, err
+		}
+		groupIdx[i] = gi
+	}
+	// Classify select items: grouped column reference or aggregate.
+	type itemPlan struct {
+		groupPos int // index into groupIdx, or -1
+		fc       *FuncCall
+	}
+	plans := make([]itemPlan, len(sel.Items))
+	for i, item := range sel.Items {
+		if ref, ok := item.Expr.(*ColumnRef); ok {
+			pos := -1
+			for gi, name := range sel.GroupBy {
+				if strings.EqualFold(name, ref.Name) {
+					pos = gi
+					break
+				}
+			}
+			if pos < 0 {
+				return nil, fmt.Errorf("minisql: column %q must appear in GROUP BY or an aggregate", ref.Name)
+			}
+			plans[i] = itemPlan{groupPos: pos}
+			continue
+		}
+		fc, ok := item.Expr.(*FuncCall)
+		if !ok || !exprHasAggregate(item.Expr) {
+			return nil, fmt.Errorf("minisql: select item %d must be a grouped column or aggregate", i+1)
+		}
+		plans[i] = itemPlan{groupPos: -1, fc: fc}
+	}
+
+	type group struct {
+		key    []tablestore.Value
+		states []*aggState
+	}
+	groups := map[string]*group{}
+	var order []string
+
+	newStates := func() ([]*aggState, error) {
+		states := make([]*aggState, len(plans))
+		for i, pl := range plans {
+			if pl.fc == nil {
+				continue
+			}
+			st := &aggState{fn: pl.fc.Name}
+			if len(pl.fc.Args) == 1 {
+				if _, isStar := pl.fc.Args[0].(*Star); !isStar {
+					st.arg = pl.fc.Args[0]
+				}
+			} else if len(pl.fc.Args) != 0 {
+				return nil, fmt.Errorf("minisql: %s takes one argument", pl.fc.Name)
+			}
+			states[i] = st
+		}
+		return states, nil
+	}
+
+	var evalErr error
+	e.table.Scan(func(row tablestore.Row) bool {
+		e.row = row
+		if sel.Where != nil {
+			keep, err := evalBool(e, sel.Where)
+			if err != nil {
+				evalErr = err
+				return false
+			}
+			if !keep {
+				return true
+			}
+		}
+		keyParts := make([]string, len(groupIdx))
+		keyVals := make([]tablestore.Value, len(groupIdx))
+		for i, gi := range groupIdx {
+			keyVals[i] = row[gi]
+			keyParts[i] = row[gi].String()
+		}
+		key := strings.Join(keyParts, "\x1f")
+		g, ok := groups[key]
+		if !ok {
+			states, err := newStates()
+			if err != nil {
+				evalErr = err
+				return false
+			}
+			g = &group{key: keyVals, states: states}
+			groups[key] = g
+			order = append(order, key)
+		}
+		for _, st := range g.states {
+			if st == nil {
+				continue
+			}
+			if err := st.feed(e); err != nil {
+				evalErr = err
+				return false
+			}
+		}
+		return true
+	})
+	if evalErr != nil {
+		return nil, evalErr
+	}
+
+	res := &Result{}
+	for i, item := range sel.Items {
+		res.Cols = append(res.Cols, itemName(e, item, i))
+	}
+	for _, key := range order {
+		g := groups[key]
+		row := make(tablestore.Row, len(plans))
+		for i, pl := range plans {
+			if pl.fc == nil {
+				row[i] = g.key[pl.groupPos]
+			} else {
+				row[i] = g.states[i].result()
+			}
+		}
+		res.Rows = append(res.Rows, row)
+	}
+	return res, nil
+}
+
+// env resolves column references against one table, case-insensitively.
+type env struct {
+	table *tablestore.Table
+	row   tablestore.Row
+}
+
+func (e *env) columnIndex(name string) (int, error) {
+	if i, ok := e.table.ColumnIndex(name); ok {
+		return i, nil
+	}
+	for i, c := range e.table.Columns() {
+		if strings.EqualFold(c.Name, name) {
+			return i, nil
+		}
+	}
+	return 0, fmt.Errorf("minisql: no column %q in table %q", name, e.table.Name())
+}
+
+func hasAggregate(sel *Select) bool {
+	for _, item := range sel.Items {
+		if exprHasAggregate(item.Expr) {
+			return true
+		}
+	}
+	return false
+}
+
+func exprHasAggregate(e Expr) bool {
+	switch x := e.(type) {
+	case *FuncCall:
+		switch x.Name {
+		case "COUNT", "SUM", "AVG", "MIN", "MAX":
+			return true
+		}
+		for _, a := range x.Args {
+			if exprHasAggregate(a) {
+				return true
+			}
+		}
+	case *BinaryExpr:
+		return exprHasAggregate(x.L) || exprHasAggregate(x.R)
+	case *UnaryExpr:
+		return exprHasAggregate(x.X)
+	}
+	return false
+}
+
+// evalScan projects each matching row.
+func evalScan(env *env, sel *Select) (*Result, error) {
+	res := &Result{}
+	for i, item := range sel.Items {
+		res.Cols = append(res.Cols, itemName(env, item, i))
+	}
+	var evalErr error
+	env.table.Scan(func(row tablestore.Row) bool {
+		env.row = row
+		if sel.Where != nil {
+			keep, err := evalBool(env, sel.Where)
+			if err != nil {
+				evalErr = err
+				return false
+			}
+			if !keep {
+				return true
+			}
+		}
+		var out tablestore.Row
+		for _, item := range sel.Items {
+			if _, isStar := item.Expr.(*Star); isStar {
+				out = append(out, row...)
+				continue
+			}
+			v, err := evalExpr(env, item.Expr)
+			if err != nil {
+				evalErr = err
+				return false
+			}
+			out = append(out, v)
+		}
+		res.Rows = append(res.Rows, out)
+		return true
+	})
+	if evalErr != nil {
+		return nil, evalErr
+	}
+	// Expand * into column names.
+	if len(sel.Items) == 1 {
+		if _, isStar := sel.Items[0].Expr.(*Star); isStar {
+			res.Cols = nil
+			for _, c := range env.table.Columns() {
+				res.Cols = append(res.Cols, c.Name)
+			}
+		}
+	}
+	return res, nil
+}
+
+func itemName(env *env, item SelectItem, idx int) string {
+	if item.Alias != "" {
+		return item.Alias
+	}
+	return item.Expr.String()
+}
+
+// aggState accumulates one aggregate function.
+type aggState struct {
+	fn    string
+	arg   Expr // nil for COUNT(*)
+	count int64
+	sum   float64
+	min   float64
+	max   float64
+	seen  bool
+}
+
+func (a *aggState) feed(env *env) error {
+	if a.fn == "COUNT" && a.arg == nil {
+		a.count++
+		return nil
+	}
+	v, err := evalExpr(env, a.arg)
+	if err != nil {
+		return err
+	}
+	f, ok := v.AsFloat()
+	if !ok {
+		if a.fn == "COUNT" {
+			a.count++
+			return nil
+		}
+		return fmt.Errorf("minisql: %s over non-numeric value %q", a.fn, v.S)
+	}
+	a.count++
+	a.sum += f
+	if !a.seen || f < a.min {
+		a.min = f
+	}
+	if !a.seen || f > a.max {
+		a.max = f
+	}
+	a.seen = true
+	return nil
+}
+
+func (a *aggState) result() tablestore.Value {
+	switch a.fn {
+	case "COUNT":
+		return tablestore.Int(a.count)
+	case "SUM":
+		return tablestore.Float(a.sum)
+	case "AVG":
+		if a.count == 0 {
+			return tablestore.Float(math.NaN())
+		}
+		return tablestore.Float(a.sum / float64(a.count))
+	case "MIN":
+		return tablestore.Float(a.min)
+	case "MAX":
+		return tablestore.Float(a.max)
+	}
+	return tablestore.Value{}
+}
+
+// evalAggregate runs a single-group aggregation query.
+func evalAggregate(env *env, sel *Select) (*Result, error) {
+	states := make([]*aggState, len(sel.Items))
+	for i, item := range sel.Items {
+		fc, ok := item.Expr.(*FuncCall)
+		if !ok || !exprHasAggregate(item.Expr) {
+			return nil, fmt.Errorf("minisql: mixing aggregates and row expressions is unsupported (item %d)", i+1)
+		}
+		st := &aggState{fn: fc.Name}
+		if len(fc.Args) == 1 {
+			if _, isStar := fc.Args[0].(*Star); !isStar {
+				st.arg = fc.Args[0]
+			}
+		} else if len(fc.Args) != 0 {
+			return nil, fmt.Errorf("minisql: %s takes one argument", fc.Name)
+		}
+		states[i] = st
+	}
+	var evalErr error
+	env.table.Scan(func(row tablestore.Row) bool {
+		env.row = row
+		if sel.Where != nil {
+			keep, err := evalBool(env, sel.Where)
+			if err != nil {
+				evalErr = err
+				return false
+			}
+			if !keep {
+				return true
+			}
+		}
+		for _, st := range states {
+			if err := st.feed(env); err != nil {
+				evalErr = err
+				return false
+			}
+		}
+		return true
+	})
+	if evalErr != nil {
+		return nil, evalErr
+	}
+	res := &Result{}
+	row := make(tablestore.Row, len(states))
+	for i, item := range sel.Items {
+		res.Cols = append(res.Cols, itemName(env, item, i))
+		row[i] = states[i].result()
+	}
+	res.Rows = append(res.Rows, row)
+	return res, nil
+}
+
+func evalBool(env *env, e Expr) (bool, error) {
+	v, err := evalExpr(env, e)
+	if err != nil {
+		return false, err
+	}
+	f, ok := v.AsFloat()
+	if !ok {
+		return v.S != "", nil
+	}
+	return f != 0, nil
+}
+
+func evalExpr(env *env, e Expr) (tablestore.Value, error) {
+	switch x := e.(type) {
+	case *NumberLit:
+		if x.IsInt {
+			return tablestore.Int(x.Int), nil
+		}
+		return tablestore.Float(x.Value), nil
+	case *StringLit:
+		return tablestore.Str(x.Value), nil
+	case *ColumnRef:
+		i, err := env.columnIndex(x.Name)
+		if err != nil {
+			return tablestore.Value{}, err
+		}
+		return env.row[i], nil
+	case *UnaryExpr:
+		v, err := evalExpr(env, x.X)
+		if err != nil {
+			return tablestore.Value{}, err
+		}
+		f, ok := v.AsFloat()
+		if !ok {
+			return tablestore.Value{}, fmt.Errorf("minisql: cannot negate string %q", v.S)
+		}
+		if v.Kind == tablestore.KindInt64 {
+			return tablestore.Int(-v.I), nil
+		}
+		return tablestore.Float(-f), nil
+	case *BinaryExpr:
+		return evalBinary(env, x)
+	case *FuncCall:
+		return evalFunc(env, x)
+	case *Star:
+		return tablestore.Value{}, fmt.Errorf("minisql: * is only valid bare or inside COUNT")
+	default:
+		return tablestore.Value{}, fmt.Errorf("minisql: unsupported expression %T", e)
+	}
+}
+
+func evalBinary(env *env, x *BinaryExpr) (tablestore.Value, error) {
+	switch x.Op {
+	case "AND":
+		l, err := evalBool(env, x.L)
+		if err != nil {
+			return tablestore.Value{}, err
+		}
+		if !l {
+			return tablestore.Int(0), nil
+		}
+		r, err := evalBool(env, x.R)
+		if err != nil {
+			return tablestore.Value{}, err
+		}
+		return boolVal(r), nil
+	case "OR":
+		l, err := evalBool(env, x.L)
+		if err != nil {
+			return tablestore.Value{}, err
+		}
+		if l {
+			return tablestore.Int(1), nil
+		}
+		r, err := evalBool(env, x.R)
+		if err != nil {
+			return tablestore.Value{}, err
+		}
+		return boolVal(r), nil
+	}
+
+	l, err := evalExpr(env, x.L)
+	if err != nil {
+		return tablestore.Value{}, err
+	}
+	r, err := evalExpr(env, x.R)
+	if err != nil {
+		return tablestore.Value{}, err
+	}
+
+	switch x.Op {
+	case "=":
+		return boolVal(compareEq(l, r)), nil
+	case "!=":
+		return boolVal(!compareEq(l, r)), nil
+	case "<", "<=", ">", ">=":
+		lf, lok := l.AsFloat()
+		rf, rok := r.AsFloat()
+		if !lok || !rok {
+			// String ordering for string-string comparisons.
+			if l.Kind == tablestore.KindString && r.Kind == tablestore.KindString {
+				return boolVal(cmpOrder(strings.Compare(l.S, r.S), x.Op)), nil
+			}
+			return tablestore.Value{}, fmt.Errorf("minisql: cannot order %v against %v", l.Kind, r.Kind)
+		}
+		var c int
+		switch {
+		case lf < rf:
+			c = -1
+		case lf > rf:
+			c = 1
+		}
+		return boolVal(cmpOrder(c, x.Op)), nil
+	case "+", "-", "*", "/":
+		lf, lok := l.AsFloat()
+		rf, rok := r.AsFloat()
+		if !lok || !rok {
+			return tablestore.Value{}, fmt.Errorf("minisql: arithmetic on non-numeric operands")
+		}
+		var out float64
+		switch x.Op {
+		case "+":
+			out = lf + rf
+		case "-":
+			out = lf - rf
+		case "*":
+			out = lf * rf
+		case "/":
+			if rf == 0 {
+				return tablestore.Value{}, fmt.Errorf("minisql: division by zero")
+			}
+			out = lf / rf
+		}
+		if l.Kind == tablestore.KindInt64 && r.Kind == tablestore.KindInt64 && x.Op != "/" {
+			return tablestore.Int(int64(out)), nil
+		}
+		return tablestore.Float(out), nil
+	}
+	return tablestore.Value{}, fmt.Errorf("minisql: unsupported operator %q", x.Op)
+}
+
+func cmpOrder(c int, op string) bool {
+	switch op {
+	case "<":
+		return c < 0
+	case "<=":
+		return c <= 0
+	case ">":
+		return c > 0
+	case ">=":
+		return c >= 0
+	}
+	return false
+}
+
+func compareEq(l, r tablestore.Value) bool {
+	if l.Kind == tablestore.KindString || r.Kind == tablestore.KindString {
+		return l.Kind == r.Kind && l.S == r.S
+	}
+	lf, _ := l.AsFloat()
+	rf, _ := r.AsFloat()
+	return lf == rf
+}
+
+func boolVal(b bool) tablestore.Value {
+	if b {
+		return tablestore.Int(1)
+	}
+	return tablestore.Int(0)
+}
+
+// timestampUnits maps TIMESTAMPDIFF units to nanoseconds. Time columns store
+// int64 nanoseconds.
+var timestampUnits = map[string]int64{
+	"MICROSECOND": int64(time.Microsecond),
+	"MILLISECOND": int64(time.Millisecond),
+	"SECOND":      int64(time.Second),
+	"MINUTE":      int64(time.Minute),
+	"HOUR":        int64(time.Hour),
+}
+
+func evalFunc(env *env, fc *FuncCall) (tablestore.Value, error) {
+	switch fc.Name {
+	case "TIMESTAMPDIFF":
+		if len(fc.Args) != 3 {
+			return tablestore.Value{}, fmt.Errorf("minisql: TIMESTAMPDIFF wants (unit, start, end)")
+		}
+		unitRef, ok := fc.Args[0].(*ColumnRef)
+		if !ok {
+			return tablestore.Value{}, fmt.Errorf("minisql: TIMESTAMPDIFF unit must be an identifier")
+		}
+		unitNs, ok := timestampUnits[strings.ToUpper(unitRef.Name)]
+		if !ok {
+			return tablestore.Value{}, fmt.Errorf("minisql: unsupported TIMESTAMPDIFF unit %q", unitRef.Name)
+		}
+		start, err := evalExpr(env, fc.Args[1])
+		if err != nil {
+			return tablestore.Value{}, err
+		}
+		end, err := evalExpr(env, fc.Args[2])
+		if err != nil {
+			return tablestore.Value{}, err
+		}
+		sf, sok := start.AsFloat()
+		ef, eok := end.AsFloat()
+		if !sok || !eok {
+			return tablestore.Value{}, fmt.Errorf("minisql: TIMESTAMPDIFF over non-numeric timestamps")
+		}
+		return tablestore.Int(int64((ef - sf) / float64(unitNs))), nil
+	case "ABS":
+		if len(fc.Args) != 1 {
+			return tablestore.Value{}, fmt.Errorf("minisql: ABS wants one argument")
+		}
+		v, err := evalExpr(env, fc.Args[0])
+		if err != nil {
+			return tablestore.Value{}, err
+		}
+		f, ok := v.AsFloat()
+		if !ok {
+			return tablestore.Value{}, fmt.Errorf("minisql: ABS over non-numeric value")
+		}
+		if v.Kind == tablestore.KindInt64 {
+			if v.I < 0 {
+				return tablestore.Int(-v.I), nil
+			}
+			return v, nil
+		}
+		return tablestore.Float(math.Abs(f)), nil
+	default:
+		return tablestore.Value{}, fmt.Errorf("minisql: unknown function %q", fc.Name)
+	}
+}

@@ -1,0 +1,155 @@
+// Package minisql is a small SQL engine — lexer, recursive-descent parser
+// and evaluator — sufficient to run the statement family the paper uses for
+// its metrics (Table II): SELECT lists with aliases, aggregates
+// (COUNT/SUM/AVG/MIN/MAX), arithmetic, comparisons, AND/OR, and the
+// TIMESTAMPDIFF function over the tablestore's Performance table.
+package minisql
+
+import (
+	"fmt"
+	"strings"
+	"unicode"
+)
+
+type tokenKind int
+
+const (
+	tokEOF tokenKind = iota + 1
+	tokIdent
+	tokNumber
+	tokString
+	tokComma
+	tokLParen
+	tokRParen
+	tokStar
+	tokPlus
+	tokMinus
+	tokSlash
+	tokEq
+	tokNeq
+	tokLt
+	tokLte
+	tokGt
+	tokGte
+)
+
+type token struct {
+	kind tokenKind
+	text string
+	pos  int
+}
+
+func (t token) String() string {
+	if t.kind == tokEOF {
+		return "end of input"
+	}
+	return fmt.Sprintf("%q", t.text)
+}
+
+// lex tokenises a statement. SQL keywords are returned as identifiers; the
+// parser treats identifier matching case-insensitively.
+func lex(input string) ([]token, error) {
+	var toks []token
+	i := 0
+	n := len(input)
+	for i < n {
+		c := input[i]
+		switch {
+		case c == ' ' || c == '\t' || c == '\n' || c == '\r':
+			i++
+		case c == ',':
+			toks = append(toks, token{tokComma, ",", i})
+			i++
+		case c == '(':
+			toks = append(toks, token{tokLParen, "(", i})
+			i++
+		case c == ')':
+			toks = append(toks, token{tokRParen, ")", i})
+			i++
+		case c == '*':
+			toks = append(toks, token{tokStar, "*", i})
+			i++
+		case c == '+':
+			toks = append(toks, token{tokPlus, "+", i})
+			i++
+		case c == '-':
+			toks = append(toks, token{tokMinus, "-", i})
+			i++
+		case c == '/':
+			toks = append(toks, token{tokSlash, "/", i})
+			i++
+		case c == '=':
+			toks = append(toks, token{tokEq, "=", i})
+			i++
+		case c == '!':
+			if i+1 < n && input[i+1] == '=' {
+				toks = append(toks, token{tokNeq, "!=", i})
+				i += 2
+			} else {
+				return nil, fmt.Errorf("minisql: unexpected %q at position %d", c, i)
+			}
+		case c == '<':
+			switch {
+			case i+1 < n && input[i+1] == '=':
+				toks = append(toks, token{tokLte, "<=", i})
+				i += 2
+			case i+1 < n && input[i+1] == '>':
+				toks = append(toks, token{tokNeq, "<>", i})
+				i += 2
+			default:
+				toks = append(toks, token{tokLt, "<", i})
+				i++
+			}
+		case c == '>':
+			if i+1 < n && input[i+1] == '=' {
+				toks = append(toks, token{tokGte, ">=", i})
+				i += 2
+			} else {
+				toks = append(toks, token{tokGt, ">", i})
+				i++
+			}
+		case c == '\'':
+			j := i + 1
+			var sb strings.Builder
+			for j < n && input[j] != '\'' {
+				sb.WriteByte(input[j])
+				j++
+			}
+			if j >= n {
+				return nil, fmt.Errorf("minisql: unterminated string starting at position %d", i)
+			}
+			toks = append(toks, token{tokString, sb.String(), i})
+			i = j + 1
+		case c >= '0' && c <= '9':
+			j := i
+			seenDot := false
+			for j < n && (input[j] >= '0' && input[j] <= '9' || (input[j] == '.' && !seenDot)) {
+				if input[j] == '.' {
+					seenDot = true
+				}
+				j++
+			}
+			toks = append(toks, token{tokNumber, input[i:j], i})
+			i = j
+		case isIdentStart(rune(c)):
+			j := i
+			for j < n && isIdentPart(rune(input[j])) {
+				j++
+			}
+			toks = append(toks, token{tokIdent, input[i:j], i})
+			i = j
+		default:
+			return nil, fmt.Errorf("minisql: unexpected %q at position %d", c, i)
+		}
+	}
+	toks = append(toks, token{tokEOF, "", n})
+	return toks, nil
+}
+
+func isIdentStart(r rune) bool {
+	return unicode.IsLetter(r) || r == '_'
+}
+
+func isIdentPart(r rune) bool {
+	return unicode.IsLetter(r) || unicode.IsDigit(r) || r == '_' || r == '.'
+}

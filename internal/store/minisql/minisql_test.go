@@ -1,0 +1,317 @@
+package minisql
+
+import (
+	"strings"
+	"testing"
+	"time"
+
+	"hammer/internal/store/tablestore"
+)
+
+// perfStore builds the Performance table the paper's Table II queries run
+// against, with known latencies.
+func perfStore(t *testing.T) *tablestore.Store {
+	t.Helper()
+	s := tablestore.New()
+	tbl, err := s.CreateTable("Performance", []tablestore.Column{
+		{Name: "tx_id", Kind: tablestore.KindString},
+		{Name: "status", Kind: tablestore.KindString},
+		{Name: "start_time", Kind: tablestore.KindInt64},
+		{Name: "end_time", Kind: tablestore.KindInt64},
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	rows := []struct {
+		id      string
+		status  string
+		latency time.Duration
+	}{
+		{"t1", "1", 200 * time.Millisecond},
+		{"t2", "1", 900 * time.Millisecond},
+		{"t3", "1", 1500 * time.Millisecond}, // committed but slow
+		{"t4", "0", 100 * time.Millisecond},  // failed
+	}
+	for i, r := range rows {
+		start := int64(i) * int64(time.Second)
+		err := tbl.Insert(tablestore.Row{
+			tablestore.Str(r.id),
+			tablestore.Str(r.status),
+			tablestore.Int(start),
+			tablestore.Int(start + int64(r.latency)),
+		})
+		if err != nil {
+			t.Fatal(err)
+		}
+	}
+	return s
+}
+
+// TestTableIITPSQuery runs the paper's TPS statement verbatim.
+func TestTableIITPSQuery(t *testing.T) {
+	s := perfStore(t)
+	res, err := Query(s, `SELECT COUNT(*) AS TPS
+FROM Performance WHERE STATUS = '1' AND
+TIMESTAMPDIFF(SECOND, start_time, end_time) <= 1`)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(res.Cols) != 1 || res.Cols[0] != "TPS" {
+		t.Fatalf("cols %v", res.Cols)
+	}
+	if len(res.Rows) != 1 || res.Rows[0][0].I != 3 {
+		t.Fatalf("TPS = %v, want 3 (t1, t2 and t3-at-1s qualify; t4 failed)", res.Rows[0][0])
+	}
+}
+
+// TestTableIILatencyQuery runs the paper's latency statement verbatim.
+func TestTableIILatencyQuery(t *testing.T) {
+	s := perfStore(t)
+	res, err := Query(s, `SELECT tx_id, start_time, end_time,
+TIMESTAMPDIFF(MILLISECOND, start_time, end_time) AS Latency FROM Performance`)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(res.Rows) != 4 {
+		t.Fatalf("%d rows", len(res.Rows))
+	}
+	if res.Cols[3] != "Latency" {
+		t.Fatalf("cols %v", res.Cols)
+	}
+	if res.Rows[0][3].I != 200 || res.Rows[2][3].I != 1500 {
+		t.Fatalf("latencies %v, %v", res.Rows[0][3], res.Rows[2][3])
+	}
+}
+
+func TestAggregates(t *testing.T) {
+	s := perfStore(t)
+	res, err := Query(s, `SELECT COUNT(*), MIN(start_time), MAX(end_time), AVG(start_time), SUM(start_time) FROM Performance`)
+	if err != nil {
+		t.Fatal(err)
+	}
+	row := res.Rows[0]
+	if row[0].I != 4 {
+		t.Fatalf("count %v", row[0])
+	}
+	if row[1].F != 0 {
+		t.Fatalf("min %v", row[1])
+	}
+	if row[4].F != float64(6*time.Second) {
+		t.Fatalf("sum %v", row[4])
+	}
+}
+
+func TestWhereOperators(t *testing.T) {
+	s := perfStore(t)
+	cases := []struct {
+		sql  string
+		want int
+	}{
+		{`SELECT tx_id FROM Performance WHERE status != '1'`, 1},
+		{`SELECT tx_id FROM Performance WHERE status = '1' OR status = '0'`, 4},
+		{`SELECT tx_id FROM Performance WHERE start_time > 0 AND start_time < 3000000000`, 2},
+		{`SELECT tx_id FROM Performance WHERE tx_id = 't1'`, 1},
+		{`SELECT tx_id FROM Performance WHERE start_time >= 3000000000`, 1},
+		{`SELECT tx_id FROM Performance WHERE tx_id < 't2'`, 1},
+	}
+	for _, tc := range cases {
+		res, err := Query(s, tc.sql)
+		if err != nil {
+			t.Fatalf("%s: %v", tc.sql, err)
+		}
+		if len(res.Rows) != tc.want {
+			t.Errorf("%s: %d rows, want %d", tc.sql, len(res.Rows), tc.want)
+		}
+	}
+}
+
+func TestArithmeticAndFunctions(t *testing.T) {
+	s := perfStore(t)
+	res, err := Query(s, `SELECT (end_time - start_time) / 1000000 AS ms, ABS(0 - 5) FROM Performance WHERE tx_id = 't1'`)
+	if err != nil {
+		t.Fatal(err)
+	}
+	ms, _ := res.Rows[0][0].AsFloat()
+	if ms != 200 {
+		t.Fatalf("ms = %v", ms)
+	}
+	if res.Rows[0][1].I != 5 {
+		t.Fatalf("abs = %v", res.Rows[0][1])
+	}
+}
+
+func TestSelectStar(t *testing.T) {
+	s := perfStore(t)
+	res, err := Query(s, `SELECT * FROM Performance`)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(res.Cols) != 4 || res.Cols[0] != "tx_id" {
+		t.Fatalf("cols %v", res.Cols)
+	}
+	if len(res.Rows) != 4 || len(res.Rows[0]) != 4 {
+		t.Fatal("star should expand all columns")
+	}
+}
+
+func TestCaseInsensitiveColumnsAndKeywords(t *testing.T) {
+	s := perfStore(t)
+	res, err := Query(s, `select TX_ID from Performance where STATUS = '0'`)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(res.Rows) != 1 || res.Rows[0][0].S != "t4" {
+		t.Fatalf("rows %v", res.Rows)
+	}
+}
+
+func TestErrorCases(t *testing.T) {
+	s := perfStore(t)
+	for _, sql := range []string{
+		`SELECT`,
+		`SELECT x FROM`,
+		`SELECT ghost FROM Performance`,
+		`SELECT tx_id FROM Ghost`,
+		`SELECT tx_id Performance`,
+		`SELECT COUNT(*), tx_id FROM Performance`,
+		`SELECT NOSUCHFN(tx_id) FROM Performance`,
+		`SELECT TIMESTAMPDIFF(FORTNIGHT, start_time, end_time) FROM Performance`,
+		`SELECT tx_id FROM Performance WHERE start_time / 0 > 1`,
+		`SELECT 'unterminated FROM Performance`,
+		`SELECT tx_id FROM Performance trailing`,
+		`SELECT tx_id + status FROM Performance`,
+	} {
+		if _, err := Query(s, sql); err == nil {
+			t.Errorf("%s: expected error", sql)
+		}
+	}
+}
+
+func TestParseStructure(t *testing.T) {
+	sel, err := Parse(`SELECT a, b AS bee FROM T WHERE a <= 3 AND b = 'x'`)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(sel.Items) != 2 || sel.Items[1].Alias != "bee" || sel.From != "T" {
+		t.Fatalf("%+v", sel)
+	}
+	if sel.Where == nil || !strings.Contains(sel.Where.String(), "AND") {
+		t.Fatalf("where %v", sel.Where)
+	}
+}
+
+func TestOperatorPrecedence(t *testing.T) {
+	s := perfStore(t)
+	// 1 + 2 * 3 = 7, not 9.
+	res, err := Query(s, `SELECT 1 + 2 * 3 FROM Performance WHERE tx_id = 't1'`)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if v, _ := res.Rows[0][0].AsFloat(); v != 7 {
+		t.Fatalf("1+2*3 = %v", v)
+	}
+	// Parentheses override.
+	res, err = Query(s, `SELECT (1 + 2) * 3 FROM Performance WHERE tx_id = 't1'`)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if v, _ := res.Rows[0][0].AsFloat(); v != 9 {
+		t.Fatalf("(1+2)*3 = %v", v)
+	}
+	// Unary minus.
+	res, err = Query(s, `SELECT -2 + 5 FROM Performance WHERE tx_id = 't1'`)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if v, _ := res.Rows[0][0].AsFloat(); v != 3 {
+		t.Fatalf("-2+5 = %v", v)
+	}
+}
+
+func TestGroupBy(t *testing.T) {
+	s := perfStore(t)
+	res, err := Query(s, `SELECT status, COUNT(*) AS n, AVG(start_time) FROM Performance GROUP BY status ORDER BY n DESC`)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(res.Rows) != 2 {
+		t.Fatalf("%d groups", len(res.Rows))
+	}
+	// Three committed rows first (ORDER BY n DESC), one failed row second.
+	if res.Rows[0][0].S != "1" || res.Rows[0][1].I != 3 {
+		t.Fatalf("first group %v", res.Rows[0])
+	}
+	if res.Rows[1][0].S != "0" || res.Rows[1][1].I != 1 {
+		t.Fatalf("second group %v", res.Rows[1])
+	}
+}
+
+func TestGroupByValidation(t *testing.T) {
+	s := perfStore(t)
+	if _, err := Query(s, `SELECT tx_id FROM Performance GROUP BY status`); err == nil {
+		t.Fatal("ungrouped column should error")
+	}
+	if _, err := Query(s, `SELECT status, start_time + 1 FROM Performance GROUP BY status`); err == nil {
+		t.Fatal("non-aggregate expression should error")
+	}
+	if _, err := Query(s, `SELECT status FROM Performance GROUP BY ghost`); err == nil {
+		t.Fatal("unknown group column should error")
+	}
+}
+
+func TestOrderByAndLimit(t *testing.T) {
+	s := perfStore(t)
+	res, err := Query(s, `SELECT tx_id, start_time FROM Performance ORDER BY start_time DESC LIMIT 2`)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(res.Rows) != 2 {
+		t.Fatalf("%d rows", len(res.Rows))
+	}
+	if res.Rows[0][0].S != "t4" || res.Rows[1][0].S != "t3" {
+		t.Fatalf("order %v, %v", res.Rows[0][0], res.Rows[1][0])
+	}
+	// Ascending is the default; string ordering works too.
+	res, err = Query(s, `SELECT tx_id FROM Performance ORDER BY tx_id ASC LIMIT 1`)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Rows[0][0].S != "t1" {
+		t.Fatalf("asc order %v", res.Rows[0][0])
+	}
+	// LIMIT 0 yields nothing.
+	res, err = Query(s, `SELECT tx_id FROM Performance LIMIT 0`)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(res.Rows) != 0 {
+		t.Fatal("LIMIT 0 should return no rows")
+	}
+	if _, err := Query(s, `SELECT tx_id FROM Performance ORDER BY ghost`); err == nil {
+		t.Fatal("unknown order column should error")
+	}
+	if _, err := Query(s, `SELECT tx_id FROM Performance LIMIT x`); err == nil {
+		t.Fatal("non-numeric limit should error")
+	}
+}
+
+// TestOLAPStyleQuery exercises the combined pipeline the visualization layer
+// uses: filter, group, aggregate, order, limit.
+func TestOLAPStyleQuery(t *testing.T) {
+	s := perfStore(t)
+	res, err := Query(s, `SELECT status, COUNT(*) AS n,
+MAX(TIMESTAMPDIFF(MILLISECOND, start_time, end_time)) AS worst_ms
+FROM Performance WHERE start_time >= 0 GROUP BY status ORDER BY worst_ms DESC LIMIT 1`)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(res.Rows) != 1 {
+		t.Fatalf("%d rows", len(res.Rows))
+	}
+	if res.Rows[0][0].S != "1" {
+		t.Fatalf("worst-latency group %v", res.Rows[0][0])
+	}
+	if worst, _ := res.Rows[0][2].AsFloat(); worst != 1500 {
+		t.Fatalf("worst latency %v, want 1500ms", worst)
+	}
+}

@@ -1,0 +1,445 @@
+package minisql
+
+import (
+	"fmt"
+	"strings"
+)
+
+// Select is the parsed form of a SELECT statement.
+type Select struct {
+	Items   []SelectItem
+	From    string
+	Where   Expr     // nil when absent
+	GroupBy []string // column names; empty when absent
+	OrderBy []OrderKey
+	// Limit caps output rows; negative means no limit.
+	Limit int
+}
+
+// OrderKey is one ORDER BY term, referencing an output column by name
+// (alias or rendered expression).
+type OrderKey struct {
+	Column string
+	Desc   bool
+}
+
+// SelectItem is one projected expression with an optional alias.
+type SelectItem struct {
+	Expr  Expr
+	Alias string
+}
+
+// Expr is a parsed expression node.
+type Expr interface {
+	exprNode()
+	String() string
+}
+
+// ColumnRef references a column by (case-insensitive) name.
+type ColumnRef struct{ Name string }
+
+// NumberLit is a numeric literal.
+type NumberLit struct {
+	Text  string
+	Value float64
+	IsInt bool
+	Int   int64
+}
+
+// StringLit is a quoted string literal.
+type StringLit struct{ Value string }
+
+// Star is the `*` projection (only valid bare or inside COUNT).
+type Star struct{}
+
+// BinaryExpr is a two-operand operation.
+type BinaryExpr struct {
+	Op   string // "=", "!=", "<", "<=", ">", ">=", "AND", "OR", "+", "-", "*", "/"
+	L, R Expr
+}
+
+// UnaryExpr is negation.
+type UnaryExpr struct {
+	Op string // "-"
+	X  Expr
+}
+
+// FuncCall is a function or aggregate invocation. For TIMESTAMPDIFF the
+// first argument is the unit as a ColumnRef (SECOND, MILLISECOND, ...).
+type FuncCall struct {
+	Name string // upper-cased
+	Args []Expr
+}
+
+func (*ColumnRef) exprNode()  {}
+func (*NumberLit) exprNode()  {}
+func (*StringLit) exprNode()  {}
+func (*Star) exprNode()       {}
+func (*BinaryExpr) exprNode() {}
+func (*UnaryExpr) exprNode()  {}
+func (*FuncCall) exprNode()   {}
+
+func (e *ColumnRef) String() string { return e.Name }
+func (e *NumberLit) String() string { return e.Text }
+func (e *StringLit) String() string { return "'" + e.Value + "'" }
+func (e *Star) String() string      { return "*" }
+func (e *BinaryExpr) String() string {
+	return fmt.Sprintf("(%s %s %s)", e.L, e.Op, e.R)
+}
+func (e *UnaryExpr) String() string { return e.Op + e.X.String() }
+func (e *FuncCall) String() string {
+	parts := make([]string, len(e.Args))
+	for i, a := range e.Args {
+		parts[i] = a.String()
+	}
+	return e.Name + "(" + strings.Join(parts, ", ") + ")"
+}
+
+type parser struct {
+	toks []token
+	pos  int
+}
+
+// Parse compiles a SELECT statement.
+func Parse(sql string) (*Select, error) {
+	toks, err := lex(sql)
+	if err != nil {
+		return nil, err
+	}
+	p := &parser{toks: toks}
+	sel, err := p.parseSelect()
+	if err != nil {
+		return nil, err
+	}
+	if p.peek().kind != tokEOF {
+		return nil, fmt.Errorf("minisql: trailing input at %s", p.peek())
+	}
+	return sel, nil
+}
+
+func (p *parser) peek() token { return p.toks[p.pos] }
+func (p *parser) next() token { t := p.toks[p.pos]; p.pos++; return t }
+func (p *parser) keyword(kw string) bool {
+	t := p.peek()
+	if t.kind == tokIdent && strings.EqualFold(t.text, kw) {
+		p.pos++
+		return true
+	}
+	return false
+}
+
+func (p *parser) expectKeyword(kw string) error {
+	if !p.keyword(kw) {
+		return fmt.Errorf("minisql: expected %s, found %s", kw, p.peek())
+	}
+	return nil
+}
+
+func (p *parser) parseSelect() (*Select, error) {
+	if err := p.expectKeyword("SELECT"); err != nil {
+		return nil, err
+	}
+	sel := &Select{}
+	for {
+		item, err := p.parseSelectItem()
+		if err != nil {
+			return nil, err
+		}
+		sel.Items = append(sel.Items, item)
+		if p.peek().kind != tokComma {
+			break
+		}
+		p.next()
+	}
+	if err := p.expectKeyword("FROM"); err != nil {
+		return nil, err
+	}
+	t := p.next()
+	if t.kind != tokIdent {
+		return nil, fmt.Errorf("minisql: expected table name, found %s", t)
+	}
+	sel.From = t.text
+	sel.Limit = -1
+	if p.keyword("WHERE") {
+		where, err := p.parseExpr()
+		if err != nil {
+			return nil, err
+		}
+		sel.Where = where
+	}
+	if p.keyword("GROUP") {
+		if err := p.expectKeyword("BY"); err != nil {
+			return nil, err
+		}
+		for {
+			t := p.next()
+			if t.kind != tokIdent {
+				return nil, fmt.Errorf("minisql: expected column in GROUP BY, found %s", t)
+			}
+			sel.GroupBy = append(sel.GroupBy, t.text)
+			if p.peek().kind != tokComma {
+				break
+			}
+			p.next()
+		}
+	}
+	if p.keyword("ORDER") {
+		if err := p.expectKeyword("BY"); err != nil {
+			return nil, err
+		}
+		for {
+			t := p.next()
+			if t.kind != tokIdent {
+				return nil, fmt.Errorf("minisql: expected column in ORDER BY, found %s", t)
+			}
+			key := OrderKey{Column: t.text}
+			if p.keyword("DESC") {
+				key.Desc = true
+			} else {
+				p.keyword("ASC")
+			}
+			sel.OrderBy = append(sel.OrderBy, key)
+			if p.peek().kind != tokComma {
+				break
+			}
+			p.next()
+		}
+	}
+	if p.keyword("LIMIT") {
+		t := p.next()
+		if t.kind != tokNumber {
+			return nil, fmt.Errorf("minisql: expected number after LIMIT, found %s", t)
+		}
+		lit, err := parseNumber(t.text)
+		if err != nil {
+			return nil, err
+		}
+		num := lit.(*NumberLit)
+		if !num.IsInt || num.Int < 0 {
+			return nil, fmt.Errorf("minisql: LIMIT must be a non-negative integer, got %s", t)
+		}
+		sel.Limit = int(num.Int)
+	}
+	return sel, nil
+}
+
+func (p *parser) parseSelectItem() (SelectItem, error) {
+	if p.peek().kind == tokStar {
+		p.next()
+		return SelectItem{Expr: &Star{}}, nil
+	}
+	e, err := p.parseExpr()
+	if err != nil {
+		return SelectItem{}, err
+	}
+	item := SelectItem{Expr: e}
+	if p.keyword("AS") {
+		t := p.next()
+		if t.kind != tokIdent {
+			return SelectItem{}, fmt.Errorf("minisql: expected alias after AS, found %s", t)
+		}
+		item.Alias = t.text
+	}
+	return item, nil
+}
+
+// parseExpr parses with precedence: OR < AND < comparison < additive <
+// multiplicative < unary.
+func (p *parser) parseExpr() (Expr, error) { return p.parseOr() }
+
+func (p *parser) parseOr() (Expr, error) {
+	l, err := p.parseAnd()
+	if err != nil {
+		return nil, err
+	}
+	for p.keyword("OR") {
+		r, err := p.parseAnd()
+		if err != nil {
+			return nil, err
+		}
+		l = &BinaryExpr{Op: "OR", L: l, R: r}
+	}
+	return l, nil
+}
+
+func (p *parser) parseAnd() (Expr, error) {
+	l, err := p.parseCmp()
+	if err != nil {
+		return nil, err
+	}
+	for p.keyword("AND") {
+		r, err := p.parseCmp()
+		if err != nil {
+			return nil, err
+		}
+		l = &BinaryExpr{Op: "AND", L: l, R: r}
+	}
+	return l, nil
+}
+
+func (p *parser) parseCmp() (Expr, error) {
+	l, err := p.parseAdd()
+	if err != nil {
+		return nil, err
+	}
+	var op string
+	switch p.peek().kind {
+	case tokEq:
+		op = "="
+	case tokNeq:
+		op = "!="
+	case tokLt:
+		op = "<"
+	case tokLte:
+		op = "<="
+	case tokGt:
+		op = ">"
+	case tokGte:
+		op = ">="
+	default:
+		return l, nil
+	}
+	p.next()
+	r, err := p.parseAdd()
+	if err != nil {
+		return nil, err
+	}
+	return &BinaryExpr{Op: op, L: l, R: r}, nil
+}
+
+func (p *parser) parseAdd() (Expr, error) {
+	l, err := p.parseMul()
+	if err != nil {
+		return nil, err
+	}
+	for {
+		var op string
+		switch p.peek().kind {
+		case tokPlus:
+			op = "+"
+		case tokMinus:
+			op = "-"
+		default:
+			return l, nil
+		}
+		p.next()
+		r, err := p.parseMul()
+		if err != nil {
+			return nil, err
+		}
+		l = &BinaryExpr{Op: op, L: l, R: r}
+	}
+}
+
+func (p *parser) parseMul() (Expr, error) {
+	l, err := p.parseUnary()
+	if err != nil {
+		return nil, err
+	}
+	for {
+		var op string
+		switch p.peek().kind {
+		case tokStar:
+			op = "*"
+		case tokSlash:
+			op = "/"
+		default:
+			return l, nil
+		}
+		p.next()
+		r, err := p.parseUnary()
+		if err != nil {
+			return nil, err
+		}
+		l = &BinaryExpr{Op: op, L: l, R: r}
+	}
+}
+
+func (p *parser) parseUnary() (Expr, error) {
+	if p.peek().kind == tokMinus {
+		p.next()
+		x, err := p.parseUnary()
+		if err != nil {
+			return nil, err
+		}
+		return &UnaryExpr{Op: "-", X: x}, nil
+	}
+	return p.parsePrimary()
+}
+
+func (p *parser) parsePrimary() (Expr, error) {
+	t := p.peek()
+	switch t.kind {
+	case tokNumber:
+		p.next()
+		return parseNumber(t.text)
+	case tokString:
+		p.next()
+		return &StringLit{Value: t.text}, nil
+	case tokLParen:
+		p.next()
+		e, err := p.parseExpr()
+		if err != nil {
+			return nil, err
+		}
+		if p.peek().kind != tokRParen {
+			return nil, fmt.Errorf("minisql: expected ), found %s", p.peek())
+		}
+		p.next()
+		return e, nil
+	case tokIdent:
+		p.next()
+		if p.peek().kind == tokLParen {
+			return p.parseFuncCall(strings.ToUpper(t.text))
+		}
+		return &ColumnRef{Name: t.text}, nil
+	default:
+		return nil, fmt.Errorf("minisql: unexpected %s in expression", t)
+	}
+}
+
+func (p *parser) parseFuncCall(name string) (Expr, error) {
+	p.next() // consume (
+	fc := &FuncCall{Name: name}
+	if p.peek().kind == tokStar {
+		p.next()
+		fc.Args = append(fc.Args, &Star{})
+	} else if p.peek().kind != tokRParen {
+		for {
+			a, err := p.parseExpr()
+			if err != nil {
+				return nil, err
+			}
+			fc.Args = append(fc.Args, a)
+			if p.peek().kind != tokComma {
+				break
+			}
+			p.next()
+		}
+	}
+	if p.peek().kind != tokRParen {
+		return nil, fmt.Errorf("minisql: expected ) closing %s, found %s", name, p.peek())
+	}
+	p.next()
+	return fc, nil
+}
+
+func parseNumber(text string) (Expr, error) {
+	lit := &NumberLit{Text: text}
+	if !strings.Contains(text, ".") {
+		var v int64
+		if _, err := fmt.Sscanf(text, "%d", &v); err != nil {
+			return nil, fmt.Errorf("minisql: bad integer %q: %w", text, err)
+		}
+		lit.IsInt = true
+		lit.Int = v
+		lit.Value = float64(v)
+		return lit, nil
+	}
+	var f float64
+	if _, err := fmt.Sscanf(text, "%g", &f); err != nil {
+		return nil, fmt.Errorf("minisql: bad number %q: %w", text, err)
+	}
+	lit.Value = f
+	return lit, nil
+}

@@ -1,0 +1,231 @@
+// Package tablestore is the relational store standing in for MySQL in the
+// paper's architecture (§III-A): the visualization phase drains the KV store
+// into its Performance table, and the minisql engine evaluates the paper's
+// Table II statements over it.
+package tablestore
+
+import (
+	"fmt"
+	"sort"
+	"sync"
+)
+
+// Kind is a column type.
+type Kind int
+
+// Column kinds. Times are stored as Int64 nanoseconds, as TIMESTAMPDIFF
+// operates on numeric columns.
+const (
+	KindInt64 Kind = iota + 1
+	KindFloat64
+	KindString
+)
+
+// String implements fmt.Stringer.
+func (k Kind) String() string {
+	switch k {
+	case KindInt64:
+		return "INT64"
+	case KindFloat64:
+		return "FLOAT64"
+	case KindString:
+		return "STRING"
+	default:
+		return fmt.Sprintf("Kind(%d)", int(k))
+	}
+}
+
+// Value is a dynamically-typed cell.
+type Value struct {
+	Kind Kind
+	I    int64
+	F    float64
+	S    string
+}
+
+// Int returns an Int64 value.
+func Int(v int64) Value { return Value{Kind: KindInt64, I: v} }
+
+// Float returns a Float64 value.
+func Float(v float64) Value { return Value{Kind: KindFloat64, F: v} }
+
+// Str returns a String value.
+func Str(v string) Value { return Value{Kind: KindString, S: v} }
+
+// AsFloat coerces numeric values to float64.
+func (v Value) AsFloat() (float64, bool) {
+	switch v.Kind {
+	case KindInt64:
+		return float64(v.I), true
+	case KindFloat64:
+		return v.F, true
+	default:
+		return 0, false
+	}
+}
+
+// String renders the cell for display.
+func (v Value) String() string {
+	switch v.Kind {
+	case KindInt64:
+		return fmt.Sprintf("%d", v.I)
+	case KindFloat64:
+		return fmt.Sprintf("%g", v.F)
+	case KindString:
+		return v.S
+	default:
+		return "<nil>"
+	}
+}
+
+// Equal compares two values, coercing numerics.
+func (v Value) Equal(o Value) bool {
+	if v.Kind == KindString || o.Kind == KindString {
+		return v.Kind == o.Kind && v.S == o.S
+	}
+	a, _ := v.AsFloat()
+	b, _ := o.AsFloat()
+	return a == b
+}
+
+// Column declares one table column.
+type Column struct {
+	Name string
+	Kind Kind
+}
+
+// Table is a schemaful row store. It is safe for concurrent use.
+type Table struct {
+	name string
+	cols []Column
+	byN  map[string]int
+
+	mu   sync.RWMutex
+	rows [][]Value
+}
+
+// Row is one record keyed by column position.
+type Row []Value
+
+// Store is a named collection of tables.
+type Store struct {
+	mu     sync.RWMutex
+	tables map[string]*Table
+}
+
+// New returns an empty store.
+func New() *Store {
+	return &Store{tables: make(map[string]*Table)}
+}
+
+// CreateTable registers a table schema. Table names are case-sensitive.
+func (s *Store) CreateTable(name string, cols []Column) (*Table, error) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	if _, dup := s.tables[name]; dup {
+		return nil, fmt.Errorf("tablestore: table %q already exists", name)
+	}
+	t := &Table{name: name, cols: append([]Column(nil), cols...), byN: make(map[string]int, len(cols))}
+	for i, c := range cols {
+		if _, dup := t.byN[c.Name]; dup {
+			return nil, fmt.Errorf("tablestore: duplicate column %q in table %q", c.Name, name)
+		}
+		t.byN[c.Name] = i
+	}
+	s.tables[name] = t
+	return t, nil
+}
+
+// Table fetches a table by name.
+func (s *Store) Table(name string) (*Table, error) {
+	s.mu.RLock()
+	defer s.mu.RUnlock()
+	t, ok := s.tables[name]
+	if !ok {
+		return nil, fmt.Errorf("tablestore: no table %q", name)
+	}
+	return t, nil
+}
+
+// Drop removes a table.
+func (s *Store) Drop(name string) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	delete(s.tables, name)
+}
+
+// Names lists table names, sorted.
+func (s *Store) Names() []string {
+	s.mu.RLock()
+	defer s.mu.RUnlock()
+	out := make([]string, 0, len(s.tables))
+	for n := range s.tables {
+		out = append(out, n)
+	}
+	sort.Strings(out)
+	return out
+}
+
+// Name reports the table name.
+func (t *Table) Name() string { return t.name }
+
+// Columns returns the schema.
+func (t *Table) Columns() []Column { return append([]Column(nil), t.cols...) }
+
+// ColumnIndex resolves a column name (exact match) to its position.
+func (t *Table) ColumnIndex(name string) (int, bool) {
+	i, ok := t.byN[name]
+	return i, ok
+}
+
+// Insert appends a row after checking arity and kinds.
+func (t *Table) Insert(row Row) error {
+	if len(row) != len(t.cols) {
+		return fmt.Errorf("tablestore: table %q wants %d columns, got %d", t.name, len(t.cols), len(row))
+	}
+	for i, v := range row {
+		if v.Kind != t.cols[i].Kind {
+			return fmt.Errorf("tablestore: table %q column %q wants %v, got %v", t.name, t.cols[i].Name, t.cols[i].Kind, v.Kind)
+		}
+	}
+	t.mu.Lock()
+	t.rows = append(t.rows, append(Row(nil), row...))
+	t.mu.Unlock()
+	return nil
+}
+
+// InsertBatch appends several rows atomically.
+func (t *Table) InsertBatch(rows []Row) error {
+	for _, r := range rows {
+		if err := t.Insert(r); err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+// Len reports the row count.
+func (t *Table) Len() int {
+	t.mu.RLock()
+	defer t.mu.RUnlock()
+	return len(t.rows)
+}
+
+// Scan invokes fn for every row until fn returns false. The row slice must
+// not be retained or mutated.
+func (t *Table) Scan(fn func(row Row) bool) {
+	t.mu.RLock()
+	defer t.mu.RUnlock()
+	for _, r := range t.rows {
+		if !fn(r) {
+			return
+		}
+	}
+}
+
+// Truncate removes all rows.
+func (t *Table) Truncate() {
+	t.mu.Lock()
+	t.rows = nil
+	t.mu.Unlock()
+}

@@ -1,0 +1,147 @@
+package tablestore
+
+import (
+	"sync"
+	"testing"
+)
+
+func newPerf(t *testing.T) (*Store, *Table) {
+	t.Helper()
+	s := New()
+	tbl, err := s.CreateTable("Performance", []Column{
+		{Name: "tx_id", Kind: KindString},
+		{Name: "status", Kind: KindString},
+		{Name: "latency", Kind: KindInt64},
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	return s, tbl
+}
+
+func TestCreateAndLookup(t *testing.T) {
+	s, tbl := newPerf(t)
+	if tbl.Name() != "Performance" {
+		t.Fatal("table name")
+	}
+	if _, err := s.CreateTable("Performance", nil); err == nil {
+		t.Fatal("duplicate table should error")
+	}
+	if _, err := s.Table("Nope"); err == nil {
+		t.Fatal("unknown table should error")
+	}
+	if got := s.Names(); len(got) != 1 || got[0] != "Performance" {
+		t.Fatalf("names %v", got)
+	}
+}
+
+func TestDuplicateColumnRejected(t *testing.T) {
+	s := New()
+	_, err := s.CreateTable("T", []Column{{Name: "a", Kind: KindInt64}, {Name: "a", Kind: KindString}})
+	if err == nil {
+		t.Fatal("duplicate column should error")
+	}
+}
+
+func TestInsertValidation(t *testing.T) {
+	_, tbl := newPerf(t)
+	if err := tbl.Insert(Row{Str("x")}); err == nil {
+		t.Fatal("wrong arity should error")
+	}
+	if err := tbl.Insert(Row{Str("x"), Int(1), Int(2)}); err == nil {
+		t.Fatal("wrong kind should error")
+	}
+	if err := tbl.Insert(Row{Str("x"), Str("1"), Int(12)}); err != nil {
+		t.Fatal(err)
+	}
+	if tbl.Len() != 1 {
+		t.Fatalf("len %d", tbl.Len())
+	}
+}
+
+func TestScanAndTruncate(t *testing.T) {
+	_, tbl := newPerf(t)
+	for i := 0; i < 5; i++ {
+		if err := tbl.Insert(Row{Str("tx"), Str("1"), Int(int64(i))}); err != nil {
+			t.Fatal(err)
+		}
+	}
+	sum := int64(0)
+	tbl.Scan(func(row Row) bool {
+		sum += row[2].I
+		return true
+	})
+	if sum != 10 {
+		t.Fatalf("sum %d", sum)
+	}
+	// Early stop.
+	count := 0
+	tbl.Scan(func(Row) bool {
+		count++
+		return count < 2
+	})
+	if count != 2 {
+		t.Fatalf("early stop scanned %d", count)
+	}
+	tbl.Truncate()
+	if tbl.Len() != 0 {
+		t.Fatal("truncate should empty the table")
+	}
+}
+
+func TestValueHelpers(t *testing.T) {
+	if f, ok := Int(3).AsFloat(); !ok || f != 3 {
+		t.Fatal("int as float")
+	}
+	if f, ok := Float(2.5).AsFloat(); !ok || f != 2.5 {
+		t.Fatal("float as float")
+	}
+	if _, ok := Str("x").AsFloat(); ok {
+		t.Fatal("string should not coerce")
+	}
+	if !Int(2).Equal(Float(2)) {
+		t.Fatal("numeric cross-kind equality")
+	}
+	if Str("2").Equal(Int(2)) {
+		t.Fatal("string/number must not be equal")
+	}
+	if Int(1).String() != "1" || Str("a").String() != "a" || Float(1.5).String() != "1.5" {
+		t.Fatal("string renderings")
+	}
+	if KindInt64.String() != "INT64" || KindString.String() != "STRING" || KindFloat64.String() != "FLOAT64" {
+		t.Fatal("kind strings")
+	}
+}
+
+func TestConcurrentInsertScan(t *testing.T) {
+	_, tbl := newPerf(t)
+	var wg sync.WaitGroup
+	for w := 0; w < 4; w++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for i := 0; i < 200; i++ {
+				_ = tbl.Insert(Row{Str("tx"), Str("1"), Int(1)})
+				tbl.Scan(func(Row) bool { return false })
+			}
+		}()
+	}
+	wg.Wait()
+	if tbl.Len() != 800 {
+		t.Fatalf("len %d, want 800", tbl.Len())
+	}
+}
+
+func TestColumnIndexAndDrop(t *testing.T) {
+	s, tbl := newPerf(t)
+	if i, ok := tbl.ColumnIndex("status"); !ok || i != 1 {
+		t.Fatalf("status index %d ok=%v", i, ok)
+	}
+	if _, ok := tbl.ColumnIndex("ghost"); ok {
+		t.Fatal("unknown column")
+	}
+	s.Drop("Performance")
+	if _, err := s.Table("Performance"); err == nil {
+		t.Fatal("dropped table should be gone")
+	}
+}

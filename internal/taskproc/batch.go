@@ -1,0 +1,82 @@
+package taskproc
+
+import (
+	"hammer/internal/chain"
+)
+
+// BatchQueue is the Blockbench-style batch-testing baseline (paper §II-C1):
+// pending transactions sit in a local queue, and for every transaction
+// extracted from a confirmed block the driver scans the queue linearly for a
+// match and deletes it on success. Matching one block therefore costs
+// O(n·m) for queue length n and block size m — the complexity the paper
+// formalises in equations (1)-(2) — so its execution time grows linearly in
+// Fig 9 while Hammer's processor stays flat.
+type BatchQueue struct {
+	queue []TxRecord
+	done  []TxRecord
+}
+
+var _ Matcher = (*BatchQueue)(nil)
+
+// NewBatchQueue sizes the baseline for capacity tracked transactions.
+func NewBatchQueue(capacity int) *BatchQueue {
+	if capacity < 0 {
+		capacity = 0
+	}
+	return &BatchQueue{
+		queue: make([]TxRecord, 0, capacity),
+		done:  make([]TxRecord, 0, capacity),
+	}
+}
+
+// Track implements Matcher: the record joins the pending queue.
+func (b *BatchQueue) Track(rec TxRecord) {
+	if rec.Status == 0 {
+		rec.Status = chain.StatusPending
+	}
+	b.queue = append(b.queue, rec)
+}
+
+// OnBlock implements Matcher with the baseline's linear scan-and-delete.
+func (b *BatchQueue) OnBlock(blk *chain.Block) int {
+	matched := 0
+	complete := func(id chain.TxID, status chain.TxStatus) {
+		for i := range b.queue {
+			if b.queue[i].ID == id {
+				rec := b.queue[i]
+				rec.Status = status
+				rec.EndTime = blk.Timestamp
+				rec.Shard = blk.Shard
+				rec.Height = blk.Height
+				// Delete from the queue preserving order, as a queue
+				// structure forces the baseline to do.
+				copy(b.queue[i:], b.queue[i+1:])
+				b.queue = b.queue[:len(b.queue)-1]
+				b.done = append(b.done, rec)
+				matched++
+				return
+			}
+		}
+	}
+	if len(blk.Receipts) > 0 {
+		for _, r := range blk.Receipts {
+			complete(r.TxID, statusOf(r))
+		}
+	} else {
+		for _, tx := range blk.Txs {
+			complete(tx.ID, chain.StatusCommitted)
+		}
+	}
+	return matched
+}
+
+// Pending implements Matcher.
+func (b *BatchQueue) Pending() int { return len(b.queue) }
+
+// Results implements Matcher: completed records first, then pending ones.
+func (b *BatchQueue) Results() []TxRecord {
+	out := make([]TxRecord, 0, len(b.done)+len(b.queue))
+	out = append(out, b.done...)
+	out = append(out, b.queue...)
+	return out
+}

@@ -1,0 +1,61 @@
+package taskproc
+
+import (
+	"time"
+
+	"hammer/internal/chain"
+)
+
+// Expirer is implemented by matchers that support driver-side transaction
+// timeouts: records still pending past a deadline are marked timed out and
+// excluded from later block matches — the client-timeout behaviour real
+// benchmark drivers exhibit under overload (paper §V-D).
+type Expirer interface {
+	// ExpireStartedBefore times out pending records whose StartTime is
+	// before cutoff, stamping them with endTime. It returns how many
+	// records expired.
+	ExpireStartedBefore(cutoff, endTime time.Duration) int
+}
+
+var (
+	_ Expirer = (*Processor)(nil)
+	_ Expirer = (*BatchQueue)(nil)
+)
+
+// ExpireStartedBefore implements Expirer. Records are appended in dispatch
+// order, so the scan starts where the previous one stopped.
+func (p *Processor) ExpireStartedBefore(cutoff, endTime time.Duration) int {
+	n := 0
+	recs := p.list.Records()
+	for i := p.expireCursor; i < len(recs); i++ {
+		rec := p.list.At(i)
+		if rec.StartTime >= cutoff {
+			p.expireCursor = i
+			return n
+		}
+		if rec.Status == chain.StatusPending {
+			rec.Status = chain.StatusTimedOut
+			rec.EndTime = endTime
+			p.pending--
+			n++
+		}
+	}
+	p.expireCursor = len(recs)
+	return n
+}
+
+// ExpireStartedBefore implements Expirer for the batch baseline: the queue
+// is scanned from the front (oldest first) and expired records are removed,
+// exactly as a queue-based driver would drop stale entries.
+func (b *BatchQueue) ExpireStartedBefore(cutoff, endTime time.Duration) int {
+	n := 0
+	for len(b.queue) > 0 && b.queue[0].StartTime < cutoff {
+		rec := b.queue[0]
+		b.queue = b.queue[1:]
+		rec.Status = chain.StatusTimedOut
+		rec.EndTime = endTime
+		b.done = append(b.done, rec)
+		n++
+	}
+	return n
+}

@@ -1,0 +1,132 @@
+package taskproc
+
+import (
+	"encoding/binary"
+
+	"hammer/internal/chain"
+)
+
+// HashIndex maps transaction IDs to vector-list positions. It is a chained
+// hash table whose bucket array doubles when the load factor passes
+// maxLoad — the paper's strategy of "expanding the length of the hash table"
+// to keep collision chains short and lookups effectively O(1) (Algorithm 1,
+// lines 8-9). Transaction IDs are SHA-256 digests, so the first eight bytes
+// are already uniformly distributed and serve directly as the hash.
+type HashIndex struct {
+	buckets [][]indexEntry
+	n       int
+	// stats
+	collisions int
+	resizes    int
+}
+
+type indexEntry struct {
+	id  chain.TxID
+	pos int32
+}
+
+// maxLoad is the entries-per-bucket threshold that triggers expansion.
+const maxLoad = 0.75
+
+// NewHashIndex pre-sizes the index for capacity entries.
+func NewHashIndex(capacity int) *HashIndex {
+	nb := 16
+	for float64(capacity) > maxLoad*float64(nb) {
+		nb *= 2
+	}
+	return &HashIndex{buckets: make([][]indexEntry, nb)}
+}
+
+func bucketOf(id chain.TxID, nb int) int {
+	h := binary.BigEndian.Uint64(id[:8])
+	return int(h & uint64(nb-1))
+}
+
+// Put records id at position pos, expanding the table first if the insert
+// would exceed the load factor.
+func (ix *HashIndex) Put(id chain.TxID, pos int) {
+	if float64(ix.n+1) > maxLoad*float64(len(ix.buckets)) {
+		ix.grow()
+	}
+	b := bucketOf(id, len(ix.buckets))
+	if len(ix.buckets[b]) > 0 {
+		ix.collisions++
+	}
+	ix.buckets[b] = append(ix.buckets[b], indexEntry{id: id, pos: int32(pos)})
+	ix.n++
+}
+
+// Get returns the position recorded for id. On a chain collision it walks
+// the bucket sequentially (Algorithm 1, line 19's conflict path).
+func (ix *HashIndex) Get(id chain.TxID) (int, bool) {
+	b := bucketOf(id, len(ix.buckets))
+	for _, e := range ix.buckets[b] {
+		if e.id == id {
+			return int(e.pos), true
+		}
+	}
+	return 0, false
+}
+
+// Delete removes id, returning whether it was present.
+func (ix *HashIndex) Delete(id chain.TxID) bool {
+	b := bucketOf(id, len(ix.buckets))
+	bucket := ix.buckets[b]
+	for i, e := range bucket {
+		if e.id == id {
+			bucket[i] = bucket[len(bucket)-1]
+			ix.buckets[b] = bucket[:len(bucket)-1]
+			ix.n--
+			return true
+		}
+	}
+	return false
+}
+
+// minLoad is the load factor below which Shrink halves the table.
+const minLoad = 0.2
+
+// Shrink halves the bucket array while the load factor sits below minLoad,
+// releasing the storage the paper's limitation section worries about
+// ("the volume of the hash table will continue to expand"). It returns how
+// many halvings were applied.
+func (ix *HashIndex) Shrink() int {
+	steps := 0
+	for len(ix.buckets) > 16 && float64(ix.n) < minLoad*float64(len(ix.buckets)) {
+		old := ix.buckets
+		ix.buckets = make([][]indexEntry, len(old)/2)
+		nb := len(ix.buckets)
+		for _, bucket := range old {
+			for _, e := range bucket {
+				b := bucketOf(e.id, nb)
+				ix.buckets[b] = append(ix.buckets[b], e)
+			}
+		}
+		steps++
+	}
+	return steps
+}
+
+func (ix *HashIndex) grow() {
+	old := ix.buckets
+	ix.buckets = make([][]indexEntry, 2*len(old))
+	ix.resizes++
+	nb := len(ix.buckets)
+	for _, bucket := range old {
+		for _, e := range bucket {
+			b := bucketOf(e.id, nb)
+			ix.buckets[b] = append(ix.buckets[b], e)
+		}
+	}
+}
+
+// Len reports the number of entries.
+func (ix *HashIndex) Len() int { return ix.n }
+
+// Buckets reports the current table width.
+func (ix *HashIndex) Buckets() int { return len(ix.buckets) }
+
+// Stats reports collision and resize counts, for the ablation benchmarks.
+func (ix *HashIndex) Stats() (collisions, resizes int) {
+	return ix.collisions, ix.resizes
+}

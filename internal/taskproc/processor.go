@@ -1,0 +1,192 @@
+package taskproc
+
+import (
+	"hammer/internal/bloom"
+	"hammer/internal/chain"
+)
+
+// Processor is Hammer's asynchronous task-processing engine (Algorithm 1):
+// sent transactions are appended to a vector list and indexed by ID; when a
+// block arrives, each of its transactions is screened by a Bloom filter
+// (rapid exclusion of transactions this driver never sent), then located
+// through the hash index and completed in place.
+type Processor struct {
+	list  *VectorList
+	index *HashIndex
+	bloom *bloom.Filter
+
+	pending int
+	// expireCursor remembers how far timeout scans have progressed.
+	expireCursor int
+	// compactEvery triggers index compaction after this many completions
+	// (0 disables); completedSinceCompact counts toward it.
+	compactEvery          int
+	completedSinceCompact int
+	compactions           int
+	// filtered counts block transactions the Bloom filter excluded.
+	filtered int
+	// falsePositives counts Bloom passes that the index then rejected.
+	falsePositives int
+}
+
+var _ Matcher = (*Processor)(nil)
+
+// Option customises a Processor.
+type Option func(*Processor)
+
+// WithoutBloom disables the Bloom filter pre-screen (ablation benchmark).
+func WithoutBloom() Option {
+	return func(p *Processor) { p.bloom = nil }
+}
+
+// WithBloom replaces the default filter sizing.
+func WithBloom(expected int, fp float64) Option {
+	return func(p *Processor) { p.bloom = bloom.New(expected, fp) }
+}
+
+// WithCompaction makes the processor evict completed records from the hash
+// index and shrink its bucket array every `every` completions — the
+// storage-growth mitigation the paper's limitation section leaves as future
+// work. The vector list keeps the full result history; only the index (no
+// longer needed for completed transactions) is reclaimed.
+func WithCompaction(every int) Option {
+	if every <= 0 {
+		every = 10_000
+	}
+	return func(p *Processor) { p.compactEvery = every }
+}
+
+// NewProcessor sizes the engine for capacity tracked transactions.
+func NewProcessor(capacity int, opts ...Option) *Processor {
+	if capacity <= 0 {
+		capacity = 1024
+	}
+	p := &Processor{
+		list:  NewVectorList(capacity),
+		index: NewHashIndex(capacity),
+		bloom: bloom.New(capacity, 0.01),
+	}
+	for _, o := range opts {
+		o(p)
+	}
+	return p
+}
+
+// Track implements Matcher (Algorithm 1 lines 4-8): append to the vector
+// list, index the position, add to the Bloom filter.
+func (p *Processor) Track(rec TxRecord) {
+	if rec.Status == 0 {
+		rec.Status = chain.StatusPending
+	}
+	pos := p.list.Append(rec)
+	p.index.Put(rec.ID, pos)
+	if p.bloom != nil {
+		p.bloom.Add(rec.ID[:])
+	}
+	p.pending++
+}
+
+// OnBlock implements Matcher (Algorithm 1 lines 10-20): the block timestamp
+// is the completion time of every transaction it carries.
+func (p *Processor) OnBlock(blk *chain.Block) int {
+	matched := 0
+	for _, r := range blk.Receipts {
+		if p.completeOne(r.TxID, statusOf(r), blk) {
+			matched++
+		}
+	}
+	// Blocks from chains that do not attach receipts (or external SUTs
+	// reached over RPC) still carry their transaction list.
+	if len(blk.Receipts) == 0 {
+		for _, tx := range blk.Txs {
+			if p.completeOne(tx.ID, chain.StatusCommitted, blk) {
+				matched++
+			}
+		}
+	}
+	return matched
+}
+
+func statusOf(r *chain.Receipt) chain.TxStatus {
+	if r.Status == 0 {
+		return chain.StatusCommitted
+	}
+	return r.Status
+}
+
+func (p *Processor) completeOne(id chain.TxID, status chain.TxStatus, blk *chain.Block) bool {
+	if p.bloom != nil && !p.bloom.Contains(id[:]) {
+		p.filtered++
+		return false
+	}
+	pos, ok := p.index.Get(id)
+	if !ok {
+		if p.bloom != nil {
+			p.falsePositives++
+		}
+		return false
+	}
+	rec := p.list.At(pos)
+	if rec.Status != chain.StatusPending {
+		return false // already completed (duplicate delivery)
+	}
+	rec.Status = status
+	rec.EndTime = blk.Timestamp
+	rec.Shard = blk.Shard
+	rec.Height = blk.Height
+	p.pending--
+	if p.compactEvery > 0 {
+		p.completedSinceCompact++
+		if p.completedSinceCompact >= p.compactEvery {
+			p.compact()
+		}
+	}
+	return true
+}
+
+// compact evicts completed records' index entries and shrinks the table.
+func (p *Processor) compact() {
+	recs := p.list.Records()
+	for i := range recs {
+		if recs[i].Status != chain.StatusPending {
+			p.index.Delete(recs[i].ID)
+		}
+	}
+	p.index.Shrink()
+	p.completedSinceCompact = 0
+	p.compactions++
+}
+
+// Pending implements Matcher.
+func (p *Processor) Pending() int { return p.pending }
+
+// Results implements Matcher.
+func (p *Processor) Results() []TxRecord { return p.list.Records() }
+
+// Stats reports Bloom-filter effectiveness and index health.
+func (p *Processor) Stats() ProcessorStats {
+	collisions, resizes := p.index.Stats()
+	s := ProcessorStats{
+		Tracked:         p.list.Len(),
+		Pending:         p.pending,
+		BloomFiltered:   p.filtered,
+		BloomFalsePos:   p.falsePositives,
+		IndexCollisions: collisions,
+		IndexResizes:    resizes,
+		IndexBuckets:    p.index.Buckets(),
+		Compactions:     p.compactions,
+	}
+	return s
+}
+
+// ProcessorStats summarises a Processor's internal counters.
+type ProcessorStats struct {
+	Tracked         int
+	Pending         int
+	BloomFiltered   int
+	BloomFalsePos   int
+	IndexCollisions int
+	IndexResizes    int
+	IndexBuckets    int
+	Compactions     int
+}

@@ -1,0 +1,379 @@
+package taskproc
+
+import (
+	"testing"
+	"testing/quick"
+	"time"
+
+	"hammer/internal/chain"
+	"hammer/internal/randx"
+)
+
+func randomID(rng *randx.Rand) chain.TxID {
+	var id chain.TxID
+	rng.Read(id[:])
+	return id
+}
+
+func TestProcessorMatchesBlock(t *testing.T) {
+	p := NewProcessor(10)
+	rng := randx.New(1)
+	ids := make([]chain.TxID, 5)
+	for i := range ids {
+		ids[i] = randomID(rng)
+		p.Track(TxRecord{ID: ids[i], StartTime: time.Duration(i)})
+	}
+	blk := &chain.Block{Timestamp: 42 * time.Second}
+	for _, id := range ids[:3] {
+		blk.Receipts = append(blk.Receipts, &chain.Receipt{TxID: id, Status: chain.StatusCommitted})
+	}
+	if matched := p.OnBlock(blk); matched != 3 {
+		t.Fatalf("matched %d, want 3", matched)
+	}
+	if p.Pending() != 2 {
+		t.Fatalf("pending %d, want 2", p.Pending())
+	}
+	recs := p.Results()
+	if recs[0].Status != chain.StatusCommitted || recs[0].EndTime != 42*time.Second {
+		t.Fatalf("record not completed with block time: %+v", recs[0])
+	}
+	if recs[0].Latency() != 42*time.Second {
+		t.Fatalf("latency %v", recs[0].Latency())
+	}
+}
+
+func TestProcessorIgnoresForeignAndDuplicate(t *testing.T) {
+	p := NewProcessor(10)
+	rng := randx.New(2)
+	id := randomID(rng)
+	p.Track(TxRecord{ID: id})
+	foreign := randomID(rng)
+	blk := &chain.Block{Timestamp: time.Second, Receipts: []*chain.Receipt{
+		{TxID: foreign, Status: chain.StatusCommitted},
+		{TxID: id, Status: chain.StatusCommitted},
+		{TxID: id, Status: chain.StatusCommitted}, // duplicate delivery
+	}}
+	if matched := p.OnBlock(blk); matched != 1 {
+		t.Fatalf("matched %d, want 1 (foreign and duplicate ignored)", matched)
+	}
+	stats := p.Stats()
+	if stats.BloomFiltered == 0 {
+		t.Fatal("bloom filter should have excluded the foreign transaction")
+	}
+}
+
+func TestProcessorAbortedStatusPropagates(t *testing.T) {
+	p := NewProcessor(4)
+	rng := randx.New(3)
+	id := randomID(rng)
+	p.Track(TxRecord{ID: id})
+	blk := &chain.Block{Timestamp: time.Second, Receipts: []*chain.Receipt{
+		{TxID: id, Status: chain.StatusAborted},
+	}}
+	p.OnBlock(blk)
+	if p.Results()[0].Status != chain.StatusAborted {
+		t.Fatal("aborted status should propagate to the record")
+	}
+}
+
+func TestProcessorTxsOnlyBlocks(t *testing.T) {
+	p := NewProcessor(4)
+	rng := randx.New(4)
+	id := randomID(rng)
+	p.Track(TxRecord{ID: id})
+	blk := &chain.Block{Timestamp: time.Second, Txs: []*chain.Transaction{{ID: id}}}
+	if matched := p.OnBlock(blk); matched != 1 {
+		t.Fatalf("receipt-less block should still match: %d", matched)
+	}
+}
+
+func TestBatchQueueEquivalentResults(t *testing.T) {
+	rng := randx.New(5)
+	const n = 300
+	ids := make([]chain.TxID, n)
+	p := NewProcessor(n)
+	b := NewBatchQueue(n)
+	for i := range ids {
+		ids[i] = randomID(rng)
+		rec := TxRecord{ID: ids[i], StartTime: time.Duration(i)}
+		p.Track(rec)
+		b.Track(rec)
+	}
+	// Two blocks covering a subset, plus foreign noise.
+	var blocks []*chain.Block
+	for bi := 0; bi < 2; bi++ {
+		blk := &chain.Block{Timestamp: time.Duration(bi+1) * time.Second}
+		for i := bi * 100; i < bi*100+100; i++ {
+			blk.Receipts = append(blk.Receipts, &chain.Receipt{TxID: ids[i], Status: chain.StatusCommitted})
+		}
+		blk.Receipts = append(blk.Receipts, &chain.Receipt{TxID: randomID(rng), Status: chain.StatusCommitted})
+		blocks = append(blocks, blk)
+	}
+	for _, blk := range blocks {
+		pm := p.OnBlock(blk)
+		bm := b.OnBlock(blk)
+		if pm != bm {
+			t.Fatalf("processor matched %d, batch %d", pm, bm)
+		}
+	}
+	if p.Pending() != b.Pending() {
+		t.Fatalf("pending differ: %d vs %d", p.Pending(), b.Pending())
+	}
+	// Same per-ID completion state.
+	status := map[chain.TxID]chain.TxStatus{}
+	for _, r := range p.Results() {
+		status[r.ID] = r.Status
+	}
+	for _, r := range b.Results() {
+		if status[r.ID] != r.Status {
+			t.Fatalf("status mismatch for %s: %v vs %v", r.ID.Short(), status[r.ID], r.Status)
+		}
+	}
+}
+
+func TestExpiry(t *testing.T) {
+	for _, m := range []Matcher{NewProcessor(8), NewBatchQueue(8)} {
+		rng := randx.New(6)
+		var ids []chain.TxID
+		for i := 0; i < 4; i++ {
+			id := randomID(rng)
+			ids = append(ids, id)
+			m.Track(TxRecord{ID: id, StartTime: time.Duration(i) * time.Second})
+		}
+		exp := m.(Expirer)
+		if n := exp.ExpireStartedBefore(2*time.Second, 10*time.Second); n != 2 {
+			t.Fatalf("%T expired %d, want 2", m, n)
+		}
+		// Expired records must not complete on later blocks.
+		blk := &chain.Block{Timestamp: 11 * time.Second, Receipts: []*chain.Receipt{
+			{TxID: ids[0], Status: chain.StatusCommitted},
+			{TxID: ids[3], Status: chain.StatusCommitted},
+		}}
+		if matched := m.OnBlock(blk); matched != 1 {
+			t.Fatalf("%T matched %d after expiry, want 1", m, matched)
+		}
+		timedOut := 0
+		for _, r := range m.Results() {
+			if r.Status == chain.StatusTimedOut {
+				timedOut++
+				if r.EndTime != 10*time.Second {
+					t.Fatalf("%T timeout end time %v", m, r.EndTime)
+				}
+			}
+		}
+		if timedOut != 2 {
+			t.Fatalf("%T has %d timed-out records, want 2", m, timedOut)
+		}
+	}
+}
+
+func TestHashIndexBasics(t *testing.T) {
+	ix := NewHashIndex(4)
+	rng := randx.New(7)
+	ids := make([]chain.TxID, 100)
+	for i := range ids {
+		ids[i] = randomID(rng)
+		ix.Put(ids[i], i)
+	}
+	if ix.Len() != 100 {
+		t.Fatalf("len %d", ix.Len())
+	}
+	for i, id := range ids {
+		pos, ok := ix.Get(id)
+		if !ok || pos != i {
+			t.Fatalf("lookup %d: pos %d ok %v", i, pos, ok)
+		}
+	}
+	if _, ok := ix.Get(randomID(rng)); ok {
+		t.Fatal("absent key should miss")
+	}
+	if !ix.Delete(ids[0]) {
+		t.Fatal("delete should find the key")
+	}
+	if _, ok := ix.Get(ids[0]); ok {
+		t.Fatal("deleted key should miss")
+	}
+	if ix.Delete(ids[0]) {
+		t.Fatal("double delete should report false")
+	}
+}
+
+func TestHashIndexGrows(t *testing.T) {
+	ix := NewHashIndex(4)
+	start := ix.Buckets()
+	rng := randx.New(8)
+	for i := 0; i < 10000; i++ {
+		ix.Put(randomID(rng), i)
+	}
+	if ix.Buckets() <= start {
+		t.Fatalf("index never grew: %d buckets", ix.Buckets())
+	}
+	_, resizes := ix.Stats()
+	if resizes == 0 {
+		t.Fatal("resize counter should advance")
+	}
+	// Load factor must be maintained.
+	if float64(ix.Len()) > maxLoad*float64(ix.Buckets()) {
+		t.Fatalf("load factor exceeded: %d entries in %d buckets", ix.Len(), ix.Buckets())
+	}
+}
+
+// TestQuickProcessorBatchEquivalence property-tests that the O(1) processor
+// and the O(n·m) baseline complete exactly the same records.
+func TestQuickProcessorBatchEquivalence(t *testing.T) {
+	prop := func(seed int64, nTracked, nBlocks uint8) bool {
+		rng := randx.New(seed)
+		tracked := int(nTracked%50) + 1
+		p := NewProcessor(tracked)
+		b := NewBatchQueue(tracked)
+		ids := make([]chain.TxID, tracked)
+		for i := range ids {
+			ids[i] = randomID(rng)
+			rec := TxRecord{ID: ids[i], StartTime: time.Duration(i)}
+			p.Track(rec)
+			b.Track(rec)
+		}
+		for bi := 0; bi < int(nBlocks%5)+1; bi++ {
+			blk := &chain.Block{Timestamp: time.Duration(bi+1) * time.Second}
+			for i := 0; i < tracked; i++ {
+				if rng.Float64() < 0.3 {
+					blk.Receipts = append(blk.Receipts, &chain.Receipt{TxID: ids[i], Status: chain.StatusCommitted})
+				}
+			}
+			if p.OnBlock(blk) != b.OnBlock(blk) {
+				return false
+			}
+		}
+		return p.Pending() == b.Pending()
+	}
+	if err := quick.Check(prop, &quick.Config{MaxCount: 100}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestProcessorWithoutBloomStillCorrect(t *testing.T) {
+	p := NewProcessor(10, WithoutBloom())
+	rng := randx.New(9)
+	id := randomID(rng)
+	p.Track(TxRecord{ID: id})
+	blk := &chain.Block{Timestamp: time.Second, Receipts: []*chain.Receipt{
+		{TxID: id, Status: chain.StatusCommitted},
+		{TxID: randomID(rng), Status: chain.StatusCommitted},
+	}}
+	if matched := p.OnBlock(blk); matched != 1 {
+		t.Fatalf("matched %d, want 1", matched)
+	}
+}
+
+func TestVectorListStablePositions(t *testing.T) {
+	v := NewVectorList(2)
+	p0 := v.Append(TxRecord{ClientID: "a"})
+	p1 := v.Append(TxRecord{ClientID: "b"})
+	for i := 0; i < 100; i++ {
+		v.Append(TxRecord{})
+	}
+	if v.At(p0).ClientID != "a" || v.At(p1).ClientID != "b" {
+		t.Fatal("positions must stay stable across growth")
+	}
+	v.At(p0).Status = chain.StatusCommitted
+	if v.Records()[p0].Status != chain.StatusCommitted {
+		t.Fatal("At must alias the stored record")
+	}
+}
+
+func TestHashIndexShrink(t *testing.T) {
+	ix := NewHashIndex(4)
+	rng := randx.New(10)
+	ids := make([]chain.TxID, 5000)
+	for i := range ids {
+		ids[i] = randomID(rng)
+		ix.Put(ids[i], i)
+	}
+	grown := ix.Buckets()
+	for _, id := range ids[:4900] {
+		ix.Delete(id)
+	}
+	if steps := ix.Shrink(); steps == 0 {
+		t.Fatal("a 98% empty table should shrink")
+	}
+	if ix.Buckets() >= grown {
+		t.Fatalf("buckets %d did not shrink from %d", ix.Buckets(), grown)
+	}
+	// Remaining entries must still resolve.
+	for i, id := range ids[4900:] {
+		pos, ok := ix.Get(id)
+		if !ok || pos != 4900+i {
+			t.Fatalf("entry lost after shrink: pos %d ok %v", pos, ok)
+		}
+	}
+	// A loaded table must refuse to shrink.
+	full := NewHashIndex(4)
+	for i := 0; i < 1000; i++ {
+		full.Put(randomID(rng), i)
+	}
+	if full.Shrink() != 0 {
+		t.Fatal("a loaded table should not shrink")
+	}
+}
+
+func TestProcessorCompaction(t *testing.T) {
+	const n = 20000
+	rng := randx.New(11)
+	plain := NewProcessor(n)
+	compacting := NewProcessor(n, WithCompaction(5000))
+	ids := make([]chain.TxID, n)
+	for i := range ids {
+		ids[i] = randomID(rng)
+		rec := TxRecord{ID: ids[i], StartTime: time.Duration(i)}
+		plain.Track(rec)
+		compacting.Track(rec)
+	}
+	// Commit 95% across several blocks.
+	for start := 0; start < n*95/100; start += 1000 {
+		blk := &chain.Block{Timestamp: time.Duration(start) * time.Millisecond}
+		for i := start; i < start+1000; i++ {
+			blk.Receipts = append(blk.Receipts, &chain.Receipt{TxID: ids[i], Status: chain.StatusCommitted})
+		}
+		pm := plain.OnBlock(blk)
+		cm := compacting.OnBlock(blk)
+		if pm != cm {
+			t.Fatalf("compaction changed matching: %d vs %d", pm, cm)
+		}
+	}
+	if compacting.Stats().Compactions == 0 {
+		t.Fatal("no compactions ran")
+	}
+	if compacting.Stats().IndexBuckets >= plain.Stats().IndexBuckets {
+		t.Fatalf("compacted index (%d buckets) should be smaller than plain (%d)",
+			compacting.Stats().IndexBuckets, plain.Stats().IndexBuckets)
+	}
+	// Late blocks for the remaining 5% must still match.
+	blk := &chain.Block{Timestamp: time.Hour}
+	for i := n * 95 / 100; i < n; i++ {
+		blk.Receipts = append(blk.Receipts, &chain.Receipt{TxID: ids[i], Status: chain.StatusCommitted})
+	}
+	if matched := compacting.OnBlock(blk); matched != n*5/100 {
+		t.Fatalf("post-compaction matching broken: %d", matched)
+	}
+	if compacting.Pending() != 0 {
+		t.Fatalf("pending %d after full completion", compacting.Pending())
+	}
+}
+
+func TestCompactionIgnoresDuplicateDelivery(t *testing.T) {
+	p := NewProcessor(16, WithCompaction(1))
+	rng := randx.New(12)
+	id := randomID(rng)
+	p.Track(TxRecord{ID: id})
+	blk := &chain.Block{Timestamp: time.Second, Receipts: []*chain.Receipt{
+		{TxID: id, Status: chain.StatusCommitted},
+	}}
+	if p.OnBlock(blk) != 1 {
+		t.Fatal("first delivery should match")
+	}
+	// After compaction the entry is gone from the index; a duplicate
+	// delivery must be a clean no-op.
+	if p.OnBlock(blk) != 0 {
+		t.Fatal("duplicate delivery after compaction should not match")
+	}
+}

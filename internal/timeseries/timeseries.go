@@ -1,0 +1,187 @@
+// Package timeseries provides the temporal-workload toolkit behind the
+// paper's learning-based control sequences (§IV): hourly bucketing of
+// transaction logs, supervised windowing, normalisation, and the regression
+// metrics (MAE, MSE, RMSE, R²) of Table III.
+package timeseries
+
+import (
+	"fmt"
+	"math"
+	"time"
+)
+
+// BucketHourly counts events per hour, producing the control-sequence raw
+// material ("we pre-process the datasets by dividing them into hourly
+// intervals and counting the number of transactions in each interval").
+func BucketHourly(events []time.Duration, hours int) []float64 {
+	return Bucket(events, time.Hour, hours)
+}
+
+// Bucket counts events per fixed-width interval over `buckets` intervals.
+// Events beyond the range are dropped.
+func Bucket(events []time.Duration, width time.Duration, buckets int) []float64 {
+	out := make([]float64, buckets)
+	if width <= 0 {
+		return out
+	}
+	for _, e := range events {
+		if e < 0 {
+			continue
+		}
+		b := int(e / width)
+		if b < buckets {
+			out[b]++
+		}
+	}
+	return out
+}
+
+// MAE is the mean absolute error (the paper's training loss, eq. 8).
+func MAE(y, yhat []float64) float64 {
+	n := minLen(y, yhat)
+	if n == 0 {
+		return math.NaN()
+	}
+	var sum float64
+	for i := 0; i < n; i++ {
+		sum += math.Abs(y[i] - yhat[i])
+	}
+	return sum / float64(n)
+}
+
+// MSE is the mean squared error.
+func MSE(y, yhat []float64) float64 {
+	n := minLen(y, yhat)
+	if n == 0 {
+		return math.NaN()
+	}
+	var sum float64
+	for i := 0; i < n; i++ {
+		d := y[i] - yhat[i]
+		sum += d * d
+	}
+	return sum / float64(n)
+}
+
+// RMSE is the root mean squared error.
+func RMSE(y, yhat []float64) float64 {
+	return math.Sqrt(MSE(y, yhat))
+}
+
+// R2 is the coefficient of determination; 1 is a perfect fit and values can
+// go negative for fits worse than predicting the mean (as Table III shows
+// for the Transformer baseline).
+func R2(y, yhat []float64) float64 {
+	n := minLen(y, yhat)
+	if n == 0 {
+		return math.NaN()
+	}
+	var mean float64
+	for i := 0; i < n; i++ {
+		mean += y[i]
+	}
+	mean /= float64(n)
+	var ssRes, ssTot float64
+	for i := 0; i < n; i++ {
+		d := y[i] - yhat[i]
+		ssRes += d * d
+		t := y[i] - mean
+		ssTot += t * t
+	}
+	if ssTot == 0 {
+		if ssRes == 0 {
+			return 1
+		}
+		return math.Inf(-1)
+	}
+	return 1 - ssRes/ssTot
+}
+
+func minLen(a, b []float64) int {
+	if len(a) < len(b) {
+		return len(a)
+	}
+	return len(b)
+}
+
+// Scaler is a z-score normaliser fit on training data only.
+type Scaler struct {
+	Mean float64
+	Std  float64
+}
+
+// FitScaler computes mean and standard deviation of xs.
+func FitScaler(xs []float64) Scaler {
+	s := Scaler{Std: 1}
+	if len(xs) == 0 {
+		return s
+	}
+	var sum float64
+	for _, v := range xs {
+		sum += v
+	}
+	s.Mean = sum / float64(len(xs))
+	var ss float64
+	for _, v := range xs {
+		d := v - s.Mean
+		ss += d * d
+	}
+	std := math.Sqrt(ss / float64(len(xs)))
+	if std > 1e-12 {
+		s.Std = std
+	}
+	return s
+}
+
+// Transform normalises xs into a new slice.
+func (s Scaler) Transform(xs []float64) []float64 {
+	out := make([]float64, len(xs))
+	for i, v := range xs {
+		out[i] = (v - s.Mean) / s.Std
+	}
+	return out
+}
+
+// Invert maps a normalised value back to the original scale.
+func (s Scaler) Invert(v float64) float64 { return v*s.Std + s.Mean }
+
+// InvertAll maps a normalised slice back to the original scale.
+func (s Scaler) InvertAll(xs []float64) []float64 {
+	out := make([]float64, len(xs))
+	for i, v := range xs {
+		out[i] = s.Invert(v)
+	}
+	return out
+}
+
+// Windows converts a series into supervised (window, target) pairs with the
+// given lookback and prediction horizon: X[i] = series[i : i+lookback],
+// Y[i] = series[i+lookback+horizon-1].
+func Windows(series []float64, lookback, horizon int) (X [][]float64, Y []float64, err error) {
+	if lookback <= 0 || horizon <= 0 {
+		return nil, nil, fmt.Errorf("timeseries: lookback %d and horizon %d must be positive", lookback, horizon)
+	}
+	n := len(series) - lookback - horizon + 1
+	if n <= 0 {
+		return nil, nil, fmt.Errorf("timeseries: series of %d too short for lookback %d + horizon %d", len(series), lookback, horizon)
+	}
+	X = make([][]float64, n)
+	Y = make([]float64, n)
+	for i := 0; i < n; i++ {
+		X[i] = series[i : i+lookback]
+		Y[i] = series[i+lookback+horizon-1]
+	}
+	return X, Y, nil
+}
+
+// Split divides a series into train and test parts at the given fraction.
+func Split(series []float64, trainFrac float64) (train, test []float64) {
+	if trainFrac <= 0 {
+		return nil, series
+	}
+	if trainFrac >= 1 {
+		return series, nil
+	}
+	cut := int(float64(len(series)) * trainFrac)
+	return series[:cut], series[cut:]
+}

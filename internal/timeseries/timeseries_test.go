@@ -1,0 +1,178 @@
+package timeseries
+
+import (
+	"math"
+	"testing"
+	"testing/quick"
+	"time"
+)
+
+func TestBucketHourly(t *testing.T) {
+	events := []time.Duration{
+		0, 30 * time.Minute, // hour 0
+		90 * time.Minute,          // hour 1
+		5 * time.Hour,             // hour 5
+		300 * time.Hour,           // out of range
+		-time.Minute,              // negative, dropped
+		299*time.Hour + time.Hour, // boundary, out of range
+	}
+	s := BucketHourly(events, 6)
+	if s[0] != 2 || s[1] != 1 || s[5] != 1 {
+		t.Fatalf("buckets %v", s)
+	}
+	var total float64
+	for _, v := range s {
+		total += v
+	}
+	if total != 4 {
+		t.Fatalf("total %v, want 4", total)
+	}
+}
+
+func TestMetricsExactValues(t *testing.T) {
+	y := []float64{1, 2, 3, 4}
+	yhat := []float64{1, 2, 3, 4}
+	if MAE(y, yhat) != 0 || MSE(y, yhat) != 0 || RMSE(y, yhat) != 0 {
+		t.Fatal("perfect fit should have zero error")
+	}
+	if R2(y, yhat) != 1 {
+		t.Fatal("perfect fit should have R²=1")
+	}
+	yhat = []float64{2, 3, 4, 5} // off by one everywhere
+	if MAE(y, yhat) != 1 {
+		t.Fatalf("MAE %v", MAE(y, yhat))
+	}
+	if MSE(y, yhat) != 1 {
+		t.Fatalf("MSE %v", MSE(y, yhat))
+	}
+	if RMSE(y, yhat) != 1 {
+		t.Fatalf("RMSE %v", RMSE(y, yhat))
+	}
+	// Predicting the mean gives R²=0.
+	mean := []float64{2.5, 2.5, 2.5, 2.5}
+	if r := R2(y, mean); math.Abs(r) > 1e-12 {
+		t.Fatalf("R² of mean predictor %v", r)
+	}
+	// Worse than the mean goes negative (as the paper's Table III shows).
+	bad := []float64{4, 3, 2, 1}
+	if R2(y, bad) >= 0 {
+		t.Fatal("anti-correlated predictor should have negative R²")
+	}
+	if !math.IsNaN(MAE(nil, nil)) {
+		t.Fatal("empty MAE should be NaN")
+	}
+}
+
+func TestR2ConstantSeries(t *testing.T) {
+	y := []float64{5, 5, 5}
+	if R2(y, []float64{5, 5, 5}) != 1 {
+		t.Fatal("exact constant fit should be 1")
+	}
+	if !math.IsInf(R2(y, []float64{6, 6, 6}), -1) {
+		t.Fatal("miss on constant series should be -Inf")
+	}
+}
+
+func TestScalerRoundTrip(t *testing.T) {
+	xs := []float64{2, 4, 6, 8}
+	s := FitScaler(xs)
+	if s.Mean != 5 {
+		t.Fatalf("mean %v", s.Mean)
+	}
+	norm := s.Transform(xs)
+	var sum float64
+	for _, v := range norm {
+		sum += v
+	}
+	if math.Abs(sum) > 1e-9 {
+		t.Fatal("normalised series should be zero-mean")
+	}
+	back := s.InvertAll(norm)
+	for i := range xs {
+		if math.Abs(back[i]-xs[i]) > 1e-9 {
+			t.Fatal("invert(transform) should round-trip")
+		}
+	}
+	// Degenerate series keep Std=1 to avoid division by zero.
+	deg := FitScaler([]float64{3, 3, 3})
+	if deg.Std != 1 {
+		t.Fatalf("degenerate std %v", deg.Std)
+	}
+	empty := FitScaler(nil)
+	if empty.Std != 1 || empty.Mean != 0 {
+		t.Fatal("empty scaler defaults")
+	}
+}
+
+func TestWindows(t *testing.T) {
+	series := []float64{0, 1, 2, 3, 4, 5}
+	X, Y, err := Windows(series, 3, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(X) != 3 {
+		t.Fatalf("%d windows", len(X))
+	}
+	if X[0][0] != 0 || X[0][2] != 2 || Y[0] != 3 {
+		t.Fatalf("first window %v → %v", X[0], Y[0])
+	}
+	if Y[2] != 5 {
+		t.Fatalf("last target %v", Y[2])
+	}
+	// Horizon 2 shifts targets.
+	_, Y2, err := Windows(series, 3, 2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if Y2[0] != 4 {
+		t.Fatalf("horizon-2 target %v", Y2[0])
+	}
+	if _, _, err := Windows(series, 6, 1); err == nil {
+		t.Fatal("too-short series should error")
+	}
+	if _, _, err := Windows(series, 0, 1); err == nil {
+		t.Fatal("zero lookback should error")
+	}
+}
+
+func TestSplit(t *testing.T) {
+	series := []float64{1, 2, 3, 4, 5, 6, 7, 8, 9, 10}
+	train, test := Split(series, 0.8)
+	if len(train) != 8 || len(test) != 2 {
+		t.Fatalf("split %d/%d", len(train), len(test))
+	}
+	train, test = Split(series, 0)
+	if train != nil || len(test) != 10 {
+		t.Fatal("zero fraction should keep everything in test")
+	}
+	train, test = Split(series, 1)
+	if len(train) != 10 || test != nil {
+		t.Fatal("unit fraction should keep everything in train")
+	}
+}
+
+// TestQuickScalerInverse property-tests invert∘transform = identity.
+func TestQuickScalerInverse(t *testing.T) {
+	prop := func(xs []float64) bool {
+		if len(xs) == 0 {
+			return true
+		}
+		for _, v := range xs {
+			if math.IsNaN(v) || math.IsInf(v, 0) || math.Abs(v) > 1e100 {
+				return true // skip pathological inputs
+			}
+		}
+		s := FitScaler(xs)
+		for _, v := range xs {
+			back := s.Invert((v - s.Mean) / s.Std)
+			scale := math.Max(1, math.Abs(v))
+			if math.Abs(back-v)/scale > 1e-9 {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(prop, nil); err != nil {
+		t.Fatal(err)
+	}
+}

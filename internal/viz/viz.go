@@ -1,0 +1,231 @@
+// Package viz is the Grafana-equivalent of the paper's visualization layer:
+// it renders time series and grouped bars as terminal charts and exports the
+// exact numbers as CSV, one file per reproduced table or figure.
+package viz
+
+import (
+	"fmt"
+	"io"
+	"math"
+	"os"
+	"path/filepath"
+	"strings"
+)
+
+// Series is one named line of (x, y) points with a shared x grid.
+type Series struct {
+	Name string
+	Y    []float64
+}
+
+// LineChart renders one or more series sharing an implicit x axis
+// (0..n-1) as an ASCII chart of the given size.
+func LineChart(w io.Writer, title string, series []Series, width, height int) {
+	if width <= 0 {
+		width = 72
+	}
+	if height <= 0 {
+		height = 14
+	}
+	maxLen := 0
+	lo, hi := math.Inf(1), math.Inf(-1)
+	for _, s := range series {
+		if len(s.Y) > maxLen {
+			maxLen = len(s.Y)
+		}
+		for _, v := range s.Y {
+			if math.IsNaN(v) {
+				continue
+			}
+			if v < lo {
+				lo = v
+			}
+			if v > hi {
+				hi = v
+			}
+		}
+	}
+	fmt.Fprintf(w, "%s\n", title)
+	if maxLen == 0 || math.IsInf(lo, 1) {
+		fmt.Fprintln(w, "  (no data)")
+		return
+	}
+	if hi == lo {
+		hi = lo + 1
+	}
+	grid := make([][]byte, height)
+	for i := range grid {
+		grid[i] = []byte(strings.Repeat(" ", width))
+	}
+	marks := []byte{'*', '+', 'o', 'x', '#', '@'}
+	for si, s := range series {
+		mark := marks[si%len(marks)]
+		for i, v := range s.Y {
+			if math.IsNaN(v) {
+				continue
+			}
+			x := 0
+			if maxLen > 1 {
+				x = i * (width - 1) / (maxLen - 1)
+			}
+			yFrac := (v - lo) / (hi - lo)
+			y := height - 1 - int(yFrac*float64(height-1))
+			if y >= 0 && y < height && x >= 0 && x < width {
+				grid[y][x] = mark
+			}
+		}
+	}
+	for i, row := range grid {
+		label := "          "
+		switch i {
+		case 0:
+			label = fmt.Sprintf("%9.2f ", hi)
+		case height - 1:
+			label = fmt.Sprintf("%9.2f ", lo)
+		}
+		fmt.Fprintf(w, "%s|%s\n", label, string(row))
+	}
+	fmt.Fprintf(w, "%s+%s\n", strings.Repeat(" ", 10), strings.Repeat("-", width))
+	var legend []string
+	for si, s := range series {
+		legend = append(legend, fmt.Sprintf("%c=%s", marks[si%len(marks)], s.Name))
+	}
+	fmt.Fprintf(w, "%s%s\n", strings.Repeat(" ", 11), strings.Join(legend, "  "))
+}
+
+// BarGroup is one cluster of labelled bars (e.g. one chain with several
+// measured values).
+type BarGroup struct {
+	Label  string
+	Values []float64
+}
+
+// BarChart renders horizontally scaled bars grouped by label. valueNames
+// labels the positions within each group.
+func BarChart(w io.Writer, title string, valueNames []string, groups []BarGroup, width int) {
+	if width <= 0 {
+		width = 50
+	}
+	var max float64
+	for _, g := range groups {
+		for _, v := range g.Values {
+			if v > max {
+				max = v
+			}
+		}
+	}
+	fmt.Fprintf(w, "%s\n", title)
+	if max == 0 {
+		max = 1
+	}
+	labelW := 0
+	for _, g := range groups {
+		for i := range g.Values {
+			name := valueName(valueNames, i)
+			l := len(g.Label) + 1 + len(name)
+			if l > labelW {
+				labelW = l
+			}
+		}
+	}
+	for _, g := range groups {
+		for i, v := range g.Values {
+			name := valueName(valueNames, i)
+			full := g.Label
+			if name != "" {
+				full += " " + name
+			}
+			n := int(v / max * float64(width))
+			if n < 0 {
+				n = 0
+			}
+			fmt.Fprintf(w, "  %-*s |%s %.2f\n", labelW, full, strings.Repeat("=", n), v)
+		}
+	}
+}
+
+func valueName(names []string, i int) string {
+	if i < len(names) {
+		return names[i]
+	}
+	return ""
+}
+
+// CSV writes a header row and data rows. Every row must have len(header)
+// cells.
+func CSV(w io.Writer, header []string, rows [][]string) error {
+	esc := func(s string) string {
+		if strings.ContainsAny(s, ",\"\n") {
+			return `"` + strings.ReplaceAll(s, `"`, `""`) + `"`
+		}
+		return s
+	}
+	write := func(cells []string) error {
+		out := make([]string, len(cells))
+		for i, c := range cells {
+			out[i] = esc(c)
+		}
+		_, err := fmt.Fprintln(w, strings.Join(out, ","))
+		return err
+	}
+	if err := write(header); err != nil {
+		return err
+	}
+	for i, row := range rows {
+		if len(row) != len(header) {
+			return fmt.Errorf("viz: row %d has %d cells, header has %d", i, len(row), len(header))
+		}
+		if err := write(row); err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+// WriteCSVFile writes a CSV into dir/name, creating dir if needed.
+func WriteCSVFile(dir, name string, header []string, rows [][]string) (string, error) {
+	if err := os.MkdirAll(dir, 0o755); err != nil {
+		return "", fmt.Errorf("viz: create output dir: %w", err)
+	}
+	path := filepath.Join(dir, name)
+	f, err := os.Create(path)
+	if err != nil {
+		return "", fmt.Errorf("viz: create %s: %w", path, err)
+	}
+	defer f.Close()
+	if err := CSV(f, header, rows); err != nil {
+		return "", err
+	}
+	return path, nil
+}
+
+// Table renders an aligned text table.
+func Table(w io.Writer, header []string, rows [][]string) {
+	widths := make([]int, len(header))
+	for i, h := range header {
+		widths[i] = len(h)
+	}
+	for _, row := range rows {
+		for i, c := range row {
+			if i < len(widths) && len(c) > widths[i] {
+				widths[i] = len(c)
+			}
+		}
+	}
+	printRow := func(cells []string) {
+		parts := make([]string, len(cells))
+		for i, c := range cells {
+			parts[i] = fmt.Sprintf("%-*s", widths[i], c)
+		}
+		fmt.Fprintf(w, "| %s |\n", strings.Join(parts, " | "))
+	}
+	printRow(header)
+	sep := make([]string, len(header))
+	for i := range sep {
+		sep[i] = strings.Repeat("-", widths[i])
+	}
+	printRow(sep)
+	for _, row := range rows {
+		printRow(row)
+	}
+}

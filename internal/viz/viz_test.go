@@ -1,0 +1,124 @@
+package viz
+
+import (
+	"math"
+	"os"
+	"path/filepath"
+	"strings"
+	"testing"
+)
+
+func TestLineChartRenders(t *testing.T) {
+	var sb strings.Builder
+	LineChart(&sb, "demo", []Series{
+		{Name: "a", Y: []float64{1, 2, 3, 4, 5}},
+		{Name: "b", Y: []float64{5, 4, 3, 2, 1}},
+	}, 40, 8)
+	out := sb.String()
+	if !strings.Contains(out, "demo") || !strings.Contains(out, "*=a") || !strings.Contains(out, "+=b") {
+		t.Fatalf("chart missing elements:\n%s", out)
+	}
+	if !strings.Contains(out, "5.00") || !strings.Contains(out, "1.00") {
+		t.Fatalf("axis labels missing:\n%s", out)
+	}
+}
+
+func TestLineChartHandlesEdgeCases(t *testing.T) {
+	var sb strings.Builder
+	LineChart(&sb, "empty", nil, 40, 8)
+	if !strings.Contains(sb.String(), "no data") {
+		t.Fatal("empty chart should say so")
+	}
+	sb.Reset()
+	LineChart(&sb, "flat", []Series{{Name: "x", Y: []float64{2, 2, 2}}}, 40, 8)
+	if !strings.Contains(sb.String(), "x") {
+		t.Fatal("flat series should still render")
+	}
+	sb.Reset()
+	LineChart(&sb, "nan", []Series{{Name: "x", Y: []float64{1, math.NaN(), 3}}}, 40, 8)
+	if sb.Len() == 0 {
+		t.Fatal("NaN points should be skipped, not crash")
+	}
+	sb.Reset()
+	LineChart(&sb, "single", []Series{{Name: "x", Y: []float64{42}}}, 40, 8)
+	if sb.Len() == 0 {
+		t.Fatal("single point should render")
+	}
+}
+
+func TestBarChart(t *testing.T) {
+	var sb strings.Builder
+	BarChart(&sb, "tps", []string{"hammer", "caliper"}, []BarGroup{
+		{Label: "fabric", Values: []float64{239, 176}},
+		{Label: "ethereum", Values: []float64{18.6, 18.2}},
+	}, 40)
+	out := sb.String()
+	if !strings.Contains(out, "fabric hammer") || !strings.Contains(out, "239.00") {
+		t.Fatalf("bars missing:\n%s", out)
+	}
+	// Zero-only chart must not divide by zero.
+	sb.Reset()
+	BarChart(&sb, "zeros", nil, []BarGroup{{Label: "x", Values: []float64{0}}}, 40)
+	if sb.Len() == 0 {
+		t.Fatal("zero chart should render")
+	}
+}
+
+func TestCSVEscaping(t *testing.T) {
+	var sb strings.Builder
+	err := CSV(&sb, []string{"a", "b"}, [][]string{
+		{"plain", `has,comma`},
+		{`has"quote`, "has\nnewline"},
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	out := sb.String()
+	if !strings.Contains(out, `"has,comma"`) {
+		t.Fatalf("comma not quoted:\n%s", out)
+	}
+	if !strings.Contains(out, `"has""quote"`) {
+		t.Fatalf("quote not doubled:\n%s", out)
+	}
+}
+
+func TestCSVArityChecked(t *testing.T) {
+	var sb strings.Builder
+	if err := CSV(&sb, []string{"a", "b"}, [][]string{{"only-one"}}); err == nil {
+		t.Fatal("short row should error")
+	}
+}
+
+func TestWriteCSVFile(t *testing.T) {
+	dir := filepath.Join(t.TempDir(), "nested", "out")
+	path, err := WriteCSVFile(dir, "x.csv", []string{"h"}, [][]string{{"1"}, {"2"}})
+	if err != nil {
+		t.Fatal(err)
+	}
+	raw, err := os.ReadFile(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if string(raw) != "h\n1\n2\n" {
+		t.Fatalf("file contents %q", raw)
+	}
+}
+
+func TestTable(t *testing.T) {
+	var sb strings.Builder
+	Table(&sb, []string{"name", "tps"}, [][]string{
+		{"fabric", "239"},
+		{"ethereum-long-name", "18.6"},
+	})
+	out := sb.String()
+	if !strings.Contains(out, "| name") || !strings.Contains(out, "ethereum-long-name") {
+		t.Fatalf("table missing content:\n%s", out)
+	}
+	lines := strings.Split(strings.TrimSpace(out), "\n")
+	if len(lines) != 4 {
+		t.Fatalf("table has %d lines, want header+sep+2 rows", len(lines))
+	}
+	if len(lines[0]) != len(lines[2]) {
+		t.Fatal("rows not aligned")
+	}
+}

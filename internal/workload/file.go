@@ -1,0 +1,74 @@
+package workload
+
+import (
+	"bufio"
+	"encoding/json"
+	"fmt"
+	"io"
+	"os"
+
+	"hammer/internal/chain"
+)
+
+// WriteFile persists transactions as JSON lines — the workload file the
+// paper's client generates, persists and ships to the server over SCP
+// (§III-B1, step ①). The format is line-oriented so the server can stream
+// it through the signing pipeline without loading everything first.
+func WriteFile(path string, txs []*chain.Transaction) (err error) {
+	f, err := os.Create(path)
+	if err != nil {
+		return fmt.Errorf("workload: create %s: %w", path, err)
+	}
+	defer func() {
+		if cerr := f.Close(); cerr != nil && err == nil {
+			err = fmt.Errorf("workload: close %s: %w", path, cerr)
+		}
+	}()
+	w := bufio.NewWriter(f)
+	enc := json.NewEncoder(w)
+	for _, tx := range txs {
+		if err := enc.Encode(tx); err != nil {
+			return fmt.Errorf("workload: encode transaction: %w", err)
+		}
+	}
+	if err := w.Flush(); err != nil {
+		return fmt.Errorf("workload: flush %s: %w", path, err)
+	}
+	return nil
+}
+
+// ReadFile loads a JSON-lines workload file fully.
+func ReadFile(path string) ([]*chain.Transaction, error) {
+	f, err := os.Open(path)
+	if err != nil {
+		return nil, fmt.Errorf("workload: open %s: %w", path, err)
+	}
+	defer f.Close()
+	var txs []*chain.Transaction
+	err = StreamFile(f, func(tx *chain.Transaction) error {
+		txs = append(txs, tx)
+		return nil
+	})
+	if err != nil {
+		return nil, err
+	}
+	return txs, nil
+}
+
+// StreamFile decodes transactions one at a time, feeding each to fn — the
+// streaming entry point of the server's pipelined preparation.
+func StreamFile(r io.Reader, fn func(*chain.Transaction) error) error {
+	dec := json.NewDecoder(bufio.NewReader(r))
+	for {
+		tx := &chain.Transaction{}
+		if err := dec.Decode(tx); err != nil {
+			if err == io.EOF {
+				return nil
+			}
+			return fmt.Errorf("workload: decode transaction: %w", err)
+		}
+		if err := fn(tx); err != nil {
+			return err
+		}
+	}
+}

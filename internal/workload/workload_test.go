@@ -1,0 +1,241 @@
+package workload
+
+import (
+	"errors"
+	"math"
+	"os"
+	"path/filepath"
+	"strconv"
+	"testing"
+	"time"
+
+	"hammer/internal/chain"
+	"hammer/internal/smallbank"
+)
+
+func TestGeneratorValidation(t *testing.T) {
+	if _, err := NewGenerator(Profile{Accounts: 1}); err == nil {
+		t.Fatal("1 account should be rejected")
+	}
+	if _, err := NewGenerator(Profile{Accounts: 10, InitialBalance: -1}); err == nil {
+		t.Fatal("negative balance should be rejected")
+	}
+	if _, err := NewGenerator(Profile{Accounts: 10, OpMix: map[string]float64{"nope": 1}}); err == nil {
+		t.Fatal("mix selecting nothing should be rejected")
+	}
+}
+
+func TestSetupTxs(t *testing.T) {
+	g, err := NewGenerator(Profile{Accounts: 5, InitialBalance: 77, Seed: 1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	setup := g.SetupTxs()
+	if len(setup) != 5 {
+		t.Fatalf("%d setup txs", len(setup))
+	}
+	for i, tx := range setup {
+		if tx.Op != smallbank.OpCreate {
+			t.Fatalf("setup op %q", tx.Op)
+		}
+		if tx.Args[0] != smallbank.AccountName(i) || tx.Args[1] != "77" {
+			t.Fatalf("setup args %v", tx.Args)
+		}
+	}
+}
+
+func TestUniformMix(t *testing.T) {
+	g, err := NewGenerator(Profile{Accounts: 100, Seed: 2, MaxAmount: 10})
+	if err != nil {
+		t.Fatal(err)
+	}
+	counts := map[string]int{}
+	const n = 8000
+	for i := 0; i < n; i++ {
+		tx := g.Next("c0", "s0")
+		counts[tx.Op]++
+		if tx.ClientID != "c0" || tx.ServerID != "s0" {
+			t.Fatal("attribution missing")
+		}
+	}
+	for _, op := range smallbank.Ops {
+		frac := float64(counts[op]) / n
+		if math.Abs(frac-0.25) > 0.03 {
+			t.Errorf("op %s frequency %.3f, want ≈0.25 (uniform)", op, frac)
+		}
+	}
+}
+
+func TestCustomMix(t *testing.T) {
+	g, err := NewGenerator(Profile{
+		Accounts: 10, Seed: 3,
+		OpMix: map[string]float64{smallbank.OpTransfer: 1},
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := 0; i < 100; i++ {
+		tx := g.Next("c", "s")
+		if tx.Op != smallbank.OpTransfer {
+			t.Fatalf("op %q under transfer-only mix", tx.Op)
+		}
+		if tx.Args[0] == tx.Args[1] {
+			t.Fatal("transfer endpoints must differ")
+		}
+		if tx.From != tx.Args[0] {
+			t.Fatal("From should be the source account")
+		}
+	}
+}
+
+func TestAmountsBounded(t *testing.T) {
+	g, err := NewGenerator(Profile{Accounts: 10, Seed: 4, MaxAmount: 7})
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := 0; i < 200; i++ {
+		tx := g.Next("c", "s")
+		if tx.Op == smallbank.OpAmalgamate {
+			continue
+		}
+		amt, _ := strconv.Atoi(tx.Args[len(tx.Args)-1])
+		if amt < 1 || amt > 7 {
+			t.Fatalf("amount %d outside [1,7]", amt)
+		}
+	}
+}
+
+func TestSkewedAccess(t *testing.T) {
+	g, err := NewGenerator(Profile{Accounts: 1000, Seed: 5, AccessSkew: 1.3})
+	if err != nil {
+		t.Fatal(err)
+	}
+	counts := map[string]int{}
+	for i := 0; i < 5000; i++ {
+		tx := g.Next("c", "s")
+		counts[tx.Args[0]]++
+	}
+	if counts[smallbank.AccountName(0)] < 200 {
+		t.Fatalf("zipf head accessed only %d times", counts[smallbank.AccountName(0)])
+	}
+}
+
+func TestNoncesUnique(t *testing.T) {
+	g, _ := NewGenerator(Profile{Accounts: 10, Seed: 6})
+	seen := map[uint64]bool{}
+	for i := 0; i < 100; i++ {
+		tx := g.Next("c", "s")
+		if seen[tx.Nonce] {
+			t.Fatal("duplicate nonce")
+		}
+		seen[tx.Nonce] = true
+	}
+}
+
+func TestGeneratorDeterminism(t *testing.T) {
+	mk := func() []string {
+		g, _ := NewGenerator(Profile{Accounts: 50, Seed: 9})
+		var ops []string
+		for i := 0; i < 50; i++ {
+			tx := g.Next("c", "s")
+			ops = append(ops, tx.Op+":"+tx.Args[0])
+		}
+		return ops
+	}
+	a, b := mk(), mk()
+	for i := range a {
+		if a[i] != b[i] {
+			t.Fatal("same seed should generate the same workload")
+		}
+	}
+}
+
+func TestConstantControlSequence(t *testing.T) {
+	cs := Constant(150, 10*time.Second, time.Second)
+	if len(cs.Counts) != 10 {
+		t.Fatalf("%d slices", len(cs.Counts))
+	}
+	if cs.Total() != 1500 {
+		t.Fatalf("total %d, want 1500", cs.Total())
+	}
+	if cs.Duration() != 10*time.Second {
+		t.Fatalf("duration %v", cs.Duration())
+	}
+	// Fractional rates accumulate without loss.
+	cs = Constant(0.5, 10*time.Second, time.Second)
+	if cs.Total() != 5 {
+		t.Fatalf("fractional total %d, want 5", cs.Total())
+	}
+}
+
+func TestFromSeriesPreservesShape(t *testing.T) {
+	series := []float64{1, 2, 3, 4, -1, 0}
+	cs := FromSeries(series, time.Second, 100)
+	if cs.Total() != 100 {
+		t.Fatalf("total %d, want 100", cs.Total())
+	}
+	if cs.Counts[4] != 0 || cs.Counts[5] != 0 {
+		t.Fatal("negative and zero points should clamp to zero")
+	}
+	if !(cs.Counts[3] > cs.Counts[0]) {
+		t.Fatalf("shape not preserved: %v", cs.Counts)
+	}
+	if cs.PeakRate() != float64(cs.Counts[3]) {
+		t.Fatalf("peak %v", cs.PeakRate())
+	}
+	// All-zero series yields an all-zero sequence.
+	zero := FromSeries([]float64{0, 0}, time.Second, 10)
+	if zero.Total() != 0 {
+		t.Fatal("zero series should produce zero transactions")
+	}
+}
+
+func TestWorkloadFileRoundTrip(t *testing.T) {
+	g, _ := NewGenerator(Profile{Accounts: 20, Seed: 7})
+	txs := g.Batch(50, "c0", "s0")
+	for _, tx := range txs {
+		tx.ComputeID()
+	}
+	path := filepath.Join(t.TempDir(), "wl.jsonl")
+	if err := WriteFile(path, txs); err != nil {
+		t.Fatal(err)
+	}
+	back, err := ReadFile(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(back) != len(txs) {
+		t.Fatalf("read %d of %d", len(back), len(txs))
+	}
+	for i := range txs {
+		if back[i].ID != txs[i].ID {
+			t.Fatalf("tx %d id mismatch", i)
+		}
+	}
+}
+
+func TestStreamFileStopsOnError(t *testing.T) {
+	g, _ := NewGenerator(Profile{Accounts: 20, Seed: 8})
+	txs := g.Batch(10, "c", "s")
+	path := filepath.Join(t.TempDir(), "wl.jsonl")
+	if err := WriteFile(path, txs); err != nil {
+		t.Fatal(err)
+	}
+	f, err := os.Open(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer f.Close()
+	n := 0
+	sentinel := errors.New("stop here")
+	err = StreamFile(f, func(*chain.Transaction) error {
+		n++
+		if n == 3 {
+			return sentinel
+		}
+		return nil
+	})
+	if !errors.Is(err, sentinel) || n != 3 {
+		t.Fatalf("stream stopped after %d with %v", n, err)
+	}
+}

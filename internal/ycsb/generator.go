@@ -1,0 +1,172 @@
+package ycsb
+
+import (
+	"fmt"
+	"strconv"
+	"strings"
+
+	"hammer/internal/chain"
+	"hammer/internal/randx"
+)
+
+// Profile configures a YCSB workload.
+type Profile struct {
+	// Records is the initial table size.
+	Records int `json:"records"`
+	// ValueBytes is the payload size per record.
+	ValueBytes int `json:"value_bytes"`
+	// Workload names the classic mix ("a".."f"); Mix overrides it.
+	Workload string `json:"workload"`
+	Mix      Mix    `json:"-"`
+	// Skew > 1 draws keys from a Zipf distribution (YCSB's default access
+	// pattern); 0 draws uniformly.
+	Skew float64 `json:"skew"`
+	// MaxScanLen bounds scan lengths (workload E).
+	MaxScanLen int `json:"max_scan_len"`
+	// Seed makes generation reproducible.
+	Seed int64 `json:"seed"`
+}
+
+// DefaultProfile is workload A over 10k records with YCSB's standard zipf.
+func DefaultProfile() Profile {
+	return Profile{
+		Records:    10_000,
+		ValueBytes: 100,
+		Workload:   "a",
+		Skew:       1.1,
+		MaxScanLen: 20,
+		Seed:       7,
+	}
+}
+
+// Generator draws YCSB transactions.
+type Generator struct {
+	profile  Profile
+	rng      *randx.Rand
+	zipf     *randx.Zipf
+	ops      []string
+	cum      []float64
+	inserted int
+	value    string
+	nonce    uint64
+}
+
+// NewGenerator validates the profile and builds a generator.
+func NewGenerator(p Profile) (*Generator, error) {
+	if p.Records < 1 {
+		return nil, fmt.Errorf("ycsb: need at least 1 record, got %d", p.Records)
+	}
+	if p.ValueBytes <= 0 {
+		p.ValueBytes = 100
+	}
+	if p.MaxScanLen <= 0 {
+		p.MaxScanLen = 20
+	}
+	mix := p.Mix
+	if mix == nil {
+		var err error
+		mix, err = MixByName(p.Workload)
+		if err != nil {
+			return nil, err
+		}
+	}
+	g := &Generator{
+		profile:  p,
+		rng:      randx.New(p.Seed),
+		inserted: p.Records,
+		value:    strings.Repeat("x", p.ValueBytes),
+	}
+	if p.Skew > 1 {
+		g.zipf = randx.NewZipf(g.rng, p.Skew, uint64(p.Records))
+	}
+	var total float64
+	for _, op := range []string{OpRead, OpUpdate, OpInsert, OpScan, OpRMW} {
+		w := mix[op]
+		if w <= 0 {
+			continue
+		}
+		total += w
+		g.ops = append(g.ops, op)
+		g.cum = append(g.cum, total)
+	}
+	if len(g.ops) == 0 {
+		return nil, fmt.Errorf("ycsb: mix selects no operations")
+	}
+	for i := range g.cum {
+		g.cum[i] /= total
+	}
+	return g, nil
+}
+
+// SetupTxs loads the initial table.
+func (g *Generator) SetupTxs() []*chain.Transaction {
+	txs := make([]*chain.Transaction, g.profile.Records)
+	for i := range txs {
+		g.nonce++
+		txs[i] = &chain.Transaction{
+			Contract: ContractName,
+			Op:       OpInsert,
+			Args:     []string{RecordKey(i), g.value},
+			From:     RecordKey(i),
+			Nonce:    g.nonce,
+		}
+	}
+	return txs
+}
+
+func (g *Generator) pickKey() string {
+	if g.zipf != nil {
+		return RecordKey(int(g.zipf.Next()))
+	}
+	return RecordKey(g.rng.Intn(g.profile.Records))
+}
+
+// Next draws one benchmark transaction.
+func (g *Generator) Next(clientID, serverID string) *chain.Transaction {
+	u := g.rng.Float64()
+	op := g.ops[len(g.ops)-1]
+	for i, c := range g.cum {
+		if u <= c {
+			op = g.ops[i]
+			break
+		}
+	}
+	g.nonce++
+	tx := &chain.Transaction{
+		ClientID: clientID,
+		ServerID: serverID,
+		Contract: ContractName,
+		Op:       op,
+		Nonce:    g.nonce,
+	}
+	switch op {
+	case OpRead:
+		key := g.pickKey()
+		tx.Args = []string{key}
+		tx.From = key
+	case OpUpdate, OpRMW:
+		key := g.pickKey()
+		tx.Args = []string{key, g.value}
+		tx.From = key
+	case OpInsert:
+		key := RecordKey(g.inserted)
+		g.inserted++
+		tx.Args = []string{key, g.value}
+		tx.From = key
+	case OpScan:
+		start := g.rng.Intn(g.profile.Records)
+		count := 1 + g.rng.Intn(g.profile.MaxScanLen)
+		tx.Args = []string{strconv.Itoa(start), strconv.Itoa(count)}
+		tx.From = RecordKey(start)
+	}
+	return tx
+}
+
+// Batch draws n transactions.
+func (g *Generator) Batch(n int, clientID, serverID string) []*chain.Transaction {
+	txs := make([]*chain.Transaction, n)
+	for i := range txs {
+		txs[i] = g.Next(clientID, serverID)
+	}
+	return txs
+}

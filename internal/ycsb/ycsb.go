@@ -1,0 +1,157 @@
+// Package ycsb implements a YCSB-style key-value contract — the other
+// standard synthetic workload the paper discusses alongside SmallBank
+// (§II-B). Records are fixed-size opaque values addressed by key; operations
+// are read, update, insert, scan and read-modify-write, weighted per the
+// classic YCSB workload mixes (A-E).
+package ycsb
+
+import (
+	"fmt"
+	"strconv"
+
+	"hammer/internal/chain"
+)
+
+// Operation names accepted by Invoke.
+const (
+	OpInsert = "insert" // insert(key, value)
+	OpRead   = "read"   // read(key)
+	OpUpdate = "update" // update(key, value)
+	OpScan   = "scan"   // scan(startIndex, count) over ycsb key space
+	OpRMW    = "rmw"    // read-modify-write(key, value)
+)
+
+// ContractName is the name under which the contract deploys.
+const ContractName = "ycsb"
+
+// Contract is the YCSB key-value store chaincode. The zero value is usable.
+type Contract struct{}
+
+var _ chain.Contract = Contract{}
+
+// Name implements chain.Contract.
+func (Contract) Name() string { return ContractName }
+
+// Gas implements chain.Contract: scans cost proportionally more.
+func (Contract) Gas(op string) uint64 {
+	switch op {
+	case OpScan:
+		return 60000
+	case OpRMW:
+		return 30000
+	case OpInsert, OpUpdate:
+		return 21000
+	case OpRead:
+		return 5000
+	default:
+		return 21000
+	}
+}
+
+// RecordKey formats the canonical key for record index i.
+func RecordKey(i int) string { return "usertable:" + strconv.Itoa(i) }
+
+func storageKey(k string) string { return "y:" + k }
+
+// Invoke implements chain.Contract.
+func (Contract) Invoke(ctx chain.TxContext, op string, args []string) error {
+	switch op {
+	case OpInsert, OpUpdate:
+		if len(args) != 2 {
+			return fmt.Errorf("ycsb: %s wants (key, value), got %d args", op, len(args))
+		}
+		if op == OpUpdate {
+			if _, ok := ctx.Get(storageKey(args[0])); !ok {
+				return fmt.Errorf("ycsb: update of absent key %q", args[0])
+			}
+		}
+		ctx.Put(storageKey(args[0]), []byte(args[1]))
+		return nil
+
+	case OpRead:
+		if len(args) != 1 {
+			return fmt.Errorf("ycsb: read wants (key), got %d args", len(args))
+		}
+		if _, ok := ctx.Get(storageKey(args[0])); !ok {
+			return fmt.Errorf("ycsb: read of absent key %q", args[0])
+		}
+		return nil
+
+	case OpScan:
+		if len(args) != 2 {
+			return fmt.Errorf("ycsb: scan wants (start, count), got %d args", len(args))
+		}
+		start, err := strconv.Atoi(args[0])
+		if err != nil {
+			return fmt.Errorf("ycsb: scan start: %w", err)
+		}
+		count, err := strconv.Atoi(args[1])
+		if err != nil {
+			return fmt.Errorf("ycsb: scan count: %w", err)
+		}
+		if count < 0 || count > 1000 {
+			return fmt.Errorf("ycsb: scan count %d out of [0,1000]", count)
+		}
+		for i := start; i < start+count; i++ {
+			// Missing records simply end the scan, as in YCSB.
+			if _, ok := ctx.Get(storageKey(RecordKey(i))); !ok {
+				return nil
+			}
+		}
+		return nil
+
+	case OpRMW:
+		if len(args) != 2 {
+			return fmt.Errorf("ycsb: rmw wants (key, value), got %d args", len(args))
+		}
+		old, ok := ctx.Get(storageKey(args[0]))
+		if !ok {
+			return fmt.Errorf("ycsb: rmw of absent key %q", args[0])
+		}
+		_ = old
+		ctx.Put(storageKey(args[0]), []byte(args[1]))
+		return nil
+
+	default:
+		return fmt.Errorf("%w: %q", chain.ErrUnknownOp, op)
+	}
+}
+
+// Mix is a YCSB operation mix.
+type Mix map[string]float64
+
+// The classic YCSB workload mixes.
+var (
+	// WorkloadA: update-heavy (50/50 read/update).
+	WorkloadA = Mix{OpRead: 0.5, OpUpdate: 0.5}
+	// WorkloadB: read-mostly (95/5).
+	WorkloadB = Mix{OpRead: 0.95, OpUpdate: 0.05}
+	// WorkloadC: read-only.
+	WorkloadC = Mix{OpRead: 1}
+	// WorkloadD: read-latest (95/5 read/insert).
+	WorkloadD = Mix{OpRead: 0.95, OpInsert: 0.05}
+	// WorkloadE: short scans (95/5 scan/insert).
+	WorkloadE = Mix{OpScan: 0.95, OpInsert: 0.05}
+	// WorkloadF: read-modify-write (50/50 read/rmw).
+	WorkloadF = Mix{OpRead: 0.5, OpRMW: 0.5}
+)
+
+// MixByName resolves "a".."f" to the classic mixes.
+func MixByName(name string) (Mix, error) {
+	switch name {
+	case "a", "A":
+		return WorkloadA, nil
+	case "b", "B":
+		return WorkloadB, nil
+	case "c", "C":
+		return WorkloadC, nil
+	case "d", "D":
+		return WorkloadD, nil
+	case "e", "E":
+		return WorkloadE, nil
+	case "f", "F":
+		return WorkloadF, nil
+	default:
+		return nil, fmt.Errorf("ycsb: unknown workload %q", name)
+	}
+}

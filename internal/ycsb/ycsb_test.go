@@ -1,0 +1,168 @@
+package ycsb
+
+import (
+	"math"
+	"strconv"
+	"testing"
+
+	"hammer/internal/chain"
+	"hammer/internal/chains/basechain"
+	"hammer/internal/eventsim"
+)
+
+type mapCtx map[string][]byte
+
+func (m mapCtx) Get(k string) ([]byte, bool) { v, ok := m[k]; return v, ok }
+func (m mapCtx) Put(k string, v []byte)      { m[k] = v }
+func (m mapCtx) Del(k string)                { delete(m, k) }
+
+func loaded(t *testing.T, n int) mapCtx {
+	t.Helper()
+	ctx := mapCtx{}
+	c := Contract{}
+	for i := 0; i < n; i++ {
+		if err := c.Invoke(ctx, OpInsert, []string{RecordKey(i), "v"}); err != nil {
+			t.Fatal(err)
+		}
+	}
+	return ctx
+}
+
+func TestCRUDOps(t *testing.T) {
+	ctx := loaded(t, 5)
+	c := Contract{}
+	if err := c.Invoke(ctx, OpRead, []string{RecordKey(0)}); err != nil {
+		t.Fatal(err)
+	}
+	if err := c.Invoke(ctx, OpRead, []string{"ghost"}); err == nil {
+		t.Fatal("read of absent key should fail")
+	}
+	if err := c.Invoke(ctx, OpUpdate, []string{RecordKey(0), "new"}); err != nil {
+		t.Fatal(err)
+	}
+	if v, _ := ctx.Get("y:" + RecordKey(0)); string(v) != "new" {
+		t.Fatalf("update wrote %q", v)
+	}
+	if err := c.Invoke(ctx, OpUpdate, []string{"ghost", "x"}); err == nil {
+		t.Fatal("update of absent key should fail")
+	}
+	if err := c.Invoke(ctx, OpRMW, []string{RecordKey(1), "rmw"}); err != nil {
+		t.Fatal(err)
+	}
+	if err := c.Invoke(ctx, OpScan, []string{"0", "5"}); err != nil {
+		t.Fatal(err)
+	}
+	if err := c.Invoke(ctx, OpScan, []string{"0", "5000"}); err == nil {
+		t.Fatal("oversized scan should fail")
+	}
+	if err := c.Invoke(ctx, "fly", nil); err == nil {
+		t.Fatal("unknown op should fail")
+	}
+}
+
+func TestMixByName(t *testing.T) {
+	for _, name := range []string{"a", "b", "c", "d", "e", "f", "A"} {
+		if _, err := MixByName(name); err != nil {
+			t.Errorf("%s: %v", name, err)
+		}
+	}
+	if _, err := MixByName("z"); err == nil {
+		t.Fatal("unknown mix should error")
+	}
+}
+
+func TestGeneratorMixFrequencies(t *testing.T) {
+	p := DefaultProfile()
+	p.Workload = "b" // 95/5 read/update
+	g, err := NewGenerator(p)
+	if err != nil {
+		t.Fatal(err)
+	}
+	counts := map[string]int{}
+	const n = 5000
+	for i := 0; i < n; i++ {
+		counts[g.Next("c", "s").Op]++
+	}
+	if frac := float64(counts[OpRead]) / n; math.Abs(frac-0.95) > 0.02 {
+		t.Fatalf("read fraction %.3f, want ≈0.95", frac)
+	}
+}
+
+func TestGeneratorInsertsExtendKeySpace(t *testing.T) {
+	p := DefaultProfile()
+	p.Records = 10
+	p.Workload = "d"
+	g, err := NewGenerator(p)
+	if err != nil {
+		t.Fatal(err)
+	}
+	maxIdx := -1
+	for i := 0; i < 500; i++ {
+		tx := g.Next("c", "s")
+		if tx.Op != OpInsert {
+			continue
+		}
+		idx, _ := strconv.Atoi(tx.Args[0][len("usertable:"):])
+		if idx <= maxIdx {
+			t.Fatal("inserts must extend the key space monotonically")
+		}
+		maxIdx = idx
+	}
+	if maxIdx < 10 {
+		t.Fatal("no inserts generated under workload d")
+	}
+}
+
+func TestGeneratorValidation(t *testing.T) {
+	if _, err := NewGenerator(Profile{Records: 0, Workload: "a"}); err == nil {
+		t.Fatal("zero records should error")
+	}
+	if _, err := NewGenerator(Profile{Records: 10, Workload: "zz"}); err == nil {
+		t.Fatal("bad workload should error")
+	}
+	if _, err := NewGenerator(Profile{Records: 10, Mix: Mix{"nothing": 1}}); err == nil {
+		t.Fatal("mix selecting nothing should error")
+	}
+}
+
+// TestYCSBOnChain runs workload A through a simulated chain end to end.
+func TestYCSBOnChain(t *testing.T) {
+	sched := eventsim.New()
+	base := &basechain.Base{}
+	base.Init("mini", sched, 1)
+	if err := base.Deploy(Contract{}); err != nil {
+		t.Fatal(err)
+	}
+	state := chain.NewState()
+
+	p := DefaultProfile()
+	p.Records = 50
+	g, err := NewGenerator(p)
+	if err != nil {
+		t.Fatal(err)
+	}
+	setup := g.SetupTxs()
+	for _, tx := range setup {
+		tx.ComputeID()
+	}
+	receipts := base.ExecuteOrdered(state, setup, 1)
+	for _, r := range receipts {
+		if r.Status != chain.StatusCommitted {
+			t.Fatalf("setup aborted: %s", r.Err)
+		}
+	}
+	work := g.Batch(200, "c", "s")
+	for _, tx := range work {
+		tx.ComputeID()
+	}
+	receipts = base.ExecuteOrdered(state, work, 2)
+	committed := 0
+	for _, r := range receipts {
+		if r.Status == chain.StatusCommitted {
+			committed++
+		}
+	}
+	if committed != 200 {
+		t.Fatalf("%d of 200 committed", committed)
+	}
+}

@@ -1,0 +1,30 @@
+package hammer
+
+import (
+	"time"
+
+	"hammer/internal/monitor"
+)
+
+// Monitoring API — the Prometheus-equivalent of the paper's visualization
+// phase. Hand a registry to EvalConfig.Metrics and the engine publishes
+// driver counters (submitted/completed/rejected), the SUT's pending depth,
+// and a confirmation-latency histogram; scrape it yourself or run a
+// Collector.
+type (
+	// MetricsRegistry names and stores counters, gauges and histograms.
+	MetricsRegistry = monitor.Registry
+	// MetricsSample is one scraped data point.
+	MetricsSample = monitor.Sample
+	// MetricsCollector periodically scrapes a registry into a sink.
+	MetricsCollector = monitor.Collector
+)
+
+// NewMetricsRegistry returns an empty registry.
+func NewMetricsRegistry() *MetricsRegistry { return monitor.NewRegistry() }
+
+// NewMetricsCollector starts scraping reg every interval into sink; Close
+// the collector to stop it.
+func NewMetricsCollector(reg *MetricsRegistry, interval time.Duration, sink func([]MetricsSample)) (*MetricsCollector, error) {
+	return monitor.NewCollector(reg, interval, sink)
+}

@@ -1,0 +1,54 @@
+package hammer
+
+import (
+	"hammer/internal/models"
+	"hammer/internal/timeseries"
+	"hammer/internal/timeseries/datasets"
+)
+
+// Workload-prediction API (paper §IV).
+type (
+	// Predictor is a trained one-step-ahead workload forecaster.
+	Predictor = models.Predictor
+	// PredictorConfig hyper-parameterises a predictor.
+	PredictorConfig = models.Config
+	// PredictorMetrics is one Table III row (MAE/MSE/RMSE/R²).
+	PredictorMetrics = models.Metrics
+	// TxLog is a synthetic application transaction log.
+	TxLog = datasets.TxLog
+)
+
+// DefaultPredictorConfig is the Table III configuration.
+func DefaultPredictorConfig() PredictorConfig { return models.DefaultConfig() }
+
+// NewWorkloadPredictor builds the paper's TCN → BiGRU → multi-head-attention
+// model.
+func NewWorkloadPredictor(cfg PredictorConfig) Predictor { return models.NewHammer(cfg) }
+
+// Baseline predictors of Table III.
+func NewLinearPredictor(cfg PredictorConfig) Predictor      { return models.NewLinear(cfg) }
+func NewRNNPredictor(cfg PredictorConfig) Predictor         { return models.NewRNN(cfg) }
+func NewTCNPredictor(cfg PredictorConfig) Predictor         { return models.NewTCN(cfg) }
+func NewTransformerPredictor(cfg PredictorConfig) Predictor { return models.NewTransformer(cfg) }
+
+// EvaluatePredictor scores one-step-ahead forecasts whose targets lie in
+// series[trainLen:], on the normalized scale of Table III.
+func EvaluatePredictor(p Predictor, series []float64, trainLen int) (PredictorMetrics, error) {
+	return models.EvaluateNormalized(p, series, trainLen)
+}
+
+// ExtendSeries autoregressively extends a series by steps values — the
+// control-sequence extension of §IV.
+func ExtendSeries(p Predictor, seed []float64, steps int) ([]float64, error) {
+	return models.Generate(p, seed, steps)
+}
+
+// Synthetic application logs matching the paper's three corpora.
+func DeFiLog(seed int64) TxLog    { return datasets.DeFi(seed) }
+func SandboxLog(seed int64) TxLog { return datasets.Sandbox(seed) }
+func NFTsLog(seed int64) TxLog    { return datasets.NFTs(seed) }
+
+// SplitSeries divides a series into train and test parts.
+func SplitSeries(series []float64, trainFrac float64) (train, test []float64) {
+	return timeseries.Split(series, trainFrac)
+}

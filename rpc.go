@@ -1,0 +1,37 @@
+package hammer
+
+import (
+	"time"
+
+	"hammer/internal/rpc"
+)
+
+// RPCServer bridges any Blockchain onto JSON-RPC 2.0 over HTTP — the
+// paper's generic interface for SUTs in any language.
+type RPCServer = rpc.Server
+
+// RPCClient implements Blockchain against a remote bridge.
+type RPCClient = rpc.Client
+
+// ServeRPC exposes bc over JSON-RPC on addr ("127.0.0.1:0" picks a free
+// port) and returns the server and its bound address. When a Realtime
+// driver is advancing the chain, pass its Do method as serialize; pass nil
+// otherwise.
+func ServeRPC(bc Blockchain, addr string, serialize func(func())) (*RPCServer, string, error) {
+	var opts []rpc.ServerOption
+	if serialize != nil {
+		opts = append(opts, rpc.WithSerializer(serialize))
+	}
+	srv := rpc.NewServer(bc, opts...)
+	bound, err := srv.Listen(addr)
+	if err != nil {
+		return nil, "", err
+	}
+	return srv, bound, nil
+}
+
+// DialRPC connects to a remote bridge; the returned client satisfies
+// Blockchain and can be handed straight to the evaluation engine.
+func DialRPC(url string, timeout time.Duration) (*RPCClient, error) {
+	return rpc.Dial(url, timeout)
+}

@@ -1,0 +1,34 @@
+package hammer
+
+import (
+	"hammer/internal/ycsb"
+)
+
+// YCSB workload API — the other synthetic workload family the paper
+// discusses (§II-B). Plug it into an evaluation through EvalConfig.Source
+// and EvalConfig.Contract:
+//
+//	gen, _ := hammer.NewYCSBGenerator(hammer.DefaultYCSBProfile())
+//	cfg.Source = gen
+//	cfg.Contract = hammer.YCSB()
+type (
+	// YCSBProfile configures a YCSB workload.
+	YCSBProfile = ycsb.Profile
+	// YCSBGenerator draws YCSB transactions; it satisfies the engine's
+	// TxSource.
+	YCSBGenerator = ycsb.Generator
+	// YCSBMix weights YCSB operations.
+	YCSBMix = ycsb.Mix
+)
+
+// DefaultYCSBProfile is workload A over 10k records with zipfian access.
+func DefaultYCSBProfile() YCSBProfile { return ycsb.DefaultProfile() }
+
+// NewYCSBGenerator validates the profile and builds a generator.
+func NewYCSBGenerator(p YCSBProfile) (*YCSBGenerator, error) { return ycsb.NewGenerator(p) }
+
+// YCSB is the key-value contract the YCSB workload drives.
+func YCSB() Contract { return ycsb.Contract{} }
+
+// YCSBWorkloadMix resolves the classic mixes by name ("a".."f").
+func YCSBWorkloadMix(name string) (YCSBMix, error) { return ycsb.MixByName(name) }
