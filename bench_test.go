@@ -8,6 +8,8 @@
 package hammer_test
 
 import (
+	"context"
+
 	"fmt"
 	"testing"
 	"time"
@@ -47,7 +49,7 @@ func BenchmarkFig1Datasets(b *testing.B) {
 // BenchmarkFig6PeakPerformance replays the chain comparison of Fig 6; each
 // sub-benchmark reports the measured peak TPS and average latency.
 func BenchmarkFig6PeakPerformance(b *testing.B) {
-	rows, err := experiments.Fig6(benchOpts())
+	rows, err := experiments.Fig6(context.Background(), benchOpts())
 	if err != nil {
 		b.Fatal(err)
 	}
@@ -67,7 +69,7 @@ func BenchmarkFig6PeakPerformance(b *testing.B) {
 // BenchmarkFig7FrameworkComparison replays the Hammer/Blockbench/Caliper
 // comparison of Fig 7 on Fabric and Ethereum.
 func BenchmarkFig7FrameworkComparison(b *testing.B) {
-	rows, err := experiments.Fig7(benchOpts())
+	rows, err := experiments.Fig7(context.Background(), benchOpts())
 	if err != nil {
 		b.Fatal(err)
 	}
@@ -199,7 +201,7 @@ func BenchmarkFig10Concurrency(b *testing.B) {
 			var row experiments.Fig10Result
 			for i := 0; i < b.N; i++ {
 				var err error
-				row, err = experiments.Fig10Run("bench", pt.clients, pt.threads, pt.perClient, opts)
+				row, err = experiments.Fig10Run(context.Background(), "bench", pt.clients, pt.threads, pt.perClient, opts)
 				if err != nil {
 					b.Fatal(err)
 				}
@@ -214,7 +216,7 @@ func BenchmarkFig10Concurrency(b *testing.B) {
 // framework's statistics against the node commit log.
 func BenchmarkCorrectness(b *testing.B) {
 	for i := 0; i < b.N; i++ {
-		res, err := experiments.Correctness(benchOpts())
+		res, err := experiments.Correctness(context.Background(), benchOpts())
 		if err != nil {
 			b.Fatal(err)
 		}
@@ -402,7 +404,7 @@ func BenchmarkAblationPollInterval(b *testing.B) {
 		b.Run(poll.String(), func(b *testing.B) {
 			var latency time.Duration
 			for i := 0; i < b.N; i++ {
-				row, err := experiments.PollIntervalRun(poll, benchOpts())
+				row, err := experiments.PollIntervalRun(context.Background(), poll, benchOpts())
 				if err != nil {
 					b.Fatal(err)
 				}

@@ -1,24 +1,34 @@
 // Command hammer-bench regenerates the paper's system experiments: Fig 1
 // (workload temporal distributions), Fig 6 (chain comparison), Fig 7
 // (framework comparison), Fig 8 (signing strategies), Fig 9 (task
-// processing vs batch testing), Fig 10 (concurrency sweeps) and the §V-C
-// correctness validation. Each experiment prints its rows, renders a
-// terminal chart, and exports a CSV under -out.
+// processing vs batch testing), Fig 10 (concurrency sweeps), the §V-C
+// correctness validation and the distributed-matching microbenchmark. Each
+// experiment prints its rows, renders a terminal chart, and exports a CSV
+// under -out. Sweeps run through the experiment harness: -parallel bounds
+// how many independent simulations execute concurrently (results are
+// identical at any worker count), and every run completion prints a
+// progress line.
 //
 // Usage:
 //
 //	hammer-bench -exp all
 //	hammer-bench -exp fig9 -out results/
-//	hammer-bench -exp fig6 -quick
+//	hammer-bench -exp fig6 -quick -parallel 4
 package main
 
 import (
+	"context"
 	"flag"
 	"fmt"
 	"os"
+	"os/signal"
+	"runtime"
 	"strings"
+	"time"
 
 	"hammer/internal/experiments"
+	"hammer/internal/harness"
+	"hammer/internal/monitor"
 	"hammer/internal/viz"
 )
 
@@ -31,18 +41,25 @@ func main() {
 
 func run() error {
 	var (
-		exp    = flag.String("exp", "all", "experiment: fig1|fig6|fig7|fig8|fig9|fig10|correctness|distributed|all")
-		quick  = flag.Bool("quick", false, "shrink workloads for a fast smoke run")
-		outDir = flag.String("out", "results", "directory for CSV export")
-		seed   = flag.Int64("seed", 7, "random seed")
+		exp      = flag.String("exp", "all", "experiment: fig1|fig6|fig7|fig8|fig9|fig10|correctness|distributed|all")
+		quick    = flag.Bool("quick", false, "shrink workloads for a fast smoke run")
+		outDir   = flag.String("out", "results", "directory for CSV export")
+		seed     = flag.Int64("seed", 7, "random seed")
+		parallel = flag.Int("parallel", runtime.GOMAXPROCS(0), "worker count for experiment sweeps (results are identical at any value)")
 	)
 	flag.Parse()
 
+	ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt)
+	defer stop()
+
+	reg := monitor.NewRegistry()
 	opts := experiments.Default()
 	if *quick {
 		opts = experiments.Quick()
 	}
 	opts.Seed = *seed
+	opts.Workers = *parallel
+	opts.OnProgress = progressPrinter(reg)
 
 	selected := strings.Split(*exp, ",")
 	want := func(name string) bool {
@@ -61,13 +78,13 @@ func run() error {
 	}
 	steps := []step{
 		{"fig1", func() error { return runFig1(opts, *outDir) }},
-		{"fig6", func() error { return runFig6(opts, *outDir) }},
-		{"fig7", func() error { return runFig7(opts, *outDir) }},
+		{"fig6", func() error { return runFig6(ctx, opts, *outDir) }},
+		{"fig7", func() error { return runFig7(ctx, opts, *outDir) }},
 		{"fig8", func() error { return runFig8(opts, *outDir) }},
 		{"fig9", func() error { return runFig9(opts, *outDir) }},
-		{"fig10", func() error { return runFig10(opts, *outDir) }},
-		{"correctness", func() error { return runCorrectness(opts) }},
-		{"distributed", func() error { return runDistributed(opts, *outDir) }},
+		{"fig10", func() error { return runFig10(ctx, opts, *outDir) }},
+		{"correctness", func() error { return runCorrectness(ctx, opts) }},
+		{"distributed", func() error { return runDistributed(ctx, opts, *outDir) }},
 	}
 	for _, s := range steps {
 		if !want(s.name) {
@@ -83,19 +100,26 @@ func run() error {
 	if ran == 0 {
 		return fmt.Errorf("unknown experiment %q", *exp)
 	}
+	if done := reg.Counter("harness/runs_completed").Value(); done > 0 {
+		fmt.Printf("harness: %.0f runs completed, %.0f failed (workers=%d)\n",
+			done, reg.Counter("harness/runs_failed").Value(), *parallel)
+	}
 	return nil
 }
 
-func export(outDir, name string, header []string, rows [][]string) error {
-	if outDir == "" {
-		return nil
+// progressPrinter emits one line per completed harness run and mirrors the
+// totals into monitor counters so the final summary (and any scraper) sees
+// the sweep's run counts.
+func progressPrinter(reg *monitor.Registry) func(harness.Progress) {
+	return func(p harness.Progress) {
+		reg.Counter("harness/runs_completed").Inc()
+		status := "ok"
+		if p.Err != nil {
+			reg.Counter("harness/runs_failed").Inc()
+			status = "FAILED"
+		}
+		fmt.Printf("  [%d/%d] %-40s %s (%v)\n", p.Completed, p.Total, p.Name, status, p.Elapsed.Round(time.Millisecond))
 	}
-	path, err := viz.WriteCSVFile(outDir, name, header, rows)
-	if err != nil {
-		return err
-	}
-	fmt.Println("wrote", path)
-	return nil
 }
 
 func runFig1(opts experiments.Options, outDir string) error {
@@ -108,7 +132,7 @@ func runFig1(opts experiments.Options, outDir string) error {
 	}
 	viz.LineChart(os.Stdout, "hourly transactions (normalised overlay)", fig1Overlay(r), 72, 14)
 	header, rows := experiments.Fig1CSV(r)
-	return export(outDir, "fig1_temporal_distribution.csv", header, rows)
+	return viz.Export(os.Stdout, outDir, viz.Dataset{Name: "fig1_temporal_distribution.csv", Header: header, Rows: rows})
 }
 
 // fig1Overlay rescales each series to [0,1] so the three applications
@@ -134,8 +158,8 @@ func fig1Overlay(r *experiments.Fig1Result) []viz.Series {
 	return out
 }
 
-func runFig6(opts experiments.Options, outDir string) error {
-	rows, err := experiments.Fig6(opts)
+func runFig6(ctx context.Context, opts experiments.Options, outDir string) error {
+	rows, err := experiments.Fig6(ctx, opts)
 	if err != nil {
 		return err
 	}
@@ -146,11 +170,11 @@ func runFig6(opts experiments.Options, outDir string) error {
 	}
 	viz.BarChart(os.Stdout, "peak throughput (TPS)", []string{""}, groups, 48)
 	header, csvRows := experiments.Fig6CSV(rows)
-	return export(outDir, "fig6_chain_comparison.csv", header, csvRows)
+	return viz.Export(os.Stdout, outDir, viz.Dataset{Name: "fig6_chain_comparison.csv", Header: header, Rows: csvRows})
 }
 
-func runFig7(opts experiments.Options, outDir string) error {
-	rows, err := experiments.Fig7(opts)
+func runFig7(ctx context.Context, opts experiments.Options, outDir string) error {
+	rows, err := experiments.Fig7(ctx, opts)
 	if err != nil {
 		return err
 	}
@@ -158,7 +182,7 @@ func runFig7(opts experiments.Options, outDir string) error {
 		fmt.Println(r)
 	}
 	header, csvRows := experiments.Fig7CSV(rows)
-	return export(outDir, "fig7_framework_comparison.csv", header, csvRows)
+	return viz.Export(os.Stdout, outDir, viz.Dataset{Name: "fig7_framework_comparison.csv", Header: header, Rows: csvRows})
 }
 
 func runFig8(opts experiments.Options, outDir string) error {
@@ -171,9 +195,6 @@ func runFig8(opts experiments.Options, outDir string) error {
 		fmt.Println(" ", r)
 	}
 	header, csvRows := experiments.Fig8CSV(rows)
-	if err := export(outDir, "fig8_signing_measured.csv", header, csvRows); err != nil {
-		return err
-	}
 
 	fmt.Println("simulated 8-worker testbed (per-signature cost calibrated on this machine):")
 	simRows, err := experiments.Fig8Simulated(opts, 8, 0)
@@ -184,7 +205,9 @@ func runFig8(opts experiments.Options, outDir string) error {
 		fmt.Println(" ", r)
 	}
 	simHeader, simCSV := experiments.Fig8SimCSV(simRows)
-	return export(outDir, "fig8_signing_simulated.csv", simHeader, simCSV)
+	return viz.Export(os.Stdout, outDir,
+		viz.Dataset{Name: "fig8_signing_measured.csv", Header: header, Rows: csvRows},
+		viz.Dataset{Name: "fig8_signing_simulated.csv", Header: simHeader, Rows: simCSV})
 }
 
 func runFig9(opts experiments.Options, outDir string) error {
@@ -196,11 +219,11 @@ func runFig9(opts experiments.Options, outDir string) error {
 		fmt.Println(r)
 	}
 	header, csvRows := experiments.Fig9CSV(rows)
-	return export(outDir, "fig9_task_processing.csv", header, csvRows)
+	return viz.Export(os.Stdout, outDir, viz.Dataset{Name: "fig9_task_processing.csv", Header: header, Rows: csvRows})
 }
 
-func runFig10(opts experiments.Options, outDir string) error {
-	rows, err := experiments.Fig10(opts)
+func runFig10(ctx context.Context, opts experiments.Options, outDir string) error {
+	rows, err := experiments.Fig10(ctx, opts)
 	if err != nil {
 		return err
 	}
@@ -208,11 +231,11 @@ func runFig10(opts experiments.Options, outDir string) error {
 		fmt.Println(r)
 	}
 	header, csvRows := experiments.Fig10CSV(rows)
-	return export(outDir, "fig10_concurrency.csv", header, csvRows)
+	return viz.Export(os.Stdout, outDir, viz.Dataset{Name: "fig10_concurrency.csv", Header: header, Rows: csvRows})
 }
 
-func runDistributed(opts experiments.Options, outDir string) error {
-	rows, err := experiments.Distributed(opts, []int{1, 2, 4, 8}, 10000)
+func runDistributed(ctx context.Context, opts experiments.Options, outDir string) error {
+	rows, err := experiments.Distributed(ctx, opts, []int{1, 2, 4, 8}, 10000)
 	if err != nil {
 		return err
 	}
@@ -220,11 +243,11 @@ func runDistributed(opts experiments.Options, outDir string) error {
 		fmt.Println(r)
 	}
 	header, csvRows := experiments.DistributedCSV(rows)
-	return export(outDir, "distributed_matching.csv", header, csvRows)
+	return viz.Export(os.Stdout, outDir, viz.Dataset{Name: "distributed_matching.csv", Header: header, Rows: csvRows})
 }
 
-func runCorrectness(opts experiments.Options) error {
-	res, err := experiments.Correctness(opts)
+func runCorrectness(ctx context.Context, opts experiments.Options) error {
+	res, err := experiments.Correctness(ctx, opts)
 	if err != nil {
 		return err
 	}

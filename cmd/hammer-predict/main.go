@@ -1,6 +1,8 @@
 // Command hammer-predict trains and evaluates the workload-prediction
 // models of §IV: Table III (five methods × three datasets), Fig 11
-// (real-vs-generated sequences) and the attention ablation.
+// (real-vs-generated sequences) and the attention ablation. Sweeps run
+// through the experiment harness: -parallel bounds how many model trainings
+// execute concurrently (results are identical at any worker count).
 //
 // Usage:
 //
@@ -10,12 +12,17 @@
 package main
 
 import (
+	"context"
 	"flag"
 	"fmt"
 	"os"
+	"os/signal"
+	"runtime"
 	"strings"
+	"time"
 
 	"hammer/internal/experiments"
+	"hammer/internal/harness"
 	"hammer/internal/models"
 	"hammer/internal/timeseries"
 	"hammer/internal/timeseries/datasets"
@@ -31,18 +38,30 @@ func main() {
 
 func run() error {
 	var (
-		exp    = flag.String("exp", "table3", "experiment: table3|fig11|ablation|all")
-		quick  = flag.Bool("quick", false, "shrink training budgets for a fast smoke run")
-		outDir = flag.String("out", "results", "directory for CSV export")
-		seed   = flag.Int64("seed", 7, "random seed")
+		exp      = flag.String("exp", "table3", "experiment: table3|fig11|ablation|all")
+		quick    = flag.Bool("quick", false, "shrink training budgets for a fast smoke run")
+		outDir   = flag.String("out", "results", "directory for CSV export")
+		seed     = flag.Int64("seed", 7, "random seed")
+		parallel = flag.Int("parallel", runtime.GOMAXPROCS(0), "worker count for experiment sweeps (results are identical at any value)")
 	)
 	flag.Parse()
+
+	ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt)
+	defer stop()
 
 	opts := experiments.Default()
 	if *quick {
 		opts = experiments.Quick()
 	}
 	opts.Seed = *seed
+	opts.Workers = *parallel
+	opts.OnProgress = func(p harness.Progress) {
+		status := "ok"
+		if p.Err != nil {
+			status = "FAILED"
+		}
+		fmt.Printf("  [%d/%d] %-30s %s (%v)\n", p.Completed, p.Total, p.Name, status, p.Elapsed.Round(time.Millisecond))
+	}
 
 	selected := strings.Split(*exp, ",")
 	want := func(name string) bool {
@@ -57,14 +76,14 @@ func run() error {
 	ran := 0
 	if want("table3") {
 		fmt.Println("=== Table III: model comparison ===")
-		if err := runTable3(opts, *outDir); err != nil {
+		if err := runTable3(ctx, opts, *outDir); err != nil {
 			return err
 		}
 		ran++
 	}
 	if want("fig11") {
 		fmt.Println("=== Fig 11: real vs generated sequences ===")
-		if err := runFig11(opts, *outDir); err != nil {
+		if err := runFig11(ctx, opts, *outDir); err != nil {
 			return err
 		}
 		ran++
@@ -82,8 +101,8 @@ func run() error {
 	return nil
 }
 
-func runTable3(opts experiments.Options, outDir string) error {
-	rows, err := experiments.Table3(opts)
+func runTable3(ctx context.Context, opts experiments.Options, outDir string) error {
+	rows, err := experiments.Table3(ctx, opts)
 	if err != nil {
 		return err
 	}
@@ -98,11 +117,11 @@ func runTable3(opts experiments.Options, outDir string) error {
 	}
 	viz.Table(os.Stdout, header, tbl)
 	csvHeader, csvRows := experiments.Table3CSV(rows)
-	return export(outDir, "table3_model_comparison.csv", csvHeader, csvRows)
+	return viz.Export(os.Stdout, outDir, viz.Dataset{Name: "table3_model_comparison.csv", Header: csvHeader, Rows: csvRows})
 }
 
-func runFig11(opts experiments.Options, outDir string) error {
-	rows, err := experiments.Fig11(opts)
+func runFig11(ctx context.Context, opts experiments.Options, outDir string) error {
+	rows, err := experiments.Fig11(ctx, opts)
 	if err != nil {
 		return err
 	}
@@ -114,7 +133,7 @@ func runFig11(opts experiments.Options, outDir string) error {
 			{Name: "one-step", Y: r.OneStep},
 		}, 72, 12)
 		header, csvRows := experiments.Fig11CSV(r)
-		if err := export(outDir, fmt.Sprintf("fig11_%s.csv", r.Dataset), header, csvRows); err != nil {
+		if err := viz.Export(os.Stdout, outDir, viz.Dataset{Name: fmt.Sprintf("fig11_%s.csv", r.Dataset), Header: header, Rows: csvRows}); err != nil {
 			return err
 		}
 	}
@@ -148,17 +167,5 @@ func runAblation(opts experiments.Options) error {
 			fmt.Printf("%-8s %-15s %s\n", log.Name, mb.name, m)
 		}
 	}
-	return nil
-}
-
-func export(outDir, name string, header []string, rows [][]string) error {
-	if outDir == "" {
-		return nil
-	}
-	path, err := viz.WriteCSVFile(outDir, name, header, rows)
-	if err != nil {
-		return err
-	}
-	fmt.Println("wrote", path)
 	return nil
 }

@@ -10,9 +10,11 @@
 package main
 
 import (
+	"context"
 	"flag"
 	"fmt"
 	"os"
+	"os/signal"
 	"strings"
 	"time"
 
@@ -98,7 +100,9 @@ func run() error {
 	fmt.Printf("evaluating %s under %s: %d tx at %.0f tx/s over %v (%d clients × %d threads, %s driver)\n",
 		bc.Name(), *workloadKind, cfg.Control.Total(), *rate, *duration, *clients, *threads, *driver)
 
-	res, err := hammer.Evaluate(sched, bc, cfg)
+	ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt)
+	defer stop()
+	res, err := hammer.Evaluate(ctx, sched, bc, cfg)
 	if err != nil {
 		return err
 	}
@@ -130,19 +134,11 @@ func run() error {
 			vr.RowsStaged, vr.SubSecondCommits, vr.AvgLatencyMs, vr.LatencyRows)
 	}
 
-	if *outDir != "" {
-		header := []string{"second", "tps"}
-		rows := make([][]string, len(rep.TPSSeries))
-		for i, v := range rep.TPSSeries {
-			rows[i] = []string{fmt.Sprint(i), fmt.Sprintf("%.0f", v)}
-		}
-		path, err := viz.WriteCSVFile(*outDir, "run_tps.csv", header, rows)
-		if err != nil {
-			return err
-		}
-		fmt.Println("wrote", path)
+	rows := make([][]string, len(rep.TPSSeries))
+	for i, v := range rep.TPSSeries {
+		rows[i] = []string{fmt.Sprint(i), fmt.Sprintf("%.0f", v)}
 	}
-	return nil
+	return viz.Export(os.Stdout, *outDir, viz.Dataset{Name: "run_tps.csv", Header: []string{"second", "tps"}, Rows: rows})
 }
 
 func buildChain(sched *hammer.Scheduler, playbookPath, kind string) (hammer.Blockchain, error) {

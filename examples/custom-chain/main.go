@@ -5,6 +5,8 @@
 package main
 
 import (
+	"context"
+
 	"fmt"
 	"log"
 	"sync"
@@ -133,7 +135,7 @@ func main() {
 	cfg := hammer.DefaultEvalConfig()
 	cfg.Workload.Accounts = 500
 	cfg.Control = hammer.ConstantLoad(100, 15*time.Second, time.Second)
-	res, err := hammer.Evaluate(sched, bc, cfg)
+	res, err := hammer.Evaluate(context.Background(), sched, bc, cfg)
 	if err != nil {
 		log.Fatal(err)
 	}

@@ -5,6 +5,8 @@
 package main
 
 import (
+	"context"
+
 	"fmt"
 	"log"
 	"time"
@@ -20,7 +22,7 @@ func main() {
 	cfg.Workload.Accounts = 2000
 	cfg.Control = hammer.ConstantLoad(200, 30*time.Second, time.Second)
 
-	res, err := hammer.Evaluate(sched, bc, cfg)
+	res, err := hammer.Evaluate(context.Background(), sched, bc, cfg)
 	if err != nil {
 		log.Fatal(err)
 	}

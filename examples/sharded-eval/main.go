@@ -5,6 +5,8 @@
 package main
 
 import (
+	"context"
+
 	"fmt"
 	"log"
 	"time"
@@ -28,7 +30,7 @@ func main() {
 	// the deployment's effective capacity.
 	cfg.Control = hammer.ConstantLoad(3000, 30*time.Second, time.Second)
 
-	res, err := hammer.Evaluate(sched, bc, cfg)
+	res, err := hammer.Evaluate(context.Background(), sched, bc, cfg)
 	if err != nil {
 		log.Fatal(err)
 	}

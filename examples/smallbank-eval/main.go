@@ -5,6 +5,8 @@
 package main
 
 import (
+	"context"
+
 	"fmt"
 	"log"
 	"os"
@@ -87,7 +89,7 @@ func main() {
 			tg.tweak(&cfg)
 		}
 
-		res, err := hammer.Evaluate(sched, bc, cfg)
+		res, err := hammer.Evaluate(context.Background(), sched, bc, cfg)
 		if err != nil {
 			log.Fatalf("%s: %v", tg.name, err)
 		}

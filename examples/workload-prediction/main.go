@@ -5,6 +5,8 @@
 package main
 
 import (
+	"context"
+
 	"fmt"
 	"log"
 	"os"
@@ -56,7 +58,7 @@ func main() {
 	cfg := hammer.DefaultEvalConfig()
 	cfg.Workload.Accounts = 2000
 	cfg.Control = control
-	res, err := hammer.Evaluate(sched, bc, cfg)
+	res, err := hammer.Evaluate(context.Background(), sched, bc, cfg)
 	if err != nil {
 		log.Fatal(err)
 	}

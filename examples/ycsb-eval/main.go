@@ -6,6 +6,8 @@
 package main
 
 import (
+	"context"
+
 	"fmt"
 	"log"
 	"os"
@@ -34,7 +36,7 @@ func main() {
 		cfg.Contract = hammer.YCSB()
 		cfg.Control = hammer.ConstantLoad(200, 20*time.Second, time.Second)
 
-		res, err := hammer.Evaluate(sched, bc, cfg)
+		res, err := hammer.Evaluate(context.Background(), sched, bc, cfg)
 		if err != nil {
 			log.Fatalf("workload %s: %v", mix, err)
 		}

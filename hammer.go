@@ -11,7 +11,7 @@
 //	bc := hammer.NewFabric(sched, hammer.DefaultFabricConfig())
 //	cfg := hammer.DefaultEvalConfig()
 //	cfg.Control = hammer.ConstantLoad(200, 30*time.Second, time.Second)
-//	res, err := hammer.Evaluate(sched, bc, cfg)
+//	res, err := hammer.Evaluate(context.Background(), sched, bc, cfg)
 //	fmt.Println(res.Report)
 //
 // Everything runs on a deterministic virtual clock: seconds of simulated
@@ -20,6 +20,8 @@
 package hammer
 
 import (
+	"context"
+
 	"hammer/internal/chain"
 	"hammer/internal/core"
 	"hammer/internal/eventsim"
@@ -139,13 +141,13 @@ func NewEngine(sched *Scheduler, bc Blockchain, cfg EvalConfig) (*core.Engine, e
 }
 
 // Evaluate is the one-call evaluation: build the engine and run all three
-// phases.
-func Evaluate(sched *Scheduler, bc Blockchain, cfg EvalConfig) (*EvalResult, error) {
+// phases. Cancelling ctx stops the run at the next virtual-time step.
+func Evaluate(ctx context.Context, sched *Scheduler, bc Blockchain, cfg EvalConfig) (*EvalResult, error) {
 	eng, err := core.New(sched, bc, cfg)
 	if err != nil {
 		return nil, err
 	}
-	return eng.Run()
+	return eng.Run(ctx)
 }
 
 // Visualize replays the visualization phase (KV staging → SQL table →

@@ -1,6 +1,8 @@
 package hammer_test
 
 import (
+	"context"
+
 	"testing"
 	"time"
 
@@ -18,7 +20,7 @@ func TestPublicAPIEvaluation(t *testing.T) {
 	cfg.Control = hammer.ConstantLoad(50, 10*time.Second, time.Second)
 	cfg.SignMode = hammer.SignOff
 
-	res, err := hammer.Evaluate(sched, bc, cfg)
+	res, err := hammer.Evaluate(context.Background(), sched, bc, cfg)
 	if err != nil {
 		t.Fatal(err)
 	}

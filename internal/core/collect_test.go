@@ -1,0 +1,144 @@
+package core
+
+import (
+	"context"
+	"testing"
+	"time"
+
+	"hammer/internal/chain"
+	"hammer/internal/chains/fabric"
+	"hammer/internal/eventsim"
+	"hammer/internal/workload"
+)
+
+// growingChain is a minimal Blockchain whose shard count can be raised
+// mid-run, modelling dynamically formed shards (Meepo-style).
+type growingChain struct {
+	blocks [][]*chain.Block // per shard, sealed in order
+}
+
+func (g *growingChain) Name() string                { return "growing" }
+func (g *growingChain) Deploy(chain.Contract) error { return nil }
+func (g *growingChain) Shards() int                 { return len(g.blocks) }
+func (g *growingChain) Height(shard int) uint64     { return uint64(len(g.blocks[shard])) }
+func (g *growingChain) PendingTxs() int             { return 0 }
+func (g *growingChain) Start()                      {}
+func (g *growingChain) Stop()                       {}
+func (g *growingChain) Submit(*chain.Transaction) (chain.TxID, error) {
+	return chain.TxID{}, nil
+}
+func (g *growingChain) BlockAt(shard int, height uint64) (*chain.Block, bool) {
+	if int(height) > len(g.blocks[shard]) {
+		return nil, false
+	}
+	return g.blocks[shard][height-1], true
+}
+
+// seal appends an empty block on shard.
+func (g *growingChain) seal(shard int) {
+	g.blocks[shard] = append(g.blocks[shard], &chain.Block{Shard: shard})
+}
+
+// TestCollectBlocksShardGrowth drives collectBlocks through a sequence of
+// seals and shard-count increases and checks the height cursors follow: new
+// shards must be picked up from height zero without re-delivering blocks on
+// existing shards.
+func TestCollectBlocksShardGrowth(t *testing.T) {
+	bc := &growingChain{blocks: make([][]*chain.Block, 1)}
+	e := &Engine{bc: bc, lastHeights: make([]uint64, bc.Shards())}
+
+	collect := func() int {
+		n := 0
+		e.collectBlocks(func(*chain.Block) { n++ })
+		return n
+	}
+
+	steps := []struct {
+		name    string
+		mutate  func()
+		want    int // newly delivered blocks
+		wantCur []uint64
+	}{
+		{
+			name:    "initial seals on shard 0",
+			mutate:  func() { bc.seal(0); bc.seal(0) },
+			want:    2,
+			wantCur: []uint64{2},
+		},
+		{
+			name:    "idle pass delivers nothing",
+			mutate:  func() {},
+			want:    0,
+			wantCur: []uint64{2},
+		},
+		{
+			name: "shard forms mid-run with backlog",
+			mutate: func() {
+				bc.blocks = append(bc.blocks, nil)
+				bc.seal(1)
+				bc.seal(1)
+				bc.seal(1)
+			},
+			want:    3,
+			wantCur: []uint64{2, 3},
+		},
+		{
+			name: "two more shards form, old shards keep advancing",
+			mutate: func() {
+				bc.blocks = append(bc.blocks, nil, nil)
+				bc.seal(0)
+				bc.seal(2)
+				bc.seal(3)
+				bc.seal(3)
+			},
+			want:    4,
+			wantCur: []uint64{3, 3, 1, 2},
+		},
+	}
+	for _, st := range steps {
+		st.mutate()
+		if got := collect(); got != st.want {
+			t.Fatalf("%s: delivered %d blocks, want %d", st.name, got, st.want)
+		}
+		if len(e.lastHeights) != len(st.wantCur) {
+			t.Fatalf("%s: %d cursors, want %d", st.name, len(e.lastHeights), len(st.wantCur))
+		}
+		for i, want := range st.wantCur {
+			if e.lastHeights[i] != want {
+				t.Fatalf("%s: shard %d cursor %d, want %d", st.name, i, e.lastHeights[i], want)
+			}
+		}
+	}
+}
+
+// TestEngineRunCancelled checks the engine honors context cancellation: a
+// pre-cancelled context aborts before any work, and a mid-run cancel
+// surfaces context.Canceled rather than running to the drain deadline.
+func TestEngineRunCancelled(t *testing.T) {
+	newEngine := func() *Engine {
+		sched := eventsim.New()
+		bc := fabric.New(sched, fabric.DefaultConfig())
+		cfg := DefaultConfig()
+		cfg.Workload = testProfile(200)
+		cfg.Control = workload.Constant(50, 20*time.Second, time.Second)
+		cfg.SignMode = SignOff
+		eng, err := New(sched, bc, cfg)
+		if err != nil {
+			t.Fatal(err)
+		}
+		return eng
+	}
+
+	ctx, cancel := context.WithCancel(context.Background())
+	cancel()
+	if _, err := newEngine().Run(ctx); err != context.Canceled {
+		t.Fatalf("pre-cancelled run returned %v, want context.Canceled", err)
+	}
+
+	// A deadline already in the past cancels during the virtual-time loop.
+	ctx2, cancel2 := context.WithDeadline(context.Background(), time.Now().Add(-time.Second))
+	defer cancel2()
+	if _, err := newEngine().Run(ctx2); err != context.DeadlineExceeded {
+		t.Fatalf("expired run returned %v, want context.DeadlineExceeded", err)
+	}
+}

@@ -1,6 +1,7 @@
 package core
 
 import (
+	"context"
 	"errors"
 	"fmt"
 	"time"
@@ -127,14 +128,23 @@ type Result struct {
 	VirtualDuration time.Duration
 }
 
-// Run executes the three phases and returns the measurement.
-func (e *Engine) Run() (*Result, error) {
+// Run executes the three phases and returns the measurement. The context is
+// honored at every virtual-time step: canceling it (Ctrl-C, per-run timeout)
+// aborts the run promptly instead of spinning the scheduler to its drain
+// deadline.
+func (e *Engine) Run(ctx context.Context) (*Result, error) {
+	if ctx == nil {
+		ctx = context.Background()
+	}
+	if err := ctx.Err(); err != nil {
+		return nil, err
+	}
 	if err := e.deploy(); err != nil {
 		return nil, err
 	}
 	e.bc.Start()
 	if !e.cfg.SkipSetup {
-		if err := e.setupAccounts(); err != nil {
+		if err := e.setupAccounts(ctx); err != nil {
 			return nil, err
 		}
 	}
@@ -142,7 +152,9 @@ func (e *Engine) Run() (*Result, error) {
 	if err != nil {
 		return nil, err
 	}
-	e.execute(txs)
+	if err := e.execute(ctx, txs); err != nil {
+		return nil, err
+	}
 	e.bc.Stop()
 
 	records := e.matcher.Results()
@@ -181,7 +193,7 @@ func (e *Engine) deploy() error {
 // setupAccounts creates the account population through ordinary
 // transactions, throttled to the SUT's admission capacity, and waits (in
 // virtual time) until every creation commits.
-func (e *Engine) setupAccounts() error {
+func (e *Engine) setupAccounts(ctx context.Context) error {
 	setup := e.gen.SetupTxs()
 	for _, tx := range setup {
 		tx.ComputeID()
@@ -215,6 +227,9 @@ func (e *Engine) setupAccounts() error {
 	// accounts within a couple of virtual hours.
 	deadline := e.sched.Now() + 4*time.Hour
 	for e.sched.Now() < deadline {
+		if err := ctx.Err(); err != nil {
+			return err
+		}
 		e.sched.RunUntil(e.sched.Now() + time.Second)
 		if next == len(setup) && tracker.Pending() == 0 {
 			e.setupCommitted = len(setup)
@@ -277,13 +292,17 @@ func (e *Engine) prepare() ([]*chain.Transaction, error) {
 // execute runs the measurement phase on the virtual clock: injections
 // follow the control sequence, the block monitor polls on PollInterval, and
 // the run drains for up to DrainTimeout after the last injection.
-func (e *Engine) execute(txs []*chain.Transaction) {
+func (e *Engine) execute(ctx context.Context, txs []*chain.Transaction) error {
 	startAt := e.sched.Now()
 	e.scheduleInjections(txs, startAt)
 	e.startPolling()
 
 	deadline := e.injectionEnd + e.cfg.DrainTimeout
 	for e.sched.Now() < deadline {
+		if err := ctx.Err(); err != nil {
+			e.stopPolling()
+			return err
+		}
 		step := e.sched.Now() + time.Second
 		if step > deadline {
 			step = deadline
@@ -293,8 +312,32 @@ func (e *Engine) execute(txs []*chain.Transaction) {
 			break
 		}
 	}
+	e.stopPolling()
+	e.finalSweep()
+	return nil
+}
+
+func (e *Engine) stopPolling() {
 	if e.pollTicker != nil {
 		e.pollTicker.Stop()
+	}
+}
+
+// finalSweep collects once more after the drain loop exits: a block sealed
+// between the last poll tick and the drain deadline would otherwise be
+// silently missed and its transactions reported unmatched. The sweep then
+// fires the driver's in-flight matching events, bounded to one extra
+// PollInterval of virtual time so a genuinely stuck run still terminates.
+func (e *Engine) finalSweep() {
+	e.collectBlocks(e.processBlock)
+	grace := e.sched.Now() + e.cfg.PollInterval
+	for e.matcher.Pending() > 0 {
+		at, ok := e.sched.NextAt()
+		if !ok || at > grace {
+			break
+		}
+		e.sched.RunUntil(at)
+		e.collectBlocks(e.processBlock)
 	}
 }
 

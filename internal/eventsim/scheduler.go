@@ -136,6 +136,13 @@ func (s *Scheduler) Len() int {
 	return n
 }
 
+// NextAt reports the virtual time of the earliest pending event, if any.
+// It lets callers drain bounded follow-up work (e.g. in-flight matching)
+// without guessing a polling granularity.
+func (s *Scheduler) NextAt() (time.Duration, bool) {
+	return s.peek()
+}
+
 // Step runs the next pending event, advancing the clock to its time. It
 // reports false when no events remain.
 func (s *Scheduler) Step() bool {

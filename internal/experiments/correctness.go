@@ -1,12 +1,15 @@
 package experiments
 
 import (
+	"context"
 	"fmt"
 	"time"
 
+	"hammer/internal/chain"
 	"hammer/internal/chains/fabric"
 	"hammer/internal/core"
 	"hammer/internal/eventsim"
+	"hammer/internal/harness"
 	"hammer/internal/workload"
 )
 
@@ -34,59 +37,63 @@ func (r CorrectnessResult) String() string {
 // Correctness runs the paper's validation workload — 100,000 transactions
 // at 600 TPS against Fabric (scaled by opts) — and cross-checks the
 // framework's records against the node audit log.
-func Correctness(opts Options) (*CorrectnessResult, error) {
+func Correctness(ctx context.Context, opts Options) (*CorrectnessResult, error) {
 	opts.fillDefaults()
-	sched := eventsim.New()
-	fcfg := fabric.DefaultConfig()
-	// The paper's Fabric deployment sustains the full 600 TPS; configure
-	// the validator accordingly so all 100k transactions complete, as in
-	// §V-C.
-	fcfg.ValidateCostPerTx = 1400 * time.Microsecond
-	fcfg.PendingCap = 1 << 20
-	bc := fabric.New(sched, fcfg)
+	run := harness.Run[*CorrectnessResult]{
+		Name: "correctness/fabric",
+		Seed: opts.Seed,
+		Build: func(seed int64) (*eventsim.Scheduler, chain.Blockchain, core.Config, error) {
+			sched := eventsim.New()
+			fcfg := fabric.DefaultConfig()
+			// The paper's Fabric deployment sustains the full 600 TPS;
+			// configure the validator accordingly so all 100k transactions
+			// complete, as in §V-C.
+			fcfg.ValidateCostPerTx = 1400 * time.Microsecond
+			fcfg.PendingCap = 1 << 20
+			bc := fabric.New(sched, fcfg)
 
-	total := 100_000
-	rate := 600.0
-	// Scale the run so Quick() options finish fast while Default keeps the
-	// paper's parameters in miniature (the full 100k version is exercised
-	// by the benchmark harness).
-	if opts.MeasureSeconds < 60 {
-		total = 6_000
-	}
-	duration := time.Duration(float64(total)/rate*float64(time.Second)) + time.Second
+			total := 100_000
+			rate := 600.0
+			// Scale the run so Quick() options finish fast while Default
+			// keeps the paper's parameters in miniature (the full 100k
+			// version is exercised by the benchmark harness).
+			if opts.MeasureSeconds < 60 {
+				total = 6_000
+			}
+			duration := time.Duration(float64(total)/rate*float64(time.Second)) + time.Second
 
-	cfg := core.DefaultConfig()
-	cfg.Seed = opts.Seed
-	cfg.Workload.Accounts = opts.Accounts
-	cfg.Workload.Seed = opts.Seed
-	cfg.Control = workload.Constant(rate, duration, time.Second)
-	cfg.SignMode = core.SignOff
-	cfg.Clients = 4
-	cfg.SubmitCost = time.Millisecond
-	cfg.DrainTimeout = 30 * time.Minute
-
-	eng, err := core.New(sched, bc, cfg)
-	if err != nil {
-		return nil, err
+			cfg := core.DefaultConfig()
+			cfg.Seed = seed
+			cfg.Workload.Accounts = opts.Accounts
+			cfg.Workload.Seed = seed
+			cfg.Control = workload.Constant(rate, duration, time.Second)
+			cfg.SignMode = core.SignOff
+			cfg.Clients = 4
+			cfg.SubmitCost = time.Millisecond
+			cfg.DrainTimeout = 30 * time.Minute
+			return sched, bc, cfg, nil
+		},
+		Digest: func(res *core.Result, bc chain.Blockchain) (*CorrectnessResult, error) {
+			audit, err := core.VerifyAgainstAuditLog(res.Records, bc)
+			if err != nil {
+				return nil, err
+			}
+			viz, err := core.Visualize(res.Records)
+			if err != nil {
+				return nil, err
+			}
+			return &CorrectnessResult{
+				Audit:        audit,
+				Viz:          viz,
+				FrameworkTPS: res.Report.Throughput,
+				Submitted:    res.Report.Submitted,
+				Committed:    res.Report.Committed,
+			}, nil
+		},
 	}
-	res, err := eng.Run()
+	rows, err := harness.Collect(harness.Execute(ctx, []harness.Run[*CorrectnessResult]{run}, opts.harnessOptions()))
 	if err != nil {
-		return nil, err
+		return nil, fmt.Errorf("experiments: %w", err)
 	}
-
-	audit, err := core.VerifyAgainstAuditLog(res.Records, bc)
-	if err != nil {
-		return nil, err
-	}
-	viz, err := core.Visualize(res.Records)
-	if err != nil {
-		return nil, err
-	}
-	return &CorrectnessResult{
-		Audit:        audit,
-		Viz:          viz,
-		FrameworkTPS: res.Report.Throughput,
-		Submitted:    res.Report.Submitted,
-		Committed:    res.Report.Committed,
-	}, nil
+	return rows[0], nil
 }

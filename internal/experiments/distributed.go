@@ -1,10 +1,12 @@
 package experiments
 
 import (
+	"context"
 	"fmt"
 	"time"
 
 	"hammer/internal/chain"
+	"hammer/internal/harness"
 	"hammer/internal/randx"
 	"hammer/internal/taskproc"
 )
@@ -37,7 +39,7 @@ func (r DistributedResult) String() string {
 // drivers grows. Every driver tracks `perDriver` transactions; blocks carry
 // an even mix from all drivers, and we time driver 0's matcher over the
 // full stream.
-func Distributed(opts Options, driverCounts []int, perDriver int) ([]DistributedResult, error) {
+func Distributed(ctx context.Context, opts Options, driverCounts []int, perDriver int) ([]DistributedResult, error) {
 	opts.fillDefaults()
 	if perDriver <= 0 {
 		perDriver = 5000
@@ -45,42 +47,59 @@ func Distributed(opts Options, driverCounts []int, perDriver int) ([]Distributed
 	if len(driverCounts) == 0 {
 		driverCounts = []int{1, 2, 4, 8}
 	}
-	var out []DistributedResult
+	var runs []harness.Run[DistributedResult]
 	for _, drivers := range driverCounts {
-		tracked, blocks := buildDistributedWorkload(opts.Seed, drivers, perDriver)
+		drivers := drivers
 		foreign := float64(drivers-1) / float64(drivers)
-
 		for _, algo := range []string{"taskproc", "batch"} {
-			var m taskproc.Matcher
-			if algo == "taskproc" {
-				m = taskproc.NewProcessor(perDriver)
-			} else {
-				m = taskproc.NewBatchQueue(perDriver)
-			}
-			start := time.Now()
-			for _, rec := range tracked {
-				m.Track(rec)
-			}
-			matched := 0
-			for _, blk := range blocks {
-				matched += m.OnBlock(blk)
-			}
-			dur := time.Since(start)
-			if matched != perDriver {
-				return nil, fmt.Errorf("experiments: distributed %s drivers=%d matched %d of %d",
-					algo, drivers, matched, perDriver)
-			}
-			out = append(out, DistributedResult{
-				Algorithm:        algo,
-				Drivers:          drivers,
-				TrackedPerDriver: perDriver,
-				ForeignFraction:  foreign,
-				Duration:         dur,
-				Matched:          matched,
+			algo := algo
+			runs = append(runs, harness.Run[DistributedResult]{
+				Name: fmt.Sprintf("distributed/%s drivers=%d", algo, drivers),
+				Fn: func(context.Context) (DistributedResult, error) {
+					// Regenerated per run: the block stream is mutated-free
+					// input, but each run timing its own fresh copy keeps the
+					// wall-clock measurement honest.
+					tracked, blocks := buildDistributedWorkload(opts.Seed, drivers, perDriver)
+					var m taskproc.Matcher
+					if algo == "taskproc" {
+						m = taskproc.NewProcessor(perDriver)
+					} else {
+						m = taskproc.NewBatchQueue(perDriver)
+					}
+					start := time.Now()
+					for _, rec := range tracked {
+						m.Track(rec)
+					}
+					matched := 0
+					for _, blk := range blocks {
+						matched += m.OnBlock(blk)
+					}
+					dur := time.Since(start)
+					if matched != perDriver {
+						return DistributedResult{}, fmt.Errorf("matched %d of %d", matched, perDriver)
+					}
+					return DistributedResult{
+						Algorithm:        algo,
+						Drivers:          drivers,
+						TrackedPerDriver: perDriver,
+						ForeignFraction:  foreign,
+						Duration:         dur,
+						Matched:          matched,
+					}, nil
+				},
 			})
 		}
 	}
-	return out, nil
+	// This experiment measures real wall-clock matching cost, so concurrent
+	// runs would contend for CPU and distort each other's timings: pin the
+	// sweep to one worker regardless of the caller's parallelism.
+	hopts := opts.harnessOptions()
+	hopts.Workers = 1
+	rows, err := harness.Collect(harness.Execute(ctx, runs, hopts))
+	if err != nil {
+		return nil, fmt.Errorf("experiments: %w", err)
+	}
+	return rows, nil
 }
 
 // buildDistributedWorkload returns driver 0's tracked records and the block

@@ -1,13 +1,18 @@
 // Package experiments contains one runner per table and figure in the
-// paper's evaluation (§V). Each runner builds the systems involved, executes
-// the measurement, and returns structured rows that the hammer-bench CLI and
-// the repository benchmarks render as charts and CSV. DESIGN.md §3 maps each
-// experiment to the modules it exercises.
+// paper's evaluation (§V). Each runner describes its independent simulations
+// as harness runs and executes them through harness.Execute — concurrently
+// across cores, with per-run panic isolation and context cancellation — then
+// returns structured rows that the CLIs and the repository benchmarks render
+// as charts and CSV. Results are always in sweep order, so parallel output
+// is identical to serial. DESIGN.md §3 maps each experiment to the modules
+// it exercises.
 package experiments
 
 import (
 	"fmt"
 	"time"
+
+	"hammer/internal/harness"
 )
 
 // Options tunes how heavy the runners are. The defaults reproduce the
@@ -30,6 +35,17 @@ type Options struct {
 	ModelLookback int
 	// ModelHidden is the neural width for Table III.
 	ModelHidden int
+	// Workers bounds how many runs a sweep executes concurrently;
+	// 0 means one worker per core (runtime.GOMAXPROCS(0)).
+	Workers int
+	// OnProgress, when set, observes every harness run completion — the
+	// CLIs wire it to live progress lines and monitor counters.
+	OnProgress func(harness.Progress)
+}
+
+// harnessOptions translates the sweep knobs into harness options.
+func (o *Options) harnessOptions() harness.Options {
+	return harness.Options{Workers: o.Workers, OnProgress: o.OnProgress}
 }
 
 // Default returns paper-scale options.

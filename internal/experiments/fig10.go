@@ -1,12 +1,15 @@
 package experiments
 
 import (
+	"context"
 	"fmt"
 	"time"
 
+	"hammer/internal/chain"
 	"hammer/internal/chains/fabric"
 	"hammer/internal/core"
 	"hammer/internal/eventsim"
+	"hammer/internal/harness"
 	"hammer/internal/workload"
 )
 
@@ -30,51 +33,62 @@ func (r Fig10Result) String() string {
 		r.Committed, r.Aborted, r.Rejected)
 }
 
+// fig10Run describes one Fabric evaluation at the given concurrency.
+func fig10Run(sweep string, clients, threads int, offeredPerClient float64, opts Options) harness.Run[Fig10Result] {
+	return harness.Run[Fig10Result]{
+		Name: fmt.Sprintf("fig10/%s clients=%d threads=%d", sweep, clients, threads),
+		Seed: opts.Seed,
+		Build: func(seed int64) (*eventsim.Scheduler, chain.Blockchain, core.Config, error) {
+			sched := eventsim.New()
+			fcfg := fabric.DefaultConfig()
+			// A deep admission queue lets backlog (and with it MVCC conflict
+			// windows) grow with offered load, which is what produces the
+			// client-count behaviour of Fig 10.
+			fcfg.PendingCap = 2000
+			bc := fabric.New(sched, fcfg)
+
+			cfg := core.DefaultConfig()
+			cfg.Seed = seed
+			cfg.Workload.Accounts = opts.Accounts
+			cfg.Workload.Seed = seed
+			cfg.Clients = clients
+			cfg.Threads = threads
+			cfg.SignMode = core.SignOff
+			// 7 ms of client CPU per submission makes two threads on a 2-vCPU
+			// client machine the sweet spot: one thread cannot keep Fabric fed,
+			// and beyond two the context-switch overhead shrinks capacity again.
+			cfg.SubmitCost = 7 * time.Millisecond
+			cfg.ThreadOverhead = 0.35
+			cfg.Control = workload.Constant(offeredPerClient*float64(clients),
+				time.Duration(opts.MeasureSeconds)*time.Second, time.Second)
+			cfg.DrainTimeout = 3 * time.Minute
+			return sched, bc, cfg, nil
+		},
+		Digest: func(res *core.Result, _ chain.Blockchain) (Fig10Result, error) {
+			rep := res.Report
+			return Fig10Result{
+				Sweep:      sweep,
+				Clients:    clients,
+				Threads:    threads,
+				Throughput: rep.Throughput,
+				AvgLatency: rep.AvgLatency,
+				Committed:  rep.Committed,
+				Aborted:    rep.Aborted,
+				Rejected:   rep.Rejected,
+			}, nil
+		},
+	}
+}
+
 // Fig10Run executes one Fabric evaluation at the given concurrency.
-func Fig10Run(sweep string, clients, threads int, offeredPerClient float64, opts Options) (Fig10Result, error) {
-	sched := eventsim.New()
-	fcfg := fabric.DefaultConfig()
-	// A deep admission queue lets backlog (and with it MVCC conflict
-	// windows) grow with offered load, which is what produces the
-	// client-count behaviour of Fig 10.
-	fcfg.PendingCap = 2000
-	bc := fabric.New(sched, fcfg)
-
-	cfg := core.DefaultConfig()
-	cfg.Seed = opts.Seed
-	cfg.Workload.Accounts = opts.Accounts
-	cfg.Workload.Seed = opts.Seed
-	cfg.Clients = clients
-	cfg.Threads = threads
-	cfg.SignMode = core.SignOff
-	// 7 ms of client CPU per submission makes two threads on a 2-vCPU
-	// client machine the sweet spot: one thread cannot keep Fabric fed,
-	// and beyond two the context-switch overhead shrinks capacity again.
-	cfg.SubmitCost = 7 * time.Millisecond
-	cfg.ThreadOverhead = 0.35
-	cfg.Control = workload.Constant(offeredPerClient*float64(clients),
-		time.Duration(opts.MeasureSeconds)*time.Second, time.Second)
-	cfg.DrainTimeout = 3 * time.Minute
-
-	eng, err := core.New(sched, bc, cfg)
+func Fig10Run(ctx context.Context, sweep string, clients, threads int, offeredPerClient float64, opts Options) (Fig10Result, error) {
+	opts.fillDefaults()
+	runs := []harness.Run[Fig10Result]{fig10Run(sweep, clients, threads, offeredPerClient, opts)}
+	rows, err := harness.Collect(harness.Execute(ctx, runs, opts.harnessOptions()))
 	if err != nil {
-		return Fig10Result{}, err
+		return Fig10Result{}, fmt.Errorf("experiments: %w", err)
 	}
-	res, err := eng.Run()
-	if err != nil {
-		return Fig10Result{}, err
-	}
-	rep := res.Report
-	return Fig10Result{
-		Sweep:      sweep,
-		Clients:    clients,
-		Threads:    threads,
-		Throughput: rep.Throughput,
-		AvgLatency: rep.AvgLatency,
-		Committed:  rep.Committed,
-		Aborted:    rep.Aborted,
-		Rejected:   rep.Rejected,
-	}, nil
+	return rows[0], nil
 }
 
 // Fig10 sweeps worker threads (at one client) and client machines (at two
@@ -84,26 +98,22 @@ func Fig10Run(sweep string, clients, threads int, offeredPerClient float64, opts
 // as conflicts grow with the backlog, and at 5 clients the nodes shed load
 // — committed throughput drops while surviving-transaction latency stops
 // rising.
-func Fig10(opts Options) ([]Fig10Result, error) {
+func Fig10(ctx context.Context, opts Options) ([]Fig10Result, error) {
 	opts.fillDefaults()
-	var out []Fig10Result
+	var runs []harness.Run[Fig10Result]
 	for _, threads := range []int{1, 2, 3, 4, 6, 8} {
 		// 260 tx/s sits just under the 2-thread client capacity, so the
 		// sweep isolates client-side scheduling rather than chain backlog.
-		r, err := Fig10Run("threads", 1, threads, 260, opts)
-		if err != nil {
-			return nil, fmt.Errorf("experiments: fig10 threads=%d: %w", threads, err)
-		}
-		out = append(out, r)
+		runs = append(runs, fig10Run("threads", 1, threads, 260, opts))
 	}
 	for _, clients := range []int{1, 2, 3, 4, 5} {
-		r, err := Fig10Run("clients", clients, 2, 150, opts)
-		if err != nil {
-			return nil, fmt.Errorf("experiments: fig10 clients=%d: %w", clients, err)
-		}
-		out = append(out, r)
+		runs = append(runs, fig10Run("clients", clients, 2, 150, opts))
 	}
-	return out, nil
+	rows, err := harness.Collect(harness.Execute(ctx, runs, opts.harnessOptions()))
+	if err != nil {
+		return nil, fmt.Errorf("experiments: %w", err)
+	}
+	return rows, nil
 }
 
 // Fig10CSV renders the rows for the CSV exporter.

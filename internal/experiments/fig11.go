@@ -1,8 +1,10 @@
 package experiments
 
 import (
+	"context"
 	"fmt"
 
+	"hammer/internal/harness"
 	"hammer/internal/models"
 	"hammer/internal/timeseries"
 	"hammer/internal/timeseries/datasets"
@@ -24,47 +26,61 @@ type Fig11Result struct {
 	OneStepMAE float64
 }
 
-// Fig11 produces the real-vs-generated comparison for every dataset.
-func Fig11(opts Options) ([]Fig11Result, error) {
+// Fig11 produces the real-vs-generated comparison for every dataset; each
+// dataset trains independently, so the harness runs them concurrently.
+func Fig11(ctx context.Context, opts Options) ([]Fig11Result, error) {
 	opts.fillDefaults()
 	cfg := table3Config(opts)
 
-	var out []Fig11Result
-	for _, log := range datasets.All(opts.Seed) {
-		series := log.HourlySeries()
-		train, test := timeseries.Split(series, 0.8)
-		p := models.NewHammer(cfg)
-		if err := p.Fit(train); err != nil {
-			return nil, fmt.Errorf("experiments: fig11 %s: %w", log.Name, err)
-		}
+	var runs []harness.Run[Fig11Result]
+	for i, log := range datasets.All(opts.Seed) {
+		i, name := i, log.Name
+		runs = append(runs, harness.Run[Fig11Result]{
+			Name: "fig11/" + name,
+			Fn: func(context.Context) (Fig11Result, error) {
+				// Regenerate the dataset inside the run so concurrent runs
+				// never share series storage.
+				log := datasets.All(opts.Seed)[i]
+				series := log.HourlySeries()
+				train, test := timeseries.Split(series, 0.8)
+				p := models.NewHammer(cfg)
+				if err := p.Fit(train); err != nil {
+					return Fig11Result{}, fmt.Errorf("fit: %w", err)
+				}
 
-		generated, err := models.Generate(p, train, len(test))
-		if err != nil {
-			return nil, fmt.Errorf("experiments: fig11 generate %s: %w", log.Name, err)
-		}
+				generated, err := models.Generate(p, train, len(test))
+				if err != nil {
+					return Fig11Result{}, fmt.Errorf("generate: %w", err)
+				}
 
-		oneStep := make([]float64, 0, len(test))
-		for target := len(train); target < len(series); target++ {
-			start := target - cfg.Lookback
-			if start < 0 {
-				continue
-			}
-			v, err := p.Predict(series[start : start+cfg.Lookback])
-			if err != nil {
-				return nil, fmt.Errorf("experiments: fig11 predict %s: %w", log.Name, err)
-			}
-			oneStep = append(oneStep, v)
-		}
+				oneStep := make([]float64, 0, len(test))
+				for target := len(train); target < len(series); target++ {
+					start := target - cfg.Lookback
+					if start < 0 {
+						continue
+					}
+					v, err := p.Predict(series[start : start+cfg.Lookback])
+					if err != nil {
+						return Fig11Result{}, fmt.Errorf("predict: %w", err)
+					}
+					oneStep = append(oneStep, v)
+				}
 
-		out = append(out, Fig11Result{
-			Dataset:    log.Name,
-			Real:       append([]float64(nil), test...),
-			Generated:  generated,
-			OneStep:    oneStep,
-			OneStepMAE: timeseries.MAE(test, oneStep),
+				return Fig11Result{
+					Dataset:    name,
+					Real:       append([]float64(nil), test...),
+					Generated:  generated,
+					OneStep:    oneStep,
+					OneStepMAE: timeseries.MAE(test, oneStep),
+				}, nil
+			},
 		})
 	}
-	return out, nil
+	rows, err := harness.Collect(harness.Execute(ctx, runs, opts.harnessOptions()))
+	if err != nil {
+		return nil, fmt.Errorf("experiments: %w", err)
+	}
+	return rows, nil
 }
 
 // Fig11CSV renders one dataset's comparison for the CSV exporter.

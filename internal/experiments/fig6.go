@@ -1,6 +1,7 @@
 package experiments
 
 import (
+	"context"
 	"fmt"
 	"time"
 
@@ -11,6 +12,7 @@ import (
 	"hammer/internal/chains/neuchain"
 	"hammer/internal/core"
 	"hammer/internal/eventsim"
+	"hammer/internal/harness"
 	"hammer/internal/smallbank"
 	"hammer/internal/workload"
 )
@@ -112,43 +114,37 @@ func fig6Setups(opts Options) []chainSetup {
 	}
 }
 
-// Fig6 measures peak throughput and latency of the four blockchain systems
-// with the Hammer driver.
-func Fig6(opts Options) ([]ChainResult, error) {
+// Fig6Runs returns the four Fig 6 evaluations as harness run descriptors;
+// the harness determinism test executes them at several worker counts.
+func Fig6Runs(opts Options) []harness.Run[ChainResult] {
 	opts.fillDefaults()
-	var out []ChainResult
+	runs := make([]harness.Run[ChainResult], 0, 4)
 	for _, setup := range fig6Setups(opts) {
-		res, err := runChain(setup, opts)
-		if err != nil {
-			return nil, fmt.Errorf("experiments: fig6 %s: %w", setup.name, err)
-		}
-		out = append(out, res)
+		setup := setup
+		runs = append(runs, harness.Run[ChainResult]{
+			Name: "fig6/" + setup.name,
+			Seed: opts.Seed,
+			Build: func(seed int64) (*eventsim.Scheduler, chain.Blockchain, core.Config, error) {
+				sched := eventsim.New()
+				bc := setup.build(sched)
+				cfg := core.DefaultConfig()
+				cfg.Seed = seed
+				cfg.Workload.Accounts = opts.Accounts
+				cfg.Workload.Seed = seed
+				cfg.Control = workload.Constant(setup.offered, time.Duration(opts.MeasureSeconds)*time.Second, time.Second)
+				cfg.SignMode = core.SignOff // signing cost is Fig 8's subject, not Fig 6's
+				if setup.cfg != nil {
+					setup.cfg(&cfg)
+				}
+				return sched, bc, cfg, nil
+			},
+			Digest: digestChainResult,
+		})
 	}
-	return out, nil
+	return runs
 }
 
-func runChain(setup chainSetup, opts Options) (ChainResult, error) {
-	sched := eventsim.New()
-	bc := setup.build(sched)
-
-	cfg := core.DefaultConfig()
-	cfg.Seed = opts.Seed
-	cfg.Workload.Accounts = opts.Accounts
-	cfg.Workload.Seed = opts.Seed
-	cfg.Control = workload.Constant(setup.offered, time.Duration(opts.MeasureSeconds)*time.Second, time.Second)
-	cfg.SignMode = core.SignOff // signing cost is Fig 8's subject, not Fig 6's
-	if setup.cfg != nil {
-		setup.cfg(&cfg)
-	}
-
-	eng, err := core.New(sched, bc, cfg)
-	if err != nil {
-		return ChainResult{}, err
-	}
-	res, err := eng.Run()
-	if err != nil {
-		return ChainResult{}, err
-	}
+func digestChainResult(res *core.Result, bc chain.Blockchain) (ChainResult, error) {
 	rep := res.Report
 	return ChainResult{
 		Chain:      bc.Name(),
@@ -160,6 +156,17 @@ func runChain(setup chainSetup, opts Options) (ChainResult, error) {
 		Rejected:   rep.Rejected,
 		Submitted:  rep.Submitted,
 	}, nil
+}
+
+// Fig6 measures peak throughput and latency of the four blockchain systems
+// with the Hammer driver.
+func Fig6(ctx context.Context, opts Options) ([]ChainResult, error) {
+	opts.fillDefaults()
+	rows, err := harness.Collect(harness.Execute(ctx, Fig6Runs(opts), opts.harnessOptions()))
+	if err != nil {
+		return nil, fmt.Errorf("experiments: %w", err)
+	}
+	return rows, nil
 }
 
 // Fig6CSV renders the rows for the CSV exporter.

@@ -1,6 +1,8 @@
 package experiments
 
 import (
+	"context"
+
 	"testing"
 	"time"
 )
@@ -13,7 +15,7 @@ func TestFig6PaperScale(t *testing.T) {
 	if testing.Short() {
 		t.Skip("paper-scale run skipped in -short mode")
 	}
-	rows, err := Fig6(Default())
+	rows, err := Fig6(context.Background(), Default())
 	if err != nil {
 		t.Fatal(err)
 	}

@@ -1,6 +1,8 @@
 package experiments
 
 import (
+	"context"
+
 	"testing"
 	"time"
 )
@@ -9,7 +11,7 @@ import (
 // Ethereum slowest and with multi-second latency, Meepo between them thanks
 // to sharding, Fabric in the hundreds of TPS.
 func TestFig6Shape(t *testing.T) {
-	rows, err := Fig6(Quick())
+	rows, err := Fig6(context.Background(), Quick())
 	if err != nil {
 		t.Fatal(err)
 	}

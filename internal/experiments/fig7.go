@@ -1,6 +1,7 @@
 package experiments
 
 import (
+	"context"
 	"fmt"
 	"time"
 
@@ -9,6 +10,7 @@ import (
 	"hammer/internal/chains/fabric"
 	"hammer/internal/core"
 	"hammer/internal/eventsim"
+	"hammer/internal/harness"
 	"hammer/internal/workload"
 )
 
@@ -54,87 +56,88 @@ func frameworkDriver(framework string) (core.DriverKind, error) {
 // throughput (≈239 TPS), Caliper under-reports (≈176) because its listener
 // loses responses under load, and Blockbench under-reports because its
 // O(n·m) queue matching falls behind.
-func Fig7(opts Options) ([]FrameworkResult, error) {
+func Fig7(ctx context.Context, opts Options) ([]FrameworkResult, error) {
 	opts.fillDefaults()
 	frameworks := []string{"hammer", "blockbench", "caliper"}
 
-	var out []FrameworkResult
+	var runs []harness.Run[FrameworkResult]
 	for _, chainName := range []string{"ethereum", "fabric"} {
 		for _, fw := range frameworks {
-			res, err := runFramework(chainName, fw, opts)
-			if err != nil {
-				return nil, fmt.Errorf("experiments: fig7 %s/%s: %w", chainName, fw, err)
-			}
-			out = append(out, res)
+			runs = append(runs, frameworkRun(chainName, fw, opts))
 		}
 	}
-	return out, nil
+	rows, err := harness.Collect(harness.Execute(ctx, runs, opts.harnessOptions()))
+	if err != nil {
+		return nil, fmt.Errorf("experiments: %w", err)
+	}
+	return rows, nil
 }
 
-func runFramework(chainName, framework string, opts Options) (FrameworkResult, error) {
-	driver, err := frameworkDriver(framework)
-	if err != nil {
-		return FrameworkResult{}, err
-	}
-	sched := eventsim.New()
-	var bc chain.Blockchain
-	cfg := core.DefaultConfig()
-	cfg.Seed = opts.Seed
-	cfg.Workload.Accounts = opts.Accounts
-	cfg.Workload.Seed = opts.Seed
-	cfg.Driver = driver
-	cfg.SignMode = core.SignOff
+// frameworkRun describes one chain×framework evaluation for the harness.
+func frameworkRun(chainName, framework string, opts Options) harness.Run[FrameworkResult] {
+	return harness.Run[FrameworkResult]{
+		Name: fmt.Sprintf("fig7/%s/%s", chainName, framework),
+		Seed: opts.Seed,
+		Build: func(seed int64) (*eventsim.Scheduler, chain.Blockchain, core.Config, error) {
+			driver, err := frameworkDriver(framework)
+			if err != nil {
+				return nil, nil, core.Config{}, err
+			}
+			sched := eventsim.New()
+			var bc chain.Blockchain
+			cfg := core.DefaultConfig()
+			cfg.Seed = seed
+			cfg.Workload.Accounts = opts.Accounts
+			cfg.Workload.Seed = seed
+			cfg.Driver = driver
+			cfg.SignMode = core.SignOff
 
-	switch chainName {
-	case "ethereum":
-		ecfg := ethereum.DefaultConfig()
-		ecfg.MempoolCap = 100
-		ecfg.Seed = opts.Seed
-		bc = ethereum.New(sched, ecfg)
-		cfg.Control = workload.Constant(50, time.Duration(opts.MeasureSeconds)*time.Second, time.Second)
-		cfg.DrainTimeout = 5 * time.Minute
-	case "fabric":
-		fcfg := fabric.DefaultConfig()
-		fcfg.PendingCap = 300
-		bc = fabric.New(sched, fcfg)
-		cfg.Control = workload.Constant(400, time.Duration(opts.MeasureSeconds)*time.Second, time.Second)
-		cfg.Clients = 4
-		cfg.SubmitCost = 500 * time.Microsecond
-	default:
-		return FrameworkResult{}, fmt.Errorf("experiments: unknown chain %q", chainName)
-	}
+			switch chainName {
+			case "ethereum":
+				ecfg := ethereum.DefaultConfig()
+				ecfg.MempoolCap = 100
+				ecfg.Seed = seed
+				bc = ethereum.New(sched, ecfg)
+				cfg.Control = workload.Constant(50, time.Duration(opts.MeasureSeconds)*time.Second, time.Second)
+				cfg.DrainTimeout = 5 * time.Minute
+			case "fabric":
+				fcfg := fabric.DefaultConfig()
+				fcfg.PendingCap = 300
+				bc = fabric.New(sched, fcfg)
+				cfg.Control = workload.Constant(400, time.Duration(opts.MeasureSeconds)*time.Second, time.Second)
+				cfg.Clients = 4
+				cfg.SubmitCost = 500 * time.Microsecond
+			default:
+				return nil, nil, core.Config{}, fmt.Errorf("experiments: unknown chain %q", chainName)
+			}
 
-	switch driver {
-	case core.DriverBatch:
-		// Blockbench polls coarsely and matches against a queue that also
-		// holds fire-and-forget submissions the SUT shed.
-		cfg.PollInterval = time.Second
-		cfg.TrackRejected = true
-	case core.DriverInteractive:
-		// Caliper's per-response listener: each response costs listener
-		// CPU; the paper attributes its losses to that resource drain.
-		cfg.EventCost = 11 * time.Millisecond
-		cfg.EventBacklogLimit = 400 * time.Millisecond
+			switch driver {
+			case core.DriverBatch:
+				// Blockbench polls coarsely and matches against a queue that also
+				// holds fire-and-forget submissions the SUT shed.
+				cfg.PollInterval = time.Second
+				cfg.TrackRejected = true
+			case core.DriverInteractive:
+				// Caliper's per-response listener: each response costs listener
+				// CPU; the paper attributes its losses to that resource drain.
+				cfg.EventCost = 11 * time.Millisecond
+				cfg.EventBacklogLimit = 400 * time.Millisecond
+			}
+			return sched, bc, cfg, nil
+		},
+		Digest: func(res *core.Result, bc chain.Blockchain) (FrameworkResult, error) {
+			rep := res.Report
+			return FrameworkResult{
+				Chain:      chainName,
+				Framework:  framework,
+				Throughput: rep.Throughput,
+				AvgLatency: rep.AvgLatency,
+				Committed:  rep.Committed,
+				Unmatched:  rep.Unmatched,
+				Dropped:    res.DroppedResponses,
+			}, nil
+		},
 	}
-
-	eng, err := core.New(sched, bc, cfg)
-	if err != nil {
-		return FrameworkResult{}, err
-	}
-	res, err := eng.Run()
-	if err != nil {
-		return FrameworkResult{}, err
-	}
-	rep := res.Report
-	return FrameworkResult{
-		Chain:      chainName,
-		Framework:  framework,
-		Throughput: rep.Throughput,
-		AvgLatency: rep.AvgLatency,
-		Committed:  rep.Committed,
-		Unmatched:  rep.Unmatched,
-		Dropped:    res.DroppedResponses,
-	}, nil
 }
 
 // Fig7CSV renders the rows for the CSV exporter.
@@ -152,29 +155,34 @@ func Fig7CSV(rows []FrameworkResult) (header []string, records [][]string) {
 // PollIntervalRun measures the batch driver's reported average latency at
 // one polling interval against the default Fabric deployment — the ξ1
 // sensitivity of §II-C1 (coarser polls stamp completions later).
-func PollIntervalRun(poll time.Duration, opts Options) (time.Duration, error) {
+func PollIntervalRun(ctx context.Context, poll time.Duration, opts Options) (time.Duration, error) {
 	opts.fillDefaults()
-	sched := eventsim.New()
-	fcfg := fabric.DefaultConfig()
-	fcfg.PendingCap = 300
-	bc := fabric.New(sched, fcfg)
+	run := harness.Run[time.Duration]{
+		Name: fmt.Sprintf("fig7/poll=%v", poll),
+		Seed: opts.Seed,
+		Build: func(seed int64) (*eventsim.Scheduler, chain.Blockchain, core.Config, error) {
+			sched := eventsim.New()
+			fcfg := fabric.DefaultConfig()
+			fcfg.PendingCap = 300
+			bc := fabric.New(sched, fcfg)
 
-	cfg := core.DefaultConfig()
-	cfg.Seed = opts.Seed
-	cfg.Workload.Accounts = opts.Accounts
-	cfg.Workload.Seed = opts.Seed
-	cfg.Driver = core.DriverBatch
-	cfg.PollInterval = poll
-	cfg.SignMode = core.SignOff
-	cfg.Control = workload.Constant(150, time.Duration(opts.MeasureSeconds)*time.Second, time.Second)
-
-	eng, err := core.New(sched, bc, cfg)
-	if err != nil {
-		return 0, err
+			cfg := core.DefaultConfig()
+			cfg.Seed = seed
+			cfg.Workload.Accounts = opts.Accounts
+			cfg.Workload.Seed = seed
+			cfg.Driver = core.DriverBatch
+			cfg.PollInterval = poll
+			cfg.SignMode = core.SignOff
+			cfg.Control = workload.Constant(150, time.Duration(opts.MeasureSeconds)*time.Second, time.Second)
+			return sched, bc, cfg, nil
+		},
+		Digest: func(res *core.Result, _ chain.Blockchain) (time.Duration, error) {
+			return res.Report.AvgLatency, nil
+		},
 	}
-	res, err := eng.Run()
+	rows, err := harness.Collect(harness.Execute(ctx, []harness.Run[time.Duration]{run}, opts.harnessOptions()))
 	if err != nil {
-		return 0, err
+		return 0, fmt.Errorf("experiments: %w", err)
 	}
-	return res.Report.AvgLatency, nil
+	return rows[0], nil
 }

@@ -1,13 +1,16 @@
 package experiments
 
-import "testing"
+import (
+	"context"
+	"testing"
+)
 
 // TestFig7Shape checks the framework-comparison artifacts: on Fabric,
 // Hammer reports the highest throughput, Caliper loses responses, and
 // Blockbench's queue matching inflates latency; on Ethereum the three
 // frameworks roughly agree.
 func TestFig7Shape(t *testing.T) {
-	rows, err := Fig7(Quick())
+	rows, err := Fig7(context.Background(), Quick())
 	if err != nil {
 		t.Fatal(err)
 	}

@@ -1,6 +1,8 @@
 package experiments
 
 import (
+	"context"
+
 	"fmt"
 	"runtime"
 	"testing"
@@ -122,7 +124,7 @@ func TestFig9Shape(t *testing.T) {
 }
 
 func TestCorrectnessQuick(t *testing.T) {
-	res, err := Correctness(Quick())
+	res, err := Correctness(context.Background(), Quick())
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -143,7 +145,7 @@ func TestFig10ThreadSweepQuick(t *testing.T) {
 	opts.Accounts = 2000
 	var rows []Fig10Result
 	for _, threads := range []int{1, 2, 4} {
-		r, err := Fig10Run("threads", 1, threads, 300, opts)
+		r, err := Fig10Run(context.Background(), "threads", 1, threads, 300, opts)
 		if err != nil {
 			t.Fatal(err)
 		}
@@ -168,7 +170,7 @@ func TestFig10ClientSweepQuick(t *testing.T) {
 	opts.MeasureSeconds = 30
 	var rows []Fig10Result
 	for _, clients := range []int{1, 2, 5} {
-		r, err := Fig10Run("clients", clients, 2, 150, opts)
+		r, err := Fig10Run(context.Background(), "clients", clients, 2, 150, opts)
 		if err != nil {
 			t.Fatal(err)
 		}
@@ -192,7 +194,7 @@ func TestDistributedShape(t *testing.T) {
 	// fastest of three runs per data point.
 	best := map[string]DistributedResult{}
 	for attempt := 0; attempt < 3; attempt++ {
-		rows, err := Distributed(Quick(), []int{1, 4}, 2000)
+		rows, err := Distributed(context.Background(), Quick(), []int{1, 4}, 2000)
 		if err != nil {
 			t.Fatal(err)
 		}

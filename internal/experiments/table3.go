@@ -1,8 +1,10 @@
 package experiments
 
 import (
+	"context"
 	"fmt"
 
+	"hammer/internal/harness"
 	"hammer/internal/models"
 	"hammer/internal/timeseries"
 	"hammer/internal/timeseries/datasets"
@@ -53,27 +55,40 @@ func table3Config(opts Options) models.Config {
 // 20%. Expected shape (paper): Hammer's TCN→BiGRU→attention model leads on
 // every dataset (>56% MAE reduction, R² near 1 on Sandbox/NFTs), the
 // Transformer struggles on these small corpora.
-func Table3(opts Options) ([]Table3Row, error) {
+func Table3(ctx context.Context, opts Options) ([]Table3Row, error) {
 	opts.fillDefaults()
 	cfg := table3Config(opts)
 
-	var out []Table3Row
-	for _, log := range datasets.All(opts.Seed) {
-		series := log.HourlySeries()
-		train, _ := timeseries.Split(series, 0.8)
+	var runs []harness.Run[Table3Row]
+	for i, log := range datasets.All(opts.Seed) {
+		i, dataset := i, log.Name
 		for _, mb := range modelBuilders() {
-			p := mb.Build(cfg)
-			if err := p.Fit(train); err != nil {
-				return nil, fmt.Errorf("experiments: table3 %s on %s: %w", mb.Name, log.Name, err)
-			}
-			m, err := models.EvaluateNormalized(p, series, len(train))
-			if err != nil {
-				return nil, fmt.Errorf("experiments: table3 %s on %s: %w", mb.Name, log.Name, err)
-			}
-			out = append(out, Table3Row{Dataset: log.Name, Method: mb.Name, Metrics: m})
+			mb := mb
+			runs = append(runs, harness.Run[Table3Row]{
+				Name: fmt.Sprintf("table3/%s/%s", dataset, mb.Name),
+				Fn: func(context.Context) (Table3Row, error) {
+					// Regenerate the dataset inside the run so concurrent
+					// runs never share series storage.
+					series := datasets.All(opts.Seed)[i].HourlySeries()
+					train, _ := timeseries.Split(series, 0.8)
+					p := mb.Build(cfg)
+					if err := p.Fit(train); err != nil {
+						return Table3Row{}, fmt.Errorf("fit: %w", err)
+					}
+					m, err := models.EvaluateNormalized(p, series, len(train))
+					if err != nil {
+						return Table3Row{}, fmt.Errorf("evaluate: %w", err)
+					}
+					return Table3Row{Dataset: dataset, Method: mb.Name, Metrics: m}, nil
+				},
+			})
 		}
 	}
-	return out, nil
+	rows, err := harness.Collect(harness.Execute(ctx, runs, opts.harnessOptions()))
+	if err != nil {
+		return nil, fmt.Errorf("experiments: %w", err)
+	}
+	return rows, nil
 }
 
 // Table3CSV renders the rows for the CSV exporter.

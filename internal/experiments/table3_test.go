@@ -1,6 +1,8 @@
 package experiments
 
 import (
+	"context"
+
 	"testing"
 )
 
@@ -8,7 +10,7 @@ import (
 // sanity: every row has finite metrics and the Hammer model is competitive.
 func TestTable3Quick(t *testing.T) {
 	opts := Quick()
-	rows, err := Table3(opts)
+	rows, err := Table3(context.Background(), opts)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -44,7 +46,7 @@ func TestTable3PaperScale(t *testing.T) {
 	if testing.Short() {
 		t.Skip("paper-scale training skipped in -short mode")
 	}
-	rows, err := Table3(Default())
+	rows, err := Table3(context.Background(), Default())
 	if err != nil {
 		t.Fatal(err)
 	}

@@ -1,0 +1,194 @@
+// Package harness is the experiment-run orchestrator: every sweep in
+// internal/experiments is a list of independent, fully deterministic
+// simulations (each owns its own eventsim.Scheduler), which makes the suite
+// embarrassingly parallel. Execute runs such a list through a bounded worker
+// pool across GOMAXPROCS cores, recovers per-run panics into wrapped errors
+// so one bad setup cannot kill a whole sweep, honors context cancellation,
+// and returns results in input order — parallel output is byte-identical to
+// serial.
+package harness
+
+import (
+	"context"
+	"fmt"
+	"runtime"
+	"runtime/debug"
+	"sync"
+	"time"
+
+	"hammer/internal/chain"
+	"hammer/internal/core"
+	"hammer/internal/eventsim"
+)
+
+// Build constructs one evaluation: a fresh scheduler, the system under test
+// on that scheduler, and the engine configuration. Each run builds its own
+// scheduler so runs never share simulation state and stay deterministic
+// under concurrency.
+type Build func(seed int64) (*eventsim.Scheduler, chain.Blockchain, core.Config, error)
+
+// Run describes one unit of work in a sweep. Engine-backed runs set Build
+// (and usually Digest) and the harness drives core.New → Engine.Run →
+// Digest; runs that do not evaluate a chain (model training, matcher
+// microbenchmarks) set Fn instead and receive the context directly. Exactly
+// one of Build and Fn must be set.
+type Run[T any] struct {
+	// Name labels the run in progress reports and error messages
+	// (e.g. "fig6/ethereum", "fig10/clients=3").
+	Name string
+	// Seed is passed to Build; runs in one sweep usually share it.
+	Seed int64
+	// Build constructs the scheduler/chain/config for an engine-backed run.
+	Build Build
+	// Digest converts the engine's raw result into the sweep's row type.
+	// Required when Build is set.
+	Digest func(res *core.Result, bc chain.Blockchain) (T, error)
+	// Fn is the generic alternative to Build for non-engine work.
+	Fn func(ctx context.Context) (T, error)
+}
+
+// Result is the outcome of one run, in the same position as its descriptor.
+type Result[T any] struct {
+	Name  string
+	Value T
+	Err   error
+	// Elapsed is the run's wall-clock cost (not part of the deterministic
+	// payload — compare Value/Err, never Elapsed).
+	Elapsed time.Duration
+}
+
+// Progress is delivered to Options.OnProgress after every run finishes.
+// Callbacks are serialized by the harness, so they may write to shared
+// state (stdout, monitor counters) without their own locking.
+type Progress struct {
+	// Name and Index identify the finished run; Completed/Total count
+	// sweep-wide completions including this one.
+	Name      string
+	Index     int
+	Completed int
+	Total     int
+	Err       error
+	Elapsed   time.Duration
+}
+
+// Options tunes Execute.
+type Options struct {
+	// Workers bounds concurrent runs; <= 0 means runtime.GOMAXPROCS(0).
+	Workers int
+	// OnProgress, when set, observes every run completion.
+	OnProgress func(Progress)
+}
+
+// Execute runs every descriptor through a bounded worker pool and returns
+// the results in input order. A run that panics yields a wrapped error in
+// its slot rather than crashing the sweep. When ctx is canceled, in-flight
+// engine runs abort at their next virtual-time step and not-yet-started
+// runs fail immediately with ctx.Err(); Execute always returns a result per
+// input.
+func Execute[T any](ctx context.Context, runs []Run[T], opts Options) []Result[T] {
+	if ctx == nil {
+		ctx = context.Background()
+	}
+	workers := opts.Workers
+	if workers <= 0 {
+		workers = runtime.GOMAXPROCS(0)
+	}
+	if workers > len(runs) {
+		workers = len(runs)
+	}
+	results := make([]Result[T], len(runs))
+
+	var (
+		mu        sync.Mutex
+		completed int
+	)
+	finish := func(i int, res Result[T]) {
+		results[i] = res
+		if opts.OnProgress == nil {
+			return
+		}
+		mu.Lock()
+		completed++
+		opts.OnProgress(Progress{
+			Name:      res.Name,
+			Index:     i,
+			Completed: completed,
+			Total:     len(runs),
+			Err:       res.Err,
+			Elapsed:   res.Elapsed,
+		})
+		mu.Unlock()
+	}
+
+	next := make(chan int)
+	var wg sync.WaitGroup
+	wg.Add(workers)
+	for w := 0; w < workers; w++ {
+		go func() {
+			defer wg.Done()
+			for i := range next {
+				start := time.Now()
+				var (
+					val T
+					err error
+				)
+				if err = ctx.Err(); err == nil {
+					val, err = invoke(ctx, runs[i])
+				}
+				finish(i, Result[T]{Name: runs[i].Name, Value: val, Err: err, Elapsed: time.Since(start)})
+			}
+		}()
+	}
+	for i := range runs {
+		next <- i
+	}
+	close(next)
+	wg.Wait()
+	return results
+}
+
+// invoke executes one run, converting a panic into an error so a single
+// misconfigured setup cannot take down the sweep.
+func invoke[T any](ctx context.Context, r Run[T]) (val T, err error) {
+	defer func() {
+		if rec := recover(); rec != nil {
+			err = fmt.Errorf("harness: run %q panicked: %v\n%s", r.Name, rec, debug.Stack())
+		}
+	}()
+	if r.Fn != nil {
+		return r.Fn(ctx)
+	}
+	if r.Build == nil {
+		return val, fmt.Errorf("harness: run %q has neither Build nor Fn", r.Name)
+	}
+	if r.Digest == nil {
+		return val, fmt.Errorf("harness: engine run %q has no Digest", r.Name)
+	}
+	sched, bc, cfg, err := r.Build(r.Seed)
+	if err != nil {
+		return val, err
+	}
+	eng, err := core.New(sched, bc, cfg)
+	if err != nil {
+		return val, err
+	}
+	res, err := eng.Run(ctx)
+	if err != nil {
+		return val, err
+	}
+	return r.Digest(res, bc)
+}
+
+// Collect unwraps results into their values, preserving input order. The
+// first failed run aborts collection with its error wrapped under the run
+// name, matching the fail-fast contract the serial sweeps had.
+func Collect[T any](results []Result[T]) ([]T, error) {
+	out := make([]T, 0, len(results))
+	for _, r := range results {
+		if r.Err != nil {
+			return nil, fmt.Errorf("%s: %w", r.Name, r.Err)
+		}
+		out = append(out, r.Value)
+	}
+	return out, nil
+}

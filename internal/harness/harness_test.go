@@ -1,0 +1,139 @@
+package harness_test
+
+import (
+	"context"
+	"errors"
+	"fmt"
+	"strings"
+	"testing"
+	"time"
+
+	"hammer/internal/experiments"
+	"hammer/internal/harness"
+)
+
+// fig6Opts shrinks the Fig 6 sweep far enough that running it twice (serial
+// and parallel) stays cheap.
+func fig6Opts() experiments.Options {
+	opts := experiments.Quick()
+	opts.Accounts = 300
+	opts.MeasureSeconds = 5
+	return opts
+}
+
+// TestExecuteDeterministic is the harness's core guarantee: the same Fig 6
+// run set produces identical result slices at Workers 1 and Workers 8, so
+// -parallel can never change experiment output.
+func TestExecuteDeterministic(t *testing.T) {
+	serial := harness.Execute(context.Background(), experiments.Fig6Runs(fig6Opts()), harness.Options{Workers: 1})
+	parallel := harness.Execute(context.Background(), experiments.Fig6Runs(fig6Opts()), harness.Options{Workers: 8})
+
+	if len(serial) != len(parallel) {
+		t.Fatalf("run counts differ: %d vs %d", len(serial), len(parallel))
+	}
+	for i := range serial {
+		if serial[i].Name != parallel[i].Name {
+			t.Fatalf("slot %d ordering differs: %q vs %q", i, serial[i].Name, parallel[i].Name)
+		}
+		if (serial[i].Err == nil) != (parallel[i].Err == nil) {
+			t.Fatalf("%s: errors differ: %v vs %v", serial[i].Name, serial[i].Err, parallel[i].Err)
+		}
+		// Elapsed is wall-clock and excluded from the determinism contract.
+		if serial[i].Value != parallel[i].Value {
+			t.Errorf("%s: values differ:\n  serial:   %+v\n  parallel: %+v",
+				serial[i].Name, serial[i].Value, parallel[i].Value)
+		}
+	}
+}
+
+// TestExecuteCancellation checks a canceled context stops the sweep
+// promptly: in-flight runs see ctx.Done and queued runs fail without
+// starting.
+func TestExecuteCancellation(t *testing.T) {
+	ctx, cancel := context.WithCancel(context.Background())
+	runs := make([]harness.Run[int], 6)
+	for i := range runs {
+		i := i
+		runs[i] = harness.Run[int]{
+			Name: fmt.Sprintf("block/%d", i),
+			Fn: func(ctx context.Context) (int, error) {
+				<-ctx.Done()
+				return 0, ctx.Err()
+			},
+		}
+	}
+	time.AfterFunc(50*time.Millisecond, cancel)
+
+	start := time.Now()
+	results := harness.Execute(ctx, runs, harness.Options{Workers: 2})
+	if waited := time.Since(start); waited > 5*time.Second {
+		t.Fatalf("Execute took %v after cancellation, want prompt return", waited)
+	}
+	for _, r := range results {
+		if !errors.Is(r.Err, context.Canceled) {
+			t.Fatalf("%s: error %v, want context.Canceled", r.Name, r.Err)
+		}
+	}
+	if _, err := harness.Collect(results); !errors.Is(err, context.Canceled) {
+		t.Fatalf("Collect returned %v, want context.Canceled", err)
+	}
+}
+
+// TestExecutePanicRecovery checks one panicking run lands as a wrapped
+// error in its own slot while the rest of the sweep completes normally.
+func TestExecutePanicRecovery(t *testing.T) {
+	runs := []harness.Run[int]{
+		{Name: "ok/0", Fn: func(context.Context) (int, error) { return 10, nil }},
+		{Name: "boom", Fn: func(context.Context) (int, error) { panic("kaboom") }},
+		{Name: "ok/1", Fn: func(context.Context) (int, error) { return 11, nil }},
+	}
+	results := harness.Execute(context.Background(), runs, harness.Options{Workers: 3})
+	if results[0].Err != nil || results[0].Value != 10 {
+		t.Fatalf("ok/0: %+v", results[0])
+	}
+	if results[2].Err != nil || results[2].Value != 11 {
+		t.Fatalf("ok/1: %+v", results[2])
+	}
+	if results[1].Err == nil || !strings.Contains(results[1].Err.Error(), `run "boom" panicked: kaboom`) {
+		t.Fatalf("boom error = %v, want wrapped panic", results[1].Err)
+	}
+	if _, err := harness.Collect(results); err == nil || !strings.Contains(err.Error(), "boom") {
+		t.Fatalf("Collect error = %v, want it named after the panicking run", err)
+	}
+}
+
+// TestExecuteProgress checks completions are serialized, counted 1..N, and
+// carry the right names.
+func TestExecuteProgress(t *testing.T) {
+	const n = 9
+	runs := make([]harness.Run[int], n)
+	for i := range runs {
+		i := i
+		runs[i] = harness.Run[int]{
+			Name: fmt.Sprintf("run/%d", i),
+			Fn:   func(context.Context) (int, error) { return i, nil },
+		}
+	}
+	var seen []harness.Progress
+	results := harness.Execute(context.Background(), runs, harness.Options{
+		Workers: 4,
+		// Serialized by the harness: no locking needed here.
+		OnProgress: func(p harness.Progress) { seen = append(seen, p) },
+	})
+	if len(seen) != n {
+		t.Fatalf("%d progress callbacks, want %d", len(seen), n)
+	}
+	for i, p := range seen {
+		if p.Completed != i+1 || p.Total != n {
+			t.Fatalf("callback %d: completed %d/%d, want %d/%d", i, p.Completed, p.Total, i+1, n)
+		}
+		if want := fmt.Sprintf("run/%d", p.Index); p.Name != want {
+			t.Fatalf("callback %d: name %q does not match index %d", i, p.Name, p.Index)
+		}
+	}
+	for i, r := range results {
+		if r.Value != i {
+			t.Fatalf("slot %d holds value %d: results out of input order", i, r.Value)
+		}
+	}
+}

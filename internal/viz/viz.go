@@ -199,6 +199,32 @@ func WriteCSVFile(dir, name string, header []string, rows [][]string) (string, e
 	return path, nil
 }
 
+// Dataset is one named CSV export: a file name plus the header and rows to
+// write into it. Experiment CLIs build Datasets from the experiments
+// package's *CSV renderers and hand them to Export, so CSV emission lives in
+// exactly one place.
+type Dataset struct {
+	Name   string // file name, e.g. "fig6_chain_comparison.csv"
+	Header []string
+	Rows   [][]string
+}
+
+// Export writes every dataset into dir and logs "wrote <path>" to w. An
+// empty dir disables export (the CLIs' -out "" convention).
+func Export(w io.Writer, dir string, ds ...Dataset) error {
+	if dir == "" {
+		return nil
+	}
+	for _, d := range ds {
+		path, err := WriteCSVFile(dir, d.Name, d.Header, d.Rows)
+		if err != nil {
+			return err
+		}
+		fmt.Fprintln(w, "wrote", path)
+	}
+	return nil
+}
+
 // Table renders an aligned text table.
 func Table(w io.Writer, header []string, rows [][]string) {
 	widths := make([]int, len(header))
