@@ -46,41 +46,49 @@ func BenchmarkFig1Datasets(b *testing.B) {
 	}
 }
 
-// BenchmarkFig6PeakPerformance replays the chain comparison of Fig 6; each
-// sub-benchmark reports the measured peak TPS and average latency.
+// BenchmarkFig6PeakPerformance replays the chain comparison of Fig 6 per
+// iteration — the timed region is the full experiment, so -benchtime and
+// benchstat comparisons across commits are meaningful. The final iteration's
+// peak TPS and average latency are reported alongside ns/op.
 func BenchmarkFig6PeakPerformance(b *testing.B) {
-	rows, err := experiments.Fig6(context.Background(), benchOpts())
-	if err != nil {
-		b.Fatal(err)
+	b.ReportAllocs()
+	var rows []experiments.ChainResult
+	for i := 0; i < b.N; i++ {
+		var err error
+		rows, err = experiments.Fig6(context.Background(), benchOpts())
+		if err != nil {
+			b.Fatal(err)
+		}
 	}
+	var peakTPS, latencyMS float64
 	for _, row := range rows {
-		row := row
-		b.Run(row.Chain, func(b *testing.B) {
-			for i := 0; i < b.N; i++ {
-				// The result above is reused; re-running per iteration
-				// would re-measure the identical deterministic system.
-			}
-			b.ReportMetric(row.Throughput, "tps")
-			b.ReportMetric(row.AvgLatency.Seconds()*1000, "latency_ms")
-		})
+		if row.Throughput > peakTPS {
+			peakTPS = row.Throughput
+			latencyMS = row.AvgLatency.Seconds() * 1000
+		}
 	}
+	b.ReportMetric(peakTPS, "peak_tps")
+	b.ReportMetric(latencyMS, "latency_ms")
 }
 
 // BenchmarkFig7FrameworkComparison replays the Hammer/Blockbench/Caliper
-// comparison of Fig 7 on Fabric and Ethereum.
+// comparison of Fig 7 on Fabric and Ethereum per iteration, timing the full
+// experiment. The final iteration's Hammer-on-Fabric TPS is reported.
 func BenchmarkFig7FrameworkComparison(b *testing.B) {
-	rows, err := experiments.Fig7(context.Background(), benchOpts())
-	if err != nil {
-		b.Fatal(err)
+	b.ReportAllocs()
+	var rows []experiments.FrameworkResult
+	for i := 0; i < b.N; i++ {
+		var err error
+		rows, err = experiments.Fig7(context.Background(), benchOpts())
+		if err != nil {
+			b.Fatal(err)
+		}
 	}
 	for _, row := range rows {
-		row := row
-		b.Run(fmt.Sprintf("%s/%s", row.Chain, row.Framework), func(b *testing.B) {
-			for i := 0; i < b.N; i++ {
-			}
+		if row.Chain == "fabric" && row.Framework == "hammer" {
 			b.ReportMetric(row.Throughput, "tps")
 			b.ReportMetric(row.AvgLatency.Seconds()*1000, "latency_ms")
-		})
+		}
 	}
 }
 
@@ -285,7 +293,7 @@ func BenchmarkFig11Generation(b *testing.B) {
 	}
 }
 
-// --- Ablation benchmarks (DESIGN.md §4) ---
+// --- Ablation benchmarks (DESIGN.md §6) ---
 
 // BenchmarkAblationBloomFilter isolates the Bloom filter's value when
 // foreign transactions dominate block contents (the distributed-testing

@@ -29,6 +29,7 @@ import (
 	"hammer/internal/experiments"
 	"hammer/internal/harness"
 	"hammer/internal/monitor"
+	"hammer/internal/perf"
 	"hammer/internal/viz"
 )
 
@@ -41,16 +42,31 @@ func main() {
 
 func run() error {
 	var (
-		exp      = flag.String("exp", "all", "experiment: fig1|fig6|fig7|fig8|fig9|fig10|correctness|distributed|all")
-		quick    = flag.Bool("quick", false, "shrink workloads for a fast smoke run")
-		outDir   = flag.String("out", "results", "directory for CSV export")
-		seed     = flag.Int64("seed", 7, "random seed")
-		parallel = flag.Int("parallel", runtime.GOMAXPROCS(0), "worker count for experiment sweeps (results are identical at any value)")
+		exp        = flag.String("exp", "all", "experiment: fig1|fig6|fig7|fig8|fig9|fig10|correctness|distributed|all, plus schedbench (explicit only)")
+		quick      = flag.Bool("quick", false, "shrink workloads for a fast smoke run")
+		outDir     = flag.String("out", "results", "directory for CSV export")
+		seed       = flag.Int64("seed", 7, "random seed")
+		parallel   = flag.Int("parallel", runtime.GOMAXPROCS(0), "worker count for experiment sweeps (results are identical at any value)")
+		cpuprofile = flag.String("cpuprofile", "", "write a CPU profile to this file")
+		memprofile = flag.String("memprofile", "", "write a heap profile to this file on exit")
+		benchjson  = flag.Bool("benchjson", false, "record per-experiment TPS/wall-clock/allocs into a numbered BENCH_<n>.json under -out")
 	)
 	flag.Parse()
 
 	ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt)
 	defer stop()
+
+	if *cpuprofile != "" {
+		stopProf, err := perf.StartCPUProfile(*cpuprofile)
+		if err != nil {
+			return err
+		}
+		defer stopProf()
+	}
+	var traj *perf.Trajectory
+	if *benchjson {
+		traj = perf.NewTrajectory("hammer-bench", os.Args[1:])
+	}
 
 	reg := monitor.NewRegistry()
 	opts := experiments.Default()
@@ -71,28 +87,60 @@ func run() error {
 		return false
 	}
 
+	// wantOnly matches experiments that must be asked for by name —
+	// schedbench is a microbenchmark of the framework itself, not a paper
+	// figure, so "all" does not include it.
+	wantOnly := func(name string) bool {
+		for _, s := range selected {
+			if s == name {
+				return true
+			}
+		}
+		return false
+	}
+
 	ran := 0
+	// Each step returns its headline throughput (0 when it has none) so the
+	// -benchjson trajectory can track TPS alongside wall-clock and allocs.
 	type step struct {
 		name string
-		fn   func() error
+		fn   func() (float64, error)
 	}
 	steps := []step{
-		{"fig1", func() error { return runFig1(opts, *outDir) }},
-		{"fig6", func() error { return runFig6(ctx, opts, *outDir) }},
-		{"fig7", func() error { return runFig7(ctx, opts, *outDir) }},
-		{"fig8", func() error { return runFig8(opts, *outDir) }},
-		{"fig9", func() error { return runFig9(opts, *outDir) }},
-		{"fig10", func() error { return runFig10(ctx, opts, *outDir) }},
-		{"correctness", func() error { return runCorrectness(ctx, opts) }},
-		{"distributed", func() error { return runDistributed(ctx, opts, *outDir) }},
+		{"fig1", func() (float64, error) { return 0, runFig1(opts, *outDir) }},
+		{"fig6", func() (float64, error) { return runFig6(ctx, opts, *outDir) }},
+		{"fig7", func() (float64, error) { return runFig7(ctx, opts, *outDir) }},
+		{"fig8", func() (float64, error) { return 0, runFig8(opts, *outDir) }},
+		{"fig9", func() (float64, error) { return 0, runFig9(opts, *outDir) }},
+		{"fig10", func() (float64, error) { return runFig10(ctx, opts, *outDir) }},
+		{"correctness", func() (float64, error) { return 0, runCorrectness(ctx, opts) }},
+		{"distributed", func() (float64, error) { return 0, runDistributed(ctx, opts, *outDir) }},
 	}
 	for _, s := range steps {
 		if !want(s.name) {
 			continue
 		}
 		fmt.Printf("=== %s ===\n", s.name)
-		if err := s.fn(); err != nil {
+		var tps float64
+		sample, err := perf.Measure(s.name, func() error {
+			var err error
+			tps, err = s.fn()
+			return err
+		})
+		if err != nil {
 			return fmt.Errorf("%s: %w", s.name, err)
+		}
+		sample.TPS = tps
+		if traj != nil {
+			traj.Add(sample)
+		}
+		fmt.Println()
+		ran++
+	}
+	if wantOnly("schedbench") {
+		fmt.Println("=== schedbench ===")
+		if err := runSchedBench(*outDir, traj); err != nil {
+			return fmt.Errorf("schedbench: %w", err)
 		}
 		fmt.Println()
 		ran++
@@ -104,7 +152,52 @@ func run() error {
 		fmt.Printf("harness: %.0f runs completed, %.0f failed (workers=%d)\n",
 			done, reg.Counter("harness/runs_failed").Value(), *parallel)
 	}
+	if traj != nil {
+		path, err := perf.NextPath(*outDir)
+		if err != nil {
+			return err
+		}
+		if err := perf.WriteTrajectory(path, traj); err != nil {
+			return err
+		}
+		fmt.Println("wrote", path)
+	}
+	if *memprofile != "" {
+		if err := perf.WriteHeapProfile(*memprofile); err != nil {
+			return err
+		}
+	}
 	return nil
+}
+
+// runSchedBench compares the original binary-heap scheduler against the
+// timer-wheel scheduler on an identical deterministic event workload. The
+// 1M-event run finishes in about a second, so -quick does not shrink it.
+func runSchedBench(outDir string, traj *perf.Trajectory) error {
+	rows, err := experiments.SchedBench(1_000_000)
+	if err != nil {
+		return err
+	}
+	for _, r := range rows {
+		fmt.Println(r)
+		if traj != nil {
+			traj.Add(perf.Sample{
+				Name:           "schedbench/" + r.Impl,
+				WallSeconds:    r.Wall.Seconds(),
+				Allocs:         r.Allocs,
+				AllocBytes:     r.AllocBytes,
+				Events:         r.Events,
+				AllocsPerEvent: r.AllocsPerEvent,
+			})
+		}
+	}
+	if len(rows) == 2 && rows[1].Wall > 0 && rows[1].Allocs > 0 {
+		fmt.Printf("wheel vs heap: %.2fx wall-clock, %.1fx fewer allocations\n",
+			float64(rows[0].Wall)/float64(rows[1].Wall),
+			float64(rows[0].Allocs)/float64(rows[1].Allocs))
+	}
+	header, csvRows := experiments.SchedBenchCSV(rows)
+	return viz.Export(os.Stdout, outDir, viz.Dataset{Name: "schedbench.csv", Header: header, Rows: csvRows})
 }
 
 // progressPrinter emits one line per completed harness run and mirrors the
@@ -158,31 +251,39 @@ func fig1Overlay(r *experiments.Fig1Result) []viz.Series {
 	return out
 }
 
-func runFig6(ctx context.Context, opts experiments.Options, outDir string) error {
+func runFig6(ctx context.Context, opts experiments.Options, outDir string) (float64, error) {
 	rows, err := experiments.Fig6(ctx, opts)
 	if err != nil {
-		return err
+		return 0, err
 	}
 	var groups []viz.BarGroup
+	var peak float64
 	for _, r := range rows {
 		fmt.Println(r)
 		groups = append(groups, viz.BarGroup{Label: r.Chain, Values: []float64{r.Throughput}})
+		if r.Throughput > peak {
+			peak = r.Throughput
+		}
 	}
 	viz.BarChart(os.Stdout, "peak throughput (TPS)", []string{""}, groups, 48)
 	header, csvRows := experiments.Fig6CSV(rows)
-	return viz.Export(os.Stdout, outDir, viz.Dataset{Name: "fig6_chain_comparison.csv", Header: header, Rows: csvRows})
+	return peak, viz.Export(os.Stdout, outDir, viz.Dataset{Name: "fig6_chain_comparison.csv", Header: header, Rows: csvRows})
 }
 
-func runFig7(ctx context.Context, opts experiments.Options, outDir string) error {
+func runFig7(ctx context.Context, opts experiments.Options, outDir string) (float64, error) {
 	rows, err := experiments.Fig7(ctx, opts)
 	if err != nil {
-		return err
+		return 0, err
 	}
+	var peak float64
 	for _, r := range rows {
 		fmt.Println(r)
+		if r.Throughput > peak {
+			peak = r.Throughput
+		}
 	}
 	header, csvRows := experiments.Fig7CSV(rows)
-	return viz.Export(os.Stdout, outDir, viz.Dataset{Name: "fig7_framework_comparison.csv", Header: header, Rows: csvRows})
+	return peak, viz.Export(os.Stdout, outDir, viz.Dataset{Name: "fig7_framework_comparison.csv", Header: header, Rows: csvRows})
 }
 
 func runFig8(opts experiments.Options, outDir string) error {
@@ -222,16 +323,20 @@ func runFig9(opts experiments.Options, outDir string) error {
 	return viz.Export(os.Stdout, outDir, viz.Dataset{Name: "fig9_task_processing.csv", Header: header, Rows: csvRows})
 }
 
-func runFig10(ctx context.Context, opts experiments.Options, outDir string) error {
+func runFig10(ctx context.Context, opts experiments.Options, outDir string) (float64, error) {
 	rows, err := experiments.Fig10(ctx, opts)
 	if err != nil {
-		return err
+		return 0, err
 	}
+	var peak float64
 	for _, r := range rows {
 		fmt.Println(r)
+		if r.Throughput > peak {
+			peak = r.Throughput
+		}
 	}
 	header, csvRows := experiments.Fig10CSV(rows)
-	return viz.Export(os.Stdout, outDir, viz.Dataset{Name: "fig10_concurrency.csv", Header: header, Rows: csvRows})
+	return peak, viz.Export(os.Stdout, outDir, viz.Dataset{Name: "fig10_concurrency.csv", Header: header, Rows: csvRows})
 }
 
 func runDistributed(ctx context.Context, opts experiments.Options, outDir string) error {

@@ -24,6 +24,7 @@ import (
 	"hammer/internal/experiments"
 	"hammer/internal/harness"
 	"hammer/internal/models"
+	"hammer/internal/perf"
 	"hammer/internal/timeseries"
 	"hammer/internal/timeseries/datasets"
 	"hammer/internal/viz"
@@ -38,16 +39,31 @@ func main() {
 
 func run() error {
 	var (
-		exp      = flag.String("exp", "table3", "experiment: table3|fig11|ablation|all")
-		quick    = flag.Bool("quick", false, "shrink training budgets for a fast smoke run")
-		outDir   = flag.String("out", "results", "directory for CSV export")
-		seed     = flag.Int64("seed", 7, "random seed")
-		parallel = flag.Int("parallel", runtime.GOMAXPROCS(0), "worker count for experiment sweeps (results are identical at any value)")
+		exp        = flag.String("exp", "table3", "experiment: table3|fig11|ablation|all")
+		quick      = flag.Bool("quick", false, "shrink training budgets for a fast smoke run")
+		outDir     = flag.String("out", "results", "directory for CSV export")
+		seed       = flag.Int64("seed", 7, "random seed")
+		parallel   = flag.Int("parallel", runtime.GOMAXPROCS(0), "worker count for experiment sweeps (results are identical at any value)")
+		cpuprofile = flag.String("cpuprofile", "", "write a CPU profile to this file")
+		memprofile = flag.String("memprofile", "", "write a heap profile to this file on exit")
+		benchjson  = flag.Bool("benchjson", false, "record per-experiment wall-clock/allocs into a numbered BENCH_<n>.json under -out")
 	)
 	flag.Parse()
 
 	ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt)
 	defer stop()
+
+	if *cpuprofile != "" {
+		stopProf, err := perf.StartCPUProfile(*cpuprofile)
+		if err != nil {
+			return err
+		}
+		defer stopProf()
+	}
+	var traj *perf.Trajectory
+	if *benchjson {
+		traj = perf.NewTrajectory("hammer-predict", os.Args[1:])
+	}
 
 	opts := experiments.Default()
 	if *quick {
@@ -74,29 +90,46 @@ func run() error {
 	}
 
 	ran := 0
-	if want("table3") {
-		fmt.Println("=== Table III: model comparison ===")
-		if err := runTable3(ctx, opts, *outDir); err != nil {
+	steps := []struct {
+		name  string
+		title string
+		fn    func() error
+	}{
+		{"table3", "=== Table III: model comparison ===", func() error { return runTable3(ctx, opts, *outDir) }},
+		{"fig11", "=== Fig 11: real vs generated sequences ===", func() error { return runFig11(ctx, opts, *outDir) }},
+		{"ablation", "=== Ablation: multi-head attention ===", func() error { return runAblation(opts) }},
+	}
+	for _, s := range steps {
+		if !want(s.name) {
+			continue
+		}
+		fmt.Println(s.title)
+		sample, err := perf.Measure(s.name, s.fn)
+		if err != nil {
 			return err
 		}
-		ran++
-	}
-	if want("fig11") {
-		fmt.Println("=== Fig 11: real vs generated sequences ===")
-		if err := runFig11(ctx, opts, *outDir); err != nil {
-			return err
-		}
-		ran++
-	}
-	if want("ablation") {
-		fmt.Println("=== Ablation: multi-head attention ===")
-		if err := runAblation(opts); err != nil {
-			return err
+		if traj != nil {
+			traj.Add(sample)
 		}
 		ran++
 	}
 	if ran == 0 {
 		return fmt.Errorf("unknown experiment %q", *exp)
+	}
+	if traj != nil {
+		path, err := perf.NextPath(*outDir)
+		if err != nil {
+			return err
+		}
+		if err := perf.WriteTrajectory(path, traj); err != nil {
+			return err
+		}
+		fmt.Println("wrote", path)
+	}
+	if *memprofile != "" {
+		if err := perf.WriteHeapProfile(*memprofile); err != nil {
+			return err
+		}
 	}
 	return nil
 }

@@ -52,7 +52,7 @@ type Chain struct {
 	state *chain.State
 
 	mempool []*chain.Transaction
-	mining  *eventsim.Timer
+	mining  eventsim.Timer
 	version uint64
 }
 
@@ -124,9 +124,7 @@ func (c *Chain) Start() {
 // Stop implements chain.Blockchain.
 func (c *Chain) Stop() {
 	c.MarkStopped()
-	if c.mining != nil {
-		c.mining.Stop()
-	}
+	c.mining.Stop()
 }
 
 func (c *Chain) scheduleNextBlock() {

@@ -82,7 +82,7 @@ type Chain struct {
 	pending  int
 
 	batch      []*endorsed
-	batchTimer *eventsim.Timer
+	batchTimer eventsim.Timer
 
 	version uint64
 }
@@ -210,9 +210,8 @@ func (c *Chain) enqueue(e *endorsed) {
 		c.cutBlock()
 		return
 	}
-	if c.batchTimer == nil {
+	if !c.batchTimer.Pending() {
 		c.batchTimer = c.Sched.After(c.cfg.BatchTimeout, func() {
-			c.batchTimer = nil
 			if len(c.batch) > 0 {
 				c.cutBlock()
 			}
@@ -221,10 +220,7 @@ func (c *Chain) enqueue(e *endorsed) {
 }
 
 func (c *Chain) cutBlock() {
-	if c.batchTimer != nil {
-		c.batchTimer.Stop()
-		c.batchTimer = nil
-	}
+	c.batchTimer.Stop()
 	batch := c.batch
 	c.batch = nil
 
@@ -281,10 +277,7 @@ func (c *Chain) Start() { c.MarkStarted() }
 // Stop implements chain.Blockchain.
 func (c *Chain) Stop() {
 	c.MarkStopped()
-	if c.batchTimer != nil {
-		c.batchTimer.Stop()
-		c.batchTimer = nil
-	}
+	c.batchTimer.Stop()
 }
 
 // State exposes the world state for audits and invariant checks.

@@ -36,6 +36,13 @@ type Engine struct {
 	submitted      int
 	rejected       int
 	dropped        int // interactive responses lost to listener backlog
+	// scratch and single are reused block headers for the batch and
+	// interactive driver cost models, so re-stamping a block per poll tick
+	// (or per receipt) does not allocate. Safe because matchers copy fields
+	// out of the block and never retain it.
+	scratch       chain.Block
+	single        chain.Block
+	singleReceipt [1]*chain.Receipt
 	mon            *engineMetrics
 	injectionEnd   time.Duration
 	perOpCost      time.Duration
@@ -342,23 +349,35 @@ func (e *Engine) finalSweep() {
 }
 
 // scheduleInjections spreads each control-sequence slice's transactions
-// uniformly within the slice, round-robin across clients.
+// uniformly within the slice, round-robin across clients. Each slice gets a
+// single pacing event (sliceInjector) that streams its transactions in
+// order; the tie-break sequence numbers the eager one-event-per-transaction
+// scheme would have consumed are reserved here, in the same loop order, so
+// the event stream — and therefore every result — is byte-identical.
 func (e *Engine) scheduleInjections(txs []*chain.Transaction, startAt time.Duration) {
 	cs := e.cfg.Control
 	idx := 0
 	for slice, count := range cs.Counts {
-		if count <= 0 {
+		if count <= 0 || idx >= len(txs) {
 			continue
+		}
+		m := count
+		if rem := len(txs) - idx; m > rem {
+			m = rem
 		}
 		sliceStart := startAt + time.Duration(slice)*cs.Interval
 		gap := cs.Interval / time.Duration(count)
-		for j := 0; j < count && idx < len(txs); j++ {
-			tx := txs[idx]
-			clientIdx := idx % len(e.clients)
-			at := sliceStart + time.Duration(j)*gap
-			e.sched.At(at, func() { e.dispatch(tx, clientIdx) })
-			idx++
+		si := &sliceInjector{
+			e:     e,
+			txs:   txs[idx : idx+m],
+			base:  idx,
+			start: sliceStart,
+			gap:   gap,
+			seq:   e.sched.ReserveSeq(m),
 		}
+		si.fire = si.step
+		e.sched.AtSeq(sliceStart, si.seq, si.fire)
+		idx += m
 	}
 	e.injectionEnd = startAt + cs.Duration()
 }
@@ -450,9 +469,9 @@ func (e *Engine) processBlock(blk *chain.Block) {
 		}
 		cost := time.Duration(n) * time.Duration(m) * e.cfg.MatchCostPerOp
 		e.driver.Run(cost, func() {
-			stamped := *blk
-			stamped.Timestamp = e.sched.Now()
-			e.matcher.OnBlock(&stamped)
+			e.scratch = *blk
+			e.scratch.Timestamp = e.sched.Now()
+			e.matcher.OnBlock(&e.scratch)
 		})
 
 	case DriverInteractive:
@@ -465,14 +484,16 @@ func (e *Engine) processBlock(blk *chain.Block) {
 				continue
 			}
 			receipt := r
+			shard, height := blk.Shard, blk.Height
 			e.driver.Run(e.cfg.EventCost, func() {
-				single := &chain.Block{
-					Shard:     blk.Shard,
-					Height:    blk.Height,
+				e.single = chain.Block{
+					Shard:     shard,
+					Height:    height,
 					Timestamp: e.sched.Now(),
-					Receipts:  []*chain.Receipt{receipt},
 				}
-				e.matcher.OnBlock(single)
+				e.singleReceipt[0] = receipt
+				e.single.Receipts = e.singleReceipt[:]
+				e.matcher.OnBlock(&e.single)
 			})
 		}
 	}

@@ -1,0 +1,86 @@
+package eventsim
+
+import (
+	"testing"
+	"time"
+)
+
+// The freelist, the value Timer and the bound ticker closure exist so that
+// steady-state simulation — schedule, fire, cancel, tick — does not allocate
+// at all once the wheel has warmed up. These tests pin that property;
+// regressions here silently reintroduce GC pressure across every experiment.
+
+// warm primes a scheduler's freelist and slot arrays so the measured loops
+// run in steady state.
+func warm(s *Scheduler, fn func()) {
+	for i := 0; i < 64; i++ {
+		s.After(time.Duration(i)*time.Millisecond, fn)
+	}
+	s.Run()
+}
+
+func TestScheduleFireAllocFree(t *testing.T) {
+	s := New()
+	fn := func() {}
+	warm(s, fn)
+	allocs := testing.AllocsPerRun(1000, func() {
+		s.After(time.Millisecond, fn)
+		s.Run()
+	})
+	if allocs != 0 {
+		t.Errorf("schedule+fire allocates %.1f per run, want 0", allocs)
+	}
+}
+
+func TestCancelAllocFree(t *testing.T) {
+	s := New()
+	fn := func() {}
+	warm(s, fn)
+	allocs := testing.AllocsPerRun(1000, func() {
+		tm := s.After(time.Millisecond, fn)
+		if !tm.Stop() {
+			t.Fatal("Stop failed on pending timer")
+		}
+	})
+	if allocs != 0 {
+		t.Errorf("schedule+cancel allocates %.1f per run, want 0", allocs)
+	}
+}
+
+func TestOverflowScheduleFireAllocFree(t *testing.T) {
+	s := New()
+	fn := func() {}
+	warm(s, fn)
+	// Beyond the 268 ms wheel window: overflow heap and cascade path. The
+	// overflow heap's backing array grows once during warm-up, then steady
+	// state reuses it.
+	for i := 0; i < 64; i++ {
+		s.After(time.Second, fn)
+	}
+	s.Run()
+	allocs := testing.AllocsPerRun(1000, func() {
+		s.After(time.Second, fn)
+		s.Run()
+	})
+	if allocs != 0 {
+		t.Errorf("overflow schedule+fire allocates %.1f per run, want 0", allocs)
+	}
+}
+
+func TestTickerSteadyStateAllocFree(t *testing.T) {
+	s := New()
+	n := 0
+	tk := s.Every(time.Millisecond, func() { n++ })
+	// First tick warms the rearm path.
+	s.RunUntil(s.Now() + 2*time.Millisecond)
+	allocs := testing.AllocsPerRun(1000, func() {
+		s.RunUntil(s.Now() + time.Millisecond)
+	})
+	tk.Stop()
+	if allocs != 0 {
+		t.Errorf("ticker steady state allocates %.1f per run, want 0", allocs)
+	}
+	if n == 0 {
+		t.Fatal("ticker never fired")
+	}
+}

@@ -1,0 +1,87 @@
+package eventsim
+
+import (
+	"testing"
+	"time"
+
+	"hammer/internal/eventsim/heapsched"
+)
+
+// The benchmark workload mirrors a simulation's steady state: a resident
+// population of self-rescheduling timers with a deterministic mix of short
+// and medium delays. benchDelay is shared with the heapsched baseline so
+// the two benchmarks are directly comparable with benchstat.
+func benchDelay(rng *uint64) time.Duration {
+	x := *rng
+	x ^= x << 13
+	x ^= x >> 7
+	x ^= x << 17
+	*rng = x
+	return time.Duration(x % uint64(100*time.Millisecond))
+}
+
+func BenchmarkWheelScheduleFire(b *testing.B) {
+	s := New()
+	rng := uint64(1)
+	fired := 0
+	var fn func()
+	fn = func() {
+		fired++
+		if fired < b.N {
+			s.After(benchDelay(&rng), fn)
+		}
+	}
+	resident := 1024
+	if resident > b.N {
+		resident = b.N
+	}
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < resident; i++ {
+		s.After(benchDelay(&rng), fn)
+	}
+	s.Run()
+}
+
+func BenchmarkHeapScheduleFire(b *testing.B) {
+	s := heapsched.New()
+	rng := uint64(1)
+	fired := 0
+	var fn func()
+	fn = func() {
+		fired++
+		if fired < b.N {
+			s.After(benchDelay(&rng), fn)
+		}
+	}
+	resident := 1024
+	if resident > b.N {
+		resident = b.N
+	}
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < resident; i++ {
+		s.After(benchDelay(&rng), fn)
+	}
+	s.Run()
+}
+
+func BenchmarkWheelCancel(b *testing.B) {
+	s := New()
+	fn := func() {}
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		s.After(time.Millisecond, fn).Stop()
+	}
+}
+
+func BenchmarkHeapCancel(b *testing.B) {
+	s := heapsched.New()
+	fn := func() {}
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		s.After(time.Millisecond, fn).Stop()
+	}
+}

@@ -1,0 +1,80 @@
+package perf
+
+import (
+	"encoding/json"
+	"os"
+	"path/filepath"
+	"testing"
+)
+
+func TestMeasureCountsAllocations(t *testing.T) {
+	var sink []byte
+	s, err := Measure("alloc", func() error {
+		for i := 0; i < 100; i++ {
+			sink = make([]byte, 1024)
+		}
+		return nil
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	_ = sink
+	if s.Allocs < 100 {
+		t.Errorf("Allocs = %d, want >= 100", s.Allocs)
+	}
+	if s.AllocBytes < 100*1024 {
+		t.Errorf("AllocBytes = %d, want >= %d", s.AllocBytes, 100*1024)
+	}
+	if s.WallSeconds < 0 {
+		t.Errorf("WallSeconds = %v, want >= 0", s.WallSeconds)
+	}
+}
+
+func TestNextPathNumbersSequentially(t *testing.T) {
+	dir := t.TempDir()
+	p1, err := NextPath(dir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got, want := filepath.Base(p1), "BENCH_0001.json"; got != want {
+		t.Fatalf("first path = %s, want %s", got, want)
+	}
+	if err := os.WriteFile(p1, []byte("{}"), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	// A committed higher-numbered file bumps the counter past it.
+	if err := os.WriteFile(filepath.Join(dir, "BENCH_0007.json"), []byte("{}"), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	p2, err := NextPath(dir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got, want := filepath.Base(p2), "BENCH_0008.json"; got != want {
+		t.Fatalf("next path = %s, want %s", got, want)
+	}
+}
+
+func TestTrajectoryRoundTrip(t *testing.T) {
+	dir := t.TempDir()
+	traj := NewTrajectory("unit-test", []string{"-exp", "fig6"})
+	traj.Add(Sample{Name: "fig6", TPS: 123.4, WallSeconds: 1.5, Allocs: 42})
+	path := filepath.Join(dir, "BENCH_0001.json")
+	if err := WriteTrajectory(path, traj); err != nil {
+		t.Fatal(err)
+	}
+	data, err := os.ReadFile(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var got Trajectory
+	if err := json.Unmarshal(data, &got); err != nil {
+		t.Fatal(err)
+	}
+	if got.Tool != "unit-test" || len(got.Samples) != 1 || got.Samples[0].TPS != 123.4 {
+		t.Errorf("round trip mismatch: %+v", got)
+	}
+	if got.GoVersion == "" || got.CPUs < 1 {
+		t.Errorf("environment fingerprint missing: %+v", got)
+	}
+}
