@@ -42,7 +42,7 @@ func main() {
 
 func run() error {
 	var (
-		exp        = flag.String("exp", "all", "experiment: fig1|fig6|fig7|fig8|fig9|fig10|correctness|distributed|all, plus schedbench (explicit only)")
+		exp        = flag.String("exp", "all", "experiment: fig1|fig6|fig7|fig8|fig9|fig10|correctness|distributed|all, plus faults and schedbench (explicit only); 'list' prints them all")
 		quick      = flag.Bool("quick", false, "shrink workloads for a fast smoke run")
 		outDir     = flag.String("out", "results", "directory for CSV export")
 		seed       = flag.Int64("seed", 7, "random seed")
@@ -116,6 +116,25 @@ func run() error {
 		{"correctness", func() (float64, error) { return 0, runCorrectness(ctx, opts) }},
 		{"distributed", func() (float64, error) { return 0, runDistributed(ctx, opts, *outDir) }},
 	}
+	// Experiments that must be asked for by name: faults is a resilience
+	// study, schedbench a microbenchmark of the framework itself — neither
+	// is a paper figure, so "all" includes neither.
+	explicit := []step{
+		{"faults", func() (float64, error) { return runFaults(ctx, opts, *outDir) }},
+		{"schedbench", func() (float64, error) { return 0, runSchedBench(*outDir, traj) }},
+	}
+
+	if wantOnly("list") {
+		fmt.Println("experiments (-exp name, comma-separated; 'all' runs the paper figures):")
+		for _, s := range steps {
+			fmt.Printf("  %s\n", s.name)
+		}
+		for _, s := range explicit {
+			fmt.Printf("  %s (explicit only)\n", s.name)
+		}
+		return nil
+	}
+
 	for _, s := range steps {
 		if !want(s.name) {
 			continue
@@ -137,16 +156,39 @@ func run() error {
 		fmt.Println()
 		ran++
 	}
-	if wantOnly("schedbench") {
-		fmt.Println("=== schedbench ===")
-		if err := runSchedBench(*outDir, traj); err != nil {
-			return fmt.Errorf("schedbench: %w", err)
+	for _, s := range explicit {
+		if !wantOnly(s.name) {
+			continue
+		}
+		fmt.Printf("=== %s ===\n", s.name)
+		var tps float64
+		sample, err := perf.Measure(s.name, func() error {
+			var err error
+			tps, err = s.fn()
+			return err
+		})
+		if err != nil {
+			return fmt.Errorf("%s: %w", s.name, err)
+		}
+		sample.TPS = tps
+		if traj != nil {
+			traj.Add(sample)
 		}
 		fmt.Println()
 		ran++
 	}
 	if ran == 0 {
-		return fmt.Errorf("unknown experiment %q", *exp)
+		known := []string{"all", "list"}
+		for _, s := range steps {
+			known = append(known, s.name)
+		}
+		for _, s := range explicit {
+			known = append(known, s.name)
+		}
+		if hint := experiments.Suggest(*exp, known); hint != "" {
+			return fmt.Errorf("unknown experiment %q (did you mean %q? -exp list shows all)", *exp, hint)
+		}
+		return fmt.Errorf("unknown experiment %q (-exp list shows all)", *exp)
 	}
 	if done := reg.Counter("harness/runs_completed").Value(); done > 0 {
 		fmt.Printf("harness: %.0f runs completed, %.0f failed (workers=%d)\n",
@@ -168,6 +210,31 @@ func run() error {
 		}
 	}
 	return nil
+}
+
+// runFaults runs the chaos resilience experiment: every chain through the
+// crash-and-heal and partition-and-heal scenarios, reporting the TPS dip,
+// the recovery time, and how many transactions the driver's retries saved.
+func runFaults(ctx context.Context, opts experiments.Options, outDir string) (float64, error) {
+	rows, err := experiments.Faults(ctx, opts)
+	if err != nil {
+		return 0, err
+	}
+	var peak float64
+	for _, r := range rows {
+		fmt.Println(r)
+		if r.BaselineTPS > peak {
+			peak = r.BaselineTPS
+		}
+	}
+	faultSec := opts.MeasureSeconds / 3
+	healSec := 2 * opts.MeasureSeconds / 3
+	fmt.Printf("fault injected at t=%ds, healed at t=%ds\n", faultSec, healSec)
+	header, csvRows := experiments.FaultsCSV(rows)
+	tlHeader, tlRows := experiments.FaultsTimelineCSV(rows)
+	return peak, viz.Export(os.Stdout, outDir,
+		viz.Dataset{Name: "faults_resilience.csv", Header: header, Rows: csvRows},
+		viz.Dataset{Name: "faults_timeline.csv", Header: tlHeader, Rows: tlRows})
 }
 
 // runSchedBench compares the original binary-heap scheduler against the

@@ -39,7 +39,7 @@ func main() {
 
 func run() error {
 	var (
-		exp        = flag.String("exp", "table3", "experiment: table3|fig11|ablation|all")
+		exp        = flag.String("exp", "table3", "experiment: table3|fig11|ablation|all; 'list' prints them all")
 		quick      = flag.Bool("quick", false, "shrink training budgets for a fast smoke run")
 		outDir     = flag.String("out", "results", "directory for CSV export")
 		seed       = flag.Int64("seed", 7, "random seed")
@@ -99,6 +99,15 @@ func run() error {
 		{"fig11", "=== Fig 11: real vs generated sequences ===", func() error { return runFig11(ctx, opts, *outDir) }},
 		{"ablation", "=== Ablation: multi-head attention ===", func() error { return runAblation(opts) }},
 	}
+
+	if len(selected) == 1 && selected[0] == "list" {
+		fmt.Println("experiments (-exp name, comma-separated; 'all' runs everything):")
+		for _, s := range steps {
+			fmt.Printf("  %s\n", s.name)
+		}
+		return nil
+	}
+
 	for _, s := range steps {
 		if !want(s.name) {
 			continue
@@ -114,7 +123,14 @@ func run() error {
 		ran++
 	}
 	if ran == 0 {
-		return fmt.Errorf("unknown experiment %q", *exp)
+		known := []string{"all", "list"}
+		for _, s := range steps {
+			known = append(known, s.name)
+		}
+		if hint := experiments.Suggest(*exp, known); hint != "" {
+			return fmt.Errorf("unknown experiment %q (did you mean %q? -exp list shows all)", *exp, hint)
+		}
+		return fmt.Errorf("unknown experiment %q (-exp list shows all)", *exp)
 	}
 	if traj != nil {
 		path, err := perf.NextPath(*outDir)

@@ -95,6 +95,12 @@ var ErrOverloaded = errors.New("chain: node overloaded, transaction rejected")
 // ErrStopped is returned by Submit after Stop.
 var ErrStopped = errors.New("chain: chain is stopped")
 
+// ErrUnavailable is returned by Submit when the nodes that would admit the
+// transaction are crashed or unreachable (fault injection, internal/chaos).
+// Unlike ErrStopped it is transient: drivers with retry enabled resubmit
+// after a backoff.
+var ErrUnavailable = errors.New("chain: node unavailable")
+
 // ValidateShard normalises and checks a shard index against a chain.
 func ValidateShard(bc Blockchain, shard int) error {
 	if shard < 0 || shard >= bc.Shards() {

@@ -78,6 +78,13 @@ type Base struct {
 	audit     []chain.AuditEntry
 	started   bool
 	stopped   bool
+
+	// liveness state (see liveness.go): registered node names, the crashed
+	// subset, and the chain's transition hooks.
+	nodes       map[string]bool
+	down        map[string]bool
+	crashHook   func(node string)
+	restartHook func(node string)
 }
 
 // Init prepares the base for the given shard count.

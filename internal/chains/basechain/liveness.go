@@ -1,0 +1,105 @@
+package basechain
+
+import "sort"
+
+// Liveness is the node crash/restart bookkeeping shared by every simulated
+// chain. Chains register their node names at construction time; the chaos
+// subsystem (internal/chaos) crashes and restarts nodes by name, and each
+// chain consults NodeDown at its consensus decision points to decide whether
+// work stalls, fails over, or is lost.
+//
+// All methods run on the simulation's single thread (fault events are
+// scheduled on the shared eventsim clock), but the read-side accessors take
+// the Base lock so monitoring goroutines can observe liveness safely.
+
+// RegisterNodes declares the chain's node names. Crash/restart calls for
+// unregistered names are rejected, which catches scenario typos at injection
+// time rather than silently no-opping.
+func (b *Base) RegisterNodes(names ...string) {
+	b.mu.Lock()
+	defer b.mu.Unlock()
+	if b.nodes == nil {
+		b.nodes = make(map[string]bool, len(names))
+	}
+	for _, n := range names {
+		b.nodes[n] = true
+	}
+}
+
+// Nodes lists the registered node names in sorted order — the valid targets
+// for crash/restart scenarios.
+func (b *Base) Nodes() []string {
+	b.mu.RLock()
+	defer b.mu.RUnlock()
+	out := make([]string, 0, len(b.nodes))
+	for n := range b.nodes {
+		out = append(out, n)
+	}
+	sort.Strings(out)
+	return out
+}
+
+// SetCrashHook installs fn to be called (synchronously, on the simulation
+// thread) after a node transitions to down. Chains use it to abandon
+// in-flight work owned by the crashed node.
+func (b *Base) SetCrashHook(fn func(node string)) {
+	b.crashHook = fn
+}
+
+// SetRestartHook installs fn to be called after a node transitions back up.
+// Chains use it to resume stalled block production.
+func (b *Base) SetRestartHook(fn func(node string)) {
+	b.restartHook = fn
+}
+
+// CrashNode marks the named node down. It reports whether the call changed
+// liveness (false for unknown names and already-down nodes); the chain's
+// crash hook runs only on a transition.
+func (b *Base) CrashNode(name string) bool {
+	b.mu.Lock()
+	if !b.nodes[name] || b.down[name] {
+		b.mu.Unlock()
+		return false
+	}
+	if b.down == nil {
+		b.down = make(map[string]bool)
+	}
+	b.down[name] = true
+	hook := b.crashHook
+	b.mu.Unlock()
+	if hook != nil {
+		hook(name)
+	}
+	return true
+}
+
+// RestartNode marks the named node up again. It reports whether the call
+// changed liveness; the chain's restart hook runs only on a transition.
+func (b *Base) RestartNode(name string) bool {
+	b.mu.Lock()
+	if !b.nodes[name] || !b.down[name] {
+		b.mu.Unlock()
+		return false
+	}
+	delete(b.down, name)
+	hook := b.restartHook
+	b.mu.Unlock()
+	if hook != nil {
+		hook(name)
+	}
+	return true
+}
+
+// NodeDown reports whether the named node is currently crashed.
+func (b *Base) NodeDown(name string) bool {
+	b.mu.RLock()
+	defer b.mu.RUnlock()
+	return b.down[name]
+}
+
+// DownCount reports how many nodes are currently crashed.
+func (b *Base) DownCount() int {
+	b.mu.RLock()
+	defer b.mu.RUnlock()
+	return len(b.down)
+}

@@ -1,0 +1,51 @@
+package basechain
+
+import (
+	"reflect"
+	"testing"
+
+	"hammer/internal/eventsim"
+)
+
+func TestLivenessTransitions(t *testing.T) {
+	b := &Base{}
+	b.Init("test", eventsim.New(), 1)
+	b.RegisterNodes("b", "a", "c")
+
+	if got := b.Nodes(); !reflect.DeepEqual(got, []string{"a", "b", "c"}) {
+		t.Fatalf("Nodes() = %v, want sorted a b c", got)
+	}
+
+	var crashes, restarts []string
+	b.SetCrashHook(func(n string) { crashes = append(crashes, n) })
+	b.SetRestartHook(func(n string) { restarts = append(restarts, n) })
+
+	if b.CrashNode("nope") {
+		t.Fatal("crashing an unregistered node should be rejected")
+	}
+	if !b.CrashNode("a") {
+		t.Fatal("first crash should transition")
+	}
+	if b.CrashNode("a") {
+		t.Fatal("double crash should not re-transition")
+	}
+	if !b.NodeDown("a") || b.NodeDown("b") {
+		t.Fatal("only a should be down")
+	}
+	if b.DownCount() != 1 {
+		t.Fatalf("DownCount = %d, want 1", b.DownCount())
+	}
+	if b.RestartNode("b") {
+		t.Fatal("restarting an up node should be rejected")
+	}
+	if !b.RestartNode("a") {
+		t.Fatal("restart should transition")
+	}
+	if b.DownCount() != 0 {
+		t.Fatalf("DownCount = %d after restart, want 0", b.DownCount())
+	}
+	// Hooks fire exactly once per transition.
+	if !reflect.DeepEqual(crashes, []string{"a"}) || !reflect.DeepEqual(restarts, []string{"a"}) {
+		t.Fatalf("hooks: crashes=%v restarts=%v", crashes, restarts)
+	}
+}

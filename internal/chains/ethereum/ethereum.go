@@ -81,6 +81,22 @@ func New(sched *eventsim.Scheduler, cfg Config) *Chain {
 		state: chain.NewState(),
 	}
 	c.Init("ethereum", sched, 1)
+	for i := 0; i < cfg.Nodes; i++ {
+		c.RegisterNodes(fmt.Sprintf("miner-%d", i))
+	}
+	// Crashing the last live miner halts the PoW process entirely; the
+	// first restart resumes it. Partial crashes just stretch the expected
+	// block interval (less hash power), handled in scheduleNextBlock.
+	c.SetCrashHook(func(string) {
+		if c.DownCount() == c.cfg.Nodes {
+			c.mining.Stop()
+		}
+	})
+	c.SetRestartHook(func(string) {
+		if c.Running() && !c.mining.Pending() {
+			c.scheduleNextBlock()
+		}
+	})
 	return c
 }
 
@@ -92,6 +108,9 @@ func (c *Chain) Submit(tx *chain.Transaction) (chain.TxID, error) {
 	}
 	if !c.Running() {
 		return chain.TxID{}, fmt.Errorf("ethereum: %w", chain.ErrStopped)
+	}
+	if c.DownCount() >= c.cfg.Nodes {
+		return chain.TxID{}, fmt.Errorf("ethereum: all miners down: %w", chain.ErrUnavailable)
 	}
 	if len(c.mempool) >= c.cfg.MempoolCap {
 		return chain.TxID{}, fmt.Errorf("ethereum: mempool full (%d): %w", len(c.mempool), chain.ErrOverloaded)
@@ -128,12 +147,23 @@ func (c *Chain) Stop() {
 }
 
 func (c *Chain) scheduleNextBlock() {
-	interval := c.rng.Exponential(c.cfg.BlockInterval)
+	alive := c.cfg.Nodes - c.DownCount()
+	if alive <= 0 {
+		// No hash power left; the restart hook reschedules.
+		return
+	}
+	// The expected inter-block time is inversely proportional to surviving
+	// hash power: losing miners stretches the Poisson interval.
+	mean := time.Duration(float64(c.cfg.BlockInterval) * float64(c.cfg.Nodes) / float64(alive))
+	interval := c.rng.Exponential(mean)
 	c.mining = c.Sched.After(interval, c.mineBlock)
 }
 
 func (c *Chain) mineBlock() {
 	if c.Stopped() {
+		return
+	}
+	if c.cfg.Nodes-c.DownCount() <= 0 {
 		return
 	}
 	var (
@@ -156,11 +186,27 @@ func (c *Chain) mineBlock() {
 	c.version++
 	blk := &chain.Block{
 		Txs:      txs,
-		Proposer: fmt.Sprintf("miner-%d", c.rng.Intn(c.cfg.Nodes)),
+		Proposer: fmt.Sprintf("miner-%d", c.pickMiner()),
 	}
 	blk.Receipts = c.ExecuteOrdered(c.state, txs, c.version)
 	c.AppendBlock(0, blk)
 	c.scheduleNextBlock()
+}
+
+// pickMiner draws the proposing miner. The healthy path keeps the original
+// single Intn draw so fault-free runs stay byte-identical; with crashed
+// miners the draw ranges over the survivors only.
+func (c *Chain) pickMiner() int {
+	if c.DownCount() == 0 {
+		return c.rng.Intn(c.cfg.Nodes)
+	}
+	alive := make([]int, 0, c.cfg.Nodes)
+	for i := 0; i < c.cfg.Nodes; i++ {
+		if !c.NodeDown(fmt.Sprintf("miner-%d", i)) {
+			alive = append(alive, i)
+		}
+	}
+	return alive[c.rng.Intn(len(alive))]
 }
 
 // State exposes the world state for audits and invariant checks.

@@ -1,0 +1,66 @@
+package ethereum
+
+import (
+	"errors"
+	"testing"
+	"time"
+
+	"hammer/internal/chain"
+)
+
+// Crashing every miner halts block production entirely; a restart resumes it
+// and the backlog drains.
+func TestAllMinersDownStallsAndRecovers(t *testing.T) {
+	cfg := DefaultConfig()
+	cfg.BlockInterval = time.Second
+	sched, c := newChain(t, cfg)
+	c.Start()
+	if _, err := c.Submit(depositTx(1)); err != nil {
+		t.Fatal(err)
+	}
+	for i := 0; i < cfg.Nodes; i++ {
+		c.CrashNode(c.Nodes()[i])
+	}
+	if _, err := c.Submit(depositTx(2)); !errors.Is(err, chain.ErrUnavailable) {
+		t.Fatalf("submit with all miners down: %v, want ErrUnavailable", err)
+	}
+	sched.RunUntil(30 * time.Second)
+	if c.Height(0) != 0 {
+		t.Fatalf("mined %d blocks with no hash power", c.Height(0))
+	}
+	c.RestartNode("miner-0")
+	sched.RunUntil(sched.Now() + time.Minute)
+	if c.Height(0) == 0 {
+		t.Fatal("mining did not resume after restart")
+	}
+	if c.PendingTxs() != 0 {
+		t.Fatalf("%d transactions still pending after recovery", c.PendingTxs())
+	}
+}
+
+// Losing miners stretches the expected inter-block interval (less hash
+// power) but blocks keep coming.
+func TestPartialCrashSlowsButMines(t *testing.T) {
+	cfg := DefaultConfig()
+	cfg.BlockInterval = time.Second
+	sched, c := newChain(t, cfg)
+	c.Start()
+	c.CrashNode("miner-3")
+	c.CrashNode("miner-4")
+	for i := 0; i < 5; i++ {
+		if _, err := c.Submit(depositTx(i)); err != nil {
+			t.Fatal(err)
+		}
+	}
+	sched.RunUntil(time.Minute)
+	if c.Height(0) == 0 {
+		t.Fatal("surviving miners should still produce blocks")
+	}
+	// Crashed miners never propose.
+	for h := uint64(1); h <= c.Height(0); h++ {
+		blk, _ := c.BlockAt(0, h)
+		if blk.Proposer == "miner-3" || blk.Proposer == "miner-4" {
+			t.Fatalf("block %d proposed by crashed %s", h, blk.Proposer)
+		}
+	}
+}

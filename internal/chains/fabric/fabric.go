@@ -80,6 +80,7 @@ type Chain struct {
 
 	nextPeer int
 	pending  int
+	stranded int
 
 	batch      []*endorsed
 	batchTimer eventsim.Timer
@@ -142,10 +143,38 @@ func New(sched *eventsim.Scheduler, cfg Config) *Chain {
 	}
 	c.Init("fabric", sched, 1)
 	c.net = netsim.New(sched, cfg.Net)
+	c.RegisterNodes("orderer")
 	for i := 0; i < cfg.Peers; i++ {
 		c.peers = append(c.peers, basechain.NewCompute(sched, cfg.CoresPerNode))
+		c.RegisterNodes(peerName(i))
 	}
+	// An orderer restart cuts whatever the batch timer was sitting on so
+	// recovery does not wait for new traffic to trip the cut thresholds.
+	c.SetRestartHook(func(node string) {
+		if node == "orderer" && len(c.batch) > 0 {
+			c.cutBlock()
+		}
+	})
 	return c
+}
+
+func peerName(i int) string { return fmt.Sprintf("peer-%d", i) }
+
+// Network exposes the cluster network as a fault-injection target for the
+// chaos subsystem.
+func (c *Chain) Network() *netsim.Network { return c.net }
+
+// Stranded reports transactions that were admitted and then lost to a crash
+// or partition (endorsement or ordering work abandoned). Drivers recover
+// them through timeout/retry.
+func (c *Chain) Stranded() int { return c.stranded }
+
+// strand abandons admitted-but-uncommitted transactions: their submitters
+// will never see a receipt, so the evaluation driver's timeout/retry path is
+// what surfaces them.
+func (c *Chain) strand(n int) {
+	c.pending -= n
+	c.stranded += n
 }
 
 // Submit implements chain.Blockchain: the transaction is endorsed by the
@@ -160,20 +189,48 @@ func (c *Chain) Submit(tx *chain.Transaction) (chain.TxID, error) {
 	if c.pending >= c.cfg.PendingCap {
 		return chain.TxID{}, fmt.Errorf("fabric: %d transactions in flight: %w", c.pending, chain.ErrOverloaded)
 	}
+	// Round-robin over endorsing peers, skipping ones that are crashed or
+	// unreachable from the client — the SDK's connection attempt fails fast,
+	// so the submission is refused rather than silently lost.
+	peerIdx := -1
+	for probe := 0; probe < len(c.peers); probe++ {
+		idx := (c.nextPeer + probe) % len(c.peers)
+		if c.NodeDown(peerName(idx)) || c.net.Partitioned("client", peerName(idx)) {
+			continue
+		}
+		peerIdx = idx
+		break
+	}
+	if peerIdx < 0 {
+		return chain.TxID{}, fmt.Errorf("fabric: no reachable endorsing peer: %w", chain.ErrUnavailable)
+	}
 	if tx.ID == (chain.TxID{}) {
 		tx.ComputeID()
 	}
 	c.pending++
-	peerIdx := c.nextPeer
-	c.nextPeer = (c.nextPeer + 1) % len(c.peers)
+	c.nextPeer = (peerIdx + 1) % len(c.peers)
 	peer := c.peers[peerIdx]
-	peerName := fmt.Sprintf("peer-%d", peerIdx)
+	pname := peerName(peerIdx)
 
-	// Client -> peer proposal, endorsement execution, peer -> orderer.
-	c.net.Send("client", peerName, c.cfg.TxBytes, func() {
+	// Client -> peer proposal, endorsement execution, peer -> orderer. A
+	// peer that crashes while the proposal is in flight loses it; the
+	// transaction is stranded and only the driver's retry resurrects it.
+	c.net.Send("client", pname, c.cfg.TxBytes, func() {
+		if c.NodeDown(pname) {
+			c.strand(1)
+			return
+		}
 		peer.Run(c.cfg.EndorseCost, func() {
+			if c.NodeDown(pname) {
+				c.strand(1)
+				return
+			}
 			e := c.endorse(tx)
-			c.net.Send(peerName, "orderer", c.cfg.TxBytes, func() {
+			if c.NodeDown("orderer") || c.net.Partitioned(pname, "orderer") {
+				c.strand(1)
+				return
+			}
+			c.net.Send(pname, "orderer", c.cfg.TxBytes, func() {
 				c.enqueue(e)
 			})
 		})
@@ -205,6 +262,10 @@ func (c *Chain) enqueue(e *endorsed) {
 	if c.Stopped() {
 		return
 	}
+	if c.NodeDown("orderer") {
+		c.strand(1)
+		return
+	}
 	c.batch = append(c.batch, e)
 	if len(c.batch) >= c.cfg.MaxMessages {
 		c.cutBlock()
@@ -223,9 +284,24 @@ func (c *Chain) cutBlock() {
 	c.batchTimer.Stop()
 	batch := c.batch
 	c.batch = nil
+	if c.NodeDown("orderer") {
+		// The orderer crashed with the batch in memory: the block is lost.
+		c.strand(len(batch))
+		return
+	}
 
 	orderCost := time.Duration(len(batch)) * c.cfg.OrderCostPerTx
 	c.orderer.Run(orderCost, func() {
+		if c.NodeDown("orderer") {
+			c.strand(len(batch))
+			return
+		}
+		if c.NodeDown("peer-0") || c.net.Partitioned("orderer", "peer-0") {
+			// Delivery to the committing peer fails; the ordered block
+			// never commits and its transactions are stranded.
+			c.strand(len(batch))
+			return
+		}
 		blockBytes := len(batch) * c.cfg.TxBytes
 		// The orderer delivers the block to the leading committing peer;
 		// the other peers commit in parallel and do not bound latency.
@@ -239,6 +315,10 @@ func (c *Chain) cutBlock() {
 // then applies surviving write sets.
 func (c *Chain) validateAndCommit(batch []*endorsed) {
 	if c.Stopped() {
+		return
+	}
+	if c.NodeDown("peer-0") {
+		c.strand(len(batch))
 		return
 	}
 	cost := time.Duration(len(batch))*c.cfg.ValidateCostPerTx + c.cfg.CommitCostPerBlock

@@ -1,0 +1,107 @@
+package fabric
+
+import (
+	"errors"
+	"testing"
+	"time"
+
+	"hammer/internal/chain"
+)
+
+// An orderer crash strands the in-flight transactions (their endorsements
+// never reach ordering); after a restart new submissions flow end to end.
+func TestOrdererCrashStrandsAndRecovers(t *testing.T) {
+	cfg := DefaultConfig()
+	cfg.MaxMessages = 10
+	sched, c := newChain(t, cfg)
+	c.Start()
+	for i := 0; i < 10; i++ {
+		if _, err := c.Submit(createTx("pre" + string(rune('a'+i)))); err != nil {
+			t.Fatal(err)
+		}
+	}
+	c.CrashNode("orderer")
+	sched.RunUntil(10 * time.Second)
+	if c.Height(0) != 0 {
+		t.Fatalf("committed %d blocks with the orderer down", c.Height(0))
+	}
+	if c.Stranded() != 10 {
+		t.Fatalf("Stranded = %d, want 10", c.Stranded())
+	}
+	if c.PendingTxs() != 0 {
+		t.Fatalf("stranded transactions still count as pending: %d", c.PendingTxs())
+	}
+
+	c.RestartNode("orderer")
+	for i := 0; i < 10; i++ {
+		if _, err := c.Submit(createTx("post" + string(rune('a'+i)))); err != nil {
+			t.Fatal(err)
+		}
+	}
+	sched.RunUntil(sched.Now() + 10*time.Second)
+	if c.Height(0) == 0 {
+		t.Fatal("no blocks after orderer restart")
+	}
+	if c.PendingTxs() != 0 {
+		t.Fatalf("%d pending after recovery", c.PendingTxs())
+	}
+}
+
+// With every endorsing peer down the SDK's connection attempts fail fast and
+// the submission is refused as transient.
+func TestAllPeersDownRefusesSubmission(t *testing.T) {
+	cfg := DefaultConfig()
+	_, c := newChain(t, cfg)
+	c.Start()
+	for i := 0; i < cfg.Peers; i++ {
+		c.CrashNode(peerName(i))
+	}
+	if _, err := c.Submit(createTx("x")); !errors.Is(err, chain.ErrUnavailable) {
+		t.Fatalf("submit with all peers down: %v, want ErrUnavailable", err)
+	}
+}
+
+// Crashing one endorsing peer redirects round-robin submission to the
+// survivors; throughput continues.
+func TestPeerCrashFailsOver(t *testing.T) {
+	cfg := DefaultConfig()
+	cfg.MaxMessages = 20
+	sched, c := newChain(t, cfg)
+	c.Start()
+	c.CrashNode("peer-1")
+	for i := 0; i < 20; i++ {
+		if _, err := c.Submit(createTx("a" + string(rune('a'+i)))); err != nil {
+			t.Fatal(err)
+		}
+	}
+	sched.RunUntil(10 * time.Second)
+	if c.Height(0) == 0 {
+		t.Fatal("no blocks with a single crashed endorser")
+	}
+	if c.PendingTxs() != 0 {
+		t.Fatalf("%d pending with three healthy peers", c.PendingTxs())
+	}
+}
+
+// An orderer restart cuts whatever batch was waiting so recovery does not
+// depend on fresh traffic tripping the cut thresholds.
+func TestOrdererRestartCutsPendingBatch(t *testing.T) {
+	cfg := DefaultConfig()
+	cfg.MaxMessages = 1000
+	cfg.BatchTimeout = time.Hour
+	sched, c := newChain(t, cfg)
+	c.Start()
+	for i := 0; i < 5; i++ {
+		if _, err := c.Submit(createTx("b" + string(rune('a'+i)))); err != nil {
+			t.Fatal(err)
+		}
+	}
+	// Let the endorsements land in the orderer's batch, then bounce it.
+	sched.RunUntil(time.Second)
+	c.CrashNode("orderer")
+	c.RestartNode("orderer")
+	sched.RunUntil(sched.Now() + 5*time.Second)
+	if c.Height(0) != 1 {
+		t.Fatalf("height %d, want 1 (restart should cut the parked batch)", c.Height(0))
+	}
+}

@@ -58,11 +58,14 @@ func (c *Chain) maybeSplit() {
 func (c *Chain) split() {
 	old := len(c.shards)
 	for i := 0; i < old; i++ {
-		c.AddShard()
+		sh := c.AddShard()
 		c.shards = append(c.shards, &shardState{
 			state: chainNewState(),
 			exec:  newShardExec(c),
 		})
+		for j := 0; j < c.cfg.MembersPerShard; j++ {
+			c.RegisterNodes(member(sh, j))
+		}
 	}
 	c.resharded++
 

@@ -1,0 +1,96 @@
+package meepo
+
+import (
+	"testing"
+	"time"
+
+	"hammer/internal/chain"
+	"hammer/internal/smallbank"
+)
+
+// shardAccount finds an account name homed on the given shard.
+func shardAccount(c *Chain, shard int, n int) []string {
+	var out []string
+	for i := 0; len(out) < n; i++ {
+		name := "lv" + string(rune('a'+i%26)) + string(rune('a'+(i/26)%26))
+		if c.ShardOf(name) == shard {
+			out = append(out, name)
+		}
+	}
+	return out
+}
+
+func submitCreates(t *testing.T, c *Chain, names []string) {
+	t.Helper()
+	for _, name := range names {
+		tx := &chain.Transaction{
+			Contract: smallbank.ContractName,
+			Op:       smallbank.OpCreate,
+			Args:     []string{name, "1000", "1000"},
+			From:     name,
+		}
+		tx.ComputeID()
+		if _, err := c.Submit(tx); err != nil {
+			t.Fatal(err)
+		}
+	}
+}
+
+// Losing a majority of a shard's members stalls that shard's epochs with its
+// queue intact while the other shards keep committing; restarting a member
+// restores quorum and the backlog drains.
+func TestShardQuorumLossStallsAndRecovers(t *testing.T) {
+	cfg := DefaultConfig()
+	sched, c := newChain(t, cfg)
+	c.Start()
+
+	shard0 := shardAccount(c, 0, 20)
+	shard1 := shardAccount(c, 1, 20)
+	submitCreates(t, c, shard0)
+	submitCreates(t, c, shard1)
+
+	c.CrashNode(member(0, 0))
+	c.CrashNode(member(0, 1))
+	sched.RunUntil(5 * time.Second)
+	if c.Height(0) != 0 {
+		t.Fatalf("shard 0 committed %d blocks without quorum", c.Height(0))
+	}
+	if c.Height(1) == 0 {
+		t.Fatal("healthy shard 1 should keep committing")
+	}
+	if got := len(c.shards[0].queue); got != 20 {
+		t.Fatalf("shard 0 queue should be intact during the stall, len=%d", got)
+	}
+
+	c.RestartNode(member(0, 0))
+	sched.RunUntil(sched.Now() + 5*time.Second)
+	if c.Height(0) == 0 {
+		t.Fatal("shard 0 did not resume after quorum was restored")
+	}
+	if c.PendingTxs() != 0 {
+		t.Fatalf("%d pending after recovery", c.PendingTxs())
+	}
+}
+
+// A proposer that crashes with the epoch proposal in flight loses the batch;
+// its transactions are stranded for the driver's retry path.
+func TestProposerCrashStrandsEpoch(t *testing.T) {
+	cfg := DefaultConfig()
+	sched, c := newChain(t, cfg)
+	c.Start()
+	shard0 := shardAccount(c, 0, 10)
+	submitCreates(t, c, shard0)
+
+	// Crash the proposer just after the first epoch cut (EpochInterval) puts
+	// the proposal on the wire, before the follower receives it.
+	sched.After(cfg.EpochInterval+time.Millisecond/2, func() {
+		c.CrashNode(member(0, 0))
+	})
+	sched.RunUntil(5 * time.Second)
+	if c.Stranded() != 10 {
+		t.Fatalf("Stranded = %d, want 10 (epoch lost with its proposer)", c.Stranded())
+	}
+	if c.PendingTxs() != 0 {
+		t.Fatalf("stranded transactions still pending: %d", c.PendingTxs())
+	}
+}

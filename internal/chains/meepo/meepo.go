@@ -90,10 +90,11 @@ type shardState struct {
 // Chain is the simulated Meepo deployment.
 type Chain struct {
 	basechain.Base
-	cfg    Config
-	net    *netsim.Network
-	shards []*shardState
-	epochs *eventsim.Ticker
+	cfg      Config
+	net      *netsim.Network
+	shards   []*shardState
+	stranded int
+	epochs   *eventsim.Ticker
 	// dynamic sharding state
 	splitPressure int
 	reconfiguring bool
@@ -151,8 +152,34 @@ func New(sched *eventsim.Scheduler, cfg Config) *Chain {
 			// already folds in intra-epoch core parallelism.
 			exec: basechain.NewCompute(sched, 1),
 		})
+		for j := 0; j < cfg.MembersPerShard; j++ {
+			c.RegisterNodes(member(i, j))
+		}
 	}
 	return c
+}
+
+// Network exposes the cluster network as a fault-injection target for the
+// chaos subsystem.
+func (c *Chain) Network() *netsim.Network { return c.net }
+
+// Stranded reports transactions lost to a crash mid-epoch; the driver's
+// retry path recovers them.
+func (c *Chain) Stranded() int { return c.stranded }
+
+// shardQuorum reports whether shard sh has a majority of members alive, and
+// returns the first two alive members (proposer and its first follower).
+func (c *Chain) shardQuorum(sh int) (proposer, follower string, ok bool) {
+	alive := make([]string, 0, c.cfg.MembersPerShard)
+	for j := 0; j < c.cfg.MembersPerShard; j++ {
+		if !c.NodeDown(member(sh, j)) {
+			alive = append(alive, member(sh, j))
+		}
+	}
+	if len(alive) < c.cfg.MembersPerShard/2+1 || len(alive) < 2 {
+		return "", "", false
+	}
+	return alive[0], alive[1], true
 }
 
 // ShardOf maps an account name to its home shard by hash, matching the
@@ -228,6 +255,13 @@ func (c *Chain) runEpoch(sh int) {
 	if c.Stopped() || (len(ss.queue) == 0 && len(ss.inbox) == 0) {
 		return
 	}
+	// Without a quorum of live, mutually reachable members the shard's
+	// epoch stalls with its queue intact; it resumes on the next tick after
+	// enough members restart or the partition heals.
+	proposer, follower, ok := c.shardQuorum(sh)
+	if !ok || c.net.Partitioned(proposer, follower) {
+		return
+	}
 	maxBatch := int(2 * float64(c.cfg.EpochInterval) / float64(c.cfg.ExecCostPerTx) * float64(c.cfg.CoresPerNode))
 	if maxBatch < 1 {
 		maxBatch = 1
@@ -249,8 +283,17 @@ func (c *Chain) runEpoch(sh int) {
 	cost := c.cfg.ConsensusOverhead + perCore
 	// Intra-shard consensus: members exchange the epoch proposal before
 	// execution; the broadcast is folded into the fixed overhead plus one
-	// batch transfer between members.
-	c.net.Send(member(sh, 0), member(sh, 1), len(batch)*c.cfg.TxBytes, func() {
+	// batch transfer between members. A proposer that crashes with the
+	// proposal in flight loses the epoch — its transactions are stranded
+	// (cross-shard credits already inboxed are returned for the next
+	// healthy epoch).
+	c.net.Send(proposer, follower, len(batch)*c.cfg.TxBytes, func() {
+		if c.NodeDown(proposer) {
+			ss.inflight -= len(batch)
+			c.stranded += len(batch)
+			ss.inbox = append(inbox, ss.inbox...)
+			return
+		}
 		ss.exec.Run(cost, func() {
 			c.commitEpoch(sh, batch, inbox)
 		})

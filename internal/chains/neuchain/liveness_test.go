@@ -1,0 +1,75 @@
+package neuchain
+
+import (
+	"errors"
+	"testing"
+	"time"
+
+	"hammer/internal/chain"
+)
+
+// A crashed epoch server stalls the chain with the proxy queue intact; once
+// it restarts, the backlog drains through the following epochs.
+func TestEpochServerCrashStallsAndDrains(t *testing.T) {
+	sched, c := newChain(t, DefaultConfig())
+	c.Start()
+	for i := 0; i < 100; i++ {
+		if _, err := c.Submit(createTx(i)); err != nil {
+			t.Fatal(err)
+		}
+	}
+	c.CrashNode("epoch-server")
+	sched.RunUntil(5 * time.Second)
+	if c.Height(0) != 0 {
+		t.Fatalf("committed %d blocks with the epoch server down", c.Height(0))
+	}
+	if c.PendingTxs() != 100 {
+		t.Fatalf("queue should be intact during the stall, pending=%d", c.PendingTxs())
+	}
+	c.RestartNode("epoch-server")
+	sched.RunUntil(sched.Now() + 5*time.Second)
+	if c.PendingTxs() != 0 {
+		t.Fatalf("%d pending after recovery", c.PendingTxs())
+	}
+	if c.Height(0) == 0 {
+		t.Fatal("no blocks after epoch server restart")
+	}
+}
+
+// A down client proxy refuses submissions as transient.
+func TestProxyDownRefusesSubmission(t *testing.T) {
+	_, c := newChain(t, DefaultConfig())
+	c.Start()
+	c.CrashNode("proxy")
+	if _, err := c.Submit(createTx(1)); !errors.Is(err, chain.ErrUnavailable) {
+		t.Fatalf("submit with proxy down: %v, want ErrUnavailable", err)
+	}
+}
+
+// A block server that crashes with an epoch batch in flight loses the batch:
+// those transactions are stranded for the driver's retry path.
+func TestBlockServerCrashStrandsInflightEpoch(t *testing.T) {
+	cfg := DefaultConfig()
+	sched, c := newChain(t, cfg)
+	c.Start()
+	for i := 0; i < 50; i++ {
+		if _, err := c.Submit(createTx(i)); err != nil {
+			t.Fatal(err)
+		}
+	}
+	// Crash the target just after the epoch cut puts the batch on the wire.
+	sched.After(cfg.EpochInterval+time.Millisecond, func() {
+		for i := 0; i < cfg.BlockServers; i++ {
+			c.CrashNode(blockServer(i))
+		}
+	})
+	sched.RunUntil(5 * time.Second)
+	if c.Stranded() == 0 {
+		t.Fatal("in-flight epoch should strand when its block server crashes")
+	}
+	// Every admitted transaction is either stranded or still queued behind
+	// the stall — none silently vanish.
+	if c.Stranded()+c.PendingTxs() != 50 {
+		t.Fatalf("stranded=%d pending=%d, want them to account for all 50", c.Stranded(), c.PendingTxs())
+	}
+}

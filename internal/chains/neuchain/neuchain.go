@@ -69,6 +69,7 @@ type Chain struct {
 	// inflight counts transactions cut into epochs but not yet committed;
 	// admission counts them against PendingCap.
 	inflight int
+	stranded int
 	epochs   *eventsim.Ticker
 	version  uint64
 }
@@ -108,12 +109,26 @@ func New(sched *eventsim.Scheduler, cfg Config) *Chain {
 	}
 	c.Init("neuchain", sched, 1)
 	c.net = netsim.New(sched, cfg.Net)
+	c.RegisterNodes("proxy", "epoch-server")
+	for i := 0; i < cfg.BlockServers; i++ {
+		c.RegisterNodes(blockServer(i))
+	}
 	// Epochs execute strictly one after another; intra-epoch parallelism
 	// across the node's cores is folded into the per-epoch cost, so the
 	// compute resource itself has a single lane.
 	c.exec = basechain.NewCompute(sched, 1)
 	return c
 }
+
+func blockServer(i int) string { return fmt.Sprintf("block-server-%d", i) }
+
+// Network exposes the cluster network as a fault-injection target for the
+// chaos subsystem.
+func (c *Chain) Network() *netsim.Network { return c.net }
+
+// Stranded reports transactions lost to a crash mid-epoch (cut from the
+// queue but never committed); the driver's retry path recovers them.
+func (c *Chain) Stranded() int { return c.stranded }
 
 // Submit implements chain.Blockchain: the client proxy queues the
 // transaction for the next epoch.
@@ -123,6 +138,9 @@ func (c *Chain) Submit(tx *chain.Transaction) (chain.TxID, error) {
 	}
 	if !c.Running() {
 		return chain.TxID{}, fmt.Errorf("neuchain: %w", chain.ErrStopped)
+	}
+	if c.NodeDown("proxy") {
+		return chain.TxID{}, fmt.Errorf("neuchain: client proxy down: %w", chain.ErrUnavailable)
 	}
 	if len(c.proxyQueue)+c.inflight >= c.cfg.PendingCap {
 		return chain.TxID{}, fmt.Errorf("neuchain: proxy queue full (%d): %w", len(c.proxyQueue)+c.inflight, chain.ErrOverloaded)
@@ -159,6 +177,22 @@ func (c *Chain) cutEpoch() {
 	if c.Stopped() || len(c.proxyQueue) == 0 {
 		return
 	}
+	// Faults stall the epoch with the queue intact: a down epoch server
+	// cuts nothing, and with no reachable block server the proxy holds the
+	// batch. The backlog drains once the next healthy epoch fires.
+	if c.NodeDown("epoch-server") || c.NodeDown("proxy") {
+		return
+	}
+	target := ""
+	for i := 0; i < c.cfg.BlockServers; i++ {
+		if !c.NodeDown(blockServer(i)) && !c.net.Partitioned("proxy", blockServer(i)) {
+			target = blockServer(i)
+			break
+		}
+	}
+	if target == "" {
+		return
+	}
 	// Cap the epoch at what the executor can absorb in roughly two epoch
 	// intervals, so backlog drains smoothly rather than in one giant block.
 	maxBatch := int(2 * float64(c.cfg.EpochInterval) / float64(c.cfg.ExecCostPerTx) * float64(c.cfg.CoresPerNode))
@@ -190,9 +224,16 @@ func (c *Chain) cutEpoch() {
 	})
 
 	// Proxy ships the batch to the block servers; execution cost is split
-	// across the node's cores (deterministic intra-epoch concurrency).
+	// across the node's cores (deterministic intra-epoch concurrency). A
+	// target that crashes while the batch is in flight loses it — the
+	// deterministic schedule was never replicated — stranding the batch.
 	batchBytes := len(ordered) * c.cfg.TxBytes
-	c.net.Send("proxy", "block-server-0", batchBytes, func() {
+	c.net.Send("proxy", target, batchBytes, func() {
+		if c.NodeDown(target) {
+			c.inflight -= len(ordered)
+			c.stranded += len(ordered)
+			return
+		}
 		perCore := time.Duration(len(ordered)) * c.cfg.ExecCostPerTx / time.Duration(c.cfg.CoresPerNode)
 		c.exec.Run(c.cfg.EpochOverhead+perCore, func() {
 			c.commit(ordered)

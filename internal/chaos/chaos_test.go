@@ -1,0 +1,211 @@
+package chaos
+
+import (
+	"strings"
+	"testing"
+	"time"
+
+	"hammer/internal/chains/basechain"
+	"hammer/internal/eventsim"
+	"hammer/internal/monitor"
+	"hammer/internal/netsim"
+)
+
+// fakeChain is a minimal fault target: basechain liveness plus an optional
+// internal network.
+type fakeChain struct {
+	basechain.Base
+	net *netsim.Network
+}
+
+func (f *fakeChain) Network() *netsim.Network { return f.net }
+
+func newFake(sched *eventsim.Scheduler, withNet bool, nodes ...string) *fakeChain {
+	f := &fakeChain{}
+	f.Init("fake", sched, 1)
+	f.RegisterNodes(nodes...)
+	if withNet {
+		f.net = netsim.New(sched, netsim.DefaultConfig())
+	}
+	return f
+}
+
+func TestScenarioValidate(t *testing.T) {
+	cases := []struct {
+		name string
+		ev   Event
+		want string // substring of the error, "" for valid
+	}{
+		{"crash ok", Event{Kind: KindCrash, Nodes: []string{"a"}}, ""},
+		{"negative offset", Event{At: -time.Second, Kind: KindHeal}, "negative offset"},
+		{"crash no nodes", Event{Kind: KindCrash}, "no nodes"},
+		{"partition one-sided", Event{Kind: KindPartition, GroupA: []string{"a"}}, "non-empty groups"},
+		{"loss out of range", Event{Kind: KindLossBurst, LossFrac: 1.5, Duration: time.Second}, "outside [0,1]"},
+		{"burst no duration", Event{Kind: KindLossBurst, LossFrac: 0.5}, "positive Duration"},
+		{"bad link loss", Event{Kind: KindDegradeLink, From: "a", To: "b",
+			Quality: netsim.LinkQuality{LossFrac: -0.1}}, "outside [0,1]"},
+		{"unknown kind", Event{Kind: Kind("meteor")}, "unknown kind"},
+	}
+	for _, tc := range cases {
+		err := Scenario{Name: tc.name, Events: []Event{tc.ev}}.Validate()
+		if tc.want == "" {
+			if err != nil {
+				t.Errorf("%s: unexpected error %v", tc.name, err)
+			}
+		} else if err == nil || !strings.Contains(err.Error(), tc.want) {
+			t.Errorf("%s: error %v, want substring %q", tc.name, err, tc.want)
+		}
+	}
+}
+
+func TestNewInjectorRejectsUnknownNodes(t *testing.T) {
+	sched := eventsim.New()
+	f := newFake(sched, true, "a", "b")
+	_, err := NewInjector(sched, f, Scenario{Events: []Event{
+		{Kind: KindCrash, Nodes: []string{"ghost"}},
+	}}, nil)
+	if err == nil || !strings.Contains(err.Error(), "unknown node") {
+		t.Fatalf("err = %v, want unknown node", err)
+	}
+}
+
+func TestNewInjectorRejectsLinkFaultsWithoutNetwork(t *testing.T) {
+	sched := eventsim.New()
+	f := newFake(sched, false, "a", "b")
+	_, err := NewInjector(sched, f, Scenario{Events: []Event{
+		{Kind: KindLossBurst, LossFrac: 0.5, Duration: time.Second},
+	}}, nil)
+	if err == nil || !strings.Contains(err.Error(), "internal network") {
+		t.Fatalf("err = %v, want internal-network requirement", err)
+	}
+}
+
+func TestCrashAndRestartReplayOnClock(t *testing.T) {
+	sched := eventsim.New()
+	f := newFake(sched, true, "a", "b", "c")
+	reg := monitor.NewRegistry()
+	inj, err := NewInjector(sched, f, Scenario{Name: "bounce", Events: []Event{
+		{At: time.Second, Kind: KindCrash, Nodes: []string{"a", "b"}},
+		{At: 3 * time.Second, Kind: KindRestart, Nodes: []string{"a"}},
+	}}, reg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	inj.Arm(10 * time.Second) // offsets are relative to the arm time
+
+	sched.RunUntil(10*time.Second + 500*time.Millisecond)
+	if f.DownCount() != 0 {
+		t.Fatal("fault fired before its offset")
+	}
+	sched.RunUntil(12 * time.Second)
+	if !f.NodeDown("a") || !f.NodeDown("b") {
+		t.Fatal("crash event did not apply")
+	}
+	sched.RunUntil(15 * time.Second)
+	if f.NodeDown("a") || !f.NodeDown("b") {
+		t.Fatal("restart should bring back exactly node a")
+	}
+	if got := reg.Counter("chaos/events").Value(); got != 2 {
+		t.Fatalf("chaos/events = %v, want 2", got)
+	}
+	if got := reg.Gauge("chaos/nodes_down").Value(); got != 1 {
+		t.Fatalf("chaos/nodes_down = %v, want 1", got)
+	}
+	if n := len(inj.Applied()); n != 2 {
+		t.Fatalf("Applied log has %d entries, want 2", n)
+	}
+}
+
+func TestPartitionAppliesToNetwork(t *testing.T) {
+	sched := eventsim.New()
+	f := newFake(sched, true, "a", "b")
+	inj, err := NewInjector(sched, f, Scenario{Events: []Event{
+		{At: 0, Kind: KindPartition, GroupA: []string{"a"}, GroupB: []string{"b"}},
+		{At: time.Second, Kind: KindHeal},
+	}}, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	inj.Arm(0)
+	sched.RunUntil(500 * time.Millisecond)
+	if !f.net.Partitioned("a", "b") {
+		t.Fatal("partition did not apply")
+	}
+	sched.RunUntil(2 * time.Second)
+	if f.net.Partitioned("a", "b") {
+		t.Fatal("heal did not clear the partition")
+	}
+}
+
+func TestPartitionFallbackCrashesMinority(t *testing.T) {
+	sched := eventsim.New()
+	f := newFake(sched, false, "a", "b", "c")
+	inj, err := NewInjector(sched, f, Scenario{Events: []Event{
+		{At: 0, Kind: KindPartition, GroupA: []string{"a", "b"}, GroupB: []string{"c"}},
+		{At: time.Second, Kind: KindHeal},
+	}}, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	inj.Arm(0)
+	sched.RunUntil(500 * time.Millisecond)
+	if !f.NodeDown("c") || f.NodeDown("a") || f.NodeDown("b") {
+		t.Fatal("fallback should crash exactly the minority side")
+	}
+	if note := inj.Applied()[0].Note; !strings.Contains(note, "emulated by crashing") {
+		t.Fatalf("fallback should be documented in the applied log, note=%q", note)
+	}
+	sched.RunUntil(2 * time.Second)
+	if f.DownCount() != 0 {
+		t.Fatal("heal should restart fallback-crashed nodes")
+	}
+}
+
+func TestLossBurstOverridesAndRestores(t *testing.T) {
+	sched := eventsim.New()
+	f := newFake(sched, true, "a", "b")
+	inj, err := NewInjector(sched, f, Scenario{Events: []Event{
+		{At: 0, Kind: KindLossBurst, LossFrac: 1.0, Duration: time.Second},
+	}}, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	inj.Arm(0)
+	var inBurst, afterBurst int
+	sched.At(500*time.Millisecond, func() {
+		f.net.Send("a", "b", 100, func() { inBurst++ })
+	})
+	sched.At(2*time.Second, func() {
+		f.net.Send("a", "b", 100, func() { afterBurst++ })
+	})
+	sched.RunUntil(5 * time.Second)
+	if inBurst != 0 {
+		t.Fatal("message delivered during a total-loss burst")
+	}
+	if afterBurst != 1 {
+		t.Fatal("loss burst did not restore the configured loss fraction")
+	}
+}
+
+func TestAnalyzeRecovery(t *testing.T) {
+	// 10s series: 100 TPS baseline, dip to 10 during the fault [3,6), back
+	// above threshold two seconds after the heal.
+	series := []float64{100, 100, 100, 10, 10, 20, 40, 60, 90, 100}
+	r := AnalyzeRecovery(series, 3, 6, 0.7)
+	if r.BaselineTPS != 100 {
+		t.Fatalf("baseline %v, want 100", r.BaselineTPS)
+	}
+	if r.DipTPS != 10 {
+		t.Fatalf("dip %v, want 10", r.DipTPS)
+	}
+	if !r.Recovered || r.RecoverySeconds != 2 {
+		t.Fatalf("recovered=%v in %ds, want true in 2s", r.Recovered, r.RecoverySeconds)
+	}
+
+	// Never recovers.
+	flat := []float64{100, 100, 100, 10, 10, 10, 10, 10, 10, 10}
+	r = AnalyzeRecovery(flat, 3, 6, 0.7)
+	if r.Recovered || r.RecoverySeconds != -1 {
+		t.Fatalf("recovered=%v/%ds, want false/-1", r.Recovered, r.RecoverySeconds)
+	}
+}

@@ -123,6 +123,22 @@ type Config struct {
 	// TxTimeout expires driver records still pending after this long;
 	// zero disables timeouts.
 	TxTimeout time.Duration
+	// MaxRetries caps how many times the driver resubmits a transaction
+	// that was refused at admission or went unconfirmed past TxTimeout —
+	// the recovery path for work lost to faults (internal/chaos). Zero
+	// disables retries; a positive value requires TxTimeout and a matcher
+	// with per-ID record access (the Hammer processor). A transaction whose
+	// retries are exhausted is recorded as timed out, never left pending,
+	// so faulted runs always drain.
+	MaxRetries int
+	// RetryBackoff is how long the driver waits after detecting a lost or
+	// refused transaction before resubmitting it.
+	RetryBackoff time.Duration
+	// OnMeasureStart, when set, is called as the execution phase begins
+	// with the virtual time of the first injection. The chaos injector arms
+	// fault scenarios here so scenario offsets are relative to measurement
+	// rather than to account setup, which consumes virtual time first.
+	OnMeasureStart func(start time.Duration)
 	// Driver selects the measurement strategy.
 	Driver DriverKind
 	// MatchCostPerOp is the driver CPU per elementary match operation:
@@ -229,6 +245,9 @@ func (c *Config) fillDefaults() {
 	if c.Workload.Accounts == 0 {
 		c.Workload = def.Workload
 	}
+	if c.MaxRetries > 0 && c.RetryBackoff <= 0 {
+		c.RetryBackoff = 500 * time.Millisecond
+	}
 	if c.Seed == 0 {
 		c.Seed = def.Seed
 	}
@@ -251,6 +270,12 @@ func (c *Config) Validate() error {
 	case SignSerial, SignAsync, SignPipelined, SignOff:
 	default:
 		return fmt.Errorf("core: unknown sign mode %d", int(c.SignMode))
+	}
+	if c.MaxRetries < 0 {
+		return fmt.Errorf("core: negative MaxRetries %d", c.MaxRetries)
+	}
+	if c.MaxRetries > 0 && c.TxTimeout <= 0 {
+		return fmt.Errorf("core: MaxRetries %d requires a positive TxTimeout", c.MaxRetries)
 	}
 	return nil
 }

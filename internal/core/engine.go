@@ -36,6 +36,12 @@ type Engine struct {
 	submitted      int
 	rejected       int
 	dropped        int // interactive responses lost to listener backlog
+	retried        int // resubmissions performed by the retry path
+	// retryQueue is the deterministic FIFO of transactions the retry path is
+	// watching; it is scanned on poll ticks in dispatch order, so retry
+	// behaviour is independent of map iteration or wall-clock effects.
+	retryQueue   []retryEntry
+	retrySupport taskproc.RetrySupport
 	// scratch and single are reused block headers for the batch and
 	// interactive driver cost models, so re-stamping a block per poll tick
 	// (or per receipt) does not allocate. Safe because matchers copy fields
@@ -110,6 +116,13 @@ func New(sched *eventsim.Scheduler, bc chain.Blockchain, cfg Config) (*Engine, e
 	default:
 		e.matcher = taskproc.NewProcessor(capacity)
 	}
+	if cfg.MaxRetries > 0 {
+		rs, ok := e.matcher.(taskproc.RetrySupport)
+		if !ok {
+			return nil, fmt.Errorf("core: MaxRetries requires a matcher with per-ID record access; the %v driver has none", cfg.Driver)
+		}
+		e.retrySupport = rs
+	}
 	return e, nil
 }
 
@@ -125,6 +138,8 @@ type Result struct {
 	Submitted        int
 	Rejected         int
 	DroppedResponses int
+	// Retried counts resubmissions performed by the retry path.
+	Retried int
 	// SetupCommitted is the number of account-creation transactions that
 	// committed during preparation.
 	SetupCommitted int
@@ -179,6 +194,7 @@ func (e *Engine) Run(ctx context.Context) (*Result, error) {
 		Submitted:        e.submitted,
 		Rejected:         e.rejected,
 		DroppedResponses: e.dropped,
+		Retried:          e.retried,
 		SetupCommitted:   e.setupCommitted,
 		PrepDuration:     e.prepDuration,
 		VirtualDuration:  e.sched.Now(),
@@ -301,6 +317,9 @@ func (e *Engine) prepare() ([]*chain.Transaction, error) {
 // the run drains for up to DrainTimeout after the last injection.
 func (e *Engine) execute(ctx context.Context, txs []*chain.Transaction) error {
 	startAt := e.sched.Now()
+	if e.cfg.OnMeasureStart != nil {
+		e.cfg.OnMeasureStart(startAt)
+	}
 	e.scheduleInjections(txs, startAt)
 	e.startPolling()
 
@@ -400,6 +419,17 @@ func (e *Engine) dispatch(tx *chain.Transaction, clientIdx int) {
 	e.clients[clientIdx].Run(e.perOpCost, func() {
 		tx.SubmittedAt = e.sched.Now()
 		if _, err := e.bc.Submit(tx); err != nil {
+			if e.retrySupport != nil {
+				// With retries enabled a refused submission stays tracked
+				// and re-enters through the backoff queue instead of being
+				// dropped on the floor.
+				e.matcher.Track(rec)
+				e.retryQueue = append(e.retryQueue, retryEntry{
+					tx: tx, attempts: 1, waiting: true,
+					due: e.sched.Now() + e.cfg.RetryBackoff,
+				})
+				return
+			}
 			e.rejected++
 			e.mon.rejected.Inc()
 			if e.cfg.TrackRejected {
@@ -410,12 +440,85 @@ func (e *Engine) dispatch(tx *chain.Transaction, clientIdx int) {
 			return
 		}
 		e.matcher.Track(rec)
+		if e.retrySupport != nil {
+			e.retryQueue = append(e.retryQueue, retryEntry{
+				tx: tx, due: e.sched.Now() + e.cfg.TxTimeout,
+			})
+		}
 	})
+}
+
+// retryEntry is the retry path's view of one in-flight transaction. An entry
+// is either watching a submitted transaction for its confirmation timeout
+// (waiting=false, due=submit+TxTimeout) or backing off before a resubmission
+// (waiting=true, due=detection+RetryBackoff).
+type retryEntry struct {
+	tx       *chain.Transaction
+	attempts int // resubmissions consumed
+	waiting  bool
+	due      time.Duration
+}
+
+// processRetries advances the retry state machine on the virtual clock. It
+// runs on poll ticks, scanning the FIFO in dispatch order: entries whose
+// transaction completed are discarded; watch entries past their timeout move
+// into backoff (or expire once attempts are exhausted); backoff entries past
+// their delay resubmit. Exhausted transactions are stamped timed out, so a
+// faulted run's drain loop always terminates.
+func (e *Engine) processRetries() {
+	now := e.sched.Now()
+	keep := e.retryQueue[:0]
+	for _, ent := range e.retryQueue {
+		if ent.due > now {
+			keep = append(keep, ent)
+			continue
+		}
+		st, ok := e.retrySupport.StatusOf(ent.tx.ID)
+		if !ok || st != chain.StatusPending {
+			continue // confirmed (or already expired) — nothing to do
+		}
+		if !ent.waiting {
+			// Confirmation timeout hit: the transaction was admitted but
+			// never reached a block — lost to a crash, partition or drop.
+			if ent.attempts >= e.cfg.MaxRetries {
+				e.retrySupport.ExpireByID(ent.tx.ID, now)
+				continue
+			}
+			ent.attempts++
+			ent.waiting = true
+			ent.due = now + e.cfg.RetryBackoff
+			keep = append(keep, ent)
+			continue
+		}
+		// Backoff elapsed: resubmit.
+		ent.tx.SubmittedAt = now
+		if _, err := e.bc.Submit(ent.tx); err != nil {
+			if ent.attempts >= e.cfg.MaxRetries {
+				e.retrySupport.ExpireByID(ent.tx.ID, now)
+				continue
+			}
+			ent.attempts++
+			ent.due = now + e.cfg.RetryBackoff
+			keep = append(keep, ent)
+			continue
+		}
+		e.retried++
+		ent.waiting = false
+		ent.due = now + e.cfg.TxTimeout
+		keep = append(keep, ent)
+	}
+	e.retryQueue = keep
 }
 
 func (e *Engine) startPolling() {
 	e.pollTicker = e.sched.Every(e.cfg.PollInterval, func() {
 		e.collectBlocks(e.processBlock)
+		if e.retrySupport != nil {
+			// Per-ID expiry supersedes the blanket scan: a record past its
+			// timeout may be about to get another attempt.
+			e.processRetries()
+			return
+		}
 		if e.cfg.TxTimeout > 0 {
 			if exp, ok := e.matcher.(taskproc.Expirer); ok {
 				now := e.sched.Now()

@@ -1,0 +1,141 @@
+package core
+
+import (
+	"context"
+	"testing"
+	"time"
+
+	"hammer/internal/chains/neuchain"
+	"hammer/internal/eventsim"
+	"hammer/internal/workload"
+)
+
+func TestValidateRetryConfig(t *testing.T) {
+	cfg := DefaultConfig()
+	cfg.Control = workload.Constant(10, time.Second, time.Second)
+	cfg.MaxRetries = 2
+	if err := cfg.Validate(); err == nil {
+		t.Fatal("MaxRetries without TxTimeout should be rejected")
+	}
+	cfg.TxTimeout = time.Second
+	if err := cfg.Validate(); err != nil {
+		t.Fatalf("valid retry config rejected: %v", err)
+	}
+	cfg.MaxRetries = -1
+	if err := cfg.Validate(); err == nil {
+		t.Fatal("negative MaxRetries should be rejected")
+	}
+}
+
+func TestRetryRequiresPerIDMatcher(t *testing.T) {
+	sched := eventsim.New()
+	bc := neuchain.New(sched, neuchain.DefaultConfig())
+	cfg := DefaultConfig()
+	cfg.Control = workload.Constant(10, time.Second, time.Second)
+	cfg.Driver = DriverBatch
+	cfg.TxTimeout = time.Second
+	cfg.MaxRetries = 1
+	if _, err := New(sched, bc, cfg); err == nil {
+		t.Fatal("batch driver cannot support retries and should be refused")
+	}
+}
+
+// retryRunConfig is the shared engine setup for the fault-recovery tests: a
+// modest constant load with a tight timeout and retries enabled.
+func retryRunConfig(retries int) Config {
+	cfg := DefaultConfig()
+	cfg.Workload = testProfile(500)
+	cfg.Control = workload.Constant(200, 15*time.Second, time.Second)
+	cfg.SignMode = SignOff
+	cfg.TxTimeout = 2 * time.Second
+	cfg.MaxRetries = retries
+	cfg.RetryBackoff = 500 * time.Millisecond
+	cfg.DrainTimeout = 30 * time.Second
+	return cfg
+}
+
+// A transaction stranded by a crash (the block server dies with the epoch
+// batch in flight) is resubmitted after its timeout and commits once the
+// node is back — the run ends with no unmatched records.
+func TestRetryRecoversTransactionsLostToCrash(t *testing.T) {
+	sched := eventsim.New()
+	bc := neuchain.New(sched, neuchain.DefaultConfig())
+	cfg := retryRunConfig(3)
+	cfg.OnMeasureStart = func(start time.Duration) {
+		// The chain's epoch ticker started at virtual time zero, so epochs
+		// cut at multiples of EpochInterval on the global clock. Crash just
+		// after a cut, while the batch is on the wire to the block servers,
+		// so the epoch is genuinely lost rather than merely stalled.
+		interval := neuchain.DefaultConfig().EpochInterval
+		at := start + 2*time.Second
+		at = at - at%interval + interval + 500*time.Microsecond
+		sched.At(at, func() {
+			for _, n := range []string{"block-server-0", "block-server-1", "block-server-2"} {
+				bc.CrashNode(n)
+			}
+		})
+		sched.At(start+5*time.Second, func() {
+			for _, n := range []string{"block-server-0", "block-server-1", "block-server-2"} {
+				bc.RestartNode(n)
+			}
+		})
+	}
+	eng, err := New(sched, bc, cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	res, err := eng.Run(context.Background())
+	if err != nil {
+		t.Fatal(err)
+	}
+	rep := res.Report
+	t.Logf("neuchain crash+retry: %s, retried=%d stranded=%d", rep, res.Retried, bc.Stranded())
+	if bc.Stranded() == 0 {
+		t.Fatal("the crash should strand at least one in-flight epoch")
+	}
+	if res.Retried == 0 {
+		t.Fatal("stranded transactions should have been retried")
+	}
+	if rep.Unmatched != 0 {
+		t.Fatalf("%d records left unmatched (pending) after the drain", rep.Unmatched)
+	}
+	if rep.Committed < rep.Submitted*8/10 {
+		t.Fatalf("committed %d of %d; retries should recover most of the load", rep.Committed, rep.Submitted)
+	}
+}
+
+// When the fault never heals, retries exhaust: every lost transaction is
+// stamped timed out — not left pending — and the drain loop terminates well
+// before its deadline instead of hanging.
+func TestExhaustedRetriesTimeOutAndDrainTerminates(t *testing.T) {
+	sched := eventsim.New()
+	bc := neuchain.New(sched, neuchain.DefaultConfig())
+	cfg := retryRunConfig(2)
+	cfg.OnMeasureStart = func(start time.Duration) {
+		sched.At(start+2*time.Second, func() {
+			bc.CrashNode("epoch-server") // stalls every epoch, forever
+		})
+	}
+	eng, err := New(sched, bc, cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	res, err := eng.Run(context.Background())
+	if err != nil {
+		t.Fatal(err)
+	}
+	rep := res.Report
+	t.Logf("neuchain permanent fault: %s, retried=%d dur=%v", rep, res.Retried, res.VirtualDuration)
+	if rep.TimedOut == 0 {
+		t.Fatal("exhausted retries should surface as timed out")
+	}
+	if rep.Unmatched != 0 {
+		t.Fatalf("%d records left unmatched: the retry path must resolve every record", rep.Unmatched)
+	}
+	// Injection ends at 15s; timeouts+retries resolve within a few seconds
+	// after that. Reaching the full drain deadline would mean the drain hung
+	// on permanently-pending records.
+	if res.VirtualDuration >= 15*time.Second+cfg.DrainTimeout {
+		t.Fatalf("drain ran to its %v deadline (virtual %v)", cfg.DrainTimeout, res.VirtualDuration)
+	}
+}

@@ -1,0 +1,39 @@
+package experiments
+
+import (
+	"context"
+	"testing"
+)
+
+// The faults experiment must be deterministic for a fixed seed — every
+// chaos event, retry, and timeout rides the virtual clock — and must show
+// the resilience shape the scenarios are designed to produce: throughput
+// dips while the fault holds and regains baseline after the heal. The
+// golden file pins the full summary byte-for-byte; regenerate with
+// go run ./cmd/hammer-bench -exp faults -quick -parallel 1 only if the
+// experiment's semantics deliberately change.
+func TestFaultsQuickSerialGolden(t *testing.T) {
+	rows, err := Faults(context.Background(), goldenOpts())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(rows) != 8 {
+		t.Fatalf("expected 4 chains x 2 scenarios = 8 rows, got %d", len(rows))
+	}
+	for _, r := range rows {
+		if r.DipTPS >= r.BaselineTPS {
+			t.Errorf("%s/%s: no measurable dip (baseline %.1f, dip %.1f)", r.Chain, r.Scenario, r.BaselineTPS, r.DipTPS)
+		}
+		if !r.Recovered {
+			t.Errorf("%s/%s: throughput never regained baseline after the heal", r.Chain, r.Scenario)
+		}
+		if r.FaultEvents == 0 {
+			t.Errorf("%s/%s: no chaos events fired", r.Chain, r.Scenario)
+		}
+		if r.Committed == 0 {
+			t.Errorf("%s/%s: nothing committed", r.Chain, r.Scenario)
+		}
+	}
+	header, csvRows := FaultsCSV(rows)
+	checkGolden(t, "faults_quick_serial.golden.csv", renderCSV(t, header, csvRows))
+}

@@ -1,0 +1,45 @@
+package experiments
+
+import "strings"
+
+// Suggest returns the known experiment name nearest to input by edit
+// distance, or "" when nothing is within two edits — close enough to be a
+// plausible typo. The CLIs use it to improve their unknown-experiment
+// errors.
+func Suggest(input string, known []string) string {
+	best, bestDist := "", 3
+	for _, k := range known {
+		if d := editDistance(strings.ToLower(input), k); d < bestDist {
+			best, bestDist = k, d
+		}
+	}
+	return best
+}
+
+// editDistance is the Levenshtein distance between two short strings.
+func editDistance(a, b string) int {
+	prev := make([]int, len(b)+1)
+	curr := make([]int, len(b)+1)
+	for j := range prev {
+		prev[j] = j
+	}
+	for i := 1; i <= len(a); i++ {
+		curr[0] = i
+		for j := 1; j <= len(b); j++ {
+			cost := 1
+			if a[i-1] == b[j-1] {
+				cost = 0
+			}
+			curr[j] = minInt(minInt(curr[j-1]+1, prev[j]+1), prev[j-1]+cost)
+		}
+		prev, curr = curr, prev
+	}
+	return prev[len(b)]
+}
+
+func minInt(a, b int) int {
+	if a < b {
+		return a
+	}
+	return b
+}

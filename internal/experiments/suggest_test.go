@@ -1,0 +1,23 @@
+package experiments
+
+import "testing"
+
+func TestSuggest(t *testing.T) {
+	known := []string{"fig1", "fig6", "faults", "schedbench", "all"}
+	cases := []struct {
+		input string
+		want  string
+	}{
+		{"fualts", "faults"}, // transposition = 2 edits
+		{"Faults", "faults"}, // case-folded exact match
+		{"fig66", "fig6"},    // one insertion
+		{"shedbench", "schedbench"},
+		{"correctness", ""}, // nothing close
+		{"", ""},            // empty input matches nothing useful
+	}
+	for _, c := range cases {
+		if got := Suggest(c.input, known); got != c.want {
+			t.Errorf("Suggest(%q) = %q, want %q", c.input, got, c.want)
+		}
+	}
+}

@@ -1,0 +1,177 @@
+package netsim
+
+import (
+	"math"
+	"testing"
+	"time"
+
+	"hammer/internal/eventsim"
+)
+
+func TestConfigValidate(t *testing.T) {
+	cases := []struct {
+		name string
+		cfg  Config
+		ok   bool
+	}{
+		{"default", DefaultConfig(), true},
+		{"zero", Config{}, true},
+		{"negative latency", Config{Latency: -time.Millisecond}, false},
+		{"negative bandwidth", Config{BandwidthBps: -1}, false},
+		{"negative jitter", Config{JitterFrac: -0.1}, false},
+		{"jitter above one", Config{JitterFrac: 1.1}, false},
+		{"negative loss", Config{LossFrac: -0.1}, false},
+		{"loss above one", Config{LossFrac: 1.5}, false},
+		{"full loss", Config{LossFrac: 1}, true},
+	}
+	for _, tc := range cases {
+		if err := tc.cfg.Validate(); (err == nil) != tc.ok {
+			t.Errorf("%s: Validate() = %v, want ok=%v", tc.name, err, tc.ok)
+		}
+	}
+}
+
+func TestNewPanicsOnInvalidConfig(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Fatal("New with negative BandwidthBps should panic")
+		}
+	}()
+	New(eventsim.New(), Config{BandwidthBps: -5})
+}
+
+func TestPartitionBlocksCrossGroupTraffic(t *testing.T) {
+	sched := eventsim.New()
+	n := New(sched, Config{Latency: time.Millisecond, Seed: 1})
+	delivered := map[string]int{}
+	send := func(from, to string) {
+		n.Send(from, to, 10, func() { delivered[from+"->"+to]++ })
+	}
+
+	n.Partition([]string{"a", "b"}, []string{"c"})
+	send("a", "c") // dropped: cross-partition
+	send("c", "b") // dropped: cross-partition
+	send("a", "b") // same group, delivered
+	send("a", "d") // d is in no group, delivered
+	sched.Run()
+
+	if delivered["a->c"] != 0 || delivered["c->b"] != 0 {
+		t.Fatalf("cross-partition messages delivered: %v", delivered)
+	}
+	if delivered["a->b"] != 1 || delivered["a->d"] != 1 {
+		t.Fatalf("intra-group or unassigned messages lost: %v", delivered)
+	}
+	if n.PartitionDrops() != 2 {
+		t.Fatalf("PartitionDrops = %d, want 2", n.PartitionDrops())
+	}
+
+	n.Heal()
+	send("a", "c")
+	sched.Run()
+	if delivered["a->c"] != 1 {
+		t.Fatal("message after Heal not delivered")
+	}
+}
+
+func TestSetLinkQualityExtraLatency(t *testing.T) {
+	sched := eventsim.New()
+	n := New(sched, Config{Latency: time.Millisecond, Seed: 1})
+	n.SetLinkQuality("a", "b", LinkQuality{ExtraLatency: 40 * time.Millisecond})
+	var degraded, clean time.Duration
+	n.Send("a", "b", 10, func() { degraded = sched.Now() })
+	n.Send("b", "a", 10, func() { clean = sched.Now() })
+	sched.Run()
+	if degraded != 41*time.Millisecond {
+		t.Fatalf("degraded link arrival %v, want 41ms", degraded)
+	}
+	if clean != time.Millisecond {
+		t.Fatalf("reverse link arrival %v, want 1ms (degradation is directional)", clean)
+	}
+
+	n.ClearLinkQuality("a", "b")
+	sendAt := sched.Now()
+	var restored time.Duration
+	n.Send("a", "b", 10, func() { restored = sched.Now() })
+	sched.Run()
+	if got := restored - sendAt; got != time.Millisecond {
+		t.Fatalf("post-clear arrival delta %v, want 1ms", got)
+	}
+}
+
+func TestSetLinkQualityLoss(t *testing.T) {
+	sched := eventsim.New()
+	n := New(sched, Config{Latency: time.Millisecond, Seed: 1})
+	n.SetLinkQuality("a", "b", LinkQuality{LossFrac: 1})
+	delivered := 0
+	n.Send("a", "b", 10, func() { delivered++ })
+	n.Send("b", "a", 10, func() { delivered++ })
+	sched.Run()
+	if delivered != 1 {
+		t.Fatalf("delivered %d, want only the clean reverse link", delivered)
+	}
+}
+
+func TestLossBurstOverridesAndRestores(t *testing.T) {
+	sched := eventsim.New()
+	n := New(sched, Config{Latency: time.Millisecond, Seed: 1})
+	delivered := 0
+	n.SetLossFrac(1)
+	n.Send("a", "b", 10, func() { delivered++ })
+	n.ResetLossFrac()
+	n.Send("a", "b", 10, func() { delivered++ })
+	sched.Run()
+	if delivered != 1 {
+		t.Fatalf("delivered %d, want 1 (burst drops, reset restores)", delivered)
+	}
+}
+
+// TestLossFracStatistics checks that the configured loss fraction is honoured
+// within statistical tolerance over a large sample.
+func TestLossFracStatistics(t *testing.T) {
+	const (
+		sent = 20000
+		loss = 0.3
+	)
+	sched := eventsim.New()
+	n := New(sched, Config{Latency: time.Millisecond, LossFrac: loss, Seed: 99})
+	for i := 0; i < sent; i++ {
+		n.Send("a", "b", 1, func() {})
+	}
+	sched.Run()
+	frac := float64(n.Dropped()) / sent
+	// Binomial stddev at p=0.3, n=20000 is ~0.0032; 5 sigma ≈ 0.016.
+	if math.Abs(frac-loss) > 0.02 {
+		t.Fatalf("drop fraction %.4f, want %.2f ± 0.02", frac, loss)
+	}
+}
+
+// TestLossDeterministicAcrossRuns pins the determinism guarantee: with the
+// same seed, the exact set of dropped messages and every arrival time are
+// byte-identical across runs.
+func TestLossDeterministicAcrossRuns(t *testing.T) {
+	trace := func() ([]int, []time.Duration) {
+		sched := eventsim.New()
+		n := New(sched, Config{Latency: time.Millisecond, JitterFrac: 0.2, LossFrac: 0.25, Seed: 7})
+		var delivered []int
+		var arrivals []time.Duration
+		for i := 0; i < 5000; i++ {
+			i := i
+			n.Send("a", "b", 64, func() {
+				delivered = append(delivered, i)
+				arrivals = append(arrivals, sched.Now())
+			})
+		}
+		sched.Run()
+		return delivered, arrivals
+	}
+	d1, a1 := trace()
+	d2, a2 := trace()
+	if len(d1) != len(d2) {
+		t.Fatalf("delivered %d vs %d messages across identical runs", len(d1), len(d2))
+	}
+	for i := range d1 {
+		if d1[i] != d2[i] || a1[i] != a2[i] {
+			t.Fatalf("run divergence at %d: msg %d@%v vs msg %d@%v", i, d1[i], a1[i], d2[i], a2[i])
+		}
+	}
+}

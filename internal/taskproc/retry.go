@@ -1,0 +1,48 @@
+package taskproc
+
+import (
+	"time"
+
+	"hammer/internal/chain"
+)
+
+// RetrySupport is implemented by matchers whose records can be inspected and
+// expired individually by transaction ID. The engine's retry path needs both:
+// it checks whether a suspect transaction is still pending before
+// resubmitting, and stamps it timed out once its attempts are exhausted.
+type RetrySupport interface {
+	// StatusOf reports the tracked record's current status; ok is false for
+	// unknown IDs (or IDs whose index entries were compacted away after
+	// completion — callers treat that as "no longer pending").
+	StatusOf(id chain.TxID) (chain.TxStatus, bool)
+	// ExpireByID marks the identified record timed out, stamping endTime.
+	// It reports whether a pending record transitioned.
+	ExpireByID(id chain.TxID, endTime time.Duration) bool
+}
+
+var _ RetrySupport = (*Processor)(nil)
+
+// StatusOf implements RetrySupport.
+func (p *Processor) StatusOf(id chain.TxID) (chain.TxStatus, bool) {
+	pos, ok := p.index.Get(id)
+	if !ok {
+		return 0, false
+	}
+	return p.list.At(pos).Status, true
+}
+
+// ExpireByID implements RetrySupport.
+func (p *Processor) ExpireByID(id chain.TxID, endTime time.Duration) bool {
+	pos, ok := p.index.Get(id)
+	if !ok {
+		return false
+	}
+	rec := p.list.At(pos)
+	if rec.Status != chain.StatusPending {
+		return false
+	}
+	rec.Status = chain.StatusTimedOut
+	rec.EndTime = endTime
+	p.pending--
+	return true
+}
