@@ -9,6 +9,7 @@
 //	hammer-predict -exp table3
 //	hammer-predict -exp fig11 -out results/
 //	hammer-predict -exp ablation -quick
+//	hammer-predict -exp nnbench -benchjson
 package main
 
 import (
@@ -39,7 +40,7 @@ func main() {
 
 func run() error {
 	var (
-		exp        = flag.String("exp", "table3", "experiment: table3|fig11|ablation|all; 'list' prints them all")
+		exp        = flag.String("exp", "table3", "experiment: table3|fig11|ablation|nnbench|all; 'list' prints them all")
 		quick      = flag.Bool("quick", false, "shrink training budgets for a fast smoke run")
 		outDir     = flag.String("out", "results", "directory for CSV export")
 		seed       = flag.Int64("seed", 7, "random seed")
@@ -98,6 +99,7 @@ func run() error {
 		{"table3", "=== Table III: model comparison ===", func() error { return runTable3(ctx, opts, *outDir) }},
 		{"fig11", "=== Fig 11: real vs generated sequences ===", func() error { return runFig11(ctx, opts, *outDir) }},
 		{"ablation", "=== Ablation: multi-head attention ===", func() error { return runAblation(opts) }},
+		{"nnbench", "=== nnbench: tensor kernel comparison ===", func() error { return runNnbench(*outDir, *quick, traj) }},
 	}
 
 	if len(selected) == 1 && selected[0] == "list" {
@@ -187,6 +189,24 @@ func runFig11(ctx context.Context, opts experiments.Options, outDir string) erro
 		}
 	}
 	return nil
+}
+
+func runNnbench(outDir string, quick bool, traj *perf.Trajectory) error {
+	rows, err := experiments.NNBench(quick)
+	if err != nil {
+		return err
+	}
+	for _, r := range rows {
+		fmt.Println(" ", r)
+		if traj != nil {
+			traj.Add(r.Sample())
+		}
+	}
+	if s := experiments.NNBenchSpeedup(rows); s > 0 {
+		fmt.Printf("  train-step speedup, fused w=1 vs legacy: %.2fx\n", s)
+	}
+	header, csvRows := experiments.NNBenchCSV(rows)
+	return viz.Export(os.Stdout, outDir, viz.Dataset{Name: "nnbench_kernels.csv", Header: header, Rows: csvRows})
 }
 
 func runAblation(opts experiments.Options) error {

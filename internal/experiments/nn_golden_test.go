@@ -1,0 +1,70 @@
+package experiments
+
+import (
+	"context"
+	"fmt"
+	"runtime"
+	"testing"
+
+	"hammer/internal/parallel"
+)
+
+// These goldens were captured from the pre-kernel-rewrite internal/nn (naive
+// triple-loop MatMul, closure autograd, no fusion, no pooling). They pin the
+// tensor-kernel determinism invariant: the blocked GEMM, the fused
+// affine/gate/conv/attention kernels, and the buffer freelist must reproduce
+// the original training trajectories bit for bit, and the fixed-block
+// parallel partition must keep every metric byte identical at ANY worker
+// count. Regenerate only if training semantics deliberately change:
+// go run ./cmd/hammer-predict -exp table3,fig11 -quick -parallel 1, then
+// copy the CSVs over testdata/.
+
+// nnWorkerCounts are the kernel pool sizes the goldens must survive:
+// serial, a small pool, and whatever this machine has.
+func nnWorkerCounts() []int {
+	counts := []int{1, 4}
+	if n := runtime.NumCPU(); n != 1 && n != 4 {
+		counts = append(counts, n)
+	}
+	return counts
+}
+
+func TestTable3QuickGoldenAcrossWorkerCounts(t *testing.T) {
+	if testing.Short() {
+		t.Skip("trains fifteen models per worker count")
+	}
+	origWorkers := parallel.Workers()
+	defer parallel.SetWorkers(origWorkers)
+	for _, workers := range nnWorkerCounts() {
+		t.Run(fmt.Sprintf("workers=%d", workers), func(t *testing.T) {
+			parallel.SetWorkers(workers)
+			rows, err := Table3(context.Background(), goldenOpts())
+			if err != nil {
+				t.Fatal(err)
+			}
+			header, csvRows := Table3CSV(rows)
+			checkGolden(t, "table3_quick_serial.golden.csv", renderCSV(t, header, csvRows))
+		})
+	}
+}
+
+func TestFig11QuickGoldenAcrossWorkerCounts(t *testing.T) {
+	if testing.Short() {
+		t.Skip("trains and autoregressively rolls out the predictor per worker count")
+	}
+	origWorkers := parallel.Workers()
+	defer parallel.SetWorkers(origWorkers)
+	for _, workers := range nnWorkerCounts() {
+		t.Run(fmt.Sprintf("workers=%d", workers), func(t *testing.T) {
+			parallel.SetWorkers(workers)
+			results, err := Fig11(context.Background(), goldenOpts())
+			if err != nil {
+				t.Fatal(err)
+			}
+			for _, r := range results {
+				header, csvRows := Fig11CSV(r)
+				checkGolden(t, fmt.Sprintf("fig11_%s_quick_serial.golden.csv", r.Dataset), renderCSV(t, header, csvRows))
+			}
+		})
+	}
+}

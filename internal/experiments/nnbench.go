@@ -1,0 +1,247 @@
+package experiments
+
+import (
+	"fmt"
+	"runtime"
+	"time"
+
+	"hammer/internal/nn"
+	"hammer/internal/parallel"
+	"hammer/internal/perf"
+	"hammer/internal/randx"
+)
+
+// nnbench compares the legacy (pre-rewrite) tensor kernels against the
+// blocked/fused engine on the shapes that dominate hammer-predict training:
+// square MatMul forward+backward at several sizes, and full train steps of a
+// paper-scale model stack (Dense embed → TCN → BiGRU → attention → head,
+// DefaultConfig dimensions). The fused train step is swept across kernel
+// worker counts; its outputs are bitwise identical at every count
+// (nn_golden_test.go pins that), so the sweep isolates pool scheduling
+// cost/scaling from arithmetic.
+
+// NNBenchRow is one measured configuration.
+type NNBenchRow struct {
+	Bench      string // matmul<size> | trainstep
+	Impl       string // legacy | blocked | fused
+	Workers    int
+	Iters      int
+	Wall       time.Duration
+	Allocs     uint64
+	AllocBytes uint64
+	PerIter    time.Duration
+	PerSec     float64
+}
+
+func (r NNBenchRow) String() string {
+	return fmt.Sprintf("%-10s %-8s w=%d  %4d iters in %8v  %10v/iter  %8.2f iters/s  %9d allocs",
+		r.Bench, r.Impl, r.Workers, r.Iters, r.Wall.Round(time.Millisecond),
+		r.PerIter.Round(time.Microsecond), r.PerSec, r.Allocs)
+}
+
+// Sample converts the row for a BENCH_<n>.json trajectory.
+func (r NNBenchRow) Sample() perf.Sample {
+	return perf.Sample{
+		Name:           fmt.Sprintf("nnbench/%s/%s/w%d", r.Bench, r.Impl, r.Workers),
+		TPS:            r.PerSec,
+		WallSeconds:    r.Wall.Seconds(),
+		Allocs:         r.Allocs,
+		AllocBytes:     r.AllocBytes,
+		Events:         r.Iters,
+		AllocsPerEvent: float64(r.Allocs) / float64(r.Iters),
+	}
+}
+
+// nnBenchWorkers are the kernel pool sizes the fused train step is swept
+// over: serial, a small pool, and whatever this machine has.
+func nnBenchWorkers() []int {
+	counts := []int{1, 4}
+	if n := runtime.NumCPU(); n != 1 && n != 4 {
+		counts = append(counts, n)
+	}
+	return counts
+}
+
+// nnBenchStack mirrors the paper model's dimensions (DefaultConfig: hidden
+// 16, three TCN levels of kernel 3, four attention heads).
+type nnBenchStack struct {
+	embed *nn.Dense
+	tcn   *nn.TCN
+	gru   *nn.BiGRU
+	attn  *nn.MultiHeadAttention
+	head  *nn.Dense
+}
+
+func newNNBenchStack(rng *randx.Rand) *nnBenchStack {
+	return &nnBenchStack{
+		embed: nn.NewDense(1, 16, rng),
+		tcn:   nn.NewTCN(16, 16, 3, 3, rng),
+		gru:   nn.NewBiGRU(16, 8, rng),
+		attn:  nn.NewMultiHeadAttention(16, 4, rng),
+		head:  nn.NewDense(16, 1, rng),
+	}
+}
+
+func (s *nnBenchStack) params() []*nn.Tensor {
+	out := append(s.embed.Params(), s.tcn.Params()...)
+	out = append(out, s.gru.Params()...)
+	out = append(out, s.attn.Params()...)
+	return append(out, s.head.Params()...)
+}
+
+func (s *nnBenchStack) forward(seq nn.Sequence) *nn.Tensor {
+	h := nn.MapSequence(seq, s.embed.Forward)
+	h = s.tcn.Forward(h)
+	h = s.gru.Run(h)
+	a := s.attn.Forward(h)
+	out := make(nn.Sequence, len(h))
+	for t := range h {
+		out[t] = nn.Add(h[t], a[t])
+	}
+	return s.head.Forward(out.Last())
+}
+
+func nnBenchMatMul(size, iters int, legacy bool) func() error {
+	return func() error {
+		prev := nn.SetLegacyKernels(legacy)
+		defer nn.SetLegacyKernels(prev)
+		rng := randx.New(3)
+		x := nn.Param(size, size, 0.1, rng)
+		w := nn.Param(size, size, 0.1, rng)
+		for i := 0; i < iters; i++ {
+			out := nn.MatMul(x, w)
+			loss := nn.Mean(out)
+			loss.Backward()
+			x.ZeroGrad()
+			w.ZeroGrad()
+			if !legacy {
+				nn.Release(loss)
+			}
+		}
+		return nil
+	}
+}
+
+func nnBenchTrainStep(batch, lookback, steps int, legacy bool) func() error {
+	return func() error {
+		prev := nn.SetLegacyKernels(legacy)
+		defer nn.SetLegacyKernels(prev)
+		rng := randx.New(11)
+		stack := newNNBenchStack(rng)
+		seq := make(nn.Sequence, lookback)
+		for t := 0; t < lookback; t++ {
+			seq[t] = nn.Zeros(batch, 1)
+			for i := range seq[t].Data {
+				seq[t].Data[i] = rng.NormFloat64()
+			}
+		}
+		target := nn.Zeros(batch, 1)
+		for i := range target.Data {
+			target.Data[i] = rng.NormFloat64()
+		}
+		params := stack.params()
+		opt := nn.NewAdam(params, 0.001)
+		for s := 0; s < steps; s++ {
+			loss := nn.MAELoss(stack.forward(seq), target)
+			loss.Backward()
+			opt.Step()
+			if !legacy {
+				nn.Release(loss)
+			}
+		}
+		return nil
+	}
+}
+
+// NNBench runs the kernel comparison and returns one row per configuration:
+// MatMul legacy-vs-blocked per size at one worker, then the train step —
+// legacy once, fused across the worker sweep. Quick mode trims sizes and
+// iteration counts for CI smoke runs.
+func NNBench(quick bool) ([]NNBenchRow, error) {
+	origWorkers := parallel.Workers()
+	defer parallel.SetWorkers(origWorkers)
+
+	sizes := []int{32, 64, 128}
+	matIters, steps := 30, 8
+	const batch, lookback = 256, 24
+	if quick {
+		sizes = []int{32, 64}
+		matIters, steps = 5, 2
+	}
+
+	var rows []NNBenchRow
+	run := func(bench, impl string, workers, iters int, fn func() error) error {
+		parallel.SetWorkers(workers)
+		sample, err := perf.Measure(bench, fn)
+		if err != nil {
+			return err
+		}
+		wall := time.Duration(sample.WallSeconds * float64(time.Second))
+		rows = append(rows, NNBenchRow{
+			Bench: bench, Impl: impl, Workers: workers, Iters: iters,
+			Wall: wall, Allocs: sample.Allocs, AllocBytes: sample.AllocBytes,
+			PerIter: wall / time.Duration(iters),
+			PerSec:  float64(iters) / sample.WallSeconds,
+		})
+		return nil
+	}
+
+	for _, size := range sizes {
+		bench := fmt.Sprintf("matmul%d", size)
+		if err := run(bench, "legacy", 1, matIters, nnBenchMatMul(size, matIters, true)); err != nil {
+			return nil, err
+		}
+		if err := run(bench, "blocked", 1, matIters, nnBenchMatMul(size, matIters, false)); err != nil {
+			return nil, err
+		}
+	}
+	if err := run("trainstep", "legacy", 1, steps, nnBenchTrainStep(batch, lookback, steps, true)); err != nil {
+		return nil, err
+	}
+	for _, w := range nnBenchWorkers() {
+		if err := run("trainstep", "fused", w, steps, nnBenchTrainStep(batch, lookback, steps, false)); err != nil {
+			return nil, err
+		}
+	}
+	return rows, nil
+}
+
+// NNBenchSpeedup returns the headline ratio: legacy train-step time over
+// fused train-step time at one worker (zero if either side is missing).
+func NNBenchSpeedup(rows []NNBenchRow) float64 {
+	var legacy, fused time.Duration
+	for _, r := range rows {
+		if r.Bench != "trainstep" {
+			continue
+		}
+		switch {
+		case r.Impl == "legacy":
+			legacy = r.PerIter
+		case r.Impl == "fused" && r.Workers == 1:
+			fused = r.PerIter
+		}
+	}
+	if legacy == 0 || fused == 0 {
+		return 0
+	}
+	return float64(legacy) / float64(fused)
+}
+
+// NNBenchCSV renders the rows for export.
+func NNBenchCSV(rows []NNBenchRow) ([]string, [][]string) {
+	header := []string{"bench", "impl", "workers", "iters", "wall_ms", "per_iter_ms", "iters_per_sec", "allocs"}
+	var out [][]string
+	for _, r := range rows {
+		out = append(out, []string{
+			r.Bench,
+			r.Impl,
+			fmt.Sprintf("%d", r.Workers),
+			fmt.Sprintf("%d", r.Iters),
+			fmt.Sprintf("%.1f", float64(r.Wall)/float64(time.Millisecond)),
+			fmt.Sprintf("%.2f", float64(r.PerIter)/float64(time.Millisecond)),
+			fmt.Sprintf("%.2f", r.PerSec),
+			fmt.Sprintf("%d", r.Allocs),
+		})
+	}
+	return header, out
+}

@@ -109,7 +109,10 @@ func (n *neural) Fit(series []float64) error {
 		if valSeq == nil {
 			return n.FinalLoss
 		}
-		return nn.MAELoss(n.forward(valSeq), valY).Item()
+		loss := nn.MAELoss(n.forward(valSeq), valY)
+		v := loss.Item()
+		nn.Release(loss)
+		return v
 	}
 
 	// Score the warm-started parameters before any gradient step, so a
@@ -131,6 +134,8 @@ func (n *neural) Fit(series []float64) error {
 		}
 		opt.Step()
 		n.FinalLoss = loss.Item()
+		// The step's graph is fully consumed: recycle every derived node.
+		nn.Release(loss)
 		n.EpochsRun = epoch + 1
 		if math.IsNaN(n.FinalLoss) || math.IsInf(n.FinalLoss, 0) {
 			restore()
@@ -169,5 +174,7 @@ func (n *neural) Predict(window []float64) (float64, error) {
 		seq[t] = step
 	}
 	out := n.forward(seq)
-	return n.scaler.Invert(out.Data[0]), nil
+	v := out.Data[0]
+	nn.Release(out)
+	return n.scaler.Invert(v), nil
 }

@@ -63,24 +63,31 @@ func (m *MultiHeadAttention) Forward(seq Sequence) Sequence {
 			v[t] = MatMul(seq[t], m.Wv[h])
 		}
 		headOut[h] = make([]*Tensor, T)
-		for t1 := 0; t1 < T; t1++ {
-			// Scores against every step: [B, T].
-			scores := make([]*Tensor, T)
-			for t2 := 0; t2 < T; t2++ {
-				scores[t2] = Scale(SumCols(Mul(q[t1], k[t2])), invSqrt)
-			}
-			attn := Softmax(ConcatCols(scores...))
-			var mixed *Tensor
-			for t2 := 0; t2 < T; t2++ {
-				w := SliceCols(attn, t2, t2+1)
-				term := ColMul(v[t2], w)
-				if mixed == nil {
-					mixed = term
-				} else {
-					mixed = Add(mixed, term)
+		if LegacyKernels() {
+			for t1 := 0; t1 < T; t1++ {
+				// Scores against every step: [B, T].
+				scores := make([]*Tensor, T)
+				for t2 := 0; t2 < T; t2++ {
+					scores[t2] = Scale(SumCols(Mul(q[t1], k[t2])), invSqrt)
 				}
+				attn := Softmax(ConcatCols(scores...))
+				var mixed *Tensor
+				for t2 := 0; t2 < T; t2++ {
+					w := SliceCols(attn, t2, t2+1)
+					term := ColMul(v[t2], w)
+					if mixed == nil {
+						mixed = term
+					} else {
+						mixed = Add(mixed, term)
+					}
+				}
+				headOut[h][t1] = mixed
 			}
-			headOut[h][t1] = mixed
+			continue
+		}
+		for t1 := 0; t1 < T; t1++ {
+			// One fused node replaces the score/softmax/mix lattice.
+			headOut[h][t1] = attnMix(q[t1], k, v, invSqrt)
 		}
 	}
 
@@ -90,7 +97,11 @@ func (m *MultiHeadAttention) Forward(seq Sequence) Sequence {
 		for h := 0; h < m.Heads; h++ {
 			parts[h] = headOut[h][t]
 		}
-		out[t] = AddBias(MatMul(ConcatCols(parts...), m.Wo), m.Bo)
+		if LegacyKernels() {
+			out[t] = AddBias(MatMul(ConcatCols(parts...), m.Wo), m.Bo)
+		} else {
+			out[t] = Affine(ConcatCols(parts...), m.Wo, m.Bo, ActNone)
+		}
 	}
 	return out
 }

@@ -34,25 +34,58 @@ func NewCausalConv1D(in, out, k, dilation int, rng *randx.Rand) *CausalConv1D {
 
 // Forward convolves the sequence, preserving its length.
 func (c *CausalConv1D) Forward(seq Sequence) Sequence {
+	return c.ForwardAct(seq, ActNone)
+}
+
+// ForwardAct convolves with a fused activation: each output step is one
+// convStep node instead of a MatMul/Add chain per tap. Legacy mode rebuilds
+// the original graph.
+func (c *CausalConv1D) ForwardAct(seq Sequence, act Activation) Sequence {
 	out := make(Sequence, len(seq))
+	if LegacyKernels() {
+		for t := range seq {
+			var acc *Tensor
+			for j, w := range c.W {
+				src := t - j*c.Dilation
+				if src < 0 {
+					continue
+				}
+				term := MatMul(seq[src], w)
+				if acc == nil {
+					acc = term
+				} else {
+					acc = Add(acc, term)
+				}
+			}
+			if acc == nil {
+				acc = MatMul(seq[t], c.W[0]) // unreachable for j=0; defensive
+			}
+			step := AddBias(acc, c.B)
+			switch act {
+			case ActSigmoid:
+				step = Sigmoid(step)
+			case ActTanh:
+				step = Tanh(step)
+			case ActReLU:
+				step = ReLU(step)
+			}
+			out[t] = step
+		}
+		return out
+	}
+	ins := make([]*Tensor, 0, len(c.W))
+	ws := make([]*Tensor, 0, len(c.W))
 	for t := range seq {
-		var acc *Tensor
+		ins, ws = ins[:0], ws[:0]
 		for j, w := range c.W {
 			src := t - j*c.Dilation
 			if src < 0 {
 				continue
 			}
-			term := MatMul(seq[src], w)
-			if acc == nil {
-				acc = term
-			} else {
-				acc = Add(acc, term)
-			}
+			ins = append(ins, seq[src])
+			ws = append(ws, w)
 		}
-		if acc == nil {
-			acc = MatMul(seq[t], c.W[0]) // unreachable for j=0; defensive
-		}
-		out[t] = AddBias(acc, c.B)
+		out[t] = convStep(ins, ws, c.B, act)
 	}
 	return out
 }
@@ -84,8 +117,8 @@ func NewTCNBlock(in, out, k, dilation int, rng *randx.Rand) *TCNBlock {
 
 // Forward applies the block.
 func (b *TCNBlock) Forward(seq Sequence) Sequence {
-	h := MapSequence(b.Conv1.Forward(seq), ReLU)
-	h = MapSequence(b.Conv2.Forward(h), ReLU)
+	h := b.Conv1.ForwardAct(seq, ActReLU)
+	h = b.Conv2.ForwardAct(h, ActReLU)
 	out := make(Sequence, len(seq))
 	for t := range seq {
 		res := seq[t]

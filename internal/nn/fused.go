@@ -1,0 +1,405 @@
+package nn
+
+import (
+	"fmt"
+	"math"
+)
+
+// Fused kernels for the hottest composite graph shapes. Each fused node
+// replaces a chain of elementary nodes that was single-consumer inside one
+// layer invocation; because such a chain occupies a contiguous block of the
+// topological order, a fused node that (a) computes the same per-element
+// arithmetic and (b) performs its parent-gradient updates in the chain's
+// original reverse order is bit-identical to the unfused graph — the
+// determinism the table3/fig11 golden tests pin down. Legacy mode
+// (SetLegacyKernels) rebuilds the original unfused graphs instead; layers
+// switch on it.
+
+// Activation selects the nonlinearity fused into Affine/FusedGate/conv
+// kernels. All three derivatives are expressible from the output value
+// alone, which is what the fused backward uses.
+type Activation uint8
+
+const (
+	ActNone Activation = iota
+	ActSigmoid
+	ActTanh
+	ActReLU
+)
+
+// actNone is the zero value stored on non-fused nodes.
+const actNone = ActNone
+
+func applyAct(v float64, act Activation) float64 {
+	switch act {
+	case ActSigmoid:
+		return 1 / (1 + math.Exp(-v))
+	case ActTanh:
+		return math.Tanh(v)
+	case ActReLU:
+		if v > 0 {
+			return v
+		}
+		return 0
+	}
+	return v
+}
+
+// actBackward writes g ⊙ act'(y) into dst. For ReLU, y > 0 ⟺ pre-activation
+// > 0, so the output-side test matches the original input-side one.
+func actBackward(g, y, dst []float64, act Activation) {
+	switch act {
+	case ActSigmoid:
+		for i, gv := range g {
+			yv := y[i]
+			dst[i] = gv * yv * (1 - yv)
+		}
+	case ActTanh:
+		for i, gv := range g {
+			yv := y[i]
+			dst[i] = gv * (1 - yv*yv)
+		}
+	case ActReLU:
+		for i, gv := range g {
+			if y[i] > 0 {
+				dst[i] = gv
+			} else {
+				dst[i] = 0
+			}
+		}
+	}
+}
+
+// addBiasApplyAct finishes a fused forward: out[r,c] = act(out[r,c] + b[c]),
+// with the activation switch hoisted out of the element loop.
+func addBiasApplyAct(data []float64, rows, cols int, bias []float64, act Activation) {
+	switch act {
+	case ActSigmoid:
+		for r := 0; r < rows; r++ {
+			row := data[r*cols : r*cols+cols]
+			for c, v := range row {
+				row[c] = 1 / (1 + math.Exp(-(v + bias[c])))
+			}
+		}
+	case ActTanh:
+		for r := 0; r < rows; r++ {
+			row := data[r*cols : r*cols+cols]
+			for c, v := range row {
+				row[c] = math.Tanh(v + bias[c])
+			}
+		}
+	case ActReLU:
+		for r := 0; r < rows; r++ {
+			row := data[r*cols : r*cols+cols]
+			for c, v := range row {
+				if x := v + bias[c]; x > 0 {
+					row[c] = x
+				} else {
+					row[c] = 0
+				}
+			}
+		}
+	default:
+		for r := 0; r < rows; r++ {
+			row := data[r*cols : r*cols+cols]
+			for c, v := range row {
+				row[c] = v + bias[c]
+			}
+		}
+	}
+}
+
+// gradAfterAct returns the gradient past the fused activation: t.Grad itself
+// for ActNone (no copy), otherwise a freelist buffer the caller must return.
+func (t *Tensor) gradAfterAct() []float64 {
+	if t.act == ActNone {
+		return t.Grad
+	}
+	g := getFloats(len(t.Grad))
+	actBackward(t.Grad, t.Data, g, t.act)
+	return g
+}
+
+// addBiasColsum accumulates column sums of g into bias.Grad in the original
+// AddBias order (rows outer, columns inner).
+func addBiasColsum(g []float64, rows, cols int, bias *Tensor) {
+	bias.ensureGrad()
+	for r := 0; r < rows; r++ {
+		base := r * cols
+		for c := 0; c < cols; c++ {
+			bias.Grad[c] += g[base+c]
+		}
+	}
+}
+
+// Affine is the fused act(x·w + b) for x [B, k], w [k, n], b [1, n] —
+// one graph node instead of the MatMul/AddBias/activation triple.
+func Affine(x, w, b *Tensor, act Activation) *Tensor {
+	if x.Cols != w.Rows || b.Rows != 1 || b.Cols != w.Cols {
+		panic(fmt.Sprintf("nn: Affine %dx%d @ %dx%d + %dx%d", x.Rows, x.Cols, w.Rows, w.Cols, b.Rows, b.Cols))
+	}
+	m, n := x.Rows, w.Cols
+	out := newResult(m, n, opAffine, x, w, b)
+	out.act = act
+	matMulForward(x, w, out)
+	addBiasApplyAct(out.Data, m, n, b.Data, act)
+	return out
+}
+
+func (t *Tensor) backwardAffine() {
+	x, w, b := t.parents[0], t.parents[1], t.parents[2]
+	m, k, n := x.Rows, x.Cols, w.Cols
+	g := t.gradAfterAct()
+	if b.requiresGrad {
+		addBiasColsum(g, m, n, b)
+	}
+	if x.requiresGrad {
+		x.ensureGrad()
+		gemmDot(m, k, n, g, w.Data, x.Grad, true)
+	}
+	if w.requiresGrad {
+		w.ensureGrad()
+		gemmATB(m, k, n, x.Data, g, w.Grad)
+	}
+	if t.act != ActNone {
+		putFloats(g)
+	}
+}
+
+// FusedGate is act(x·wx + h·wh + b) — the RNN/GRU gate shape — for x [B, kx],
+// wx [kx, n], h [B, kh], wh [kh, n], b [1, n]. It builds TWO nodes, not one:
+// a real MatMul(x, wx), then a fused tail act(m1 + h·wh + b). The split is a
+// determinism requirement, not an aesthetic: in the unfused graph the DFS
+// claims the entire recurrent prefix (the previous step's subtree, or the
+// reset gate feeding h̃) BETWEEN the two products, so the x-side product's
+// backward — which accumulates into the shared x.Grad and wx.Grad buffers —
+// runs only after that whole prefix has unwound. Keeping m1 a separate node
+// preserves exactly that topological slot; fusing it into the tail would
+// reorder those shared accumulations and drift by ulps.
+func FusedGate(x, wx, h, wh, b *Tensor, act Activation) *Tensor {
+	if x.Cols != wx.Rows || h.Cols != wh.Rows || wx.Cols != wh.Cols || b.Rows != 1 || b.Cols != wx.Cols {
+		panic(fmt.Sprintf("nn: FusedGate %dx%d@%dx%d + %dx%d@%dx%d + %dx%d",
+			x.Rows, x.Cols, wx.Rows, wx.Cols, h.Rows, h.Cols, wh.Rows, wh.Cols, b.Rows, b.Cols))
+	}
+	m1 := MatMul(x, wx)
+	m, n := m1.Rows, m1.Cols
+	out := newResult(m, n, opGate, m1, h, wh, b)
+	out.act = act
+	copy(out.Data, m1.Data)
+	// Second product accumulates complete dots, matching Add of two
+	// complete matrices in the unfused graph.
+	bp := getFloats(roundUp4(n) * h.Cols)
+	panelsFromCols(wh.Data, h.Cols, n, bp)
+	gemmDotPanels(m, n, h.Cols, h.Data, bp, out.Data, gemmAccAdd)
+	putFloats(bp)
+	addBiasApplyAct(out.Data, m, n, b.Data, act)
+	return out
+}
+
+func (t *Tensor) backwardGate() {
+	m1, h, wh, b := t.parents[0], t.parents[1], t.parents[2], t.parents[3]
+	m, n := t.Rows, t.Cols
+	g := t.gradAfterAct()
+	if b.requiresGrad {
+		addBiasColsum(g, m, n, b)
+	}
+	if m1.requiresGrad {
+		m1.ensureGrad()
+		for i, gv := range g {
+			m1.Grad[i] += gv
+		}
+	}
+	if h.requiresGrad {
+		h.ensureGrad()
+		gemmDot(m, h.Cols, n, g, wh.Data, h.Grad, true)
+	}
+	if wh.requiresGrad {
+		wh.ensureGrad()
+		gemmATB(m, h.Cols, n, h.Data, g, wh.Grad)
+	}
+	if t.act != ActNone {
+		putFloats(g)
+	}
+}
+
+// convStep is the fused act(Σ_j in_j·w_j + b) — one causal-convolution
+// output step over its dilated taps. Parents: in/w pairs in tap order, then
+// the bias.
+func convStep(ins, ws []*Tensor, b *Tensor, act Activation) *Tensor {
+	taps := len(ins)
+	m, n := ins[0].Rows, ws[0].Cols
+	parents := make([]*Tensor, 0, 2*taps+1)
+	for j := 0; j < taps; j++ {
+		parents = append(parents, ins[j], ws[j])
+	}
+	parents = append(parents, b)
+	out := newResult(m, n, opConvStep, parents...)
+	out.act = act
+	out.i0 = taps
+	matMulForward(ins[0], ws[0], out)
+	for j := 1; j < taps; j++ {
+		in, w := ins[j], ws[j]
+		bp := getFloats(roundUp4(n) * in.Cols)
+		panelsFromCols(w.Data, in.Cols, n, bp)
+		gemmDotPanels(m, n, in.Cols, in.Data, bp, out.Data, gemmAccAdd)
+		putFloats(bp)
+	}
+	addBiasApplyAct(out.Data, m, n, b.Data, act)
+	return out
+}
+
+func (t *Tensor) backwardConvStep() {
+	taps := t.i0
+	b := t.parents[2*taps]
+	m, n := t.Rows, t.Cols
+	g := t.gradAfterAct()
+	if b.requiresGrad {
+		addBiasColsum(g, m, n, b)
+	}
+	// The unfused Add chain unwinds last tap first.
+	for j := taps - 1; j >= 0; j-- {
+		in, w := t.parents[2*j], t.parents[2*j+1]
+		if in.requiresGrad {
+			in.ensureGrad()
+			gemmDot(m, in.Cols, n, g, w.Data, in.Grad, true)
+		}
+		if w.requiresGrad {
+			w.ensureGrad()
+			gemmATB(m, in.Cols, n, in.Data, g, w.Grad)
+		}
+	}
+	if t.act != ActNone {
+		putFloats(g)
+	}
+}
+
+// attnMix is the fused softmax-attention row pass for one query position:
+// scores s_t = invScale·⟨q_b, k_t,b⟩, probs = softmax rows over t, output
+// out_b = Σ_t probs_t·v_t,b — replacing the Mul/SumCols/Scale/ConcatCols/
+// Softmax/SliceCols/ColMul/Add lattice built per (head, position). The
+// parent list is ordered v_0, q, k_0…k_{T-1}, v_1…v_{T-1}: the exact order
+// the unfused lattice's DFS first reaches those nodes, which fixes where
+// shared projections land in the global topological order and therefore the
+// accumulation order into every shared gradient. Probs are saved in scratch
+// for backward.
+func attnMix(q *Tensor, ks, vs []*Tensor, invScale float64) *Tensor {
+	T := len(ks)
+	B, d := q.Rows, q.Cols
+	parents := make([]*Tensor, 0, 2*T+1)
+	parents = append(parents, vs[0], q)
+	parents = append(parents, ks...)
+	parents = append(parents, vs[1:]...)
+	out := newResult(B, d, opAttnMix, parents...)
+	out.fval = invScale
+	out.i0 = T
+	out.scratch = getFloats(B * T)
+	probs := out.scratch
+	for bi := 0; bi < B; bi++ {
+		qrow := q.Data[bi*d : (bi+1)*d]
+		srow := probs[bi*T : (bi+1)*T]
+		for t2 := 0; t2 < T; t2++ {
+			krow := ks[t2].Data[bi*d : (bi+1)*d]
+			var s float64
+			for c, qv := range qrow {
+				s += qv * krow[c]
+			}
+			srow[t2] = s * invScale
+		}
+		softmaxRow(srow, srow)
+		orow := out.Data[bi*d : (bi+1)*d]
+		w0 := srow[0]
+		for c, vv := range vs[0].Data[bi*d : (bi+1)*d] {
+			orow[c] = w0 * vv
+		}
+		for t2 := 1; t2 < T; t2++ {
+			w := srow[t2]
+			vrow := vs[t2].Data[bi*d : (bi+1)*d]
+			for c, vv := range vrow {
+				orow[c] += w * vv
+			}
+		}
+	}
+	return out
+}
+
+func (t *Tensor) backwardAttnMix() {
+	T := t.i0
+	// Parent layout mirrors the unfused DFS first-visit order:
+	// [v_0, q, k_0…k_{T-1}, v_1…v_{T-1}].
+	q := t.parents[1]
+	ks := t.parents[2 : 2+T]
+	vAt := func(t2 int) *Tensor {
+		if t2 == 0 {
+			return t.parents[0]
+		}
+		return t.parents[1+T+t2]
+	}
+	B, d := t.Rows, t.Cols
+	probs := t.scratch
+	g := t.Grad
+	// Stage 1 — value side, unwound last position first like the unfused
+	// ColMul/Add chain: dV_t = probs_t ⊙ g, and the probability gradient
+	// sG[b,t] = ⟨g_b, v_t,b⟩.
+	sG := getFloats(B * T)
+	for t2 := T - 1; t2 >= 0; t2-- {
+		v := vAt(t2)
+		if v.requiresGrad {
+			v.ensureGrad()
+			for bi := 0; bi < B; bi++ {
+				w := probs[bi*T+t2]
+				base := bi * d
+				for c := 0; c < d; c++ {
+					v.Grad[base+c] += g[base+c] * w
+				}
+			}
+		}
+		for bi := 0; bi < B; bi++ {
+			base := bi * d
+			var s float64
+			for c := 0; c < d; c++ {
+				s += g[base+c] * v.Data[base+c]
+			}
+			sG[bi*T+t2] = s
+		}
+	}
+	// Stage 2 — softmax backward, in place over sG (row dot first, then the
+	// elementwise update, exactly the Softmax op's order).
+	for bi := 0; bi < B; bi++ {
+		y := probs[bi*T : (bi+1)*T]
+		gy := sG[bi*T : (bi+1)*T]
+		var dot float64
+		for i := range y {
+			dot += gy[i] * y[i]
+		}
+		for i := range y {
+			gy[i] = y[i] * (gy[i] - dot)
+		}
+	}
+	// Stage 3 — score side, also last position first: through the Scale,
+	// SumCols broadcast, and Mul(q, k), q before k.
+	inv := t.fval
+	for t2 := T - 1; t2 >= 0; t2-- {
+		k := ks[t2]
+		if q.requiresGrad {
+			q.ensureGrad()
+			for bi := 0; bi < B; bi++ {
+				g2 := sG[bi*T+t2] * inv
+				base := bi * d
+				for c := 0; c < d; c++ {
+					q.Grad[base+c] += g2 * k.Data[base+c]
+				}
+			}
+		}
+		if k.requiresGrad {
+			k.ensureGrad()
+			for bi := 0; bi < B; bi++ {
+				g2 := sG[bi*T+t2] * inv
+				base := bi * d
+				for c := 0; c < d; c++ {
+					k.Grad[base+c] += g2 * q.Data[base+c]
+				}
+			}
+		}
+	}
+	putFloats(sG)
+}

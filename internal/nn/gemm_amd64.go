@@ -1,0 +1,26 @@
+//go:build amd64
+
+package nn
+
+// useAVX gates the vectorized micro-kernel in gemm_amd64.s. The four SIMD
+// lanes are four independent output columns, each receiving the same IEEE
+// mul/add sequence as the scalar tile, so the kernel is bit-identical to the
+// pure-Go path — vectorization here is across outputs, never within a dot.
+var useAVX = cpuHasAVX()
+
+// cpuHasAVX reports whether the CPU supports AVX and the OS saves ymm state
+// (CPUID feature bits plus XGETBV).
+func cpuHasAVX() bool
+
+// gemmKernel2x4 runs the 2×4 micro-tile over a full 4-lane panel: two A rows
+// (a0, a1, each k long) against panel bp (k groups of 4 interleaved lanes),
+// landing in c0 = &c[i*n+j] and c1 = &c[(i+1)*n+j] per mode (gemmAcc).
+//
+//go:noescape
+func gemmKernel2x4(a0, a1, bp, c0, c1 *float64, k, mode int)
+
+// gemmKernel4x4 is the 4-row variant: four independent accumulator chains
+// hide VADDPD latency, roughly doubling throughput on latency-bound shapes.
+//
+//go:noescape
+func gemmKernel4x4(a0, a1, a2, a3, bp, c0, c1, c2, c3 *float64, k, mode int)

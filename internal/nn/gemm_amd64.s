@@ -1,0 +1,161 @@
+#include "textflag.h"
+
+// func cpuHasAVX() bool
+// CPUID leaf 1: ECX bit 27 = OSXSAVE, bit 28 = AVX. When both are set,
+// XGETBV(0) bits 1-2 confirm the OS saves xmm+ymm state on context switch.
+TEXT ·cpuHasAVX(SB), NOSPLIT, $0-1
+	MOVL	$1, AX
+	XORL	CX, CX
+	CPUID
+	MOVL	CX, BX
+	ANDL	$0x18000000, BX
+	CMPL	BX, $0x18000000
+	JNE	noavx
+	XORL	CX, CX
+	XGETBV
+	ANDL	$6, AX
+	CMPL	AX, $6
+	JNE	noavx
+	MOVB	$1, ret+0(FP)
+	RET
+noavx:
+	MOVB	$0, ret+0(FP)
+	RET
+
+// func gemmKernel4x4(a0, a1, a2, a3, bp, c0, c1, c2, c3 *float64, k, mode int)
+//
+// Four A rows against one 4-lane panel: Y0-Y3 accumulate one output row
+// each. The four VADDPD chains are independent, hiding the add latency that
+// bounds the 2×4 kernel. Per-lane operation order is identical to the
+// scalar tile, so results match bit for bit. Operand pointers advance in
+// place; k counts down.
+TEXT ·gemmKernel4x4(SB), NOSPLIT, $0-88
+	MOVQ	a0+0(FP), SI
+	MOVQ	a1+8(FP), DI
+	MOVQ	a2+16(FP), R12
+	MOVQ	a3+24(FP), R13
+	MOVQ	bp+32(FP), BX
+	MOVQ	c0+40(FP), R8
+	MOVQ	c1+48(FP), R9
+	MOVQ	c2+56(FP), R10
+	MOVQ	c3+64(FP), R11
+	MOVQ	k+72(FP), CX
+	MOVQ	mode+80(FP), DX
+	VXORPD	Y0, Y0, Y0
+	VXORPD	Y1, Y1, Y1
+	VXORPD	Y2, Y2, Y2
+	VXORPD	Y3, Y3, Y3
+	CMPQ	DX, $2
+	JNE	begin4
+	VMOVUPD	(R8), Y0
+	VMOVUPD	(R9), Y1
+	VMOVUPD	(R10), Y2
+	VMOVUPD	(R11), Y3
+begin4:
+	TESTQ	CX, CX
+	JZ	reduce4
+loop4:
+	VBROADCASTSD	(SI), Y4
+	VBROADCASTSD	(DI), Y5
+	VBROADCASTSD	(R12), Y6
+	VBROADCASTSD	(R13), Y7
+	VMOVUPD	(BX), Y8
+	VMULPD	Y8, Y4, Y9
+	VADDPD	Y9, Y0, Y0
+	VMULPD	Y8, Y5, Y10
+	VADDPD	Y10, Y1, Y1
+	VMULPD	Y8, Y6, Y11
+	VADDPD	Y11, Y2, Y2
+	VMULPD	Y8, Y7, Y12
+	VADDPD	Y12, Y3, Y3
+	ADDQ	$8, SI
+	ADDQ	$8, DI
+	ADDQ	$8, R12
+	ADDQ	$8, R13
+	ADDQ	$32, BX
+	DECQ	CX
+	JNZ	loop4
+reduce4:
+	CMPQ	DX, $1
+	JNE	store4
+	VADDPD	(R8), Y0, Y0
+	VADDPD	(R9), Y1, Y1
+	VADDPD	(R10), Y2, Y2
+	VADDPD	(R11), Y3, Y3
+store4:
+	VMOVUPD	Y0, (R8)
+	VMOVUPD	Y1, (R9)
+	VMOVUPD	Y2, (R10)
+	VMOVUPD	Y3, (R11)
+	VZEROUPPER
+	RET
+
+// func gemmKernel2x4(a0, a1, bp, c0, c1 *float64, k, mode int)
+//
+// Y0 accumulates the four outputs of row i, Y1 those of row i+1. Per step p:
+// broadcast a0[p] and a1[p], load the panel's four lanes bp[p*4:p*4+4], then
+// one VMULPD+VADDPD per row. Every lane performs exactly the scalar tile's
+// operation sequence — fl(s + fl(a·b)) with p ascending — so results match
+// the pure-Go kernel bit for bit. mode: 0 store, 1 add complete dot, 2 seed
+// the accumulators from c (streaming accumulation, see gemmAcc).
+TEXT ·gemmKernel2x4(SB), NOSPLIT, $0-56
+	MOVQ	a0+0(FP), SI
+	MOVQ	a1+8(FP), DI
+	MOVQ	bp+16(FP), BX
+	MOVQ	c0+24(FP), R8
+	MOVQ	c1+32(FP), R9
+	MOVQ	k+40(FP), CX
+	MOVQ	mode+48(FP), DX
+	VXORPD	Y0, Y0, Y0
+	VXORPD	Y1, Y1, Y1
+	CMPQ	DX, $2
+	JNE	begin
+	VMOVUPD	(R8), Y0
+	VMOVUPD	(R9), Y1
+begin:
+	XORQ	AX, AX
+	MOVQ	CX, R10
+	ANDQ	$-2, R10
+	JMP	check2
+loop2:
+	MOVQ	AX, R11
+	SHLQ	$5, R11
+	VBROADCASTSD	(SI)(AX*8), Y2
+	VBROADCASTSD	(DI)(AX*8), Y3
+	VMOVUPD	(BX)(R11*1), Y4
+	VMULPD	Y4, Y2, Y5
+	VADDPD	Y5, Y0, Y0
+	VMULPD	Y4, Y3, Y6
+	VADDPD	Y6, Y1, Y1
+	VBROADCASTSD	8(SI)(AX*8), Y2
+	VBROADCASTSD	8(DI)(AX*8), Y3
+	VMOVUPD	32(BX)(R11*1), Y4
+	VMULPD	Y4, Y2, Y5
+	VADDPD	Y5, Y0, Y0
+	VMULPD	Y4, Y3, Y6
+	VADDPD	Y6, Y1, Y1
+	ADDQ	$2, AX
+check2:
+	CMPQ	AX, R10
+	JLT	loop2
+	CMPQ	AX, CX
+	JGE	reduce
+	MOVQ	AX, R11
+	SHLQ	$5, R11
+	VBROADCASTSD	(SI)(AX*8), Y2
+	VBROADCASTSD	(DI)(AX*8), Y3
+	VMOVUPD	(BX)(R11*1), Y4
+	VMULPD	Y4, Y2, Y5
+	VADDPD	Y5, Y0, Y0
+	VMULPD	Y4, Y3, Y6
+	VADDPD	Y6, Y1, Y1
+reduce:
+	CMPQ	DX, $1
+	JNE	store
+	VADDPD	(R8), Y0, Y0
+	VADDPD	(R9), Y1, Y1
+store:
+	VMOVUPD	Y0, (R8)
+	VMOVUPD	Y1, (R9)
+	VZEROUPPER
+	RET

@@ -1,0 +1,14 @@
+//go:build !amd64
+
+package nn
+
+// Non-amd64 builds always take the pure-Go panel tile in gemmDotRange.
+const useAVX = false
+
+func gemmKernel2x4(a0, a1, bp, c0, c1 *float64, k, mode int) {
+	panic("nn: gemmKernel2x4 called without assembly support")
+}
+
+func gemmKernel4x4(a0, a1, a2, a3, bp, c0, c1, c2, c3 *float64, k, mode int) {
+	panic("nn: gemmKernel4x4 called without assembly support")
+}

@@ -29,7 +29,26 @@ func NewDense(in, out int, rng *randx.Rand) *Dense {
 
 // Forward applies the layer to x [B, in].
 func (d *Dense) Forward(x *Tensor) *Tensor {
-	return AddBias(MatMul(x, d.W), d.B)
+	return d.ForwardAct(x, ActNone)
+}
+
+// ForwardAct applies the layer with a fused activation: one Affine node
+// instead of the MatMul/AddBias/activation chain. Legacy mode rebuilds the
+// original graph.
+func (d *Dense) ForwardAct(x *Tensor, act Activation) *Tensor {
+	if LegacyKernels() {
+		out := AddBias(MatMul(x, d.W), d.B)
+		switch act {
+		case ActSigmoid:
+			out = Sigmoid(out)
+		case ActTanh:
+			out = Tanh(out)
+		case ActReLU:
+			out = ReLU(out)
+		}
+		return out
+	}
+	return Affine(x, d.W, d.B, act)
 }
 
 // Params implements Module.

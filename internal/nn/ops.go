@@ -5,28 +5,278 @@ import (
 	"math"
 )
 
-// Add returns a + b (same shape).
-func Add(a, b *Tensor) *Tensor {
-	sameShape(a, b)
-	out := newResult(a.Rows, a.Cols, a, b)
-	for i := range out.Data {
-		out.Data[i] = a.Data[i] + b.Data[i]
-	}
-	if out.requiresGrad {
-		out.backFn = func() {
-			if a.requiresGrad {
-				ensureGrad(a)
-				for i, g := range out.Grad {
-					a.Grad[i] += g
-				}
+// opKind identifies the operation that produced a derived node. Backward
+// passes dispatch on it (Tensor.backward) instead of calling a per-node
+// closure, which keeps graph construction allocation-free.
+type opKind uint8
+
+const (
+	opLeaf opKind = iota
+	opAdd
+	opSub
+	opMul
+	opScale
+	opAddScalar
+	opAddBias
+	opColMul
+	opMatMul
+	opSigmoid
+	opTanh
+	opReLU
+	opAbs
+	opSoftmax
+	opConcatCols
+	opSliceCols
+	opSliceRows
+	opSumCols
+	opMean
+	opTranspose
+	opLayerNorm
+	opAffine
+	opGate
+	opConvStep
+	opAttnMix
+)
+
+// backward applies this node's vector-Jacobian product to its parents. The
+// per-op bodies keep the exact loop and accumulation orders of the original
+// closure implementation; bit-compatibility of training runs depends on it.
+func (t *Tensor) backward() {
+	switch t.op {
+	case opLeaf:
+	case opAdd:
+		a, b := t.parents[0], t.parents[1]
+		if a.requiresGrad {
+			a.ensureGrad()
+			for i, g := range t.Grad {
+				a.Grad[i] += g
 			}
-			if b.requiresGrad {
-				ensureGrad(b)
-				for i, g := range out.Grad {
-					b.Grad[i] += g
+		}
+		if b.requiresGrad {
+			b.ensureGrad()
+			for i, g := range t.Grad {
+				b.Grad[i] += g
+			}
+		}
+	case opSub:
+		a, b := t.parents[0], t.parents[1]
+		if a.requiresGrad {
+			a.ensureGrad()
+			for i, g := range t.Grad {
+				a.Grad[i] += g
+			}
+		}
+		if b.requiresGrad {
+			b.ensureGrad()
+			for i, g := range t.Grad {
+				b.Grad[i] -= g
+			}
+		}
+	case opMul:
+		a, b := t.parents[0], t.parents[1]
+		if a.requiresGrad {
+			a.ensureGrad()
+			for i, g := range t.Grad {
+				a.Grad[i] += g * b.Data[i]
+			}
+		}
+		if b.requiresGrad {
+			b.ensureGrad()
+			for i, g := range t.Grad {
+				b.Grad[i] += g * a.Data[i]
+			}
+		}
+	case opScale:
+		x := t.parents[0]
+		x.ensureGrad()
+		for i, g := range t.Grad {
+			x.Grad[i] += g * t.fval
+		}
+	case opAddScalar:
+		x := t.parents[0]
+		x.ensureGrad()
+		for i, g := range t.Grad {
+			x.Grad[i] += g
+		}
+	case opAddBias:
+		x, bias := t.parents[0], t.parents[1]
+		if x.requiresGrad {
+			x.ensureGrad()
+			for i, g := range t.Grad {
+				x.Grad[i] += g
+			}
+		}
+		if bias.requiresGrad {
+			bias.ensureGrad()
+			for r := 0; r < t.Rows; r++ {
+				base := r * t.Cols
+				for c := 0; c < t.Cols; c++ {
+					bias.Grad[c] += t.Grad[base+c]
 				}
 			}
 		}
+	case opColMul:
+		x, col := t.parents[0], t.parents[1]
+		if x.requiresGrad {
+			x.ensureGrad()
+			for r := 0; r < t.Rows; r++ {
+				w := col.Data[r]
+				base := r * t.Cols
+				for c := 0; c < t.Cols; c++ {
+					x.Grad[base+c] += t.Grad[base+c] * w
+				}
+			}
+		}
+		if col.requiresGrad {
+			col.ensureGrad()
+			for r := 0; r < t.Rows; r++ {
+				base := r * t.Cols
+				var s float64
+				for c := 0; c < t.Cols; c++ {
+					s += t.Grad[base+c] * x.Data[base+c]
+				}
+				col.Grad[r] += s
+			}
+		}
+	case opMatMul:
+		a, b := t.parents[0], t.parents[1]
+		if legacyKernels.Load() {
+			legacyMatMulBackward(a, b, t)
+			return
+		}
+		m, k, n := a.Rows, a.Cols, b.Cols
+		if a.requiresGrad {
+			a.ensureGrad()
+			// dA = dC·Bᵀ: rows of B are already the contiguous panels.
+			gemmDot(m, k, n, t.Grad, b.Data, a.Grad, true)
+		}
+		if b.requiresGrad {
+			b.ensureGrad()
+			// dB = Aᵀ·dC in axpy form, i ascending per element.
+			gemmATB(m, k, n, a.Data, t.Grad, b.Grad)
+		}
+	case opSigmoid:
+		x := t.parents[0]
+		x.ensureGrad()
+		for i, g := range t.Grad {
+			y := t.Data[i]
+			x.Grad[i] += g * y * (1 - y)
+		}
+	case opTanh:
+		x := t.parents[0]
+		x.ensureGrad()
+		for i, g := range t.Grad {
+			y := t.Data[i]
+			x.Grad[i] += g * (1 - y*y)
+		}
+	case opReLU:
+		x := t.parents[0]
+		x.ensureGrad()
+		for i, g := range t.Grad {
+			if x.Data[i] > 0 {
+				x.Grad[i] += g
+			}
+		}
+	case opAbs:
+		x := t.parents[0]
+		x.ensureGrad()
+		for i, g := range t.Grad {
+			switch {
+			case x.Data[i] > 0:
+				x.Grad[i] += g
+			case x.Data[i] < 0:
+				x.Grad[i] -= g
+			}
+		}
+	case opSoftmax:
+		x := t.parents[0]
+		x.ensureGrad()
+		for r := 0; r < t.Rows; r++ {
+			y := t.Data[r*t.Cols : (r+1)*t.Cols]
+			gy := t.Grad[r*t.Cols : (r+1)*t.Cols]
+			gx := x.Grad[r*t.Cols : (r+1)*t.Cols]
+			var dot float64
+			for i := range y {
+				dot += gy[i] * y[i]
+			}
+			for i := range y {
+				gx[i] += y[i] * (gy[i] - dot)
+			}
+		}
+	case opConcatCols:
+		off := 0
+		for _, p := range t.parents {
+			if p.requiresGrad {
+				p.ensureGrad()
+				for r := 0; r < t.Rows; r++ {
+					src := t.Grad[r*t.Cols+off : r*t.Cols+off+p.Cols]
+					dst := p.Grad[r*p.Cols : (r+1)*p.Cols]
+					for i, g := range src {
+						dst[i] += g
+					}
+				}
+			}
+			off += p.Cols
+		}
+	case opSliceCols:
+		x := t.parents[0]
+		x.ensureGrad()
+		from, w := t.i0, t.Cols
+		for r := 0; r < t.Rows; r++ {
+			for c := 0; c < w; c++ {
+				x.Grad[r*x.Cols+from+c] += t.Grad[r*w+c]
+			}
+		}
+	case opSliceRows:
+		x := t.parents[0]
+		x.ensureGrad()
+		from := t.i0
+		for i, g := range t.Grad {
+			x.Grad[from*x.Cols+i] += g
+		}
+	case opSumCols:
+		x := t.parents[0]
+		x.ensureGrad()
+		for r := 0; r < x.Rows; r++ {
+			g := t.Grad[r]
+			for c := 0; c < x.Cols; c++ {
+				x.Grad[r*x.Cols+c] += g
+			}
+		}
+	case opMean:
+		x := t.parents[0]
+		x.ensureGrad()
+		g := t.Grad[0] / float64(len(x.Data))
+		for i := range x.Grad {
+			x.Grad[i] += g
+		}
+	case opTranspose:
+		x := t.parents[0]
+		x.ensureGrad()
+		for r := 0; r < x.Rows; r++ {
+			for c := 0; c < x.Cols; c++ {
+				x.Grad[r*x.Cols+c] += t.Grad[c*x.Rows+r]
+			}
+		}
+	case opLayerNorm:
+		t.backwardLayerNorm()
+	case opAffine:
+		t.backwardAffine()
+	case opGate:
+		t.backwardGate()
+	case opConvStep:
+		t.backwardConvStep()
+	case opAttnMix:
+		t.backwardAttnMix()
+	}
+}
+
+// Add returns a + b (same shape).
+func Add(a, b *Tensor) *Tensor {
+	sameShape(a, b)
+	out := newResult(a.Rows, a.Cols, opAdd, a, b)
+	for i := range out.Data {
+		out.Data[i] = a.Data[i] + b.Data[i]
 	}
 	return out
 }
@@ -34,25 +284,9 @@ func Add(a, b *Tensor) *Tensor {
 // Sub returns a - b (same shape).
 func Sub(a, b *Tensor) *Tensor {
 	sameShape(a, b)
-	out := newResult(a.Rows, a.Cols, a, b)
+	out := newResult(a.Rows, a.Cols, opSub, a, b)
 	for i := range out.Data {
 		out.Data[i] = a.Data[i] - b.Data[i]
-	}
-	if out.requiresGrad {
-		out.backFn = func() {
-			if a.requiresGrad {
-				ensureGrad(a)
-				for i, g := range out.Grad {
-					a.Grad[i] += g
-				}
-			}
-			if b.requiresGrad {
-				ensureGrad(b)
-				for i, g := range out.Grad {
-					b.Grad[i] -= g
-				}
-			}
-		}
 	}
 	return out
 }
@@ -60,59 +294,28 @@ func Sub(a, b *Tensor) *Tensor {
 // Mul returns the elementwise product a ⊙ b (same shape).
 func Mul(a, b *Tensor) *Tensor {
 	sameShape(a, b)
-	out := newResult(a.Rows, a.Cols, a, b)
+	out := newResult(a.Rows, a.Cols, opMul, a, b)
 	for i := range out.Data {
 		out.Data[i] = a.Data[i] * b.Data[i]
-	}
-	if out.requiresGrad {
-		out.backFn = func() {
-			if a.requiresGrad {
-				ensureGrad(a)
-				for i, g := range out.Grad {
-					a.Grad[i] += g * b.Data[i]
-				}
-			}
-			if b.requiresGrad {
-				ensureGrad(b)
-				for i, g := range out.Grad {
-					b.Grad[i] += g * a.Data[i]
-				}
-			}
-		}
 	}
 	return out
 }
 
 // Scale returns s·x.
 func Scale(x *Tensor, s float64) *Tensor {
-	out := newResult(x.Rows, x.Cols, x)
+	out := newResult(x.Rows, x.Cols, opScale, x)
+	out.fval = s
 	for i := range out.Data {
 		out.Data[i] = x.Data[i] * s
-	}
-	if out.requiresGrad {
-		out.backFn = func() {
-			ensureGrad(x)
-			for i, g := range out.Grad {
-				x.Grad[i] += g * s
-			}
-		}
 	}
 	return out
 }
 
 // AddScalar returns x + s.
 func AddScalar(x *Tensor, s float64) *Tensor {
-	out := newResult(x.Rows, x.Cols, x)
+	out := newResult(x.Rows, x.Cols, opAddScalar, x)
 	for i := range out.Data {
 		out.Data[i] = x.Data[i] + s
-	}
-	if out.requiresGrad {
-		out.backFn = func() {
-			ensureGrad(x)
-			for i, g := range out.Grad {
-				x.Grad[i] += g
-			}
-		}
 	}
 	return out
 }
@@ -122,30 +325,11 @@ func AddBias(x, bias *Tensor) *Tensor {
 	if bias.Rows != 1 || bias.Cols != x.Cols {
 		panic(fmt.Sprintf("nn: AddBias %dx%d onto %dx%d", bias.Rows, bias.Cols, x.Rows, x.Cols))
 	}
-	out := newResult(x.Rows, x.Cols, x, bias)
+	out := newResult(x.Rows, x.Cols, opAddBias, x, bias)
 	for r := 0; r < x.Rows; r++ {
 		base := r * x.Cols
 		for c := 0; c < x.Cols; c++ {
 			out.Data[base+c] = x.Data[base+c] + bias.Data[c]
-		}
-	}
-	if out.requiresGrad {
-		out.backFn = func() {
-			if x.requiresGrad {
-				ensureGrad(x)
-				for i, g := range out.Grad {
-					x.Grad[i] += g
-				}
-			}
-			if bias.requiresGrad {
-				ensureGrad(bias)
-				for r := 0; r < out.Rows; r++ {
-					base := r * out.Cols
-					for c := 0; c < out.Cols; c++ {
-						bias.Grad[c] += out.Grad[base+c]
-					}
-				}
-			}
 		}
 	}
 	return out
@@ -157,7 +341,7 @@ func ColMul(x, col *Tensor) *Tensor {
 	if col.Cols != 1 || col.Rows != x.Rows {
 		panic(fmt.Sprintf("nn: ColMul %dx%d with %dx%d", x.Rows, x.Cols, col.Rows, col.Cols))
 	}
-	out := newResult(x.Rows, x.Cols, x, col)
+	out := newResult(x.Rows, x.Cols, opColMul, x, col)
 	for r := 0; r < x.Rows; r++ {
 		w := col.Data[r]
 		base := r * x.Cols
@@ -165,146 +349,50 @@ func ColMul(x, col *Tensor) *Tensor {
 			out.Data[base+c] = x.Data[base+c] * w
 		}
 	}
-	if out.requiresGrad {
-		out.backFn = func() {
-			if x.requiresGrad {
-				ensureGrad(x)
-				for r := 0; r < out.Rows; r++ {
-					w := col.Data[r]
-					base := r * out.Cols
-					for c := 0; c < out.Cols; c++ {
-						x.Grad[base+c] += out.Grad[base+c] * w
-					}
-				}
-			}
-			if col.requiresGrad {
-				ensureGrad(col)
-				for r := 0; r < out.Rows; r++ {
-					base := r * out.Cols
-					var s float64
-					for c := 0; c < out.Cols; c++ {
-						s += out.Grad[base+c] * x.Data[base+c]
-					}
-					col.Grad[r] += s
-				}
-			}
-		}
-	}
 	return out
 }
 
-// MatMul returns a @ b for a [m, k] and b [k, n].
+// MatMul returns a @ b for a [m, k] and b [k, n], through the blocked
+// kernels (gemm.go) or — in legacy mode — the original triple loop.
 func MatMul(a, b *Tensor) *Tensor {
 	if a.Cols != b.Rows {
 		panic(fmt.Sprintf("nn: MatMul %dx%d @ %dx%d", a.Rows, a.Cols, b.Rows, b.Cols))
 	}
-	m, k, n := a.Rows, a.Cols, b.Cols
-	out := newResult(m, n, a, b)
-	for i := 0; i < m; i++ {
-		ai := a.Data[i*k : (i+1)*k]
-		oi := out.Data[i*n : (i+1)*n]
-		for p := 0; p < k; p++ {
-			av := ai[p]
-			if av == 0 {
-				continue
-			}
-			bp := b.Data[p*n : (p+1)*n]
-			for j := 0; j < n; j++ {
-				oi[j] += av * bp[j]
-			}
-		}
-	}
-	if out.requiresGrad {
-		out.backFn = func() {
-			if a.requiresGrad {
-				ensureGrad(a)
-				// dA = dC @ B^T
-				for i := 0; i < m; i++ {
-					gi := out.Grad[i*n : (i+1)*n]
-					for p := 0; p < k; p++ {
-						bp := b.Data[p*n : (p+1)*n]
-						var s float64
-						for j := 0; j < n; j++ {
-							s += gi[j] * bp[j]
-						}
-						a.Grad[i*k+p] += s
-					}
-				}
-			}
-			if b.requiresGrad {
-				ensureGrad(b)
-				// dB = A^T @ dC
-				for p := 0; p < k; p++ {
-					for i := 0; i < m; i++ {
-						av := a.Data[i*k+p]
-						if av == 0 {
-							continue
-						}
-						gi := out.Grad[i*n : (i+1)*n]
-						bg := b.Grad[p*n : (p+1)*n]
-						for j := 0; j < n; j++ {
-							bg[j] += av * gi[j]
-						}
-					}
-				}
-			}
-		}
+	out := newResult(a.Rows, b.Cols, opMatMul, a, b)
+	if legacyKernels.Load() {
+		legacyMatMulForward(a, b, out)
+	} else {
+		matMulForward(a, b, out)
 	}
 	return out
 }
 
 // Sigmoid applies 1/(1+e^-x) elementwise.
 func Sigmoid(x *Tensor) *Tensor {
-	out := newResult(x.Rows, x.Cols, x)
+	out := newResult(x.Rows, x.Cols, opSigmoid, x)
 	for i, v := range x.Data {
 		out.Data[i] = 1 / (1 + math.Exp(-v))
-	}
-	if out.requiresGrad {
-		out.backFn = func() {
-			ensureGrad(x)
-			for i, g := range out.Grad {
-				y := out.Data[i]
-				x.Grad[i] += g * y * (1 - y)
-			}
-		}
 	}
 	return out
 }
 
 // Tanh applies tanh elementwise.
 func Tanh(x *Tensor) *Tensor {
-	out := newResult(x.Rows, x.Cols, x)
+	out := newResult(x.Rows, x.Cols, opTanh, x)
 	for i, v := range x.Data {
 		out.Data[i] = math.Tanh(v)
-	}
-	if out.requiresGrad {
-		out.backFn = func() {
-			ensureGrad(x)
-			for i, g := range out.Grad {
-				y := out.Data[i]
-				x.Grad[i] += g * (1 - y*y)
-			}
-		}
 	}
 	return out
 }
 
 // ReLU applies max(0, x) elementwise.
 func ReLU(x *Tensor) *Tensor {
-	out := newResult(x.Rows, x.Cols, x)
+	out := newResult(x.Rows, x.Cols, opReLU, x)
 	for i, v := range x.Data {
 		if v > 0 {
 			out.Data[i] = v
-		}
-	}
-	if out.requiresGrad {
-		out.backFn = func() {
-			ensureGrad(x)
-			for i, g := range out.Grad {
-				if x.Data[i] > 0 {
-					x.Grad[i] += g
-				}
-			}
+		} else {
+			out.Data[i] = 0
 		}
 	}
 	return out
@@ -312,22 +400,9 @@ func ReLU(x *Tensor) *Tensor {
 
 // Abs applies |x| elementwise (subgradient 0 at 0).
 func Abs(x *Tensor) *Tensor {
-	out := newResult(x.Rows, x.Cols, x)
+	out := newResult(x.Rows, x.Cols, opAbs, x)
 	for i, v := range x.Data {
 		out.Data[i] = math.Abs(v)
-	}
-	if out.requiresGrad {
-		out.backFn = func() {
-			ensureGrad(x)
-			for i, g := range out.Grad {
-				switch {
-				case x.Data[i] > 0:
-					x.Grad[i] += g
-				case x.Data[i] < 0:
-					x.Grad[i] -= g
-				}
-			}
-		}
 	}
 	return out
 }
@@ -335,44 +410,34 @@ func Abs(x *Tensor) *Tensor {
 // Softmax normalises each row into a probability distribution (eq. 6's
 // softmax over attention scores).
 func Softmax(x *Tensor) *Tensor {
-	out := newResult(x.Rows, x.Cols, x)
+	out := newResult(x.Rows, x.Cols, opSoftmax, x)
 	for r := 0; r < x.Rows; r++ {
 		row := x.Data[r*x.Cols : (r+1)*x.Cols]
 		orow := out.Data[r*x.Cols : (r+1)*x.Cols]
-		max := row[0]
-		for _, v := range row[1:] {
-			if v > max {
-				max = v
-			}
-		}
-		var sum float64
-		for i, v := range row {
-			e := math.Exp(v - max)
-			orow[i] = e
-			sum += e
-		}
-		for i := range orow {
-			orow[i] /= sum
-		}
-	}
-	if out.requiresGrad {
-		out.backFn = func() {
-			ensureGrad(x)
-			for r := 0; r < out.Rows; r++ {
-				y := out.Data[r*out.Cols : (r+1)*out.Cols]
-				gy := out.Grad[r*out.Cols : (r+1)*out.Cols]
-				gx := x.Grad[r*out.Cols : (r+1)*out.Cols]
-				var dot float64
-				for i := range y {
-					dot += gy[i] * y[i]
-				}
-				for i := range y {
-					gx[i] += y[i] * (gy[i] - dot)
-				}
-			}
-		}
+		softmaxRow(row, orow)
 	}
 	return out
+}
+
+// softmaxRow writes softmax(row) into orow with the standard max-shifted
+// exponentials; shared by Softmax and the fused attention kernel so both
+// produce identical bits.
+func softmaxRow(row, orow []float64) {
+	max := row[0]
+	for _, v := range row[1:] {
+		if v > max {
+			max = v
+		}
+	}
+	var sum float64
+	for i, v := range row {
+		e := math.Exp(v - max)
+		orow[i] = e
+		sum += e
+	}
+	for i := range orow {
+		orow[i] /= sum
+	}
 }
 
 // ConcatCols concatenates tensors with equal row counts along columns.
@@ -388,31 +453,13 @@ func ConcatCols(ts ...*Tensor) *Tensor {
 		}
 		cols += t.Cols
 	}
-	out := newResult(rows, cols, ts...)
+	out := newResult(rows, cols, opConcatCols, ts...)
 	off := 0
 	for _, t := range ts {
 		for r := 0; r < rows; r++ {
 			copy(out.Data[r*cols+off:r*cols+off+t.Cols], t.Data[r*t.Cols:(r+1)*t.Cols])
 		}
 		off += t.Cols
-	}
-	if out.requiresGrad {
-		out.backFn = func() {
-			off := 0
-			for _, t := range ts {
-				if t.requiresGrad {
-					ensureGrad(t)
-					for r := 0; r < rows; r++ {
-						src := out.Grad[r*cols+off : r*cols+off+t.Cols]
-						dst := t.Grad[r*t.Cols : (r+1)*t.Cols]
-						for i, g := range src {
-							dst[i] += g
-						}
-					}
-				}
-				off += t.Cols
-			}
-		}
 	}
 	return out
 }
@@ -423,19 +470,10 @@ func SliceCols(x *Tensor, from, to int) *Tensor {
 		panic(fmt.Sprintf("nn: SliceCols[%d:%d] of %d columns", from, to, x.Cols))
 	}
 	w := to - from
-	out := newResult(x.Rows, w, x)
+	out := newResult(x.Rows, w, opSliceCols, x)
+	out.i0, out.i1 = from, to
 	for r := 0; r < x.Rows; r++ {
 		copy(out.Data[r*w:(r+1)*w], x.Data[r*x.Cols+from:r*x.Cols+to])
-	}
-	if out.requiresGrad {
-		out.backFn = func() {
-			ensureGrad(x)
-			for r := 0; r < out.Rows; r++ {
-				for c := 0; c < w; c++ {
-					x.Grad[r*x.Cols+from+c] += out.Grad[r*w+c]
-				}
-			}
-		}
 	}
 	return out
 }
@@ -446,22 +484,15 @@ func SliceRows(x *Tensor, from, to int) *Tensor {
 		panic(fmt.Sprintf("nn: SliceRows[%d:%d] of %d rows", from, to, x.Rows))
 	}
 	h := to - from
-	out := newResult(h, x.Cols, x)
+	out := newResult(h, x.Cols, opSliceRows, x)
+	out.i0, out.i1 = from, to
 	copy(out.Data, x.Data[from*x.Cols:to*x.Cols])
-	if out.requiresGrad {
-		out.backFn = func() {
-			ensureGrad(x)
-			for i, g := range out.Grad {
-				x.Grad[from*x.Cols+i] += g
-			}
-		}
-	}
 	return out
 }
 
 // SumCols reduces each row to its sum, producing [B, 1].
 func SumCols(x *Tensor) *Tensor {
-	out := newResult(x.Rows, 1, x)
+	out := newResult(x.Rows, 1, opSumCols, x)
 	for r := 0; r < x.Rows; r++ {
 		var s float64
 		for c := 0; c < x.Cols; c++ {
@@ -469,57 +500,26 @@ func SumCols(x *Tensor) *Tensor {
 		}
 		out.Data[r] = s
 	}
-	if out.requiresGrad {
-		out.backFn = func() {
-			ensureGrad(x)
-			for r := 0; r < x.Rows; r++ {
-				g := out.Grad[r]
-				for c := 0; c < x.Cols; c++ {
-					x.Grad[r*x.Cols+c] += g
-				}
-			}
-		}
-	}
 	return out
 }
 
 // Mean reduces the whole tensor to its scalar mean.
 func Mean(x *Tensor) *Tensor {
-	out := newResult(1, 1, x)
+	out := newResult(1, 1, opMean, x)
 	var s float64
 	for _, v := range x.Data {
 		s += v
 	}
-	n := float64(len(x.Data))
-	out.Data[0] = s / n
-	if out.requiresGrad {
-		out.backFn = func() {
-			ensureGrad(x)
-			g := out.Grad[0] / n
-			for i := range x.Grad {
-				x.Grad[i] += g
-			}
-		}
-	}
+	out.Data[0] = s / float64(len(x.Data))
 	return out
 }
 
 // Transpose returns xᵀ.
 func Transpose(x *Tensor) *Tensor {
-	out := newResult(x.Cols, x.Rows, x)
+	out := newResult(x.Cols, x.Rows, opTranspose, x)
 	for r := 0; r < x.Rows; r++ {
 		for c := 0; c < x.Cols; c++ {
 			out.Data[c*x.Rows+r] = x.Data[r*x.Cols+c]
-		}
-	}
-	if out.requiresGrad {
-		out.backFn = func() {
-			ensureGrad(x)
-			for r := 0; r < x.Rows; r++ {
-				for c := 0; c < x.Cols; c++ {
-					x.Grad[r*x.Cols+c] += out.Grad[c*x.Rows+r]
-				}
-			}
 		}
 	}
 	return out
@@ -534,10 +534,12 @@ func LayerNorm(x, gamma, beta *Tensor, eps float64) *Tensor {
 	if eps <= 0 {
 		eps = 1e-5
 	}
-	out := newResult(x.Rows, x.Cols, x, gamma, beta)
+	out := newResult(x.Rows, x.Cols, opLayerNorm, x, gamma, beta)
 	n := float64(x.Cols)
-	xhat := make([]float64, len(x.Data))
-	invStd := make([]float64, x.Rows)
+	// scratch = x̂ followed by per-row 1/σ, both needed in backward.
+	out.scratch = getFloats(len(x.Data) + x.Rows)
+	xhat := out.scratch[:len(x.Data)]
+	invStd := out.scratch[len(x.Data):]
 	for r := 0; r < x.Rows; r++ {
 		row := x.Data[r*x.Cols : (r+1)*x.Cols]
 		var mu float64
@@ -559,43 +561,46 @@ func LayerNorm(x, gamma, beta *Tensor, eps float64) *Tensor {
 			out.Data[r*x.Cols+c] = xh*gamma.Data[c] + beta.Data[c]
 		}
 	}
-	if out.requiresGrad {
-		out.backFn = func() {
-			for r := 0; r < out.Rows; r++ {
-				gy := out.Grad[r*out.Cols : (r+1)*out.Cols]
-				xh := xhat[r*out.Cols : (r+1)*out.Cols]
-				if gamma.requiresGrad {
-					ensureGrad(gamma)
-					for c := range gy {
-						gamma.Grad[c] += gy[c] * xh[c]
-					}
-				}
-				if beta.requiresGrad {
-					ensureGrad(beta)
-					for c := range gy {
-						beta.Grad[c] += gy[c]
-					}
-				}
-				if x.requiresGrad {
-					ensureGrad(x)
-					// dxhat = gy * gamma; dx = invStd*(dxhat - mean(dxhat)
-					//        - xhat * mean(dxhat ⊙ xhat))
-					var m1, m2 float64
-					for c := range gy {
-						d := gy[c] * gamma.Data[c]
-						m1 += d
-						m2 += d * xh[c]
-					}
-					m1 /= n
-					m2 /= n
-					is := invStd[r]
-					for c := range gy {
-						d := gy[c] * gamma.Data[c]
-						x.Grad[r*out.Cols+c] += is * (d - m1 - xh[c]*m2)
-					}
-				}
+	return out
+}
+
+func (t *Tensor) backwardLayerNorm() {
+	x, gamma, beta := t.parents[0], t.parents[1], t.parents[2]
+	n := float64(t.Cols)
+	xhat := t.scratch[:len(x.Data)]
+	invStd := t.scratch[len(x.Data):]
+	for r := 0; r < t.Rows; r++ {
+		gy := t.Grad[r*t.Cols : (r+1)*t.Cols]
+		xh := xhat[r*t.Cols : (r+1)*t.Cols]
+		if gamma.requiresGrad {
+			gamma.ensureGrad()
+			for c := range gy {
+				gamma.Grad[c] += gy[c] * xh[c]
+			}
+		}
+		if beta.requiresGrad {
+			beta.ensureGrad()
+			for c := range gy {
+				beta.Grad[c] += gy[c]
+			}
+		}
+		if x.requiresGrad {
+			x.ensureGrad()
+			// dxhat = gy * gamma; dx = invStd*(dxhat - mean(dxhat)
+			//        - xhat * mean(dxhat ⊙ xhat))
+			var m1, m2 float64
+			for c := range gy {
+				d := gy[c] * gamma.Data[c]
+				m1 += d
+				m2 += d * xh[c]
+			}
+			m1 /= n
+			m2 /= n
+			is := invStd[r]
+			for c := range gy {
+				d := gy[c] * gamma.Data[c]
+				x.Grad[r*t.Cols+c] += is * (d - m1 - xh[c]*m2)
 			}
 		}
 	}
-	return out
 }

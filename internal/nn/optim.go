@@ -10,22 +10,37 @@ type Optimizer interface {
 	ZeroGrad()
 }
 
+// flatOffsets lays all parameter buffers end to end in one flat state
+// buffer, returning per-parameter offsets and the total length. Optimizer
+// state allocated this way is one contiguous block: a single allocation at
+// construction and cache-friendly sweeps in Step.
+func flatOffsets(params []*Tensor) ([]int, int) {
+	offs := make([]int, len(params))
+	total := 0
+	for i, p := range params {
+		offs[i] = total
+		total += len(p.Data)
+	}
+	return offs, total
+}
+
 // SGD is plain stochastic gradient descent with optional momentum.
 type SGD struct {
 	params   []*Tensor
 	lr       float64
 	momentum float64
-	velocity [][]float64
+	offs     []int
+	velocity []float64 // flat, one segment per parameter
 }
 
-// NewSGD builds an optimizer over params.
+// NewSGD builds an optimizer over params. All state is allocated here, once;
+// Step never allocates.
 func NewSGD(params []*Tensor, lr, momentum float64) *SGD {
 	s := &SGD{params: params, lr: lr, momentum: momentum}
 	if momentum > 0 {
-		s.velocity = make([][]float64, len(params))
-		for i, p := range params {
-			s.velocity[i] = make([]float64, len(p.Data))
-		}
+		var total int
+		s.offs, total = flatOffsets(params)
+		s.velocity = make([]float64, total)
 	}
 	return s
 }
@@ -33,13 +48,16 @@ func NewSGD(params []*Tensor, lr, momentum float64) *SGD {
 // Step implements Optimizer.
 func (s *SGD) Step() {
 	for i, p := range s.params {
-		for j := range p.Data {
-			g := p.Grad[j]
-			if s.momentum > 0 {
-				s.velocity[i][j] = s.momentum*s.velocity[i][j] + g
-				g = s.velocity[i][j]
+		if s.momentum > 0 {
+			vel := s.velocity[s.offs[i] : s.offs[i]+len(p.Data)]
+			for j := range p.Data {
+				vel[j] = s.momentum*vel[j] + p.Grad[j]
+				p.Data[j] -= s.lr * vel[j]
 			}
-			p.Data[j] -= s.lr * g
+		} else {
+			for j := range p.Data {
+				p.Data[j] -= s.lr * p.Grad[j]
+			}
 		}
 	}
 	s.ZeroGrad()
@@ -60,18 +78,19 @@ type Adam struct {
 	beta2  float64
 	eps    float64
 	t      int
-	m, v   [][]float64
+	offs   []int
+	m, v   []float64 // flat first/second moments, one segment per parameter
 }
 
-// NewAdam builds Adam with the standard betas.
+// NewAdam builds Adam with the standard betas. Moment buffers are two flat
+// contiguous allocations made once here; Step is allocation-free (guarded by
+// TestAdamStepDoesNotAllocate).
 func NewAdam(params []*Tensor, lr float64) *Adam {
 	a := &Adam{params: params, lr: lr, beta1: 0.9, beta2: 0.999, eps: 1e-8}
-	a.m = make([][]float64, len(params))
-	a.v = make([][]float64, len(params))
-	for i, p := range params {
-		a.m[i] = make([]float64, len(p.Data))
-		a.v[i] = make([]float64, len(p.Data))
-	}
+	var total int
+	a.offs, total = flatOffsets(params)
+	a.m = make([]float64, total)
+	a.v = make([]float64, total)
 	return a
 }
 
@@ -81,12 +100,14 @@ func (a *Adam) Step() {
 	c1 := 1 - math.Pow(a.beta1, float64(a.t))
 	c2 := 1 - math.Pow(a.beta2, float64(a.t))
 	for i, p := range a.params {
+		m := a.m[a.offs[i] : a.offs[i]+len(p.Data)]
+		v := a.v[a.offs[i] : a.offs[i]+len(p.Data)]
 		for j := range p.Data {
 			g := p.Grad[j]
-			a.m[i][j] = a.beta1*a.m[i][j] + (1-a.beta1)*g
-			a.v[i][j] = a.beta2*a.v[i][j] + (1-a.beta2)*g*g
-			mHat := a.m[i][j] / c1
-			vHat := a.v[i][j] / c2
+			m[j] = a.beta1*m[j] + (1-a.beta1)*g
+			v[j] = a.beta2*v[j] + (1-a.beta2)*g*g
+			mHat := m[j] / c1
+			vHat := v[j] / c2
 			p.Data[j] -= a.lr * mHat / (math.Sqrt(vHat) + a.eps)
 		}
 	}

@@ -24,7 +24,10 @@ func NewRNNCell(in, hidden int, rng *randx.Rand) *RNNCell {
 
 // Step advances one timestep.
 func (c *RNNCell) Step(x, h *Tensor) *Tensor {
-	return Tanh(AddBias(Add(MatMul(x, c.Wx), MatMul(h, c.Wh)), c.B))
+	if LegacyKernels() {
+		return Tanh(AddBias(Add(MatMul(x, c.Wx), MatMul(h, c.Wh)), c.B))
+	}
+	return FusedGate(x, c.Wx, h, c.Wh, c.B, ActTanh)
 }
 
 // Params implements Module.
@@ -74,9 +77,16 @@ func (c *GRUCell) Hidden() int { return c.Whz.Rows }
 //	h̃ = tanh(x@Wxh + (r⊙h)@Whh + bh)
 //	h' = (1-z)⊙h + z⊙h̃
 func (c *GRUCell) Step(x, h *Tensor) *Tensor {
-	r := Sigmoid(AddBias(Add(MatMul(x, c.Wxr), MatMul(h, c.Whr)), c.Br))
-	z := Sigmoid(AddBias(Add(MatMul(x, c.Wxz), MatMul(h, c.Whz)), c.Bz))
-	hTilde := Tanh(AddBias(Add(MatMul(x, c.Wxh), MatMul(Mul(r, h), c.Whh)), c.Bh))
+	if LegacyKernels() {
+		r := Sigmoid(AddBias(Add(MatMul(x, c.Wxr), MatMul(h, c.Whr)), c.Br))
+		z := Sigmoid(AddBias(Add(MatMul(x, c.Wxz), MatMul(h, c.Whz)), c.Bz))
+		hTilde := Tanh(AddBias(Add(MatMul(x, c.Wxh), MatMul(Mul(r, h), c.Whh)), c.Bh))
+		oneMinusZ := AddScalar(Scale(z, -1), 1)
+		return Add(Mul(oneMinusZ, h), Mul(z, hTilde))
+	}
+	r := FusedGate(x, c.Wxr, h, c.Whr, c.Br, ActSigmoid)
+	z := FusedGate(x, c.Wxz, h, c.Whz, c.Bz, ActSigmoid)
+	hTilde := FusedGate(x, c.Wxh, Mul(r, h), c.Whh, c.Bh, ActTanh)
 	oneMinusZ := AddScalar(Scale(z, -1), 1)
 	return Add(Mul(oneMinusZ, h), Mul(z, hTilde))
 }

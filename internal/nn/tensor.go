@@ -3,6 +3,13 @@
 // (TCN → BiGRU → multi-head attention, §IV) and its baselines (RNN, TCN,
 // Transformer) from scratch on CPU. Tensors are dense 2-D float64 matrices;
 // sequences are represented as slices of [batch, channels] tensors.
+//
+// The engine records each node's operation as a small op code instead of a
+// backward closure, draws Data/Grad buffers from a freelist (pool.go), and
+// runs its matrix products through blocked, register-tiled kernels (gemm.go)
+// that parallelize over fixed row blocks. Accumulation orders are preserved
+// from the original scalar implementation, so training results are
+// bit-compatible with it and byte-identical at any worker count.
 package nn
 
 import (
@@ -21,7 +28,13 @@ type Tensor struct {
 
 	requiresGrad bool
 	parents      []*Tensor
-	backFn       func()
+	op           opKind
+	act          Activation
+	fval         float64   // op-specific scalar (Scale factor, attention 1/√d, …)
+	i0, i1       int       // op-specific ints (slice bounds, tap count, …)
+	scratch      []float64 // op-specific saved state (softmax probs, layernorm x̂, …)
+	stamp        uint64    // visit mark for graph walks; owned by the training goroutine
+	backFn       func()    // legacy mode only: the seed engine's per-node closure
 }
 
 // New wraps data (len rows*cols, row-major) without copying.
@@ -99,32 +112,53 @@ func (t *Tensor) Clone() *Tensor {
 	return New(t.Rows, t.Cols, d)
 }
 
-// newResult builds a graph node derived from parents.
-func newResult(rows, cols int, parents ...*Tensor) *Tensor {
-	out := Zeros(rows, cols)
+// newResult builds a graph node derived from parents. Its Data buffer comes
+// from the freelist with unspecified contents: every op kernel fully
+// overwrites it. Grad stays nil until backward first touches the node.
+// Parents are recorded even for non-grad nodes so Release can walk and free
+// whole derived subgraphs.
+func newResult(rows, cols int, op opKind, parents ...*Tensor) *Tensor {
+	t := getTensorStruct()
+	t.Rows, t.Cols = rows, cols
+	t.Data = getFloats(rows * cols)
+	t.Grad = nil
+	t.op = op
+	t.act = actNone
+	t.fval = 0
+	t.i0, t.i1 = 0, 0
+	t.scratch = nil
+	t.stamp = 0
+	t.requiresGrad = false
+	t.backFn = nil
+	t.parents = append(t.parents[:0], parents...)
 	for _, p := range parents {
 		if p.requiresGrad {
-			out.requiresGrad = true
+			t.requiresGrad = true
 			break
 		}
 	}
-	if out.requiresGrad {
-		out.Grad = make([]float64, rows*cols)
-		out.parents = parents
+	// Legacy mode replicates the seed engine's per-node costs so the A/B
+	// baseline is honest: a zeroed gradient buffer allocated eagerly at
+	// construction and a backward closure per node.
+	if t.requiresGrad && LegacyKernels() {
+		t.Grad = make([]float64, rows*cols)
+		t.backFn = t.backward
 	}
-	return out
+	return t
 }
 
-// ensureGrad lazily allocates a parent's gradient buffer during backward.
-func ensureGrad(t *Tensor) {
+// ensureGrad lazily allocates a gradient buffer during backward. Derived
+// nodes draw zeroed buffers from the freelist; leaves always pre-allocate in
+// Param/RequireGrad, so freelist buffers never outlive the step's graph.
+func (t *Tensor) ensureGrad() {
 	if t.Grad == nil {
-		t.Grad = make([]float64, len(t.Data))
+		t.Grad = getFloatsZeroed(len(t.Data))
 	}
 }
 
 // Backward runs reverse-mode differentiation from a scalar output: the
-// output's gradient is seeded with 1 and every reachable node's backFn runs
-// in reverse topological order.
+// output's gradient is seeded with 1 and every reachable node's backward op
+// runs in reverse topological order.
 func (t *Tensor) Backward() {
 	if t.Rows != 1 || t.Cols != 1 {
 		panic(fmt.Sprintf("nn: Backward from non-scalar %dx%d tensor", t.Rows, t.Cols))
@@ -132,21 +166,36 @@ func (t *Tensor) Backward() {
 	if !t.requiresGrad {
 		return
 	}
-	order := topoSort(t)
-	ensureGrad(t)
+	if LegacyKernels() {
+		// Seed-engine walk: map-based visited set, append-grown order,
+		// dispatch through the per-node closures.
+		order := legacyTopoSort(t)
+		t.ensureGrad()
+		t.Grad[0] = 1
+		for i := len(order) - 1; i >= 0; i-- {
+			if fn := order[i].backFn; fn != nil {
+				fn()
+			}
+		}
+		return
+	}
+	ws := walkPool.Get().(*walkScratch)
+	order, stack := topoSortInto(t, ws.order[:0], ws.stack[:0])
+	t.ensureGrad()
 	t.Grad[0] = 1
 	for i := len(order) - 1; i >= 0; i-- {
-		n := order[i]
-		if n.backFn != nil {
-			n.backFn()
-		}
+		order[i].backward()
 	}
+	ws.order = order[:0]
+	ws.stack = stack[:0]
+	walkPool.Put(ws)
 }
 
-func topoSort(root *Tensor) []*Tensor {
+// legacyTopoSort is the seed engine's traversal, verbatim: identical visit
+// order to topoSortInto, with the original allocation profile.
+func legacyTopoSort(root *Tensor) []*Tensor {
 	var order []*Tensor
 	visited := make(map[*Tensor]bool)
-	// Iterative DFS to avoid deep recursion on long unrolled sequences.
 	type frame struct {
 		node *Tensor
 		next int
@@ -168,6 +217,75 @@ func topoSort(root *Tensor) []*Tensor {
 		stack = stack[:len(stack)-1]
 	}
 	return order
+}
+
+// topoSortInto is the original iterative DFS with the visited map replaced
+// by a per-walk stamp: identical traversal, zero allocations after warm-up.
+// Only grad-requiring parents are followed, as Backward needs.
+func topoSortInto(root *Tensor, order []*Tensor, stack []walkFrame) ([]*Tensor, []walkFrame) {
+	stamp := nextStamp()
+	stack = append(stack, walkFrame{node: root})
+	root.stamp = stamp
+	for len(stack) > 0 {
+		f := &stack[len(stack)-1]
+		if f.next < len(f.node.parents) {
+			p := f.node.parents[f.next]
+			f.next++
+			if p.stamp != stamp && p.requiresGrad {
+				p.stamp = stamp
+				stack = append(stack, walkFrame{node: p})
+			}
+			continue
+		}
+		order = append(order, f.node)
+		stack = stack[:len(stack)-1]
+	}
+	return order, stack
+}
+
+// Release returns every derived node reachable from root — buffers and
+// structs — to the freelist. Call it once per training step after the
+// optimizer has consumed the gradients (or after reading a prediction);
+// leaves (parameters, inputs) are untouched. The graph must not be used
+// afterwards.
+func Release(root *Tensor) {
+	if root == nil || root.op == opLeaf {
+		return
+	}
+	ws := walkPool.Get().(*walkScratch)
+	order, stack := ws.order[:0], ws.stack[:0]
+	stamp := nextStamp()
+	stack = append(stack, walkFrame{node: root})
+	root.stamp = stamp
+	for len(stack) > 0 {
+		f := stack[len(stack)-1]
+		stack = stack[:len(stack)-1]
+		if f.node.op != opLeaf {
+			order = append(order, f.node)
+		}
+		for _, p := range f.node.parents {
+			if p.stamp != stamp {
+				p.stamp = stamp
+				stack = append(stack, walkFrame{node: p})
+			}
+		}
+	}
+	for _, n := range order {
+		putFloats(n.Data)
+		putFloats(n.Grad)
+		putFloats(n.scratch)
+		n.Data = nil
+		n.Grad = nil
+		n.scratch = nil
+		n.backFn = nil
+		n.parents = n.parents[:0]
+		n.op = opLeaf
+		n.requiresGrad = false
+		putTensorStruct(n)
+	}
+	ws.order = order[:0]
+	ws.stack = stack[:0]
+	walkPool.Put(ws)
 }
 
 // ZeroGrad clears the gradient buffer.

@@ -1,0 +1,162 @@
+package parallel
+
+import (
+	"runtime"
+	"strings"
+	"sync/atomic"
+	"testing"
+)
+
+// TestForCoversEveryIndexOnce checks the fixed partition: every index in
+// [0, n) is executed exactly once, at several worker counts and grains.
+func TestForCoversEveryIndexOnce(t *testing.T) {
+	for _, workers := range []int{0, 1, 3, 8} {
+		for _, grain := range []int{1, 7, 64, 1000} {
+			p := NewPool(workers)
+			const n = 997
+			counts := make([]int32, n)
+			p.For(n, grain, func(lo, hi int) {
+				for i := lo; i < hi; i++ {
+					atomic.AddInt32(&counts[i], 1)
+				}
+			})
+			p.Close()
+			for i, c := range counts {
+				if c != 1 {
+					t.Fatalf("workers=%d grain=%d: index %d executed %d times", workers, grain, i, c)
+				}
+			}
+		}
+	}
+}
+
+// TestForDeterministicBlocks checks that block boundaries depend only on
+// (n, grain): a kernel writing f(lo) into its block produces identical
+// output at every worker count.
+func TestForDeterministicBlocks(t *testing.T) {
+	const n, grain = 1003, 32
+	run := func(workers int) []int {
+		p := NewPool(workers)
+		defer p.Close()
+		out := make([]int, n)
+		p.For(n, grain, func(lo, hi int) {
+			for i := lo; i < hi; i++ {
+				out[i] = lo // records which block owned index i
+			}
+		})
+		return out
+	}
+	want := run(0)
+	for _, workers := range []int{1, 2, 4, 16} {
+		got := run(workers)
+		for i := range want {
+			if got[i] != want[i] {
+				t.Fatalf("workers=%d: block owner of index %d is %d, want %d", workers, i, got[i], want[i])
+			}
+		}
+	}
+}
+
+// TestForPanicPropagates checks a panic in one block reaches the caller and
+// does not wedge the pool.
+func TestForPanicPropagates(t *testing.T) {
+	p := NewPool(2)
+	defer p.Close()
+	func() {
+		defer func() {
+			r := recover()
+			if r == nil {
+				t.Fatal("expected panic to propagate")
+			}
+			if !strings.Contains(r.(string), "boom") {
+				t.Fatalf("panic value %v should carry the original message", r)
+			}
+		}()
+		p.For(100, 10, func(lo, hi int) {
+			if lo == 50 {
+				panic("boom")
+			}
+		})
+	}()
+	// Pool must still work afterwards.
+	var ran atomic.Int64
+	p.For(10, 1, func(lo, hi int) { ran.Add(int64(hi - lo)) })
+	if ran.Load() != 10 {
+		t.Fatalf("pool wedged after panic: ran %d of 10", ran.Load())
+	}
+}
+
+// TestBudgetSharing checks the active-caller budget: nested concurrent For
+// calls never hand out more helpers than the pool owns.
+func TestBudgetSharing(t *testing.T) {
+	p := NewPool(4)
+	defer p.Close()
+	var peak atomic.Int64
+	var cur atomic.Int64
+	outer := make([]func(), 8)
+	for i := range outer {
+		outer[i] = func() {
+			p.For(64, 1, func(lo, hi int) {
+				v := cur.Add(1)
+				for {
+					old := peak.Load()
+					if v <= old || peak.CompareAndSwap(old, v) {
+						break
+					}
+				}
+				cur.Add(-1)
+			})
+		}
+	}
+	p.Do(outer...)
+	// 8 callers + 4 helpers is the theoretical ceiling; the budget should
+	// keep concurrency at or below callers+workers.
+	if got := peak.Load(); got > int64(8+4) {
+		t.Fatalf("peak concurrency %d exceeds callers+workers", got)
+	}
+}
+
+// TestDoRunsAll checks Do executes every function.
+func TestDoRunsAll(t *testing.T) {
+	p := NewPool(3)
+	defer p.Close()
+	var sum atomic.Int64
+	p.Do(
+		func() { sum.Add(1) },
+		func() { sum.Add(10) },
+		func() { sum.Add(100) },
+	)
+	if sum.Load() != 111 {
+		t.Fatalf("Do sum = %d, want 111", sum.Load())
+	}
+}
+
+// TestSetWorkers swaps the shared pool and restores it.
+func TestSetWorkers(t *testing.T) {
+	orig := Workers()
+	defer SetWorkers(orig)
+	SetWorkers(3)
+	if Workers() != 3 {
+		t.Fatalf("Workers() = %d after SetWorkers(3)", Workers())
+	}
+	var n atomic.Int64
+	For(100, 7, func(lo, hi int) { n.Add(int64(hi - lo)) })
+	if n.Load() != 100 {
+		t.Fatalf("shared For covered %d of 100", n.Load())
+	}
+	if w := SetWorkers(runtime.GOMAXPROCS(0)); w != 3 {
+		t.Fatalf("SetWorkers returned %d, want previous 3", w)
+	}
+}
+
+// TestZeroAndNegativeN are edge cases: nothing runs, no hang.
+func TestZeroAndNegativeN(t *testing.T) {
+	p := NewPool(2)
+	defer p.Close()
+	ran := false
+	p.For(0, 4, func(lo, hi int) { ran = true })
+	p.For(-5, 4, func(lo, hi int) { ran = true })
+	if ran {
+		t.Fatal("For must not invoke fn for n <= 0")
+	}
+}
