@@ -42,7 +42,7 @@ func main() {
 
 func run() error {
 	var (
-		exp        = flag.String("exp", "all", "experiment: fig1|fig6|fig7|fig8|fig9|fig10|correctness|distributed|all, plus faults and schedbench (explicit only); 'list' prints them all")
+		exp        = flag.String("exp", "all", "experiment: fig1|fig6|fig7|fig8|fig9|fig10|correctness|distributed|all, plus faults, schedbench and conformance (explicit only); 'list' prints them all")
 		quick      = flag.Bool("quick", false, "shrink workloads for a fast smoke run")
 		outDir     = flag.String("out", "results", "directory for CSV export")
 		seed       = flag.Int64("seed", 7, "random seed")
@@ -122,6 +122,7 @@ func run() error {
 	explicit := []step{
 		{"faults", func() (float64, error) { return runFaults(ctx, opts, *outDir) }},
 		{"schedbench", func() (float64, error) { return 0, runSchedBench(*outDir, traj) }},
+		{"conformance", func() (float64, error) { return 0, runConformance(ctx, opts, *outDir) }},
 	}
 
 	if wantOnly("list") {
@@ -235,6 +236,33 @@ func runFaults(ctx context.Context, opts experiments.Options, outDir string) (fl
 	return peak, viz.Export(os.Stdout, outDir,
 		viz.Dataset{Name: "faults_resilience.csv", Header: header, Rows: csvRows},
 		viz.Dataset{Name: "faults_timeline.csv", Header: tlHeader, Rows: tlRows})
+}
+
+// runConformance sweeps every chain through the invariant and conformance
+// suites (semantic invariants, bitwise determinism, serial replay, harness
+// worker independence, and the scheduler differential oracle) and fails if
+// any suite fails.
+func runConformance(ctx context.Context, opts experiments.Options, outDir string) error {
+	rows, err := experiments.Conformance(ctx, opts)
+	if err != nil {
+		return err
+	}
+	failed := 0
+	for _, r := range rows {
+		fmt.Println(r)
+		if !r.Pass {
+			failed++
+		}
+	}
+	header, csvRows := experiments.ConformanceCSV(rows)
+	if err := viz.Export(os.Stdout, outDir, viz.Dataset{Name: "conformance.csv", Header: header, Rows: csvRows}); err != nil {
+		return err
+	}
+	if failed > 0 {
+		return fmt.Errorf("%d of %d conformance suites failed", failed, len(rows))
+	}
+	fmt.Printf("all %d conformance suites passed\n", len(rows))
+	return nil
 }
 
 // runSchedBench compares the original binary-heap scheduler against the

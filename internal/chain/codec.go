@@ -1,0 +1,104 @@
+package chain
+
+import (
+	"encoding/binary"
+	"fmt"
+)
+
+// maxDecodeArgs bounds the argument count a decoded transaction may claim.
+// The wire format length-prefixes each argument with 4 bytes, so any honest
+// payload satisfies this; the bound exists so a corrupt count field cannot
+// drive a huge allocation before the truncation check fires.
+const maxDecodeArgs = 1 << 16
+
+// DecodeTransaction parses the deterministic wire encoding produced by
+// Transaction.Encode and recomputes the content ID. It is the inverse the
+// RPC layer needs to accept signed payloads from external clients: for every
+// transaction, DecodeTransaction(tx.Encode()) reproduces the signed fields
+// exactly. Signature, PubKey and SubmittedAt are not part of the signed
+// payload and are left zero. Truncated input, corrupt length prefixes and
+// trailing bytes are all errors, never panics.
+func DecodeTransaction(raw []byte) (*Transaction, error) {
+	d := txDecoder{buf: raw}
+	tx := &Transaction{}
+	tx.ClientID = d.str()
+	tx.ServerID = d.str()
+	tx.Chain = d.str()
+	tx.Contract = d.str()
+	tx.Op = d.str()
+	nargs := d.u32()
+	if d.err == nil && nargs > 0 {
+		if nargs > maxDecodeArgs || uint64(nargs)*4 > uint64(len(d.buf)-d.off) {
+			return nil, fmt.Errorf("chain: decode transaction: argument count %d exceeds remaining payload", nargs)
+		}
+		tx.Args = make([]string, 0, nargs)
+		for i := uint32(0); i < nargs && d.err == nil; i++ {
+			tx.Args = append(tx.Args, d.str())
+		}
+	}
+	tx.From = d.str()
+	tx.Nonce = d.u64()
+	tx.Gas = d.u64()
+	if d.err != nil {
+		return nil, d.err
+	}
+	if d.off != len(raw) {
+		return nil, fmt.Errorf("chain: decode transaction: %d trailing bytes", len(raw)-d.off)
+	}
+	tx.ComputeID()
+	return tx, nil
+}
+
+// txDecoder is a cursor over the wire encoding; the first failure sticks and
+// every later read returns zero values.
+type txDecoder struct {
+	buf []byte
+	off int
+	err error
+}
+
+func (d *txDecoder) fail(what string) {
+	if d.err == nil {
+		d.err = fmt.Errorf("chain: decode transaction: truncated %s at offset %d", what, d.off)
+	}
+}
+
+func (d *txDecoder) u32() uint32 {
+	if d.err != nil {
+		return 0
+	}
+	if d.off+4 > len(d.buf) {
+		d.fail("length")
+		return 0
+	}
+	v := binary.BigEndian.Uint32(d.buf[d.off:])
+	d.off += 4
+	return v
+}
+
+func (d *txDecoder) u64() uint64 {
+	if d.err != nil {
+		return 0
+	}
+	if d.off+8 > len(d.buf) {
+		d.fail("integer")
+		return 0
+	}
+	v := binary.BigEndian.Uint64(d.buf[d.off:])
+	d.off += 8
+	return v
+}
+
+func (d *txDecoder) str() string {
+	n := d.u32()
+	if d.err != nil {
+		return ""
+	}
+	if uint64(n) > uint64(len(d.buf)-d.off) {
+		d.fail("string")
+		return ""
+	}
+	s := string(d.buf[d.off : d.off+int(n)])
+	d.off += int(n)
+	return s
+}

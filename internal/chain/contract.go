@@ -101,6 +101,14 @@ var ErrStopped = errors.New("chain: chain is stopped")
 // after a backoff.
 var ErrUnavailable = errors.New("chain: node unavailable")
 
+// ErrDuplicateTx is the abort reason stamped on the receipt of a transaction
+// whose ID already has a committed receipt — the replay protection every
+// chain applies at validation time. Duplicates arise when the driver's
+// timeout/retry path resubmits a transaction that was stalled (not lost) by a
+// fault; the chain must commit such an ID at most once or conservation and
+// audit invariants break.
+var ErrDuplicateTx = errors.New("chain: duplicate transaction")
+
 // ValidateShard normalises and checks a shard index against a chain.
 func ValidateShard(bc Blockchain, shard int) error {
 	if shard < 0 || shard >= bc.Shards() {

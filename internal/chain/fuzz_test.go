@@ -1,0 +1,94 @@
+package chain
+
+import (
+	"bytes"
+	"reflect"
+	"testing"
+)
+
+func fuzzSeedTxs() []*Transaction {
+	return []*Transaction{
+		{},
+		{
+			ClientID: "client-0", ServerID: "server-0", Chain: "ethereum",
+			Contract: "smallbank", Op: "transfer",
+			Args: []string{"acct1", "acct2", "50"},
+			From: "acct1", Nonce: 7, Gas: 21000,
+		},
+		{
+			ClientID: "c", Op: "create",
+			Args: []string{"", "1000", "500"},
+			Gas:  ^uint64(0),
+		},
+		{
+			Chain: "meepo", Contract: "ycsb", Op: "scan",
+			Args: []string{"0", "10"}, From: "u\x00ser", Nonce: ^uint64(0),
+		},
+	}
+}
+
+// FuzzTxDecode fuzzes the wire decoder: arbitrary bytes must never panic,
+// and any bytes that decode must round-trip bit-for-bit through Encode with
+// a stable content ID.
+func FuzzTxDecode(f *testing.F) {
+	for _, tx := range fuzzSeedTxs() {
+		f.Add(tx.Encode())
+	}
+	f.Add([]byte{})
+	f.Add([]byte{0xff, 0xff, 0xff, 0xff})
+	f.Add(bytes.Repeat([]byte{0x00}, 48))
+	f.Fuzz(func(t *testing.T, raw []byte) {
+		tx, err := DecodeTransaction(raw)
+		if err != nil {
+			return
+		}
+		re := tx.Encode()
+		if !bytes.Equal(re, raw) {
+			t.Fatalf("decode/encode not a round trip:\n in: %x\nout: %x", raw, re)
+		}
+		again, err := DecodeTransaction(re)
+		if err != nil {
+			t.Fatalf("re-decode failed: %v", err)
+		}
+		if again.ID != tx.ID {
+			t.Fatalf("content ID unstable: %s vs %s", tx.ID, again.ID)
+		}
+	})
+}
+
+func TestDecodeTransactionRoundTrip(t *testing.T) {
+	for _, tx := range fuzzSeedTxs() {
+		tx.ComputeID()
+		got, err := DecodeTransaction(tx.Encode())
+		if err != nil {
+			t.Fatalf("decode %+v: %v", tx, err)
+		}
+		if got.ID != tx.ID || got.Op != tx.Op || got.From != tx.From ||
+			got.Nonce != tx.Nonce || got.Gas != tx.Gas ||
+			!reflect.DeepEqual(append([]string{}, got.Args...), append([]string{}, tx.Args...)) {
+			t.Fatalf("round trip mismatch:\n got %+v\nwant %+v", got, tx)
+		}
+	}
+}
+
+func TestDecodeTransactionRejectsCorruptPayloads(t *testing.T) {
+	valid := fuzzSeedTxs()[1].Encode()
+	cases := map[string][]byte{
+		"empty":            {},
+		"truncated header": valid[:3],
+		"truncated middle": valid[:len(valid)/2],
+		"truncated nonce":  valid[:len(valid)-9],
+		"trailing bytes":   append(append([]byte{}, valid...), 0x00),
+		"huge arg count": func() []byte {
+			// Five empty strings, then an argument count far beyond the
+			// remaining payload.
+			b := bytes.Repeat([]byte{0}, 20)
+			return append(b, 0xff, 0xff, 0xff, 0xff)
+		}(),
+	}
+	for name, raw := range cases {
+		if _, err := DecodeTransaction(raw); err == nil {
+			t.Errorf("%s: decode accepted corrupt payload %x", name, raw)
+		}
+	}
+}

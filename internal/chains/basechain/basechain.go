@@ -79,6 +79,13 @@ type Base struct {
 	started   bool
 	stopped   bool
 
+	// committed indexes every transaction ID that has a committed receipt;
+	// it backs the validation-time replay protection (AlreadyCommitted).
+	committed map[chain.TxID]struct{}
+	// observers are notified of every sealed block, outside the lock, in
+	// registration order — the hook point for invariant recorders.
+	observers []func(shard int, blk *chain.Block)
+
 	// liveness state (see liveness.go): registered node names, the crashed
 	// subset, and the chain's transition hooks.
 	nodes       map[string]bool
@@ -93,6 +100,7 @@ func (b *Base) Init(name string, sched *eventsim.Scheduler, shards int) {
 	b.Sched = sched
 	b.contracts = make(map[string]chain.Contract)
 	b.blocks = make([][]*chain.Block, shards)
+	b.committed = make(map[chain.TxID]struct{})
 }
 
 // Name implements part of chain.Blockchain.
@@ -164,10 +172,11 @@ func (b *Base) BlockAt(shard int, height uint64) (*chain.Block, bool) {
 }
 
 // AppendBlock seals blk onto shard, chaining its PrevHash, stamping the
-// current virtual time, and writing per-transaction audit entries.
+// current virtual time, and writing per-transaction audit entries. Observers
+// registered through ObserveBlocks see the sealed block after the chain state
+// is updated, outside the lock.
 func (b *Base) AppendBlock(shard int, blk *chain.Block) {
 	b.mu.Lock()
-	defer b.mu.Unlock()
 	blk.Shard = shard
 	blk.Height = uint64(len(b.blocks[shard]) + 1)
 	blk.Timestamp = b.Sched.Now()
@@ -180,6 +189,9 @@ func (b *Base) AppendBlock(shard int, blk *chain.Block) {
 		r.Shard = shard
 		r.Height = blk.Height
 		r.BlockTime = blk.Timestamp
+		if r.Status == chain.StatusCommitted {
+			b.committed[r.TxID] = struct{}{}
+		}
 		b.audit = append(b.audit, chain.AuditEntry{
 			TxID:   r.TxID,
 			Status: r.Status,
@@ -188,6 +200,30 @@ func (b *Base) AppendBlock(shard int, blk *chain.Block) {
 			Time:   blk.Timestamp,
 		})
 	}
+	observers := b.observers
+	b.mu.Unlock()
+	for _, fn := range observers {
+		fn(shard, blk)
+	}
+}
+
+// ObserveBlocks registers fn to be called with every block AppendBlock seals.
+// Observers must not mutate the block; they run on the scheduler goroutine in
+// block-commit order, which is what makes invariant recorders deterministic.
+func (b *Base) ObserveBlocks(fn func(shard int, blk *chain.Block)) {
+	b.mu.Lock()
+	defer b.mu.Unlock()
+	b.observers = append(b.observers, fn)
+}
+
+// AlreadyCommitted reports whether a committed receipt exists for id. Chains
+// consult it at validation time to abort duplicate resubmissions instead of
+// committing (and applying) the same transaction twice.
+func (b *Base) AlreadyCommitted(id chain.TxID) bool {
+	b.mu.RLock()
+	defer b.mu.RUnlock()
+	_, ok := b.committed[id]
+	return ok
 }
 
 // AuditLog implements chain.AuditLogger.
@@ -236,10 +272,29 @@ func (b *Base) Stopped() bool {
 // model), producing one receipt per transaction. Failed invocations abort
 // the transaction but not the block. version is the commit version assigned
 // to the block's writes.
+//
+// Replay protection happens here rather than at admission: a transaction ID
+// that already has a committed receipt — in an earlier block or earlier in
+// this batch — is aborted instead of re-executed, so driver resubmissions of
+// stalled transactions cannot double-apply state. Deduplicating at execution
+// keeps batch sizes, and therefore the virtual cost model, identical whether
+// or not duplicates are present.
 func (b *Base) ExecuteOrdered(state *chain.State, txs []*chain.Transaction, version uint64) []*chain.Receipt {
 	receipts := make([]*chain.Receipt, len(txs))
+	var inBatch map[chain.TxID]struct{}
 	for i, tx := range txs {
-		receipts[i] = b.executeOne(state, tx, version)
+		if _, dup := inBatch[tx.ID]; dup || b.AlreadyCommitted(tx.ID) {
+			receipts[i] = &chain.Receipt{TxID: tx.ID, Status: chain.StatusAborted, Err: chain.ErrDuplicateTx.Error()}
+			continue
+		}
+		r := b.executeOne(state, tx, version)
+		if r.Status == chain.StatusCommitted {
+			if inBatch == nil {
+				inBatch = make(map[chain.TxID]struct{})
+			}
+			inBatch[tx.ID] = struct{}{}
+		}
+		receipts[i] = r
 	}
 	return receipts
 }

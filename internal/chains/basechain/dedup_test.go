@@ -1,0 +1,104 @@
+package basechain
+
+import (
+	"testing"
+
+	"hammer/internal/chain"
+	"hammer/internal/eventsim"
+	"hammer/internal/smallbank"
+)
+
+// Regression tests for replay protection: a transaction ID gains at most one
+// committed receipt, whether the duplicate arrives in the same batch or a
+// later one. Duplicates used to re-execute and re-apply their writes, which
+// broke conservation when the driver's retry path resubmitted a stalled
+// transaction.
+
+func dedupBase(t *testing.T) *Base {
+	t.Helper()
+	b := &Base{}
+	b.Init("test", eventsim.New(), 1)
+	if err := b.Deploy(smallbank.Contract{}); err != nil {
+		t.Fatal(err)
+	}
+	return b
+}
+
+func TestExecuteOrderedSuppressesInBatchDuplicates(t *testing.T) {
+	b := dedupBase(t)
+	state := chain.NewState()
+	create := &chain.Transaction{Contract: "smallbank", Op: "create", Args: []string{"a", "100", "0"}}
+	create.ComputeID()
+	dep := &chain.Transaction{Contract: "smallbank", Op: "deposit", Args: []string{"a", "50"}}
+	dep.ComputeID()
+
+	receipts := b.ExecuteOrdered(state, []*chain.Transaction{create, dep, dep}, 1)
+	want := []chain.TxStatus{chain.StatusCommitted, chain.StatusCommitted, chain.StatusAborted}
+	for i, r := range receipts {
+		if r.Status != want[i] {
+			t.Fatalf("receipt %d: %v want %v (%s)", i, r.Status, want[i], r.Err)
+		}
+	}
+	if receipts[2].Err != chain.ErrDuplicateTx.Error() {
+		t.Fatalf("duplicate abort reason %q", receipts[2].Err)
+	}
+	// The deposit must have applied exactly once.
+	v, _, _ := state.Get("c:a")
+	if string(v) != "150" {
+		t.Fatalf("balance %q, want 150 (deposit applied twice?)", v)
+	}
+}
+
+func TestExecuteOrderedSuppressesCrossBlockDuplicates(t *testing.T) {
+	b := dedupBase(t)
+	state := chain.NewState()
+	create := &chain.Transaction{Contract: "smallbank", Op: "create", Args: []string{"a", "100", "0"}}
+	create.ComputeID()
+	dep := &chain.Transaction{Contract: "smallbank", Op: "deposit", Args: []string{"a", "50"}}
+	dep.ComputeID()
+
+	first := b.ExecuteOrdered(state, []*chain.Transaction{create, dep}, 1)
+	b.AppendBlock(0, &chain.Block{Txs: []*chain.Transaction{create, dep}, Receipts: first})
+	if !b.AlreadyCommitted(dep.ID) {
+		t.Fatal("committed ID not tracked")
+	}
+
+	// The driver resubmits the deposit after a timeout; it must abort, and
+	// an aborted transaction sharing the block must be unaffected.
+	ghost := &chain.Transaction{Contract: "smallbank", Op: "deposit", Args: []string{"ghost", "1"}}
+	ghost.ComputeID()
+	second := b.ExecuteOrdered(state, []*chain.Transaction{dep, ghost}, 2)
+	if second[0].Status != chain.StatusAborted || second[0].Err != chain.ErrDuplicateTx.Error() {
+		t.Fatalf("resubmitted duplicate: %v %q", second[0].Status, second[0].Err)
+	}
+	if second[1].Status != chain.StatusAborted || second[1].Err == chain.ErrDuplicateTx.Error() {
+		t.Fatalf("unrelated abort misclassified: %v %q", second[1].Status, second[1].Err)
+	}
+	v, _, _ := state.Get("c:a")
+	if string(v) != "150" {
+		t.Fatalf("balance %q, want 150", v)
+	}
+}
+
+func TestObserveBlocksDeliversInCommitOrder(t *testing.T) {
+	b := dedupBase(t)
+	var heights []uint64
+	b.ObserveBlocks(func(shard int, blk *chain.Block) {
+		if shard != 0 {
+			t.Fatalf("unexpected shard %d", shard)
+		}
+		heights = append(heights, blk.Height)
+	})
+	for i := 0; i < 3; i++ {
+		tx := &chain.Transaction{Contract: "smallbank", Op: "query", Args: []string{"a"}}
+		tx.Nonce = uint64(i)
+		tx.ComputeID()
+		b.AppendBlock(0, &chain.Block{
+			Txs:      []*chain.Transaction{tx},
+			Receipts: []*chain.Receipt{{TxID: tx.ID, Status: chain.StatusAborted}},
+		})
+	}
+	if len(heights) != 3 || heights[0] != 1 || heights[1] != 2 || heights[2] != 3 {
+		t.Fatalf("observer saw heights %v, want [1 2 3]", heights)
+	}
+}

@@ -1,0 +1,72 @@
+package ethereum
+
+import (
+	"strconv"
+	"testing"
+	"time"
+
+	"hammer/internal/chain"
+	"hammer/internal/smallbank"
+)
+
+// Regression test for replay protection: a duplicate submission (the
+// driver's retry path resubmitting a slow-but-not-lost transaction) must
+// abort with ErrDuplicateTx instead of re-applying its writes.
+func TestDuplicateSubmissionCommitsOnce(t *testing.T) {
+	cfg := DefaultConfig()
+	cfg.BlockInterval = 500 * time.Millisecond
+	sched, c := newChain(t, cfg)
+	c.Start()
+
+	create := &chain.Transaction{
+		Contract: smallbank.ContractName,
+		Op:       smallbank.OpCreate,
+		Args:     []string{"dup", "100", "0"},
+	}
+	create.ComputeID()
+	dep := &chain.Transaction{
+		Contract: smallbank.ContractName,
+		Op:       smallbank.OpDeposit,
+		Args:     []string{"dup", "40"},
+	}
+	dep.ComputeID()
+
+	for _, tx := range []*chain.Transaction{create, dep} {
+		if _, err := c.Submit(tx); err != nil {
+			t.Fatal(err)
+		}
+	}
+	sched.RunUntil(5 * time.Second)
+
+	// Retry: the same deposit again, two mined blocks later.
+	if _, err := c.Submit(dep); err != nil {
+		t.Fatal(err)
+	}
+	sched.RunUntil(10 * time.Second)
+
+	var committed, dupAborts int
+	for h := uint64(1); h <= c.Height(0); h++ {
+		blk, _ := c.BlockAt(0, h)
+		for i, tx := range blk.Txs {
+			if tx.ID != dep.ID {
+				continue
+			}
+			switch r := blk.Receipts[i]; r.Status {
+			case chain.StatusCommitted:
+				committed++
+			case chain.StatusAborted:
+				if r.Err != chain.ErrDuplicateTx.Error() {
+					t.Fatalf("duplicate aborted with %q", r.Err)
+				}
+				dupAborts++
+			}
+		}
+	}
+	if committed != 1 || dupAborts != 1 {
+		t.Fatalf("deposit committed %d times, duplicate-aborted %d times; want 1 and 1", committed, dupAborts)
+	}
+	raw, _, _ := c.State().Get("c:dup")
+	if bal, _ := strconv.ParseInt(string(raw), 10, 64); bal != 140 {
+		t.Fatalf("balance %d, want 140 (deposit applied once)", bal)
+	}
+}

@@ -209,5 +209,9 @@ func (c *Chain) pickMiner() int {
 	return alive[c.rng.Intn(len(alive))]
 }
 
+// GasCap reports the per-block gas limit; no sealed block's transactions may
+// sum past it (the gas-cap invariant).
+func (c *Chain) GasCap() uint64 { return c.cfg.GasLimit }
+
 // State exposes the world state for audits and invariant checks.
 func (c *Chain) State() *chain.State { return c.state }

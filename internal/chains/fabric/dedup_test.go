@@ -1,0 +1,63 @@
+package fabric
+
+import (
+	"strconv"
+	"testing"
+	"time"
+
+	"hammer/internal/chain"
+)
+
+// Regression test for replay protection in the validator: a resubmitted
+// transaction that already has a committed receipt must abort with
+// ErrDuplicateTx — before validation-time dedup, the duplicate re-passed
+// MVCC validation (its read versions were still current if nothing else
+// touched the keys) and its writes applied twice.
+func TestValidatorSuppressesDuplicates(t *testing.T) {
+	sched, c := newChain(t, DefaultConfig())
+	c.Start()
+
+	if _, err := c.Submit(createTx("a")); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := c.Submit(createTx("b")); err != nil {
+		t.Fatal(err)
+	}
+	sched.RunUntil(3 * time.Second)
+
+	tr := transferTx("a", "b", 25, 1)
+	if _, err := c.Submit(tr); err != nil {
+		t.Fatal(err)
+	}
+	sched.RunUntil(6 * time.Second)
+	if _, err := c.Submit(tr); err != nil { // the driver's retry
+		t.Fatal(err)
+	}
+	sched.RunUntil(9 * time.Second)
+
+	var committed, dupAborts int
+	for h := uint64(1); h <= c.Height(0); h++ {
+		blk, _ := c.BlockAt(0, h)
+		for i, tx := range blk.Txs {
+			if tx.ID != tr.ID {
+				continue
+			}
+			switch r := blk.Receipts[i]; r.Status {
+			case chain.StatusCommitted:
+				committed++
+			case chain.StatusAborted:
+				if r.Err != chain.ErrDuplicateTx.Error() {
+					t.Fatalf("duplicate aborted with %q", r.Err)
+				}
+				dupAborts++
+			}
+		}
+	}
+	if committed != 1 || dupAborts != 1 {
+		t.Fatalf("transfer committed %d times, duplicate-aborted %d times; want 1 and 1", committed, dupAborts)
+	}
+	raw, _, _ := c.State().Get("c:a")
+	if bal, _ := strconv.ParseInt(string(raw), 10, 64); bal != 75 {
+		t.Fatalf("source balance %d, want 75 (transfer applied once)", bal)
+	}
+}

@@ -325,12 +325,21 @@ func (c *Chain) validateAndCommit(batch []*endorsed) {
 	c.validator.Run(cost, func() {
 		c.version++
 		blk := &chain.Block{Proposer: "peer-0"}
+		// Replay protection: MVCC catches most duplicate resubmissions (the
+		// second copy's read versions are stale after the first commits), but
+		// blind-write transactions validate against nothing, so the committed
+		// set is checked explicitly — within this block and across blocks.
+		var inBlock map[chain.TxID]struct{}
 		for _, e := range batch {
 			r := &chain.Receipt{TxID: e.tx.ID}
+			_, dupInBlock := inBlock[e.tx.ID]
 			switch {
 			case e.err != nil:
 				r.Status = chain.StatusAborted
 				r.Err = e.err.Error()
+			case dupInBlock || c.AlreadyCommitted(e.tx.ID):
+				r.Status = chain.StatusAborted
+				r.Err = chain.ErrDuplicateTx.Error()
 			default:
 				if err := e.rwset.Validate(c.state); err != nil {
 					r.Status = chain.StatusAborted
@@ -338,6 +347,10 @@ func (c *Chain) validateAndCommit(batch []*endorsed) {
 				} else {
 					e.rwset.Apply(c.state, c.version)
 					r.Status = chain.StatusCommitted
+					if inBlock == nil {
+						inBlock = make(map[chain.TxID]struct{})
+					}
+					inBlock[e.tx.ID] = struct{}{}
 				}
 			}
 			blk.Txs = append(blk.Txs, e.tx)

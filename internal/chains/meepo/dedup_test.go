@@ -1,0 +1,109 @@
+package meepo
+
+import (
+	"testing"
+	"time"
+
+	"hammer/internal/chain"
+	"hammer/internal/smallbank"
+)
+
+// Regression test for cross-shard replay protection. A duplicated
+// cross-shard transfer (the driver retrying a transfer whose credit was
+// merely slow) must debit the source once and credit the destination once.
+// The duplicate still relays to the destination shard — retransmission is
+// what recovers a relay the network genuinely lost — and the destination's
+// idempotent inbox aborts every copy after the first.
+func TestCrossShardDuplicateDebitsAndCreditsOnce(t *testing.T) {
+	sched, c := newChain(t, DefaultConfig())
+	c.Start()
+	names := seedAccounts(t, sched, c, 20)
+	a, b := pickCrossShardPair(c, names)
+	if a == "" {
+		t.Fatal("no cross-shard pair found")
+	}
+
+	tx := &chain.Transaction{
+		Contract: smallbank.ContractName,
+		Op:       smallbank.OpTransfer,
+		Args:     []string{a, b, "250"},
+		From:     a,
+	}
+	tx.ComputeID()
+	if _, err := c.Submit(tx); err != nil {
+		t.Fatal(err)
+	}
+	sched.RunUntil(sched.Now() + 3*time.Second)
+	// The retry, after the original already debited and credited.
+	if _, err := c.Submit(tx); err != nil {
+		t.Fatal(err)
+	}
+	sched.RunUntil(sched.Now() + 3*time.Second)
+
+	if got := balanceOn(t, c, c.ShardOf(a), a); got != 750 {
+		t.Fatalf("source balance %d, want 750 (debited twice?)", got)
+	}
+	if got := balanceOn(t, c, c.ShardOf(b), b); got != 1250 {
+		t.Fatalf("destination balance %d, want 1250 (credited twice?)", got)
+	}
+	if out := c.OutstandingCrossDebits(); out != 0 {
+		t.Fatalf("outstanding cross-shard value %d after both epochs settled", out)
+	}
+
+	var committed int
+	for sh := 0; sh < c.Shards(); sh++ {
+		for h := uint64(1); h <= c.Height(sh); h++ {
+			blk, _ := c.BlockAt(sh, h)
+			for i, btx := range blk.Txs {
+				if btx.ID == tx.ID && blk.Receipts[i].Status == chain.StatusCommitted {
+					committed++
+				}
+			}
+		}
+	}
+	if committed != 1 {
+		t.Fatalf("transfer has %d committed receipts across all shards, want 1", committed)
+	}
+}
+
+// TestCrossShardDuplicateWhileInFlight: the nastier interleaving — the
+// retry arrives after the debit but before the destination has applied the
+// credit. The source must not debit again, and exactly one credit must land.
+func TestCrossShardDuplicateWhileInFlight(t *testing.T) {
+	cfg := DefaultConfig()
+	sched, c := newChain(t, cfg)
+	c.Start()
+	names := seedAccounts(t, sched, c, 20)
+	a, b := pickCrossShardPair(c, names)
+	if a == "" {
+		t.Fatal("no cross-shard pair found")
+	}
+
+	tx := &chain.Transaction{
+		Contract: smallbank.ContractName,
+		Op:       smallbank.OpTransfer,
+		Args:     []string{a, b, "100"},
+		From:     a,
+	}
+	tx.ComputeID()
+	if _, err := c.Submit(tx); err != nil {
+		t.Fatal(err)
+	}
+	// One epoch interval: enough for the source shard to execute and debit,
+	// not for the destination's next-epoch credit to commit everywhere.
+	sched.RunUntil(sched.Now() + cfg.EpochInterval)
+	if _, err := c.Submit(tx); err != nil {
+		t.Fatal(err)
+	}
+	sched.RunUntil(sched.Now() + 5*time.Second)
+
+	if got := balanceOn(t, c, c.ShardOf(a), a); got != 900 {
+		t.Fatalf("source balance %d, want 900", got)
+	}
+	if got := balanceOn(t, c, c.ShardOf(b), b); got != 1100 {
+		t.Fatalf("destination balance %d, want 1100", got)
+	}
+	if out := c.OutstandingCrossDebits(); out != 0 {
+		t.Fatalf("outstanding cross-shard value %d after settle", out)
+	}
+}

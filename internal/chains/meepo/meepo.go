@@ -95,6 +95,15 @@ type Chain struct {
 	shards   []*shardState
 	stranded int
 	epochs   *eventsim.Ticker
+	// crossDebited records the amount debited in the source shard for each
+	// cross-shard transfer ID. A driver resubmission of the same transaction
+	// (duplicate ID) skips the debit — the value already left the source
+	// account — but still relays, so the destination can commit the transfer
+	// if the original relay was lost to a partition. crossOutstanding totals
+	// debits whose credit has not yet been applied: value in transit through
+	// the cross-epoch, which the conservation invariant accounts for.
+	crossDebited     map[chain.TxID]int64
+	crossOutstanding int64
 	// dynamic sharding state
 	splitPressure int
 	reconfiguring bool
@@ -142,7 +151,7 @@ func New(sched *eventsim.Scheduler, cfg Config) *Chain {
 	if cfg.TxBytes <= 0 {
 		cfg.TxBytes = def.TxBytes
 	}
-	c := &Chain{cfg: cfg}
+	c := &Chain{cfg: cfg, crossDebited: make(map[chain.TxID]int64)}
 	c.Init("meepo", sched, cfg.Shards)
 	c.net = netsim.New(sched, cfg.Net)
 	for i := 0; i < cfg.Shards; i++ {
@@ -312,17 +321,37 @@ func (c *Chain) commitEpoch(sh int, batch []*chain.Transaction, inbox []crossWri
 	blk := &chain.Block{Proposer: member(sh, 0)}
 
 	// Apply relayed cross-shard credits first; their receipts complete the
-	// originating transactions.
+	// originating transactions. The inbox is idempotent per transaction ID:
+	// when both the original relay and a resubmission's retransmission
+	// arrive, the first credits and commits, the rest abort as duplicates —
+	// the transfer lands exactly once however many relays survived the fault.
+	var applied map[chain.TxID]struct{}
 	for _, cw := range inbox {
-		applyCredit(ss.state, cw.toKey, cw.amount, ss.version)
 		blk.Txs = append(blk.Txs, cw.tx)
+		if _, dup := applied[cw.tx.ID]; dup || c.AlreadyCommitted(cw.tx.ID) {
+			blk.Receipts = append(blk.Receipts, &chain.Receipt{TxID: cw.tx.ID, Status: chain.StatusAborted, Err: chain.ErrDuplicateTx.Error()})
+			continue
+		}
+		if applied == nil {
+			applied = make(map[chain.TxID]struct{})
+		}
+		applied[cw.tx.ID] = struct{}{}
+		applyCredit(ss.state, cw.toKey, cw.amount, ss.version)
+		c.crossOutstanding -= cw.amount
 		blk.Receipts = append(blk.Receipts, &chain.Receipt{TxID: cw.tx.ID, Status: chain.StatusCommitted})
 	}
 
+	var committed map[chain.TxID]struct{}
 	for _, tx := range batch {
-		r := c.executeSharded(sh, tx, ss.version)
+		r := c.executeSharded(sh, tx, ss.version, committed)
 		if r == nil {
 			continue // cross-shard: receipt is issued by the destination shard
+		}
+		if r.Status == chain.StatusCommitted {
+			if committed == nil {
+				committed = make(map[chain.TxID]struct{})
+			}
+			committed[tx.ID] = struct{}{}
 		}
 		blk.Txs = append(blk.Txs, tx)
 		blk.Receipts = append(blk.Receipts, r)
@@ -336,8 +365,10 @@ func (c *Chain) commitEpoch(sh int, batch []*chain.Transaction, inbox []crossWri
 // executeSharded executes tx in shard sh. SmallBank transfers whose
 // destination lives on another shard are split: the debit applies here and
 // the credit is relayed through the cross-epoch; nil is returned because the
-// destination shard will issue the receipt.
-func (c *Chain) executeSharded(sh int, tx *chain.Transaction, version uint64) *chain.Receipt {
+// destination shard will issue the receipt. committedInEpoch carries the IDs
+// already committed earlier in this epoch's batch, so a duplicate
+// resubmission landing in the same epoch aborts instead of re-applying.
+func (c *Chain) executeSharded(sh int, tx *chain.Transaction, version uint64, committedInEpoch map[chain.TxID]struct{}) *chain.Receipt {
 	ss := c.shards[sh]
 	if tx.Contract == smallbank.ContractName && len(tx.Args) >= 2 {
 		switch tx.Op {
@@ -354,6 +385,9 @@ func (c *Chain) executeSharded(sh int, tx *chain.Transaction, version uint64) *c
 					Err: "meepo: cross-shard amalgamate unsupported"}
 			}
 		}
+	}
+	if _, dup := committedInEpoch[tx.ID]; dup || c.AlreadyCommitted(tx.ID) {
+		return &chain.Receipt{TxID: tx.ID, Status: chain.StatusAborted, Err: chain.ErrDuplicateTx.Error()}
 	}
 	ct, err := c.Contract(tx.Contract)
 	if err != nil {
@@ -375,17 +409,26 @@ func (c *Chain) crossShardTransfer(sh int, tx *chain.Transaction, from, to strin
 	if err != nil || amount < 0 {
 		return &chain.Receipt{TxID: tx.ID, Status: chain.StatusAborted, Err: "meepo: bad transfer amount"}
 	}
-	key := "c:" + from
-	raw, _, ok := ss.state.Get(key)
-	if !ok {
-		return &chain.Receipt{TxID: tx.ID, Status: chain.StatusAborted, Err: "meepo: unknown source account " + from}
+	if _, debited := c.crossDebited[tx.ID]; !debited {
+		key := "c:" + from
+		raw, _, ok := ss.state.Get(key)
+		if !ok {
+			return &chain.Receipt{TxID: tx.ID, Status: chain.StatusAborted, Err: "meepo: unknown source account " + from}
+		}
+		bal, err := strconv.ParseInt(string(raw), 10, 64)
+		if err != nil {
+			return &chain.Receipt{TxID: tx.ID, Status: chain.StatusAborted, Err: "meepo: corrupt balance for " + from}
+		}
+		ss.state.Set(key, []byte(strconv.FormatInt(bal-amount, 10)), version)
+		c.crossDebited[tx.ID] = amount
+		c.crossOutstanding += amount
 	}
-	bal, err := strconv.ParseInt(string(raw), 10, 64)
-	if err != nil {
-		return &chain.Receipt{TxID: tx.ID, Status: chain.StatusAborted, Err: "meepo: corrupt balance for " + from}
-	}
-	ss.state.Set(key, []byte(strconv.FormatInt(bal-amount, 10)), version)
-
+	// A duplicate (already-debited) transfer skips the debit but still
+	// relays: if the original relay was lost to a partition the
+	// retransmission is what completes the transfer, and if it survived the
+	// destination's idempotent inbox aborts this copy. Either way the wire
+	// traffic is the same as for a first execution, so the network schedule
+	// is independent of deduplication.
 	dest := c.ShardOf(to)
 	cw := crossWrite{tx: tx, toKey: "c:" + to, amount: amount}
 	// Relay the credit to a destination-shard member; it lands in the
@@ -411,6 +454,13 @@ func applyCredit(state *chain.State, key string, amount int64, version uint64) {
 	}
 	state.Set(key, []byte(strconv.FormatInt(bal+amount, 10)), version)
 }
+
+// OutstandingCrossDebits reports the total value debited from source shards
+// whose credit has not (yet) been applied at the destination — money in
+// transit through the cross-epoch, or lost with a dropped relay whose
+// retransmissions never got through. The conservation invariant adds it to
+// the summed shard balances: state + in-transit == expected.
+func (c *Chain) OutstandingCrossDebits() int64 { return c.crossOutstanding }
 
 // ShardState exposes a shard's world state for audits and invariant checks.
 func (c *Chain) ShardState(shard int) (*chain.State, error) {

@@ -1,0 +1,62 @@
+package neuchain
+
+import (
+	"strconv"
+	"testing"
+	"time"
+
+	"hammer/internal/chain"
+	"hammer/internal/smallbank"
+)
+
+// Regression test for replay protection: neuchain orders a block's
+// transactions by ID, so two copies of the same submission land adjacent in
+// one epoch — the second must abort, and a copy arriving epochs later must
+// abort against the committed-ID index.
+func TestDuplicateSubmissionsCommitOnce(t *testing.T) {
+	sched, c := newChain(t, DefaultConfig())
+	c.Start()
+	if _, err := c.Submit(createTx(0)); err != nil {
+		t.Fatal(err)
+	}
+	sched.RunUntil(time.Second)
+
+	dep := &chain.Transaction{
+		Contract: smallbank.ContractName,
+		Op:       smallbank.OpDeposit,
+		Args:     []string{"acct0", "25"},
+	}
+	dep.ComputeID()
+	// Same epoch: both copies order adjacently in one block.
+	for i := 0; i < 2; i++ {
+		if _, err := c.Submit(dep); err != nil {
+			t.Fatal(err)
+		}
+	}
+	sched.RunUntil(2 * time.Second)
+	// A later epoch: the driver retries once more.
+	if _, err := c.Submit(dep); err != nil {
+		t.Fatal(err)
+	}
+	sched.RunUntil(3 * time.Second)
+
+	var committed, dupAborts int
+	for _, e := range c.AuditLog() {
+		if e.TxID != dep.ID {
+			continue
+		}
+		switch e.Status {
+		case chain.StatusCommitted:
+			committed++
+		case chain.StatusAborted:
+			dupAborts++
+		}
+	}
+	if committed != 1 || dupAborts != 2 {
+		t.Fatalf("deposit committed %d times, aborted %d; want 1 and 2", committed, dupAborts)
+	}
+	raw, _, _ := c.State().Get("c:acct0")
+	if bal, _ := strconv.ParseInt(string(raw), 10, 64); bal != 125 {
+		t.Fatalf("balance %d, want 125 (deposit applied once)", bal)
+	}
+}

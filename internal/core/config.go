@@ -171,6 +171,13 @@ type Config struct {
 	// DrainTimeout bounds how long after the last injection the engine
 	// waits for stragglers.
 	DrainTimeout time.Duration
+	// Invariants attaches the semantic-invariant recorder to the SUT's block
+	// stream (internal/invariant): height contiguity, hash chaining, seal
+	// integrity, receipt alignment, no-double-commit, gas caps and
+	// end-of-run conservation. Violations and the run's commit digest land
+	// in the Result. On by default in the conformance suites and tests,
+	// off by default here so benchmark hot paths stay clean.
+	Invariants bool
 	// Metrics, when set, receives the engine's live counters and gauges
 	// (submitted/committed/rejected counts, SUT pending depth, confirmation
 	// latency histogram) — the paper's Prometheus monitoring step (§III-B3).

@@ -9,6 +9,7 @@ import (
 	"hammer/internal/chain"
 	"hammer/internal/chains/basechain"
 	"hammer/internal/eventsim"
+	"hammer/internal/invariant"
 	"hammer/internal/metrics"
 	"hammer/internal/monitor"
 	"hammer/internal/sign"
@@ -49,6 +50,10 @@ type Engine struct {
 	scratch       chain.Block
 	single        chain.Block
 	singleReceipt [1]*chain.Receipt
+	// recorder observes the SUT's block stream when Config.Invariants is
+	// set; nil otherwise (the hot path pays nothing).
+	recorder *invariant.Recorder
+
 	mon            *engineMetrics
 	injectionEnd   time.Duration
 	perOpCost      time.Duration
@@ -108,6 +113,11 @@ func New(sched *eventsim.Scheduler, bc chain.Blockchain, cfg Config) (*Engine, e
 	}
 
 	e.mon = newEngineMetrics(cfg.Metrics, bc)
+	if cfg.Invariants {
+		if rec, ok := invariant.Attach(bc); ok {
+			e.recorder = rec
+		}
+	}
 
 	capacity := cfg.Control.Total()
 	switch cfg.Driver {
@@ -148,6 +158,14 @@ type Result struct {
 	PrepDuration time.Duration
 	// VirtualDuration is how much simulated time the run covered.
 	VirtualDuration time.Duration
+	// Violations holds every semantic-invariant breach the recorder
+	// observed (Config.Invariants); empty on a clean run or when the
+	// recorder is off.
+	Violations []invariant.Violation
+	// CommitDigest fingerprints the SUT's commit sequence when
+	// Config.Invariants is set: two runs with equal digests produced
+	// bitwise-identical schedules.
+	CommitDigest string
 }
 
 // Run executes the three phases and returns the measurement. The context is
@@ -188,6 +206,12 @@ func (e *Engine) Run(ctx context.Context) (*Result, error) {
 	}
 	report := metrics.Analyze(e.bc.Name(), records, rejectedForReport)
 	e.mon.observeRun(records)
+	var violations []invariant.Violation
+	var commitDigest string
+	if e.recorder != nil {
+		violations = append(e.recorder.Violations(), invariant.FinalChecks(e.bc, e.recorder)...)
+		commitDigest = e.recorder.CommitDigest()
+	}
 	return &Result{
 		Report:           report,
 		Records:          records,
@@ -198,6 +222,8 @@ func (e *Engine) Run(ctx context.Context) (*Result, error) {
 		SetupCommitted:   e.setupCommitted,
 		PrepDuration:     e.prepDuration,
 		VirtualDuration:  e.sched.Now(),
+		Violations:       violations,
+		CommitDigest:     commitDigest,
 	}, nil
 }
 

@@ -111,7 +111,9 @@ func Load(path string) (*Playbook, error) {
 	return Parse(raw)
 }
 
-// Parse decodes a playbook from JSON.
+// Parse decodes a playbook from JSON and validates it, so a typo'd kind or
+// an absurd override fails here rather than halfway through building (or
+// running) the cluster.
 func Parse(raw []byte) (*Playbook, error) {
 	pb := &Playbook{}
 	if err := json.Unmarshal(raw, pb); err != nil {
@@ -120,7 +122,90 @@ func Parse(raw []byte) (*Playbook, error) {
 	if pb.Kind == "" {
 		return nil, fmt.Errorf("deploy: playbook %q missing kind", pb.Name)
 	}
+	if err := pb.validate(); err != nil {
+		return nil, err
+	}
 	return pb, nil
+}
+
+// Bounds on playbook overrides. JSON admits finite-but-enormous numbers; an
+// interval of 1e308 ms would overflow time.Duration and a node count in the
+// millions would hang cluster construction, so both are configuration
+// mistakes worth rejecting at parse time.
+const (
+	maxSpecDurationMs = 1e9 // ~11.6 days, far beyond any sane interval
+	maxSpecNodes      = 1e4
+)
+
+func (pb *Playbook) validate() error {
+	known := false
+	for _, k := range Kinds() {
+		known = known || k == pb.Kind
+	}
+	if !known {
+		return fmt.Errorf("deploy: playbook %q: unknown chain kind %q (supported: %v)", pb.Name, pb.Kind, Kinds())
+	}
+	dur := func(field string, v float64) error {
+		if v < 0 || v > maxSpecDurationMs {
+			return fmt.Errorf("deploy: playbook %q: %s %g out of range [0, %g]", pb.Name, field, v, float64(maxSpecDurationMs))
+		}
+		return nil
+	}
+	count := func(field string, v int) error {
+		if v < 0 || v > maxSpecNodes {
+			return fmt.Errorf("deploy: playbook %q: %s %d out of range [0, %d]", pb.Name, field, v, int(maxSpecNodes))
+		}
+		return nil
+	}
+	nonneg := func(field string, v int) error {
+		if v < 0 {
+			return fmt.Errorf("deploy: playbook %q: %s %d is negative", pb.Name, field, v)
+		}
+		return nil
+	}
+	checks := []error{}
+	if n := pb.Net; n != nil {
+		checks = append(checks,
+			dur("net.latency_ms", n.LatencyMs),
+			dur("net.bandwidth_mbps", n.BandwidthMbps),
+			dur("net.jitter_frac", n.JitterFrac))
+	}
+	if s := pb.Ethereum; s != nil {
+		checks = append(checks,
+			count("ethereum.nodes", s.Nodes),
+			nonneg("ethereum.mempool_cap", s.MempoolCap),
+			dur("ethereum.block_interval_ms", s.BlockIntervalMs))
+	}
+	if s := pb.Fabric; s != nil {
+		checks = append(checks,
+			count("fabric.peers", s.Peers),
+			nonneg("fabric.pending_cap", s.PendingCap),
+			nonneg("fabric.max_messages", s.MaxMessages),
+			dur("fabric.batch_timeout_ms", s.BatchTimeoutMs),
+			dur("fabric.endorse_cost_us", s.EndorseCostUs),
+			dur("fabric.validate_cost_per_tx_us", s.ValidateCostPerTxUs))
+	}
+	if s := pb.Neuchain; s != nil {
+		checks = append(checks,
+			count("neuchain.block_servers", s.BlockServers),
+			nonneg("neuchain.pending_cap", s.PendingCap),
+			dur("neuchain.epoch_interval_ms", s.EpochIntervalMs),
+			dur("neuchain.exec_cost_per_tx_us", s.ExecCostPerTxUs))
+	}
+	if s := pb.Meepo; s != nil {
+		checks = append(checks,
+			count("meepo.shards", s.Shards),
+			count("meepo.max_shards", s.MaxShards),
+			nonneg("meepo.pending_cap_per_shard", s.PendingCapPerShard),
+			dur("meepo.epoch_interval_ms", s.EpochIntervalMs),
+			dur("meepo.exec_cost_per_tx_us", s.ExecCostPerTxUs))
+	}
+	for _, err := range checks {
+		if err != nil {
+			return err
+		}
+	}
+	return nil
 }
 
 // Run builds the declared SUT on the scheduler. It is the equivalent of

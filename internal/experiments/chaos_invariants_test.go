@@ -1,0 +1,114 @@
+package experiments
+
+import (
+	"context"
+	"fmt"
+	"testing"
+	"time"
+
+	"hammer/internal/chain"
+	"hammer/internal/chaos"
+	"hammer/internal/core"
+	"hammer/internal/eventsim"
+	"hammer/internal/harness"
+	"hammer/internal/invariant"
+	"hammer/internal/monitor"
+	"hammer/internal/workload"
+)
+
+// Chaos does not excuse the simulators from their invariants. Every fault
+// scenario of the resilience experiment — miners crashing mid-mine, the
+// orderer partitioned away from its peers, a shard losing quorum, the relay
+// between shards severed — reruns here with the invariant recorder attached:
+// blocks must still chain, heights must stay contiguous, no transaction may
+// commit twice (the driver's retry path resubmits everything the fault
+// strands), gas caps must hold, and conservation — including value in transit
+// across a partitioned relay — must balance once the run drains.
+func TestFaultScenariosPreserveInvariants(t *testing.T) {
+	opts := Quick()
+	// 9 virtual seconds: fault at 3s, heal at 6s, then the drain completes
+	// the retried backlog. Short enough to keep the 8-scenario sweep cheap.
+	opts.MeasureSeconds = 9
+	opts.fillDefaults()
+	faultSec, healSec := faultTimes(opts)
+	fault := time.Duration(faultSec) * time.Second
+	heal := time.Duration(healSec) * time.Second
+
+	type verdict struct {
+		Violations  []invariant.Violation
+		Commits     int
+		Retried     int
+		FaultEvents int
+	}
+	var runs []harness.Run[verdict]
+	for _, setup := range faultsSetups(opts) {
+		for _, sc := range []struct {
+			name string
+			scen chaos.Scenario
+		}{
+			{"crash", setup.crash(fault, heal)},
+			{"partition", setup.partition(fault, heal)},
+		} {
+			setup, sc := setup, sc
+			var inj *chaos.Injector
+			runs = append(runs, harness.Run[verdict]{
+				Name: "chaos-invariants/" + setup.name + "/" + sc.name,
+				Seed: opts.Seed,
+				Build: func(seed int64) (*eventsim.Scheduler, chain.Blockchain, core.Config, error) {
+					sched := eventsim.New()
+					bc := setup.build(sched, opts)
+					cfg := core.DefaultConfig()
+					cfg.Seed = seed
+					cfg.Workload.Accounts = opts.Accounts
+					cfg.Workload.Seed = seed
+					cfg.Control = workload.Constant(setup.offered, time.Duration(opts.MeasureSeconds)*time.Second, time.Second)
+					cfg.SignMode = core.SignOff
+					cfg.Metrics = monitor.NewRegistry()
+					cfg.TxTimeout = setup.txTimeout
+					cfg.MaxRetries = 2
+					cfg.RetryBackoff = 500 * time.Millisecond
+					cfg.Invariants = true
+					if setup.engCfg != nil {
+						setup.engCfg(&cfg)
+					}
+					nf, ok := bc.(chaos.NodeFaulter)
+					if !ok {
+						return nil, nil, core.Config{}, fmt.Errorf("chain %s exposes no liveness hooks", setup.name)
+					}
+					var err error
+					inj, err = chaos.NewInjector(sched, nf, sc.scen, cfg.Metrics)
+					if err != nil {
+						return nil, nil, core.Config{}, err
+					}
+					cfg.OnMeasureStart = func(start time.Duration) { inj.Arm(start) }
+					return sched, bc, cfg, nil
+				},
+				Digest: func(res *core.Result, bc chain.Blockchain) (verdict, error) {
+					return verdict{
+						Violations:  res.Violations,
+						Commits:     res.Report.Committed,
+						Retried:     res.Retried,
+						FaultEvents: len(inj.Applied()),
+					}, nil
+				},
+			})
+		}
+	}
+
+	rows, err := harness.Collect(harness.Execute(context.Background(), runs, harness.Options{}))
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i, row := range rows {
+		name := runs[i].Name
+		if row.FaultEvents == 0 {
+			t.Errorf("%s: no chaos events fired — the scenario never engaged", name)
+		}
+		if row.Commits == 0 {
+			t.Errorf("%s: nothing committed", name)
+		}
+		for _, v := range row.Violations {
+			t.Errorf("%s: invariant violated under fault: %s", name, v)
+		}
+	}
+}

@@ -1,0 +1,41 @@
+package experiments
+
+import (
+	"context"
+	"testing"
+)
+
+// The conformance sweep is itself a test of the simulators: every suite on
+// every chain must pass, in quick mode, at any worker count.
+func TestConformanceQuick(t *testing.T) {
+	opts := Quick()
+	opts.MeasureSeconds = 6 // enough virtual time for hundreds of blocks per chain
+	rows, err := Conformance(context.Background(), opts)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// 4 chains × (invariants, determinism, workers, scheduler) + 3 replay
+	// rows (meepo's cross-shard schedule is not serially replayable).
+	if len(rows) != 4*4+3 {
+		t.Fatalf("expected 19 verdict rows, got %d", len(rows))
+	}
+	suites := make(map[string]int)
+	for _, r := range rows {
+		suites[r.Suite]++
+		if !r.Pass {
+			t.Errorf("%s/%s failed: %s", r.Chain, r.Suite, r.Detail)
+		}
+	}
+	for suite, want := range map[string]int{
+		"invariants": 4, "determinism": 4, "replay": 3, "workers": 4, "scheduler": 4,
+	} {
+		if suites[suite] != want {
+			t.Errorf("suite %s has %d rows, want %d", suite, suites[suite], want)
+		}
+	}
+
+	header, records := ConformanceCSV(rows)
+	if len(header) != 4 || len(records) != len(rows) {
+		t.Fatalf("CSV shape wrong: %d columns, %d records", len(header), len(records))
+	}
+}

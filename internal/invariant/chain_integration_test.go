@@ -1,0 +1,142 @@
+package invariant_test
+
+import (
+	"fmt"
+	"testing"
+	"time"
+
+	"hammer/internal/chain"
+	"hammer/internal/chains/ethereum"
+	"hammer/internal/eventsim"
+	"hammer/internal/invariant"
+	"hammer/internal/smallbank"
+)
+
+func sbTx(nonce uint64, op string, args ...string) *chain.Transaction {
+	tx := &chain.Transaction{
+		ClientID: "c0",
+		ServerID: "s0",
+		Chain:    "ethereum",
+		Contract: smallbank.ContractName,
+		Op:       op,
+		Args:     args,
+		From:     "tester",
+		Nonce:    nonce,
+		Gas:      smallbank.Contract{}.Gas(op),
+	}
+	tx.ComputeID()
+	return tx
+}
+
+// runSmallBankWorkload drives a short mixed workload through a fresh
+// ethereum simulator with the invariant recorder attached, and returns both.
+func runSmallBankWorkload(t *testing.T, seed int64) (*ethereum.Chain, *invariant.Recorder) {
+	t.Helper()
+	sched := eventsim.New()
+	c := ethereum.New(sched, ethereum.Config{
+		Nodes:         2,
+		BlockInterval: 200 * time.Millisecond,
+		Seed:          seed,
+	})
+	if err := c.Deploy(smallbank.Contract{}); err != nil {
+		t.Fatal(err)
+	}
+	rec, ok := invariant.Attach(c)
+	if !ok {
+		t.Fatal("ethereum chain does not expose the observation hook")
+	}
+	c.Start()
+
+	nonce := uint64(0)
+	submit := func(op string, args ...string) {
+		tx := sbTx(nonce, op, args...)
+		nonce++
+		if _, err := c.Submit(tx); err != nil {
+			t.Fatalf("submit %s: %v", op, err)
+		}
+	}
+	for i := 0; i < 8; i++ {
+		submit(smallbank.OpCreate, smallbank.AccountName(i), "1000", "500")
+	}
+	sched.RunUntil(2 * time.Second)
+	for i := 0; i < 8; i++ {
+		submit(smallbank.OpTransfer, smallbank.AccountName(i), smallbank.AccountName((i+1)%8), fmt.Sprintf("%d", 10+i))
+		submit(smallbank.OpDeposit, smallbank.AccountName(i), "7")
+		if i%2 == 0 {
+			submit(smallbank.OpWithdraw, smallbank.AccountName(i), "3")
+		}
+	}
+	sched.RunUntil(6 * time.Second)
+	c.Stop()
+	return c, rec
+}
+
+// TestEthereumWorkloadSatisfiesInvariants runs the full catalogue against a
+// real simulator: streaming checks stay clean, conservation holds, and the
+// committed schedule replays serially onto the exact live state.
+func TestEthereumWorkloadSatisfiesInvariants(t *testing.T) {
+	c, rec := runSmallBankWorkload(t, 1)
+	if vs := rec.Violations(); len(vs) != 0 {
+		t.Fatalf("violations: %v", vs)
+	}
+	if rec.Commits() == 0 {
+		t.Fatal("workload committed nothing; the test exercised no invariants")
+	}
+	if vs := invariant.FinalChecks(c, rec); len(vs) != 0 {
+		t.Fatalf("final checks failed: %v", vs)
+	}
+
+	replayed, err := invariant.ReplaySerial(c, 0, smallbank.Contract{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := invariant.DiffStates(replayed, c.State()); err != nil {
+		t.Fatal(err)
+	}
+	if invariant.StateDigest(replayed) != invariant.StateDigest(c.State()) {
+		t.Fatal("state digests differ after serial replay")
+	}
+}
+
+// TestEthereumSameSeedRunsAreBitwiseIdentical is the determinism invariant:
+// two runs from the same seed must produce identical commit sequences and
+// identical world state.
+func TestEthereumSameSeedRunsAreBitwiseIdentical(t *testing.T) {
+	c1, rec1 := runSmallBankWorkload(t, 9)
+	c2, rec2 := runSmallBankWorkload(t, 9)
+	if rec1.CommitDigest() != rec2.CommitDigest() {
+		t.Fatal("same seed produced different commit digests")
+	}
+	if invariant.StateDigest(c1.State()) != invariant.StateDigest(c2.State()) {
+		t.Fatal("same seed produced different world state")
+	}
+
+	c3, rec3 := runSmallBankWorkload(t, 10)
+	_ = c3
+	if rec1.CommitDigest() == rec3.CommitDigest() {
+		t.Fatal("different seeds produced identical commit digests — digest is insensitive")
+	}
+}
+
+// TestAttachDeclinesOpaqueChains: a Blockchain without the observation hook
+// is reported, not silently ignored.
+func TestAttachDeclinesOpaqueChains(t *testing.T) {
+	if rec, ok := invariant.Attach(opaqueChain{}); ok || rec != nil {
+		t.Fatal("Attach accepted a chain with no observation hook")
+	}
+	if vs := invariant.FinalChecks(opaqueChain{}, invariant.NewRecorder()); vs != nil {
+		t.Fatalf("FinalChecks on a stateless chain should be a no-op, got %v", vs)
+	}
+}
+
+type opaqueChain struct{}
+
+func (opaqueChain) Name() string                                  { return "opaque" }
+func (opaqueChain) Deploy(chain.Contract) error                   { return nil }
+func (opaqueChain) Submit(*chain.Transaction) (chain.TxID, error) { return chain.TxID{}, nil }
+func (opaqueChain) Shards() int                                   { return 1 }
+func (opaqueChain) Height(int) uint64                             { return 0 }
+func (opaqueChain) BlockAt(int, uint64) (*chain.Block, bool)      { return nil, false }
+func (opaqueChain) PendingTxs() int                               { return 0 }
+func (opaqueChain) Start()                                        {}
+func (opaqueChain) Stop()                                         {}

@@ -1,0 +1,70 @@
+package invariant
+
+import (
+	"hammer/internal/chain"
+)
+
+// BlockObserver is the observation hook basechain exposes; every simulated
+// chain inherits it.
+type BlockObserver interface {
+	ObserveBlocks(fn func(shard int, blk *chain.Block))
+}
+
+// Optional capability interfaces the simulated chains expose for end-of-run
+// checks. A chain that exposes none of them still gets the streaming block
+// invariants; it just skips conservation.
+type (
+	gasCapped   interface{ GasCap() uint64 }
+	singleState interface{ State() *chain.State }
+	shardStates interface {
+		ShardState(shard int) (*chain.State, error)
+		Shards() int
+	}
+	inTransit interface{ OutstandingCrossDebits() int64 }
+)
+
+// Attach installs a fresh Recorder on bc's block stream. It reports false
+// when the chain does not expose the observation hook (e.g. an external SUT
+// reached over RPC). Chains with a block gas cap get the gas invariant.
+func Attach(bc chain.Blockchain) (*Recorder, bool) {
+	obs, ok := bc.(BlockObserver)
+	if !ok {
+		return nil, false
+	}
+	var opts []Option
+	if g, ok := bc.(gasCapped); ok {
+		opts = append(opts, WithGasCap(g.GasCap()))
+	}
+	rec := NewRecorder(opts...)
+	obs.ObserveBlocks(rec.OnBlock)
+	return rec, true
+}
+
+// FinalChecks runs the end-of-run invariants — currently conservation —
+// against whatever world state the chain exposes, and returns them as
+// violations alongside the recorder's streaming findings.
+func FinalChecks(bc chain.Blockchain, rec *Recorder) []Violation {
+	var states []*chain.State
+	switch c := bc.(type) {
+	case singleState:
+		states = append(states, c.State())
+	case shardStates:
+		for sh := 0; sh < c.Shards(); sh++ {
+			st, err := c.ShardState(sh)
+			if err != nil {
+				return []Violation{{Invariant: "conservation", Shard: sh, Detail: err.Error()}}
+			}
+			states = append(states, st)
+		}
+	default:
+		return nil // no state access; streaming invariants only
+	}
+	var transit int64
+	if t, ok := bc.(inTransit); ok {
+		transit = t.OutstandingCrossDebits()
+	}
+	if err := CheckConservation(rec, transit, states...); err != nil {
+		return []Violation{{Invariant: "conservation", Detail: err.Error()}}
+	}
+	return nil
+}

@@ -1,0 +1,159 @@
+// Package invariant is the correctness subsystem for the simulated chains:
+// a small randomized property-testing engine with shrinking (Check), a block
+// observer that enforces structural ledger invariants as blocks seal
+// (Recorder), SmallBank conservation accounting (conserve.go), a serial
+// re-execution oracle for committed schedules (replay.go), and a differential
+// oracle that replays the same seeded workload on the timer-wheel and
+// binary-heap schedulers (schedoracle.go).
+//
+// Everything is stdlib-only and seed-deterministic: a failure prints the
+// (seed, run) pair that regenerates its input exactly, so any violation found
+// in CI replays locally with Replay.
+package invariant
+
+import (
+	"fmt"
+
+	"hammer/internal/randx"
+)
+
+// Config bounds one property check.
+type Config struct {
+	// Runs is how many generated inputs the property is evaluated on
+	// (default 100).
+	Runs int
+	// Seed is the base seed; the input for run r is generated from the
+	// deterministic derived seed RunSeed(Seed, r).
+	Seed int64
+	// MaxShrink caps property evaluations spent shrinking a failure
+	// (default 2000).
+	MaxShrink int
+}
+
+// Failure describes a failed property together with its replay coordinates
+// and the minimal failing input shrinking reached.
+type Failure[I any] struct {
+	// Seed and Run replay the original input: Replay(Seed, Run, gen).
+	Seed int64
+	Run  int
+	// Input is the generated input that first failed.
+	Input I
+	// Minimal is the smallest failing input the shrinker reached (equal to
+	// Input when no shrink candidate still failed).
+	Minimal I
+	// Err is the property error for Minimal.
+	Err error
+	// Shrinks counts accepted shrink steps from Input to Minimal.
+	Shrinks int
+}
+
+// Error formats the failure with the replay seed, which is the contract the
+// "replay a failure" workflow in the README depends on.
+func (f *Failure[I]) Error() string {
+	return fmt.Sprintf("invariant: property failed (replay with seed=%d run=%d, %d shrinks): %v",
+		f.Seed, f.Run, f.Shrinks, f.Err)
+}
+
+// RunSeed derives the generator seed for run r from the base seed, using a
+// splitmix64 step so consecutive runs get well-separated streams.
+func RunSeed(seed int64, run int) int64 {
+	z := uint64(seed) + uint64(run+1)*0x9e3779b97f4a7c15
+	z = (z ^ (z >> 30)) * 0xbf58476d1ce4e5b9
+	z = (z ^ (z >> 27)) * 0x94d049bb133111eb
+	return int64(z ^ (z >> 31))
+}
+
+// Check evaluates prop on Runs inputs drawn from gen. On the first failure it
+// shrinks: shrink proposes smaller variants of the current minimal input, and
+// any variant that still fails becomes the new minimum, until no candidate
+// fails or the shrink budget runs out. Check returns nil when every input
+// passed. gen must be deterministic in the randx stream; shrink may be nil to
+// disable shrinking.
+func Check[I any](cfg Config, gen func(*randx.Rand) I, shrink func(I) []I, prop func(I) error) *Failure[I] {
+	if cfg.Runs <= 0 {
+		cfg.Runs = 100
+	}
+	if cfg.MaxShrink <= 0 {
+		cfg.MaxShrink = 2000
+	}
+	for run := 0; run < cfg.Runs; run++ {
+		input := gen(randx.New(RunSeed(cfg.Seed, run)))
+		err := prop(input)
+		if err == nil {
+			continue
+		}
+		f := &Failure[I]{Seed: cfg.Seed, Run: run, Input: input, Minimal: input, Err: err}
+		if shrink == nil {
+			return f
+		}
+		budget := cfg.MaxShrink
+		for improved := true; improved && budget > 0; {
+			improved = false
+			for _, cand := range shrink(f.Minimal) {
+				if budget <= 0 {
+					break
+				}
+				budget--
+				if cerr := prop(cand); cerr != nil {
+					f.Minimal, f.Err = cand, cerr
+					f.Shrinks++
+					improved = true
+					break
+				}
+			}
+		}
+		return f
+	}
+	return nil
+}
+
+// Replay regenerates the exact input of a failed run from the coordinates a
+// Failure printed.
+func Replay[I any](seed int64, run int, gen func(*randx.Rand) I) I {
+	return gen(randx.New(RunSeed(seed, run)))
+}
+
+// ShrinkSlice proposes smaller variants of xs: drop the first or second
+// half, drop each single element, and (when elem is non-nil) shrink each
+// element in place. Candidates are ordered most-aggressive first so shrinking
+// converges in few property evaluations.
+func ShrinkSlice[T any](xs []T, elem func(T) []T) [][]T {
+	if len(xs) == 0 {
+		return nil
+	}
+	var out [][]T
+	if len(xs) > 1 {
+		mid := len(xs) / 2
+		out = append(out, append([]T(nil), xs[mid:]...)) // drop first half
+		out = append(out, append([]T(nil), xs[:mid]...)) // drop second half
+		for i := range xs {
+			cand := make([]T, 0, len(xs)-1)
+			cand = append(cand, xs[:i]...)
+			cand = append(cand, xs[i+1:]...)
+			out = append(out, cand)
+		}
+	}
+	if elem != nil {
+		for i, x := range xs {
+			for _, smaller := range elem(x) {
+				cand := append([]T(nil), xs...)
+				cand[i] = smaller
+				out = append(out, cand)
+			}
+		}
+	}
+	return out
+}
+
+// ShrinkInt proposes smaller non-negative variants of n, halving toward zero.
+func ShrinkInt(n int) []int {
+	if n <= 0 {
+		return nil
+	}
+	out := []int{0}
+	if n > 2 {
+		out = append(out, n/2)
+	}
+	out = append(out, n-1)
+	return out
+}

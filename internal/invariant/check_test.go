@@ -1,0 +1,161 @@
+package invariant
+
+import (
+	"fmt"
+	"reflect"
+	"testing"
+
+	"hammer/internal/randx"
+)
+
+// ledgerOp is a miniature banking operation for the engine's own acceptance
+// test: a ledger with a deliberately injected conservation bug that Check
+// must find, shrink to a minimal input, and replay from the printed seed.
+type ledgerOp struct {
+	Kind   string // "mint", "burn", "move"
+	A, B   int
+	Amount int64
+}
+
+// buggyApply executes ops over a 4-account ledger and returns the final
+// total. The injected bug: a move of more than 50 units loses one unit in
+// transit (the classic off-by-one a conservation invariant exists to catch).
+func buggyApply(ops []ledgerOp) (total int64, expected int64) {
+	var bal [4]int64
+	for _, op := range ops {
+		switch op.Kind {
+		case "mint":
+			bal[op.A] += op.Amount
+			expected += op.Amount
+		case "burn":
+			bal[op.A] -= op.Amount
+			expected -= op.Amount
+		case "move":
+			bal[op.A] -= op.Amount
+			credited := op.Amount
+			if op.Amount > 50 {
+				credited-- // the injected conservation bug
+			}
+			bal[op.B] += credited
+		}
+	}
+	for _, b := range bal {
+		total += b
+	}
+	return total, expected
+}
+
+func genOps(rng *randx.Rand) []ledgerOp {
+	n := 1 + rng.Intn(40)
+	ops := make([]ledgerOp, n)
+	kinds := []string{"mint", "burn", "move"}
+	for i := range ops {
+		ops[i] = ledgerOp{
+			Kind:   kinds[rng.Intn(len(kinds))],
+			A:      rng.Intn(4),
+			B:      rng.Intn(4),
+			Amount: int64(rng.Intn(200)),
+		}
+	}
+	return ops
+}
+
+func shrinkOps(ops []ledgerOp) [][]ledgerOp {
+	return ShrinkSlice(ops, func(op ledgerOp) []ledgerOp {
+		var out []ledgerOp
+		for _, a := range ShrinkInt(int(op.Amount)) {
+			smaller := op
+			smaller.Amount = int64(a)
+			out = append(out, smaller)
+		}
+		return out
+	})
+}
+
+func conserved(ops []ledgerOp) error {
+	total, expected := buggyApply(ops)
+	if total != expected {
+		return fmt.Errorf("total %d, committed operations imply %d", total, expected)
+	}
+	return nil
+}
+
+// TestCheckShrinksInjectedConservationBug is the engine's acceptance
+// criterion: the randomized check finds the injected bug, shrinks the
+// failing operation list to the minimal reproducer (one move of exactly 51
+// units), and the printed (seed, run) coordinates regenerate the original
+// failing input exactly.
+func TestCheckShrinksInjectedConservationBug(t *testing.T) {
+	cfg := Config{Runs: 200, Seed: 7}
+	f := Check(cfg, genOps, shrinkOps, conserved)
+	if f == nil {
+		t.Fatal("Check did not find the injected conservation bug")
+	}
+	t.Logf("failure: %v", f)
+	t.Logf("minimal input: %+v", f.Minimal)
+	if len(f.Minimal) != 1 {
+		t.Fatalf("shrinking stopped at %d operations, want 1: %+v", len(f.Minimal), f.Minimal)
+	}
+	op := f.Minimal[0]
+	if op.Kind != "move" || op.Amount != 51 {
+		t.Fatalf("minimal failing input should be a move of 51 units, got %+v", op)
+	}
+	if f.Shrinks == 0 {
+		t.Fatal("expected at least one successful shrink step")
+	}
+
+	// The replay contract: the coordinates in the error message regenerate
+	// the failing input bit-for-bit.
+	replayed := Replay(f.Seed, f.Run, genOps)
+	if !reflect.DeepEqual(replayed, f.Input) {
+		t.Fatalf("Replay(seed=%d, run=%d) did not regenerate the failing input", f.Seed, f.Run)
+	}
+	if err := conserved(replayed); err == nil {
+		t.Fatal("replayed input no longer fails the property")
+	}
+}
+
+func TestCheckPassesCleanProperty(t *testing.T) {
+	cfg := Config{Runs: 100, Seed: 3}
+	f := Check(cfg, genOps, shrinkOps, func(ops []ledgerOp) error {
+		// Same ledger without the bug: strip the lossy branch by capping
+		// amounts at 50 before applying.
+		capped := append([]ledgerOp(nil), ops...)
+		for i := range capped {
+			if capped[i].Amount > 50 {
+				capped[i].Amount = 50
+			}
+		}
+		return conserved(capped)
+	})
+	if f != nil {
+		t.Fatalf("clean property reported a failure: %v", f)
+	}
+}
+
+func TestCheckIsDeterministic(t *testing.T) {
+	cfg := Config{Runs: 200, Seed: 7}
+	a := Check(cfg, genOps, shrinkOps, conserved)
+	b := Check(cfg, genOps, shrinkOps, conserved)
+	if a == nil || b == nil {
+		t.Fatal("expected both checks to fail")
+	}
+	if a.Run != b.Run || !reflect.DeepEqual(a.Minimal, b.Minimal) {
+		t.Fatalf("same seed produced different failures: run %d vs %d", a.Run, b.Run)
+	}
+}
+
+func TestShrinkSliceProposesSmallerVariants(t *testing.T) {
+	cands := ShrinkSlice([]int{1, 2, 3, 4}, func(n int) []int { return ShrinkInt(n) })
+	if len(cands) == 0 {
+		t.Fatal("no candidates")
+	}
+	for _, c := range cands {
+		if len(c) > 4 {
+			t.Fatalf("candidate grew: %v", c)
+		}
+	}
+	if got := ShrinkSlice([]int{}, nil); got != nil {
+		t.Fatalf("empty slice should not shrink, got %v", got)
+	}
+}

@@ -1,0 +1,82 @@
+package invariant
+
+import (
+	"fmt"
+	"strconv"
+	"strings"
+
+	"hammer/internal/chain"
+	"hammer/internal/smallbank"
+)
+
+// SmallBankDelta is the change a committed SmallBank operation makes to the
+// total value in the ledger. Deposits mint, withdrawals burn, creations seed
+// both accounts; transfers and amalgamations move value without changing the
+// total. Non-SmallBank transactions and malformed arguments (which abort at
+// execution and therefore never commit) contribute zero.
+func SmallBankDelta(tx *chain.Transaction) int64 {
+	if tx.Contract != smallbank.ContractName {
+		return 0
+	}
+	arg := func(i int) int64 {
+		if i >= len(tx.Args) {
+			return 0
+		}
+		v, err := strconv.ParseInt(tx.Args[i], 10, 64)
+		if err != nil {
+			return 0
+		}
+		return v
+	}
+	switch tx.Op {
+	case smallbank.OpCreate:
+		return arg(1) + arg(2)
+	case smallbank.OpDeposit:
+		return arg(1)
+	case smallbank.OpWithdraw:
+		return -arg(1)
+	default: // transfer, amalgamate, query conserve
+		return 0
+	}
+}
+
+// LedgerTotal sums every SmallBank account balance (checking "c:" and
+// savings "s:" keys) across the given states.
+func LedgerTotal(states ...*chain.State) (int64, error) {
+	var total int64
+	for _, st := range states {
+		for _, key := range st.Keys() {
+			if !strings.HasPrefix(key, "c:") && !strings.HasPrefix(key, "s:") {
+				continue
+			}
+			raw, _, ok := st.Get(key)
+			if !ok {
+				continue
+			}
+			v, err := strconv.ParseInt(string(raw), 10, 64)
+			if err != nil {
+				return 0, fmt.Errorf("invariant: corrupt balance at %q: %w", key, err)
+			}
+			total += v
+		}
+	}
+	return total, nil
+}
+
+// CheckConservation asserts that the value sitting in the world state, plus
+// any value in transit between shards, equals the total implied by the
+// committed operation sequence the recorder observed. inTransit is zero for
+// single-state chains; sharded chains report debited-but-not-yet-credited
+// cross-shard value (meepo's OutstandingCrossDebits).
+func CheckConservation(rec *Recorder, inTransit int64, states ...*chain.State) error {
+	actual, err := LedgerTotal(states...)
+	if err != nil {
+		return err
+	}
+	expected := rec.ExpectedTotal()
+	if actual+inTransit != expected {
+		return fmt.Errorf("invariant: conservation violated: state holds %d (+%d in transit), committed operations imply %d (diff %d)",
+			actual, inTransit, expected, actual+inTransit-expected)
+	}
+	return nil
+}

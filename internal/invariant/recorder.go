@@ -1,0 +1,214 @@
+package invariant
+
+import (
+	"crypto/sha256"
+	"encoding/binary"
+	"encoding/hex"
+	"fmt"
+	"hash"
+	"sync"
+	"time"
+
+	"hammer/internal/chain"
+)
+
+// Violation is one observed breach of a ledger invariant.
+type Violation struct {
+	// Invariant names the violated property (e.g. "no-double-commit").
+	Invariant string
+	Shard     int
+	Height    uint64
+	// Detail is a human-readable description of the breach.
+	Detail string
+}
+
+// String implements fmt.Stringer.
+func (v Violation) String() string {
+	return fmt.Sprintf("%s: shard %d height %d: %s", v.Invariant, v.Shard, v.Height, v.Detail)
+}
+
+// Recorder enforces the structural ledger invariants on every sealed block.
+// It is installed through basechain's ObserveBlocks hook and runs on the
+// scheduler goroutine in commit order, so its running commit digest is a
+// deterministic fingerprint of the chain's entire commit sequence — equal
+// digests mean bitwise-identical schedules, the basis for the determinism
+// and worker-independence suites.
+//
+// Invariants checked per block:
+//   - height-contiguity: heights increase by exactly one per shard
+//   - monotone-timestamp: block timestamps never decrease per shard
+//   - hash-chain: PrevHash equals the previous block's hash
+//   - seal: TxRoot and BlockHash match a recomputation over the contents
+//   - receipt-alignment: receipts pair 1:1 and in order with transactions
+//   - no-double-commit: a transaction ID gains at most one committed receipt
+//   - gas-cap: a block's summed gas stays within the configured cap
+//
+// The recorder also accumulates the SmallBank conservation expectation (see
+// conserve.go) from every committed operation it observes.
+type Recorder struct {
+	mu       sync.Mutex
+	gasCap   uint64
+	shards   map[int]*shardCursor
+	commits  map[chain.TxID]struct{}
+	breaches []Violation
+	digest   hash.Hash
+	expected int64
+	blocks   int
+	nCommits int
+}
+
+type shardCursor struct {
+	height uint64
+	ts     time.Duration
+	hash   chain.Hash
+}
+
+// Option customises a Recorder.
+type Option func(*Recorder)
+
+// WithGasCap enables the gas-cap invariant with the given per-block limit.
+func WithGasCap(cap uint64) Option {
+	return func(r *Recorder) { r.gasCap = cap }
+}
+
+// NewRecorder builds an empty recorder.
+func NewRecorder(opts ...Option) *Recorder {
+	r := &Recorder{
+		shards:  make(map[int]*shardCursor),
+		commits: make(map[chain.TxID]struct{}),
+		digest:  sha256.New(),
+	}
+	for _, o := range opts {
+		o(r)
+	}
+	return r
+}
+
+// OnBlock checks blk against the invariant catalogue and folds it into the
+// commit digest. It has the signature basechain.Base.ObserveBlocks expects.
+func (r *Recorder) OnBlock(shard int, blk *chain.Block) {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	r.blocks++
+
+	cur, ok := r.shards[shard]
+	if !ok {
+		cur = &shardCursor{}
+		r.shards[shard] = cur
+	}
+	if blk.Height != cur.height+1 {
+		r.violate("height-contiguity", shard, blk.Height,
+			fmt.Sprintf("height %d follows %d", blk.Height, cur.height))
+	}
+	if blk.Timestamp < cur.ts {
+		r.violate("monotone-timestamp", shard, blk.Height,
+			fmt.Sprintf("timestamp %v before previous block's %v", blk.Timestamp, cur.ts))
+	}
+	if cur.height > 0 && blk.PrevHash != cur.hash {
+		r.violate("hash-chain", shard, blk.Height,
+			fmt.Sprintf("prev hash %s, previous block sealed as %s", blk.PrevHash, cur.hash))
+	}
+	reseal := chain.Block{
+		Shard:     blk.Shard,
+		Height:    blk.Height,
+		Timestamp: blk.Timestamp,
+		PrevHash:  blk.PrevHash,
+		Txs:       blk.Txs,
+		Proposer:  blk.Proposer,
+	}
+	reseal.Seal()
+	if reseal.TxRoot != blk.TxRoot || reseal.BlockHash != blk.BlockHash {
+		r.violate("seal", shard, blk.Height, "TxRoot or BlockHash does not match recomputation")
+	}
+	cur.height = blk.Height
+	cur.ts = blk.Timestamp
+	cur.hash = blk.BlockHash
+
+	if len(blk.Receipts) != len(blk.Txs) {
+		r.violate("receipt-alignment", shard, blk.Height,
+			fmt.Sprintf("%d receipts for %d transactions", len(blk.Receipts), len(blk.Txs)))
+	}
+
+	var gas uint64
+	var hdr [8]byte
+	binary.BigEndian.PutUint64(hdr[:], uint64(shard)<<32|blk.Height)
+	r.digest.Write(hdr[:])
+	for i, tx := range blk.Txs {
+		gas += tx.Gas
+		if i >= len(blk.Receipts) {
+			break
+		}
+		rc := blk.Receipts[i]
+		if rc.TxID != tx.ID {
+			r.violate("receipt-alignment", shard, blk.Height,
+				fmt.Sprintf("receipt %d is for %s, transaction is %s", i, rc.TxID.Short(), tx.ID.Short()))
+			continue
+		}
+		r.digest.Write(rc.TxID[:])
+		r.digest.Write([]byte{byte(rc.Status)})
+		if rc.Status != chain.StatusCommitted {
+			continue
+		}
+		if _, dup := r.commits[rc.TxID]; dup {
+			r.violate("no-double-commit", shard, blk.Height,
+				fmt.Sprintf("transaction %s committed twice", rc.TxID.Short()))
+			continue
+		}
+		r.commits[rc.TxID] = struct{}{}
+		r.nCommits++
+		r.expected += SmallBankDelta(tx)
+	}
+	if r.gasCap > 0 && gas > r.gasCap {
+		r.violate("gas-cap", shard, blk.Height,
+			fmt.Sprintf("block uses %d gas, cap is %d", gas, r.gasCap))
+	}
+}
+
+func (r *Recorder) violate(name string, shard int, height uint64, detail string) {
+	// Cap retained violations: one broken invariant in a long run would
+	// otherwise accumulate millions of identical entries.
+	if len(r.breaches) < 1000 {
+		r.breaches = append(r.breaches, Violation{Invariant: name, Shard: shard, Height: height, Detail: detail})
+	}
+}
+
+// Violations returns the breaches observed so far (capped at 1000).
+func (r *Recorder) Violations() []Violation {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	out := make([]Violation, len(r.breaches))
+	copy(out, r.breaches)
+	return out
+}
+
+// CommitDigest fingerprints the commit sequence observed so far: every
+// (shard, height, txID, status) in commit order. Two runs with equal digests
+// produced bitwise-identical schedules.
+func (r *Recorder) CommitDigest() string {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	return hex.EncodeToString(r.digest.Sum(nil))
+}
+
+// ExpectedTotal is the SmallBank balance total implied by the committed
+// operations observed (see conserve.go).
+func (r *Recorder) ExpectedTotal() int64 {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	return r.expected
+}
+
+// Blocks and Commits report how much ledger the recorder has seen — useful
+// for asserting a suite actually exercised the chain.
+func (r *Recorder) Blocks() int {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	return r.blocks
+}
+
+// Commits reports the number of distinct committed transactions observed.
+func (r *Recorder) Commits() int {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	return r.nCommits
+}

@@ -1,0 +1,186 @@
+package invariant
+
+import (
+	"fmt"
+	"strings"
+	"testing"
+	"time"
+
+	"hammer/internal/chain"
+	"hammer/internal/smallbank"
+)
+
+// mkBlock seals a well-formed block at the given height carrying one
+// committed SmallBank deposit of amount, chained onto prev (zero Hash for the
+// genesis successor).
+func mkBlock(height uint64, ts time.Duration, prev chain.Hash, amount int) *chain.Block {
+	tx := &chain.Transaction{
+		Contract: smallbank.ContractName,
+		Op:       smallbank.OpDeposit,
+		Args:     []string{fmt.Sprintf("acct%d", height), fmt.Sprintf("%d", amount)},
+		Gas:      21000,
+	}
+	tx.ComputeID()
+	blk := &chain.Block{
+		Height:    height,
+		Timestamp: ts,
+		PrevHash:  prev,
+		Txs:       []*chain.Transaction{tx},
+	}
+	blk.Seal()
+	blk.Receipts = []*chain.Receipt{{TxID: tx.ID, Status: chain.StatusCommitted, Height: height}}
+	return blk
+}
+
+func violationNames(vs []Violation) []string {
+	var names []string
+	for _, v := range vs {
+		names = append(names, v.Invariant)
+	}
+	return names
+}
+
+func TestRecorderCleanChain(t *testing.T) {
+	rec := NewRecorder(WithGasCap(1_000_000))
+	var prev chain.Hash
+	for h := uint64(1); h <= 5; h++ {
+		blk := mkBlock(h, time.Duration(h)*time.Second, prev, 10)
+		rec.OnBlock(0, blk)
+		prev = blk.BlockHash
+	}
+	if vs := rec.Violations(); len(vs) != 0 {
+		t.Fatalf("clean chain produced violations: %v", vs)
+	}
+	if rec.Blocks() != 5 || rec.Commits() != 5 {
+		t.Fatalf("saw %d blocks, %d commits; want 5 and 5", rec.Blocks(), rec.Commits())
+	}
+	if rec.ExpectedTotal() != 50 {
+		t.Fatalf("expected total %d, want 50 (5 deposits of 10)", rec.ExpectedTotal())
+	}
+}
+
+func TestRecorderDigestIsOrderSensitive(t *testing.T) {
+	a, b := NewRecorder(), NewRecorder()
+	blk1 := mkBlock(1, time.Second, chain.Hash{}, 10)
+	blk2 := mkBlock(2, 2*time.Second, blk1.BlockHash, 20)
+	a.OnBlock(0, blk1)
+	a.OnBlock(0, blk2)
+	b.OnBlock(0, blk2)
+	b.OnBlock(0, blk1)
+	if a.CommitDigest() == b.CommitDigest() {
+		t.Fatal("digest did not change when the commit order changed")
+	}
+
+	c := NewRecorder()
+	c.OnBlock(0, blk1)
+	c.OnBlock(0, blk2)
+	if a.CommitDigest() != c.CommitDigest() {
+		t.Fatal("same commit sequence produced different digests")
+	}
+}
+
+func TestRecorderFlagsDoubleCommit(t *testing.T) {
+	rec := NewRecorder()
+	blk1 := mkBlock(1, time.Second, chain.Hash{}, 10)
+	// Same transaction committed again at height 2.
+	blk2 := &chain.Block{
+		Height:    2,
+		Timestamp: 2 * time.Second,
+		PrevHash:  blk1.BlockHash,
+		Txs:       blk1.Txs,
+	}
+	blk2.Seal()
+	blk2.Receipts = []*chain.Receipt{{TxID: blk1.Txs[0].ID, Status: chain.StatusCommitted, Height: 2}}
+	rec.OnBlock(0, blk1)
+	rec.OnBlock(0, blk2)
+	names := violationNames(rec.Violations())
+	if len(names) != 1 || names[0] != "no-double-commit" {
+		t.Fatalf("want exactly one no-double-commit violation, got %v", names)
+	}
+	// The duplicate must not inflate the conservation expectation.
+	if rec.ExpectedTotal() != 10 {
+		t.Fatalf("expected total %d, want 10 (double commit counted twice)", rec.ExpectedTotal())
+	}
+}
+
+func TestRecorderFlagsStructuralBreaches(t *testing.T) {
+	blk1 := mkBlock(1, time.Second, chain.Hash{}, 10)
+	cases := []struct {
+		name string
+		blk  func() *chain.Block
+		want string
+	}{
+		{"height gap", func() *chain.Block {
+			return mkBlock(3, 2*time.Second, blk1.BlockHash, 10)
+		}, "height-contiguity"},
+		{"clock went backwards", func() *chain.Block {
+			return mkBlock(2, time.Second/2, blk1.BlockHash, 10)
+		}, "monotone-timestamp"},
+		{"broken hash chain", func() *chain.Block {
+			return mkBlock(2, 2*time.Second, chain.Hash{0xde, 0xad}, 10)
+		}, "hash-chain"},
+		{"tampered seal", func() *chain.Block {
+			blk := mkBlock(2, 2*time.Second, blk1.BlockHash, 10)
+			blk.TxRoot[0] ^= 0xff
+			return blk
+		}, "seal"},
+		{"missing receipt", func() *chain.Block {
+			blk := mkBlock(2, 2*time.Second, blk1.BlockHash, 10)
+			blk.Receipts = nil
+			return blk
+		}, "receipt-alignment"},
+		{"misattributed receipt", func() *chain.Block {
+			blk := mkBlock(2, 2*time.Second, blk1.BlockHash, 10)
+			blk.Receipts[0].TxID = chain.TxID{0x01}
+			return blk
+		}, "receipt-alignment"},
+	}
+	for _, tc := range cases {
+		t.Run(tc.name, func(t *testing.T) {
+			rec := NewRecorder()
+			rec.OnBlock(0, blk1)
+			rec.OnBlock(0, tc.blk())
+			names := violationNames(rec.Violations())
+			found := false
+			for _, n := range names {
+				if n == tc.want {
+					found = true
+				}
+			}
+			if !found {
+				t.Fatalf("want a %s violation, got %v", tc.want, names)
+			}
+		})
+	}
+}
+
+func TestRecorderFlagsGasCapBreach(t *testing.T) {
+	rec := NewRecorder(WithGasCap(20000))
+	rec.OnBlock(0, mkBlock(1, time.Second, chain.Hash{}, 10)) // tx.Gas = 21000
+	names := violationNames(rec.Violations())
+	if len(names) != 1 || names[0] != "gas-cap" {
+		t.Fatalf("want exactly one gas-cap violation, got %v", names)
+	}
+}
+
+func TestRecorderTracksShardsIndependently(t *testing.T) {
+	rec := NewRecorder()
+	// Each shard has its own height 1 and hash chain; neither may be
+	// mistaken for the other's successor.
+	b0 := mkBlock(1, time.Second, chain.Hash{}, 10)
+	b1 := mkBlock(1, time.Second, chain.Hash{}, 20)
+	rec.OnBlock(0, b0)
+	rec.OnBlock(1, b1)
+	rec.OnBlock(0, mkBlock(2, 2*time.Second, b0.BlockHash, 10))
+	rec.OnBlock(1, mkBlock(2, 2*time.Second, b1.BlockHash, 20))
+	if vs := rec.Violations(); len(vs) != 0 {
+		t.Fatalf("independent shards produced violations: %v", vs)
+	}
+}
+
+func TestViolationString(t *testing.T) {
+	v := Violation{Invariant: "seal", Shard: 2, Height: 7, Detail: "mismatch"}
+	if s := v.String(); !strings.Contains(s, "seal") || !strings.Contains(s, "shard 2") {
+		t.Fatalf("unhelpful violation string: %q", s)
+	}
+}

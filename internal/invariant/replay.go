@@ -1,0 +1,87 @@
+package invariant
+
+import (
+	"bytes"
+	"crypto/sha256"
+	"encoding/binary"
+	"encoding/hex"
+	"fmt"
+
+	"hammer/internal/chain"
+)
+
+// ReplaySerial re-executes a shard's committed schedule — every transaction
+// with a committed receipt, in block order — against a fresh state. For
+// order-execute chains (ethereum, neuchain) the replay must reproduce the
+// live state exactly; for Fabric it is the serializability oracle: MVCC
+// validation promises the surviving schedule is equivalent to this serial
+// execution, so a divergence means the validator admitted a non-serializable
+// history. A committed transaction that fails to re-execute is reported as an
+// error for the same reason.
+func ReplaySerial(bc chain.Blockchain, shard int, ct chain.Contract) (*chain.State, error) {
+	state := chain.NewState()
+	for h := uint64(1); h <= bc.Height(shard); h++ {
+		blk, ok := bc.BlockAt(shard, h)
+		if !ok {
+			return nil, fmt.Errorf("invariant: replay: shard %d block %d missing", shard, h)
+		}
+		for i, tx := range blk.Txs {
+			if i >= len(blk.Receipts) || blk.Receipts[i].Status != chain.StatusCommitted {
+				continue
+			}
+			ex := chain.NewExecutor(state)
+			if err := ct.Invoke(ex, tx.Op, tx.Args); err != nil {
+				return nil, fmt.Errorf("invariant: replay: committed transaction %s (shard %d height %d) does not re-execute: %w",
+					tx.ID.Short(), shard, h, err)
+			}
+			ex.RWSet().Apply(state, h)
+		}
+	}
+	return state, nil
+}
+
+// DiffStates compares two states by key set and value (versions are
+// bookkeeping and intentionally ignored). It returns nil when equal, or an
+// error naming the first divergent key.
+func DiffStates(got, want *chain.State) error {
+	gotKeys, wantKeys := got.Keys(), want.Keys()
+	seen := make(map[string]struct{}, len(wantKeys))
+	for _, k := range wantKeys {
+		seen[k] = struct{}{}
+		gv, _, gok := got.Get(k)
+		wv, _, _ := want.Get(k)
+		if !gok {
+			return fmt.Errorf("invariant: state diff: key %q missing", k)
+		}
+		if !bytes.Equal(gv, wv) {
+			return fmt.Errorf("invariant: state diff: key %q is %q, want %q", k, gv, wv)
+		}
+	}
+	for _, k := range gotKeys {
+		if _, ok := seen[k]; !ok {
+			return fmt.Errorf("invariant: state diff: unexpected key %q", k)
+		}
+	}
+	return nil
+}
+
+// StateDigest fingerprints one or more states: sorted key/value pairs hashed
+// in order, versions excluded. Equal digests mean value-identical states —
+// the second half of the bitwise-determinism check (equal commit digest plus
+// equal state digest).
+func StateDigest(states ...*chain.State) string {
+	h := sha256.New()
+	var n [4]byte
+	for _, st := range states {
+		for _, k := range st.Keys() {
+			v, _, _ := st.Get(k)
+			binary.BigEndian.PutUint32(n[:], uint32(len(k)))
+			h.Write(n[:])
+			h.Write([]byte(k))
+			binary.BigEndian.PutUint32(n[:], uint32(len(v)))
+			h.Write(n[:])
+			h.Write(v)
+		}
+	}
+	return hex.EncodeToString(h.Sum(nil))
+}

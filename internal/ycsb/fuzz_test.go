@@ -1,0 +1,63 @@
+package ycsb
+
+import (
+	"strconv"
+	"strings"
+	"testing"
+
+	"hammer/internal/chain"
+)
+
+// FuzzYCSBKeys fuzzes the contract with arbitrary operation names, keys and
+// values: Invoke must never panic, must only ever touch namespaced "y:"
+// storage keys, and successful writes must be readable back.
+func FuzzYCSBKeys(f *testing.F) {
+	f.Add("insert", "user1", "value", 0, 1)
+	f.Add("update", "user1", "v2", 0, 1)
+	f.Add("read", "user1", "", 0, 0)
+	f.Add("scan", "0", "", 0, 10)
+	f.Add("scan", "x", "", -5, 2000)
+	f.Add("rmw", "user1", "v3", 0, 0)
+	f.Add("drop", "table", "", 9, 9)
+	f.Add("insert", "", "", 0, 0)
+	f.Add("read", "usertable:\x00", "", 1<<30, 1<<30)
+	f.Fuzz(func(t *testing.T, op, key, val string, a, b int) {
+		state := chain.NewState()
+		// Seed a few canonical records so reads and scans can succeed.
+		seed := chain.NewExecutor(state)
+		for i := 0; i < 4; i++ {
+			if err := (Contract{}).Invoke(seed, OpInsert, []string{RecordKey(i), "seed"}); err != nil {
+				t.Fatal(err)
+			}
+		}
+		seed.RWSet().Apply(state, 1)
+
+		ex := chain.NewExecutor(state)
+		argSets := [][]string{
+			{key, val},
+			{key},
+			{RecordKey(a % 8), val},
+			{strconv.Itoa(a), strconv.Itoa(b)},
+			nil,
+		}
+		for _, args := range argSets {
+			err := (Contract{}).Invoke(ex, op, args)
+			if err != nil {
+				continue
+			}
+			// A successful write must be immediately visible in-transaction.
+			if (op == OpInsert || op == OpUpdate || op == OpRMW) && len(args) == 2 {
+				got, ok := ex.Get("y:" + args[0])
+				if !ok || string(got) != args[1] {
+					t.Fatalf("%s(%q) committed but reads back %q (present=%v)", op, args, got, ok)
+				}
+			}
+		}
+		ex.RWSet().Apply(state, 2)
+		for _, k := range state.Keys() {
+			if !strings.HasPrefix(k, "y:") {
+				t.Fatalf("contract escaped its namespace: wrote key %q", k)
+			}
+		}
+	})
+}
