@@ -34,25 +34,25 @@ type (
 func DefaultEthereumConfig() EthereumConfig { return ethereum.DefaultConfig() }
 
 // NewEthereum builds the simulated Ethereum network on the scheduler.
-func NewEthereum(s *Scheduler, cfg EthereumConfig) Blockchain { return ethereum.New(s, cfg) }
+func NewEthereum(s Sched, cfg EthereumConfig) Blockchain { return ethereum.New(s, cfg) }
 
 // DefaultFabricConfig matches the paper's 1-orderer/4-peer deployment.
 func DefaultFabricConfig() FabricConfig { return fabric.DefaultConfig() }
 
 // NewFabric builds the simulated Fabric network on the scheduler.
-func NewFabric(s *Scheduler, cfg FabricConfig) Blockchain { return fabric.New(s, cfg) }
+func NewFabric(s Sched, cfg FabricConfig) Blockchain { return fabric.New(s, cfg) }
 
 // DefaultNeuchainConfig matches the paper's epoch-server deployment.
 func DefaultNeuchainConfig() NeuchainConfig { return neuchain.DefaultConfig() }
 
 // NewNeuchain builds the simulated Neuchain deployment on the scheduler.
-func NewNeuchain(s *Scheduler, cfg NeuchainConfig) Blockchain { return neuchain.New(s, cfg) }
+func NewNeuchain(s Sched, cfg NeuchainConfig) Blockchain { return neuchain.New(s, cfg) }
 
 // DefaultMeepoConfig matches the paper's two-shard deployment.
 func DefaultMeepoConfig() MeepoConfig { return meepo.DefaultConfig() }
 
 // NewMeepo builds the simulated sharded Meepo deployment on the scheduler.
-func NewMeepo(s *Scheduler, cfg MeepoConfig) Blockchain { return meepo.New(s, cfg) }
+func NewMeepo(s Sched, cfg MeepoConfig) Blockchain { return meepo.New(s, cfg) }
 
 // SmallBank is the benchmark contract the paper evaluates with; deploy it
 // on custom chains that should serve the standard workload.
@@ -74,7 +74,7 @@ func LoadPlaybook(path string) (*Playbook, error) { return deploy.Load(path) }
 func ParsePlaybook(raw []byte) (*Playbook, error) { return deploy.Parse(raw) }
 
 // DeployPlaybook builds the SUT a playbook declares.
-func DeployPlaybook(pb *Playbook, s *Scheduler) (Blockchain, error) { return pb.Run(s) }
+func DeployPlaybook(pb *Playbook, s Sched) (Blockchain, error) { return pb.Run(s) }
 
 // ChainKinds lists the chain kinds playbooks may declare.
 func ChainKinds() []string { return deploy.Kinds() }

@@ -42,16 +42,24 @@ func main() {
 
 func run() error {
 	var (
-		exp        = flag.String("exp", "all", "experiment: fig1|fig6|fig7|fig8|fig9|fig10|correctness|distributed|all, plus faults, schedbench and conformance (explicit only); 'list' prints them all")
-		quick      = flag.Bool("quick", false, "shrink workloads for a fast smoke run")
-		outDir     = flag.String("out", "results", "directory for CSV export")
-		seed       = flag.Int64("seed", 7, "random seed")
-		parallel   = flag.Int("parallel", runtime.GOMAXPROCS(0), "worker count for experiment sweeps (results are identical at any value)")
-		cpuprofile = flag.String("cpuprofile", "", "write a CPU profile to this file")
-		memprofile = flag.String("memprofile", "", "write a heap profile to this file on exit")
-		benchjson  = flag.Bool("benchjson", false, "record per-experiment TPS/wall-clock/allocs into a numbered BENCH_<n>.json under -out")
+		exp         = flag.String("exp", "all", "experiment: fig1|fig6|fig7|fig8|fig9|fig10|correctness|distributed|all, plus faults, schedbench and conformance (explicit only); 'list' prints them all")
+		quick       = flag.Bool("quick", false, "shrink workloads for a fast smoke run")
+		outDir      = flag.String("out", "results", "directory for CSV export")
+		seed        = flag.Int64("seed", 7, "random seed")
+		parallel    = flag.Int("parallel", runtime.GOMAXPROCS(0), "worker count for experiment sweeps (results are identical at any value)")
+		cpuprofile  = flag.String("cpuprofile", "", "write a CPU profile to this file")
+		memprofile  = flag.String("memprofile", "", "write a heap profile to this file on exit")
+		benchjson   = flag.Bool("benchjson", false, "record per-experiment TPS/wall-clock/allocs into a numbered BENCH_<n>.json under -out")
+		events      = flag.Int("events", 1_000_000, "event count for -exp schedbench")
+		schedShards = flag.Int("sched-shards", 0, "run simulations on the sharded event engine with N timer-wheel shards (0 = single wheel; results are identical)")
 	)
 	flag.Parse()
+	if *events < 1 {
+		return fmt.Errorf("-events must be positive, got %d", *events)
+	}
+	if *schedShards < 0 {
+		return fmt.Errorf("-sched-shards must be >= 0, got %d", *schedShards)
+	}
 
 	ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt)
 	defer stop()
@@ -75,6 +83,7 @@ func run() error {
 	}
 	opts.Seed = *seed
 	opts.Workers = *parallel
+	opts.SchedShards = *schedShards
 	opts.OnProgress = progressPrinter(reg)
 
 	selected := strings.Split(*exp, ",")
@@ -121,7 +130,7 @@ func run() error {
 	// is a paper figure, so "all" includes neither.
 	explicit := []step{
 		{"faults", func() (float64, error) { return runFaults(ctx, opts, *outDir) }},
-		{"schedbench", func() (float64, error) { return 0, runSchedBench(*outDir, traj) }},
+		{"schedbench", func() (float64, error) { return 0, runSchedBench(*outDir, traj, *events, *schedShards) }},
 		{"conformance", func() (float64, error) { return 0, runConformance(ctx, opts, *outDir) }},
 	}
 
@@ -265,19 +274,29 @@ func runConformance(ctx context.Context, opts experiments.Options, outDir string
 	return nil
 }
 
-// runSchedBench compares the original binary-heap scheduler against the
-// timer-wheel scheduler on an identical deterministic event workload. The
-// 1M-event run finishes in about a second, so -quick does not shrink it.
-func runSchedBench(outDir string, traj *perf.Trajectory) error {
-	rows, err := experiments.SchedBench(1_000_000)
+// runSchedBench compares the binary-heap scheduler, the timer-wheel
+// scheduler, and the sharded epoch-merge engine (across a shard × worker
+// sweep, or pinned to -sched-shards) on an identical deterministic event
+// workload. The default 1M-event run finishes in seconds, so -quick does
+// not shrink it; -events rescales it.
+func runSchedBench(outDir string, traj *perf.Trajectory, events, shards int) error {
+	rows, err := experiments.SchedBench(events, shards)
 	if err != nil {
 		return err
 	}
-	for _, r := range rows {
-		fmt.Println(r)
+	var heapRow, wheelRow *experiments.SchedBenchRow
+	for i := range rows {
+		r := &rows[i]
+		fmt.Println(*r)
+		switch r.Impl {
+		case "heap":
+			heapRow = r
+		case "wheel":
+			wheelRow = r
+		}
 		if traj != nil {
 			traj.Add(perf.Sample{
-				Name:           "schedbench/" + r.Impl,
+				Name:           "schedbench/" + r.Impl + schedLabelSuffix(*r),
 				WallSeconds:    r.Wall.Seconds(),
 				Allocs:         r.Allocs,
 				AllocBytes:     r.AllocBytes,
@@ -286,13 +305,21 @@ func runSchedBench(outDir string, traj *perf.Trajectory) error {
 			})
 		}
 	}
-	if len(rows) == 2 && rows[1].Wall > 0 && rows[1].Allocs > 0 {
+	if heapRow != nil && wheelRow != nil && wheelRow.Wall > 0 && wheelRow.Allocs > 0 {
 		fmt.Printf("wheel vs heap: %.2fx wall-clock, %.1fx fewer allocations\n",
-			float64(rows[0].Wall)/float64(rows[1].Wall),
-			float64(rows[0].Allocs)/float64(rows[1].Allocs))
+			float64(heapRow.Wall)/float64(wheelRow.Wall),
+			float64(heapRow.Allocs)/float64(wheelRow.Allocs))
 	}
 	header, csvRows := experiments.SchedBenchCSV(rows)
 	return viz.Export(os.Stdout, outDir, viz.Dataset{Name: "schedbench.csv", Header: header, Rows: csvRows})
+}
+
+// schedLabelSuffix distinguishes sharded trajectory samples by configuration.
+func schedLabelSuffix(r experiments.SchedBenchRow) string {
+	if r.Shards > 0 {
+		return fmt.Sprintf("/s=%d,w=%d", r.Shards, r.Workers)
+	}
+	return ""
 }
 
 // progressPrinter emits one line per completed harness run and mirrors the

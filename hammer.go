@@ -64,18 +64,35 @@ const (
 )
 
 // Scheduler is the deterministic discrete-event scheduler every simulated
-// component shares.
+// component shares: a single hierarchical timer wheel.
 type Scheduler = eventsim.Scheduler
+
+// Sched is the scheduling interface both engines implement; chains and the
+// evaluation engine accept either.
+type Sched = eventsim.Sched
+
+// ShardedScheduler is the scale-out engine: N timer wheels advancing in
+// lock-step epochs on the shared worker pool, dispatching in an order
+// byte-identical to the single wheel.
+type ShardedScheduler = eventsim.ShardedScheduler
 
 // NewScheduler returns a fresh virtual timeline.
 func NewScheduler() *Scheduler { return eventsim.New() }
+
+// NewShardedScheduler returns a fresh virtual timeline over n timer-wheel
+// shards. Results are byte-identical to NewScheduler for any n.
+func NewShardedScheduler(n int) *ShardedScheduler { return eventsim.NewSharded(n) }
+
+// ShardKey hashes a stable identifier (node name, shard label) into a shard
+// key for the *Key scheduling variants.
+func ShardKey(s string) uint64 { return eventsim.Key(s) }
 
 // Realtime plays a scheduler forward in wall-clock time so simulated chains
 // can serve live traffic (e.g. behind the RPC bridge).
 type Realtime = eventsim.Realtime
 
 // NewRealtime wraps a scheduler; speed is virtual seconds per real second.
-func NewRealtime(s *Scheduler, speed float64) *Realtime {
+func NewRealtime(s Sched, speed float64) *Realtime {
 	return eventsim.NewRealtime(s, speed)
 }
 
@@ -136,13 +153,13 @@ func LoadFromSeries(series []float64, interval Duration, total int) ControlSeque
 }
 
 // NewEngine builds an evaluation engine over a chain sharing the scheduler.
-func NewEngine(sched *Scheduler, bc Blockchain, cfg EvalConfig) (*core.Engine, error) {
+func NewEngine(sched Sched, bc Blockchain, cfg EvalConfig) (*core.Engine, error) {
 	return core.New(sched, bc, cfg)
 }
 
 // Evaluate is the one-call evaluation: build the engine and run all three
 // phases. Cancelling ctx stops the run at the next virtual-time step.
-func Evaluate(ctx context.Context, sched *Scheduler, bc Blockchain, cfg EvalConfig) (*EvalResult, error) {
+func Evaluate(ctx context.Context, sched Sched, bc Blockchain, cfg EvalConfig) (*EvalResult, error) {
 	eng, err := core.New(sched, bc, cfg)
 	if err != nil {
 		return nil, err

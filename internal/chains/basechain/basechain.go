@@ -16,18 +16,28 @@ import (
 
 // Compute models one node's CPU: cores parallel execution lanes onto which
 // costed work items are packed. Run schedules fn at the earliest instant a
-// lane can finish the work.
+// lane can finish the work. A compute resource belongs to one node, so its
+// completion events carry the node's shard key: on a sharded scheduler all
+// of a node's compute timers stay on one wheel.
 type Compute struct {
-	sched *eventsim.Scheduler
+	sched eventsim.Sched
+	key   uint64
 	busy  []time.Duration
 }
 
-// NewCompute builds a compute resource with the given core count.
-func NewCompute(sched *eventsim.Scheduler, cores int) *Compute {
+// NewCompute builds a compute resource with the given core count on shard
+// key 0.
+func NewCompute(sched eventsim.Sched, cores int) *Compute {
+	return NewComputeKey(sched, cores, 0)
+}
+
+// NewComputeKey builds a compute resource whose completion events are
+// pinned to the given shard key.
+func NewComputeKey(sched eventsim.Sched, cores int, key uint64) *Compute {
 	if cores <= 0 {
 		cores = 1
 	}
-	return &Compute{sched: sched, busy: make([]time.Duration, cores)}
+	return &Compute{sched: sched, key: key, busy: make([]time.Duration, cores)}
 }
 
 // Run enqueues work costing cost onto the least-loaded core and schedules fn
@@ -47,7 +57,7 @@ func (c *Compute) Run(cost time.Duration, fn func()) time.Duration {
 	done := start + cost
 	c.busy[best] = done
 	if fn != nil {
-		c.sched.At(done, fn)
+		c.sched.AtKey(c.key, done, fn)
 	}
 	return done
 }
@@ -70,7 +80,7 @@ func (c *Compute) Backlog() time.Duration {
 // through the owning scheduler, but read-only accessors lock independently.
 type Base struct {
 	ChainName string
-	Sched     *eventsim.Scheduler
+	Sched     eventsim.Sched
 
 	mu        sync.RWMutex
 	contracts map[string]chain.Contract
@@ -95,7 +105,7 @@ type Base struct {
 }
 
 // Init prepares the base for the given shard count.
-func (b *Base) Init(name string, sched *eventsim.Scheduler, shards int) {
+func (b *Base) Init(name string, sched eventsim.Sched, shards int) {
 	b.ChainName = name
 	b.Sched = sched
 	b.contracts = make(map[string]chain.Contract)

@@ -132,5 +132,7 @@ func (c *Chain) Resharded() int { return c.resharded }
 func chainNewState() *chain.State { return chain.NewState() }
 
 func newShardExec(c *Chain) *basechain.Compute {
-	return basechain.NewCompute(c.Sched, 1)
+	// The new chain shard's compute timers ride the scheduler shard
+	// matching its index, like the constructor's wiring.
+	return basechain.NewComputeKey(c.Sched, 1, uint64(len(c.shards)))
 }

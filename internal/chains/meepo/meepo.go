@@ -116,7 +116,7 @@ var (
 )
 
 // New builds the simulated deployment on the shared scheduler.
-func New(sched *eventsim.Scheduler, cfg Config) *Chain {
+func New(sched eventsim.Sched, cfg Config) *Chain {
 	def := DefaultConfig()
 	if cfg.Shards <= 0 {
 		cfg.Shards = def.Shards
@@ -158,8 +158,9 @@ func New(sched *eventsim.Scheduler, cfg Config) *Chain {
 		c.shards = append(c.shards, &shardState{
 			state: chain.NewState(),
 			// Epochs within a shard execute serially; the per-epoch cost
-			// already folds in intra-epoch core parallelism.
-			exec: basechain.NewCompute(sched, 1),
+			// already folds in intra-epoch core parallelism. Each chain
+			// shard's compute timers ride its own scheduler shard.
+			exec: basechain.NewComputeKey(sched, 1, uint64(i)),
 		})
 		for j := 0; j < cfg.MembersPerShard; j++ {
 			c.RegisterNodes(member(i, j))
@@ -238,7 +239,7 @@ func (c *Chain) Start() {
 	if !c.MarkStarted() {
 		return
 	}
-	c.epochs = c.Sched.Every(c.cfg.EpochInterval, func() {
+	c.epochs = c.Sched.EveryKey(eventsim.Key("meepo/epochs"), c.cfg.EpochInterval, func() {
 		if !c.reconfiguring {
 			for sh := range c.shards {
 				c.runEpoch(sh)

@@ -11,7 +11,7 @@ import (
 	"hammer/internal/smallbank"
 )
 
-func newChain(t *testing.T, cfg Config) (*eventsim.Scheduler, *Chain) {
+func newChain(t *testing.T, cfg Config) (eventsim.Sched, *Chain) {
 	t.Helper()
 	sched := eventsim.New()
 	c := New(sched, cfg)
@@ -23,7 +23,7 @@ func newChain(t *testing.T, cfg Config) (*eventsim.Scheduler, *Chain) {
 
 // seedAccounts creates accounts through regular transactions and runs until
 // they commit.
-func seedAccounts(t *testing.T, sched *eventsim.Scheduler, c *Chain, n int) []string {
+func seedAccounts(t *testing.T, sched eventsim.Sched, c *Chain, n int) []string {
 	t.Helper()
 	names := make([]string, n)
 	for i := range names {

@@ -80,7 +80,7 @@ var (
 )
 
 // New builds the simulated deployment on the shared scheduler.
-func New(sched *eventsim.Scheduler, cfg Config) *Chain {
+func New(sched eventsim.Sched, cfg Config) *Chain {
 	def := DefaultConfig()
 	if cfg.BlockServers <= 0 {
 		cfg.BlockServers = def.BlockServers
@@ -116,7 +116,7 @@ func New(sched *eventsim.Scheduler, cfg Config) *Chain {
 	// Epochs execute strictly one after another; intra-epoch parallelism
 	// across the node's cores is folded into the per-epoch cost, so the
 	// compute resource itself has a single lane.
-	c.exec = basechain.NewCompute(sched, 1)
+	c.exec = basechain.NewComputeKey(sched, 1, epochShardKey)
 	return c
 }
 
@@ -160,8 +160,11 @@ func (c *Chain) Start() {
 	if !c.MarkStarted() {
 		return
 	}
-	c.epochs = c.Sched.Every(c.cfg.EpochInterval, c.cutEpoch)
+	c.epochs = c.Sched.EveryKey(epochShardKey, c.cfg.EpochInterval, c.cutEpoch)
 }
+
+// epochShardKey pins the epoch server's timers to one scheduler shard.
+var epochShardKey = eventsim.Key("epoch-server")
 
 // Stop implements chain.Blockchain.
 func (c *Chain) Stop() {

@@ -11,7 +11,7 @@ import (
 	"hammer/internal/smallbank"
 )
 
-func newChain(t *testing.T, cfg Config) (*eventsim.Scheduler, *Chain) {
+func newChain(t *testing.T, cfg Config) (eventsim.Sched, *Chain) {
 	t.Helper()
 	sched := eventsim.New()
 	c := New(sched, cfg)

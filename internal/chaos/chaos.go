@@ -147,7 +147,7 @@ type Applied struct {
 
 // Injector replays a scenario against one chain on the shared scheduler.
 type Injector struct {
-	sched  *eventsim.Scheduler
+	sched  eventsim.Sched
 	target NodeFaulter
 	net    *netsim.Network // nil when the chain has no internal network
 	scen   Scenario
@@ -163,7 +163,7 @@ type Injector struct {
 // nodes and capabilities. The registry is optional; when present the injector
 // maintains the "chaos/events" counter, the "chaos/nodes_down" gauge, and a
 // "chaos/recovery_seconds" gauge set by experiments.
-func NewInjector(sched *eventsim.Scheduler, target NodeFaulter, scen Scenario, reg *monitor.Registry) (*Injector, error) {
+func NewInjector(sched eventsim.Sched, target NodeFaulter, scen Scenario, reg *monitor.Registry) (*Injector, error) {
 	if err := scen.Validate(); err != nil {
 		return nil, err
 	}
@@ -197,12 +197,19 @@ func NewInjector(sched *eventsim.Scheduler, target NodeFaulter, scen Scenario, r
 
 // Arm schedules every scenario event at start+Event.At on the virtual clock.
 // Experiments call it from the driver's measurement-start hook so offsets are
-// relative to the measured window, not to account setup.
+// relative to the measured window, not to account setup. The whole fault
+// timeline shares one shard key derived from the scenario name, so on a
+// sharded scheduler a scenario's events live on a single wheel.
 func (inj *Injector) Arm(start time.Duration) {
+	key := inj.timelineKey()
 	for _, ev := range inj.scen.Events {
 		ev := ev
-		inj.sched.At(start+ev.At, func() { inj.apply(ev) })
+		inj.sched.AtKey(key, start+ev.At, func() { inj.apply(ev) })
 	}
+}
+
+func (inj *Injector) timelineKey() uint64 {
+	return eventsim.Key("chaos/" + inj.scen.Name)
 }
 
 // Applied returns the log of fired events in firing order.
@@ -244,7 +251,7 @@ func (inj *Injector) apply(ev Event) {
 		inj.net.ClearLinkQuality(ev.From, ev.To)
 	case KindLossBurst:
 		inj.net.SetLossFrac(ev.LossFrac)
-		inj.sched.After(ev.Duration, func() { inj.net.ResetLossFrac() })
+		inj.sched.AfterKey(inj.timelineKey(), ev.Duration, func() { inj.net.ResetLossFrac() })
 	}
 	inj.applied = append(inj.applied, Applied{At: inj.sched.Now(), Event: ev, Note: note})
 	if inj.reg != nil {

@@ -20,7 +20,7 @@ type fakeChain struct {
 
 func (f *fakeChain) Network() *netsim.Network { return f.net }
 
-func newFake(sched *eventsim.Scheduler, withNet bool, nodes ...string) *fakeChain {
+func newFake(sched eventsim.Sched, withNet bool, nodes ...string) *fakeChain {
 	f := &fakeChain{}
 	f.Init("fake", sched, 1)
 	f.RegisterNodes(nodes...)

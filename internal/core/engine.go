@@ -18,10 +18,19 @@ import (
 	"hammer/internal/workload"
 )
 
+// Shard keys for the engine's own timers on a sharded scheduler. The driver
+// node (block matching, polling) owns key 0; each simulated client machine
+// owns its own key, so client compute completions and injection pacing
+// spread across wheels. Keys only pick the wheel that holds a timer — never
+// its firing order — so these choices cannot affect results.
+const driverShardKey uint64 = 0
+
+func clientShardKey(i int) uint64 { return uint64(i) + 1 }
+
 // Engine drives one evaluation of one system under test.
 type Engine struct {
 	cfg   Config
-	sched *eventsim.Scheduler
+	sched eventsim.Sched
 	bc    chain.Blockchain
 
 	gen     TxSource
@@ -63,7 +72,7 @@ type Engine struct {
 
 // New validates the configuration and builds an engine over the chain,
 // which must share the scheduler.
-func New(sched *eventsim.Scheduler, bc chain.Blockchain, cfg Config) (*Engine, error) {
+func New(sched eventsim.Sched, bc chain.Blockchain, cfg Config) (*Engine, error) {
 	cfg.fillDefaults()
 	if err := cfg.Validate(); err != nil {
 		return nil, err
@@ -92,14 +101,14 @@ func New(sched *eventsim.Scheduler, bc chain.Blockchain, cfg Config) (*Engine, e
 		gen:         gen,
 		signer:      signer,
 		lastHeights: make([]uint64, bc.Shards()),
-		driver:      basechain.NewCompute(sched, cfg.DriverCores),
+		driver:      basechain.NewComputeKey(sched, cfg.DriverCores, driverShardKey),
 	}
 	lanes := cfg.Threads
 	if lanes > cfg.ClientCores {
 		lanes = cfg.ClientCores
 	}
 	for i := 0; i < cfg.Clients; i++ {
-		e.clients = append(e.clients, basechain.NewCompute(sched, lanes))
+		e.clients = append(e.clients, basechain.NewComputeKey(sched, lanes, clientShardKey(i)))
 	}
 	// Context-switch penalty beyond the core count (Fig 10).
 	over := 0
@@ -419,9 +428,10 @@ func (e *Engine) scheduleInjections(txs []*chain.Transaction, startAt time.Durat
 			start: sliceStart,
 			gap:   gap,
 			seq:   e.sched.ReserveSeq(m),
+			key:   clientShardKey(idx % e.cfg.Clients),
 		}
 		si.fire = si.step
-		e.sched.AtSeq(sliceStart, si.seq, si.fire)
+		e.sched.AtKeySeq(si.key, sliceStart, si.seq, si.fire)
 		idx += m
 	}
 	e.injectionEnd = startAt + cs.Duration()
@@ -537,7 +547,7 @@ func (e *Engine) processRetries() {
 }
 
 func (e *Engine) startPolling() {
-	e.pollTicker = e.sched.Every(e.cfg.PollInterval, func() {
+	e.pollTicker = e.sched.EveryKey(driverShardKey, e.cfg.PollInterval, func() {
 		e.collectBlocks(e.processBlock)
 		if e.retrySupport != nil {
 			// Per-ID expiry supersedes the blanket scan: a record past its

@@ -210,7 +210,7 @@ func (pb *Playbook) validate() error {
 
 // Run builds the declared SUT on the scheduler. It is the equivalent of
 // executing the paper's Ansible playbook against the cluster.
-func (pb *Playbook) Run(sched *eventsim.Scheduler) (chain.Blockchain, error) {
+func (pb *Playbook) Run(sched eventsim.Sched) (chain.Blockchain, error) {
 	switch pb.Kind {
 	case "ethereum":
 		cfg := ethereum.DefaultConfig()

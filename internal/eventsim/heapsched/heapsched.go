@@ -1,10 +1,16 @@
-// Package heapsched preserves the original lazy-cancel binary-heap
-// discrete-event scheduler that internal/eventsim shipped with before the
-// timer-wheel rewrite. It is kept for two jobs: (1) it is the semantic
-// reference the randomized property test drives the wheel scheduler
-// against — same firing order, same clock, same Stop results — and (2) it
-// is the baseline side of the scheduler microbenchmark
-// (`hammer-bench -exp schedbench`) that quantifies the rewrite's win.
+// Package heapsched preserves the original binary-heap discrete-event
+// scheduler that internal/eventsim shipped with before the timer-wheel
+// rewrite. It is kept for two jobs: (1) it is the semantic reference the
+// randomized property test drives the wheel scheduler against — same firing
+// order, same clock, same Stop results — and (2) it is the baseline side of
+// the scheduler microbenchmark (`hammer-bench -exp schedbench`) that
+// quantifies the rewrite's win.
+//
+// Stop removes events eagerly via an indexed heap.Remove. The original
+// lazy-cancel scheme left a dead entry in the heap until the queue rotated
+// past it, so a workload that arms and stops timers in a loop (connection
+// timeouts, retry guards) grew the heap without bound relative to its live
+// event count.
 //
 // Do not use it in new simulation code; internal/eventsim is strictly
 // faster and semantically identical.
@@ -17,7 +23,7 @@ import (
 )
 
 // Scheduler is the original discrete-event scheduler: a binary heap ordered
-// by (time, sequence) with lazily-collected cancellations.
+// by (time, sequence) with eagerly-removed cancellations.
 type Scheduler struct {
 	now     time.Duration
 	queue   eventHeap
@@ -37,15 +43,19 @@ func (s *Scheduler) Now() time.Duration {
 
 // Timer is a handle to a scheduled event; Stop cancels it.
 type Timer struct {
+	s  *Scheduler
 	ev *event
 }
 
-// Stop cancels the timer's event if it has not fired yet.
+// Stop cancels the timer's event if it has not fired yet, removing it from
+// the heap immediately (the maintained index field makes this an O(log n)
+// heap.Remove, not a tombstone that lingers until the queue rotates).
 func (t *Timer) Stop() bool {
 	if t == nil || t.ev == nil || t.ev.cancelled || t.ev.fired {
 		return false
 	}
 	t.ev.cancelled = true
+	heap.Remove(&t.s.queue, t.ev.index)
 	return true
 }
 
@@ -69,7 +79,7 @@ func (s *Scheduler) At(t time.Duration, fn func()) *Timer {
 	ev := &event{at: t, seq: s.seq, fn: fn}
 	s.seq++
 	heap.Push(&s.queue, ev)
-	return &Timer{ev: ev}
+	return &Timer{s: s, ev: ev}
 }
 
 // After schedules fn to run d after the current virtual time.
@@ -119,16 +129,10 @@ func (t *Ticker) Stop() {
 	}
 }
 
-// Len reports the number of pending (non-cancelled) events — the original
-// O(n) scan the wheel scheduler replaced with a live counter.
+// Len reports the number of pending events. With eager cancellation every
+// heap entry is live, so this is the queue length.
 func (s *Scheduler) Len() int {
-	n := 0
-	for _, ev := range s.queue {
-		if !ev.cancelled {
-			n++
-		}
-	}
-	return n
+	return len(s.queue)
 }
 
 // NextAt reports the virtual time of the earliest pending event, if any.
@@ -138,17 +142,14 @@ func (s *Scheduler) NextAt() (time.Duration, bool) {
 
 // Step runs the next pending event, advancing the clock to its time.
 func (s *Scheduler) Step() bool {
-	for s.queue.Len() > 0 {
-		ev := heap.Pop(&s.queue).(*event)
-		if ev.cancelled {
-			continue
-		}
-		s.now = ev.at
-		ev.fired = true
-		ev.fn()
-		return true
+	if s.queue.Len() == 0 {
+		return false
 	}
-	return false
+	ev := heap.Pop(&s.queue).(*event)
+	s.now = ev.at
+	ev.fired = true
+	ev.fn()
+	return true
 }
 
 // Run executes events until the queue drains or Stop is called.
@@ -180,15 +181,10 @@ func (s *Scheduler) Stop() {
 }
 
 func (s *Scheduler) peek() (time.Duration, bool) {
-	for s.queue.Len() > 0 {
-		ev := s.queue[0]
-		if ev.cancelled {
-			heap.Pop(&s.queue)
-			continue
-		}
-		return ev.at, true
+	if s.queue.Len() == 0 {
+		return 0, false
 	}
-	return 0, false
+	return s.queue[0].at, true
 }
 
 // eventHeap orders events by (time, sequence) for deterministic firing.

@@ -1,0 +1,61 @@
+package heapsched
+
+import (
+	"testing"
+	"time"
+)
+
+// TestStopRemovesEagerly churns arm/stop cycles against a small resident
+// population and asserts the heap never grows past the live event count:
+// the old lazy-cancel Stop left every stopped timer in the queue until the
+// clock rotated past it, so this workload grew the heap by one dead entry
+// per cycle.
+func TestStopRemovesEagerly(t *testing.T) {
+	s := New()
+	const resident = 8
+	for i := 0; i < resident; i++ {
+		s.After(time.Duration(i+1)*time.Hour, func() {})
+	}
+	for cycle := 0; cycle < 10000; cycle++ {
+		tm := s.After(30*time.Minute, func() {})
+		if !tm.Stop() {
+			t.Fatalf("cycle %d: Stop returned false for a pending timer", cycle)
+		}
+		if tm.Stop() {
+			t.Fatalf("cycle %d: second Stop returned true", cycle)
+		}
+		if got := len(s.queue); got > resident {
+			t.Fatalf("cycle %d: heap holds %d entries, want ≤ %d live", cycle, got, resident)
+		}
+	}
+	if got := s.Len(); got != resident {
+		t.Fatalf("Len = %d after churn, want %d", got, resident)
+	}
+}
+
+// TestStopOrderingUnaffected checks eager removal does not disturb the
+// firing order of the surviving events.
+func TestStopOrderingUnaffected(t *testing.T) {
+	s := New()
+	var got []int
+	add := func(id int, d time.Duration) *Timer {
+		return s.After(d, func() { got = append(got, id) })
+	}
+	add(1, 10*time.Millisecond)
+	doomed := add(2, 20*time.Millisecond)
+	add(3, 30*time.Millisecond)
+	doomed2 := add(4, 5*time.Millisecond)
+	add(5, 25*time.Millisecond)
+	doomed.Stop()
+	doomed2.Stop()
+	s.Run()
+	want := []int{1, 5, 3}
+	if len(got) != len(want) {
+		t.Fatalf("fired %v, want %v", got, want)
+	}
+	for i := range want {
+		if got[i] != want[i] {
+			t.Fatalf("fired %v, want %v", got, want)
+		}
+	}
+}

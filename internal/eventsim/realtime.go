@@ -5,13 +5,13 @@ import (
 	"time"
 )
 
-// Realtime plays a Scheduler forward in wall-clock time, optionally
+// Realtime plays a scheduler forward in wall-clock time, optionally
 // accelerated, so simulated chains can serve live traffic (e.g. through the
 // JSON-RPC bridge). External callers interact with the simulation through
 // Do, which serialises access with the event loop.
 type Realtime struct {
 	mu    sync.Mutex
-	sched *Scheduler
+	sched Sched
 	speed float64
 
 	epochReal time.Time
@@ -24,7 +24,7 @@ type Realtime struct {
 
 // NewRealtime wraps sched; speed is virtual seconds advanced per real
 // second (1 = real time, 100 = 100× accelerated).
-func NewRealtime(sched *Scheduler, speed float64) *Realtime {
+func NewRealtime(sched Sched, speed float64) *Realtime {
 	if speed <= 0 {
 		speed = 1
 	}
@@ -45,14 +45,32 @@ func (r *Realtime) Start() {
 	go r.loop()
 }
 
+// loop paces the simulation against absolute wall-clock deadlines derived
+// from the start epoch: slice k wakes at epoch + k·quantum. Sleep overshoot
+// in one slice shrinks the next slice's sleep instead of accumulating, so
+// the virtual clock tracks speed·elapsed without long-run drift. When a
+// slice is delivered late (a slow callback, an overloaded host) the loop
+// skips the missed slice indices rather than firing a burst of zero-length
+// sleeps to catch up — virtualNow is computed from the epoch, so skipped
+// slices lose no virtual time.
 func (r *Realtime) loop() {
 	defer close(r.done)
 	const quantum = time.Millisecond
-	ticker := time.NewTicker(quantum)
-	defer ticker.Stop()
-	for {
+	r.mu.Lock()
+	epoch := r.epochReal
+	r.mu.Unlock()
+	timer := time.NewTimer(quantum)
+	defer timer.Stop()
+	for tick := int64(1); ; tick++ {
+		deadline := epoch.Add(time.Duration(tick) * quantum)
+		wait := time.Until(deadline)
+		if wait < 0 {
+			tick += int64(-wait / quantum)
+			wait = 0
+		}
+		timer.Reset(wait)
 		select {
-		case <-ticker.C:
+		case <-timer.C:
 			r.mu.Lock()
 			r.sched.RunUntil(r.virtualNow())
 			r.mu.Unlock()

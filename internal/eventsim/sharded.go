@@ -1,0 +1,342 @@
+package eventsim
+
+import (
+	"fmt"
+	"math"
+	"time"
+
+	"hammer/internal/parallel"
+)
+
+// DefaultEpochWidth is the virtual-time span of one dispatch epoch: eight
+// wheel slots (≈8.4 ms). Any positive width yields the same event order —
+// the width only trades barrier frequency against handoff queue length — so
+// it is a performance knob, never a correctness knob.
+const DefaultEpochWidth = time.Duration(8 << slotShift)
+
+// ShardedScheduler is a discrete-event scheduler built from N timer wheels
+// that advance in lock-step epochs. Timers are partitioned across the wheels
+// by a caller-supplied stable key (key mod N); the epoch machinery is:
+//
+//   - Barrier phase (parallelizable): every shard drains its handoff queue
+//     into its wheel, slides its window forward, and pre-loads its next due
+//     bucket. Shards touch disjoint state, so this phase runs on the
+//     internal/parallel pool — blocks of shards, fixed partition — without
+//     affecting results.
+//   - Dispatch phase (serial): due events across all shards are merged into
+//     one global (virtual time, sequence) order and fired one at a time.
+//     Sequence numbers are allocated from a single counter at arm time, so
+//     the merged order is exactly the order a single wheel would produce:
+//     byte-identical replay at any shard and worker count. (The nominal
+//     merge rank is (time, shard, sequence), but the global sequence makes
+//     the shard tie-break unreachable.)
+//
+// Timers armed by a callback during dispatch route in one of two ways: an
+// arm due before the current epoch ends inserts directly into its shard's
+// wheel so it can still fire this epoch (zero-delay self-reschedules behave
+// exactly as on the single wheel), while an arm at or beyond the epoch
+// boundary is appended to the target shard's handoff queue — an O(1) append
+// — and filed at the next barrier, where placement cost is spread across
+// the pool. Cross-shard arms therefore never mutate another wheel
+// mid-epoch, which is what keeps the barrier phase data-race free.
+//
+// Like Scheduler, a ShardedScheduler is not safe for concurrent use by
+// callers; the parallelism is internal to the barrier phase.
+type ShardedScheduler struct {
+	shards []*schedShard
+	now    time.Duration
+	// seq is the global arm-order counter shared by every shard; it is the
+	// tie-break that makes the merged dispatch order unique.
+	seq     uint64
+	stopped bool
+
+	epochWidth time.Duration
+	// dispatching and epochEnd gate the handoff path: they are set only
+	// while the dispatch loop is firing callbacks inside one epoch.
+	dispatching bool
+	epochEnd    time.Duration
+}
+
+// schedShard is one wheel plus its handoff queue. The inner Scheduler's own
+// seq counter is unused — every arm goes through the sharded scheduler's
+// global counter — and its clock trails the global clock, advancing only
+// when one of its own events fires.
+type schedShard struct {
+	sched   *Scheduler
+	handoff []*event
+}
+
+// NewSharded returns a sharded scheduler with n wheels (n < 1 is clamped to
+// 1). The clock reads zero.
+func NewSharded(n int) *ShardedScheduler {
+	if n < 1 {
+		n = 1
+	}
+	ss := &ShardedScheduler{
+		shards:     make([]*schedShard, n),
+		epochWidth: DefaultEpochWidth,
+	}
+	for i := range ss.shards {
+		ss.shards[i] = &schedShard{sched: &Scheduler{}}
+	}
+	return ss
+}
+
+// Shards reports the wheel count.
+func (ss *ShardedScheduler) Shards() int { return len(ss.shards) }
+
+// SetEpochWidth overrides the epoch width. Exposed for tests and benchmarks
+// (event order is width-independent); it panics on non-positive widths.
+func (ss *ShardedScheduler) SetEpochWidth(w time.Duration) {
+	if w <= 0 {
+		panic(fmt.Sprintf("eventsim: SetEpochWidth called with non-positive width %v", w))
+	}
+	ss.epochWidth = w
+}
+
+// Now reports the current virtual time.
+func (ss *ShardedScheduler) Now() time.Duration { return ss.now }
+
+// At schedules fn at absolute virtual time t on shard key 0.
+func (ss *ShardedScheduler) At(t time.Duration, fn func()) Timer {
+	return ss.AtKey(0, t, fn)
+}
+
+// AtKey schedules fn at absolute virtual time t on the wheel selected by
+// key. Scheduling in the past panics.
+func (ss *ShardedScheduler) AtKey(key uint64, t time.Duration, fn func()) Timer {
+	seq := ss.seq
+	ss.seq++
+	return ss.scheduleKey(key, t, seq, fn)
+}
+
+// After schedules fn d after now on shard key 0 (negative d clamps to zero).
+func (ss *ShardedScheduler) After(d time.Duration, fn func()) Timer {
+	return ss.AfterKey(0, d, fn)
+}
+
+// AfterKey schedules fn d after now on the wheel selected by key.
+func (ss *ShardedScheduler) AfterKey(key uint64, d time.Duration, fn func()) Timer {
+	if d < 0 {
+		d = 0
+	}
+	return ss.AtKey(key, ss.now+d, fn)
+}
+
+// ReserveSeq reserves n consecutive global tie-break sequence numbers and
+// returns the first; see Scheduler.ReserveSeq.
+func (ss *ShardedScheduler) ReserveSeq(n int) uint64 {
+	if n < 0 {
+		panic("eventsim: ReserveSeq called with negative count")
+	}
+	base := ss.seq
+	ss.seq += uint64(n)
+	return base
+}
+
+// AtSeq schedules fn at t with a reserved sequence number on shard key 0.
+func (ss *ShardedScheduler) AtSeq(t time.Duration, seq uint64, fn func()) Timer {
+	return ss.AtKeySeq(0, t, seq, fn)
+}
+
+// AtKeySeq schedules fn at t with a reserved sequence number on the wheel
+// selected by key.
+func (ss *ShardedScheduler) AtKeySeq(key uint64, t time.Duration, seq uint64, fn func()) Timer {
+	if seq >= ss.seq {
+		panic("eventsim: AtSeq called with unreserved sequence number")
+	}
+	return ss.scheduleKey(key, t, seq, fn)
+}
+
+// Every schedules fn to run every interval on shard key 0.
+func (ss *ShardedScheduler) Every(interval time.Duration, fn func()) *Ticker {
+	return ss.EveryKey(0, interval, fn)
+}
+
+// EveryKey schedules fn to run every interval, with every firing (including
+// rearms) pinned to the wheel selected by key.
+func (ss *ShardedScheduler) EveryKey(key uint64, interval time.Duration, fn func()) *Ticker {
+	return newTicker(func(d time.Duration, f func()) Timer {
+		return ss.AfterKey(key, d, f)
+	}, interval, fn)
+}
+
+// scheduleKey files one arm. Outside dispatch — or inside it, when the event
+// is due before the epoch ends — the event inserts directly into its shard's
+// wheel. Inside dispatch with the event due at or beyond the boundary, the
+// arm parks in the target shard's handoff queue for the next barrier.
+func (ss *ShardedScheduler) scheduleKey(key uint64, t time.Duration, seq uint64, fn func()) Timer {
+	sh := ss.shards[key%uint64(len(ss.shards))]
+	if ss.dispatching && t >= ss.epochEnd {
+		if fn == nil {
+			panic("eventsim: At called with nil function")
+		}
+		if t < ss.now {
+			panic(fmt.Sprintf("eventsim: scheduling event at %v before now %v", t, ss.now))
+		}
+		ev := sh.sched.wheel.alloc()
+		ev.at = t
+		ev.seq = seq
+		ev.fn = fn
+		ev.loc = locHandoff
+		sh.handoff = append(sh.handoff, ev)
+		sh.sched.live++
+		return Timer{s: sh.sched, ev: ev, gen: ev.gen}
+	}
+	// Direct insert: the inner clock trails the global clock, so re-check
+	// against the global one first for a faithful past-scheduling panic.
+	if t < ss.now {
+		panic(fmt.Sprintf("eventsim: scheduling event at %v before now %v", t, ss.now))
+	}
+	return sh.sched.schedule(t, seq, fn)
+}
+
+// barrier runs the parallel phase: every shard catches its window up to the
+// global clock, files its handoff queue, and pre-loads its next due bucket.
+// Shard states are disjoint, so the pool's fixed block partition cannot
+// change results — with zero workers the same per-shard work runs serially.
+func (ss *ShardedScheduler) barrier() {
+	if len(ss.shards) == 1 {
+		ss.prepare(ss.shards[0])
+		return
+	}
+	parallel.For(len(ss.shards), 1, func(lo, hi int) {
+		for i := lo; i < hi; i++ {
+			ss.prepare(ss.shards[i])
+		}
+	})
+}
+
+func (ss *ShardedScheduler) prepare(sh *schedShard) {
+	sh.sched.wheel.advanceTo(ss.now)
+	if len(sh.handoff) > 0 {
+		for i, ev := range sh.handoff {
+			if ev.cancelled {
+				// Stop won the race with the handoff: the arm was
+				// tombstoned in the queue, so it never reaches a wheel.
+				sh.sched.wheel.release(ev)
+			} else {
+				sh.sched.wheel.place(ev)
+			}
+			sh.handoff[i] = nil
+		}
+		sh.handoff = sh.handoff[:0]
+	}
+	sh.sched.wheel.next()
+}
+
+// peekMin returns the globally earliest pending wheel event and its shard
+// index, or (-1, nil) when every wheel is empty. Handoff queues are not
+// consulted: they are empty outside dispatch (barriers drain them), and
+// during dispatch they hold only events at or beyond the epoch end, which
+// can never be the next due event.
+func (ss *ShardedScheduler) peekMin() (int, *event) {
+	best := -1
+	var bev *event
+	for i, sh := range ss.shards {
+		ev := sh.sched.wheel.next()
+		if ev != nil && (bev == nil || eventLess(ev, bev)) {
+			best, bev = i, ev
+		}
+	}
+	return best, bev
+}
+
+// runEpochs alternates barrier and dispatch phases until no event at or
+// before the deadline remains (or Stop is called). Each epoch covers the
+// fixed-width window containing the earliest due event, so idle stretches
+// cost one barrier rather than one per empty epoch.
+func (ss *ShardedScheduler) runEpochs(deadline time.Duration) {
+	for !ss.stopped {
+		ss.barrier()
+		_, ev := ss.peekMin()
+		if ev == nil || ev.at > deadline {
+			return
+		}
+		end := (ev.at/ss.epochWidth + 1) * ss.epochWidth
+		if end < ev.at {
+			// Epoch arithmetic overflowed (event near the end of
+			// representable time): fall back to one unbounded epoch.
+			end = time.Duration(math.MaxInt64)
+		}
+		ss.dispatching = true
+		ss.epochEnd = end
+		for !ss.stopped {
+			j, ev := ss.peekMin()
+			if ev == nil || ev.at > deadline ||
+				(ev.at >= end && end != time.Duration(math.MaxInt64)) {
+				break
+			}
+			ss.now = ev.at
+			ss.shards[j].sched.fire(ev)
+		}
+		ss.dispatching = false
+	}
+}
+
+// Len reports the number of pending (non-cancelled) events across all
+// shards, including arms parked in handoff queues.
+func (ss *ShardedScheduler) Len() int {
+	n := 0
+	for _, sh := range ss.shards {
+		n += sh.sched.live
+	}
+	return n
+}
+
+// NextAt reports the virtual time of the earliest pending event, if any.
+// Unlike peekMin it also scans handoff queues, which can be non-empty here
+// when Stop aborted a dispatch loop mid-epoch.
+func (ss *ShardedScheduler) NextAt() (time.Duration, bool) {
+	var best *event
+	for _, sh := range ss.shards {
+		if ev := sh.sched.wheel.next(); ev != nil && (best == nil || eventLess(ev, best)) {
+			best = ev
+		}
+		for _, ev := range sh.handoff {
+			if !ev.cancelled && (best == nil || eventLess(ev, best)) {
+				best = ev
+			}
+		}
+	}
+	if best == nil {
+		return 0, false
+	}
+	return best.at, true
+}
+
+// Step runs the next pending event in merged order, advancing the clock to
+// its time. It reports false when no events remain. Arms made by the
+// callback insert directly (Step dispatches outside any epoch).
+func (ss *ShardedScheduler) Step() bool {
+	ss.barrier()
+	j, ev := ss.peekMin()
+	if ev == nil {
+		return false
+	}
+	ss.now = ev.at
+	ss.shards[j].sched.fire(ev)
+	return true
+}
+
+// Run executes events until every shard drains or Stop is called.
+func (ss *ShardedScheduler) Run() {
+	ss.stopped = false
+	ss.runEpochs(time.Duration(math.MaxInt64))
+}
+
+// RunUntil executes events with time ≤ deadline, then advances the clock to
+// the deadline (if it is ahead of the last event). Events scheduled beyond
+// the deadline stay queued.
+func (ss *ShardedScheduler) RunUntil(deadline time.Duration) {
+	ss.stopped = false
+	ss.runEpochs(deadline)
+	if ss.now < deadline {
+		ss.now = deadline
+	}
+}
+
+// Stop aborts a Run or RunUntil loop after the current event returns.
+func (ss *ShardedScheduler) Stop() {
+	ss.stopped = true
+}

@@ -1,0 +1,374 @@
+package eventsim
+
+import (
+	"fmt"
+	"math/rand"
+	"testing"
+	"time"
+
+	"hammer/internal/parallel"
+)
+
+// TestShardedMatchesSingleWheel drives the sharded engine and the single
+// timer wheel through the same randomized operation sequence — keyed and
+// unkeyed arms, tickers, Stops, reserved sequences, nested scheduling — and
+// requires identical observable behaviour at several shard counts. This is
+// the byte-identity contract: shard keys decide which wheel holds a timer,
+// never when it fires.
+func TestShardedMatchesSingleWheel(t *testing.T) {
+	for _, shards := range []int{1, 2, 4, 7} {
+		for seed := int64(0); seed < 8; seed++ {
+			shards, seed := shards, seed
+			t.Run(fmt.Sprintf("shards=%d/seed=%d", shards, seed), func(t *testing.T) {
+				rng := rand.New(rand.NewSource(seed))
+
+				single := New()
+				sharded := NewSharded(shards)
+				// A small epoch width forces frequent barriers so handoffs
+				// actually happen in a short test.
+				sharded.SetEpochWidth(2 * time.Millisecond)
+				var sLog, shLog []string
+
+				type pair struct {
+					s  Timer
+					sh Timer
+				}
+				var timers []pair
+				var tickers []*Ticker
+				var shTickers []*Ticker
+
+				delay := func() time.Duration {
+					switch rng.Intn(10) {
+					case 0:
+						return 0
+					case 1:
+						return 300*time.Millisecond + time.Duration(rng.Int63n(int64(time.Second)))
+					default:
+						return time.Duration(rng.Int63n(int64(50 * time.Millisecond)))
+					}
+				}
+				key := func() uint64 { return uint64(rng.Intn(shards + 2)) }
+
+				type opcode int
+				const (
+					opAtKey opcode = iota
+					opAfterKeyNested
+					opEveryKey
+					opStop
+					opRunUntil
+					opSeq
+				)
+				n := 300
+				for i := 0; i < n; i++ {
+					switch op := opcode(rng.Intn(6)); op {
+					case opAtKey:
+						d, k, id := delay(), key(), i
+						sT := single.AtKey(k, single.Now()+d, func() { sLog = append(sLog, fmt.Sprintf("%d@%v", id, single.Now())) })
+						shT := sharded.AtKey(k, sharded.Now()+d, func() { shLog = append(shLog, fmt.Sprintf("%d@%v", id, sharded.Now())) })
+						timers = append(timers, pair{sT, shT})
+					case opAfterKeyNested:
+						d, id := delay(), i
+						// The nested arm uses a different key than the firing
+						// event: a cross-shard arm from inside a callback,
+						// the handoff path when it lands beyond the epoch.
+						d2, k2 := delay(), key()
+						sT := single.After(d, func() {
+							sLog = append(sLog, fmt.Sprintf("%d@%v", id, single.Now()))
+							single.AfterKey(k2, d2, func() {
+								sLog = append(sLog, fmt.Sprintf("n%d@%v", id, single.Now()))
+							})
+						})
+						shT := sharded.After(d, func() {
+							shLog = append(shLog, fmt.Sprintf("%d@%v", id, sharded.Now()))
+							sharded.AfterKey(k2, d2, func() {
+								shLog = append(shLog, fmt.Sprintf("n%d@%v", id, sharded.Now()))
+							})
+						})
+						timers = append(timers, pair{sT, shT})
+					case opEveryKey:
+						iv := time.Duration(1+rng.Int63n(int64(40*time.Millisecond))) + time.Millisecond
+						k, id := key(), i
+						tickers = append(tickers, single.EveryKey(k, iv, func() {
+							sLog = append(sLog, fmt.Sprintf("t%d@%v", id, single.Now()))
+						}))
+						shTickers = append(shTickers, sharded.EveryKey(k, iv, func() {
+							shLog = append(shLog, fmt.Sprintf("t%d@%v", id, sharded.Now()))
+						}))
+					case opStop:
+						if len(timers) > 0 {
+							j := rng.Intn(len(timers))
+							gotS := timers[j].s.Stop()
+							gotSh := timers[j].sh.Stop()
+							if gotS != gotSh {
+								t.Fatalf("op %d: Stop mismatch: single=%v sharded=%v", i, gotS, gotSh)
+							}
+							if timers[j].s.Pending() != timers[j].sh.Pending() {
+								t.Fatalf("op %d: Pending mismatch after Stop", i)
+							}
+						}
+					case opRunUntil:
+						d := time.Duration(rng.Int63n(int64(80 * time.Millisecond)))
+						single.RunUntil(single.Now() + d)
+						sharded.RunUntil(sharded.Now() + d)
+						if single.Now() != sharded.Now() {
+							t.Fatalf("op %d: clock mismatch: single=%v sharded=%v", i, single.Now(), sharded.Now())
+						}
+						if single.Len() != sharded.Len() {
+							t.Fatalf("op %d: Len mismatch: single=%d sharded=%d", i, single.Len(), sharded.Len())
+						}
+						sAt, sOK := single.NextAt()
+						shAt, shOK := sharded.NextAt()
+						if sOK != shOK || (sOK && sAt != shAt) {
+							t.Fatalf("op %d: NextAt mismatch: single=(%v,%v) sharded=(%v,%v)", i, sAt, sOK, shAt, shOK)
+						}
+					case opSeq:
+						// Reserve a block, attach in reverse order at a shared
+						// instant: firing must follow reservation order.
+						m := 2 + rng.Intn(3)
+						d := delay()
+						baseS := single.ReserveSeq(m)
+						baseSh := sharded.ReserveSeq(m)
+						atS, atSh := single.Now()+d, sharded.Now()+d
+						for j := m - 1; j >= 0; j-- {
+							id, k := i*10+j, key()
+							single.AtKeySeq(k, atS, baseS+uint64(j), func() {
+								sLog = append(sLog, fmt.Sprintf("r%d@%v", id, single.Now()))
+							})
+							sharded.AtKeySeq(k, atSh, baseSh+uint64(j), func() {
+								shLog = append(shLog, fmt.Sprintf("r%d@%v", id, sharded.Now()))
+							})
+						}
+					}
+				}
+
+				final := single.Now() + 2*time.Second
+				single.RunUntil(final)
+				sharded.RunUntil(final)
+				for _, tk := range tickers {
+					tk.Stop()
+				}
+				for _, tk := range shTickers {
+					tk.Stop()
+				}
+				single.Run()
+				sharded.Run()
+
+				if single.Now() != sharded.Now() {
+					t.Fatalf("final clock mismatch: single=%v sharded=%v", single.Now(), sharded.Now())
+				}
+				if len(sLog) != len(shLog) {
+					t.Fatalf("fired %d events on single, %d on sharded", len(sLog), len(shLog))
+				}
+				for i := range sLog {
+					if sLog[i] != shLog[i] {
+						t.Fatalf("event %d: single fired %s, sharded fired %s", i, sLog[i], shLog[i])
+					}
+				}
+			})
+		}
+	}
+}
+
+// TestShardedWorkerIndependence re-runs one deterministic program at several
+// pool worker counts and requires identical logs: the barrier phase's fixed
+// shard partition makes helper count invisible to results.
+func TestShardedWorkerIndependence(t *testing.T) {
+	program := func() []string {
+		s := NewSharded(4)
+		s.SetEpochWidth(time.Millisecond)
+		var log []string
+		rng := rand.New(rand.NewSource(99))
+		for i := 0; i < 200; i++ {
+			id := i
+			k := uint64(rng.Intn(6))
+			d := time.Duration(rng.Int63n(int64(20 * time.Millisecond)))
+			d2 := time.Duration(rng.Int63n(int64(5 * time.Millisecond)))
+			s.AfterKey(k, d, func() {
+				log = append(log, fmt.Sprintf("%d@%v", id, s.Now()))
+				s.AfterKey(k+1, d2, func() {
+					log = append(log, fmt.Sprintf("n%d@%v", id, s.Now()))
+				})
+			})
+		}
+		s.Run()
+		return log
+	}
+	defer parallel.SetWorkers(parallel.Workers())
+	var ref []string
+	for _, workers := range []int{0, 1, 4} {
+		parallel.SetWorkers(workers)
+		log := program()
+		if ref == nil {
+			ref = log
+			continue
+		}
+		if len(log) != len(ref) {
+			t.Fatalf("workers=%d: fired %d events, reference fired %d", workers, len(log), len(ref))
+		}
+		for i := range ref {
+			if log[i] != ref[i] {
+				t.Fatalf("workers=%d: event %d = %s, reference %s", workers, i, log[i], ref[i])
+			}
+		}
+	}
+}
+
+// TestShardedZeroDelayRescheduleAtBarrier arms a chain of zero-delay
+// self-reschedules from an event sitting exactly on an epoch boundary; the
+// whole chain must fire at one instant, in arm order, within that epoch —
+// exactly as the single wheel behaves.
+func TestShardedZeroDelayReschedule(t *testing.T) {
+	s := NewSharded(4)
+	width := s.epochWidth
+	var log []string
+	hops := 0
+	var hop func()
+	hop = func() {
+		log = append(log, fmt.Sprintf("hop%d@%v", hops, s.Now()))
+		hops++
+		if hops < 5 {
+			// Alternate shards so the zero-delay chain crosses wheels.
+			s.AfterKey(uint64(hops), 0, hop)
+		}
+	}
+	// Land the trigger exactly on an epoch boundary (t == k·width), the
+	// corner where "due now" and "next epoch" meet.
+	s.AtKey(1, width, hop)
+	s.AfterKey(2, width, func() { log = append(log, fmt.Sprintf("peer@%v", s.Now())) })
+	s.Run()
+	want := []string{
+		fmt.Sprintf("hop0@%v", width),
+		fmt.Sprintf("peer@%v", width),
+		fmt.Sprintf("hop1@%v", width),
+		fmt.Sprintf("hop2@%v", width),
+		fmt.Sprintf("hop3@%v", width),
+		fmt.Sprintf("hop4@%v", width),
+	}
+	if len(log) != len(want) {
+		t.Fatalf("log %v, want %v", log, want)
+	}
+	for i := range want {
+		if log[i] != want[i] {
+			t.Fatalf("log %v, want %v", log, want)
+		}
+	}
+	if s.Len() != 0 {
+		t.Fatalf("Len = %d after drain, want 0", s.Len())
+	}
+}
+
+// TestShardedHandoffOnEpochBoundary arms, from inside a callback, a
+// cross-shard timer landing exactly on the current epoch's end. The arm must
+// park in the handoff queue (t ≥ epochEnd) and still fire at exactly its
+// time, ordered against an event already resident at the same instant by
+// sequence number.
+func TestShardedHandoffOnEpochBoundary(t *testing.T) {
+	s := NewSharded(4)
+	width := s.epochWidth
+	var log []string
+	// Resident event at the boundary, armed first (lower seq).
+	s.AtKey(3, width, func() { log = append(log, fmt.Sprintf("resident@%v", s.Now())) })
+	s.AtKey(1, width/2, func() {
+		// Inside epoch [0, width): arm cross-shard exactly at the end.
+		s.AtKey(2, width, func() { log = append(log, fmt.Sprintf("handoff@%v", s.Now())) })
+	})
+	s.Run()
+	want := []string{
+		fmt.Sprintf("resident@%v", width),
+		fmt.Sprintf("handoff@%v", width),
+	}
+	if len(log) != len(want) || log[0] != want[0] || log[1] != want[1] {
+		t.Fatalf("log %v, want %v", log, want)
+	}
+}
+
+// TestShardedStopRacingHandoff stops timers while they sit in a handoff
+// queue — from the same callback turn that armed them and from a later
+// event in the same epoch — and checks Stop semantics plus queue hygiene:
+// the tombstoned arm never fires, never reaches a wheel, and Len stays
+// consistent.
+func TestShardedStopRacingHandoff(t *testing.T) {
+	s := NewSharded(4)
+	width := s.epochWidth
+	var log []string
+	var victim Timer
+	s.AtKey(0, width/4, func() {
+		// Lands beyond the epoch end: parked in shard 2's handoff queue.
+		victim = s.AtKey(2, width+width/2, func() { log = append(log, "victim") })
+		if !victim.Pending() {
+			t.Error("handoff arm not pending")
+		}
+	})
+	s.AtKey(1, width/2, func() {
+		// Same epoch, later event: the victim is still in the handoff
+		// queue when this Stop lands.
+		if !victim.Stop() {
+			t.Error("Stop on handoff arm returned false")
+		}
+		if victim.Stop() {
+			t.Error("second Stop on handoff arm returned true")
+		}
+		if victim.Pending() {
+			t.Error("handoff arm still pending after Stop")
+		}
+		log = append(log, fmt.Sprintf("stopper@%v", s.Now()))
+	})
+	s.AtKey(2, 2*width, func() { log = append(log, fmt.Sprintf("tail@%v", s.Now())) })
+	s.Run()
+	want := []string{
+		fmt.Sprintf("stopper@%v", width/2),
+		fmt.Sprintf("tail@%v", 2*width),
+	}
+	if len(log) != len(want) || log[0] != want[0] || log[1] != want[1] {
+		t.Fatalf("log %v, want %v", log, want)
+	}
+	if s.Len() != 0 {
+		t.Fatalf("Len = %d after drain, want 0", s.Len())
+	}
+}
+
+// TestShardedStopMidDispatchKeepsHandoffVisible stops the run loop from a
+// callback that just armed a handoff event: NextAt and Len must still see
+// the parked arm, and a later Run must deliver it.
+func TestShardedStopMidDispatch(t *testing.T) {
+	s := NewSharded(2)
+	width := s.epochWidth
+	fired := false
+	var at time.Duration
+	s.AtKey(0, width/4, func() {
+		at = s.Now() + 2*width
+		s.AtKey(1, at, func() { fired = true })
+		s.Stop()
+	})
+	s.Run()
+	if fired {
+		t.Fatal("handoff arm fired before resumed run")
+	}
+	if got := s.Len(); got != 1 {
+		t.Fatalf("Len = %d with one parked arm, want 1", got)
+	}
+	if next, ok := s.NextAt(); !ok || next != at {
+		t.Fatalf("NextAt = (%v, %v), want (%v, true)", next, ok, at)
+	}
+	s.Run()
+	if !fired {
+		t.Fatal("handoff arm lost after Stop mid-dispatch")
+	}
+}
+
+// TestShardedKeyRouting checks keys actually partition timers across wheels
+// (the locality contract) without affecting order.
+func TestShardedKeyRouting(t *testing.T) {
+	s := NewSharded(4)
+	for k := uint64(0); k < 8; k++ {
+		s.AfterKey(k, time.Duration(k+1)*time.Millisecond, func() {})
+	}
+	for i, sh := range s.shards {
+		if got := sh.sched.live; got != 2 {
+			t.Fatalf("shard %d holds %d events, want 2", i, got)
+		}
+	}
+	if Key("node-0") == Key("node-1") {
+		t.Fatal("Key collides on adjacent node names")
+	}
+}

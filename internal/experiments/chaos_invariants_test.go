@@ -54,7 +54,7 @@ func TestFaultScenariosPreserveInvariants(t *testing.T) {
 			runs = append(runs, harness.Run[verdict]{
 				Name: "chaos-invariants/" + setup.name + "/" + sc.name,
 				Seed: opts.Seed,
-				Build: func(seed int64) (*eventsim.Scheduler, chain.Blockchain, core.Config, error) {
+				Build: func(seed int64) (eventsim.Sched, chain.Blockchain, core.Config, error) {
 					sched := eventsim.New()
 					bc := setup.build(sched, opts)
 					cfg := core.DefaultConfig()

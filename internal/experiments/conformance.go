@@ -15,6 +15,7 @@ import (
 	"hammer/internal/eventsim"
 	"hammer/internal/harness"
 	"hammer/internal/invariant"
+	"hammer/internal/parallel"
 	"hammer/internal/smallbank"
 	"hammer/internal/workload"
 )
@@ -74,7 +75,7 @@ type conformanceRun struct {
 type conformanceSetup struct {
 	name    string
 	offered float64
-	build   func(sched *eventsim.Scheduler, opts Options) chain.Blockchain
+	build   func(sched eventsim.Sched, opts Options) chain.Blockchain
 	engCfg  func(*core.Config)
 	// replayable marks chains whose committed schedule re-executes serially
 	// per shard (everything except meepo's cross-shard split transactions).
@@ -91,7 +92,7 @@ func conformanceSetups(opts Options) []conformanceSetup {
 		{
 			name:    "ethereum",
 			offered: 12,
-			build: func(sched *eventsim.Scheduler, opts Options) chain.Blockchain {
+			build: func(sched eventsim.Sched, opts Options) chain.Blockchain {
 				cfg := ethereum.DefaultConfig()
 				cfg.Seed = opts.Seed
 				return ethereum.New(sched, cfg)
@@ -111,7 +112,7 @@ func conformanceSetups(opts Options) []conformanceSetup {
 		{
 			name:    "fabric",
 			offered: 120,
-			build: func(sched *eventsim.Scheduler, opts Options) chain.Blockchain {
+			build: func(sched eventsim.Sched, opts Options) chain.Blockchain {
 				return fabric.New(sched, fabric.DefaultConfig())
 			},
 			engCfg: func(c *core.Config) {
@@ -132,7 +133,7 @@ func conformanceSetups(opts Options) []conformanceSetup {
 		{
 			name:    "meepo",
 			offered: 2500,
-			build: func(sched *eventsim.Scheduler, opts Options) chain.Blockchain {
+			build: func(sched eventsim.Sched, opts Options) chain.Blockchain {
 				return meepo.New(sched, meepo.DefaultConfig())
 			},
 			engCfg: func(c *core.Config) {
@@ -153,7 +154,7 @@ func conformanceSetups(opts Options) []conformanceSetup {
 		{
 			name:    "neuchain",
 			offered: 4000,
-			build: func(sched *eventsim.Scheduler, opts Options) chain.Blockchain {
+			build: func(sched eventsim.Sched, opts Options) chain.Blockchain {
 				return neuchain.New(sched, neuchain.DefaultConfig())
 			},
 			engCfg: func(c *core.Config) {
@@ -208,8 +209,8 @@ func conformanceRuns(opts Options) []harness.Run[conformanceRun] {
 			runs = append(runs, harness.Run[conformanceRun]{
 				Name: fmt.Sprintf("conformance/%s/run%d", setup.name, rep),
 				Seed: opts.Seed,
-				Build: func(seed int64) (*eventsim.Scheduler, chain.Blockchain, core.Config, error) {
-					sched := eventsim.New()
+				Build: func(seed int64) (eventsim.Sched, chain.Blockchain, core.Config, error) {
+					sched := opts.NewSched()
 					bc := setup.build(sched, opts)
 					cfg := core.DefaultConfig()
 					cfg.Seed = seed
@@ -353,13 +354,22 @@ func Conformance(ctx context.Context, opts Options) ([]ConformanceResult, error)
 		}
 		out = append(out, wrk)
 
-		// scheduler: the differential replay oracle on a chain-shaped program.
+		// scheduler: the differential replay oracle on a chain-shaped
+		// program — wheel vs heap vs sharded engine, swept across pool
+		// worker counts because the sharded barrier runs on the pool.
 		sch := ConformanceResult{Chain: setup.name, Suite: "scheduler", Pass: true,
-			Detail: "timer wheel matches heap reference event-for-event"}
-		if err := invariant.DiffSchedulers(setup.program(opts.Seed)); err != nil {
-			sch.Pass = false
-			sch.Detail = err.Error()
-		}
+			Detail: fmt.Sprintf("wheel, heap and sharded engines match event-for-event at workers=%v", workerCounts)}
+		func() {
+			defer parallel.SetWorkers(parallel.Workers())
+			for _, wc := range workerCounts {
+				parallel.SetWorkers(wc)
+				if err := invariant.DiffSchedulers(setup.program(opts.Seed)); err != nil {
+					sch.Pass = false
+					sch.Detail = fmt.Sprintf("workers=%d: %v", wc, err)
+					return
+				}
+			}
+		}()
 		out = append(out, sch)
 	}
 	return out, nil

@@ -42,8 +42,8 @@ func Correctness(ctx context.Context, opts Options) (*CorrectnessResult, error) 
 	run := harness.Run[*CorrectnessResult]{
 		Name: "correctness/fabric",
 		Seed: opts.Seed,
-		Build: func(seed int64) (*eventsim.Scheduler, chain.Blockchain, core.Config, error) {
-			sched := eventsim.New()
+		Build: func(seed int64) (eventsim.Sched, chain.Blockchain, core.Config, error) {
+			sched := opts.NewSched()
 			fcfg := fabric.DefaultConfig()
 			// The paper's Fabric deployment sustains the full 600 TPS;
 			// configure the validator accordingly so all 100k transactions

@@ -68,7 +68,7 @@ type faultsSetup struct {
 	name      string
 	offered   float64
 	txTimeout time.Duration
-	build     func(sched *eventsim.Scheduler, opts Options) chain.Blockchain
+	build     func(sched eventsim.Sched, opts Options) chain.Blockchain
 	engCfg    func(*core.Config)
 	crash     func(fault, heal time.Duration) chaos.Scenario
 	partition func(fault, heal time.Duration) chaos.Scenario
@@ -90,7 +90,7 @@ func faultsSetups(opts Options) []faultsSetup {
 			name:      "ethereum",
 			offered:   16,
 			txTimeout: 30 * time.Second,
-			build: func(sched *eventsim.Scheduler, opts Options) chain.Blockchain {
+			build: func(sched eventsim.Sched, opts Options) chain.Blockchain {
 				cfg := ethereum.DefaultConfig()
 				cfg.Seed = opts.Seed
 				return ethereum.New(sched, cfg)
@@ -118,7 +118,7 @@ func faultsSetups(opts Options) []faultsSetup {
 			name:      "fabric",
 			offered:   150,
 			txTimeout: 5 * time.Second,
-			build: func(sched *eventsim.Scheduler, opts Options) chain.Blockchain {
+			build: func(sched eventsim.Sched, opts Options) chain.Blockchain {
 				return fabric.New(sched, fabric.DefaultConfig())
 			},
 			engCfg: func(c *core.Config) {
@@ -146,7 +146,7 @@ func faultsSetups(opts Options) []faultsSetup {
 			name:      "meepo",
 			offered:   4000,
 			txTimeout: 8 * time.Second,
-			build: func(sched *eventsim.Scheduler, opts Options) chain.Blockchain {
+			build: func(sched eventsim.Sched, opts Options) chain.Blockchain {
 				cfg := meepo.DefaultConfig()
 				cfg.PendingCapPerShard = 12000
 				return meepo.New(sched, cfg)
@@ -180,7 +180,7 @@ func faultsSetups(opts Options) []faultsSetup {
 			name:      "neuchain",
 			offered:   6000,
 			txTimeout: 3 * time.Second,
-			build: func(sched *eventsim.Scheduler, opts Options) chain.Blockchain {
+			build: func(sched eventsim.Sched, opts Options) chain.Blockchain {
 				cfg := neuchain.DefaultConfig()
 				// A deep proxy queue absorbs the stall so the post-heal
 				// backlog drains instead of shedding at admission.
@@ -239,8 +239,8 @@ func FaultsRuns(opts Options) []harness.Run[FaultsResult] {
 			runs = append(runs, harness.Run[FaultsResult]{
 				Name: "faults/" + setup.name + "/" + sc.name,
 				Seed: opts.Seed,
-				Build: func(seed int64) (*eventsim.Scheduler, chain.Blockchain, core.Config, error) {
-					sched := eventsim.New()
+				Build: func(seed int64) (eventsim.Sched, chain.Blockchain, core.Config, error) {
+					sched := opts.NewSched()
 					bc := setup.build(sched, opts)
 					reg = monitor.NewRegistry()
 					cfg := core.DefaultConfig()

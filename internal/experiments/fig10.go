@@ -38,8 +38,8 @@ func fig10Run(sweep string, clients, threads int, offeredPerClient float64, opts
 	return harness.Run[Fig10Result]{
 		Name: fmt.Sprintf("fig10/%s clients=%d threads=%d", sweep, clients, threads),
 		Seed: opts.Seed,
-		Build: func(seed int64) (*eventsim.Scheduler, chain.Blockchain, core.Config, error) {
-			sched := eventsim.New()
+		Build: func(seed int64) (eventsim.Sched, chain.Blockchain, core.Config, error) {
+			sched := opts.NewSched()
 			fcfg := fabric.DefaultConfig()
 			// A deep admission queue lets backlog (and with it MVCC conflict
 			// windows) grow with offered load, which is what produces the

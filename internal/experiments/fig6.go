@@ -42,7 +42,7 @@ func (r ChainResult) String() string {
 // saturates.
 type chainSetup struct {
 	name    string
-	build   func(sched *eventsim.Scheduler) chain.Blockchain
+	build   func(sched eventsim.Sched) chain.Blockchain
 	offered float64 // tx/s
 	cfg     func(*core.Config)
 }
@@ -55,7 +55,7 @@ func fig6Setups(opts Options) []chainSetup {
 	return []chainSetup{
 		{
 			name: "ethereum",
-			build: func(sched *eventsim.Scheduler) chain.Blockchain {
+			build: func(sched eventsim.Sched) chain.Blockchain {
 				cfg := ethereum.DefaultConfig()
 				cfg.MempoolCap = 100
 				cfg.Seed = opts.Seed
@@ -68,7 +68,7 @@ func fig6Setups(opts Options) []chainSetup {
 		},
 		{
 			name: "fabric",
-			build: func(sched *eventsim.Scheduler) chain.Blockchain {
+			build: func(sched eventsim.Sched) chain.Blockchain {
 				cfg := fabric.DefaultConfig()
 				cfg.PendingCap = 300
 				return fabric.New(sched, cfg)
@@ -81,7 +81,7 @@ func fig6Setups(opts Options) []chainSetup {
 		},
 		{
 			name: "meepo",
-			build: func(sched *eventsim.Scheduler) chain.Blockchain {
+			build: func(sched eventsim.Sched) chain.Blockchain {
 				cfg := meepo.DefaultConfig()
 				cfg.PendingCapPerShard = 4000
 				return meepo.New(sched, cfg)
@@ -97,7 +97,7 @@ func fig6Setups(opts Options) []chainSetup {
 		},
 		{
 			name: "neuchain",
-			build: func(sched *eventsim.Scheduler) chain.Blockchain {
+			build: func(sched eventsim.Sched) chain.Blockchain {
 				cfg := neuchain.DefaultConfig()
 				// A tight proxy admission window keeps queueing delay low
 				// at saturation while still feeding the executor at its
@@ -124,8 +124,8 @@ func Fig6Runs(opts Options) []harness.Run[ChainResult] {
 		runs = append(runs, harness.Run[ChainResult]{
 			Name: "fig6/" + setup.name,
 			Seed: opts.Seed,
-			Build: func(seed int64) (*eventsim.Scheduler, chain.Blockchain, core.Config, error) {
-				sched := eventsim.New()
+			Build: func(seed int64) (eventsim.Sched, chain.Blockchain, core.Config, error) {
+				sched := opts.NewSched()
 				bc := setup.build(sched)
 				cfg := core.DefaultConfig()
 				cfg.Seed = seed

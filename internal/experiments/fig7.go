@@ -78,12 +78,12 @@ func frameworkRun(chainName, framework string, opts Options) harness.Run[Framewo
 	return harness.Run[FrameworkResult]{
 		Name: fmt.Sprintf("fig7/%s/%s", chainName, framework),
 		Seed: opts.Seed,
-		Build: func(seed int64) (*eventsim.Scheduler, chain.Blockchain, core.Config, error) {
+		Build: func(seed int64) (eventsim.Sched, chain.Blockchain, core.Config, error) {
 			driver, err := frameworkDriver(framework)
 			if err != nil {
 				return nil, nil, core.Config{}, err
 			}
-			sched := eventsim.New()
+			sched := opts.NewSched()
 			var bc chain.Blockchain
 			cfg := core.DefaultConfig()
 			cfg.Seed = seed
@@ -160,8 +160,8 @@ func PollIntervalRun(ctx context.Context, poll time.Duration, opts Options) (tim
 	run := harness.Run[time.Duration]{
 		Name: fmt.Sprintf("fig7/poll=%v", poll),
 		Seed: opts.Seed,
-		Build: func(seed int64) (*eventsim.Scheduler, chain.Blockchain, core.Config, error) {
-			sched := eventsim.New()
+		Build: func(seed int64) (eventsim.Sched, chain.Blockchain, core.Config, error) {
+			sched := opts.NewSched()
 			fcfg := fabric.DefaultConfig()
 			fcfg.PendingCap = 300
 			bc := fabric.New(sched, fcfg)

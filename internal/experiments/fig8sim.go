@@ -5,7 +5,6 @@ import (
 	"time"
 
 	"hammer/internal/chains/basechain"
-	"hammer/internal/eventsim"
 	"hammer/internal/sign"
 	"hammer/internal/workload"
 )
@@ -81,7 +80,7 @@ func Fig8Simulated(opts Options, workers int, execRate float64) ([]Fig8SimResult
 	const dispatchOverhead = 8 * time.Microsecond
 
 	run := func(strategy string) time.Duration {
-		sched := eventsim.New()
+		sched := opts.NewSched()
 		var pool *basechain.Compute
 		switch strategy {
 		case "serial":

@@ -6,14 +6,20 @@ import (
 
 	"hammer/internal/eventsim"
 	"hammer/internal/eventsim/heapsched"
+	"hammer/internal/parallel"
 	"hammer/internal/perf"
 )
 
-// SchedBenchRow is one side of the scheduler microbenchmark: the same
-// deterministic event workload run on the original binary-heap scheduler
-// (heapsched) and on the timer-wheel scheduler (eventsim).
+// SchedBenchRow is one configuration of the scheduler microbenchmark: the
+// same deterministic event workload run on the original binary-heap
+// scheduler (heapsched), the timer-wheel scheduler (eventsim), and the
+// sharded epoch-merge engine at a sweep of shard and pool-worker counts.
 type SchedBenchRow struct {
-	Impl           string
+	Impl string
+	// Shards and Workers are set on sharded rows (0 otherwise): the wheel
+	// count and the parallel-pool worker count the barrier phase ran with.
+	Shards         int
+	Workers        int
 	Events         int
 	Wall           time.Duration
 	Allocs         uint64
@@ -23,8 +29,16 @@ type SchedBenchRow struct {
 }
 
 func (r SchedBenchRow) String() string {
-	return fmt.Sprintf("%-10s %9d events in %8v  %11.0f events/s  %6.2f allocs/event",
-		r.Impl, r.Events, r.Wall.Round(time.Millisecond), r.EventsPerSec, r.AllocsPerEvent)
+	return fmt.Sprintf("%-16s %9d events in %8v  %11.0f events/s  %6.2f allocs/event",
+		r.label(), r.Events, r.Wall.Round(time.Millisecond), r.EventsPerSec, r.AllocsPerEvent)
+}
+
+// label renders the row's configuration for charts and trajectory samples.
+func (r SchedBenchRow) label() string {
+	if r.Shards > 0 {
+		return fmt.Sprintf("%s/s=%d,w=%d", r.Impl, r.Shards, r.Workers)
+	}
+	return r.Impl
 }
 
 // schedBenchResident is the steady-state pending-event population: large
@@ -33,8 +47,8 @@ func (r SchedBenchRow) String() string {
 // like a real simulation.
 const schedBenchResident = 10_000
 
-// schedDelay returns the deterministic delay sequence both schedulers
-// replay: a xorshift stream shaped like a real simulation's mix — short
+// schedDelay returns the deterministic delay sequence every scheduler
+// replays: a xorshift stream shaped like a real simulation's mix — short
 // compute costs, medium consensus/poll intervals (all inside the wheel
 // window) — with every 64th delay pushed past the window so the overflow
 // heap and cascade paths are exercised too.
@@ -55,70 +69,108 @@ func schedDelay(rng *uint64, n int) time.Duration {
 }
 
 // runSchedWorkload drives one scheduler through total events: resident
-// self-rescheduling timer chains, each with a single closure, plus a
+// self-rescheduling timer chains, each carrying a stable shard key (its
+// chain index, so the sharded engine spreads chains across wheels), plus a
 // cancellation every 16th fire (schedule a far timer, stop it immediately)
-// so Stop cost is part of the measurement. The firing order is identical
-// across implementations, so both consume the same delay stream.
-func runSchedWorkload(after func(time.Duration, func()), stopLast func(), run func(), resident, total int) int {
+// so Stop cost is part of the measurement. Keys never change firing order,
+// so every implementation consumes the same delay stream.
+func runSchedWorkload(after func(uint64, time.Duration, func()), stopLast func(), run func(), resident, total int) int {
 	fired := 0
 	scheduled := 0
 	var rng uint64 = 0x9E3779B97F4A7C15
-	spawn := func() {
+	spawn := func(key uint64) {
 		var fn func()
 		fn = func() {
 			fired++
 			if fired%16 == 0 {
-				after(500*time.Millisecond, func() {})
+				after(key, 500*time.Millisecond, func() {})
 				stopLast()
 			}
 			if scheduled < total {
 				n := scheduled
 				scheduled++
-				after(schedDelay(&rng, n), fn)
+				after(key, schedDelay(&rng, n), fn)
 			}
 		}
 		n := scheduled
 		scheduled++
-		after(schedDelay(&rng, n), fn)
+		after(key, schedDelay(&rng, n), fn)
 	}
 	if resident > total {
 		resident = total
 	}
 	for i := 0; i < resident; i++ {
-		spawn()
+		spawn(uint64(i))
 	}
 	run()
 	return fired
 }
 
-// SchedBench runs the microbenchmark at the given event count and returns
-// one row per implementation, heap first.
-func SchedBench(events int) ([]SchedBenchRow, error) {
-	var rows []SchedBenchRow
+// schedBenchShardCounts is the default shard sweep when the caller does not
+// pin one, and schedBenchWorkerCounts the pool sizes each shard count runs
+// with (the sharded barrier executes on the parallel pool).
+var (
+	schedBenchShardCounts  = []int{1, 4}
+	schedBenchWorkerCounts = []int{1, 4}
+)
 
-	heapRun := func() (func(time.Duration, func()), func(), func()) {
+// SchedBench runs the microbenchmark at the given event count and returns
+// one row per configuration: heap, wheel, then the sharded engine across
+// the shard × pool-worker sweep. shards >= 1 pins the sharded rows to that
+// single shard count; shards <= 0 uses the default sweep. Every row must
+// fire the same number of events — a mismatch is a determinism bug and
+// fails the benchmark.
+func SchedBench(events, shards int) ([]SchedBenchRow, error) {
+	if events < 1 {
+		return nil, fmt.Errorf("schedbench: event count must be positive, got %d", events)
+	}
+	type config struct {
+		impl            string
+		shards, workers int
+		build           func() (func(uint64, time.Duration, func()), func(), func())
+	}
+	heapRun := func() (func(uint64, time.Duration, func()), func(), func()) {
 		s := heapsched.New()
 		var last *heapsched.Timer
-		after := func(d time.Duration, fn func()) { last = s.After(d, fn) }
+		after := func(_ uint64, d time.Duration, fn func()) { last = s.After(d, fn) }
 		return after, func() { last.Stop() }, s.Run
 	}
-	wheelRun := func() (func(time.Duration, func()), func(), func()) {
-		s := eventsim.New()
+	schedRun := func(s eventsim.Sched) (func(uint64, time.Duration, func()), func(), func()) {
 		var last eventsim.Timer
-		after := func(d time.Duration, fn func()) { last = s.After(d, fn) }
+		after := func(key uint64, d time.Duration, fn func()) { last = s.AfterKey(key, d, fn) }
 		return after, func() { last.Stop() }, s.Run
 	}
 
-	for _, impl := range []struct {
-		name  string
-		build func() (func(time.Duration, func()), func(), func())
-	}{
-		{"heap", heapRun},
-		{"wheel", wheelRun},
-	} {
+	configs := []config{
+		{impl: "heap", build: heapRun},
+		{impl: "wheel", build: func() (func(uint64, time.Duration, func()), func(), func()) { return schedRun(eventsim.New()) }},
+	}
+	shardCounts := schedBenchShardCounts
+	if shards >= 1 {
+		shardCounts = []int{shards}
+	}
+	for _, sc := range shardCounts {
+		for _, wc := range schedBenchWorkerCounts {
+			sc, wc := sc, wc
+			configs = append(configs, config{
+				impl: "sharded", shards: sc, workers: wc,
+				build: func() (func(uint64, time.Duration, func()), func(), func()) {
+					return schedRun(eventsim.NewSharded(sc))
+				},
+			})
+		}
+	}
+
+	defer parallel.SetWorkers(parallel.Workers())
+	var rows []SchedBenchRow
+	for _, cfg := range configs {
+		if cfg.workers > 0 {
+			parallel.SetWorkers(cfg.workers)
+		}
 		var fired int
-		after, stopLast, run := impl.build()
-		sample, err := perf.Measure(impl.name, func() error {
+		after, stopLast, run := cfg.build()
+		row := SchedBenchRow{Impl: cfg.impl, Shards: cfg.shards, Workers: cfg.workers}
+		sample, err := perf.Measure(row.label(), func() error {
 			fired = runSchedWorkload(after, stopLast, run, schedBenchResident, events)
 			return nil
 		})
@@ -126,28 +178,32 @@ func SchedBench(events int) ([]SchedBenchRow, error) {
 			return nil, err
 		}
 		if fired == 0 {
-			return nil, fmt.Errorf("schedbench: %s fired no events", impl.name)
+			return nil, fmt.Errorf("schedbench: %s fired no events", row.label())
 		}
-		rows = append(rows, SchedBenchRow{
-			Impl:           impl.name,
-			Events:         fired,
-			Wall:           time.Duration(sample.WallSeconds * float64(time.Second)),
-			Allocs:         sample.Allocs,
-			AllocBytes:     sample.AllocBytes,
-			AllocsPerEvent: float64(sample.Allocs) / float64(fired),
-			EventsPerSec:   float64(fired) / sample.WallSeconds,
-		})
+		if len(rows) > 0 && fired != rows[0].Events {
+			return nil, fmt.Errorf("schedbench: %s fired %d events, %s fired %d — schedulers diverged",
+				row.label(), fired, rows[0].label(), rows[0].Events)
+		}
+		row.Events = fired
+		row.Wall = time.Duration(sample.WallSeconds * float64(time.Second))
+		row.Allocs = sample.Allocs
+		row.AllocBytes = sample.AllocBytes
+		row.AllocsPerEvent = float64(sample.Allocs) / float64(fired)
+		row.EventsPerSec = float64(fired) / sample.WallSeconds
+		rows = append(rows, row)
 	}
 	return rows, nil
 }
 
 // SchedBenchCSV renders the rows for export.
 func SchedBenchCSV(rows []SchedBenchRow) ([]string, [][]string) {
-	header := []string{"impl", "events", "wall_ms", "events_per_sec", "allocs", "allocs_per_event"}
+	header := []string{"impl", "shards", "workers", "events", "wall_ms", "events_per_sec", "allocs", "allocs_per_event"}
 	var out [][]string
 	for _, r := range rows {
 		out = append(out, []string{
 			r.Impl,
+			fmt.Sprintf("%d", r.Shards),
+			fmt.Sprintf("%d", r.Workers),
 			fmt.Sprintf("%d", r.Events),
 			fmt.Sprintf("%.1f", float64(r.Wall)/float64(time.Millisecond)),
 			fmt.Sprintf("%.0f", r.EventsPerSec),

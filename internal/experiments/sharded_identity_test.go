@@ -1,0 +1,106 @@
+package experiments
+
+import (
+	"context"
+	"fmt"
+	"testing"
+	"time"
+
+	"hammer/internal/chain"
+	"hammer/internal/chaos"
+	"hammer/internal/core"
+	"hammer/internal/eventsim"
+	"hammer/internal/harness"
+	"hammer/internal/monitor"
+	"hammer/internal/workload"
+)
+
+// TestChaosIdenticalUnderShardedScheduler pins the sharded engine's
+// byte-identity under fault injection: a crash-and-heal scenario replayed on
+// the single timer wheel and on a 4-shard scheduler must produce the same
+// commit digest, the same retry count, and the same fault-event timeline.
+// Chaos timelines are the adversarial case for epoch merging — cross-shard
+// crashes and restarts land between injection slices and consensus timers.
+func TestChaosIdenticalUnderShardedScheduler(t *testing.T) {
+	opts := Quick()
+	opts.MeasureSeconds = 9
+	opts.fillDefaults()
+	faultSec, healSec := faultTimes(opts)
+	fault := time.Duration(faultSec) * time.Second
+	heal := time.Duration(healSec) * time.Second
+
+	type outcome struct {
+		CommitDigest string
+		Commits      int
+		Retried      int
+		Faults       string
+	}
+	for _, setup := range faultsSetups(opts) {
+		setup := setup
+		t.Run(setup.name, func(t *testing.T) {
+			scen := setup.crash(fault, heal)
+			runOn := func(sched eventsim.Sched) (outcome, error) {
+				var inj *chaos.Injector
+				run := harness.Run[outcome]{
+					Name: "sharded-identity/" + setup.name,
+					Seed: opts.Seed,
+					Build: func(seed int64) (eventsim.Sched, chain.Blockchain, core.Config, error) {
+						bc := setup.build(sched, opts)
+						cfg := core.DefaultConfig()
+						cfg.Seed = seed
+						cfg.Workload.Accounts = opts.Accounts
+						cfg.Workload.Seed = seed
+						cfg.Control = workload.Constant(setup.offered, time.Duration(opts.MeasureSeconds)*time.Second, time.Second)
+						cfg.SignMode = core.SignOff
+						cfg.Metrics = monitor.NewRegistry()
+						cfg.TxTimeout = setup.txTimeout
+						cfg.MaxRetries = 2
+						cfg.RetryBackoff = 500 * time.Millisecond
+						if setup.engCfg != nil {
+							setup.engCfg(&cfg)
+						}
+						nf, ok := bc.(chaos.NodeFaulter)
+						if !ok {
+							return nil, nil, core.Config{}, fmt.Errorf("chain %s exposes no liveness hooks", setup.name)
+						}
+						var err error
+						inj, err = chaos.NewInjector(sched, nf, scen, cfg.Metrics)
+						if err != nil {
+							return nil, nil, core.Config{}, err
+						}
+						cfg.OnMeasureStart = func(start time.Duration) { inj.Arm(start) }
+						return sched, bc, cfg, nil
+					},
+					Digest: func(res *core.Result, bc chain.Blockchain) (outcome, error) {
+						return outcome{
+							CommitDigest: res.CommitDigest,
+							Commits:      res.Report.Committed,
+							Retried:      res.Retried,
+							Faults:       fmt.Sprintf("%+v", inj.Applied()),
+						}, nil
+					},
+				}
+				rows, err := harness.Collect(harness.Execute(context.Background(), []harness.Run[outcome]{run}, harness.Options{}))
+				if err != nil {
+					return outcome{}, err
+				}
+				return rows[0], nil
+			}
+
+			wheel, err := runOn(eventsim.New())
+			if err != nil {
+				t.Fatal(err)
+			}
+			sharded, err := runOn(eventsim.NewSharded(4))
+			if err != nil {
+				t.Fatal(err)
+			}
+			if wheel != sharded {
+				t.Fatalf("sharded run diverged from wheel run:\n  wheel:   %+v\n  sharded: %+v", wheel, sharded)
+			}
+			if wheel.Commits == 0 {
+				t.Fatalf("nothing committed — the scenario never engaged")
+			}
+		})
+	}
+}

@@ -25,7 +25,7 @@ import (
 // on that scheduler, and the engine configuration. Each run builds its own
 // scheduler so runs never share simulation state and stay deterministic
 // under concurrency.
-type Build func(seed int64) (*eventsim.Scheduler, chain.Blockchain, core.Config, error)
+type Build func(seed int64) (eventsim.Sched, chain.Blockchain, core.Config, error)
 
 // Run describes one unit of work in a sweep. Engine-backed runs set Build
 // (and usually Digest) and the harness drives core.New → Engine.Run →

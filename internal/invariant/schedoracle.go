@@ -31,6 +31,13 @@ type Program struct {
 	ExecCost time.Duration
 	// PollEvery is the observer ticker interval.
 	PollEvery time.Duration
+	// Keys is the number of distinct shard keys the program spreads its
+	// timers across (0 behaves as 1). Keys route timers to wheels on the
+	// sharded backend and are ignored by the others, so any value must
+	// leave the event log unchanged.
+	Keys int
+	// Shards is the wheel count for the sharded backend (0 picks 4).
+	Shards int
 }
 
 // DefaultProgram returns a program shaped like the quick experiments: ~1k
@@ -46,30 +53,41 @@ func DefaultProgram(seed int64) Program {
 		BatchTimeout: 45 * time.Millisecond,
 		ExecCost:     11 * time.Millisecond,
 		PollEvery:    100 * time.Millisecond,
+		Keys:         5,
+		Shards:       4,
 	}
 }
 
-// schedBackend is the least common denominator of the two scheduler
-// implementations the oracle drives.
+// schedBackend is the least common denominator of the scheduler
+// implementations the oracle drives. afterKey carries a shard key: the
+// wheel and heap backends ignore it, the sharded backend routes by it, and
+// the logs must match regardless.
 type schedBackend interface {
 	now() time.Duration
 	after(d time.Duration, fn func()) (stop func() bool)
+	afterKey(key uint64, d time.Duration, fn func()) (stop func() bool)
 	every(d time.Duration, fn func()) (stop func())
 	runUntil(t time.Duration)
 }
 
-type wheelBackend struct{ s *eventsim.Scheduler }
+// schedInterfaceBackend adapts anything implementing eventsim.Sched — the
+// timer wheel and the sharded engine alike.
+type schedInterfaceBackend struct{ s eventsim.Sched }
 
-func (w wheelBackend) now() time.Duration { return w.s.Now() }
-func (w wheelBackend) after(d time.Duration, fn func()) func() bool {
+func (w schedInterfaceBackend) now() time.Duration { return w.s.Now() }
+func (w schedInterfaceBackend) after(d time.Duration, fn func()) func() bool {
 	t := w.s.After(d, fn)
 	return t.Stop
 }
-func (w wheelBackend) every(d time.Duration, fn func()) func() {
+func (w schedInterfaceBackend) afterKey(key uint64, d time.Duration, fn func()) func() bool {
+	t := w.s.AfterKey(key, d, fn)
+	return t.Stop
+}
+func (w schedInterfaceBackend) every(d time.Duration, fn func()) func() {
 	t := w.s.Every(d, fn)
 	return t.Stop
 }
-func (w wheelBackend) runUntil(t time.Duration) { w.s.RunUntil(t) }
+func (w schedInterfaceBackend) runUntil(t time.Duration) { w.s.RunUntil(t) }
 
 type heapBackend struct{ s *heapsched.Scheduler }
 
@@ -77,6 +95,9 @@ func (h heapBackend) now() time.Duration { return h.s.Now() }
 func (h heapBackend) after(d time.Duration, fn func()) func() bool {
 	t := h.s.After(d, fn)
 	return t.Stop
+}
+func (h heapBackend) afterKey(_ uint64, d time.Duration, fn func()) func() bool {
+	return h.after(d, fn)
 }
 func (h heapBackend) every(d time.Duration, fn func()) func() {
 	t := h.s.Every(d, fn)
@@ -89,6 +110,17 @@ func (h heapBackend) runUntil(t time.Duration) { h.s.RunUntil(t) }
 // virtual timestamps and contents a divergent scheduler would get wrong.
 func runProgram(b schedBackend, p Program) []string {
 	rng := randx.New(p.Seed)
+	keys := p.Keys
+	if keys < 1 {
+		keys = 1
+	}
+	// Rotate arms across the key space deterministically so every backend
+	// draws the same key sequence; only the sharded backend acts on it.
+	var keyCtr uint64
+	nextKey := func() uint64 {
+		keyCtr++
+		return keyCtr % uint64(keys)
+	}
 	var (
 		log        []string
 		queue      []int
@@ -116,7 +148,7 @@ func runProgram(b schedBackend, p Program) []string {
 		}
 		batch := queue
 		queue = nil
-		b.after(rng.Jitter(p.ExecCost, p.JitterFrac), func() { commit(batch) })
+		b.afterKey(nextKey(), rng.Jitter(p.ExecCost, p.JitterFrac), func() { commit(batch) })
 	}
 	var inject func()
 	inject = func() {
@@ -126,13 +158,13 @@ func runProgram(b schedBackend, p Program) []string {
 			cut()
 		} else if !cutPending {
 			cutPending = true
-			cancelCut = b.after(p.BatchTimeout, func() {
+			cancelCut = b.afterKey(nextKey(), p.BatchTimeout, func() {
 				cutPending = false
 				cut()
 			})
 		}
 		if b.now() < p.Duration-p.BatchTimeout {
-			b.after(rng.Jitter(p.InjectEvery, p.JitterFrac), inject)
+			b.afterKey(nextKey(), rng.Jitter(p.InjectEvery, p.JitterFrac), inject)
 		}
 	}
 	stopPoll := b.every(p.PollEvery, func() {
@@ -145,23 +177,37 @@ func runProgram(b schedBackend, p Program) []string {
 	return log
 }
 
-// DiffSchedulers runs the program on both scheduler backends and returns an
-// error describing the first divergence between their event logs, or nil
-// when the timer wheel reproduced the heap reference exactly.
+// DiffSchedulers runs the program on all three scheduler backends — timer
+// wheel, binary-heap reference, and the sharded epoch-merge engine — and
+// returns an error describing the first divergence between their event logs,
+// or nil when all three logs are byte-identical.
 func DiffSchedulers(p Program) error {
-	wheel := runProgram(wheelBackend{s: eventsim.New()}, p)
+	shards := p.Shards
+	if shards < 1 {
+		shards = 4
+	}
+	wheel := runProgram(schedInterfaceBackend{s: eventsim.New()}, p)
 	ref := runProgram(heapBackend{s: heapsched.New()}, p)
-	n := len(wheel)
-	if len(ref) < n {
-		n = len(ref)
+	sharded := runProgram(schedInterfaceBackend{s: eventsim.NewSharded(shards)}, p)
+	if err := diffLogs("wheel", wheel, "heap", ref); err != nil {
+		return err
+	}
+	return diffLogs("wheel", wheel, "sharded", sharded)
+}
+
+// diffLogs reports the first line-level divergence between two event logs.
+func diffLogs(aName string, a []string, bName string, b []string) error {
+	n := len(a)
+	if len(b) < n {
+		n = len(b)
 	}
 	for i := 0; i < n; i++ {
-		if wheel[i] != ref[i] {
-			return fmt.Errorf("invariant: scheduler divergence at event %d:\n  wheel: %s\n  heap:  %s", i, wheel[i], ref[i])
+		if a[i] != b[i] {
+			return fmt.Errorf("invariant: scheduler divergence at event %d:\n  %s: %s\n  %s: %s", i, aName, a[i], bName, b[i])
 		}
 	}
-	if len(wheel) != len(ref) {
-		return fmt.Errorf("invariant: scheduler divergence: wheel logged %d events, heap %d", len(wheel), len(ref))
+	if len(a) != len(b) {
+		return fmt.Errorf("invariant: scheduler divergence: %s logged %d events, %s %d", aName, len(a), bName, len(b))
 	}
 	return nil
 }

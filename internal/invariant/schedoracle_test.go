@@ -1,11 +1,13 @@
 package invariant
 
 import (
+	"runtime"
 	"strings"
 	"testing"
 	"time"
 
 	"hammer/internal/eventsim"
+	"hammer/internal/parallel"
 )
 
 func TestDiffSchedulersAgreeAcrossSeeds(t *testing.T) {
@@ -39,9 +41,33 @@ func TestDiffSchedulersAgreeOnEdgeShapedPrograms(t *testing.T) {
 	}
 }
 
+func TestDiffSchedulersAcrossShardAndKeyCounts(t *testing.T) {
+	for _, shards := range []int{1, 2, 4, 8} {
+		for _, keys := range []int{1, 3, 8} {
+			p := DefaultProgram(9)
+			p.Duration = 500 * time.Millisecond
+			p.Shards = shards
+			p.Keys = keys
+			if err := DiffSchedulers(p); err != nil {
+				t.Fatalf("shards=%d keys=%d: %v", shards, keys, err)
+			}
+		}
+	}
+}
+
+func TestDiffSchedulersWorkerIndependence(t *testing.T) {
+	defer parallel.SetWorkers(parallel.Workers())
+	for _, workers := range []int{1, 4, runtime.NumCPU()} {
+		parallel.SetWorkers(workers)
+		if err := DiffSchedulers(DefaultProgram(21)); err != nil {
+			t.Fatalf("workers=%d: %v", workers, err)
+		}
+	}
+}
+
 func TestRunProgramProducesCommitsAndPolls(t *testing.T) {
 	p := DefaultProgram(5)
-	log := runProgram(wheelBackend{s: eventsim.New()}, p)
+	log := runProgram(schedInterfaceBackend{s: eventsim.New()}, p)
 	var commits, polls int
 	for _, line := range log {
 		switch {
@@ -61,8 +87,8 @@ func TestRunProgramProducesCommitsAndPolls(t *testing.T) {
 
 func TestRunProgramIsDeterministicPerBackend(t *testing.T) {
 	p := DefaultProgram(11)
-	a := runProgram(wheelBackend{s: eventsim.New()}, p)
-	b := runProgram(wheelBackend{s: eventsim.New()}, p)
+	a := runProgram(schedInterfaceBackend{s: eventsim.New()}, p)
+	b := runProgram(schedInterfaceBackend{s: eventsim.New()}, p)
 	if len(a) != len(b) {
 		t.Fatalf("event counts differ: %d vs %d", len(a), len(b))
 	}

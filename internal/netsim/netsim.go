@@ -84,7 +84,7 @@ type LinkQuality struct {
 // Network delivers messages between named nodes over the virtual clock.
 type Network struct {
 	cfg   Config
-	sched *eventsim.Scheduler
+	sched eventsim.Sched
 	rng   *randx.Rand
 	// busyUntil tracks per-link serialisation: a link transmits one message
 	// at a time, so bandwidth limits queue large payloads.
@@ -110,7 +110,7 @@ type Network struct {
 // like scheduling an event in the past, a negative bandwidth indicates a
 // simulation bug, not a recoverable runtime condition. Callers wiring
 // user-supplied values should run Config.Validate first.
-func New(sched *eventsim.Scheduler, cfg Config) *Network {
+func New(sched eventsim.Sched, cfg Config) *Network {
 	if err := cfg.Validate(); err != nil {
 		panic(err)
 	}
@@ -238,7 +238,9 @@ func (n *Network) Send(from, to string, size int, deliver func()) {
 	arrival := start + xmit + n.rng.Jitter(delay, n.cfg.JitterFrac) + lq.ExtraLatency
 	n.sent++
 	n.bytesSent += int64(size)
-	n.sched.At(arrival, deliver)
+	// Delivery is the receiver's event: key it by destination so a sharded
+	// scheduler keeps each node's inbound timers on one wheel.
+	n.sched.AtKey(eventsim.Key(to), arrival, deliver)
 }
 
 // Broadcast sends size bytes from one node to every other named node.
