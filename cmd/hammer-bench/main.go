@@ -42,7 +42,7 @@ func main() {
 
 func run() error {
 	var (
-		exp         = flag.String("exp", "all", "experiment: fig1|fig6|fig7|fig8|fig9|fig10|correctness|distributed|all, plus faults, schedbench and conformance (explicit only); 'list' prints them all")
+		exp         = flag.String("exp", "all", "experiment: fig1|fig6|fig7|fig8|fig9|fig10|correctness|distributed|all, plus faults, schedbench, conformance and loadplane (explicit only); 'list' prints them all")
 		quick       = flag.Bool("quick", false, "shrink workloads for a fast smoke run")
 		outDir      = flag.String("out", "results", "directory for CSV export")
 		seed        = flag.Int64("seed", 7, "random seed")
@@ -52,6 +52,11 @@ func run() error {
 		benchjson   = flag.Bool("benchjson", false, "record per-experiment TPS/wall-clock/allocs into a numbered BENCH_<n>.json under -out")
 		events      = flag.Int("events", 1_000_000, "event count for -exp schedbench")
 		schedShards = flag.Int("sched-shards", 0, "run simulations on the sharded event engine with N timer-wheel shards (0 = single wheel; results are identical)")
+		lpListen    = flag.String("lp-listen", "", "serve the load-plane coordinator at this address for external hammer-worker processes (-exp loadplane)")
+		lpWorkers   = flag.Int("lp-workers", 2, "load-plane partition count: expected worker processes with -lp-listen, in-process shards otherwise")
+		lpClients   = flag.Int("lp-clients", 0, "run the canonical load-plane spec at this population and write loadplane_merged.csv (0 = scale sweep)")
+		lpSeconds   = flag.Int("lp-seconds", 0, "virtual duration of the canonical load-plane spec (0 = the experiment default)")
+		lpBench     = flag.Bool("lp-bench", false, "measure load-plane injection rate and heap at 100k/1M clients across 1/2/4 shards (-exp loadplane)")
 	)
 	flag.Parse()
 	if *events < 1 {
@@ -132,6 +137,10 @@ func run() error {
 		{"faults", func() (float64, error) { return runFaults(ctx, opts, *outDir) }},
 		{"schedbench", func() (float64, error) { return 0, runSchedBench(*outDir, traj, *events, *schedShards) }},
 		{"conformance", func() (float64, error) { return 0, runConformance(ctx, opts, *outDir) }},
+		{"loadplane", func() (float64, error) {
+			return runLoadPlane(ctx, opts, *outDir, traj,
+				lpFlags{listen: *lpListen, workers: *lpWorkers, clients: *lpClients, seconds: *lpSeconds, bench: *lpBench})
+		}},
 	}
 
 	if wantOnly("list") {

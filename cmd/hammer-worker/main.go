@@ -1,0 +1,57 @@
+// Command hammer-worker is one load-plane traffic generator: it joins a
+// coordinator, receives a client range, generates open-loop arrivals for its
+// range with bounded resident memory, and streams windowed metrics back over
+// JSON-RPC. The binary carries no workload knowledge — the coordinator's
+// join response is the whole configuration.
+//
+// Usage:
+//
+//	hammer-worker -coordinator http://127.0.0.1:9090 -name w0
+//
+// A worker restarted after a crash rejoins under the same -name and resumes
+// from the first window the coordinator is missing.
+package main
+
+import (
+	"context"
+	"flag"
+	"fmt"
+	"os"
+	"os/signal"
+	"time"
+
+	"hammer/internal/loadplane"
+)
+
+func main() {
+	if err := run(); err != nil {
+		fmt.Fprintln(os.Stderr, "hammer-worker:", err)
+		os.Exit(1)
+	}
+}
+
+func run() error {
+	var (
+		coordinator = flag.String("coordinator", "http://127.0.0.1:9090", "coordinator JSON-RPC URL")
+		name        = flag.String("name", "", "worker name (stable across restarts; required)")
+		timeout     = flag.Duration("timeout", 10*time.Second, "per-RPC timeout")
+		quiet       = flag.Bool("quiet", false, "suppress the completion line")
+	)
+	flag.Parse()
+	if *name == "" {
+		return fmt.Errorf("-name is required (a stable identity enables crash rejoin)")
+	}
+
+	ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt)
+	defer stop()
+
+	start := time.Now()
+	reported, err := loadplane.RunWorker(ctx, *name, *coordinator, *timeout)
+	if err != nil {
+		return err
+	}
+	if !*quiet {
+		fmt.Printf("worker %s: reported %d windows in %v\n", *name, reported, time.Since(start).Round(time.Millisecond))
+	}
+	return nil
+}

@@ -19,6 +19,8 @@ import (
 	"time"
 
 	"hammer"
+	"hammer/internal/core"
+	"hammer/internal/loadplane"
 	"hammer/internal/viz"
 )
 
@@ -44,6 +46,7 @@ func run() error {
 		seed         = flag.Int64("seed", 7, "random seed")
 		outDir       = flag.String("out", "", "directory for CSV export (optional)")
 		showViz      = flag.Bool("viz", true, "run the SQL visualization phase")
+		openLoop     = flag.Int("openloop", 0, "drive injection from an open-loop population of this many simulated clients (-rate becomes the population's aggregate rate; 0 = flat-rate injection)")
 	)
 	flag.Parse()
 
@@ -73,7 +76,20 @@ func run() error {
 	}
 	cfg.Clients = *clients
 	cfg.Threads = *threads
-	cfg.Control = hammer.ConstantLoad(*rate, *duration, time.Second)
+	if *openLoop > 0 {
+		spec := loadplane.DefaultSpec()
+		spec.Clients = *openLoop
+		spec.RatePerClient = *rate / float64(*openLoop)
+		spec.Duration = *duration
+		spec.Seed = *seed
+		merged, err := loadplane.InProcess(context.Background(), spec, 1)
+		if err != nil {
+			return fmt.Errorf("open-loop generation: %w", err)
+		}
+		cfg.Control = core.OpenLoopControl(spec, merged, 0)
+	} else {
+		cfg.Control = hammer.ConstantLoad(*rate, *duration, time.Second)
+	}
 	switch *driver {
 	case "hammer":
 		cfg.Driver = hammer.DriverHammer

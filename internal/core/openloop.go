@@ -1,0 +1,32 @@
+package core
+
+import (
+	"hammer/internal/loadplane"
+	"hammer/internal/metrics"
+	"hammer/internal/workload"
+)
+
+// OpenLoopControl turns a load-plane merged arrival series into the
+// engine's injection schedule: window w's arrivals become control slice w's
+// transaction count, so the SUT sees the open-loop population's burstiness
+// instead of a flat rate. maxTotal caps the total injected transactions
+// (0 means inject every arrival); the down-scale is integer arithmetic with
+// a carried remainder, so the schedule — like everything upstream of it —
+// is a deterministic function of the merged series.
+func OpenLoopControl(spec loadplane.Spec, merged []metrics.Window, maxTotal int) workload.ControlSequence {
+	counts := make([]int, len(merged))
+	total := metrics.SumArrivals(merged)
+	if maxTotal <= 0 || total <= int64(maxTotal) {
+		for i := range merged {
+			counts[i] = int(merged[i].Arrivals)
+		}
+		return workload.ControlSequence{Interval: spec.Window, Counts: counts}
+	}
+	var carry int64
+	for i := range merged {
+		num := merged[i].Arrivals*int64(maxTotal) + carry
+		counts[i] = int(num / total)
+		carry = num % total
+	}
+	return workload.ControlSequence{Interval: spec.Window, Counts: counts}
+}

@@ -1,0 +1,77 @@
+package core
+
+import (
+	"context"
+	"reflect"
+	"testing"
+	"time"
+
+	"hammer/internal/loadplane"
+	"hammer/internal/metrics"
+)
+
+func openLoopSpec() loadplane.Spec {
+	return loadplane.Spec{
+		Clients:       400,
+		RatePerClient: 2,
+		Duration:      5 * time.Second,
+		Window:        time.Second,
+		Seed:          11,
+		Service:       loadplane.ServiceModel{RatePerSec: 1000, QueueCap: 2000, BaseLatency: time.Millisecond},
+	}
+}
+
+func TestOpenLoopControlPreservesArrivals(t *testing.T) {
+	spec := openLoopSpec()
+	merged := []metrics.Window{
+		{Index: 0, Arrivals: 100}, {Index: 1, Arrivals: 250}, {Index: 2, Arrivals: 0}, {Index: 3, Arrivals: 77},
+	}
+	ctrl := OpenLoopControl(spec, merged, 0)
+	if ctrl.Interval != spec.Window {
+		t.Fatalf("interval %v, want %v", ctrl.Interval, spec.Window)
+	}
+	want := []int{100, 250, 0, 77}
+	if !reflect.DeepEqual(ctrl.Counts, want) {
+		t.Fatalf("counts %v, want %v", ctrl.Counts, want)
+	}
+}
+
+func TestOpenLoopControlScalesExactly(t *testing.T) {
+	spec := openLoopSpec()
+	merged := []metrics.Window{
+		{Index: 0, Arrivals: 333}, {Index: 1, Arrivals: 333}, {Index: 2, Arrivals: 334},
+	}
+	ctrl := OpenLoopControl(spec, merged, 100)
+	var total int
+	for _, n := range ctrl.Counts {
+		total += n
+	}
+	// Integer scaling with carry must hit the cap exactly, not approximately.
+	if total != 100 {
+		t.Fatalf("scaled total %d, want exactly 100", total)
+	}
+	// And must be deterministic.
+	again := OpenLoopControl(spec, merged, 100)
+	if !reflect.DeepEqual(ctrl, again) {
+		t.Fatal("scaling is not deterministic")
+	}
+}
+
+func TestOpenLoopControlFromGeneratedSeries(t *testing.T) {
+	spec := openLoopSpec()
+	merged, err := loadplane.InProcess(context.Background(), spec, 2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	ctrl := OpenLoopControl(spec, merged, 0)
+	var total int64
+	for _, n := range ctrl.Counts {
+		total += int64(n)
+	}
+	if total != metrics.SumArrivals(merged) {
+		t.Fatalf("schedule injects %d of %d arrivals", total, metrics.SumArrivals(merged))
+	}
+	if len(ctrl.Counts) != int(spec.Windows()) {
+		t.Fatalf("schedule has %d slices, want %d", len(ctrl.Counts), spec.Windows())
+	}
+}

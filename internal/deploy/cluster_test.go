@@ -1,0 +1,108 @@
+package deploy
+
+import (
+	"strings"
+	"testing"
+
+	"hammer/internal/loadplane"
+)
+
+// clusterJSON wraps a cluster fragment in a minimal valid playbook.
+func clusterJSON(cluster string) []byte {
+	return []byte(`{"name":"lp","kind":"fabric","cluster":` + cluster + `}`)
+}
+
+func TestParseClusterValid(t *testing.T) {
+	pb, err := Parse(clusterJSON(`{
+		"coordinator": "127.0.0.1:9090",
+		"workers": [{"name": "w0"}, {"name": "w1"}]
+	}`))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if pb.Cluster == nil || pb.Cluster.Coordinator != "127.0.0.1:9090" || len(pb.Cluster.Workers) != 2 {
+		t.Fatalf("cluster %+v", pb.Cluster)
+	}
+}
+
+func TestParseRejectsDuplicateWorkerNames(t *testing.T) {
+	_, err := Parse(clusterJSON(`{
+		"coordinator": "127.0.0.1:9090",
+		"workers": [{"name": "w0"}, {"name": "w0"}]
+	}`))
+	if err == nil || !strings.Contains(err.Error(), "duplicate worker name") {
+		t.Fatalf("duplicate names should be rejected, got %v", err)
+	}
+}
+
+func TestParseRejectsOverlappingRanges(t *testing.T) {
+	cases := []string{
+		// Plain overlap.
+		`{"coordinator":"c:1","workers":[{"name":"a","lo":0,"hi":600},{"name":"b","lo":500,"hi":1000}]}`,
+		// Containment, declared out of order.
+		`{"coordinator":"c:1","workers":[{"name":"a","lo":200,"hi":300},{"name":"b","lo":100,"hi":1000}]}`,
+		// Identical ranges.
+		`{"coordinator":"c:1","workers":[{"name":"a","lo":1,"hi":5},{"name":"b","lo":1,"hi":5}]}`,
+	}
+	for _, c := range cases {
+		if _, err := Parse(clusterJSON(c)); err == nil || !strings.Contains(err.Error(), "overlapping client ranges") {
+			t.Fatalf("overlap should be rejected for %s, got %v", c, err)
+		}
+	}
+	// Adjacent ranges do not overlap.
+	if _, err := Parse(clusterJSON(
+		`{"coordinator":"c:1","workers":[{"name":"a","lo":0,"hi":500},{"name":"b","lo":500,"hi":1000}]}`)); err != nil {
+		t.Fatalf("adjacent ranges are valid: %v", err)
+	}
+}
+
+func TestParseRejectsMalformedCluster(t *testing.T) {
+	for name, c := range map[string]string{
+		"no coordinator": `{"workers":[{"name":"w0"}]}`,
+		"no workers":     `{"coordinator":"c:1"}`,
+		"unnamed worker": `{"coordinator":"c:1","workers":[{"lo":0,"hi":5}]}`,
+		"inverted range": `{"coordinator":"c:1","workers":[{"name":"a","lo":5,"hi":5}]}`,
+		"negative lo":    `{"coordinator":"c:1","workers":[{"name":"a","lo":-1,"hi":5}]}`,
+	} {
+		if _, err := Parse(clusterJSON(c)); err == nil {
+			t.Fatalf("%s should be rejected", name)
+		}
+	}
+}
+
+// TestClusterAssignments: pinned workers keep their range, unpinned take the
+// balanced partition slot, and the result feeds NewCoordinator unchanged.
+func TestClusterAssignments(t *testing.T) {
+	const clients = 1000
+	ranges := loadplane.PartitionClients(clients, 2)
+	pb, err := Parse(clusterJSON(`{
+		"coordinator": "127.0.0.1:9090",
+		"workers": [{"name": "w0"}, {"name": "w1", "lo": 500, "hi": 1000}]
+	}`))
+	if err != nil {
+		t.Fatal(err)
+	}
+	got := pb.Cluster.Assignments(clients)
+	if got["w0"] != ranges[0] {
+		t.Fatalf("w0 assigned %v, want %v", got["w0"], ranges[0])
+	}
+	if got["w1"] != (loadplane.Range{Lo: 500, Hi: 1000}) {
+		t.Fatalf("w1 assigned %v", got["w1"])
+	}
+	// The assignments plug straight into a coordinator.
+	spec := loadplane.DefaultSpec()
+	spec.Clients = clients
+	if _, err := loadplane.NewCoordinator(loadplane.CoordinatorConfig{
+		Spec: spec, Workers: 2, Assignments: got,
+	}); err != nil {
+		t.Fatalf("coordinator rejected playbook assignments: %v", err)
+	}
+
+	// A pin that disagrees with the partition is caught by the coordinator.
+	bad := map[string]loadplane.Range{"w0": {Lo: 0, Hi: 123}}
+	if _, err := loadplane.NewCoordinator(loadplane.CoordinatorConfig{
+		Spec: spec, Workers: 2, Assignments: bad,
+	}); err == nil {
+		t.Fatal("mismatched pin should be rejected")
+	}
+}

@@ -36,6 +36,9 @@ type Options struct {
 	ModelLookback int
 	// ModelHidden is the neural width for Table III.
 	ModelHidden int
+	// LoadClients is the client-population sweep for the load-plane
+	// experiment (open- vs closed-loop injection at each scale).
+	LoadClients []int
 	// Workers bounds how many runs a sweep executes concurrently;
 	// 0 means one worker per core (runtime.GOMAXPROCS(0)).
 	Workers int
@@ -75,6 +78,7 @@ func Default() Options {
 		ModelEpochs:    150,
 		ModelLookback:  24,
 		ModelHidden:    16,
+		LoadClients:    []int{100_000, 500_000, 1_000_000},
 	}
 }
 
@@ -90,6 +94,7 @@ func Quick() Options {
 		ModelEpochs:    8,
 		ModelLookback:  12,
 		ModelHidden:    8,
+		LoadClients:    []int{2_000, 10_000},
 	}
 }
 
@@ -121,6 +126,9 @@ func (o *Options) fillDefaults() {
 	}
 	if o.ModelHidden <= 0 {
 		o.ModelHidden = def.ModelHidden
+	}
+	if len(o.LoadClients) == 0 {
+		o.LoadClients = def.LoadClients
 	}
 }
 

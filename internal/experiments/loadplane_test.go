@@ -1,0 +1,101 @@
+package experiments
+
+import (
+	"context"
+	"testing"
+)
+
+// TestLoadPlaneQuick runs the scale sweep at test size and checks the
+// open/closed contrast the experiment exists to show: at identical
+// population and service, the open-loop rows expose drops while the
+// closed-loop rows self-limit to roughly the service rate.
+func TestLoadPlaneQuick(t *testing.T) {
+	opts := Quick()
+	rows, err := LoadPlane(context.Background(), opts)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(rows) != 2*len(opts.LoadClients) {
+		t.Fatalf("expected %d rows, got %d", 2*len(opts.LoadClients), len(rows))
+	}
+	for i := 0; i < len(rows); i += 2 {
+		open, closed := rows[i], rows[i+1]
+		if open.Mode != "open" || closed.Mode != "closed" {
+			t.Fatalf("row order: %q then %q", open.Mode, closed.Mode)
+		}
+		if open.Clients != closed.Clients {
+			t.Fatalf("paired rows differ in population: %d vs %d", open.Clients, closed.Clients)
+		}
+		// The service model is sized at half the offered rate, so the
+		// open-loop run must drop and the closed-loop run must issue below
+		// the open-loop offered rate.
+		if open.DroppedFrac <= 0 {
+			t.Fatalf("open-loop at %d clients dropped nothing", open.Clients)
+		}
+		if closed.DroppedFrac != 0 {
+			t.Fatalf("closed-loop at %d clients dropped %f", closed.Clients, closed.DroppedFrac)
+		}
+		if closed.OfferedPerS >= open.OfferedPerS {
+			t.Fatalf("closed-loop issue rate %d should sit below open-loop offered %d",
+				closed.OfferedPerS, open.OfferedPerS)
+		}
+		if open.Checksum == 0 {
+			t.Fatal("open-loop row lost its arrival checksum")
+		}
+	}
+}
+
+// TestLoadPlaneDeterministic: the sweep's rows — including checksums — are
+// identical across invocations.
+func TestLoadPlaneDeterministic(t *testing.T) {
+	opts := Quick()
+	opts.LoadClients = []int{1500}
+	a, err := LoadPlane(context.Background(), opts)
+	if err != nil {
+		t.Fatal(err)
+	}
+	b, err := LoadPlane(context.Background(), opts)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := range a {
+		if a[i] != b[i] {
+			t.Fatalf("row %d diverged: %+v vs %+v", i, a[i], b[i])
+		}
+	}
+}
+
+// TestLoadPlaneSpecIsPure: the canonical spec derivation the CI golden
+// comparison relies on is a pure function of its arguments.
+func TestLoadPlaneSpecIsPure(t *testing.T) {
+	a := LoadPlaneSpec(20_000, 7, 10)
+	b := LoadPlaneSpec(20_000, 7, 10)
+	if a != b {
+		t.Fatalf("spec derivation not pure: %+v vs %+v", a, b)
+	}
+	// offered = clients × 0.5 = 10k; service = offered/2 + 1.
+	if a.Service.RatePerSec != 5001 {
+		t.Fatalf("service rate %d, want 5001", a.Service.RatePerSec)
+	}
+}
+
+// TestLoadPlaneDriveQuick drives Fabric from the open-loop schedule under
+// both drivers — the loadplane → core wiring end to end.
+func TestLoadPlaneDriveQuick(t *testing.T) {
+	if testing.Short() {
+		t.Skip("chain run")
+	}
+	opts := Quick()
+	rows, err := LoadPlaneDrive(context.Background(), opts)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(rows) != 2 {
+		t.Fatalf("expected 2 driver rows, got %d", len(rows))
+	}
+	for _, r := range rows {
+		if r.Committed == 0 {
+			t.Fatalf("driver %s committed nothing: %+v", r.Driver, r)
+		}
+	}
+}

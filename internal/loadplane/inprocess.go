@@ -1,0 +1,65 @@
+package loadplane
+
+import (
+	"context"
+	"encoding/csv"
+	"fmt"
+	"strings"
+	"sync"
+
+	"hammer/internal/metrics"
+)
+
+// InProcess runs the spec's client population as `workers` in-process shards
+// — the same partitioning the coordinator would hand to remote workers — and
+// merges their window series. It is the reference implementation the
+// distributed path must match byte-for-byte, and the test harness for
+// partition invariance.
+func InProcess(ctx context.Context, spec Spec, workers int) ([]metrics.Window, error) {
+	spec.fillDefaults()
+	if err := spec.Validate(); err != nil {
+		return nil, err
+	}
+	ranges := PartitionClients(spec.Clients, workers)
+	parts := make([][]metrics.Window, len(ranges))
+	errs := make([]error, len(ranges))
+	var wg sync.WaitGroup
+	for i, rng := range ranges {
+		wg.Add(1)
+		go func(i int, rng Range) {
+			defer wg.Done()
+			parts[i], errs[i] = CollectRange(ctx, spec, rng, 0)
+		}(i, rng)
+	}
+	wg.Wait()
+	for _, err := range errs {
+		if err != nil {
+			return nil, err
+		}
+	}
+	return metrics.MergeWindows(parts...), nil
+}
+
+// MergedCSV evaluates the merged series under the spec's service model and
+// renders it as one CSV document. This is the byte-comparison artifact: a
+// same-seed in-process run and a distributed run at any worker count must
+// produce identical output.
+func MergedCSV(spec Spec, merged []metrics.Window) (string, error) {
+	if err := metrics.ValidateWindows(merged); err != nil {
+		return "", err
+	}
+	header, records := RowsCSV(Evaluate(spec, merged))
+	var b strings.Builder
+	w := csv.NewWriter(&b)
+	if err := w.Write(header); err != nil {
+		return "", fmt.Errorf("loadplane: csv header: %w", err)
+	}
+	if err := w.WriteAll(records); err != nil {
+		return "", fmt.Errorf("loadplane: csv rows: %w", err)
+	}
+	w.Flush()
+	if err := w.Error(); err != nil {
+		return "", err
+	}
+	return b.String(), nil
+}

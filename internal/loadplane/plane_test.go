@@ -1,0 +1,299 @@
+package loadplane
+
+import (
+	"context"
+	"strings"
+	"sync"
+	"testing"
+	"time"
+
+	"hammer/internal/metrics"
+)
+
+func planeSpec() Spec {
+	return Spec{
+		Clients:       2000,
+		RatePerClient: 3,
+		Duration:      6 * time.Second,
+		Window:        time.Second,
+		Seed:          99,
+		Service:       ServiceModel{RatePerSec: 5000, QueueCap: 10000, BaseLatency: 5 * time.Millisecond},
+		BatchWindows:  2,
+	}
+}
+
+// startCoordinator boots a coordinator on a loopback port.
+func startCoordinator(t *testing.T, cfg CoordinatorConfig) (*Coordinator, string) {
+	t.Helper()
+	coord, err := NewCoordinator(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	addr, err := coord.Listen("127.0.0.1:0")
+	if err != nil {
+		t.Fatal(err)
+	}
+	t.Cleanup(func() { coord.Close() })
+	return coord, "http://" + addr
+}
+
+// TestLoopbackRoundTripByteIdentity is the tentpole acceptance test: a
+// coordinator with 3 workers over loopback RPC must merge to the exact
+// series — and the exact CSV bytes — of a same-seed in-process run.
+func TestLoopbackRoundTripByteIdentity(t *testing.T) {
+	spec := planeSpec()
+	coord, url := startCoordinator(t, CoordinatorConfig{Spec: spec, Workers: 3, Liveness: 5 * time.Second})
+
+	var wg sync.WaitGroup
+	errs := make(chan error, 3)
+	for i := 0; i < 3; i++ {
+		wg.Add(1)
+		go func(i int) {
+			defer wg.Done()
+			name := "w" + string(rune('0'+i))
+			if _, err := RunWorker(context.Background(), name, url, 5*time.Second); err != nil {
+				errs <- err
+			}
+		}(i)
+	}
+	wg.Wait()
+	close(errs)
+	for err := range errs {
+		t.Fatal(err)
+	}
+
+	ctx, cancel := context.WithTimeout(context.Background(), 10*time.Second)
+	defer cancel()
+	merged, err := coord.Wait(ctx)
+	if err != nil {
+		t.Fatal(err)
+	}
+	ref, err := InProcess(context.Background(), spec, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(merged) != len(ref) {
+		t.Fatalf("distributed run has %d windows, in-process %d", len(merged), len(ref))
+	}
+	for i := range ref {
+		if merged[i] != ref[i] {
+			t.Fatalf("window %d diverged over RPC: %+v vs %+v", i, merged[i], ref[i])
+		}
+	}
+	distCSV, err := MergedCSV(spec, merged)
+	if err != nil {
+		t.Fatal(err)
+	}
+	refCSV, err := MergedCSV(spec, ref)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if distCSV != refCSV {
+		t.Fatal("distributed CSV bytes differ from in-process CSV")
+	}
+	if len(coord.Lost()) != 0 {
+		t.Fatalf("clean run should lose no ranges: %v", coord.Lost())
+	}
+}
+
+// crashingWorker joins, reports a few batches, then vanishes without Done —
+// simulating a mid-run process crash.
+func crashingWorker(t *testing.T, name, url string, batches int) {
+	t.Helper()
+	w := NewWorker(name, url, 5*time.Second)
+	defer w.Close()
+	var join JoinResult
+	if err := w.conn.Call(context.Background(), MethodJoin, JoinParams{Worker: name}, &join); err != nil {
+		t.Fatal(err)
+	}
+	sent := 0
+	err := GenerateRange(context.Background(), join.Spec, join.Range, join.StartWindow, func(ws []metrics.Window) error {
+		if sent >= batches {
+			return context.Canceled // die mid-stream
+		}
+		sent++
+		return w.conn.Call(context.Background(), MethodReport, ReportParams{Worker: name, Windows: ws}, nil)
+	})
+	if err == nil {
+		t.Fatal("crashing worker should not finish")
+	}
+}
+
+// TestWorkerCrashRecovery: a worker dies mid-run; the coordinator must not
+// hang — the liveness monitor frees the range and Wait's recovery
+// regenerates the missing windows byte-identically.
+func TestWorkerCrashRecovery(t *testing.T) {
+	spec := planeSpec()
+	coord, url := startCoordinator(t, CoordinatorConfig{
+		Spec: spec, Workers: 2, Liveness: 200 * time.Millisecond, RecoverLost: true,
+	})
+
+	// Worker 0 completes; worker 1 crashes after one batch.
+	if _, err := RunWorker(context.Background(), "alive", url, 5*time.Second); err != nil {
+		t.Fatal(err)
+	}
+	crashingWorker(t, "doomed", url, 1)
+
+	ctx, cancel := context.WithTimeout(context.Background(), 3*time.Second)
+	defer cancel()
+	merged, err := coord.Wait(ctx)
+	if err != nil {
+		t.Fatal(err)
+	}
+	lost := coord.Lost()
+	if len(lost) != 1 {
+		t.Fatalf("expected exactly one lost range, got %v", lost)
+	}
+	ref, err := InProcess(context.Background(), spec, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := range ref {
+		if merged[i] != ref[i] {
+			t.Fatalf("recovered window %d diverged: %+v vs %+v", i, merged[i], ref[i])
+		}
+	}
+}
+
+// TestWorkerCrashNoRecovery: without RecoverLost the coordinator still
+// returns — with an error naming the incomplete range — instead of hanging.
+func TestWorkerCrashNoRecovery(t *testing.T) {
+	spec := planeSpec()
+	coord, url := startCoordinator(t, CoordinatorConfig{
+		Spec: spec, Workers: 2, Liveness: 100 * time.Millisecond,
+	})
+	if _, err := RunWorker(context.Background(), "alive", url, 5*time.Second); err != nil {
+		t.Fatal(err)
+	}
+	crashingWorker(t, "doomed", url, 1)
+
+	ctx, cancel := context.WithTimeout(context.Background(), time.Second)
+	defer cancel()
+	start := time.Now()
+	_, err := coord.Wait(ctx)
+	if err == nil {
+		t.Fatal("incomplete run without recovery should error")
+	}
+	if !strings.Contains(err.Error(), "incomplete ranges") {
+		t.Fatalf("error should name incomplete ranges: %v", err)
+	}
+	if time.Since(start) > 5*time.Second {
+		t.Fatal("Wait hung past its context")
+	}
+}
+
+// TestWorkerRejoinResumes: a crashed worker rejoining under the same name
+// gets its old range back with StartWindow at the received prefix, and the
+// finished run still matches the reference bytes.
+func TestWorkerRejoinResumes(t *testing.T) {
+	spec := planeSpec()
+	coord, url := startCoordinator(t, CoordinatorConfig{
+		Spec: spec, Workers: 2, Liveness: 10 * time.Second,
+	})
+	if _, err := RunWorker(context.Background(), "steady", url, 5*time.Second); err != nil {
+		t.Fatal(err)
+	}
+	crashingWorker(t, "phoenix", url, 2) // 2 batches × 2 windows = prefix 4
+
+	// Rejoin under the same name: the coordinator must hand back the same
+	// range starting at the contiguous prefix.
+	w := NewWorker("phoenix", url, 5*time.Second)
+	defer w.Close()
+	var join JoinResult
+	if err := w.conn.Call(context.Background(), MethodJoin, JoinParams{Worker: "phoenix"}, &join); err != nil {
+		t.Fatal(err)
+	}
+	if join.StartWindow != 4 {
+		t.Fatalf("rejoin should resume at window 4, got %d", join.StartWindow)
+	}
+	if _, err := w.Run(context.Background()); err != nil {
+		t.Fatal(err)
+	}
+
+	ctx, cancel := context.WithTimeout(context.Background(), 5*time.Second)
+	defer cancel()
+	merged, err := coord.Wait(ctx)
+	if err != nil {
+		t.Fatal(err)
+	}
+	ref, err := InProcess(context.Background(), spec, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := range ref {
+		if merged[i] != ref[i] {
+			t.Fatalf("resumed run window %d diverged: %+v vs %+v", i, merged[i], ref[i])
+		}
+	}
+}
+
+// TestReportValidation: out-of-order and out-of-range reports are rejected;
+// duplicate (retried) reports are accepted idempotently.
+func TestReportValidation(t *testing.T) {
+	spec := planeSpec()
+	coord, _ := startCoordinator(t, CoordinatorConfig{Spec: spec, Workers: 1})
+	if _, e := coord.join("w"); e != nil {
+		t.Fatal(e)
+	}
+	w0 := metrics.Window{Index: 0, Arrivals: 5, Checksum: 1}
+	if _, e := coord.report("w", []metrics.Window{w0}); e != nil {
+		t.Fatal(e)
+	}
+	// Retry of the same batch: idempotent, and the stored window unchanged.
+	if _, e := coord.report("w", []metrics.Window{w0}); e != nil {
+		t.Fatalf("duplicate report should be idempotent: %v", e)
+	}
+	if got := coord.states[0].windows[0]; got != w0 {
+		t.Fatalf("duplicate report mutated stored window: %+v", got)
+	}
+	if _, e := coord.report("w", []metrics.Window{{Index: 3}}); e == nil {
+		t.Fatal("gap report should be rejected")
+	}
+	if _, e := coord.report("w", []metrics.Window{{Index: spec.Windows()}}); e == nil {
+		t.Fatal("out-of-range report should be rejected")
+	}
+	if _, e := coord.report("stranger", nil); e == nil {
+		t.Fatal("unknown worker should be rejected")
+	}
+	if _, e := coord.markDone("w"); e == nil {
+		t.Fatal("done before all windows should be rejected")
+	}
+}
+
+// TestJoinAssignmentsAndOverflow: playbook-pinned assignments are honored
+// and a surplus worker is turned away with a useful error.
+func TestJoinAssignmentsAndOverflow(t *testing.T) {
+	spec := planeSpec()
+	ranges := PartitionClients(spec.Clients, 2)
+	coord, err := NewCoordinator(CoordinatorConfig{
+		Spec: spec, Workers: 2,
+		Assignments: map[string]Range{"pinned": ranges[1]},
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	res, e := coord.join("pinned")
+	if e != nil {
+		t.Fatal(e)
+	}
+	if res.Range != ranges[1] {
+		t.Fatalf("pinned worker got %v, want %v", res.Range, ranges[1])
+	}
+	if res.Spec.Clients != spec.Clients || res.Spec.Seed != spec.Seed {
+		t.Fatalf("join should carry the spec: %+v", res.Spec)
+	}
+	if _, e := coord.join("free"); e != nil {
+		t.Fatal(e)
+	}
+	if _, e := coord.join("surplus"); e == nil {
+		t.Fatal("third worker against two ranges should be refused")
+	}
+
+	// A pin that matches no partition range is a config error.
+	if _, err := NewCoordinator(CoordinatorConfig{
+		Spec: spec, Workers: 2,
+		Assignments: map[string]Range{"odd": {Lo: 1, Hi: 2}},
+	}); err == nil {
+		t.Fatal("assignment outside the partition should fail")
+	}
+}

@@ -1,0 +1,194 @@
+// Package loadplane is the distributed traffic-generation layer: a
+// coordinator partitions a population of simulated clients across workers,
+// each worker generates open-loop arrivals for its client range with
+// bounded resident memory, and the coordinator merges the windowed metrics
+// the workers stream back — aligned on the shared virtual clock — into one
+// deterministic series.
+//
+// Determinism is by construction, at three levels:
+//
+//  1. Every client's arrival process is a pure function of (Seed, client
+//     index): worker count and partitioning cannot change what any client
+//     generates.
+//  2. Per-window metrics are integers; the merge is integer addition, which
+//     is associative and commutative, so report batching, interleaving and
+//     network reordering cannot change the totals.
+//  3. The service model that turns merged arrivals into
+//     admitted/served/latency columns runs on the coordinator, over the
+//     merged series only, in integer arithmetic.
+//
+// Consequently a same-seed in-process run and a multi-process run — at any
+// worker count — produce byte-identical merged CSVs.
+package loadplane
+
+import (
+	"fmt"
+	"time"
+)
+
+// ServiceModel is the coordinator-side admission/service queue that merged
+// arrivals flow through: a fluid single-queue approximation of a SUT's
+// ingress (Rate served per second, a bounded admission queue, and a floor
+// latency). Integer fields keep its evaluation bit-deterministic.
+type ServiceModel struct {
+	// RatePerSec is the service capacity in arrivals per virtual second.
+	RatePerSec int64 `json:"rate_per_sec"`
+	// QueueCap bounds the admission queue; arrivals beyond it are dropped.
+	QueueCap int64 `json:"queue_cap"`
+	// BaseLatency is the unloaded service latency.
+	BaseLatency time.Duration `json:"base_latency_ns"`
+}
+
+// Spec declares one load-plane run: the client population, its open-loop
+// arrival law, the virtual measurement window grid, and the service model
+// applied to the merged arrival stream.
+type Spec struct {
+	// Clients is the simulated client population.
+	Clients int `json:"clients"`
+	// RatePerClient is each client's mean open-loop arrival rate (1/s);
+	// inter-arrival gaps are exponential.
+	RatePerClient float64 `json:"rate_per_client"`
+	// Duration is the virtual span generated.
+	Duration time.Duration `json:"duration_ns"`
+	// Window is the metric window width on the shared virtual clock.
+	Window time.Duration `json:"window_ns"`
+	// Seed drives every client's arrival process.
+	Seed int64 `json:"seed"`
+	// Service parameterises the merged-stream queue model.
+	Service ServiceModel `json:"service"`
+	// BatchWindows is how many windows a worker packs into one report
+	// batch over RPC.
+	BatchWindows int `json:"batch_windows"`
+}
+
+// DefaultSpec is a 100k-client open-loop run: 0.5 arrivals/s per client
+// against a 40k/s service — saturated 25%, so queue dynamics are visible
+// without being degenerate.
+func DefaultSpec() Spec {
+	return Spec{
+		Clients:       100_000,
+		RatePerClient: 0.5,
+		Duration:      30 * time.Second,
+		Window:        time.Second,
+		Seed:          7,
+		Service: ServiceModel{
+			RatePerSec:  40_000,
+			QueueCap:    80_000,
+			BaseLatency: 20 * time.Millisecond,
+		},
+		BatchWindows: 8,
+	}
+}
+
+func (s *Spec) fillDefaults() {
+	def := DefaultSpec()
+	if s.Clients <= 0 {
+		s.Clients = def.Clients
+	}
+	if s.RatePerClient <= 0 {
+		s.RatePerClient = def.RatePerClient
+	}
+	if s.Duration <= 0 {
+		s.Duration = def.Duration
+	}
+	if s.Window <= 0 {
+		s.Window = def.Window
+	}
+	if s.Seed == 0 {
+		s.Seed = def.Seed
+	}
+	if s.Service.RatePerSec <= 0 {
+		s.Service.RatePerSec = def.Service.RatePerSec
+	}
+	if s.Service.QueueCap <= 0 {
+		s.Service.QueueCap = def.Service.QueueCap
+	}
+	if s.Service.BaseLatency <= 0 {
+		s.Service.BaseLatency = def.Service.BaseLatency
+	}
+	if s.BatchWindows <= 0 {
+		s.BatchWindows = def.BatchWindows
+	}
+}
+
+// maxClients bounds the population: client indexes travel as uint32 through
+// the calendar ring.
+const maxClients = 1 << 31
+
+// Validate rejects impossible specs. The exported entry points call it
+// after filling defaults.
+func (s Spec) Validate() error {
+	if s.Clients < 1 || s.Clients > maxClients {
+		return fmt.Errorf("loadplane: clients %d out of range [1, %d]", s.Clients, maxClients)
+	}
+	if s.RatePerClient <= 0 {
+		return fmt.Errorf("loadplane: rate per client %g must be positive", s.RatePerClient)
+	}
+	if s.Window <= 0 || s.Duration <= 0 {
+		return fmt.Errorf("loadplane: window %v and duration %v must be positive", s.Window, s.Duration)
+	}
+	if s.Duration < s.Window {
+		return fmt.Errorf("loadplane: duration %v shorter than one window %v", s.Duration, s.Window)
+	}
+	if s.Windows() > 1<<22 {
+		return fmt.Errorf("loadplane: %d windows exceeds the merge bound; widen Window", s.Windows())
+	}
+	if s.Service.RatePerSec <= 0 || s.Service.QueueCap <= 0 {
+		return fmt.Errorf("loadplane: service model rate %d and queue cap %d must be positive",
+			s.Service.RatePerSec, s.Service.QueueCap)
+	}
+	return nil
+}
+
+// Windows is the number of whole metric windows the run covers.
+func (s Spec) Windows() int64 {
+	return int64(s.Duration / s.Window)
+}
+
+// OfferedPerSec is the population's aggregate open-loop arrival rate.
+func (s Spec) OfferedPerSec() float64 {
+	return float64(s.Clients) * s.RatePerClient
+}
+
+// Range is a half-open client-index range [Lo, Hi) assigned to one worker.
+type Range struct {
+	Lo int `json:"lo"`
+	Hi int `json:"hi"`
+}
+
+// Len is the number of clients in the range.
+func (r Range) Len() int { return r.Hi - r.Lo }
+
+// String renders the range.
+func (r Range) String() string { return fmt.Sprintf("[%d,%d)", r.Lo, r.Hi) }
+
+// Valid reports whether the range is well-formed and within the population.
+func (r Range) Valid(clients int) bool {
+	return 0 <= r.Lo && r.Lo < r.Hi && r.Hi <= clients
+}
+
+// PartitionClients splits the population into contiguous, disjoint,
+// covering ranges, sizes differing by at most one. The split is a pure
+// function of (clients, workers), so coordinator and tests always agree on
+// who owns which client.
+func PartitionClients(clients, workers int) []Range {
+	if workers < 1 {
+		workers = 1
+	}
+	if workers > clients {
+		workers = clients
+	}
+	ranges := make([]Range, 0, workers)
+	base := clients / workers
+	extra := clients % workers
+	lo := 0
+	for w := 0; w < workers; w++ {
+		n := base
+		if w < extra {
+			n++
+		}
+		ranges = append(ranges, Range{Lo: lo, Hi: lo + n})
+		lo += n
+	}
+	return ranges
+}

@@ -1,0 +1,64 @@
+package loadplane
+
+import (
+	"context"
+	"fmt"
+	"time"
+
+	"hammer/internal/metrics"
+	"hammer/internal/rpc"
+)
+
+// Worker is one traffic-generation process: it joins a coordinator, receives
+// a client range, streams its windowed metrics back in batches over a
+// keep-alive retrying connection, and reports done. All workload knowledge
+// comes from the coordinator, so the worker binary is spec-free.
+type Worker struct {
+	name string
+	conn *rpc.Conn
+}
+
+// NewWorker prepares a worker named name against the coordinator at url.
+// RPC calls ride the default bounded-backoff retry policy, so transient
+// coordinator hiccups do not kill the worker; report idempotence on the
+// coordinator makes those retries safe.
+func NewWorker(name, url string, timeout time.Duration) *Worker {
+	return &Worker{name: name, conn: rpc.NewConn(url, timeout, rpc.DefaultRetry())}
+}
+
+// Close releases the worker's connection.
+func (w *Worker) Close() { w.conn.Close() }
+
+// Run executes the worker's whole life: join (or rejoin — the coordinator
+// returns the resume window), generate the assigned range, stream report
+// batches, mark done. It returns the number of windows reported.
+func (w *Worker) Run(ctx context.Context) (int64, error) {
+	var join JoinResult
+	if err := w.conn.Call(ctx, MethodJoin, JoinParams{Worker: w.name}, &join); err != nil {
+		return 0, fmt.Errorf("loadplane: worker %s join: %w", w.name, err)
+	}
+	var reported int64
+	err := GenerateRange(ctx, join.Spec, join.Range, join.StartWindow, func(ws []metrics.Window) error {
+		var res ReportResult
+		if err := w.conn.Call(ctx, MethodReport, ReportParams{Worker: w.name, Windows: ws}, &res); err != nil {
+			return fmt.Errorf("loadplane: worker %s report: %w", w.name, err)
+		}
+		reported += int64(len(ws))
+		return nil
+	})
+	if err != nil {
+		return reported, err
+	}
+	if err := w.conn.Call(ctx, MethodDone, DoneParams{Worker: w.name}, nil); err != nil {
+		return reported, fmt.Errorf("loadplane: worker %s done: %w", w.name, err)
+	}
+	return reported, nil
+}
+
+// RunWorker is the one-call form used by cmd/hammer-worker: dial, run,
+// close.
+func RunWorker(ctx context.Context, name, url string, timeout time.Duration) (int64, error) {
+	w := NewWorker(name, url, timeout)
+	defer w.Close()
+	return w.Run(ctx)
+}

@@ -1,0 +1,84 @@
+package metrics
+
+import "fmt"
+
+// Window is one fixed-width slice of the virtual clock as measured by one
+// traffic source: window w covers virtual time [w·W, (w+1)·W). Every field
+// is an integer on purpose — integer addition is associative and
+// commutative, so merging windows from any number of workers, in any arrival
+// order, produces bit-identical totals. That is the whole determinism
+// argument of the distributed load plane's metric merge: floats are derived
+// only after the merge, from already-summed integers.
+type Window struct {
+	// Index is the window's position on the shared virtual clock.
+	Index int64 `json:"index"`
+	// Arrivals counts open-loop arrivals generated in the window.
+	Arrivals int64 `json:"arrivals"`
+	// Busy counts clients that generated at least one arrival.
+	Busy int64 `json:"busy"`
+	// Checksum is a wrap-around sum of per-arrival hashes: equal checksums
+	// mean two runs generated the identical arrival multiset, regardless of
+	// how clients were partitioned across workers.
+	Checksum uint64 `json:"checksum"`
+}
+
+// add folds o into w (indexes must already match).
+func (w *Window) add(o Window) {
+	w.Arrivals += o.Arrivals
+	w.Busy += o.Busy
+	w.Checksum += o.Checksum
+}
+
+// MergeWindows aligns every part on the virtual clock and sums them into
+// one dense series covering [0, maxIndex]. Parts may be sparse, unordered,
+// and of different lengths; windows absent from a part contribute zero. The
+// result is independent of part order and of how the client population was
+// split into parts.
+func MergeWindows(parts ...[]Window) []Window {
+	var max int64 = -1
+	for _, part := range parts {
+		for i := range part {
+			if part[i].Index > max {
+				max = part[i].Index
+			}
+		}
+	}
+	if max < 0 {
+		return nil
+	}
+	out := make([]Window, max+1)
+	for i := range out {
+		out[i].Index = int64(i)
+	}
+	for _, part := range parts {
+		for i := range part {
+			out[part[i].Index].add(part[i])
+		}
+	}
+	return out
+}
+
+// ValidateWindows rejects series the merge cannot align: negative indexes
+// or (for a single pre-merged part) duplicate indexes.
+func ValidateWindows(ws []Window) error {
+	seen := make(map[int64]bool, len(ws))
+	for i := range ws {
+		if ws[i].Index < 0 {
+			return fmt.Errorf("metrics: window %d has negative index %d", i, ws[i].Index)
+		}
+		if seen[ws[i].Index] {
+			return fmt.Errorf("metrics: duplicate window index %d", ws[i].Index)
+		}
+		seen[ws[i].Index] = true
+	}
+	return nil
+}
+
+// SumArrivals totals a series' arrivals.
+func SumArrivals(ws []Window) int64 {
+	var n int64
+	for i := range ws {
+		n += ws[i].Arrivals
+	}
+	return n
+}

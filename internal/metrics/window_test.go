@@ -1,0 +1,75 @@
+package metrics
+
+import (
+	"reflect"
+	"testing"
+)
+
+func TestMergeWindowsOrderInvariant(t *testing.T) {
+	a := []Window{{Index: 0, Arrivals: 3, Busy: 2, Checksum: 11}, {Index: 2, Arrivals: 1, Busy: 1, Checksum: 5}}
+	b := []Window{{Index: 1, Arrivals: 4, Busy: 3, Checksum: 7}, {Index: 0, Arrivals: 2, Busy: 1, Checksum: 3}}
+	ab := MergeWindows(a, b)
+	ba := MergeWindows(b, a)
+	if !reflect.DeepEqual(ab, ba) {
+		t.Fatalf("merge not order-invariant:\n%v\n%v", ab, ba)
+	}
+	want := []Window{
+		{Index: 0, Arrivals: 5, Busy: 3, Checksum: 14},
+		{Index: 1, Arrivals: 4, Busy: 3, Checksum: 7},
+		{Index: 2, Arrivals: 1, Busy: 1, Checksum: 5},
+	}
+	if !reflect.DeepEqual(ab, want) {
+		t.Fatalf("merge: got %v want %v", ab, want)
+	}
+}
+
+func TestMergeWindowsDenseAlignment(t *testing.T) {
+	// Sparse part with a gap: the merge must still be dense over [0, max].
+	got := MergeWindows([]Window{{Index: 3, Arrivals: 9}})
+	if len(got) != 4 {
+		t.Fatalf("expected dense series of 4 windows, got %d", len(got))
+	}
+	for i, w := range got {
+		if w.Index != int64(i) {
+			t.Fatalf("window %d has index %d", i, w.Index)
+		}
+	}
+	if got[3].Arrivals != 9 || got[0].Arrivals != 0 {
+		t.Fatalf("gap windows should be zero: %v", got)
+	}
+	if MergeWindows() != nil || MergeWindows(nil, nil) != nil {
+		t.Fatal("empty merge should be nil")
+	}
+}
+
+func TestMergeWindowsSplitEqualsWhole(t *testing.T) {
+	whole := []Window{
+		{Index: 0, Arrivals: 10, Busy: 6, Checksum: 100},
+		{Index: 1, Arrivals: 20, Busy: 9, Checksum: 200},
+	}
+	// Split the same totals across three parts in scrambled order.
+	p1 := []Window{{Index: 1, Arrivals: 5, Busy: 2, Checksum: 80}}
+	p2 := []Window{{Index: 0, Arrivals: 10, Busy: 6, Checksum: 100}, {Index: 1, Arrivals: 7, Busy: 3, Checksum: 90}}
+	p3 := []Window{{Index: 1, Arrivals: 8, Busy: 4, Checksum: 30}}
+	if got := MergeWindows(p1, p2, p3); !reflect.DeepEqual(got, MergeWindows(whole)) {
+		t.Fatalf("partitioned merge diverged: %v", got)
+	}
+}
+
+func TestValidateWindows(t *testing.T) {
+	if err := ValidateWindows([]Window{{Index: 0}, {Index: 1}}); err != nil {
+		t.Fatal(err)
+	}
+	if err := ValidateWindows([]Window{{Index: -1}}); err == nil {
+		t.Fatal("negative index should be rejected")
+	}
+	if err := ValidateWindows([]Window{{Index: 2}, {Index: 2}}); err == nil {
+		t.Fatal("duplicate index should be rejected")
+	}
+}
+
+func TestSumArrivals(t *testing.T) {
+	if got := SumArrivals([]Window{{Arrivals: 3}, {Arrivals: 4}}); got != 7 {
+		t.Fatalf("sum = %d", got)
+	}
+}

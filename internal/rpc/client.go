@@ -1,11 +1,9 @@
 package rpc
 
 import (
-	"bytes"
+	"context"
 	"encoding/json"
 	"fmt"
-	"net/http"
-	"sync/atomic"
 	"time"
 
 	"hammer/internal/chain"
@@ -13,11 +11,10 @@ import (
 
 // Client implements chain.Blockchain against a remote JSON-RPC bridge, so
 // the evaluation framework can drive a SUT in another process (or another
-// language) exactly as it drives an in-process simulator.
+// language) exactly as it drives an in-process simulator. It rides on a
+// Conn, inheriting connection keep-alive and transient-failure retry.
 type Client struct {
-	url    string
-	http   *http.Client
-	nextID atomic.Int64
+	conn *Conn
 
 	// cached immutable facts
 	name   string
@@ -27,12 +24,10 @@ type Client struct {
 var _ chain.Blockchain = (*Client)(nil)
 
 // Dial connects to a bridge at url (e.g. "http://127.0.0.1:8545") and
-// caches the chain's name and shard count.
+// caches the chain's name and shard count. Transient connection failures
+// during the handshake are retried under the default policy.
 func Dial(url string, timeout time.Duration) (*Client, error) {
-	if timeout <= 0 {
-		timeout = 10 * time.Second
-	}
-	c := &Client{url: url, http: &http.Client{Timeout: timeout}}
+	c := &Client{conn: NewConn(url, timeout, DefaultRetry())}
 	var nameRes NameResult
 	if err := c.call(MethodName, nil, &nameRes); err != nil {
 		return nil, fmt.Errorf("rpc: dial %s: %w", url, err)
@@ -46,43 +41,20 @@ func Dial(url string, timeout time.Duration) (*Client, error) {
 	return c, nil
 }
 
+// wireError maps bridge error codes back onto the chain sentinel errors the
+// engine's admission paths branch on.
+func wireError(e *Error) error {
+	switch e.Code {
+	case CodeOverloaded:
+		return fmt.Errorf("%s: %w", e.Message, chain.ErrOverloaded)
+	case CodeStopped:
+		return fmt.Errorf("%s: %w", e.Message, chain.ErrStopped)
+	}
+	return e
+}
+
 func (c *Client) call(method string, params any, result any) error {
-	req := Request{JSONRPC: Version, ID: c.nextID.Add(1), Method: method}
-	if params != nil {
-		raw, err := json.Marshal(params)
-		if err != nil {
-			return fmt.Errorf("rpc: marshal params: %w", err)
-		}
-		req.Params = raw
-	}
-	body, err := json.Marshal(&req)
-	if err != nil {
-		return fmt.Errorf("rpc: marshal request: %w", err)
-	}
-	httpResp, err := c.http.Post(c.url, "application/json", bytes.NewReader(body))
-	if err != nil {
-		return fmt.Errorf("rpc: post %s: %w", method, err)
-	}
-	defer httpResp.Body.Close()
-	var resp Response
-	if err := json.NewDecoder(httpResp.Body).Decode(&resp); err != nil {
-		return fmt.Errorf("rpc: decode response for %s: %w", method, err)
-	}
-	if resp.Error != nil {
-		switch resp.Error.Code {
-		case CodeOverloaded:
-			return fmt.Errorf("%s: %w", resp.Error.Message, chain.ErrOverloaded)
-		case CodeStopped:
-			return fmt.Errorf("%s: %w", resp.Error.Message, chain.ErrStopped)
-		}
-		return resp.Error
-	}
-	if result != nil {
-		if err := json.Unmarshal(resp.Result, result); err != nil {
-			return fmt.Errorf("rpc: decode result for %s: %w", method, err)
-		}
-	}
-	return nil
+	return c.conn.Call(context.Background(), method, params, result)
 }
 
 // Name implements chain.Blockchain.

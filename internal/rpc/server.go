@@ -1,6 +1,7 @@
 package rpc
 
 import (
+	"bytes"
 	"encoding/json"
 	"errors"
 	"fmt"
@@ -12,12 +13,10 @@ import (
 	"hammer/internal/chain"
 )
 
-// Server bridges a chain.Blockchain onto JSON-RPC over HTTP.
+// Server serves a Mux over HTTP: one JSON-RPC request — or a JSON-RPC 2.0
+// batch (an array of requests) — per POST body.
 type Server struct {
-	bc chain.Blockchain
-	// do serialises access to the chain with whatever is advancing its
-	// scheduler (eventsim.Realtime.Do). Defaults to direct invocation.
-	do func(func())
+	mux *Mux
 
 	httpServer *http.Server
 	listener   net.Listener
@@ -26,83 +25,124 @@ type Server struct {
 }
 
 // ServerOption customises a Server.
-type ServerOption func(*Server)
+type ServerOption func(*serverConfig)
+
+type serverConfig struct {
+	do func(func())
+}
 
 // WithSerializer routes every chain call through do — required when an
 // eventsim.Realtime is concurrently advancing the chain.
 func WithSerializer(do func(func())) ServerOption {
-	return func(s *Server) { s.do = do }
+	return func(c *serverConfig) { c.do = do }
 }
 
-// NewServer builds a bridge for bc.
+// NewServer builds a bridge server for bc: a Mux carrying the hammer.*
+// methods over the chain.
 func NewServer(bc chain.Blockchain, opts ...ServerOption) *Server {
-	s := &Server{bc: bc, do: func(fn func()) { fn() }}
+	cfg := &serverConfig{do: func(fn func()) { fn() }}
 	for _, o := range opts {
-		o(s)
+		o(cfg)
 	}
-	return s
+	return NewMuxServer(ChainMux(bc, cfg.do))
 }
 
-// ServeHTTP implements http.Handler: one JSON-RPC request per POST body.
+// NewMuxServer serves an arbitrary method table — the entry point for
+// non-chain services such as the load-plane coordinator.
+func NewMuxServer(mux *Mux) *Server {
+	return &Server{mux: mux}
+}
+
+// maxBody bounds one POST body; a batch of metric-window reports fits with
+// orders of magnitude to spare.
+const maxBody = 8 << 20
+
+// ServeHTTP implements http.Handler.
 func (s *Server) ServeHTTP(w http.ResponseWriter, r *http.Request) {
 	if r.Method != http.MethodPost {
 		http.Error(w, "POST only", http.StatusMethodNotAllowed)
 		return
 	}
-	body, err := io.ReadAll(io.LimitReader(r.Body, 8<<20))
+	body, err := io.ReadAll(io.LimitReader(r.Body, maxBody))
 	if err != nil {
 		http.Error(w, "read error", http.StatusBadRequest)
 		return
 	}
-	var req Request
-	resp := Response{JSONRPC: Version}
-	if err := json.Unmarshal(body, &req); err != nil {
-		resp.Error = &Error{Code: CodeParse, Message: err.Error()}
-	} else {
-		resp.ID = req.ID
-		result, rpcErr := s.dispatch(&req)
-		if rpcErr != nil {
-			resp.Error = rpcErr
-		} else {
-			raw, err := json.Marshal(result)
-			if err != nil {
-				resp.Error = &Error{Code: CodeInternal, Message: err.Error()}
-			} else {
-				resp.Result = raw
-			}
-		}
-	}
 	w.Header().Set("Content-Type", "application/json")
-	if err := json.NewEncoder(w).Encode(&resp); err != nil {
-		// The connection is gone; nothing useful to do.
+	enc := json.NewEncoder(w)
+	if isBatch(body) {
+		var reqs []Request
+		if err := json.Unmarshal(body, &reqs); err != nil {
+			enc.Encode(&Response{JSONRPC: Version, Error: &Error{Code: CodeParse, Message: err.Error()}})
+			return
+		}
+		if len(reqs) == 0 {
+			enc.Encode(&Response{JSONRPC: Version, Error: &Error{Code: CodeInvalidRequest, Message: "empty batch"}})
+			return
+		}
+		resps := make([]Response, len(reqs))
+		for i := range reqs {
+			resps[i] = s.serveOne(&reqs[i])
+		}
+		enc.Encode(resps)
 		return
 	}
+	var req Request
+	if err := json.Unmarshal(body, &req); err != nil {
+		enc.Encode(&Response{JSONRPC: Version, Error: &Error{Code: CodeParse, Message: err.Error()}})
+		return
+	}
+	enc.Encode(s.serveOne(&req))
 }
 
-func (s *Server) dispatch(req *Request) (any, *Error) {
-	if req.JSONRPC != "" && req.JSONRPC != Version {
-		return nil, &Error{Code: CodeInvalidRequest, Message: "unsupported jsonrpc version " + req.JSONRPC}
+// isBatch reports whether the body is a JSON array (a JSON-RPC 2.0 batch).
+func isBatch(body []byte) bool {
+	trimmed := bytes.TrimLeft(body, " \t\r\n")
+	return len(trimmed) > 0 && trimmed[0] == '['
+}
+
+func (s *Server) serveOne(req *Request) Response {
+	resp := Response{JSONRPC: Version, ID: req.ID}
+	result, rpcErr := s.mux.dispatch(req)
+	if rpcErr != nil {
+		resp.Error = rpcErr
+		return resp
 	}
-	switch req.Method {
-	case MethodName:
+	raw, err := json.Marshal(result)
+	if err != nil {
+		resp.Error = &Error{Code: CodeInternal, Message: err.Error()}
+		return resp
+	}
+	resp.Result = raw
+	return resp
+}
+
+// ChainMux builds the hammer.* method table over bc, serialising every
+// chain call through do.
+func ChainMux(bc chain.Blockchain, do func(func())) *Mux {
+	if do == nil {
+		do = func(fn func()) { fn() }
+	}
+	mux := NewMux()
+	mux.Handle(MethodName, func(json.RawMessage) (any, *Error) {
 		var name string
-		s.do(func() { name = s.bc.Name() })
+		do(func() { name = bc.Name() })
 		return NameResult{Name: name}, nil
-
-	case MethodShards:
+	})
+	mux.Handle(MethodShards, func(json.RawMessage) (any, *Error) {
 		var n int
-		s.do(func() { n = s.bc.Shards() })
+		do(func() { n = bc.Shards() })
 		return ShardsResult{Shards: n}, nil
-
-	case MethodPending:
+	})
+	mux.Handle(MethodPending, func(json.RawMessage) (any, *Error) {
 		var n int
-		s.do(func() { n = s.bc.PendingTxs() })
+		do(func() { n = bc.PendingTxs() })
 		return PendingResult{Pending: n}, nil
-
-	case MethodSubmit:
+	})
+	mux.Handle(MethodSubmit, func(params json.RawMessage) (any, *Error) {
 		var p SubmitParams
-		if err := json.Unmarshal(req.Params, &p); err != nil {
-			return nil, &Error{Code: CodeInvalidParams, Message: err.Error()}
+		if e := DecodeParams(params, &p); e != nil {
+			return nil, e
 		}
 		tx := &chain.Transaction{}
 		if err := json.Unmarshal(p.Tx, tx); err != nil {
@@ -112,7 +152,7 @@ func (s *Server) dispatch(req *Request) (any, *Error) {
 			id  chain.TxID
 			err error
 		)
-		s.do(func() { id, err = s.bc.Submit(tx) })
+		do(func() { id, err = bc.Submit(tx) })
 		if err != nil {
 			code := CodeInternal
 			switch {
@@ -124,37 +164,35 @@ func (s *Server) dispatch(req *Request) (any, *Error) {
 			return nil, &Error{Code: code, Message: err.Error()}
 		}
 		return SubmitResult{TxID: id.String()}, nil
-
-	case MethodHeight:
+	})
+	mux.Handle(MethodHeight, func(params json.RawMessage) (any, *Error) {
 		var p HeightParams
-		if len(req.Params) > 0 {
-			if err := json.Unmarshal(req.Params, &p); err != nil {
+		if len(params) > 0 {
+			if err := json.Unmarshal(params, &p); err != nil {
 				return nil, &Error{Code: CodeInvalidParams, Message: err.Error()}
 			}
 		}
 		var h uint64
-		s.do(func() { h = s.bc.Height(p.Shard) })
+		do(func() { h = bc.Height(p.Shard) })
 		return HeightResult{Height: h}, nil
-
-	case MethodBlockAt:
+	})
+	mux.Handle(MethodBlockAt, func(params json.RawMessage) (any, *Error) {
 		var p BlockAtParams
-		if err := json.Unmarshal(req.Params, &p); err != nil {
-			return nil, &Error{Code: CodeInvalidParams, Message: err.Error()}
+		if e := DecodeParams(params, &p); e != nil {
+			return nil, e
 		}
 		var (
 			blk *chain.Block
 			ok  bool
 		)
-		s.do(func() { blk, ok = s.bc.BlockAt(p.Shard, p.Height) })
+		do(func() { blk, ok = bc.BlockAt(p.Shard, p.Height) })
 		if !ok {
 			return nil, &Error{Code: CodeInvalidParams,
 				Message: fmt.Sprintf("no block at shard %d height %d", p.Shard, p.Height)}
 		}
 		return blk, nil
-
-	default:
-		return nil, &Error{Code: CodeMethodNotFound, Message: "unknown method " + req.Method}
-	}
+	})
+	return mux
 }
 
 // Listen starts serving on addr (e.g. "127.0.0.1:0") and returns the bound
