@@ -42,7 +42,7 @@ func main() {
 
 func run() error {
 	var (
-		exp         = flag.String("exp", "all", "experiment: fig1|fig6|fig7|fig8|fig9|fig10|correctness|distributed|all, plus faults, schedbench, conformance and loadplane (explicit only); 'list' prints them all")
+		exp         = flag.String("exp", "all", "experiment: fig1|fig6|fig7|fig8|fig9|fig10|correctness|distributed|all, plus faults, schedbench, conformance, loadplane, blockbench and storebench (explicit only); 'list' prints them all")
 		quick       = flag.Bool("quick", false, "shrink workloads for a fast smoke run")
 		outDir      = flag.String("out", "results", "directory for CSV export")
 		seed        = flag.Int64("seed", 7, "random seed")
@@ -57,6 +57,13 @@ func run() error {
 		lpClients   = flag.Int("lp-clients", 0, "run the canonical load-plane spec at this population and write loadplane_merged.csv (0 = scale sweep)")
 		lpSeconds   = flag.Int("lp-seconds", 0, "virtual duration of the canonical load-plane spec (0 = the experiment default)")
 		lpBench     = flag.Bool("lp-bench", false, "measure load-plane injection rate and heap at 100k/1M clients across 1/2/4 shards (-exp loadplane)")
+		stateKind   = flag.String("state", "mem", "world-state backend every SUT run mounts: mem (in-RAM map) | paged (disk-backed paged store); results are byte-identical")
+		stateCache  = flag.Int("state-cache-mb", 0, "page-cache budget per paged state instance in MiB (0 = store default, 64)")
+		stateDir    = flag.String("state-dir", "", "directory for paged-state files (default: OS temp); run files are removed afterwards")
+		stateSnap   = flag.String("state-snapshot", "", "storebench snapshot path: load the population from it when it exists, save it there otherwise (-exp storebench)")
+		sbAccounts  = flag.Int("sb-accounts", 1_000_000, "paged-store population for -exp storebench")
+		sbOps       = flag.Int("sb-ops", 1_000_000, "operations per measured storebench phase")
+		sbBaseline  = flag.Int("sb-baseline", 1_000_000, "in-RAM baseline population for -exp storebench (0 skips the baseline)")
 	)
 	flag.Parse()
 	if *events < 1 {
@@ -64,6 +71,9 @@ func run() error {
 	}
 	if *schedShards < 0 {
 		return fmt.Errorf("-sched-shards must be >= 0, got %d", *schedShards)
+	}
+	if err := experiments.ValidateStateBackend(*stateKind); err != nil {
+		return err
 	}
 
 	ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt)
@@ -89,6 +99,11 @@ func run() error {
 	opts.Seed = *seed
 	opts.Workers = *parallel
 	opts.SchedShards = *schedShards
+	opts.StateBackend = *stateKind
+	opts.StateCacheMB = *stateCache
+	opts.StateDir = *stateDir
+	opts.States = experiments.NewStateRuntime()
+	defer opts.States.Close()
 	opts.OnProgress = progressPrinter(reg)
 
 	selected := strings.Split(*exp, ",")
@@ -140,6 +155,13 @@ func run() error {
 		{"loadplane", func() (float64, error) {
 			return runLoadPlane(ctx, opts, *outDir, traj,
 				lpFlags{listen: *lpListen, workers: *lpWorkers, clients: *lpClients, seconds: *lpSeconds, bench: *lpBench})
+		}},
+		{"blockbench", func() (float64, error) { return runBlockbench(ctx, opts, *outDir) }},
+		{"storebench", func() (float64, error) {
+			return runStoreBench(ctx, *outDir, traj, experiments.StoreBenchOptions{
+				Accounts: *sbAccounts, CacheMB: *stateCache, Ops: *sbOps,
+				Dir: *stateDir, Snapshot: *stateSnap, BaselineAccounts: *sbBaseline, Seed: *seed,
+			})
 		}},
 	}
 
@@ -493,4 +515,56 @@ func runCorrectness(ctx context.Context, opts experiments.Options) error {
 	}
 	fmt.Println("framework statistics match the node-side commit log exactly")
 	return nil
+}
+
+// runBlockbench runs the BLOCKBENCH micro-workloads (IOHeavy, Analytics,
+// DoNothing) on both state backends; identical mem/paged rows per workload
+// are the storage-identity check, and the paged rows carry the cache
+// economics.
+func runBlockbench(ctx context.Context, opts experiments.Options, outDir string) (float64, error) {
+	rows, err := experiments.Blockbench(ctx, opts)
+	if err != nil {
+		return 0, err
+	}
+	var peak float64
+	for _, r := range rows {
+		fmt.Println(r)
+		if r.Throughput > peak {
+			peak = r.Throughput
+		}
+	}
+	header, csvRows := experiments.BlockbenchCSV(rows)
+	return peak, viz.Export(os.Stdout, outDir,
+		viz.Dataset{Name: "blockbench.csv", Header: header, Rows: csvRows})
+}
+
+// runStoreBench drives the paged store directly at populations beyond what
+// consensus-path setup reaches (10M+ accounts with -sb-accounts), recording
+// per-phase ops/s, cache hit rate and the heap ceiling against the in-RAM
+// baseline — one trajectory sample per phase when -benchjson is set.
+func runStoreBench(ctx context.Context, outDir string, traj *perf.Trajectory, o experiments.StoreBenchOptions) (float64, error) {
+	rows, err := experiments.StoreBench(ctx, o)
+	if err != nil {
+		return 0, err
+	}
+	var headline float64
+	for _, r := range rows {
+		fmt.Println(r)
+		if r.Backend == "paged" && r.Phase == "mixed" {
+			headline = r.OpsPerSec
+		}
+		if traj != nil {
+			traj.Add(perf.Sample{
+				Name:        fmt.Sprintf("storebench/%s/%s", r.Backend, r.Phase),
+				TPS:         r.OpsPerSec,
+				WallSeconds: float64(r.Ops) / r.OpsPerSec,
+				Events:      r.Ops,
+				Note: fmt.Sprintf("%d accounts, cache hit %.3f, bloom-neg %d, heap peak %.1f MB, cache budget %.0f MB",
+					r.Accounts, r.HitRate, r.BloomNegatives, r.HeapPeakMB, r.CacheBudgetMB),
+			})
+		}
+	}
+	header, csvRows := experiments.StoreBenchCSV(rows)
+	return headline, viz.Export(os.Stdout, outDir,
+		viz.Dataset{Name: "storebench.csv", Header: header, Rows: csvRows})
 }

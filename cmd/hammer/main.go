@@ -19,8 +19,10 @@ import (
 	"time"
 
 	"hammer"
+	"hammer/internal/chain"
 	"hammer/internal/core"
 	"hammer/internal/loadplane"
+	"hammer/internal/store/pagedstate"
 	"hammer/internal/viz"
 )
 
@@ -47,11 +49,18 @@ func run() error {
 		outDir       = flag.String("out", "", "directory for CSV export (optional)")
 		showViz      = flag.Bool("viz", true, "run the SQL visualization phase")
 		openLoop     = flag.Int("openloop", 0, "drive injection from an open-loop population of this many simulated clients (-rate becomes the population's aggregate rate; 0 = flat-rate injection)")
+		stateKind    = flag.String("state", "mem", "world-state backend: mem (in-RAM map) | paged (disk-backed paged store)")
+		stateCacheMB = flag.Int("state-cache-mb", 64, "page-cache budget per state instance for -state=paged, in MiB")
+		stateDir     = flag.String("state-dir", "", "directory for paged-state files (default: OS temp); run files are removed at exit")
+		stateSnap    = flag.String("state-snapshot", "", "paged-state snapshot path: load it and skip account setup when it exists, save the final state there otherwise (-state=paged, single-state chains)")
 	)
 	flag.Parse()
 
+	states := &pagedStates{cacheMB: *stateCacheMB, baseDir: *stateDir, accounts: *accounts}
+	defer states.close()
+
 	sched := hammer.NewScheduler()
-	bc, err := buildChain(sched, *playbook, *chainKind)
+	bc, err := buildChain(sched, *playbook, *chainKind, *stateKind, states)
 	if err != nil {
 		return err
 	}
@@ -113,6 +122,26 @@ func run() error {
 		return fmt.Errorf("unknown sign mode %q", *signMode)
 	}
 
+	// Snapshot warm-start: an existing capture is mounted in place of the
+	// account-setup phase; a missing one is written from the final state so
+	// the next invocation warm-starts.
+	warmStarted := false
+	if *stateSnap != "" {
+		if *stateKind != "paged" {
+			return fmt.Errorf("-state-snapshot requires -state=paged")
+		}
+		loaded, err := states.loadSnapshot(*stateSnap)
+		if err != nil {
+			return err
+		}
+		if loaded {
+			cfg.SkipSetup = true
+			warmStarted = true
+			fmt.Printf("warm start: mounted %d keys from %s, skipping account setup\n",
+				states.stores[0].Len(), *stateSnap)
+		}
+	}
+
 	fmt.Printf("evaluating %s under %s: %d tx at %.0f tx/s over %v (%d clients × %d threads, %s driver)\n",
 		bc.Name(), *workloadKind, cfg.Control.Total(), *rate, *duration, *clients, *threads, *driver)
 
@@ -125,6 +154,15 @@ func run() error {
 	rep := res.Report
 	fmt.Println()
 	fmt.Println(rep)
+	if *stateKind == "paged" {
+		states.printStats()
+		if *stateSnap != "" && !warmStarted {
+			if err := states.saveSnapshot(*stateSnap); err != nil {
+				return err
+			}
+			fmt.Printf("saved state snapshot to %s (next run warm-starts)\n", *stateSnap)
+		}
+	}
 	fmt.Printf("preparation (real): %v; run covered %v of virtual time\n",
 		res.PrepDuration.Round(time.Millisecond), res.VirtualDuration.Round(time.Millisecond))
 
@@ -157,8 +195,19 @@ func run() error {
 	return viz.Export(os.Stdout, *outDir, viz.Dataset{Name: "run_tps.csv", Header: []string{"second", "tps"}, Rows: rows})
 }
 
-func buildChain(sched *hammer.Scheduler, playbookPath, kind string) (hammer.Blockchain, error) {
+func buildChain(sched *hammer.Scheduler, playbookPath, kind, stateKind string, states *pagedStates) (hammer.Blockchain, error) {
+	var factory chain.StateFactory
+	switch stateKind {
+	case "", "mem":
+	case "paged":
+		factory = states.factory()
+	default:
+		return nil, fmt.Errorf("unknown state backend %q (want mem|paged)", stateKind)
+	}
 	if playbookPath != "" {
+		if factory != nil {
+			return nil, fmt.Errorf("-state=paged is not supported with -playbook deployments")
+		}
 		pb, err := hammer.LoadPlaybook(playbookPath)
 		if err != nil {
 			return nil, err
@@ -167,14 +216,101 @@ func buildChain(sched *hammer.Scheduler, playbookPath, kind string) (hammer.Bloc
 	}
 	switch kind {
 	case "ethereum":
-		return hammer.NewEthereum(sched, hammer.DefaultEthereumConfig()), nil
+		cfg := hammer.DefaultEthereumConfig()
+		cfg.State = factory
+		return hammer.NewEthereum(sched, cfg), nil
 	case "fabric":
-		return hammer.NewFabric(sched, hammer.DefaultFabricConfig()), nil
+		cfg := hammer.DefaultFabricConfig()
+		cfg.State = factory
+		return hammer.NewFabric(sched, cfg), nil
 	case "neuchain":
-		return hammer.NewNeuchain(sched, hammer.DefaultNeuchainConfig()), nil
+		cfg := hammer.DefaultNeuchainConfig()
+		cfg.State = factory
+		return hammer.NewNeuchain(sched, cfg), nil
 	case "meepo":
-		return hammer.NewMeepo(sched, hammer.DefaultMeepoConfig()), nil
+		cfg := hammer.DefaultMeepoConfig()
+		cfg.State = factory
+		return hammer.NewMeepo(sched, cfg), nil
 	default:
 		return nil, fmt.Errorf("unknown chain %q (want one of %v)", kind, hammer.ChainKinds())
 	}
+}
+
+// pagedStates tracks the paged stores a run mounts behind the chain.State
+// seam: the factory hands one store per state instance (sharded chains call
+// it once per shard), and close releases files at exit.
+type pagedStates struct {
+	cacheMB  int
+	baseDir  string
+	accounts int
+	stores   []*pagedstate.Store
+	dirs     []string
+}
+
+func (p *pagedStates) factory() chain.StateFactory {
+	return func() *chain.State {
+		base := p.baseDir
+		if base == "" {
+			base = os.TempDir()
+		}
+		dir, err := os.MkdirTemp(base, "hammer-state-")
+		if err != nil {
+			panic(fmt.Sprintf("paged state dir: %v", err))
+		}
+		st, err := pagedstate.Open(pagedstate.Config{
+			Dir:          dir,
+			CacheBytes:   p.cacheMB << 20,
+			ExpectedKeys: 4 * p.accounts,
+		})
+		if err != nil {
+			os.RemoveAll(dir)
+			panic(fmt.Sprintf("paged state open: %v", err))
+		}
+		p.stores = append(p.stores, st)
+		p.dirs = append(p.dirs, dir)
+		return chain.NewStateOn(st)
+	}
+}
+
+// loadSnapshot mounts a capture when the file exists; ok reports whether it
+// did. Snapshots cover single-state chains only — a sharded deployment has
+// no single store to restore into.
+func (p *pagedStates) loadSnapshot(path string) (ok bool, err error) {
+	if _, err := os.Stat(path); err != nil {
+		return false, nil
+	}
+	if len(p.stores) != 1 {
+		return false, fmt.Errorf("-state-snapshot needs exactly one state instance, chain has %d (sharded chains are not supported)", len(p.stores))
+	}
+	if err := p.stores[0].LoadSnapshot(path); err != nil {
+		return false, fmt.Errorf("loading snapshot %s: %w", path, err)
+	}
+	return true, nil
+}
+
+func (p *pagedStates) saveSnapshot(path string) error {
+	if len(p.stores) != 1 {
+		return fmt.Errorf("-state-snapshot needs exactly one state instance, chain has %d (sharded chains are not supported)", len(p.stores))
+	}
+	if err := p.stores[0].SaveSnapshot(path); err != nil {
+		return fmt.Errorf("saving snapshot %s: %w", path, err)
+	}
+	return nil
+}
+
+func (p *pagedStates) printStats() {
+	for i, st := range p.stores {
+		s := st.Stats()
+		fmt.Printf("paged state %d: %d keys, cache hit %.1f%% (%d MiB budget, %d pages resident), bloom-negatives %d, WAL %.1f MiB over %d flushes\n",
+			i, s.LiveKeys, 100*s.HitRate(), s.CacheBudgetBytes>>20, s.ResidentPages, s.BloomNegatives,
+			float64(s.WALBytes)/(1<<20), s.WALFlushes)
+	}
+}
+
+func (p *pagedStates) close() {
+	for i, st := range p.stores {
+		st.Close()
+		os.RemoveAll(p.dirs[i])
+	}
+	p.stores, p.dirs = nil, nil
 }

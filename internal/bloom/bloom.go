@@ -63,9 +63,48 @@ func hashPair(data []byte) (uint64, uint64) {
 	return a, b
 }
 
+// FNV-1a constants, for the allocation-free string path below.
+const (
+	fnvOffset64 = 14695981039346656037
+	fnvPrime64  = 1099511628211
+)
+
+// hashPairString is hashPair over a string key without converting it to a
+// byte slice: bit-identical digests (the pagedstate hot path calls this per
+// read, so the conversion alloc and the hash.Hash64 escape both matter).
+func hashPairString(s string) (uint64, uint64) {
+	var a uint64 = fnvOffset64
+	for i := 0; i < len(s); i++ {
+		a ^= uint64(s[i])
+		a *= fnvPrime64
+	}
+	var b uint64 = fnvOffset64
+	b ^= 0x5c
+	b *= fnvPrime64
+	for i := 0; i < len(s); i++ {
+		b ^= uint64(s[i])
+		b *= fnvPrime64
+	}
+	if b == 0 {
+		b = 0x9e3779b97f4a7c15
+	}
+	return a, b
+}
+
 // Add inserts data into the filter.
 func (f *Filter) Add(data []byte) {
 	a, b := hashPair(data)
+	for i := 0; i < f.k; i++ {
+		idx := (a + uint64(i)*b) % f.m
+		f.bits[idx/64] |= 1 << (idx % 64)
+	}
+	f.n++
+}
+
+// AddString inserts a string key without allocating; equivalent to
+// Add([]byte(s)).
+func (f *Filter) AddString(s string) {
+	a, b := hashPairString(s)
 	for i := 0; i < f.k; i++ {
 		idx := (a + uint64(i)*b) % f.m
 		f.bits[idx/64] |= 1 << (idx % 64)
@@ -83,6 +122,19 @@ func (f *Filter) AddUint64(v uint64) {
 // absent; true may be a false positive at the configured rate.
 func (f *Filter) Contains(data []byte) bool {
 	a, b := hashPair(data)
+	for i := 0; i < f.k; i++ {
+		idx := (a + uint64(i)*b) % f.m
+		if f.bits[idx/64]&(1<<(idx%64)) == 0 {
+			return false
+		}
+	}
+	return true
+}
+
+// ContainsString tests a string key without allocating; equivalent to
+// Contains([]byte(s)).
+func (f *Filter) ContainsString(s string) bool {
+	a, b := hashPairString(s)
 	for i := 0; i < f.k; i++ {
 		idx := (a + uint64(i)*b) % f.m
 		if f.bits[idx/64]&(1<<(idx%64)) == 0 {
@@ -121,4 +173,37 @@ func (f *Filter) Reset() {
 		f.bits[i] = 0
 	}
 	f.n = 0
+}
+
+// MarshalBinary serialises the filter (little-endian: m, k, n, then the bit
+// words) so stores can persist it across restarts instead of rescanning
+// every key.
+func (f *Filter) MarshalBinary() ([]byte, error) {
+	out := make([]byte, 8+8+8+8*len(f.bits))
+	binary.LittleEndian.PutUint64(out[0:8], f.m)
+	binary.LittleEndian.PutUint64(out[8:16], uint64(f.k))
+	binary.LittleEndian.PutUint64(out[16:24], f.n)
+	for i, w := range f.bits {
+		binary.LittleEndian.PutUint64(out[24+8*i:], w)
+	}
+	return out, nil
+}
+
+// UnmarshalBinary restores a filter serialised by MarshalBinary.
+func UnmarshalBinary(data []byte) (*Filter, error) {
+	if len(data) < 24 {
+		return nil, fmt.Errorf("bloom: marshalled filter truncated to %d bytes", len(data))
+	}
+	m := binary.LittleEndian.Uint64(data[0:8])
+	k := binary.LittleEndian.Uint64(data[8:16])
+	n := binary.LittleEndian.Uint64(data[16:24])
+	words := (m + 63) / 64
+	if m == 0 || k == 0 || k > 64 || uint64(len(data)-24) != 8*words {
+		return nil, fmt.Errorf("bloom: inconsistent marshalled filter (m=%d k=%d, %d payload bytes)", m, k, len(data)-24)
+	}
+	f := &Filter{bits: make([]uint64, words), m: m, k: int(k), n: n}
+	for i := range f.bits {
+		f.bits[i] = binary.LittleEndian.Uint64(data[24+8*i:])
+	}
+	return f, nil
 }

@@ -102,3 +102,64 @@ func TestQuickNoFalseNegatives(t *testing.T) {
 		t.Fatal(err)
 	}
 }
+
+func TestStringAPIsMatchByteAPIs(t *testing.T) {
+	f1 := New(1000, 0.01)
+	f2 := New(1000, 0.01)
+	keys := []string{"", "a", "acct00001", "c:acct12345", "\x00\xff weird \x5c key"}
+	for _, k := range keys {
+		f1.Add([]byte(k))
+		f2.AddString(k)
+	}
+	for i := range f1.bits {
+		if f1.bits[i] != f2.bits[i] {
+			t.Fatalf("bit word %d diverges between Add and AddString", i)
+		}
+	}
+	for _, k := range keys {
+		if !f1.ContainsString(k) || !f2.Contains([]byte(k)) {
+			t.Fatalf("cross-API lookup of %q failed", k)
+		}
+	}
+}
+
+func TestStringAPIsDoNotAllocate(t *testing.T) {
+	f := New(1000, 0.01)
+	f.AddString("warm")
+	if a := testing.AllocsPerRun(1000, func() { f.ContainsString("acct0099") }); a > 0 {
+		t.Fatalf("ContainsString allocates %.1f per op", a)
+	}
+	if a := testing.AllocsPerRun(1000, func() { f.AddString("acct0099") }); a > 0 {
+		t.Fatalf("AddString allocates %.1f per op", a)
+	}
+}
+
+func TestMarshalRoundTrip(t *testing.T) {
+	f := New(5000, 0.01)
+	for i := 0; i < 3000; i++ {
+		f.AddUint64(uint64(i * 7))
+	}
+	blob, err := f.MarshalBinary()
+	if err != nil {
+		t.Fatal(err)
+	}
+	g, err := UnmarshalBinary(blob)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if g.Bits() != f.Bits() || g.Hashes() != f.Hashes() || g.Count() != f.Count() {
+		t.Fatalf("round-trip changed geometry: %d/%d/%d vs %d/%d/%d",
+			g.Bits(), g.Hashes(), g.Count(), f.Bits(), f.Hashes(), f.Count())
+	}
+	for i := 0; i < 3000; i++ {
+		if !g.ContainsUint64(uint64(i * 7)) {
+			t.Fatalf("element %d lost in marshal round-trip", i)
+		}
+	}
+	if _, err := UnmarshalBinary(blob[:10]); err == nil {
+		t.Fatal("truncated filter unmarshalled without error")
+	}
+	if _, err := UnmarshalBinary(nil); err == nil {
+		t.Fatal("empty filter unmarshalled without error")
+	}
+}

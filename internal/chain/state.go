@@ -13,22 +13,81 @@ type VersionedValue struct {
 	Version uint64
 }
 
+// StateBackend is the storage engine behind a State. The in-RAM map is the
+// default; internal/store/pagedstate provides a disk-backed paged engine so
+// runs with 10M+ accounts keep a bounded heap. Backends own their
+// concurrency control: every method must be safe for concurrent callers.
+//
+// Contract (shared with the map backend, pinned by invariant tests):
+//   - Get returns the value and version of the last Set; ok is false for a
+//     key never written or deleted since.
+//   - Set stores an independent copy semantics-wise: callers may not mutate
+//     val after the call, and backends may not hand out aliases that a later
+//     Set mutates in place.
+//   - Keys returns every live key in ascending order.
+type StateBackend interface {
+	Get(key string) (val []byte, version uint64, ok bool)
+	Set(key string, val []byte, version uint64)
+	Delete(key string)
+	Len() int
+	Keys() []string
+}
+
+// StateFactory constructs the world state a chain (or one of its shards)
+// commits into. A nil factory means the in-RAM map backend. Factories are
+// called once per state instance, so a sharded chain gets independent
+// stores per shard.
+type StateFactory func() *State
+
+// NewStateFrom invokes the factory, or NewState when it is nil — the
+// one-liner every chain constructor uses to honour its Config.State seam.
+func NewStateFrom(f StateFactory) *State {
+	if f == nil {
+		return NewState()
+	}
+	return f()
+}
+
 // State is a versioned key-value world state. The zero value is empty and
 // ready to use. State is safe for concurrent readers and writers; the
 // simulated chains additionally serialise commits through their event loop.
+//
+// With no backend attached the State is the original mutex-guarded in-RAM
+// map (the hot path pays nothing for the seam); NewStateOn mounts any
+// StateBackend — the paged disk store — behind the identical interface.
 type State struct {
 	mu   sync.RWMutex
 	data map[string]VersionedValue
+	// backend, when non-nil, replaces the inline map entirely. Backends do
+	// their own locking, so delegated calls skip State.mu.
+	backend StateBackend
 }
 
-// NewState returns an empty world state.
+// NewState returns an empty world state on the in-RAM map backend.
 func NewState() *State {
 	return &State{data: make(map[string]VersionedValue)}
 }
 
+// NewStateOn returns a world state served by the given backend. A nil
+// backend is equivalent to NewState.
+func NewStateOn(b StateBackend) *State {
+	if b == nil {
+		return NewState()
+	}
+	return &State{backend: b}
+}
+
+// Backend returns the mounted storage engine, or nil for the in-RAM map.
+// Callers use it to reach engine-specific surface (stats, snapshots, Close)
+// behind the State seam.
+func (s *State) Backend() StateBackend { return s.backend }
+
 // Get returns the value and version for key. ok is false when the key has
 // never been written.
 func (s *State) Get(key string) (val []byte, version uint64, ok bool) {
+	if s.backend != nil {
+		return s.backend.Get(key)
+	}
 	s.mu.RLock()
 	defer s.mu.RUnlock()
 	vv, ok := s.data[key]
@@ -40,6 +99,10 @@ func (s *State) Get(key string) (val []byte, version uint64, ok bool) {
 
 // Set writes key at the given version.
 func (s *State) Set(key string, val []byte, version uint64) {
+	if s.backend != nil {
+		s.backend.Set(key, val, version)
+		return
+	}
 	s.mu.Lock()
 	defer s.mu.Unlock()
 	if s.data == nil {
@@ -50,6 +113,10 @@ func (s *State) Set(key string, val []byte, version uint64) {
 
 // Delete removes key.
 func (s *State) Delete(key string) {
+	if s.backend != nil {
+		s.backend.Delete(key)
+		return
+	}
 	s.mu.Lock()
 	defer s.mu.Unlock()
 	delete(s.data, key)
@@ -57,6 +124,9 @@ func (s *State) Delete(key string) {
 
 // Len reports the number of live keys.
 func (s *State) Len() int {
+	if s.backend != nil {
+		return s.backend.Len()
+	}
 	s.mu.RLock()
 	defer s.mu.RUnlock()
 	return len(s.data)
@@ -64,6 +134,9 @@ func (s *State) Len() int {
 
 // Keys returns all keys in sorted order (used by audits and tests).
 func (s *State) Keys() []string {
+	if s.backend != nil {
+		return s.backend.Keys()
+	}
 	s.mu.RLock()
 	defer s.mu.RUnlock()
 	keys := make([]string, 0, len(s.data))
@@ -145,6 +218,10 @@ type Executor struct {
 	state   *State
 	rwset   RWSet
 	pending map[string][]byte
+	// writeIdx maps a staged key to its slot in rwset.Writes so repeated
+	// writes update in place in O(1); the slice scan it replaces made wide
+	// write sets (IOHeavy batches, Analytics aggregates) quadratic.
+	writeIdx map[string]int
 }
 
 // NewExecutor builds an executor over the given state.
@@ -179,12 +256,14 @@ func (e *Executor) Del(key string) {
 }
 
 func (e *Executor) stageWrite(key string, val []byte) {
-	for i := range e.rwset.Writes {
-		if e.rwset.Writes[i].Key == key {
-			e.rwset.Writes[i].Value = val
-			return
-		}
+	if i, ok := e.writeIdx[key]; ok {
+		e.rwset.Writes[i].Value = val
+		return
 	}
+	if e.writeIdx == nil {
+		e.writeIdx = make(map[string]int)
+	}
+	e.writeIdx[key] = len(e.rwset.Writes)
 	e.rwset.Writes = append(e.rwset.Writes, WriteEntry{Key: key, Value: val})
 }
 

@@ -31,6 +31,9 @@ type Config struct {
 	MempoolCap int
 	// Seed drives the PoW interval randomness.
 	Seed int64
+	// State constructs the world state; nil means the in-RAM map. Runs at
+	// large account populations mount the disk-backed paged store here.
+	State chain.StateFactory `json:"-"`
 }
 
 // DefaultConfig matches the paper's 5-node deployment.
@@ -78,7 +81,7 @@ func New(sched eventsim.Sched, cfg Config) *Chain {
 	c := &Chain{
 		cfg:   cfg,
 		rng:   randx.New(cfg.Seed),
-		state: chain.NewState(),
+		state: chain.NewStateFrom(cfg.State),
 	}
 	c.Init("ethereum", sched, 1)
 	for i := 0; i < cfg.Nodes; i++ {

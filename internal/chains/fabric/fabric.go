@@ -46,6 +46,9 @@ type Config struct {
 	TxBytes int
 	// Net configures the cluster network.
 	Net netsim.Config
+	// State constructs the world state; nil means the in-RAM map. Runs at
+	// large account populations mount the disk-backed paged store here.
+	State chain.StateFactory `json:"-"`
 }
 
 // DefaultConfig matches the paper's 5-node deployment.
@@ -137,7 +140,7 @@ func New(sched eventsim.Sched, cfg Config) *Chain {
 	}
 	c := &Chain{
 		cfg:       cfg,
-		state:     chain.NewState(),
+		state:     chain.NewStateFrom(cfg.State),
 		orderer:   basechain.NewComputeKey(sched, cfg.CoresPerNode, ordererShardKey),
 		validator: basechain.NewComputeKey(sched, 1, eventsim.Key("fabric/validator")),
 	}

@@ -60,7 +60,7 @@ func (c *Chain) split() {
 	for i := 0; i < old; i++ {
 		sh := c.AddShard()
 		c.shards = append(c.shards, &shardState{
-			state: chainNewState(),
+			state: chain.NewStateFrom(c.cfg.State),
 			exec:  newShardExec(c),
 		})
 		for j := 0; j < c.cfg.MembersPerShard; j++ {
@@ -127,9 +127,8 @@ func accountOfKey(key string) string {
 // Resharded reports how many reconfiguration splits have occurred.
 func (c *Chain) Resharded() int { return c.resharded }
 
-// chainNewState and newShardExec keep split() readable; they mirror the
-// constructor's per-shard wiring.
-func chainNewState() *chain.State { return chain.NewState() }
+// newShardExec keeps split() readable; it mirrors the constructor's
+// per-shard wiring.
 
 func newShardExec(c *Chain) *basechain.Compute {
 	// The new chain shard's compute timers ride the scheduler shard

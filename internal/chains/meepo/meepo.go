@@ -51,6 +51,10 @@ type Config struct {
 	TxBytes int
 	// Net configures the cluster network.
 	Net netsim.Config
+	// State constructs each shard's world state; nil means the in-RAM
+	// map. The factory runs once per shard (including shards created by
+	// dynamic splits), so every shard gets an independent store.
+	State chain.StateFactory `json:"-"`
 }
 
 // DefaultConfig matches the paper's two-shard deployment.
@@ -156,7 +160,7 @@ func New(sched eventsim.Sched, cfg Config) *Chain {
 	c.net = netsim.New(sched, cfg.Net)
 	for i := 0; i < cfg.Shards; i++ {
 		c.shards = append(c.shards, &shardState{
-			state: chain.NewState(),
+			state: chain.NewStateFrom(cfg.State),
 			// Epochs within a shard execute serially; the per-epoch cost
 			// already folds in intra-epoch core parallelism. Each chain
 			// shard's compute timers ride its own scheduler shard.

@@ -37,6 +37,9 @@ type Config struct {
 	TxBytes int
 	// Net configures the cluster network.
 	Net netsim.Config
+	// State constructs the world state; nil means the in-RAM map. Runs at
+	// large account populations mount the disk-backed paged store here.
+	State chain.StateFactory `json:"-"`
 }
 
 // DefaultConfig matches the paper's 5-node deployment and lands peak
@@ -105,7 +108,7 @@ func New(sched eventsim.Sched, cfg Config) *Chain {
 	}
 	c := &Chain{
 		cfg:   cfg,
-		state: chain.NewState(),
+		state: chain.NewStateFrom(cfg.State),
 	}
 	c.Init("neuchain", sched, 1)
 	c.net = netsim.New(sched, cfg.Net)

@@ -95,6 +95,7 @@ func conformanceSetups(opts Options) []conformanceSetup {
 			build: func(sched eventsim.Sched, opts Options) chain.Blockchain {
 				cfg := ethereum.DefaultConfig()
 				cfg.Seed = opts.Seed
+				cfg.State = opts.stateFactory()
 				return ethereum.New(sched, cfg)
 			},
 			engCfg:     func(c *core.Config) { c.DrainTimeout = 5 * time.Minute },
@@ -113,7 +114,9 @@ func conformanceSetups(opts Options) []conformanceSetup {
 			name:    "fabric",
 			offered: 120,
 			build: func(sched eventsim.Sched, opts Options) chain.Blockchain {
-				return fabric.New(sched, fabric.DefaultConfig())
+				cfg := fabric.DefaultConfig()
+				cfg.State = opts.stateFactory()
+				return fabric.New(sched, cfg)
 			},
 			engCfg: func(c *core.Config) {
 				c.Clients = 4
@@ -134,7 +137,9 @@ func conformanceSetups(opts Options) []conformanceSetup {
 			name:    "meepo",
 			offered: 2500,
 			build: func(sched eventsim.Sched, opts Options) chain.Blockchain {
-				return meepo.New(sched, meepo.DefaultConfig())
+				cfg := meepo.DefaultConfig()
+				cfg.State = opts.stateFactory()
+				return meepo.New(sched, cfg)
 			},
 			engCfg: func(c *core.Config) {
 				c.Clients = 8
@@ -155,7 +160,9 @@ func conformanceSetups(opts Options) []conformanceSetup {
 			name:    "neuchain",
 			offered: 4000,
 			build: func(sched eventsim.Sched, opts Options) chain.Blockchain {
-				return neuchain.New(sched, neuchain.DefaultConfig())
+				cfg := neuchain.DefaultConfig()
+				cfg.State = opts.stateFactory()
+				return neuchain.New(sched, cfg)
 			},
 			engCfg: func(c *core.Config) {
 				c.Clients = 8

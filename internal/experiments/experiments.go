@@ -46,6 +46,22 @@ type Options struct {
 	// default) is the single timer wheel, n >= 1 is the sharded engine with
 	// n wheels. Results are byte-identical either way.
 	SchedShards int
+	// StateBackend selects the world-state engine every SUT run mounts:
+	// "" or "mem" is the in-RAM map, "paged" the disk-backed paged store
+	// (internal/store/pagedstate). Results are byte-identical either way —
+	// the paged-identity tests pin it.
+	StateBackend string
+	// StateCacheMB budgets the paged store's page cache per state instance
+	// (0 = the store default, 64 MiB).
+	StateCacheMB int
+	// StateDir is where paged stores place their files; each state instance
+	// gets a fresh subdirectory. Empty means the OS temp directory.
+	StateDir string
+	// States tracks every paged store the runs open, so the owner (CLI or
+	// test) can read stats and release the files afterwards. Left nil with
+	// StateBackend "paged", stores land in a process-wide runtime that is
+	// only released at exit.
+	States *StateRuntime
 	// OnProgress, when set, observes every harness run completion — the
 	// CLIs wire it to live progress lines and monitor counters.
 	OnProgress func(harness.Progress)

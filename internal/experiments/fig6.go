@@ -59,6 +59,7 @@ func fig6Setups(opts Options) []chainSetup {
 				cfg := ethereum.DefaultConfig()
 				cfg.MempoolCap = 100
 				cfg.Seed = opts.Seed
+				cfg.State = opts.stateFactory()
 				return ethereum.New(sched, cfg)
 			},
 			offered: 50,
@@ -71,6 +72,7 @@ func fig6Setups(opts Options) []chainSetup {
 			build: func(sched eventsim.Sched) chain.Blockchain {
 				cfg := fabric.DefaultConfig()
 				cfg.PendingCap = 300
+				cfg.State = opts.stateFactory()
 				return fabric.New(sched, cfg)
 			},
 			offered: 400,
@@ -84,6 +86,7 @@ func fig6Setups(opts Options) []chainSetup {
 			build: func(sched eventsim.Sched) chain.Blockchain {
 				cfg := meepo.DefaultConfig()
 				cfg.PendingCapPerShard = 4000
+				cfg.State = opts.stateFactory()
 				return meepo.New(sched, cfg)
 			},
 			offered: 8000,
@@ -103,6 +106,7 @@ func fig6Setups(opts Options) []chainSetup {
 				// at saturation while still feeding the executor at its
 				// ~8.7k TPS capacity.
 				cfg.PendingCap = 1400
+				cfg.State = opts.stateFactory()
 				return neuchain.New(sched, cfg)
 			},
 			offered: 12000,

@@ -1,0 +1,157 @@
+package experiments
+
+import (
+	"errors"
+	"fmt"
+	"os"
+	"sync"
+
+	"hammer/internal/chain"
+	"hammer/internal/store/pagedstate"
+)
+
+// State-backend selection. Every SUT experiment mounts its world state
+// through Options.StateBackend: "mem" (the default) keeps the original
+// in-RAM map, "paged" mounts internal/store/pagedstate behind the
+// chain.State seam. The choice must never change results — the
+// paged-identity tests compare golden CSVs and conformance digests across
+// both backends byte for byte.
+
+// StateBackends lists the accepted Options.StateBackend values.
+var StateBackends = []string{"mem", "paged"}
+
+// ValidateStateBackend rejects unknown backend names; the CLIs call it on
+// the -state flag before any run starts.
+func ValidateStateBackend(name string) error {
+	switch name {
+	case "", "mem", "paged":
+		return nil
+	default:
+		return fmt.Errorf("experiments: unknown state backend %q (want %v)", name, StateBackends)
+	}
+}
+
+// StateRuntime tracks every paged store opened behind a chain.State seam so
+// the owner can read aggregate stats and release the files once results are
+// digested. Factories run concurrently under the harness; all methods are
+// safe for concurrent use.
+type StateRuntime struct {
+	mu     sync.Mutex
+	stores []*pagedstate.Store
+	dirs   []string
+}
+
+// NewStateRuntime returns an empty runtime.
+func NewStateRuntime() *StateRuntime { return &StateRuntime{} }
+
+// sharedStates collects stores whose owner supplied no runtime; they are
+// released only at process exit (acceptable for a CLI, leaky for tests —
+// tests set Options.States).
+var sharedStates = NewStateRuntime()
+
+// Factory returns a chain.StateFactory that opens one paged store per call
+// in a fresh subdirectory of baseDir ("" = OS temp) and registers it with
+// the runtime. Open errors panic: the factory seam has no error path, and
+// the harness converts run panics into run errors.
+func (rt *StateRuntime) Factory(baseDir string, cacheMB, expectedKeys int) chain.StateFactory {
+	return func() *chain.State {
+		dir, err := os.MkdirTemp(orTempDir(baseDir), "pagedstate-")
+		if err != nil {
+			panic(fmt.Sprintf("experiments: paged state dir: %v", err))
+		}
+		cfg := pagedstate.Config{Dir: dir, ExpectedKeys: expectedKeys}
+		if cacheMB > 0 {
+			cfg.CacheBytes = cacheMB << 20
+		}
+		st, err := pagedstate.Open(cfg)
+		if err != nil {
+			os.RemoveAll(dir)
+			panic(fmt.Sprintf("experiments: paged state open: %v", err))
+		}
+		rt.mu.Lock()
+		rt.stores = append(rt.stores, st)
+		rt.dirs = append(rt.dirs, dir)
+		rt.mu.Unlock()
+		return chain.NewStateOn(st)
+	}
+}
+
+func orTempDir(dir string) string {
+	if dir == "" {
+		return os.TempDir()
+	}
+	return dir
+}
+
+// Stores reports how many paged stores the runtime has opened.
+func (rt *StateRuntime) Stores() int {
+	rt.mu.Lock()
+	defer rt.mu.Unlock()
+	return len(rt.stores)
+}
+
+// Stats sums the counters of every open store — the per-run cache and bloom
+// economics the blockbench CSV reports.
+func (rt *StateRuntime) Stats() pagedstate.Stats {
+	rt.mu.Lock()
+	defer rt.mu.Unlock()
+	var agg pagedstate.Stats
+	for _, st := range rt.stores {
+		s := st.Stats()
+		agg.Gets += s.Gets
+		agg.Sets += s.Sets
+		agg.Deletes += s.Deletes
+		agg.CacheHits += s.CacheHits
+		agg.CacheMisses += s.CacheMisses
+		agg.BloomNegatives += s.BloomNegatives
+		agg.Evictions += s.Evictions
+		agg.Compactions += s.Compactions
+		agg.PagesAllocated += s.PagesAllocated
+		agg.ResidentPages += s.ResidentPages
+		agg.CacheBudgetBytes += s.CacheBudgetBytes
+		agg.WALBytes += s.WALBytes
+		agg.WALFlushes += s.WALFlushes
+		agg.LiveKeys += s.LiveKeys
+	}
+	return agg
+}
+
+// Close closes every store and deletes its directory. Safe to call more
+// than once; later Factory calls may reuse the runtime.
+func (rt *StateRuntime) Close() error {
+	rt.mu.Lock()
+	stores, dirs := rt.stores, rt.dirs
+	rt.stores, rt.dirs = nil, nil
+	rt.mu.Unlock()
+	var errs []error
+	for i, st := range stores {
+		if err := st.Close(); err != nil {
+			errs = append(errs, err)
+		}
+		if err := os.RemoveAll(dirs[i]); err != nil {
+			errs = append(errs, err)
+		}
+	}
+	return errors.Join(errs...)
+}
+
+// stateFactory translates the Options state knobs into the factory the
+// chain configs mount; nil keeps the in-RAM map. Unknown backends panic —
+// callers validate with ValidateStateBackend first, and the harness turns a
+// Build-time panic into a run error.
+func (o *Options) stateFactory() chain.StateFactory {
+	switch o.StateBackend {
+	case "", "mem":
+		return nil
+	case "paged":
+	default:
+		panic(fmt.Sprintf("experiments: unknown state backend %q", o.StateBackend))
+	}
+	rt := o.States
+	if rt == nil {
+		rt = sharedStates
+	}
+	// SmallBank holds a checking and a savings key per account; 4× leaves
+	// headroom for result keys and the blockbench populations.
+	return rt.Factory(o.StateDir, o.StateCacheMB, 4*o.Accounts)
+}

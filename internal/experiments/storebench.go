@@ -1,0 +1,300 @@
+package experiments
+
+import (
+	"context"
+	"fmt"
+	"os"
+	"runtime"
+	"time"
+
+	"hammer/internal/blockbench"
+	"hammer/internal/chain"
+	"hammer/internal/randx"
+	"hammer/internal/store/pagedstate"
+)
+
+// StoreBench drives the paged state store directly with IOHeavy-shaped
+// operations at populations far beyond what consensus-path account setup
+// can reach (10M+ accounts), and measures what the engine-level experiments
+// cannot: raw ops/s per phase, the cache hit economics, and the heap
+// ceiling. An in-RAM map baseline runs at a capped population for an honest
+// like-for-like heap comparison — it is labeled with its own account count,
+// never extrapolated.
+
+// StoreBenchOptions parameterises the sweep.
+type StoreBenchOptions struct {
+	// Accounts is the paged-store population.
+	Accounts int
+	// CacheMB budgets the page cache (the heap-ceiling claim under test).
+	CacheMB int
+	// ValueBytes sizes each record.
+	ValueBytes int
+	// Ops is the operation count per measured phase after population.
+	Ops int
+	// Dir hosts the store's files ("" = OS temp); it is removed afterwards.
+	Dir string
+	// Snapshot, when non-empty, warm-starts population: an existing file is
+	// loaded instead of populating, otherwise the freshly populated store
+	// is saved there for the next invocation.
+	Snapshot string
+	// BaselineAccounts caps the in-RAM comparison population (0 skips the
+	// baseline).
+	BaselineAccounts int
+	// Seed drives the access pattern.
+	Seed int64
+}
+
+// DefaultStoreBenchOptions is the quick configuration; the CI/report run
+// raises Accounts to 10M.
+func DefaultStoreBenchOptions() StoreBenchOptions {
+	return StoreBenchOptions{
+		Accounts:         1_000_000,
+		CacheMB:          64,
+		ValueBytes:       64,
+		Ops:              1_000_000,
+		BaselineAccounts: 1_000_000,
+		Seed:             7,
+	}
+}
+
+// StoreBenchRow is one backend×phase measurement.
+type StoreBenchRow struct {
+	Backend   string // "paged" or "mem"
+	Phase     string // populate | snapshot-load | read-hit | read-miss | mixed
+	Accounts  int
+	Ops       int
+	OpsPerSec float64
+	// HitRate and BloomNegatives are paged-only cache economics.
+	HitRate        float64
+	BloomNegatives int64
+	// HeapPeakMB is the max Go heap observed during the phase;
+	// CacheBudgetMB the configured ceiling (0 for mem).
+	HeapPeakMB    float64
+	CacheBudgetMB float64
+}
+
+// String renders the row.
+func (r StoreBenchRow) String() string {
+	s := fmt.Sprintf("%-5s %-13s %9d accts %9d ops %12.0f ops/s  heap peak %7.1f MB",
+		r.Backend, r.Phase, r.Accounts, r.Ops, r.OpsPerSec, r.HeapPeakMB)
+	if r.Backend == "paged" {
+		s += fmt.Sprintf("  (cache %3.0f MB budget, hit %.1f%%)", r.CacheBudgetMB, 100*r.HitRate)
+	}
+	return s
+}
+
+// heapMeter samples the Go heap while a phase runs; Peak reports the max.
+type heapMeter struct {
+	peak uint64
+	n    int
+}
+
+// tick samples every 1<<16 calls — cheap enough for multi-million-op loops.
+func (h *heapMeter) tick() {
+	h.n++
+	if h.n&0xFFFF != 0 {
+		return
+	}
+	h.sample()
+}
+
+func (h *heapMeter) sample() {
+	var ms runtime.MemStats
+	runtime.ReadMemStats(&ms)
+	if ms.HeapAlloc > h.peak {
+		h.peak = ms.HeapAlloc
+	}
+}
+
+func (h *heapMeter) peakMB() float64 { return float64(h.peak) / (1 << 20) }
+
+// storeOps is the uniform state surface both backends are driven through.
+type storeOps interface {
+	Get(key string) ([]byte, uint64, bool)
+	Set(key string, val []byte, version uint64)
+}
+
+// runPhase executes ops against the store and returns throughput plus the
+// observed heap peak. A GC first isolates the phase's own footprint.
+func runPhase(ctx context.Context, ops int, fn func(i int)) (opsPerSec, heapPeakMB float64, err error) {
+	runtime.GC()
+	var hm heapMeter
+	hm.sample()
+	start := time.Now()
+	for i := 0; i < ops; i++ {
+		if i&0xFFFFF == 0 && ctx.Err() != nil {
+			return 0, 0, ctx.Err()
+		}
+		fn(i)
+		hm.tick()
+	}
+	elapsed := time.Since(start)
+	hm.sample()
+	if elapsed <= 0 {
+		elapsed = time.Nanosecond
+	}
+	return float64(ops) / elapsed.Seconds(), hm.peakMB(), nil
+}
+
+func storeBenchValue(n int) []byte {
+	buf := make([]byte, n)
+	for i := range buf {
+		buf[i] = 'a' + byte(i%26)
+	}
+	return buf
+}
+
+// StoreBench runs the sweep and returns its rows in execution order.
+func StoreBench(ctx context.Context, o StoreBenchOptions) ([]StoreBenchRow, error) {
+	def := DefaultStoreBenchOptions()
+	if o.Accounts <= 0 {
+		o.Accounts = def.Accounts
+	}
+	if o.CacheMB <= 0 {
+		o.CacheMB = def.CacheMB
+	}
+	if o.ValueBytes <= 0 {
+		o.ValueBytes = def.ValueBytes
+	}
+	if o.Ops <= 0 {
+		o.Ops = def.Ops
+	}
+	if o.Seed == 0 {
+		o.Seed = def.Seed
+	}
+	val := storeBenchValue(o.ValueBytes)
+
+	dir, err := os.MkdirTemp(orTempDir(o.Dir), "storebench-")
+	if err != nil {
+		return nil, fmt.Errorf("experiments: storebench dir: %w", err)
+	}
+	defer os.RemoveAll(dir)
+	st, err := pagedstate.Open(pagedstate.Config{
+		Dir:          dir,
+		CacheBytes:   o.CacheMB << 20,
+		ExpectedKeys: o.Accounts,
+	})
+	if err != nil {
+		return nil, fmt.Errorf("experiments: storebench open: %w", err)
+	}
+	defer st.Close()
+
+	budgetMB := float64(o.CacheMB)
+	var rows []StoreBenchRow
+	add := func(phase string, ops int, opsPerSec, heapMB float64) {
+		s := st.Stats()
+		rows = append(rows, StoreBenchRow{
+			Backend: "paged", Phase: phase, Accounts: o.Accounts, Ops: ops,
+			OpsPerSec: opsPerSec, HitRate: s.HitRate(), BloomNegatives: s.BloomNegatives,
+			HeapPeakMB: heapMB, CacheBudgetMB: budgetMB,
+		})
+	}
+
+	// Population, or snapshot warm-start when a capture exists.
+	warm := false
+	if o.Snapshot != "" {
+		if _, err := os.Stat(o.Snapshot); err == nil {
+			start := time.Now()
+			if err := st.LoadSnapshot(o.Snapshot); err != nil {
+				return nil, fmt.Errorf("experiments: storebench snapshot load: %w", err)
+			}
+			if st.Len() != o.Accounts {
+				return nil, fmt.Errorf("experiments: snapshot %s holds %d keys, want %d (delete it to repopulate)",
+					o.Snapshot, st.Len(), o.Accounts)
+			}
+			elapsed := time.Since(start).Seconds()
+			add("snapshot-load", o.Accounts, float64(o.Accounts)/elapsed, 0)
+			warm = true
+		}
+	}
+	if !warm {
+		opsPerSec, heapMB, err := runPhase(ctx, o.Accounts, func(i int) {
+			st.Set(blockbench.Key(i), val, uint64(i)+1)
+		})
+		if err != nil {
+			return nil, err
+		}
+		add("populate", o.Accounts, opsPerSec, heapMB)
+		if o.Snapshot != "" {
+			if err := st.SaveSnapshot(o.Snapshot); err != nil {
+				return nil, fmt.Errorf("experiments: storebench snapshot save: %w", err)
+			}
+		}
+	}
+
+	phases := []struct {
+		name string
+		fn   func(rng *randx.Rand) func(i int)
+	}{
+		{"read-hit", func(rng *randx.Rand) func(i int) {
+			return func(int) { st.Get(blockbench.Key(rng.Intn(o.Accounts))) }
+		}},
+		{"read-miss", func(rng *randx.Rand) func(i int) {
+			return func(int) { st.Get(fmt.Sprintf("absent:%08d", rng.Intn(o.Accounts))) }
+		}},
+		{"mixed", func(rng *randx.Rand) func(i int) {
+			return func(i int) {
+				k := blockbench.Key(rng.Intn(o.Accounts))
+				if rng.Float64() < 0.5 {
+					st.Set(k, val, uint64(o.Accounts+i))
+				} else {
+					st.Get(k)
+				}
+			}
+		}},
+	}
+	for _, ph := range phases {
+		opsPerSec, heapMB, err := runPhase(ctx, o.Ops, ph.fn(randx.New(o.Seed)))
+		if err != nil {
+			return nil, err
+		}
+		add(ph.name, o.Ops, opsPerSec, heapMB)
+	}
+
+	// In-RAM baseline at its own (capped) population, for the heap
+	// comparison. The map has no cache budget: its heap IS the population.
+	if o.BaselineAccounts > 0 {
+		mem := chain.NewState()
+		n := o.BaselineAccounts
+		addMem := func(phase string, ops int, opsPerSec, heapMB float64) {
+			rows = append(rows, StoreBenchRow{
+				Backend: "mem", Phase: phase, Accounts: n, Ops: ops,
+				OpsPerSec: opsPerSec, HeapPeakMB: heapMB,
+			})
+		}
+		opsPerSec, heapMB, err := runPhase(ctx, n, func(i int) {
+			mem.Set(blockbench.Key(i), val, uint64(i)+1)
+		})
+		if err != nil {
+			return nil, err
+		}
+		addMem("populate", n, opsPerSec, heapMB)
+		rng := randx.New(o.Seed)
+		opsPerSec, heapMB, err = runPhase(ctx, o.Ops, func(i int) {
+			k := blockbench.Key(rng.Intn(n))
+			if rng.Float64() < 0.5 {
+				mem.Set(k, val, uint64(n+i))
+			} else {
+				mem.Get(k)
+			}
+		})
+		if err != nil {
+			return nil, err
+		}
+		addMem("mixed", o.Ops, opsPerSec, heapMB)
+	}
+	return rows, nil
+}
+
+// StoreBenchCSV renders the rows for the CSV exporter.
+func StoreBenchCSV(rows []StoreBenchRow) (header []string, records [][]string) {
+	header = []string{"backend", "phase", "accounts", "ops", "ops_per_sec",
+		"cache_hit_rate", "bloom_negatives", "heap_peak_mb", "cache_budget_mb"}
+	for _, r := range rows {
+		records = append(records, []string{
+			r.Backend, r.Phase, fmt.Sprint(r.Accounts), fmt.Sprint(r.Ops), fmt.Sprintf("%.0f", r.OpsPerSec),
+			fmtF(r.HitRate), fmt.Sprint(r.BloomNegatives), fmtF(r.HeapPeakMB), fmtF(r.CacheBudgetMB),
+		})
+	}
+	return header, records
+}

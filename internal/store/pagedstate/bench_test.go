@@ -1,0 +1,71 @@
+package pagedstate
+
+import (
+	"fmt"
+	"testing"
+)
+
+// TestSteadyStateAllocs pins the pooled-buffer promise: once the cache and
+// WAL batch buffer are warm, a same-length overwrite allocates nothing and
+// a hit read allocates only the one value copy handed to the caller.
+func TestSteadyStateAllocs(t *testing.T) {
+	cfg := testConfig(t)
+	cfg.CacheBytes = 1 << 20 // population fits: measure cache hits, not I/O
+	s := mustOpen(t, cfg)
+	for i := 0; i < 500; i++ {
+		s.Set(fmt.Sprintf("acct%04d", i), []byte("balance=00000000"), uint64(i))
+	}
+	val := []byte("balance=99999999") // same length: in-place page patch
+	if a := testing.AllocsPerRun(2000, func() { s.Set("acct0042", val, 9) }); a > 0 {
+		t.Errorf("steady-state Set allocates %.2f per op, want 0", a)
+	}
+	if a := testing.AllocsPerRun(2000, func() { s.Get("acct0042") }); a > 1 {
+		t.Errorf("steady-state Get allocates %.2f per op, want <=1 (the value copy)", a)
+	}
+	if a := testing.AllocsPerRun(2000, func() { s.Get("never-written") }); a > 0 {
+		t.Errorf("bloom-gated miss allocates %.2f per op, want 0", a)
+	}
+}
+
+func benchStore(b *testing.B, cacheBytes int) *Store {
+	b.Helper()
+	s, err := Open(Config{Dir: b.TempDir(), CacheBytes: cacheBytes, ExpectedKeys: 1 << 17})
+	if err != nil {
+		b.Fatal(err)
+	}
+	b.Cleanup(func() { s.Close() })
+	return s
+}
+
+func BenchmarkSetSequential(b *testing.B) {
+	s := benchStore(b, 32<<20)
+	val := []byte("balance=000000000000")
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		s.Set(fmt.Sprintf("acct%08d", i), val, uint64(i))
+	}
+}
+
+func BenchmarkGetHit(b *testing.B) {
+	s := benchStore(b, 32<<20)
+	const n = 100000
+	val := []byte("balance=000000000000")
+	for i := 0; i < n; i++ {
+		s.Set(fmt.Sprintf("acct%08d", i), val, uint64(i))
+	}
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		s.Get(fmt.Sprintf("acct%08d", i%n))
+	}
+}
+
+func BenchmarkGetBloomMiss(b *testing.B) {
+	s := benchStore(b, 32<<20)
+	for i := 0; i < 100000; i++ {
+		s.Set(fmt.Sprintf("acct%08d", i), []byte("v"), uint64(i))
+	}
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		s.Get(fmt.Sprintf("missing%08d", i))
+	}
+}

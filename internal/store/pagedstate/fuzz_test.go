@@ -1,0 +1,104 @@
+package pagedstate
+
+import (
+	"bytes"
+	"encoding/binary"
+	"testing"
+)
+
+// FuzzPageDecode hardens the page reader against arbitrary on-disk bytes: a
+// torn or corrupted page must fail validate() or walk cleanly — never panic
+// with an out-of-range slice. Seed corpora live under
+// testdata/fuzz/FuzzPageDecode.
+func FuzzPageDecode(f *testing.F) {
+	// Seed 1: a healthy page with three entries.
+	healthy := make([]byte, 4096)
+	p := page{buf: healthy}
+	p.init()
+	scratch := make([]byte, 4096)
+	p.insert("alpha", []byte("1"), 7, scratch)
+	p.insert("beta", []byte("22"), 8, scratch)
+	p.insert("gamma", []byte("333"), 9, scratch)
+	f.Add(healthy)
+	// Seed 2: empty page.
+	empty := make([]byte, 4096)
+	page{buf: empty}.init()
+	f.Add(empty)
+	// Seed 3: slot pointing past the end.
+	evil := make([]byte, 4096)
+	ep := page{buf: evil}
+	ep.init()
+	ep.setNslots(1)
+	binary.LittleEndian.PutUint16(evil[pageHeaderSize:], 4090)
+	binary.LittleEndian.PutUint16(evil[pageHeaderSize+2:], 60)
+	f.Add(evil)
+	f.Add([]byte{})
+
+	f.Fuzz(func(t *testing.T, data []byte) {
+		// Fix the size the way the store does: pages are always read at
+		// full page size, so pad/trim to a plausible geometry first.
+		buf := make([]byte, 4096)
+		copy(buf, data)
+		p := page{buf: buf}
+		if err := p.validate(); err != nil {
+			return // rejected: exactly what the store does on read
+		}
+		// A page that validates must be fully walkable.
+		for i, n := 0, p.nslots(); i < n; i++ {
+			if _, cl := p.slot(i); cl == 0 {
+				continue
+			}
+			key := p.cellKey(i)
+			val, _ := p.cellValue(i)
+			if len(key) > len(buf) || len(val) > len(buf) {
+				t.Fatalf("slot %d yields impossible lengths key=%d val=%d", i, len(key), len(val))
+			}
+			_ = p.find(string(key))
+		}
+	})
+}
+
+// FuzzWALDecode hardens replay against arbitrary log bytes: decoding must
+// terminate, never panic, and only ever yield records whose re-encoding is
+// exactly the consumed bytes (round-trip integrity). Seed corpora live
+// under testdata/fuzz/FuzzWALDecode.
+func FuzzWALDecode(f *testing.F) {
+	// Seed: two intact records plus a torn third.
+	w := &wal{flushBytes: 1 << 20}
+	w.appendRecord(walOpSet, "alpha", []byte("value-1"), 42)
+	w.appendRecord(walOpDelete, "beta", nil, 0)
+	w.appendRecord(walOpSet, "gamma", []byte("value-3"), 43)
+	intact := append([]byte(nil), w.buf...)
+	f.Add(intact)
+	f.Add(intact[:len(intact)-5])
+	f.Add([]byte{})
+	f.Add([]byte{walOpSet, 0xFF, 0xFF})
+
+	f.Fuzz(func(t *testing.T, data []byte) {
+		off := 0
+		records := 0
+		for off < len(data) {
+			rec, n, ok := decodeWALRecord(data[off:])
+			if !ok {
+				break
+			}
+			if n <= 0 {
+				t.Fatal("decode consumed nothing but reported ok")
+			}
+			// Round-trip: re-encoding the decoded record must reproduce
+			// the consumed bytes exactly.
+			rw := &wal{flushBytes: 1 << 30}
+			if err := rw.appendRecord(rec.op, rec.key, rec.val, rec.version); err != nil {
+				t.Fatal(err)
+			}
+			if !bytes.Equal(rw.buf, data[off:off+n]) {
+				t.Fatalf("record at %d does not round-trip", off)
+			}
+			off += n
+			records++
+			if records > len(data) {
+				t.Fatal("more records than bytes — decoder is not consuming")
+			}
+		}
+	})
+}

@@ -1,0 +1,179 @@
+package pagedstate
+
+import (
+	"bufio"
+	"encoding/binary"
+	"fmt"
+	"hash/crc32"
+	"io"
+	"os"
+)
+
+// Snapshot format: a point-in-time, store-independent stream of live
+// entries, for warm-starting a run without replaying the population phase.
+//
+//	magic   uint32  "HPSS"
+//	version uint32  1
+//	count   uint64  entries
+//	entries count × [keyLen uint16][valLen uint16][version uint64][key][val]
+//	crc     uint32  CRC-32 (IEEE) over everything above
+//
+// Snapshots are portable across page sizes, cache budgets and directory
+// sizes — load is a bulk insert, so a snapshot taken by a huge-cache writer
+// warm-starts a tiny-cache reader.
+const (
+	snapMagic         = 0x48505353 // "HPSS"
+	snapFormatVersion = 1
+)
+
+// crcWriter tees writes through a running CRC.
+type crcWriter struct {
+	w   io.Writer
+	crc uint32
+	n   int64
+}
+
+func (c *crcWriter) Write(p []byte) (int, error) {
+	n, err := c.w.Write(p)
+	c.crc = crc32.Update(c.crc, crc32.IEEETable, p[:n])
+	c.n += int64(n)
+	return n, err
+}
+
+// SaveSnapshot writes every live entry to path (tmp + rename, so a crashed
+// save never leaves a half snapshot behind).
+func (s *Store) SaveSnapshot(path string) error {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	if err := s.wal.flush(); err != nil {
+		return err
+	}
+	tmp := path + ".tmp"
+	f, err := os.Create(tmp)
+	if err != nil {
+		return fmt.Errorf("pagedstate: create snapshot: %w", err)
+	}
+	bw := bufio.NewWriterSize(f, 1<<20)
+	cw := &crcWriter{w: bw}
+
+	var hdr [16]byte
+	binary.LittleEndian.PutUint32(hdr[0:4], snapMagic)
+	binary.LittleEndian.PutUint32(hdr[4:8], snapFormatVersion)
+	binary.LittleEndian.PutUint64(hdr[8:16], uint64(s.count))
+	if _, err := cw.Write(hdr[:]); err != nil {
+		f.Close()
+		return fmt.Errorf("pagedstate: write snapshot: %w", err)
+	}
+	var werr error
+	var entry [cellHeaderSize]byte
+	s.iterate(func(key string, val []byte, version uint64) {
+		if werr != nil {
+			return
+		}
+		binary.LittleEndian.PutUint16(entry[0:2], uint16(len(key)))
+		binary.LittleEndian.PutUint16(entry[2:4], uint16(len(val)))
+		binary.LittleEndian.PutUint64(entry[4:12], version)
+		if _, err := cw.Write(entry[:]); err != nil {
+			werr = err
+			return
+		}
+		if _, err := io.WriteString(cw, key); err != nil {
+			werr = err
+			return
+		}
+		if _, err := cw.Write(val); err != nil {
+			werr = err
+		}
+	})
+	if werr != nil {
+		f.Close()
+		return fmt.Errorf("pagedstate: write snapshot: %w", werr)
+	}
+	var tail [4]byte
+	binary.LittleEndian.PutUint32(tail[:], cw.crc)
+	if _, err := bw.Write(tail[:]); err != nil {
+		f.Close()
+		return fmt.Errorf("pagedstate: write snapshot: %w", err)
+	}
+	if err := bw.Flush(); err != nil {
+		f.Close()
+		return fmt.Errorf("pagedstate: flush snapshot: %w", err)
+	}
+	if err := f.Close(); err != nil {
+		return fmt.Errorf("pagedstate: close snapshot: %w", err)
+	}
+	if err := os.Rename(tmp, path); err != nil {
+		return fmt.Errorf("pagedstate: commit snapshot: %w", err)
+	}
+	return nil
+}
+
+// LoadSnapshot bulk-inserts a snapshot into the store, which must be empty,
+// then checkpoints so the loaded state is durable without a WAL replay of
+// millions of records. The whole file is integrity-checked before the first
+// entry is applied.
+func (s *Store) LoadSnapshot(path string) error {
+	data, err := os.ReadFile(path)
+	if err != nil {
+		return fmt.Errorf("pagedstate: read snapshot: %w", err)
+	}
+	count, err := validateSnapshot(data)
+	if err != nil {
+		return err
+	}
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	if s.count != 0 {
+		return fmt.Errorf("pagedstate: snapshot load into non-empty store (%d keys)", s.count)
+	}
+	// Bulk path: apply straight to pages — the trailing checkpoint makes
+	// the load durable, so logging every entry would only double the I/O.
+	s.replaying = true
+	off := 16
+	for i := uint64(0); i < count; i++ {
+		kl := int(binary.LittleEndian.Uint16(data[off : off+2]))
+		vl := int(binary.LittleEndian.Uint16(data[off+2 : off+4]))
+		ver := binary.LittleEndian.Uint64(data[off+4 : off+12])
+		key := string(data[off+cellHeaderSize : off+cellHeaderSize+kl])
+		val := data[off+cellHeaderSize+kl : off+cellHeaderSize+kl+vl]
+		s.set(key, val, ver)
+		off += cellHeaderSize + kl + vl
+	}
+	s.replaying = false
+	return s.checkpoint()
+}
+
+// validateSnapshot structurally checks a snapshot image and returns its
+// entry count.
+func validateSnapshot(data []byte) (uint64, error) {
+	if len(data) < 20 {
+		return 0, fmt.Errorf("pagedstate: snapshot truncated to %d bytes", len(data))
+	}
+	body, tail := data[:len(data)-4], data[len(data)-4:]
+	if crc32.ChecksumIEEE(body) != binary.LittleEndian.Uint32(tail) {
+		return 0, fmt.Errorf("pagedstate: snapshot checksum mismatch")
+	}
+	if binary.LittleEndian.Uint32(data[0:4]) != snapMagic {
+		return 0, fmt.Errorf("pagedstate: snapshot magic mismatch")
+	}
+	if v := binary.LittleEndian.Uint32(data[4:8]); v != snapFormatVersion {
+		return 0, fmt.Errorf("pagedstate: snapshot format %d unsupported", v)
+	}
+	count := binary.LittleEndian.Uint64(data[8:16])
+	off := 16
+	for i := uint64(0); i < count; i++ {
+		if off+cellHeaderSize > len(body) {
+			return 0, fmt.Errorf("pagedstate: snapshot entry %d truncated", i)
+		}
+		kl := int(binary.LittleEndian.Uint16(data[off : off+2]))
+		vl := int(binary.LittleEndian.Uint16(data[off+2 : off+4]))
+		off += cellHeaderSize + kl + vl
+		if off > len(body) {
+			return 0, fmt.Errorf("pagedstate: snapshot entry %d overruns file", i)
+		}
+	}
+	if off != len(body) {
+		return 0, fmt.Errorf("pagedstate: snapshot has %d trailing bytes", len(body)-off)
+	}
+	return count, nil
+}

@@ -1,0 +1,171 @@
+package pagedstate
+
+import (
+	"encoding/binary"
+	"fmt"
+	"hash/crc32"
+	"io"
+	"os"
+)
+
+// WAL record layout (little-endian):
+//
+//	op      uint8   1 = set, 2 = delete
+//	keyLen  uint16
+//	valLen  uint32  0 for delete
+//	version uint64  0 for delete
+//	key     keyLen bytes
+//	val     valLen bytes
+//	crc     uint32  CRC-32 (IEEE) over everything above
+//
+// Records are appended to an in-memory group-commit buffer and hit the file
+// in batches (walFlushBytes, or any explicit Sync/checkpoint), so a burst
+// of Sets pays one write syscall, not one per record. Replay stops cleanly
+// at the first torn or truncated record — the tail a crash can leave — and
+// the store truncates the file back to the last whole record.
+const (
+	walOpSet    = 1
+	walOpDelete = 2
+
+	walRecordHeader = 1 + 2 + 4 + 8
+	walCRCSize      = 4
+
+	// defaultWALFlushBytes is the group-commit threshold.
+	defaultWALFlushBytes = 64 << 10
+)
+
+// wal is the write-ahead log. It is not safe for concurrent use; the store
+// serialises access.
+type wal struct {
+	f          *os.File
+	buf        []byte // pending group-commit batch
+	flushBytes int
+	written    int64 // bytes durably in the file
+	flushes    int64
+}
+
+func openWAL(path string, flushBytes int) (*wal, error) {
+	f, err := os.OpenFile(path, os.O_RDWR|os.O_CREATE, 0o644)
+	if err != nil {
+		return nil, fmt.Errorf("pagedstate: open wal: %w", err)
+	}
+	if flushBytes <= 0 {
+		flushBytes = defaultWALFlushBytes
+	}
+	return &wal{f: f, flushBytes: flushBytes, buf: make([]byte, 0, flushBytes+4096)}, nil
+}
+
+// appendRecord encodes one operation into the group-commit buffer and
+// flushes the batch once it crosses the threshold.
+func (w *wal) appendRecord(op byte, key string, val []byte, version uint64) error {
+	start := len(w.buf)
+	var hdr [walRecordHeader]byte
+	hdr[0] = op
+	binary.LittleEndian.PutUint16(hdr[1:3], uint16(len(key)))
+	binary.LittleEndian.PutUint32(hdr[3:7], uint32(len(val)))
+	binary.LittleEndian.PutUint64(hdr[7:15], version)
+	w.buf = append(w.buf, hdr[:]...)
+	w.buf = append(w.buf, key...)
+	w.buf = append(w.buf, val...)
+	crc := crc32.ChecksumIEEE(w.buf[start:])
+	var tail [walCRCSize]byte
+	binary.LittleEndian.PutUint32(tail[:], crc)
+	w.buf = append(w.buf, tail[:]...)
+	if len(w.buf) >= w.flushBytes {
+		return w.flush()
+	}
+	return nil
+}
+
+// flush writes the pending batch to the file (group commit).
+func (w *wal) flush() error {
+	if len(w.buf) == 0 {
+		return nil
+	}
+	n, err := w.f.WriteAt(w.buf, w.written)
+	if err != nil {
+		return fmt.Errorf("pagedstate: wal write: %w", err)
+	}
+	w.written += int64(n)
+	w.buf = w.buf[:0]
+	w.flushes++
+	return nil
+}
+
+// reset truncates the log after a checkpoint has made its records
+// redundant.
+func (w *wal) reset() error {
+	w.buf = w.buf[:0]
+	if err := w.f.Truncate(0); err != nil {
+		return fmt.Errorf("pagedstate: wal truncate: %w", err)
+	}
+	w.written = 0
+	return nil
+}
+
+func (w *wal) close() error {
+	if err := w.flush(); err != nil {
+		w.f.Close()
+		return err
+	}
+	return w.f.Close()
+}
+
+// walRecord is one decoded operation.
+type walRecord struct {
+	op      byte
+	key     string
+	val     []byte
+	version uint64
+}
+
+// decodeWALRecord parses the record at the front of data. It returns the
+// record, the bytes consumed, and ok=false when data holds no complete,
+// intact record — the torn-tail signal that ends replay.
+func decodeWALRecord(data []byte) (rec walRecord, n int, ok bool) {
+	if len(data) < walRecordHeader+walCRCSize {
+		return walRecord{}, 0, false
+	}
+	op := data[0]
+	if op != walOpSet && op != walOpDelete {
+		return walRecord{}, 0, false
+	}
+	keyLen := int(binary.LittleEndian.Uint16(data[1:3]))
+	valLen := int(binary.LittleEndian.Uint32(data[3:7]))
+	version := binary.LittleEndian.Uint64(data[7:15])
+	total := walRecordHeader + keyLen + valLen + walCRCSize
+	if total < walRecordHeader+walCRCSize || total > len(data) {
+		return walRecord{}, 0, false
+	}
+	body := data[:total-walCRCSize]
+	want := binary.LittleEndian.Uint32(data[total-walCRCSize : total])
+	if crc32.ChecksumIEEE(body) != want {
+		return walRecord{}, 0, false
+	}
+	key := string(data[walRecordHeader : walRecordHeader+keyLen])
+	var val []byte
+	if valLen > 0 {
+		val = append([]byte(nil), data[walRecordHeader+keyLen:walRecordHeader+keyLen+valLen]...)
+	}
+	return walRecord{op: op, key: key, val: val, version: version}, total, true
+}
+
+// replayWAL reads the log file and invokes apply for every intact record in
+// order. It returns the offset of the first torn byte (== file size on a
+// clean log); the caller truncates there so a crashed tail never resurfaces.
+func replayWAL(f *os.File, apply func(walRecord)) (int64, error) {
+	data, err := io.ReadAll(io.NewSectionReader(f, 0, 1<<40))
+	if err != nil {
+		return 0, fmt.Errorf("pagedstate: wal read: %w", err)
+	}
+	off := 0
+	for off < len(data) {
+		rec, n, ok := decodeWALRecord(data[off:])
+		if !ok {
+			break
+		}
+		apply(rec)
+		off += n
+	}
+	return int64(off), nil
+}
