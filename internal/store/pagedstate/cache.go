@@ -27,6 +27,10 @@ type pageCache struct {
 	byID      map[uint32]*frame
 	hand      int
 	freeBufs  [][]byte // recycled buffers from dropped frames
+	// beforeWriteBack, when set, runs before a dirty frame's bytes reach
+	// the page file. The store points it at wal.flush so no page image can
+	// land on disk ahead of the log records that produced it.
+	beforeWriteBack func() error
 
 	hits      int64
 	misses    int64
@@ -132,6 +136,11 @@ func (c *pageCache) release(fr *frame) {
 func (c *pageCache) writeBack(fr *frame) error {
 	if !fr.dirty {
 		return nil
+	}
+	if c.beforeWriteBack != nil {
+		if err := c.beforeWriteBack(); err != nil {
+			return err
+		}
 	}
 	if _, err := c.file.WriteAt(fr.buf, int64(fr.id)*int64(c.pageSize)); err != nil {
 		return fmt.Errorf("pagedstate: write page %d: %w", fr.id, err)

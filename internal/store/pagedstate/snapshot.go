@@ -128,7 +128,6 @@ func (s *Store) LoadSnapshot(path string) error {
 	}
 	// Bulk path: apply straight to pages — the trailing checkpoint makes
 	// the load durable, so logging every entry would only double the I/O.
-	s.replaying = true
 	off := 16
 	for i := uint64(0); i < count; i++ {
 		kl := int(binary.LittleEndian.Uint16(data[off : off+2]))
@@ -139,7 +138,6 @@ func (s *Store) LoadSnapshot(path string) error {
 		s.set(key, val, ver)
 		off += cellHeaderSize + kl + vl
 	}
-	s.replaying = false
 	return s.checkpoint()
 }
 

@@ -8,9 +8,14 @@
 // cache with a configurable byte budget keeps the hot working set resident
 // and recycles evicted frames' buffers, so steady-state operation allocates
 // almost nothing. Every mutation is logged to a group-commit write-ahead
-// log before it touches a page; replay at open is idempotent, so any
-// crash-time mix of flushed and unflushed pages converges to the logged
-// state. A stack of Bloom filters (internal/bloom) fronts the directory and
+// log before it touches a page, and evicting a dirty page flushes the
+// pending log batch first, so no page image ever reaches disk ahead of the
+// records that produced it; replay at open is idempotent, so any crash-time
+// mix of flushed and unflushed pages converges to the logged state, and the
+// key count and Bloom filters are rebuilt from the surviving pages after
+// replay. Once the log outgrows CheckpointWALBytes the store checkpoints
+// automatically, so WAL growth stays bounded across arbitrarily long runs.
+// A stack of Bloom filters (internal/bloom) fronts the directory and
 // short-circuits reads of never-written keys — the SmallBank/YCSB read-miss
 // path — without any page access.
 //
@@ -54,6 +59,10 @@ type Config struct {
 	ExpectedKeys int
 	// WALFlushBytes is the group-commit threshold (default 64 KiB).
 	WALFlushBytes int
+	// CheckpointWALBytes triggers an automatic checkpoint once the durable
+	// log plus the pending batch crosses this size, bounding WAL growth
+	// during long runs (default 64 MiB; negative disables).
+	CheckpointWALBytes int
 	// DisableBloom turns the negative-read filter off (ablation).
 	DisableBloom bool
 }
@@ -74,6 +83,9 @@ func (c *Config) fillDefaults() error {
 	if c.ExpectedKeys <= 0 {
 		c.ExpectedKeys = 1 << 20
 	}
+	if c.CheckpointWALBytes == 0 {
+		c.CheckpointWALBytes = 64 << 20
+	}
 	return nil
 }
 
@@ -90,9 +102,11 @@ type Stats struct {
 	// frames currently cached; CacheBudgetBytes the configured ceiling.
 	PagesAllocated, ResidentPages int
 	CacheBudgetBytes              int
-	// WALBytes is the durable log length; WALFlushes the group commits.
-	WALBytes   int64
-	WALFlushes int64
+	// WALBytes is the durable log length; WALFlushes the group commits;
+	// Checkpoints the page/meta/log reconciliations (explicit or automatic).
+	WALBytes    int64
+	WALFlushes  int64
+	Checkpoints int64
 	// LiveKeys mirrors Len().
 	LiveKeys int
 }
@@ -121,13 +135,12 @@ type Store struct {
 	// blooms is the scalable negative-read filter: adds go to the newest
 	// filter, lookups consult newest→oldest. Deletes leave the filters
 	// untouched (stale positives only cost a page probe).
-	blooms    []*bloom.Filter
-	bloomCap  int
-	replaying bool
-	closed    bool
+	blooms   []*bloom.Filter
+	bloomCap int
+	closed   bool
 
 	gets, sets, deletes, bloomNeg int64
-	compactions                   int64
+	compactions, checkpoints      int64
 }
 
 const (
@@ -148,7 +161,8 @@ func bucketsFor(expectedKeys int) int {
 }
 
 // Open creates or reopens the store in cfg.Dir. Reopening replays any WAL
-// tail left by a crash (stopping cleanly at a torn record) and then
+// tail left by a crash (stopping cleanly at a torn record), rebuilds the
+// key count and Bloom filters from the surviving pages, and then
 // checkpoints, so an opened store always starts from a clean log.
 func Open(cfg Config) (*Store, error) {
 	if err := cfg.fillDefaults(); err != nil {
@@ -183,10 +197,15 @@ func Open(cfg Config) (*Store, error) {
 		pageFile.Close()
 		return nil, err
 	}
-	replayed := 0
-	s.replaying = true
+	// No page image may reach disk ahead of the log records that produced
+	// it: eviction write-backs flush the pending WAL batch first.
+	s.cache.beforeWriteBack = s.wal.flush
+	walInfo, err := s.wal.f.Stat()
+	if err != nil {
+		s.closeFiles()
+		return nil, fmt.Errorf("pagedstate: stat wal: %w", err)
+	}
 	tail, err := replayWAL(s.wal.f, func(rec walRecord) {
-		replayed++
 		switch rec.op {
 		case walOpSet:
 			s.set(rec.key, rec.val, rec.version)
@@ -194,7 +213,6 @@ func Open(cfg Config) (*Store, error) {
 			s.delete(rec.key)
 		}
 	})
-	s.replaying = false
 	if err != nil {
 		s.closeFiles()
 		return nil, err
@@ -204,13 +222,32 @@ func Open(cfg Config) (*Store, error) {
 		return nil, fmt.Errorf("pagedstate: truncate torn wal: %w", err)
 	}
 	s.wal.written = tail
-	if replayed > 0 {
+	if walInfo.Size() > 0 {
+		// Crash recovery: the pages may already contain logged writes that
+		// were evicted and flushed before the crash, so replay alone cannot
+		// maintain the key count or the Bloom filters (a replayed Set that
+		// finds its key present takes the update path). The surviving pages
+		// are the ground truth — rebuild both from a full scan, then
+		// checkpoint so the next open starts clean.
+		s.rebuildIndex()
 		if err := s.checkpoint(); err != nil {
 			s.closeFiles()
 			return nil, err
 		}
 	}
 	return s, nil
+}
+
+// rebuildIndex recomputes the live-key count and repopulates the Bloom
+// filters from a scan of every reachable page. Caller holds s.mu (or is
+// single-threaded in Open).
+func (s *Store) rebuildIndex() {
+	s.count = 0
+	s.resetBloom(s.cfg.ExpectedKeys)
+	s.iterate(func(key string, _ []byte, _ uint64) {
+		s.count++
+		s.bloomAdd(key)
+	})
 }
 
 func (s *Store) closeFiles() {
@@ -283,6 +320,7 @@ func (s *Store) Set(key string, val []byte, version uint64) {
 		fatal(err)
 	}
 	s.set(key, val, version)
+	s.maybeCheckpoint()
 }
 
 // set applies a write to the pages (shared by Set, WAL replay and snapshot
@@ -364,6 +402,21 @@ func (s *Store) Delete(key string) {
 		fatal(err)
 	}
 	s.delete(key)
+	s.maybeCheckpoint()
+}
+
+// maybeCheckpoint bounds WAL growth during long runs: once the log (durable
+// plus pending) outgrows the configured budget, fold it into the pages.
+// Caller holds s.mu.
+func (s *Store) maybeCheckpoint() {
+	if s.cfg.CheckpointWALBytes < 0 {
+		return
+	}
+	if s.wal.written+int64(len(s.wal.buf)) >= int64(s.cfg.CheckpointWALBytes) {
+		if err := s.checkpoint(); err != nil {
+			fatal(err)
+		}
+	}
 }
 
 func (s *Store) delete(key string) {
@@ -483,6 +536,7 @@ func (s *Store) checkpoint() error {
 	if err := s.saveMeta(); err != nil {
 		return err
 	}
+	s.checkpoints++
 	return s.wal.reset()
 }
 
@@ -519,6 +573,7 @@ func (s *Store) Stats() Stats {
 		CacheBudgetBytes: s.cfg.CacheBytes,
 		WALBytes:         s.wal.written + int64(len(s.wal.buf)),
 		WALFlushes:       s.wal.flushes,
+		Checkpoints:      s.checkpoints,
 		LiveKeys:         s.count,
 	}
 }

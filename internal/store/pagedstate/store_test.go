@@ -219,6 +219,45 @@ func TestTinyCacheLargePopulation(t *testing.T) {
 	}
 }
 
+// TestAutoCheckpointBoundsWAL proves a long run cannot grow the log without
+// bound: the store folds the WAL into the pages whenever it crosses the
+// configured budget, and the data survives the mid-run checkpoints.
+func TestAutoCheckpointBoundsWAL(t *testing.T) {
+	cfg := testConfig(t)
+	cfg.WALFlushBytes = 1024
+	cfg.CheckpointWALBytes = 8 << 10
+	s := mustOpen(t, cfg)
+	const n = 3000
+	for i := 0; i < n; i++ {
+		s.Set(fmt.Sprintf("key%05d", i), []byte(fmt.Sprintf("val%d", i)), uint64(i))
+		if st := s.Stats(); st.WALBytes >= int64(cfg.CheckpointWALBytes) {
+			t.Fatalf("op %d: WAL at %d bytes exceeds the %d-byte checkpoint budget", i, st.WALBytes, cfg.CheckpointWALBytes)
+		}
+	}
+	st := s.Stats()
+	if st.Checkpoints == 0 {
+		t.Fatalf("no automatic checkpoint over %d sets with an %d-byte budget", n, cfg.CheckpointWALBytes)
+	}
+	for _, i := range []int{0, 1, n / 2, n - 1} {
+		k := fmt.Sprintf("key%05d", i)
+		v, ver, ok := s.Get(k)
+		if !ok || string(v) != fmt.Sprintf("val%d", i) || ver != uint64(i) {
+			t.Fatalf("after auto checkpoints Get(%s) = %q v%d ok=%v", k, v, ver, ok)
+		}
+	}
+
+	// A negative budget disables the trigger entirely.
+	off := testConfig(t)
+	off.CheckpointWALBytes = -1
+	s2 := mustOpen(t, off)
+	for i := 0; i < n; i++ {
+		s2.Set(fmt.Sprintf("key%05d", i), []byte("v"), uint64(i))
+	}
+	if st := s2.Stats(); st.Checkpoints != 0 {
+		t.Fatalf("disabled auto checkpoint still fired %d times", st.Checkpoints)
+	}
+}
+
 func TestVersionZeroValueAndEmptyValue(t *testing.T) {
 	s := mustOpen(t, testConfig(t))
 	s.Set("empty", []byte{}, 0)

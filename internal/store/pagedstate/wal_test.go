@@ -55,6 +55,121 @@ func TestWALCrashRecovery(t *testing.T) {
 	}
 }
 
+// TestCrashRecoveryAfterCheckpoint crashes a store that had checkpointed
+// earlier: post-checkpoint writes land in pages reachable from the
+// persisted directory and are flushed by eviction, so replay finds those
+// keys already present on disk. Recovery must still end with every key in
+// the Bloom filter and an exact count (regression: the meta-restored
+// filter and count used to win, silently losing post-checkpoint keys).
+func TestCrashRecoveryAfterCheckpoint(t *testing.T) {
+	cfg := testConfig(t)
+	const base, extra = 2000, 2000
+	key := func(i int) string { return fmt.Sprintf("key%05d", i) }
+	s, err := Open(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := 0; i < base; i++ {
+		s.Set(key(i), []byte(fmt.Sprintf("val%d", i)), uint64(i))
+	}
+	// Close checkpoints: meta now holds the directory, count and Bloom
+	// filters for the base keys only.
+	if err := s.Close(); err != nil {
+		t.Fatal(err)
+	}
+
+	s2, err := Open(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := base; i < base+extra; i++ {
+		s2.Set(key(i), []byte(fmt.Sprintf("val%d", i)), uint64(i))
+	}
+	s2.Delete(key(0)) // a checkpointed key: replay must re-drop it from the rebuilt count
+	if st := s2.Stats(); st.Evictions == 0 {
+		t.Fatal("no evictions before the crash — the scenario needs flushed dirty pages")
+	}
+	if err := s2.Sync(); err != nil {
+		t.Fatal(err)
+	}
+	// Crash: drop the handles without checkpoint or close.
+	s2.wal.f.Close()
+	s2.pageFile.Close()
+
+	s3 := mustOpen(t, cfg)
+	if got := s3.Len(); got != base+extra-1 {
+		t.Fatalf("recovered Len = %d, want %d", got, base+extra-1)
+	}
+	if _, _, ok := s3.Get(key(0)); ok {
+		t.Fatal("replayed delete resurrected its key")
+	}
+	for i := 1; i < base+extra; i++ {
+		v, ver, ok := s3.Get(key(i))
+		if !ok || string(v) != fmt.Sprintf("val%d", i) || ver != uint64(i) {
+			t.Fatalf("recovered Get(%s) = %q v%d ok=%v — key lost to a stale bloom/count", key(i), v, ver, ok)
+		}
+	}
+	// Delete is bloom-gated too: a recovered key must stay deletable.
+	s3.Delete(key(base + 1))
+	if _, _, ok := s3.Get(key(base + 1)); ok {
+		t.Fatal("post-recovery delete of a replayed key did not stick")
+	}
+	if got := s3.Len(); got != base+extra-2 {
+		t.Fatalf("Len after post-recovery delete = %d, want %d", got, base+extra-2)
+	}
+}
+
+// TestEvictionFlushesWALFirst crashes without ever syncing: the only WAL
+// flushes are the ones dirty-page eviction performs before write-back.
+// Recovery must land on an exact record-aligned prefix of the operation
+// sequence — pages on disk may never hold writes the log does not
+// (regression: eviction used to write back unlogged mutations).
+func TestEvictionFlushesWALFirst(t *testing.T) {
+	cfg := testConfig(t)
+	cfg.WALFlushBytes = 1 << 30 // group commit never fires on its own
+	const base, extra = 1000, 3000
+	key := func(i int) string { return fmt.Sprintf("key%05d", i) }
+	s, err := Open(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := 0; i < base; i++ {
+		s.Set(key(i), []byte(fmt.Sprintf("val%d", i)), uint64(i))
+	}
+	if err := s.Close(); err != nil {
+		t.Fatal(err)
+	}
+
+	s2, err := Open(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := base; i < base+extra; i++ {
+		s2.Set(key(i), []byte(fmt.Sprintf("val%d", i)), uint64(i))
+	}
+	if st := s2.Stats(); st.Evictions == 0 {
+		t.Fatal("no evictions before the crash — nothing forced a WAL flush")
+	}
+	// Crash with the group-commit buffer unflushed.
+	s2.wal.f.Close()
+	s2.pageFile.Close()
+
+	s3 := mustOpen(t, cfg)
+	n := s3.Len()
+	if n < base {
+		t.Fatalf("recovery lost checkpointed keys: Len %d < %d", n, base)
+	}
+	if got := len(s3.Keys()); got != n {
+		t.Fatalf("Len %d but %d live keys on pages — index out of sync with unlogged writes", n, got)
+	}
+	for i := 0; i < base+extra; i++ {
+		_, _, ok := s3.Get(key(i))
+		if want := i < n; ok != want {
+			t.Fatalf("recovered state is not a prefix: Get(%s) ok=%v with Len %d", key(i), ok, n)
+		}
+	}
+}
+
 // TestWALTornTail truncates the log mid-record at every boundary around the
 // last few records: replay must recover exactly the whole-record prefix and
 // never error, mirroring a crash that tore the final write.
@@ -151,6 +266,9 @@ func TestWALCorruptMiddle(t *testing.T) {
 func TestWALGroupCommitBatches(t *testing.T) {
 	cfg := testConfig(t)
 	cfg.WALFlushBytes = 4096
+	// Evicting a dirty page forces its own WAL flush; cache everything so
+	// this test isolates the threshold-driven batching.
+	cfg.CacheBytes = 4 << 20
 	s := mustOpen(t, cfg)
 	for i := 0; i < 1000; i++ {
 		s.Set(fmt.Sprintf("key%04d", i), []byte("0123456789abcdef"), uint64(i))
