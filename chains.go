@@ -3,6 +3,7 @@ package hammer
 import (
 	"time"
 
+	"hammer/internal/chains/committee"
 	"hammer/internal/chains/ethereum"
 	"hammer/internal/chains/fabric"
 	"hammer/internal/chains/meepo"
@@ -26,6 +27,9 @@ type (
 	NeuchainConfig = neuchain.Config
 	// MeepoConfig parameterises the sharded Meepo simulator.
 	MeepoConfig = meepo.Config
+	// CommitteeConfig parameterises the Tendermint-style BFT committee
+	// simulator.
+	CommitteeConfig = committee.Config
 	// Playbook is a declarative JSON deployment description.
 	Playbook = deploy.Playbook
 )
@@ -53,6 +57,12 @@ func DefaultMeepoConfig() MeepoConfig { return meepo.DefaultConfig() }
 
 // NewMeepo builds the simulated sharded Meepo deployment on the scheduler.
 func NewMeepo(s Sched, cfg MeepoConfig) Blockchain { return meepo.New(s, cfg) }
+
+// DefaultCommitteeConfig is a 4-validator committee with ~250 ms rounds.
+func DefaultCommitteeConfig() CommitteeConfig { return committee.DefaultConfig() }
+
+// NewCommittee builds the simulated BFT committee chain on the scheduler.
+func NewCommittee(s Sched, cfg CommitteeConfig) Blockchain { return committee.New(s, cfg) }
 
 // SmallBank is the benchmark contract the paper evaluates with; deploy it
 // on custom chains that should serve the standard workload.

@@ -42,7 +42,7 @@ func main() {
 
 func run() error {
 	var (
-		exp         = flag.String("exp", "all", "experiment: fig1|fig6|fig7|fig8|fig9|fig10|correctness|distributed|all, plus faults, schedbench, conformance, loadplane, blockbench and storebench (explicit only); 'list' prints them all")
+		exp         = flag.String("exp", "all", "experiment: fig1|fig6|fig7|fig8|fig9|fig10|correctness|distributed|all, plus faults, families, schedbench, conformance, loadplane, blockbench and storebench (explicit only); 'list' prints them all")
 		quick       = flag.Bool("quick", false, "shrink workloads for a fast smoke run")
 		outDir      = flag.String("out", "results", "directory for CSV export")
 		seed        = flag.Int64("seed", 7, "random seed")
@@ -64,6 +64,7 @@ func run() error {
 		sbAccounts  = flag.Int("sb-accounts", 1_000_000, "paged-store population for -exp storebench")
 		sbOps       = flag.Int("sb-ops", 1_000_000, "operations per measured storebench phase")
 		sbBaseline  = flag.Int("sb-baseline", 1_000_000, "in-RAM baseline population for -exp storebench (0 skips the baseline)")
+		crossRate   = flag.Float64("cross-rate", 0, "cross-shard transfer fraction for -exp families (0 = the 0.2 default)")
 	)
 	flag.Parse()
 	if *events < 1 {
@@ -102,6 +103,7 @@ func run() error {
 	opts.StateBackend = *stateKind
 	opts.StateCacheMB = *stateCache
 	opts.StateDir = *stateDir
+	opts.CrossShardRate = *crossRate
 	opts.States = experiments.NewStateRuntime()
 	defer opts.States.Close()
 	opts.OnProgress = progressPrinter(reg)
@@ -150,6 +152,7 @@ func run() error {
 	// is a paper figure, so "all" includes neither.
 	explicit := []step{
 		{"faults", func() (float64, error) { return runFaults(ctx, opts, *outDir) }},
+		{"families", func() (float64, error) { return runFamilies(ctx, opts, *outDir) }},
 		{"schedbench", func() (float64, error) { return 0, runSchedBench(*outDir, traj, *events, *schedShards) }},
 		{"conformance", func() (float64, error) { return 0, runConformance(ctx, opts, *outDir) }},
 		{"loadplane", func() (float64, error) {
@@ -276,6 +279,31 @@ func runFaults(ctx context.Context, opts experiments.Options, outDir string) (fl
 	return peak, viz.Export(os.Stdout, outDir,
 		viz.Dataset{Name: "faults_resilience.csv", Header: header, Rows: csvRows},
 		viz.Dataset{Name: "faults_timeline.csv", Header: tlHeader, Rows: tlRows})
+}
+
+// runFamilies sweeps the two consensus families along their scale axis —
+// Meepo across shard counts, the BFT committee across committee sizes — with
+// a healthy, a crash-and-heal, and an N-way-partition scenario per point.
+func runFamilies(ctx context.Context, opts experiments.Options, outDir string) (float64, error) {
+	rows, err := experiments.Families(ctx, opts)
+	if err != nil {
+		return 0, err
+	}
+	var peak float64
+	for _, r := range rows {
+		fmt.Println(r)
+		if r.Throughput > peak {
+			peak = r.Throughput
+		}
+	}
+	faultSec := opts.MeasureSeconds / 3
+	healSec := 2 * opts.MeasureSeconds / 3
+	fmt.Printf("fault scenarios injected at t=%ds, healed at t=%ds\n", faultSec, healSec)
+	header, csvRows := experiments.FamiliesCSV(rows)
+	tlHeader, tlRows := experiments.FamiliesTimelineCSV(rows)
+	return peak, viz.Export(os.Stdout, outDir,
+		viz.Dataset{Name: "families.csv", Header: header, Rows: csvRows},
+		viz.Dataset{Name: "families_timeline.csv", Header: tlHeader, Rows: tlRows})
 }
 
 // runConformance sweeps every chain through the invariant and conformance

@@ -35,7 +35,7 @@ func main() {
 
 func run() error {
 	var (
-		chainKind    = flag.String("chain", "fabric", "SUT to deploy: ethereum|fabric|neuchain|meepo")
+		chainKind    = flag.String("chain", "fabric", "SUT to deploy: ethereum|fabric|neuchain|meepo|committee")
 		workloadKind = flag.String("workload", "smallbank", "workload: smallbank | ycsb-a..ycsb-f")
 		playbook     = flag.String("playbook", "", "JSON deployment playbook (overrides -chain)")
 		rate         = flag.Float64("rate", 200, "offered load in tx/s")
@@ -231,6 +231,10 @@ func buildChain(sched *hammer.Scheduler, playbookPath, kind, stateKind string, s
 		cfg := hammer.DefaultMeepoConfig()
 		cfg.State = factory
 		return hammer.NewMeepo(sched, cfg), nil
+	case "committee":
+		cfg := hammer.DefaultCommitteeConfig()
+		cfg.State = factory
+		return hammer.NewCommittee(sched, cfg), nil
 	default:
 		return nil, fmt.Errorf("unknown chain %q (want one of %v)", kind, hammer.ChainKinds())
 	}

@@ -61,7 +61,7 @@ func TestPublicAPIPlaybook(t *testing.T) {
 	if bc.Name() != "neuchain" {
 		t.Fatalf("deployed %q", bc.Name())
 	}
-	if len(hammer.ChainKinds()) != 4 {
+	if len(hammer.ChainKinds()) != 5 {
 		t.Fatalf("kinds %v", hammer.ChainKinds())
 	}
 }

@@ -1,0 +1,62 @@
+package committee
+
+import (
+	"bytes"
+	"testing"
+
+	"hammer/internal/chain"
+)
+
+// FuzzCommitteeVotes fuzzes the round-message decoders and the quorum
+// arithmetic behind them: arbitrary bytes must never panic, anything that
+// decodes must round-trip bit-for-bit, and however hostile the decoded votes
+// are, a Tally must never count past the committee size or report a quorum
+// below the 2/3+1 threshold.
+func FuzzCommitteeVotes(f *testing.F) {
+	f.Add(EncodeVote(Vote{Height: 1, Round: 0, Kind: Prevote, Validator: 0}))
+	f.Add(EncodeVote(Vote{Height: 9, Round: 2, Kind: Precommit, Validator: 3,
+		BlockHash: chain.Hash{0xaa, 0xbb}}))
+	f.Add(EncodeVotes([]Vote{
+		{Height: 5, Round: 1, Kind: Prevote, Validator: 0},
+		{Height: 5, Round: 1, Kind: Prevote, Validator: 2},
+		{Height: 5, Round: 1, Kind: Prevote, Validator: 3},
+	}))
+	f.Add([]byte{})
+	f.Add([]byte{voteMagic})
+	f.Add(bytes.Repeat([]byte{0xff}, VoteSize))
+
+	f.Fuzz(func(t *testing.T, raw []byte) {
+		if v, err := DecodeVote(raw); err == nil {
+			if got := EncodeVote(v); !bytes.Equal(got, raw) {
+				t.Fatalf("vote round trip diverged:\n in %x\nout %x", raw, got)
+			}
+		}
+		votes, err := DecodeVotes(raw)
+		if err != nil {
+			return
+		}
+		if got := EncodeVotes(votes); !bytes.Equal(got, raw) {
+			t.Fatalf("vote-set round trip diverged:\n in %x\nout %x", raw, got)
+		}
+		if len(votes) == 0 {
+			return
+		}
+		// Bounded quorum math: feed the decoded set (plus duplicates) into a
+		// tally targeted at the first vote; the count must stay within the
+		// committee and Reached must agree with the threshold.
+		lead := votes[0]
+		for _, size := range []int{1, 4, 7} {
+			tl := NewTally(lead.Height, lead.Round, lead.Kind, lead.BlockHash, size)
+			for _, v := range votes {
+				tl.Add(v)
+				tl.Add(v) // replays must not double-count
+			}
+			if tl.Count() > size {
+				t.Fatalf("tally counted %d votes in a committee of %d", tl.Count(), size)
+			}
+			if tl.Reached() != (tl.Count() >= Quorum(size)) {
+				t.Fatalf("Reached()=%v disagrees with count %d vs quorum %d", tl.Reached(), tl.Count(), Quorum(size))
+			}
+		}
+	})
+}

@@ -1,0 +1,204 @@
+package committee
+
+import (
+	"encoding/binary"
+	"errors"
+	"fmt"
+
+	"hammer/internal/chain"
+)
+
+// Vote wire format and quorum math for the committee's round messages. The
+// chain itself counts votes through Tally, so the same bounded arithmetic the
+// fuzz target hammers is what decides consensus in simulation runs.
+
+// VoteKind tags a round message's phase.
+type VoteKind uint8
+
+// Round message kinds.
+const (
+	// Prevote is the first voting phase: a validator has seen the proposal.
+	Prevote VoteKind = 1
+	// Precommit is the second phase: a validator has seen a prevote quorum.
+	Precommit VoteKind = 2
+)
+
+func (k VoteKind) String() string {
+	switch k {
+	case Prevote:
+		return "prevote"
+	case Precommit:
+		return "precommit"
+	default:
+		return fmt.Sprintf("votekind(%d)", uint8(k))
+	}
+}
+
+// MaxCommittee bounds validator indices on the wire; decoders reject
+// anything larger so a hostile message cannot size allocations.
+const MaxCommittee = 1 << 16
+
+// Vote is one validator's signed round message for a proposed block.
+type Vote struct {
+	Height    uint64
+	Round     uint32
+	Kind      VoteKind
+	Validator uint32
+	BlockHash chain.Hash
+}
+
+// Wire layout: magic, kind, height, round, validator, block hash.
+const (
+	voteMagic = 0xC7
+	// VoteSize is the encoded size of one vote in bytes.
+	VoteSize = 1 + 1 + 8 + 4 + 4 + 32
+	// maxVotesPerMessage bounds a vote-set message; a committee never needs
+	// more than one vote per validator per phase.
+	maxVotesPerMessage = MaxCommittee
+)
+
+// EncodeVote serialises one vote into its fixed 50-byte wire form.
+func EncodeVote(v Vote) []byte {
+	buf := make([]byte, VoteSize)
+	buf[0] = voteMagic
+	buf[1] = byte(v.Kind)
+	binary.BigEndian.PutUint64(buf[2:], v.Height)
+	binary.BigEndian.PutUint32(buf[10:], v.Round)
+	binary.BigEndian.PutUint32(buf[14:], v.Validator)
+	copy(buf[18:], v.BlockHash[:])
+	return buf
+}
+
+// DecodeVote parses one vote, rejecting short input, trailing bytes, bad
+// magic, unknown kinds and out-of-range validator indices.
+func DecodeVote(data []byte) (Vote, error) {
+	var v Vote
+	if len(data) != VoteSize {
+		return v, fmt.Errorf("committee: vote is %d bytes, want %d", len(data), VoteSize)
+	}
+	if data[0] != voteMagic {
+		return v, fmt.Errorf("committee: bad vote magic 0x%02x", data[0])
+	}
+	v.Kind = VoteKind(data[1])
+	if v.Kind != Prevote && v.Kind != Precommit {
+		return v, fmt.Errorf("committee: unknown vote kind %d", data[1])
+	}
+	v.Height = binary.BigEndian.Uint64(data[2:])
+	v.Round = binary.BigEndian.Uint32(data[10:])
+	v.Validator = binary.BigEndian.Uint32(data[14:])
+	if v.Validator >= MaxCommittee {
+		return v, fmt.Errorf("committee: validator index %d exceeds the committee bound %d", v.Validator, MaxCommittee)
+	}
+	copy(v.BlockHash[:], data[18:])
+	return v, nil
+}
+
+// EncodeVotes serialises a vote set (a quorum certificate) as a big-endian
+// count followed by the fixed-size votes.
+func EncodeVotes(votes []Vote) []byte {
+	buf := make([]byte, 4, 4+len(votes)*VoteSize)
+	binary.BigEndian.PutUint32(buf, uint32(len(votes)))
+	for _, v := range votes {
+		buf = append(buf, EncodeVote(v)...)
+	}
+	return buf
+}
+
+// DecodeVotes parses a vote-set message with a bounded count: the declared
+// length must match the payload exactly and stay under maxVotesPerMessage,
+// so a forged header cannot drive allocation.
+func DecodeVotes(data []byte) ([]Vote, error) {
+	if len(data) < 4 {
+		return nil, errors.New("committee: vote set shorter than its count header")
+	}
+	n := binary.BigEndian.Uint32(data)
+	if n > maxVotesPerMessage {
+		return nil, fmt.Errorf("committee: vote set declares %d votes, bound is %d", n, maxVotesPerMessage)
+	}
+	body := data[4:]
+	if len(body) != int(n)*VoteSize {
+		return nil, fmt.Errorf("committee: vote set body is %d bytes, want %d for %d votes", len(body), int(n)*VoteSize, n)
+	}
+	votes := make([]Vote, 0, n)
+	for i := 0; i < int(n); i++ {
+		v, err := DecodeVote(body[i*VoteSize : (i+1)*VoteSize])
+		if err != nil {
+			return nil, fmt.Errorf("committee: vote %d: %w", i, err)
+		}
+		votes = append(votes, v)
+	}
+	return votes, nil
+}
+
+// MaxFaulty is the number of Byzantine validators an n-member committee
+// tolerates: f = (n-1)/3.
+func MaxFaulty(n int) int {
+	if n < 1 {
+		return 0
+	}
+	return (n - 1) / 3
+}
+
+// Quorum is the vote count needed to decide: strictly more than two thirds
+// of the committee.
+func Quorum(n int) int {
+	if n < 1 {
+		return 1
+	}
+	return 2*n/3 + 1
+}
+
+// Tally counts distinct validators' votes toward one (height, round, kind,
+// block) target. It is equivocation-safe: a validator is counted at most
+// once however many copies of its vote arrive, and votes for any other
+// target or an out-of-range validator are rejected rather than counted.
+type Tally struct {
+	height    uint64
+	round     uint32
+	kind      VoteKind
+	blockHash chain.Hash
+	committee int
+	seen      []uint64 // validator bitset
+	count     int
+}
+
+// NewTally builds a tally for one voting target in a committee of the given
+// size. Sizes outside [1, MaxCommittee] are clamped.
+func NewTally(height uint64, round uint32, kind VoteKind, blockHash chain.Hash, committee int) *Tally {
+	if committee < 1 {
+		committee = 1
+	}
+	if committee > MaxCommittee {
+		committee = MaxCommittee
+	}
+	return &Tally{
+		height: height, round: round, kind: kind, blockHash: blockHash,
+		committee: committee,
+		seen:      make([]uint64, (committee+63)/64),
+	}
+}
+
+// Add counts the vote if it matches the tally's target, comes from an
+// in-range validator, and is that validator's first counted vote. It
+// reports whether the count advanced.
+func (t *Tally) Add(v Vote) bool {
+	if v.Height != t.height || v.Round != t.round || v.Kind != t.kind || v.BlockHash != t.blockHash {
+		return false
+	}
+	if int(v.Validator) >= t.committee {
+		return false
+	}
+	word, bit := v.Validator/64, uint64(1)<<(v.Validator%64)
+	if t.seen[word]&bit != 0 {
+		return false
+	}
+	t.seen[word] |= bit
+	t.count++
+	return true
+}
+
+// Count reports how many distinct validators have voted for the target.
+func (t *Tally) Count() int { return t.count }
+
+// Reached reports whether the tally holds a quorum.
+func (t *Tally) Reached() bool { return t.count >= Quorum(t.committee) }

@@ -1,0 +1,129 @@
+package committee
+
+import (
+	"strings"
+	"testing"
+
+	"hammer/internal/chain"
+)
+
+func TestVoteRoundTrip(t *testing.T) {
+	v := Vote{Height: 42, Round: 3, Kind: Precommit, Validator: 17,
+		BlockHash: chain.Hash{1, 2, 3, 0xff}}
+	raw := EncodeVote(v)
+	if len(raw) != VoteSize {
+		t.Fatalf("encoded %d bytes, want %d", len(raw), VoteSize)
+	}
+	got, err := DecodeVote(raw)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got != v {
+		t.Fatalf("round trip changed the vote: %+v -> %+v", v, got)
+	}
+}
+
+func TestDecodeVoteRejects(t *testing.T) {
+	good := EncodeVote(Vote{Height: 1, Kind: Prevote})
+	cases := []struct {
+		name string
+		raw  []byte
+		want string
+	}{
+		{"short", good[:10], "bytes"},
+		{"trailing", append(append([]byte{}, good...), 0), "bytes"},
+		{"bad magic", append([]byte{0x00}, good[1:]...), "magic"},
+		{"bad kind", func() []byte {
+			b := append([]byte{}, good...)
+			b[1] = 9
+			return b
+		}(), "unknown vote kind"},
+		{"validator out of range", EncodeVote(Vote{Kind: Prevote, Validator: MaxCommittee}), "committee bound"},
+	}
+	for _, tc := range cases {
+		if _, err := DecodeVote(tc.raw); err == nil || !strings.Contains(err.Error(), tc.want) {
+			t.Errorf("%s: err = %v, want substring %q", tc.name, err, tc.want)
+		}
+	}
+}
+
+func TestVoteSetRoundTripAndBounds(t *testing.T) {
+	votes := []Vote{
+		{Height: 9, Round: 1, Kind: Prevote, Validator: 0},
+		{Height: 9, Round: 1, Kind: Prevote, Validator: 3},
+	}
+	raw := EncodeVotes(votes)
+	got, err := DecodeVotes(raw)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(got) != 2 || got[0] != votes[0] || got[1] != votes[1] {
+		t.Fatalf("round trip changed the set: %+v", got)
+	}
+	if _, err := DecodeVotes(raw[:3]); err == nil {
+		t.Error("truncated header should be rejected")
+	}
+	// A forged count must not drive allocation: header says huge, body tiny.
+	forged := append([]byte{0xff, 0xff, 0xff, 0xff}, raw[4:]...)
+	if _, err := DecodeVotes(forged); err == nil || !strings.Contains(err.Error(), "bound") {
+		t.Errorf("forged count: err = %v", err)
+	}
+	// Declared count must match the body exactly.
+	if _, err := DecodeVotes(append(raw, 0x01)); err == nil {
+		t.Error("trailing bytes should be rejected")
+	}
+}
+
+func TestQuorumMath(t *testing.T) {
+	cases := []struct{ n, quorum, faulty int }{
+		{1, 1, 0}, {2, 2, 0}, {3, 3, 0}, {4, 3, 1},
+		{7, 5, 2}, {10, 7, 3}, {64, 43, 21},
+	}
+	for _, tc := range cases {
+		if got := Quorum(tc.n); got != tc.quorum {
+			t.Errorf("Quorum(%d) = %d, want %d", tc.n, got, tc.quorum)
+		}
+		if got := MaxFaulty(tc.n); got != tc.faulty {
+			t.Errorf("MaxFaulty(%d) = %d, want %d", tc.n, got, tc.faulty)
+		}
+		// A quorum must be unreachable for the faulty minority alone and
+		// always survive n - f honest votes.
+		if tc.faulty >= tc.quorum {
+			t.Errorf("n=%d: %d faulty validators could reach the quorum %d", tc.n, tc.faulty, tc.quorum)
+		}
+		if tc.n-tc.faulty < tc.quorum {
+			t.Errorf("n=%d: %d honest validators cannot reach the quorum %d", tc.n, tc.n-tc.faulty, tc.quorum)
+		}
+	}
+}
+
+func TestTallyEquivocationSafe(t *testing.T) {
+	hash := chain.Hash{7}
+	tl := NewTally(5, 2, Prevote, hash, 4)
+	vote := func(val uint32) Vote {
+		return Vote{Height: 5, Round: 2, Kind: Prevote, Validator: val, BlockHash: hash}
+	}
+	if !tl.Add(vote(0)) || tl.Add(vote(0)) {
+		t.Fatal("duplicate vote must count once")
+	}
+	if tl.Add(Vote{Height: 5, Round: 3, Kind: Prevote, Validator: 1, BlockHash: hash}) {
+		t.Fatal("wrong-round vote must not count")
+	}
+	if tl.Add(Vote{Height: 5, Round: 2, Kind: Precommit, Validator: 1, BlockHash: hash}) {
+		t.Fatal("wrong-kind vote must not count")
+	}
+	if tl.Add(Vote{Height: 5, Round: 2, Kind: Prevote, Validator: 1, BlockHash: chain.Hash{8}}) {
+		t.Fatal("wrong-block vote must not count")
+	}
+	if tl.Add(vote(99)) {
+		t.Fatal("out-of-committee vote must not count")
+	}
+	if tl.Reached() {
+		t.Fatal("1 vote is no quorum of 4")
+	}
+	tl.Add(vote(1))
+	tl.Add(vote(2))
+	if !tl.Reached() || tl.Count() != 3 {
+		t.Fatalf("count=%d reached=%v, want 3/true", tl.Count(), tl.Reached())
+	}
+}

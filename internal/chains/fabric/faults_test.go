@@ -1,0 +1,198 @@
+package fabric
+
+import (
+	"errors"
+	"strconv"
+	"testing"
+	"time"
+
+	"hammer/internal/chain"
+	"hammer/internal/eventsim"
+)
+
+// A zero Config picks up every default so playbooks can override fields
+// selectively.
+func TestZeroConfigDefaults(t *testing.T) {
+	c := New(eventsim.New(), Config{})
+	def := DefaultConfig()
+	if c.cfg.Peers != def.Peers || c.cfg.CoresPerNode != def.CoresPerNode {
+		t.Fatalf("topology defaults not applied: %+v", c.cfg)
+	}
+	if c.cfg.EndorseCost != def.EndorseCost || c.cfg.OrderCostPerTx != def.OrderCostPerTx ||
+		c.cfg.ValidateCostPerTx != def.ValidateCostPerTx || c.cfg.CommitCostPerBlock != def.CommitCostPerBlock {
+		t.Fatalf("cost defaults not applied: %+v", c.cfg)
+	}
+	if c.cfg.MaxMessages != def.MaxMessages || c.cfg.BatchTimeout != def.BatchTimeout ||
+		c.cfg.PendingCap != def.PendingCap || c.cfg.TxBytes != def.TxBytes {
+		t.Fatalf("batching defaults not applied: %+v", c.cfg)
+	}
+	if c.Network() == nil {
+		t.Fatal("Network() must expose the cluster network for fault injection")
+	}
+}
+
+// Partitioning the client away from every endorsing peer refuses submissions
+// the same way an all-peer crash does: the SDK cannot open a connection.
+func TestClientPartitionRefusesSubmission(t *testing.T) {
+	cfg := DefaultConfig()
+	_, c := newChain(t, cfg)
+	c.Start()
+	peers := make([]string, cfg.Peers)
+	for i := range peers {
+		peers[i] = peerName(i)
+	}
+	c.Network().Partition([]string{"client"}, peers)
+	if _, err := c.Submit(createTx("x")); !errors.Is(err, chain.ErrUnavailable) {
+		t.Fatalf("submit with all peers unreachable: %v, want ErrUnavailable", err)
+	}
+	c.Network().Heal()
+	if _, err := c.Submit(createTx("x")); err != nil {
+		t.Fatalf("submit after heal: %v", err)
+	}
+}
+
+// A transaction whose endorsement fails (transfer from a nonexistent
+// account) still flows through ordering and aborts at validation, matching
+// Fabric's execute-order-validate behaviour.
+func TestEndorsementErrorAbortsAtValidation(t *testing.T) {
+	cfg := DefaultConfig()
+	cfg.MaxMessages = 1
+	sched, c := newChain(t, cfg)
+	c.Start()
+	if _, err := c.Submit(transferTx("ghost", "nobody", 5, 1)); err != nil {
+		t.Fatal(err)
+	}
+	sched.RunUntil(10 * time.Second)
+	log := c.AuditLog()
+	if len(log) != 1 || log[0].Status != chain.StatusAborted {
+		t.Fatalf("audit log %+v, want one aborted entry", log)
+	}
+	if c.PendingTxs() != 0 {
+		t.Fatalf("%d pending after the abort drained", c.PendingTxs())
+	}
+}
+
+// A transaction against an undeployed contract aborts the same way.
+func TestUnknownContractAborts(t *testing.T) {
+	cfg := DefaultConfig()
+	cfg.MaxMessages = 1
+	sched, c := newChain(t, cfg)
+	c.Start()
+	tx := &chain.Transaction{Contract: "nope", Op: "x"}
+	tx.ComputeID()
+	if _, err := c.Submit(tx); err != nil {
+		t.Fatal(err)
+	}
+	sched.RunUntil(10 * time.Second)
+	log := c.AuditLog()
+	if len(log) != 1 || log[0].Status != chain.StatusAborted {
+		t.Fatalf("audit log %+v, want one aborted entry", log)
+	}
+}
+
+// A peer that crashes with proposals in flight loses them: the client-side
+// send and the endorsement callback both strand the transaction.
+func TestPeerCrashMidEndorsementStrands(t *testing.T) {
+	cfg := DefaultConfig()
+	cfg.Peers = 1 // every submission lands on peer-0
+	sched, c := newChain(t, cfg)
+	c.Start()
+	for i := 0; i < 4; i++ {
+		if _, err := c.Submit(createTx("m" + strconv.Itoa(i))); err != nil {
+			t.Fatal(err)
+		}
+	}
+	// Crash before the scheduler delivers anything: the proposals are on the
+	// wire and die at the peer.
+	c.CrashNode(peerName(0))
+	sched.RunUntil(10 * time.Second)
+	if c.Stranded() != 4 {
+		t.Fatalf("Stranded = %d, want 4", c.Stranded())
+	}
+	if c.PendingTxs() != 0 {
+		t.Fatalf("%d pending after stranding", c.PendingTxs())
+	}
+	if c.Height(0) != 0 {
+		t.Fatalf("height %d with the only endorser down", c.Height(0))
+	}
+}
+
+// Severing the peer->orderer links strands endorsed transactions that can no
+// longer reach ordering.
+func TestPeerOrdererPartitionStrands(t *testing.T) {
+	cfg := DefaultConfig()
+	sched, c := newChain(t, cfg)
+	c.Start()
+	peers := make([]string, cfg.Peers)
+	for i := range peers {
+		peers[i] = peerName(i)
+	}
+	for i := 0; i < 6; i++ {
+		if _, err := c.Submit(createTx("p" + strconv.Itoa(i))); err != nil {
+			t.Fatal(err)
+		}
+	}
+	// Cut ordering off before the endorsements complete.
+	c.Network().Partition(append(peers, "client"), []string{"orderer"})
+	sched.RunUntil(10 * time.Second)
+	if c.Stranded() != 6 {
+		t.Fatalf("Stranded = %d, want 6", c.Stranded())
+	}
+	if c.Height(0) != 0 {
+		t.Fatalf("height %d with ordering unreachable", c.Height(0))
+	}
+}
+
+// A committing-peer crash after the block is ordered strands the whole
+// batch: ordered-but-undelivered blocks never commit.
+func TestCommittingPeerCrashStrandsOrderedBlock(t *testing.T) {
+	cfg := DefaultConfig()
+	cfg.Peers = 2
+	cfg.MaxMessages = 1000
+	cfg.BatchTimeout = time.Hour
+	sched, c := newChain(t, cfg)
+	c.Start()
+	for i := 0; i < 5; i++ {
+		if _, err := c.Submit(createTx("q" + strconv.Itoa(i))); err != nil {
+			t.Fatal(err)
+		}
+	}
+	// Let endorsements land in the orderer's batch, then kill the committing
+	// peer and force a cut: delivery to peer-0 fails and the batch strands.
+	sched.RunUntil(time.Second)
+	c.CrashNode(peerName(0))
+	c.CrashNode("orderer")
+	c.RestartNode("orderer") // restart hook cuts the parked batch
+	sched.RunUntil(sched.Now() + 10*time.Second)
+	if c.Height(0) != 0 {
+		t.Fatalf("height %d with the committing peer down", c.Height(0))
+	}
+	if c.Stranded() == 0 {
+		t.Fatal("ordered-but-undeliverable batch must strand")
+	}
+	if c.PendingTxs() != 0 {
+		t.Fatalf("%d pending after stranding", c.PendingTxs())
+	}
+}
+
+// Partitioning the orderer away from the committing peer has the same
+// effect as crashing it: ordered blocks cannot be delivered.
+func TestOrdererCommitterPartitionStrands(t *testing.T) {
+	cfg := DefaultConfig()
+	cfg.MaxMessages = 3
+	sched, c := newChain(t, cfg)
+	c.Start()
+	c.Network().Partition([]string{"orderer"}, []string{peerName(0)})
+	for i := 0; i < 3; i++ {
+		if _, err := c.Submit(createTx("r" + strconv.Itoa(i))); err != nil {
+			t.Fatal(err)
+		}
+	}
+	sched.RunUntil(10 * time.Second)
+	if c.Height(0) != 0 {
+		t.Fatalf("height %d with orderer->committer severed", c.Height(0))
+	}
+	if c.Stranded() != 3 {
+		t.Fatalf("Stranded = %d, want 3", c.Stranded())
+	}
+}

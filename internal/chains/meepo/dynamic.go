@@ -7,41 +7,45 @@ import (
 	"hammer/internal/chains/basechain"
 )
 
-// Dynamic shard formation (paper §II-A2: "the network dynamically forms new
-// shards to optimize performance"). When every shard's admission queue has
-// sat above SplitBacklogFrac of its cap for SplitPatience consecutive
-// epochs, the shard count doubles during a quiesced reconfiguration epoch:
-// queued transactions, cross-epoch inboxes and world-state keys are
-// re-homed by the new hash partition. A split only proceeds when no epoch
-// batch is in flight, so no in-flight write can land on a stale shard.
+// Dynamic shard reconfiguration (paper §II-A2: "the network dynamically
+// forms new shards to optimize performance"). Two triggers share one
+// mechanism:
+//
+//   - load pressure: when every active shard's admission queue has sat above
+//     SplitBacklogFrac of its cap for SplitPatience consecutive epochs, the
+//     active shard count doubles (up to MaxShards);
+//   - the Config.Reshard timeline: explicit join/leave steps at fixed
+//     virtual-time offsets, in either direction.
+//
+// Either way the chain enters a reconfiguration barrier: epoch cutting
+// pauses, in-flight batches drain, and resize executes on a quiesced
+// network — so no in-flight write can land on a stale shard. Departing
+// shards keep their sealed ledgers (heights pause, preserving the recorder's
+// contiguity invariant) and hand their queues, cross-epoch inboxes and
+// world-state keys to the surviving shards under the new hash partition.
 
-// maybeSplit is called from the epoch ticker. Once sustained pressure is
-// detected, the chain enters a reconfiguration barrier: epoch cutting
-// pauses, in-flight batches drain, and the split executes on a quiesced
-// network — so no in-flight write can land on a stale shard.
-func (c *Chain) maybeSplit() {
-	if !c.cfg.DynamicSharding {
-		return
-	}
+// maybeReshard is called from the epoch ticker.
+func (c *Chain) maybeReshard() {
 	if c.reconfiguring {
 		for _, ss := range c.shards {
 			if ss.inflight > 0 {
 				return // still draining
 			}
 		}
-		c.split()
+		c.resize(c.reshardTarget)
 		c.reconfiguring = false
+		c.reshardTarget = 0
 		return
 	}
-	if len(c.shards) >= c.cfg.MaxShards {
+	if !c.cfg.DynamicSharding || c.active >= c.cfg.MaxShards {
 		return
 	}
-	// Pressure check: all shards persistently loaded.
+	// Pressure check: all active shards persistently loaded.
 	threshold := int(c.cfg.SplitBacklogFrac * float64(c.cfg.PendingCapPerShard))
 	if threshold < 1 {
 		threshold = 1
 	}
-	for _, ss := range c.shards {
+	for _, ss := range c.shards[:c.active] {
 		if len(ss.queue)+ss.inflight < threshold {
 			c.splitPressure = 0
 			return
@@ -50,14 +54,36 @@ func (c *Chain) maybeSplit() {
 	c.splitPressure++
 	if c.splitPressure >= c.cfg.SplitPatience {
 		c.splitPressure = 0
-		c.reconfiguring = true
+		c.requestResize(c.active * 2)
 	}
 }
 
-// split doubles the shard count and re-homes queues, inboxes and state.
-func (c *Chain) split() {
-	old := len(c.shards)
-	for i := 0; i < old; i++ {
+// requestResize asks for a reconfiguration to the given active shard count,
+// clamped to [1, MaxShards]. The resize itself runs on a later epoch tick,
+// once in-flight batches have drained; if several requests land while
+// draining, the last one wins.
+func (c *Chain) requestResize(target int) {
+	if target < 1 {
+		target = 1
+	}
+	if target > c.cfg.MaxShards {
+		target = c.cfg.MaxShards
+	}
+	if target == c.active && !c.reconfiguring {
+		return
+	}
+	c.reshardTarget = target
+	c.reconfiguring = true
+}
+
+// resize sets the active shard count and re-homes queues, inboxes and state
+// under the new hash partition. It runs only on a quiesced chain (no epoch
+// batches in flight).
+func (c *Chain) resize(target int) {
+	if target == c.active {
+		return
+	}
+	for len(c.shards) < target {
 		sh := c.AddShard()
 		c.shards = append(c.shards, &shardState{
 			state: chain.NewStateFrom(c.cfg.State),
@@ -67,12 +93,13 @@ func (c *Chain) split() {
 			c.RegisterNodes(member(sh, j))
 		}
 	}
+	c.active = target
 	c.resharded++
 
-	for j := 0; j < old; j++ {
-		src := c.shards[j]
-
-		// Re-home queued transactions by their routing account.
+	// Re-home across every shard ever created: a shrinking step must empty
+	// the departing shards, and a growing step re-balances the survivors.
+	for j, src := range c.shards {
+		// Queued transactions move by their routing account.
 		keep := src.queue[:0]
 		for _, tx := range src.queue {
 			owner := tx.From
@@ -87,7 +114,7 @@ func (c *Chain) split() {
 		}
 		src.queue = keep
 
-		// Re-home pending cross-epoch credits by their destination account.
+		// Pending cross-epoch credits move by their destination account.
 		keepInbox := src.inbox[:0]
 		for _, cw := range src.inbox {
 			if dst := c.ShardOf(accountOfKey(cw.toKey)); dst != j {
@@ -98,7 +125,7 @@ func (c *Chain) split() {
 		}
 		src.inbox = keepInbox
 
-		// Migrate world-state keys whose owning account re-homed.
+		// World-state keys migrate to their owning account's new home.
 		for _, key := range src.state.Keys() {
 			account := accountOfKey(key)
 			dst := c.ShardOf(account)
@@ -124,12 +151,12 @@ func accountOfKey(key string) string {
 	return key
 }
 
-// Resharded reports how many reconfiguration splits have occurred.
+// Resharded reports how many reconfigurations (splits, joins or leaves) have
+// occurred.
 func (c *Chain) Resharded() int { return c.resharded }
 
-// newShardExec keeps split() readable; it mirrors the constructor's
+// newShardExec keeps resize() readable; it mirrors the constructor's
 // per-shard wiring.
-
 func newShardExec(c *Chain) *basechain.Compute {
 	// The new chain shard's compute timers ride the scheduler shard
 	// matching its index, like the constructor's wiring.

@@ -21,9 +21,21 @@ import (
 	"hammer/internal/smallbank"
 )
 
+// ReshardEvent is one step of a deterministic shard join/leave timeline:
+// at offset At after Start (on the virtual clock) the chain reconfigures to
+// the given active shard count. Growing the count joins shards (new or
+// previously departed ones); shrinking it removes the highest-numbered
+// shards, whose queues, inboxes and state re-home into the survivors. Each
+// step waits for in-flight epochs to drain, so it is exactly reproducible at
+// any worker or scheduler-shard count.
+type ReshardEvent struct {
+	At     time.Duration
+	Shards int
+}
+
 // Config parameterises the simulated Meepo deployment.
 type Config struct {
-	// Shards is the number of static shards (paper: 2).
+	// Shards is the number of shards active at start (paper: 2; any N >= 1).
 	Shards int
 	// MembersPerShard is the number of consenting nodes per shard
 	// (paper: 3 nodes participate in both shards).
@@ -47,6 +59,11 @@ type Config struct {
 	SplitBacklogFrac float64
 	SplitPatience    int
 	MaxShards        int
+	// Reshard is an optional deterministic join/leave timeline, applied on
+	// the virtual clock independently of DynamicSharding. Targets are
+	// clamped to [1, MaxShards]; MaxShards is raised automatically to cover
+	// the timeline and the initial shard count.
+	Reshard []ReshardEvent
 	// TxBytes approximates the wire size of a transaction.
 	TxBytes int
 	// Net configures the cluster network.
@@ -108,9 +125,14 @@ type Chain struct {
 	// the cross-epoch, which the conservation invariant accounts for.
 	crossDebited     map[chain.TxID]int64
 	crossOutstanding int64
-	// dynamic sharding state
+	// dynamic sharding state. active is the number of currently consenting
+	// shards — always a prefix of c.shards, so departed shards keep their
+	// (paused) basechain ledgers and can rejoin later. reshardTarget is the
+	// pending reconfiguration goal while draining in-flight epochs.
+	active        int
 	splitPressure int
 	reconfiguring bool
+	reshardTarget int
 	resharded     int
 }
 
@@ -152,10 +174,18 @@ func New(sched eventsim.Sched, cfg Config) *Chain {
 	if cfg.MaxShards <= 0 {
 		cfg.MaxShards = 8
 	}
+	if cfg.MaxShards < cfg.Shards {
+		cfg.MaxShards = cfg.Shards
+	}
+	for _, ev := range cfg.Reshard {
+		if ev.Shards > cfg.MaxShards {
+			cfg.MaxShards = ev.Shards
+		}
+	}
 	if cfg.TxBytes <= 0 {
 		cfg.TxBytes = def.TxBytes
 	}
-	c := &Chain{cfg: cfg, crossDebited: make(map[chain.TxID]int64)}
+	c := &Chain{cfg: cfg, active: cfg.Shards, crossDebited: make(map[chain.TxID]int64)}
 	c.Init("meepo", sched, cfg.Shards)
 	c.net = netsim.New(sched, cfg.Net)
 	for i := 0; i < cfg.Shards; i++ {
@@ -196,13 +226,26 @@ func (c *Chain) shardQuorum(sh int) (proposer, follower string, ok bool) {
 	return alive[0], alive[1], true
 }
 
-// ShardOf maps an account name to its home shard by hash, matching the
-// paper's static account distribution.
-func (c *Chain) ShardOf(account string) int {
+// ShardIndex maps an account name to its home shard among n shards by FNV-1a
+// hash — the paper's static account distribution, exposed as a pure function
+// so workload generators can steer a target cross-shard rate with the same
+// mapping the chain routes by.
+func ShardIndex(account string, n int) int {
 	h := fnv.New32a()
 	h.Write([]byte(account))
-	return int(h.Sum32() % uint32(len(c.shards)))
+	return int(h.Sum32() % uint32(n))
 }
+
+// ShardOf maps an account name to its home shard among the currently active
+// shards. The mapping shifts at each reshard step, which is what re-homes
+// accounts when shards join or leave.
+func (c *Chain) ShardOf(account string) int {
+	return ShardIndex(account, c.active)
+}
+
+// ActiveShards reports how many shards are currently consenting; departed
+// shards keep their ledgers but cut no epochs until they rejoin.
+func (c *Chain) ActiveShards() int { return c.active }
 
 // Submit implements chain.Blockchain: the transaction is routed to the home
 // shard of its sender (From, falling back to the first argument).
@@ -238,19 +281,29 @@ func (c *Chain) PendingTxs() int {
 	return n
 }
 
-// Start implements chain.Blockchain: every shard begins its epoch cycle.
+// Start implements chain.Blockchain: every active shard begins its epoch
+// cycle, and the configured reshard timeline is armed relative to now.
 func (c *Chain) Start() {
 	if !c.MarkStarted() {
 		return
 	}
 	c.epochs = c.Sched.EveryKey(eventsim.Key("meepo/epochs"), c.cfg.EpochInterval, func() {
 		if !c.reconfiguring {
-			for sh := range c.shards {
+			for sh := 0; sh < c.active; sh++ {
 				c.runEpoch(sh)
 			}
 		}
-		c.maybeSplit()
+		c.maybeReshard()
 	})
+	for _, ev := range c.cfg.Reshard {
+		ev := ev
+		c.Sched.AfterKey(eventsim.Key("meepo/reshard"), ev.At, func() {
+			if c.Stopped() {
+				return
+			}
+			c.requestResize(ev.Shards)
+		})
+	}
 }
 
 // Stop implements chain.Blockchain.

@@ -1,0 +1,294 @@
+package meepo
+
+import (
+	"fmt"
+	"reflect"
+	"strconv"
+	"testing"
+	"time"
+
+	"hammer/internal/chain"
+	"hammer/internal/eventsim"
+	"hammer/internal/invariant"
+	"hammer/internal/randx"
+	"hammer/internal/smallbank"
+)
+
+// The router property: for ANY shard count, cross-shard bias and join/leave
+// timeline, a drained Meepo run conserves funds (balances plus outstanding
+// cross-shard debits equal the seeded total), never commits a transaction
+// twice, and homes every account exactly on ShardIndex(account, active).
+// invariant.Check sweeps randomized plans through a real simulation and, on
+// failure, shrinks the transfer list to a minimal reproducer replayable from
+// the printed (seed, run) coordinates — the workflow DESIGN.md documents.
+
+const (
+	propAccounts = 12
+	propBalance  = 1000
+)
+
+// planOp is one transfer of a randomized router plan. Resubmit duplicates
+// the exact transaction (same ID) three seconds later, exercising the
+// no-double-commit path under whatever resharding is in flight.
+type planOp struct {
+	From, To int
+	Amount   int
+	AtMs     int
+	Resubmit bool
+}
+
+// routerPlan is one generated input: an initial shard count, a cross-shard
+// bias, a join/leave timeline and a transfer schedule.
+type routerPlan struct {
+	Shards    int
+	CrossRate float64
+	Reshard   []ReshardEvent
+	Ops       []planOp
+}
+
+func genRouterPlan(r *randx.Rand) routerPlan {
+	plan := routerPlan{
+		Shards:    2 + r.Intn(3), // 2..4
+		CrossRate: r.Float64(),
+	}
+	for i, steps := 0, r.Intn(3); i < steps; i++ {
+		plan.Reshard = append(plan.Reshard, ReshardEvent{
+			At:     time.Duration(2000+r.Intn(12000)) * time.Millisecond,
+			Shards: 1 + r.Intn(6),
+		})
+	}
+	for i, n := 0, 1+r.Intn(30); i < n; i++ {
+		op := planOp{
+			From:     r.Intn(propAccounts),
+			Amount:   1 + r.Intn(50),
+			AtMs:     r.Intn(8000),
+			Resubmit: r.Float64() < 0.3,
+		}
+		home := ShardIndex(smallbank.AccountName(op.From), plan.Shards)
+		op.To = (op.From + 1) % propAccounts
+		if r.Float64() < plan.CrossRate {
+			for try := 0; try < 16; try++ {
+				cand := r.Intn(propAccounts)
+				if cand != op.From && ShardIndex(smallbank.AccountName(cand), plan.Shards) != home {
+					op.To = cand
+					break
+				}
+			}
+		} else {
+			for try := 0; try < 16; try++ {
+				cand := r.Intn(propAccounts)
+				if cand != op.From && ShardIndex(smallbank.AccountName(cand), plan.Shards) == home {
+					op.To = cand
+					break
+				}
+			}
+		}
+		plan.Ops = append(plan.Ops, op)
+	}
+	return plan
+}
+
+// opTx rebuilds op i's transaction; the nonce ties the ID to the op, so a
+// resubmission is a true duplicate.
+func opTx(op planOp, i int) *chain.Transaction {
+	tx := &chain.Transaction{
+		Contract: smallbank.ContractName,
+		Op:       smallbank.OpTransfer,
+		Args: []string{smallbank.AccountName(op.From), smallbank.AccountName(op.To),
+			strconv.Itoa(op.Amount)},
+		From:  smallbank.AccountName(op.From),
+		Nonce: uint64(i + 1),
+	}
+	tx.ComputeID()
+	return tx
+}
+
+// runRouterPlan executes the plan on a fresh chain and drains it: accounts
+// seeded, transfers submitted on the virtual clock (admission sheds are
+// fine — a shed transfer moves nothing), then a long quiet tail so every
+// epoch, relay and reshard step settles.
+func runRouterPlan(plan routerPlan) (*Chain, []string, error) {
+	sched := eventsim.New()
+	cfg := DefaultConfig()
+	cfg.Shards = plan.Shards
+	cfg.EpochInterval = 100 * time.Millisecond
+	cfg.Reshard = plan.Reshard
+	c := New(sched, cfg)
+	if err := c.Deploy(smallbank.Contract{}); err != nil {
+		return nil, nil, err
+	}
+	c.Start()
+	names := make([]string, propAccounts)
+	for i := range names {
+		names[i] = smallbank.AccountName(i)
+		tx := &chain.Transaction{
+			Contract: smallbank.ContractName,
+			Op:       smallbank.OpCreate,
+			Args:     []string{names[i], strconv.Itoa(propBalance), strconv.Itoa(propBalance)},
+			From:     names[i],
+		}
+		tx.ComputeID()
+		if _, err := c.Submit(tx); err != nil {
+			return nil, nil, fmt.Errorf("seed %s: %w", names[i], err)
+		}
+	}
+	sched.RunUntil(5 * time.Second)
+	start := sched.Now()
+	for i, op := range plan.Ops {
+		i, op := i, op
+		sched.At(start+time.Duration(op.AtMs)*time.Millisecond, func() {
+			c.Submit(opTx(op, i)) // admission errors are legitimate sheds
+		})
+		if op.Resubmit {
+			sched.At(start+time.Duration(op.AtMs+3000)*time.Millisecond, func() {
+				c.Submit(opTx(op, i))
+			})
+		}
+	}
+	sched.RunUntil(start + 25*time.Second)
+	return c, names, nil
+}
+
+// routerViolation checks the three invariants on a drained run.
+func routerViolation(c *Chain, names []string) error {
+	commits := map[chain.TxID]int{}
+	for _, e := range c.AuditLog() {
+		if e.Status == chain.StatusCommitted {
+			commits[e.TxID]++
+			if commits[e.TxID] > 1 {
+				return fmt.Errorf("transaction %x committed %d times", e.TxID[:4], commits[e.TxID])
+			}
+		}
+	}
+	var total int64
+	for _, name := range names {
+		home := c.ShardOf(name)
+		for sh := 0; sh < c.Shards(); sh++ {
+			st, err := c.ShardState(sh)
+			if err != nil {
+				return err
+			}
+			raw, _, ok := st.Get("c:" + name)
+			if ok != (sh == home) {
+				return fmt.Errorf("account %s present=%v on shard %d (home %d, active %d)",
+					name, ok, sh, home, c.ActiveShards())
+			}
+			if ok {
+				v, err := strconv.ParseInt(string(raw), 10, 64)
+				if err != nil {
+					return err
+				}
+				total += v
+			}
+		}
+	}
+	if want := int64(propAccounts * propBalance); total+c.OutstandingCrossDebits() != want {
+		return fmt.Errorf("conservation broken: balances %d + in transit %d != %d (active %d, resharded %d)",
+			total, c.OutstandingCrossDebits(), want, c.ActiveShards(), c.Resharded())
+	}
+	return nil
+}
+
+func shrinkRouterPlan(plan routerPlan) []routerPlan {
+	var out []routerPlan
+	for _, ops := range invariant.ShrinkSlice(plan.Ops, func(op planOp) []planOp {
+		var cands []planOp
+		for _, a := range invariant.ShrinkInt(op.Amount) {
+			smaller := op
+			smaller.Amount = a
+			cands = append(cands, smaller)
+		}
+		return cands
+	}) {
+		smaller := plan
+		smaller.Ops = ops
+		out = append(out, smaller)
+	}
+	return out
+}
+
+// TestRouterPropertyHolds sweeps randomized (N, crossRate, timeline, ops)
+// plans: conservation, no-double-commit and exact homing must survive every
+// one of them.
+func TestRouterPropertyHolds(t *testing.T) {
+	if testing.Short() {
+		t.Skip("property sweep is not short")
+	}
+	f := invariant.Check(invariant.Config{Runs: 25, Seed: 11}, genRouterPlan, shrinkRouterPlan,
+		func(plan routerPlan) error {
+			c, names, err := runRouterPlan(plan)
+			if err != nil {
+				return err
+			}
+			return routerViolation(c, names)
+		})
+	if f != nil {
+		t.Fatalf("router property failed: %v\nminimal plan: %+v", f, f.Minimal)
+	}
+}
+
+// TestRouterPropertyShrinksInjectedBug is the harness's acceptance check: a
+// deliberately wrong oracle — one that claims cross-shard transfers burn
+// their amount — must be caught, shrunk to a single small cross-shard
+// transfer, and replayable from the reported (seed, run) coordinates.
+func TestRouterPropertyShrinksInjectedBug(t *testing.T) {
+	buggy := func(plan routerPlan) error {
+		c, names, err := runRouterPlan(plan)
+		if err != nil {
+			return err
+		}
+		committed := map[chain.TxID]bool{}
+		for _, e := range c.AuditLog() {
+			if e.Status == chain.StatusCommitted {
+				committed[e.TxID] = true
+			}
+		}
+		var lost int64
+		for i, op := range plan.Ops {
+			cross := ShardIndex(smallbank.AccountName(op.From), plan.Shards) !=
+				ShardIndex(smallbank.AccountName(op.To), plan.Shards)
+			if cross && committed[opTx(op, i).ID] {
+				lost += int64(op.Amount)
+			}
+		}
+		var total int64
+		for _, name := range names {
+			st, err := c.ShardState(c.ShardOf(name))
+			if err != nil {
+				return err
+			}
+			raw, _, ok := st.Get("c:" + name)
+			if !ok {
+				return fmt.Errorf("account %s missing", name)
+			}
+			v, _ := strconv.ParseInt(string(raw), 10, 64)
+			total += v
+		}
+		if want := int64(propAccounts*propBalance) - lost; total != want {
+			return fmt.Errorf("buggy oracle: total %d, want %d", total, want)
+		}
+		return nil
+	}
+	cfg := invariant.Config{Runs: 50, Seed: 3}
+	f := invariant.Check(cfg, genRouterPlan, shrinkRouterPlan, buggy)
+	if f == nil {
+		t.Fatal("the injected oracle bug went undetected")
+	}
+	if len(f.Minimal.Ops) != 1 {
+		t.Fatalf("minimal plan should be a single transfer, got %d ops", len(f.Minimal.Ops))
+	}
+	op := f.Minimal.Ops[0]
+	if ShardIndex(smallbank.AccountName(op.From), f.Minimal.Shards) ==
+		ShardIndex(smallbank.AccountName(op.To), f.Minimal.Shards) {
+		t.Fatalf("minimal reproducer is not a cross-shard transfer: %+v", op)
+	}
+	if f.Shrinks == 0 {
+		t.Fatal("expected at least one accepted shrink step")
+	}
+	// The replay contract: the reported coordinates regenerate the original
+	// failing plan exactly.
+	replayed := invariant.Replay(f.Seed, f.Run, genRouterPlan)
+	if !reflect.DeepEqual(replayed, f.Input) {
+		t.Fatalf("replay diverged from the reported failure:\n got %+v\nwant %+v", replayed, f.Input)
+	}
+}

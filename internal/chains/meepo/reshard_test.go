@@ -1,0 +1,267 @@
+package meepo
+
+import (
+	"strconv"
+	"testing"
+	"time"
+
+	"hammer/internal/chain"
+	"hammer/internal/smallbank"
+)
+
+// checkAccountsHomed asserts every account lives exactly on its home shard
+// and returns the summed checking balances.
+func checkAccountsHomed(t *testing.T, c *Chain, names []string) int64 {
+	t.Helper()
+	var total int64
+	for _, name := range names {
+		home := c.ShardOf(name)
+		for sh := 0; sh < c.Shards(); sh++ {
+			st, err := c.ShardState(sh)
+			if err != nil {
+				t.Fatal(err)
+			}
+			_, _, ok := st.Get("c:" + name)
+			if ok != (sh == home) {
+				t.Fatalf("account %s present=%v on shard %d (home %d, active %d)",
+					name, ok, sh, home, c.ActiveShards())
+			}
+		}
+		total += balanceOn(t, c, home, name)
+	}
+	return total
+}
+
+func TestNShardStartup(t *testing.T) {
+	cfg := DefaultConfig()
+	cfg.Shards = 8
+	sched, c := newChain(t, cfg)
+	c.Start()
+	names := seedAccounts(t, sched, c, 64)
+
+	if c.ActiveShards() != 8 || c.Shards() != 8 {
+		t.Fatalf("active=%d shards=%d, want 8/8", c.ActiveShards(), c.Shards())
+	}
+	counts := map[int]int{}
+	for _, n := range names {
+		counts[c.ShardOf(n)]++
+		if got := ShardIndex(n, 8); got != c.ShardOf(n) {
+			t.Fatalf("ShardIndex(%s, 8) = %d, ShardOf = %d", n, got, c.ShardOf(n))
+		}
+	}
+	sealed := 0
+	for sh := 0; sh < 8; sh++ {
+		if counts[sh] == 0 {
+			t.Fatalf("shard %d received no accounts: %v", sh, counts)
+		}
+		if c.Height(sh) > 0 {
+			sealed++
+		}
+	}
+	if sealed != 8 {
+		t.Fatalf("%d/8 shards sealed blocks", sealed)
+	}
+}
+
+// TestReshardTimelineJoin checks a deterministic 2 -> 4 join step: accounts
+// re-home under the wider hash partition, the joined shards seal blocks, and
+// funds are conserved.
+func TestReshardTimelineJoin(t *testing.T) {
+	cfg := DefaultConfig()
+	cfg.EpochInterval = 100 * time.Millisecond
+	cfg.Reshard = []ReshardEvent{{At: 8 * time.Second, Shards: 4}}
+	sched, c := newChain(t, cfg)
+	c.Start()
+	names := seedAccounts(t, sched, c, 40)
+
+	if c.ActiveShards() != 2 {
+		t.Fatalf("active=%d before the timeline step", c.ActiveShards())
+	}
+	sched.RunUntil(10 * time.Second)
+	if c.ActiveShards() != 4 {
+		t.Fatalf("active=%d after the join step, want 4", c.ActiveShards())
+	}
+	if c.Resharded() == 0 {
+		t.Fatal("join step not counted as a reconfiguration")
+	}
+
+	// Post-join traffic must route to and commit on the new shards.
+	for i, name := range names {
+		tx := &chain.Transaction{
+			Contract: smallbank.ContractName,
+			Op:       smallbank.OpDeposit,
+			Args:     []string{name, "5"},
+			From:     name,
+			Nonce:    uint64(1000 + i),
+		}
+		tx.ComputeID()
+		if _, err := c.Submit(tx); err != nil {
+			t.Fatal(err)
+		}
+	}
+	sched.RunUntil(sched.Now() + 5*time.Second)
+
+	total := checkAccountsHomed(t, c, names)
+	if want := int64(len(names)) * 1005; total != want {
+		t.Fatalf("total checking %d, want %d", total, want)
+	}
+	var newShardBlocks uint64
+	for sh := 2; sh < 4; sh++ {
+		newShardBlocks += c.Height(sh)
+	}
+	if newShardBlocks == 0 {
+		t.Fatal("joined shards sealed no blocks")
+	}
+}
+
+// TestReshardTimelineLeaveAndRejoin shrinks 4 -> 2 and grows back 2 -> 4:
+// departed shards freeze their ledgers (heights pause, state empties into
+// the survivors), then rejoin and resume sealing; funds are conserved
+// throughout.
+func TestReshardTimelineLeaveAndRejoin(t *testing.T) {
+	cfg := DefaultConfig()
+	cfg.Shards = 4
+	cfg.EpochInterval = 100 * time.Millisecond
+	cfg.Reshard = []ReshardEvent{
+		{At: 8 * time.Second, Shards: 2},
+		{At: 16 * time.Second, Shards: 4},
+	}
+	sched, c := newChain(t, cfg)
+	c.Start()
+	names := seedAccounts(t, sched, c, 40)
+
+	sched.RunUntil(10 * time.Second)
+	if c.ActiveShards() != 2 {
+		t.Fatalf("active=%d after the leave step, want 2", c.ActiveShards())
+	}
+	if c.Shards() != 4 {
+		t.Fatalf("departed shards must keep their ledgers, Shards()=%d", c.Shards())
+	}
+	// Departed shards hand everything to the survivors...
+	for sh := 2; sh < 4; sh++ {
+		st, _ := c.ShardState(sh)
+		if n := len(st.Keys()); n != 0 {
+			t.Fatalf("departed shard %d still holds %d keys", sh, n)
+		}
+	}
+	// ...and their heights freeze while the survivors keep committing.
+	frozen2, frozen3 := c.Height(2), c.Height(3)
+	if total := checkAccountsHomed(t, c, names); total != int64(len(names))*1000 {
+		t.Fatalf("total checking %d after leave, want %d", total, int64(len(names))*1000)
+	}
+	for i, name := range names {
+		tx := &chain.Transaction{
+			Contract: smallbank.ContractName,
+			Op:       smallbank.OpDeposit,
+			Args:     []string{name, "3"},
+			From:     name,
+			Nonce:    uint64(2000 + i),
+		}
+		tx.ComputeID()
+		if _, err := c.Submit(tx); err != nil {
+			t.Fatal(err)
+		}
+	}
+	sched.RunUntil(14 * time.Second)
+	if c.Height(2) != frozen2 || c.Height(3) != frozen3 {
+		t.Fatal("departed shards sealed blocks while inactive")
+	}
+
+	sched.RunUntil(20 * time.Second)
+	if c.ActiveShards() != 4 {
+		t.Fatalf("active=%d after the rejoin step, want 4", c.ActiveShards())
+	}
+	for i, name := range names {
+		tx := &chain.Transaction{
+			Contract: smallbank.ContractName,
+			Op:       smallbank.OpDeposit,
+			Args:     []string{name, "2"},
+			From:     name,
+			Nonce:    uint64(3000 + i),
+		}
+		tx.ComputeID()
+		if _, err := c.Submit(tx); err != nil {
+			t.Fatal(err)
+		}
+	}
+	sched.RunUntil(sched.Now() + 5*time.Second)
+	if c.Height(2) == frozen2 && c.Height(3) == frozen3 {
+		t.Fatal("rejoined shards sealed no blocks")
+	}
+	total := checkAccountsHomed(t, c, names)
+	if want := int64(len(names)) * 1005; total != want {
+		t.Fatalf("total checking %d at the end, want %d", total, want)
+	}
+	if c.Resharded() != 2 {
+		t.Fatalf("Resharded() = %d, want 2", c.Resharded())
+	}
+}
+
+// TestReshardTargetsClamped pins the clamping rules: timeline targets raise
+// MaxShards automatically, and out-of-range requests clamp instead of
+// panicking.
+func TestReshardTargetsClamped(t *testing.T) {
+	cfg := DefaultConfig()
+	cfg.MaxShards = 2
+	cfg.Reshard = []ReshardEvent{
+		{At: 2 * time.Second, Shards: 0},  // clamps to 1
+		{At: 6 * time.Second, Shards: 16}, // raises MaxShards to 16
+	}
+	cfg.EpochInterval = 100 * time.Millisecond
+	sched, c := newChain(t, cfg)
+	c.Start()
+	seedAccounts(t, sched, c, 16)
+
+	sched.RunUntil(4 * time.Second)
+	if c.ActiveShards() != 1 {
+		t.Fatalf("active=%d after clamped-to-1 step", c.ActiveShards())
+	}
+	sched.RunUntil(8 * time.Second)
+	if c.ActiveShards() != 16 {
+		t.Fatalf("active=%d after grow step, want 16", c.ActiveShards())
+	}
+}
+
+// TestCrossShardConservationAcrossReshard routes a storm of cross-shard
+// transfers through a reshard step and checks the ledger-wide invariant:
+// balances + outstanding cross-epoch debits stay constant.
+func TestCrossShardConservationAcrossReshard(t *testing.T) {
+	cfg := DefaultConfig()
+	cfg.Shards = 3
+	cfg.EpochInterval = 100 * time.Millisecond
+	cfg.Reshard = []ReshardEvent{{At: 7 * time.Second, Shards: 5}}
+	sched, c := newChain(t, cfg)
+	c.Start()
+	names := seedAccounts(t, sched, c, 30)
+
+	nonce := uint64(0)
+	ticker := sched.Every(50*time.Millisecond, func() {
+		nonce++
+		from := names[int(nonce)%len(names)]
+		to := names[int(nonce*7+3)%len(names)]
+		if from == to {
+			return
+		}
+		tx := &chain.Transaction{
+			Contract: smallbank.ContractName,
+			Op:       smallbank.OpTransfer,
+			Args:     []string{from, to, strconv.Itoa(int(nonce%9) + 1)},
+			From:     from,
+			Nonce:    nonce,
+		}
+		tx.ComputeID()
+		_, _ = c.Submit(tx)
+	})
+	sched.RunUntil(12 * time.Second)
+	ticker.Stop()
+	sched.RunUntil(sched.Now() + 5*time.Second)
+
+	if c.ActiveShards() != 5 {
+		t.Fatalf("active=%d, want 5", c.ActiveShards())
+	}
+	total := checkAccountsHomed(t, c, names)
+	if got := total + c.OutstandingCrossDebits(); got != int64(len(names))*1000 {
+		t.Fatalf("balances %d + in-transit %d = %d, want %d",
+			total, c.OutstandingCrossDebits(), got, int64(len(names))*1000)
+	}
+}

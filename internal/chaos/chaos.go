@@ -27,9 +27,10 @@ const (
 	KindCrash Kind = "crash"
 	// KindRestart brings the event's Nodes back up.
 	KindRestart Kind = "restart"
-	// KindPartition splits the network into GroupA | GroupB; traffic across
-	// the cut is dropped. On chains without an internal netsim network the
-	// injector falls back to crashing the smaller group.
+	// KindPartition splits the network into isolated groups — the two-sided
+	// GroupA | GroupB form or the N-way Groups form; traffic across any cut
+	// is dropped. On chains without an internal netsim network the injector
+	// falls back to crashing every group except the largest.
 	KindPartition Kind = "partition"
 	// KindHeal removes the active partition (and restarts any nodes crashed
 	// by a partition fallback).
@@ -53,8 +54,12 @@ type Event struct {
 
 	// Nodes are the crash/restart targets (KindCrash, KindRestart).
 	Nodes []string
-	// GroupA and GroupB are the partition sides (KindPartition).
+	// GroupA and GroupB are the partition sides (KindPartition). For an
+	// N-way split set Groups instead; the two forms are mutually exclusive.
 	GroupA, GroupB []string
+	// Groups is the N-way partition form (KindPartition): every listed group
+	// is isolated from every other.
+	Groups [][]string
 	// From and To name the directed link (KindDegradeLink, KindClearLink).
 	From, To string
 	// Quality is the degradation to apply (KindDegradeLink).
@@ -84,7 +89,19 @@ func (s Scenario) Validate() error {
 				return fmt.Errorf("chaos: scenario %q event %d: %s with no nodes", s.Name, i, ev.Kind)
 			}
 		case KindPartition:
-			if len(ev.GroupA) == 0 || len(ev.GroupB) == 0 {
+			if len(ev.Groups) > 0 {
+				if len(ev.GroupA) > 0 || len(ev.GroupB) > 0 {
+					return fmt.Errorf("chaos: scenario %q event %d: partition sets both Groups and GroupA/GroupB", s.Name, i)
+				}
+				if len(ev.Groups) < 2 {
+					return fmt.Errorf("chaos: scenario %q event %d: N-way partition needs at least two groups", s.Name, i)
+				}
+				for gi, g := range ev.Groups {
+					if len(g) == 0 {
+						return fmt.Errorf("chaos: scenario %q event %d: partition group %d is empty", s.Name, i, gi)
+					}
+				}
+			} else if len(ev.GroupA) == 0 || len(ev.GroupB) == 0 {
 				return fmt.Errorf("chaos: scenario %q event %d: partition needs two non-empty groups", s.Name, i)
 			}
 		case KindHeal:
@@ -180,6 +197,9 @@ func NewInjector(sched eventsim.Sched, target NodeFaulter, scen Scenario, reg *m
 		names = append(names, ev.Nodes...)
 		names = append(names, ev.GroupA...)
 		names = append(names, ev.GroupB...)
+		for _, g := range ev.Groups {
+			names = append(names, g...)
+		}
 		for _, n := range names {
 			if !known[n] {
 				return nil, fmt.Errorf("chaos: scenario %q event %d: unknown node %q (have %v)", scen.Name, i, n, target.Nodes())
@@ -230,7 +250,7 @@ func (inj *Injector) apply(ev Event) {
 		}
 	case KindPartition:
 		if inj.net != nil {
-			inj.net.Partition(ev.GroupA, ev.GroupB)
+			inj.net.PartitionGroups(ev.partitionGroups())
 		} else {
 			note = inj.partitionByCrash(ev)
 		}
@@ -260,21 +280,42 @@ func (inj *Injector) apply(ev Event) {
 	}
 }
 
-// partitionByCrash emulates a partition on chains without an internal
-// network: the minority side goes dark, which from the majority's view is
-// indistinguishable from a crash. The heal event restarts them.
-func (inj *Injector) partitionByCrash(ev Event) string {
-	minority := ev.GroupB
-	if len(ev.GroupA) < len(ev.GroupB) {
-		minority = ev.GroupA
+// partitionGroups normalises the event's two partition forms into one group
+// list: the N-way Groups field when set, otherwise [GroupA, GroupB].
+func (ev Event) partitionGroups() [][]string {
+	if len(ev.Groups) > 0 {
+		return ev.Groups
 	}
-	for _, n := range minority {
-		if inj.target.CrashNode(n) {
-			inj.partitionCrashed = append(inj.partitionCrashed, n)
+	return [][]string{ev.GroupA, ev.GroupB}
+}
+
+// partitionByCrash emulates a partition on chains without an internal
+// network: every group except the largest goes dark, which from the
+// surviving majority's view is indistinguishable from a crash. Ties break
+// toward the earliest-listed group, so the fallback is deterministic for any
+// group count. The heal event restarts the crashed nodes.
+func (inj *Injector) partitionByCrash(ev Event) string {
+	groups := ev.partitionGroups()
+	largest := 0
+	for i, g := range groups {
+		if len(g) > len(groups[largest]) {
+			largest = i
+		}
+	}
+	crashed := 0
+	for i, g := range groups {
+		if i == largest {
+			continue
+		}
+		for _, n := range g {
+			if inj.target.CrashNode(n) {
+				inj.partitionCrashed = append(inj.partitionCrashed, n)
+				crashed++
+			}
 		}
 	}
 	sort.Strings(inj.partitionCrashed)
-	return fmt.Sprintf("no internal network: partition emulated by crashing minority %v", minority)
+	return fmt.Sprintf("no internal network: %d-way partition emulated by crashing %d nodes outside the largest group", len(groups), crashed)
 }
 
 // Recovery summarises a chain's throughput response to a fault-and-heal

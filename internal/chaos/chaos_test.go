@@ -40,6 +40,11 @@ func TestScenarioValidate(t *testing.T) {
 		{"negative offset", Event{At: -time.Second, Kind: KindHeal}, "negative offset"},
 		{"crash no nodes", Event{Kind: KindCrash}, "no nodes"},
 		{"partition one-sided", Event{Kind: KindPartition, GroupA: []string{"a"}}, "non-empty groups"},
+		{"nway ok", Event{Kind: KindPartition, Groups: [][]string{{"a"}, {"b"}, {"c"}}}, ""},
+		{"nway single group", Event{Kind: KindPartition, Groups: [][]string{{"a"}}}, "at least two groups"},
+		{"nway empty group", Event{Kind: KindPartition, Groups: [][]string{{"a"}, {}}}, "group 1 is empty"},
+		{"nway mixed forms", Event{Kind: KindPartition, Groups: [][]string{{"a"}, {"b"}},
+			GroupA: []string{"a"}}, "both Groups and GroupA/GroupB"},
 		{"loss out of range", Event{Kind: KindLossBurst, LossFrac: 1.5, Duration: time.Second}, "outside [0,1]"},
 		{"burst no duration", Event{Kind: KindLossBurst, LossFrac: 0.5}, "positive Duration"},
 		{"bad link loss", Event{Kind: KindDegradeLink, From: "a", To: "b",
@@ -158,6 +163,60 @@ func TestPartitionFallbackCrashesMinority(t *testing.T) {
 	sched.RunUntil(2 * time.Second)
 	if f.DownCount() != 0 {
 		t.Fatal("heal should restart fallback-crashed nodes")
+	}
+}
+
+// TestPartitionFallbackNWayCrashesAllButLargest is the regression test for
+// the old fallback, which compared only GroupA against GroupB: with an N-way
+// Groups event it would crash a single side and leave the other small groups
+// running. The N-shard-aware fallback must take down every group except the
+// largest.
+func TestPartitionFallbackNWayCrashesAllButLargest(t *testing.T) {
+	sched := eventsim.New()
+	f := newFake(sched, false, "a", "b", "c", "d")
+	inj, err := NewInjector(sched, f, Scenario{Name: "nway", Events: []Event{
+		{At: 0, Kind: KindPartition, Groups: [][]string{{"a", "b"}, {"c"}, {"d"}}},
+		{At: time.Second, Kind: KindHeal},
+	}}, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	inj.Arm(0)
+	sched.RunUntil(500 * time.Millisecond)
+	// Old logic (minority of GroupA vs GroupB) would crash at most one node
+	// here; the N-way fallback must isolate both minority groups.
+	if got := f.DownCount(); got != 2 {
+		t.Fatalf("DownCount = %d, want 2 (all groups but the largest)", got)
+	}
+	if f.NodeDown("a") || f.NodeDown("b") || !f.NodeDown("c") || !f.NodeDown("d") {
+		t.Fatal("fallback crashed the wrong nodes: largest group must survive")
+	}
+	if note := inj.Applied()[0].Note; !strings.Contains(note, "3-way partition") {
+		t.Fatalf("applied note should document the N-way fallback, note=%q", note)
+	}
+	sched.RunUntil(2 * time.Second)
+	if f.DownCount() != 0 {
+		t.Fatal("heal should restart every fallback-crashed node")
+	}
+}
+
+// TestPartitionNWayAppliesToNetwork checks the Groups form reaches netsim as
+// a true N-way split, including ties broken deterministically.
+func TestPartitionNWayAppliesToNetwork(t *testing.T) {
+	sched := eventsim.New()
+	f := newFake(sched, true, "a", "b", "c")
+	inj, err := NewInjector(sched, f, Scenario{Events: []Event{
+		{At: 0, Kind: KindPartition, Groups: [][]string{{"a"}, {"b"}, {"c"}}},
+	}}, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	inj.Arm(0)
+	sched.RunUntil(500 * time.Millisecond)
+	for _, pair := range [][2]string{{"a", "b"}, {"b", "c"}, {"a", "c"}} {
+		if !f.net.Partitioned(pair[0], pair[1]) {
+			t.Fatalf("%s<->%s should be cut by the 3-way partition", pair[0], pair[1])
+		}
 	}
 }
 

@@ -13,6 +13,7 @@ import (
 	"time"
 
 	"hammer/internal/chain"
+	"hammer/internal/chains/committee"
 	"hammer/internal/chains/ethereum"
 	"hammer/internal/chains/fabric"
 	"hammer/internal/chains/meepo"
@@ -26,7 +27,8 @@ import (
 type Playbook struct {
 	// Name labels the deployment in logs.
 	Name string `json:"name"`
-	// Kind selects the chain: "ethereum", "fabric", "neuchain", "meepo".
+	// Kind selects the chain: "ethereum", "fabric", "neuchain", "meepo",
+	// "committee".
 	Kind string `json:"kind"`
 	// Net overrides the cluster network (optional).
 	Net *NetSpec `json:"net,omitempty"`
@@ -36,8 +38,9 @@ type Playbook struct {
 	// Exactly one of the per-chain specs may be set; nil uses defaults.
 	Ethereum *EthereumSpec `json:"ethereum,omitempty"`
 	Fabric   *FabricSpec   `json:"fabric,omitempty"`
-	Neuchain *NeuchainSpec `json:"neuchain,omitempty"`
-	Meepo    *MeepoSpec    `json:"meepo,omitempty"`
+	Neuchain  *NeuchainSpec  `json:"neuchain,omitempty"`
+	Meepo     *MeepoSpec     `json:"meepo,omitempty"`
+	Committee *CommitteeSpec `json:"committee,omitempty"`
 }
 
 // NetSpec configures the simulated cluster network. Durations are
@@ -130,6 +133,15 @@ type MeepoSpec struct {
 	MaxShards       int  `json:"max_shards"`
 }
 
+// CommitteeSpec overrides the BFT committee simulator's defaults.
+type CommitteeSpec struct {
+	Validators      int     `json:"validators"`
+	BlockIntervalMs float64 `json:"block_interval_ms"`
+	RoundTimeoutMs  float64 `json:"round_timeout_ms"`
+	ExecCostPerTxUs float64 `json:"exec_cost_per_tx_us"`
+	PendingCap      int     `json:"pending_cap"`
+}
+
 // Load reads a playbook from a JSON file.
 func Load(path string) (*Playbook, error) {
 	raw, err := os.ReadFile(path)
@@ -219,6 +231,14 @@ func (pb *Playbook) validate() error {
 			nonneg("neuchain.pending_cap", s.PendingCap),
 			dur("neuchain.epoch_interval_ms", s.EpochIntervalMs),
 			dur("neuchain.exec_cost_per_tx_us", s.ExecCostPerTxUs))
+	}
+	if s := pb.Committee; s != nil {
+		checks = append(checks,
+			count("committee.validators", s.Validators),
+			nonneg("committee.pending_cap", s.PendingCap),
+			dur("committee.block_interval_ms", s.BlockIntervalMs),
+			dur("committee.round_timeout_ms", s.RoundTimeoutMs),
+			dur("committee.exec_cost_per_tx_us", s.ExecCostPerTxUs))
 	}
 	if s := pb.Meepo; s != nil {
 		checks = append(checks,
@@ -393,10 +413,32 @@ func (pb *Playbook) Run(sched eventsim.Sched) (chain.Blockchain, error) {
 		}
 		return meepo.New(sched, cfg), nil
 
+	case "committee":
+		cfg := committee.DefaultConfig()
+		cfg.Net = pb.Net.toConfig()
+		if s := pb.Committee; s != nil {
+			if s.Validators > 0 {
+				cfg.Validators = s.Validators
+			}
+			if s.BlockIntervalMs > 0 {
+				cfg.BlockInterval = time.Duration(s.BlockIntervalMs * float64(time.Millisecond))
+			}
+			if s.RoundTimeoutMs > 0 {
+				cfg.RoundTimeout = time.Duration(s.RoundTimeoutMs * float64(time.Millisecond))
+			}
+			if s.ExecCostPerTxUs > 0 {
+				cfg.ExecCostPerTx = time.Duration(s.ExecCostPerTxUs * float64(time.Microsecond))
+			}
+			if s.PendingCap > 0 {
+				cfg.PendingCap = s.PendingCap
+			}
+		}
+		return committee.New(sched, cfg), nil
+
 	default:
 		return nil, fmt.Errorf("deploy: unknown chain kind %q", pb.Kind)
 	}
 }
 
 // Kinds lists the supported chain kinds.
-func Kinds() []string { return []string{"ethereum", "fabric", "neuchain", "meepo"} }
+func Kinds() []string { return []string{"ethereum", "fabric", "neuchain", "meepo", "committee"} }

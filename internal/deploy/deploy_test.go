@@ -83,6 +83,23 @@ func TestMeepoShardOverride(t *testing.T) {
 	}
 }
 
+func TestCommitteeValidatorOverride(t *testing.T) {
+	pb, err := Parse([]byte(`{"name":"c","kind":"committee","committee":{"validators":7,"round_timeout_ms":500}}`))
+	if err != nil {
+		t.Fatal(err)
+	}
+	bc, err := pb.Run(eventsim.New())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if bc.Name() != "committee" {
+		t.Fatalf("wrong chain %q", bc.Name())
+	}
+	if _, err := Parse([]byte(`{"name":"c","kind":"committee","committee":{"validators":-1}}`)); err == nil {
+		t.Fatal("negative validator count should be rejected")
+	}
+}
+
 func TestLoadFromFile(t *testing.T) {
 	path := filepath.Join(t.TempDir(), "pb.json")
 	if err := os.WriteFile(path, []byte(`{"name":"f","kind":"ethereum","ethereum":{"mempool_cap":7}}`), 0o644); err != nil {

@@ -7,6 +7,7 @@ import (
 	"time"
 
 	"hammer/internal/chain"
+	"hammer/internal/chains/committee"
 	"hammer/internal/chains/ethereum"
 	"hammer/internal/chains/fabric"
 	"hammer/internal/chains/meepo"
@@ -85,8 +86,11 @@ type conformanceSetup struct {
 	program func(seed int64) invariant.Program
 }
 
-// conformanceSetups returns the four chains under moderate load — the goal
-// is coverage of the commit paths, not peak throughput.
+// conformanceSetups returns every chain family under moderate load — the
+// goal is coverage of the commit paths, not peak throughput. Meepo appears
+// at N ∈ {2, 4, 8} shards (the N=4 entry reshards to 8 mid-run, so the
+// dynamic join path is under the same digests-at-any-worker-count proof),
+// and the committee chain runs all five suites including serial replay.
 func conformanceSetups(opts Options) []conformanceSetup {
 	return []conformanceSetup{
 		{
@@ -153,6 +157,81 @@ func conformanceSetups(opts Options) []conformanceSetup {
 					InjectEvery: 400 * time.Microsecond, JitterFrac: 0.5,
 					CutSize: 1 << 20, BatchTimeout: 50 * time.Millisecond,
 					ExecCost: 8 * time.Millisecond, PollEvery: 100 * time.Millisecond,
+				}
+			},
+		},
+		{
+			name:    "meepo-n4",
+			offered: 2500,
+			build: func(sched eventsim.Sched, opts Options) chain.Blockchain {
+				cfg := meepo.DefaultConfig()
+				cfg.Shards = 4
+				cfg.State = opts.stateFactory()
+				// Join four more shards mid-run: the dynamic reshard path
+				// must hold every digest identity the static layout does.
+				cfg.Reshard = []meepo.ReshardEvent{
+					{At: time.Duration(opts.MeasureSeconds) * time.Second / 2, Shards: 8},
+				}
+				return meepo.New(sched, cfg)
+			},
+			engCfg: func(c *core.Config) {
+				c.Clients = 8
+				c.SubmitCost = 100 * time.Microsecond
+			},
+			replayable: false,
+			program: func(seed int64) invariant.Program {
+				return invariant.Program{
+					Seed: seed, Duration: 2 * time.Second,
+					InjectEvery: 400 * time.Microsecond, JitterFrac: 0.5,
+					CutSize: 1 << 20, BatchTimeout: 40 * time.Millisecond,
+					ExecCost: 6 * time.Millisecond, PollEvery: 100 * time.Millisecond,
+				}
+			},
+		},
+		{
+			name:    "meepo-n8",
+			offered: 3000,
+			build: func(sched eventsim.Sched, opts Options) chain.Blockchain {
+				cfg := meepo.DefaultConfig()
+				cfg.Shards = 8
+				cfg.State = opts.stateFactory()
+				return meepo.New(sched, cfg)
+			},
+			engCfg: func(c *core.Config) {
+				c.Clients = 8
+				c.SubmitCost = 100 * time.Microsecond
+			},
+			replayable: false,
+			program: func(seed int64) invariant.Program {
+				return invariant.Program{
+					Seed: seed, Duration: 2 * time.Second,
+					InjectEvery: 300 * time.Microsecond, JitterFrac: 0.5,
+					CutSize: 1 << 20, BatchTimeout: 30 * time.Millisecond,
+					ExecCost: 4 * time.Millisecond, PollEvery: 100 * time.Millisecond,
+				}
+			},
+		},
+		{
+			name:    "committee",
+			offered: 2000,
+			build: func(sched eventsim.Sched, opts Options) chain.Blockchain {
+				cfg := committee.DefaultConfig()
+				cfg.State = opts.stateFactory()
+				return committee.New(sched, cfg)
+			},
+			engCfg: func(c *core.Config) {
+				c.Clients = 8
+				c.SubmitCost = 100 * time.Microsecond
+			},
+			replayable: true,
+			// BFT rounds: paced proposals with two vote round trips folded
+			// into the per-block cost.
+			program: func(seed int64) invariant.Program {
+				return invariant.Program{
+					Seed: seed, Duration: 2 * time.Second,
+					InjectEvery: 500 * time.Microsecond, JitterFrac: 0.5,
+					CutSize: 2000, BatchTimeout: 250 * time.Millisecond,
+					ExecCost: 10 * time.Millisecond, PollEvery: 100 * time.Millisecond,
 				}
 			},
 		},

@@ -14,20 +14,33 @@ func TestConformanceQuick(t *testing.T) {
 	if err != nil {
 		t.Fatal(err)
 	}
-	// 4 chains × (invariants, determinism, workers, scheduler) + 3 replay
-	// rows (meepo's cross-shard schedule is not serially replayable).
-	if len(rows) != 4*4+3 {
-		t.Fatalf("expected 19 verdict rows, got %d", len(rows))
+	// 7 chain setups × (invariants, determinism, workers, scheduler) + 4
+	// replay rows (meepo's cross-shard schedule is not serially replayable
+	// at any shard count; ethereum, fabric, neuchain and committee are).
+	if len(rows) != 7*4+4 {
+		t.Fatalf("expected 32 verdict rows, got %d", len(rows))
 	}
 	suites := make(map[string]int)
+	chains := make(map[string]int)
 	for _, r := range rows {
 		suites[r.Suite]++
+		chains[r.Chain]++
 		if !r.Pass {
 			t.Errorf("%s/%s failed: %s", r.Chain, r.Suite, r.Detail)
 		}
 	}
+	// The new families must be fully covered: committee runs all five
+	// suites, the meepo shard sweep runs everything but replay.
+	if chains["committee"] != 5 {
+		t.Errorf("committee has %d suite rows, want 5", chains["committee"])
+	}
+	for _, name := range []string{"meepo", "meepo-n4", "meepo-n8"} {
+		if chains[name] != 4 {
+			t.Errorf("%s has %d suite rows, want 4", name, chains[name])
+		}
+	}
 	for suite, want := range map[string]int{
-		"invariants": 4, "determinism": 4, "replay": 3, "workers": 4, "scheduler": 4,
+		"invariants": 7, "determinism": 7, "replay": 4, "workers": 7, "scheduler": 7,
 	} {
 		if suites[suite] != want {
 			t.Errorf("suite %s has %d rows, want %d", suite, suites[suite], want)

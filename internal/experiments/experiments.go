@@ -39,6 +39,13 @@ type Options struct {
 	// LoadClients is the client-population sweep for the load-plane
 	// experiment (open- vs closed-loop injection at each scale).
 	LoadClients []int
+	// FamilyShards and FamilyCommittees are the scale axes of the
+	// consensus-family sweep: Meepo shard counts and BFT committee sizes.
+	FamilyShards     []int
+	FamilyCommittees []int
+	// CrossShardRate is the fraction of the family sweep's Meepo transfers
+	// whose destination lives on a foreign shard (0 means the 0.2 default).
+	CrossShardRate float64
 	// Workers bounds how many runs a sweep executes concurrently;
 	// 0 means one worker per core (runtime.GOMAXPROCS(0)).
 	Workers int
@@ -95,6 +102,10 @@ func Default() Options {
 		ModelLookback:  24,
 		ModelHidden:    16,
 		LoadClients:    []int{100_000, 500_000, 1_000_000},
+		// The paper-scale family sweep spans 2 to 64 shards or validators.
+		FamilyShards:     []int{2, 8, 32, 64},
+		FamilyCommittees: []int{2, 8, 32, 64},
+		CrossShardRate:   0.2,
 	}
 }
 
@@ -111,6 +122,11 @@ func Quick() Options {
 		ModelLookback:  12,
 		ModelHidden:    8,
 		LoadClients:    []int{2_000, 10_000},
+		// Small points with distinct quorum shapes: 4 tolerates one fault,
+		// 7 tolerates two.
+		FamilyShards:     []int{2, 4},
+		FamilyCommittees: []int{4, 7},
+		CrossShardRate:   0.2,
 	}
 }
 
@@ -145,6 +161,15 @@ func (o *Options) fillDefaults() {
 	}
 	if len(o.LoadClients) == 0 {
 		o.LoadClients = def.LoadClients
+	}
+	if len(o.FamilyShards) == 0 {
+		o.FamilyShards = def.FamilyShards
+	}
+	if len(o.FamilyCommittees) == 0 {
+		o.FamilyCommittees = def.FamilyCommittees
+	}
+	if o.CrossShardRate <= 0 {
+		o.CrossShardRate = def.CrossShardRate
 	}
 }
 

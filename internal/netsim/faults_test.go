@@ -73,6 +73,39 @@ func TestPartitionBlocksCrossGroupTraffic(t *testing.T) {
 	}
 }
 
+func TestPartitionGroupsNWay(t *testing.T) {
+	sched := eventsim.New()
+	n := New(sched, Config{Latency: time.Millisecond, Seed: 1})
+	delivered := map[string]int{}
+	send := func(from, to string) {
+		n.Send(from, to, 10, func() { delivered[from+"->"+to]++ })
+	}
+
+	n.PartitionGroups([][]string{{"a", "b"}, {"c"}, {"d"}})
+	send("a", "b") // same group, delivered
+	send("a", "c") // dropped
+	send("c", "d") // dropped: two non-first groups are isolated from each other too
+	send("d", "e") // e is in no group, delivered
+	sched.Run()
+
+	if delivered["a->c"] != 0 || delivered["c->d"] != 0 {
+		t.Fatalf("cross-group messages delivered: %v", delivered)
+	}
+	if delivered["a->b"] != 1 || delivered["d->e"] != 1 {
+		t.Fatalf("intra-group or unassigned messages lost: %v", delivered)
+	}
+	if n.PartitionDrops() != 2 {
+		t.Fatalf("PartitionDrops = %d, want 2", n.PartitionDrops())
+	}
+
+	n.Heal()
+	send("c", "d")
+	sched.Run()
+	if delivered["c->d"] != 1 {
+		t.Fatal("message after Heal not delivered")
+	}
+}
+
 func TestSetLinkQualityExtraLatency(t *testing.T) {
 	sched := eventsim.New()
 	n := New(sched, Config{Latency: time.Millisecond, Seed: 1})

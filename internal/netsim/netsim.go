@@ -128,12 +128,20 @@ func New(sched eventsim.Sched, cfg Config) *Network {
 // group keep full connectivity. Calling Partition again replaces the previous
 // partition.
 func (n *Network) Partition(a, b []string) {
-	n.partition = make(map[string]int, len(a)+len(b))
-	for _, name := range a {
-		n.partition[name] = 1
-	}
-	for _, name := range b {
-		n.partition[name] = 2
+	n.PartitionGroups([][]string{a, b})
+}
+
+// PartitionGroups splits the network into an arbitrary number of isolated
+// groups: messages between nodes in different groups are dropped until Heal.
+// Nodes in no group keep full connectivity; a node listed in several groups
+// lands in the last one. Calling PartitionGroups again replaces the previous
+// partition.
+func (n *Network) PartitionGroups(groups [][]string) {
+	n.partition = make(map[string]int)
+	for i, g := range groups {
+		for _, name := range g {
+			n.partition[name] = i + 1
+		}
 	}
 }
 
